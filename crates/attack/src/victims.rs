@@ -1,0 +1,287 @@
+//! Victim programs: small, realistic code patterns whose encrypted
+//! images the exploits tamper with.
+//!
+//! Layout of every victim image (one flat region, encrypted at 64-byte
+//! line granularity):
+//!
+//! * code at [`CODE_BASE`];
+//! * a linked list / comparison constants in low data;
+//! * the 32-bit secret at [`Victim::secret_addr`];
+//! * a "shift window" region the disclosing kernels dereference into.
+
+use secsim_core::EncryptedMemory;
+use secsim_isa::{Asm, Inst, Reg};
+
+/// Code segment base.
+pub const CODE_BASE: u32 = 0x1000;
+/// Linked-list nodes (one per 256 bytes).
+pub const LIST_BASE: u32 = 0x2000;
+/// Address of the terminating NULL pointer (last node's `next`).
+pub const NULL_ADDR: u32 = 0x2200;
+/// Comparison constant's address.
+pub const CONST_ADDR: u32 = 0x2400;
+/// The secret's address (8-aligned so the full value survives the
+/// 8-byte bus granularity when used as a fetch address).
+pub const SECRET_ADDR: u32 = 0x3008;
+/// Base of the window region used by shift-window kernels.
+pub const WINDOW_BASE: u32 = 0x8000;
+/// First instruction of the rewritable "function body" (the predictable
+/// code sequence a disclosing kernel overwrites).
+pub const FUNC_BASE: u32 = 0x1400;
+/// Taken-path target of the comparison victim.
+pub const BIG_BASE: u32 = 0x1800;
+
+const ENC_KEY: [u8; 16] = [0x42; 16];
+const MAC_KEY: &[u8] = b"secsim-attack-mac-key";
+/// Victim image size (64 KB); attacks protect exactly this region.
+pub const IMAGE_BYTES: usize = 0x1_0000;
+
+/// Which victim program to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VictimKind {
+    /// Traverses the linked list until NULL, then halts.
+    LinkedList,
+    /// Loads the secret and a constant, branches on `secret >= const`.
+    Compare,
+    /// Calls a function with a predictable ~32-instruction body
+    /// (the injection site), then halts.
+    FunctionCall,
+}
+
+/// A built victim: its encrypted image plus layout knowledge shared with
+/// the adversary (addresses are public; *contents* are secret).
+#[derive(Debug, Clone)]
+pub struct Victim {
+    /// The AES-CTR + HMAC protected memory image.
+    pub image: EncryptedMemory,
+    /// Entry PC.
+    pub entry: u32,
+    /// PC of the comparison branch (Compare victim).
+    pub branch_pc: u32,
+    /// The *plaintext* words of the rewritable function body
+    /// (FunctionCall victim) — "compiler output is predictable".
+    pub func_plaintext: Vec<u32>,
+    secret: u32,
+}
+
+impl Victim {
+    /// Builds a victim holding `secret` at [`SECRET_ADDR`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the victim program fails to assemble (a bug, not an
+    /// input condition).
+    pub fn build(kind: VictimKind, secret: u32) -> Self {
+        let mut plain = vec![0u8; IMAGE_BYTES];
+        let mut branch_pc = 0;
+        let mut func_plaintext = Vec::new();
+
+        let words = match kind {
+            VictimKind::LinkedList => {
+                // Nodes: 0x2000 -> 0x2100 -> 0x2200(next=NULL).
+                put_u32(&mut plain, 0x2000, 0x2100);
+                put_u32(&mut plain, 0x2100, NULL_ADDR);
+                put_u32(&mut plain, NULL_ADDR, 0);
+                let mut a = Asm::new(CODE_BASE);
+                let top = a.new_label();
+                let done = a.new_label();
+                // The victim legitimately uses its secret before
+                // traversing (a hot key): its line is cache-resident
+                // when the tampered pointer dereferences it.
+                a.li(Reg::R9, SECRET_ADDR);
+                a.lw(Reg::R9, Reg::R9, 0);
+                a.li(Reg::R1, LIST_BASE);
+                a.bind(top).expect("fresh");
+                a.beq(Reg::R1, Reg::R0, done);
+                a.lw(Reg::R1, Reg::R1, 0); // p = p->next
+                a.j(top);
+                a.bind(done).expect("fresh");
+                a.halt();
+                a.assemble().expect("victim assembles")
+            }
+            VictimKind::Compare => {
+                put_u32(&mut plain, CONST_ADDR, 0); // "constant zero is frequent"
+                let mut a = Asm::new(CODE_BASE);
+                a.li(Reg::R1, SECRET_ADDR);
+                a.lw(Reg::R1, Reg::R1, 0);
+                a.li(Reg::R2, CONST_ADDR);
+                a.lw(Reg::R2, Reg::R2, 0);
+                branch_pc = a.here();
+                // bgeu needs a label far away: BIG_BASE hosts the taken
+                // path; the fall-through "small" path follows inline.
+                let big = a.new_label();
+                a.push(Inst::Bgeu {
+                    rs1: Reg::R1,
+                    rs2: Reg::R2,
+                    off: ((BIG_BASE - branch_pc - 4) / 4) as i16,
+                });
+                let _ = big;
+                // small path: a little work, then halt.
+                for _ in 0..4 {
+                    a.addi(Reg::R3, Reg::R3, 1);
+                }
+                a.halt();
+                let mut words = a.assemble().expect("victim assembles");
+                // Pad to BIG_BASE, then the big path.
+                let pad = ((BIG_BASE - CODE_BASE) / 4) as usize - words.len();
+                words.extend(std::iter::repeat(secsim_isa::encode(Inst::Nop)).take(pad));
+                let mut b = Asm::new(BIG_BASE);
+                for _ in 0..4 {
+                    b.addi(Reg::R4, Reg::R4, 1);
+                }
+                b.halt();
+                words.extend(b.assemble().expect("big path assembles"));
+                words
+            }
+            VictimKind::FunctionCall => {
+                // main: touch the (hot) secret, call func, halt. func:
+                // a predictable body (straight-line adds — the
+                // "invariant code sequence").
+                let mut a = Asm::new(CODE_BASE);
+                a.li(Reg::R9, SECRET_ADDR);
+                a.lw(Reg::R9, Reg::R9, 0);
+                let call_target_off = ((FUNC_BASE - CODE_BASE) / 4) as i32 - (a.len() as i32) - 1;
+                a.push(Inst::Jal { off: call_target_off });
+                a.halt();
+                let mut words = a.assemble().expect("victim assembles");
+                let pad = ((FUNC_BASE - CODE_BASE) / 4) as usize - words.len();
+                words.extend(std::iter::repeat(secsim_isa::encode(Inst::Nop)).take(pad));
+                let mut f = Asm::new(FUNC_BASE);
+                for i in 0..30 {
+                    f.addi(Reg::R3, Reg::R3, (i % 7) as i16);
+                }
+                f.ret();
+                let fw = f.assemble().expect("func assembles");
+                func_plaintext = fw.clone();
+                words.extend(fw);
+                words
+            }
+        };
+
+        for (i, w) in words.iter().enumerate() {
+            put_u32(&mut plain, CODE_BASE + 4 * i as u32, *w);
+        }
+        put_u32(&mut plain, SECRET_ADDR, secret);
+
+        Victim {
+            image: EncryptedMemory::from_plain(0, &plain, &ENC_KEY, MAC_KEY),
+            entry: CODE_BASE,
+            branch_pc,
+            func_plaintext,
+            secret,
+        }
+    }
+
+    /// The secret (for verification only — the adversary never reads
+    /// this).
+    pub fn secret(&self) -> u32 {
+        self.secret
+    }
+
+    /// The secret's address (public layout knowledge).
+    pub fn secret_addr(&self) -> u32 {
+        SECRET_ADDR
+    }
+
+    /// Rewrites the function body's ciphertext so it decrypts to
+    /// `new_insts` (padded with `nop`s), using the known plaintext:
+    /// `mask = old_plain ^ new_plain` (§3.2.3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_insts` is longer than the function body.
+    pub fn inject_kernel(&mut self, new_insts: &[u32]) {
+        assert!(
+            new_insts.len() <= self.func_plaintext.len(),
+            "kernel ({} insts) larger than the predictable region ({})",
+            new_insts.len(),
+            self.func_plaintext.len()
+        );
+        for (i, old) in self.func_plaintext.iter().enumerate() {
+            let new = new_insts.get(i).copied().unwrap_or_else(|| {
+                // Keep the final `ret` so control returns cleanly if the
+                // kernel doesn't halt.
+                if i == self.func_plaintext.len() - 1 {
+                    *old
+                } else {
+                    secsim_isa::encode(Inst::Nop)
+                }
+            });
+            let mask = (old ^ new).to_le_bytes();
+            if mask != [0; 4] {
+                self.image.tamper_xor(FUNC_BASE + 4 * i as u32, &mask);
+            }
+        }
+    }
+}
+
+fn put_u32(plain: &mut [u8], addr: u32, v: u32) {
+    let off = addr as usize;
+    plain[off..off + 4].copy_from_slice(&v.to_le_bytes());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use secsim_isa::{step, ArchState};
+
+    fn run_functional(v: &mut Victim, max: usize) -> ArchState {
+        let mut st = ArchState::new(v.entry);
+        for _ in 0..max {
+            if st.halted {
+                break;
+            }
+            step(&mut st, &mut v.image).expect("no decode fault");
+        }
+        st
+    }
+
+    #[test]
+    fn linked_list_victim_terminates() {
+        let mut v = Victim::build(VictimKind::LinkedList, 0xDEADBEE8);
+        let st = run_functional(&mut v, 1000);
+        assert!(st.halted);
+        assert!(v.image.invalid_lines().is_empty());
+    }
+
+    #[test]
+    fn compare_victim_takes_big_path_for_large_secret() {
+        let mut v = Victim::build(VictimKind::Compare, 0x8000_0000);
+        let st = run_functional(&mut v, 1000);
+        assert!(st.halted);
+        assert_eq!(st.reg(Reg::R4), 4); // big path ran
+        assert_eq!(st.reg(Reg::R3), 0);
+    }
+
+    #[test]
+    fn compare_victim_takes_small_path_for_small_secret() {
+        // constant is 0 and comparison is unsigned `>=`, so only
+        // tampered constants ever send it down the small path; check
+        // with the constant intact the big path runs (secret >= 0).
+        let mut v = Victim::build(VictimKind::Compare, 5);
+        let st = run_functional(&mut v, 1000);
+        assert!(st.halted);
+        assert_eq!(st.reg(Reg::R4), 4);
+    }
+
+    #[test]
+    fn function_victim_runs_and_returns() {
+        let mut v = Victim::build(VictimKind::FunctionCall, 7);
+        assert!(!v.func_plaintext.is_empty());
+        let st = run_functional(&mut v, 1000);
+        assert!(st.halted);
+    }
+
+    #[test]
+    fn injected_kernel_executes_attacker_code() {
+        let mut v = Victim::build(VictimKind::FunctionCall, 0xDEADBEE8);
+        let mut k = Asm::new(FUNC_BASE);
+        k.addi(Reg::R7, Reg::R0, 77);
+        let kernel = k.assemble().expect("kernel assembles");
+        v.inject_kernel(&kernel);
+        assert!(!v.image.invalid_lines().is_empty(), "tampering must break MACs");
+        let st = run_functional(&mut v, 1000);
+        assert!(st.halted);
+        assert_eq!(st.reg(Reg::R7), 77, "kernel instruction must have executed");
+    }
+}

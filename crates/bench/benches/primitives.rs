@@ -1,0 +1,69 @@
+//! Criterion microbenchmarks for the cryptographic substrate — the
+//! functional engines the secure processor's latency model stands in
+//! for.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use secsim_core::MerkleTree;
+use secsim_crypto::{Aes, CbcMac, CtrKeystream, HmacSha256, Sha256};
+
+fn bench_aes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("aes");
+    g.throughput(Throughput::Bytes(16));
+    let aes128 = Aes::new_128(&[7; 16]);
+    g.bench_function("encrypt_block_128", |b| {
+        let mut block = [0u8; 16];
+        b.iter(|| {
+            aes128.encrypt_block(black_box(&mut block));
+        })
+    });
+    let aes256 = Aes::new_256(&[7; 32]);
+    g.bench_function("encrypt_block_256", |b| {
+        let mut block = [0u8; 16];
+        b.iter(|| {
+            aes256.encrypt_block(black_box(&mut block));
+        })
+    });
+    g.finish();
+}
+
+fn bench_hashes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mac");
+    let line = [0xA5u8; 64];
+    g.throughput(Throughput::Bytes(64));
+    g.bench_function("sha256_line", |b| b.iter(|| Sha256::digest(black_box(&line))));
+    let hmac = HmacSha256::new(b"bench-key");
+    g.bench_function("hmac_line_truncated", |b| {
+        b.iter(|| hmac.compute_truncated(black_box(&line)))
+    });
+    let cbc = CbcMac::new(Aes::new_128(&[3; 16]));
+    g.bench_function("cbcmac_line", |b| b.iter(|| cbc.compute_truncated(black_box(&line))));
+    g.finish();
+}
+
+fn bench_ctr(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ctr");
+    g.throughput(Throughput::Bytes(64));
+    let ks = CtrKeystream::new(Aes::new_128(&[1; 16]));
+    g.bench_function("encrypt_line", |b| {
+        let mut line = [0u8; 64];
+        b.iter(|| ks.apply(black_box(0x8000), black_box(5), &mut line))
+    });
+    g.finish();
+}
+
+fn bench_merkle(c: &mut Criterion) {
+    let data = vec![0x5Au8; 256 * 64]; // 256 lines
+    let tree = MerkleTree::build(&data, 64, 8, b"tree");
+    let mut g = c.benchmark_group("merkle");
+    g.bench_function("verify_leaf_256", |b| {
+        b.iter(|| tree.verify_leaf(black_box(&data[0..64]), black_box(0)))
+    });
+    let mut tree2 = tree.clone();
+    g.bench_function("update_leaf_256", |b| {
+        b.iter(|| tree2.update_leaf(black_box(3), black_box(&data[0..64])))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_aes, bench_hashes, bench_ctr, bench_merkle);
+criterion_main!(benches);

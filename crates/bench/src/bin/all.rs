@@ -1,0 +1,20 @@
+//! Regenerates every table and figure in sequence (see DESIGN.md's
+//! experiment index). Results land in `results/`.
+
+use std::process::Command;
+
+fn main() {
+    let exe = std::env::current_exe().expect("own path");
+    let dir = exe.parent().expect("bin dir");
+    for bin in
+        [
+        "table1", "table2", "table3", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
+        "fig12", "fig13", "ablation",
+    ]
+    {
+        eprintln!("== running {bin} ==");
+        let status = Command::new(dir.join(bin)).status().expect("spawn experiment binary");
+        assert!(status.success(), "{bin} failed");
+    }
+    eprintln!("all experiments complete; see results/");
+}

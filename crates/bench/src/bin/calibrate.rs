@@ -1,0 +1,32 @@
+//! Quick calibration sweep: normalized IPC per benchmark per policy.
+use secsim_bench::{run_bench, RunOpts};
+use secsim_core::Policy;
+use secsim_stats::Table;
+use secsim_workloads::benchmarks;
+
+fn main() {
+    let opts = RunOpts { max_insts: std::env::var("SECSIM_INSTS").ok().and_then(|s| s.parse().ok()).unwrap_or(300_000), ..RunOpts::default() };
+    let policies = [
+        ("base", Policy::baseline()),
+        ("issue", Policy::authen_then_issue()),
+        ("write", Policy::authen_then_write()),
+        ("commit", Policy::authen_then_commit()),
+        ("fetch", Policy::authen_then_fetch()),
+        ("c+f", Policy::commit_plus_fetch()),
+        ("c+obf", Policy::commit_plus_obfuscation()),
+    ];
+    let mut t = Table::new(["bench", "ipc", "issue", "write", "commit", "fetch", "c+f", "c+obf", "l2miss/ki"]);
+    for b in benchmarks() {
+        let base = run_bench(b, Policy::baseline(), &opts).unwrap();
+        let bipc = base.ipc();
+        let mut row = vec![b.to_string(), format!("{bipc:.3}")];
+        for (name, p) in policies.iter().skip(1) {
+            let r = run_bench(b, *p, &opts).unwrap();
+            row.push(format!("{:.3}", r.ipc() / bipc));
+            let _ = name;
+        }
+        row.push(format!("{:.1}", base.counters.get("l2.miss") as f64 / (base.insts as f64 / 1000.0)));
+        t.push_row(row);
+    }
+    println!("{}", t.to_markdown());
+}

@@ -1,0 +1,21 @@
+//! Figure 11: IPC speedup over authen-then-issue with a 64-entry RUU
+//! (256 KB L2).
+
+use secsim_bench::{speedup_over_issue_table, RunOpts};
+use secsim_core::Policy;
+use secsim_cpu::CpuConfig;
+use secsim_workloads::benchmarks;
+
+fn main() {
+    let opts = RunOpts { cpu: CpuConfig::paper_ruu64(), ..RunOpts::default() };
+    let policies = [
+        ("commit", Policy::authen_then_commit()),
+        ("commit+fetch", Policy::commit_plus_fetch()),
+    ];
+    let t = speedup_over_issue_table(&benchmarks(), &policies, &opts);
+    secsim_bench::emit(
+        "fig11",
+        "Figure 11 — IPC speedup over authen-then-issue, 64-entry RUU, 256KB L2",
+        &t,
+    );
+}

@@ -1,0 +1,23 @@
+//! Figure 12: normalized IPC under hash-tree (CHTree-style) memory
+//! authentication with the dedicated 8 KB node cache.
+
+use secsim_bench::{normalized_table, RunOpts};
+use secsim_core::Policy;
+use secsim_workloads::benchmarks;
+
+fn main() {
+    let opts = RunOpts { tree: true, ..RunOpts::default() };
+    let policies = [
+        ("issue", Policy::authen_then_issue()),
+        ("write", Policy::authen_then_write()),
+        ("commit", Policy::authen_then_commit()),
+        ("fetch", Policy::authen_then_fetch()),
+        ("commit+fetch", Policy::commit_plus_fetch()),
+    ];
+    let t = normalized_table(&benchmarks(), &policies, &opts);
+    secsim_bench::emit(
+        "fig12",
+        "Figure 12 — normalized IPC under hash-tree authentication (baseline: decrypt-only)",
+        &t,
+    );
+}

@@ -1,0 +1,49 @@
+//! Figure 7 (a–d): normalized IPC of the six authentication schemes,
+//! for SPEC2000 INT and FP, under 256 KB and 1 MB L2 caches.
+//!
+//! Usage: `fig7 [--l2 256k|1m|both]`
+
+use secsim_bench::{normalized_table, L2Size, RunOpts};
+use secsim_core::Policy;
+use secsim_workloads::{fp_benchmarks, int_benchmarks};
+
+fn run_l2(l2: L2Size, panel_int: &str, panel_fp: &str) {
+    let opts = RunOpts { l2, ..RunOpts::default() };
+    let policies = [
+        ("issue", Policy::authen_then_issue()),
+        ("write", Policy::authen_then_write()),
+        ("commit", Policy::authen_then_commit()),
+        ("fetch", Policy::authen_then_fetch()),
+        ("commit+fetch", Policy::commit_plus_fetch()),
+        ("commit+obf", Policy::commit_plus_obfuscation()),
+    ];
+    let t = normalized_table(&int_benchmarks(), &policies, &opts);
+    secsim_bench::emit(
+        &format!("fig7{panel_int}"),
+        &format!(
+            "Figure 7({panel_int}) — normalized IPC, SPEC2000 INT, {} L2 (baseline: decrypt-only)",
+            l2.label()
+        ),
+        &t,
+    );
+    let t = normalized_table(&fp_benchmarks(), &policies, &opts);
+    secsim_bench::emit(
+        &format!("fig7{panel_fp}"),
+        &format!(
+            "Figure 7({panel_fp}) — normalized IPC, SPEC2000 FP, {} L2 (baseline: decrypt-only)",
+            l2.label()
+        ),
+        &t,
+    );
+}
+
+fn main() {
+    let arg = std::env::args().nth(2).or_else(|| std::env::args().nth(1));
+    let which = arg.as_deref().unwrap_or("both");
+    if which != "1m" {
+        run_l2(L2Size::K256, "a", "b");
+    }
+    if which != "256k" {
+        run_l2(L2Size::M1, "c", "d");
+    }
+}

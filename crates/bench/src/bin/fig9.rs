@@ -1,0 +1,39 @@
+//! Figure 9: normalized IPC of authen-then-commit + address obfuscation
+//! for three remap-cache sizes (64 KB / 256 KB / 1 MB).
+
+use secsim_bench::{cell, run_bench, RunOpts};
+use secsim_core::Policy;
+use secsim_stats::{Summary, Table};
+use secsim_workloads::benchmarks;
+
+fn main() {
+    let sizes: [(&str, u32); 3] =
+        [("64KB", 64 * 1024), ("256KB", 256 * 1024), ("1MB", 1024 * 1024)];
+    let mut headers = vec!["bench".to_string()];
+    headers.extend(sizes.iter().map(|(l, _)| format!("remap {l}")));
+    let mut t = Table::new(headers);
+    let mut sums = vec![Summary::new(); sizes.len()];
+    for bench in benchmarks() {
+        let base =
+            run_bench(bench, Policy::baseline(), &RunOpts::default()).expect("bench").ipc();
+        let mut row = vec![bench.to_string()];
+        for (i, (_, bytes)) in sizes.iter().enumerate() {
+            let opts = RunOpts { remap_cache_bytes: Some(*bytes), ..RunOpts::default() };
+            let ipc = run_bench(bench, Policy::commit_plus_obfuscation(), &opts)
+                .expect("bench")
+                .ipc();
+            let norm = ipc / base;
+            sums[i].push(norm.max(1e-9));
+            row.push(cell(norm));
+        }
+        t.push_row(row);
+    }
+    let mut mean = vec!["MEAN".to_string()];
+    mean.extend(sums.iter().map(|s| cell(s.mean())));
+    t.push_row(mean);
+    secsim_bench::emit(
+        "fig9",
+        "Figure 9 — normalized IPC vs remap-cache size (commit + obfuscation, 256KB L2)",
+        &t,
+    );
+}

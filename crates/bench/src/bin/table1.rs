@@ -1,0 +1,42 @@
+//! Table 1: the latency gap between decryption and integrity
+//! verification under [Counter mode + HMAC] vs [CBC + CBC-MAC].
+
+use secsim_crypto::{CryptoLatency, EncryptionMode, MacScheme};
+use secsim_stats::Table;
+
+fn main() {
+    let lat = CryptoLatency::paper_reference();
+    let mut t = Table::new([
+        "scheme",
+        "fetch (cyc)",
+        "line (B)",
+        "decrypt ready (cyc)",
+        "auth ready (cyc)",
+        "gap (cyc)",
+    ]);
+    for fetch in [135u64, 175, 300] {
+        for (name, mode, mac) in [
+            ("Counter+HMAC", EncryptionMode::CounterMode, MacScheme::HmacSha256),
+            ("CBC+CBC-MAC", EncryptionMode::Cbc, MacScheme::CbcMacAes),
+        ] {
+            let g = lat.latency_gap(mode, mac, fetch, 64);
+            t.push_row([
+                name.to_string(),
+                fetch.to_string(),
+                "64".to_string(),
+                g.decrypt.to_string(),
+                g.auth.to_string(),
+                g.gap().to_string(),
+            ]);
+        }
+    }
+    secsim_bench::emit(
+        "table1",
+        "Table 1 — decryption vs authentication latency (80ns AES, 74ns SHA-256, 1 GHz)",
+        &t,
+    );
+    println!(
+        "Counter mode hides decryption under the fetch but authentication lags by the hash\n\
+         latency; CBC+CBC-MAC has no gap but serializes decryption over the line's chunks."
+    );
+}

@@ -1,0 +1,57 @@
+//! Table 3: the processor model parameters, dumped from the live
+//! configuration structs (so the table cannot drift from the code).
+
+use secsim_cpu::CpuConfig;
+use secsim_mem::MemSystemConfig;
+use secsim_stats::Table;
+
+fn main() {
+    let cpu = CpuConfig::paper_reference();
+    let m256 = MemSystemConfig::paper_256k();
+    let m1m = MemSystemConfig::paper_1m();
+    let mut t = Table::new(["parameter", "value"]);
+    let mut row = |k: &str, v: String| t.push_row([k.to_string(), v]);
+    row("Frequency", "1.0 GHz (1 cycle = 1 ns)".into());
+    row("Fetch/Decode width", format!("{}", cpu.fetch_width));
+    row("Issue/Commit width", format!("{}", cpu.issue_width));
+    row(
+        "L1 I-Cache",
+        format!("DM, {}KB, {}B line", m256.l1i.size_bytes / 1024, m256.l1i.line_bytes),
+    );
+    row(
+        "L1 D-Cache",
+        format!("DM, {}KB, {}B line", m256.l1d.size_bytes / 1024, m256.l1d.line_bytes),
+    );
+    row(
+        "L2 Cache",
+        format!(
+            "{}-way, unified, {}B line, write-back, {}KB and {}KB",
+            m256.l2.assoc,
+            m256.l2.line_bytes,
+            m256.l2.size_bytes / 1024,
+            m1m.l2.size_bytes / 1024
+        ),
+    );
+    row("L1 latency", format!("{} cycle", m256.l1d.latency));
+    row(
+        "L2 latency",
+        format!("{} cycles (256KB), {} cycles (1MB)", m256.l2.latency, m1m.l2.latency),
+    );
+    row("I-TLB / D-TLB", format!("{}-way, {} entries", m256.itlb.assoc, m256.itlb.entries));
+    row("RUU", format!("{}, {} entries", cpu.ruu_size, CpuConfig::paper_ruu64().ruu_size));
+    row("LSQ", format!("{} entries", cpu.lsq_size));
+    row(
+        "Memory bus",
+        format!(
+            "{} MHz, {}B wide",
+            1000 / m256.dram.core_per_bus,
+            m256.dram.bus_bytes
+        ),
+    );
+    row("CAS latency", format!("{} mem bus clocks", m256.dram.cas));
+    row("Precharge (RP)", format!("{} mem bus clocks", m256.dram.rp));
+    row("RAS-to-CAS (RCD)", format!("{} mem bus clocks", m256.dram.rcd));
+    row("Decryption latency", "80 ns (pipelined AES)".into());
+    row("MAC latency", "74 ns (HMAC-SHA256, 512-bit block)".into());
+    secsim_bench::emit("table3", "Table 3 — processor model parameters", &t);
+}

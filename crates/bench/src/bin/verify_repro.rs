@@ -1,0 +1,170 @@
+//! The reproduction verifier: checks each of the paper's conclusions
+//! programmatically and prints PASS/FAIL. Exit code 0 iff everything
+//! holds.
+//!
+//! This is the "does the repo actually reproduce the paper" gate — run
+//! it after any model change:
+//!
+//! ```text
+//! cargo run --release -p secsim-bench --bin verify_repro
+//! ```
+
+use secsim_attack::{empirical_matrix, run_exploit, Exploit, SECRET};
+use secsim_bench::{run_bench, L2Size, RunOpts};
+use secsim_core::{properties, Policy};
+use secsim_crypto::{CryptoLatency, EncryptionMode, MacScheme};
+use secsim_cpu::CpuConfig;
+
+struct Verifier {
+    failures: u32,
+}
+
+impl Verifier {
+    fn check(&mut self, claim: &str, ok: bool, detail: String) {
+        if ok {
+            println!("PASS  {claim} — {detail}");
+        } else {
+            println!("FAIL  {claim} — {detail}");
+            self.failures += 1;
+        }
+    }
+}
+
+fn geomeans(policies: &[Policy], opts: &RunOpts) -> Vec<f64> {
+    const BENCHES: [&str; 5] = ["mcf", "art", "twolf", "swim", "wupwise"];
+    let mut base = 1.0f64;
+    let mut acc = vec![1.0f64; policies.len()];
+    for bench in BENCHES {
+        base *= run_bench(bench, Policy::baseline(), opts).expect("bench").ipc();
+        for (i, p) in policies.iter().enumerate() {
+            acc[i] *= run_bench(bench, *p, opts).expect("bench").ipc();
+        }
+    }
+    acc.iter().map(|a| (a / base).powf(1.0 / BENCHES.len() as f64)).collect()
+}
+
+fn main() -> std::process::ExitCode {
+    let mut v = Verifier { failures: 0 };
+    let opts = RunOpts { max_insts: 150_000, ..RunOpts::default() };
+
+    // ---- Table 1 ----
+    let lat = CryptoLatency::paper_reference();
+    let ctr = lat.latency_gap(EncryptionMode::CounterMode, MacScheme::HmacSha256, 200, 64);
+    let cbc = lat.latency_gap(EncryptionMode::Cbc, MacScheme::CbcMacAes, 200, 64);
+    v.check(
+        "Table 1: CTR+HMAC gap = hash latency; CBC+CBC-MAC gap = 0 but slow decrypt",
+        ctr.gap() == 74 && cbc.gap() == 0 && cbc.decrypt > ctr.decrypt,
+        format!("ctr gap {}, cbc gap {}, decrypt {} vs {}", ctr.gap(), cbc.gap(), cbc.decrypt, ctr.decrypt),
+    );
+
+    // ---- Table 2 (empirical vs claimed, all policies, all exploits) ----
+    let mut all_match = true;
+    let mut mismatch = String::new();
+    for row in empirical_matrix() {
+        let claimed = properties(&row.policy).prevents_fetch_side_channel;
+        if row.any_address_leak() == claimed {
+            all_match = false;
+            mismatch = format!("{}", row.policy);
+        }
+    }
+    v.check(
+        "Table 2: empirical exploit matrix matches claimed properties (7 policies × 6 exploits)",
+        all_match,
+        if all_match { "cell-for-cell".into() } else { format!("mismatch at {mismatch}") },
+    );
+
+    // ---- Exploit recovery exactness ----
+    let pc = run_exploit(Exploit::PointerConversion, Policy::authen_then_commit());
+    v.check(
+        "§3.2.1: pointer conversion recovers the full secret under authen-then-commit",
+        pc.recovered == Some(SECRET),
+        format!("recovered {:x?}", pc.recovered),
+    );
+    let bs = run_exploit(Exploit::BinarySearch, Policy::authen_then_write());
+    v.check(
+        "§3.2.2: binary search recovers the secret in exactly 32 trials",
+        bs.recovered == Some(SECRET) && bs.trials == 32,
+        format!("recovered {:x?} in {} trials", bs.recovered, bs.trials),
+    );
+
+    // ---- Figure 7 ordering ----
+    let ps = [
+        Policy::authen_then_write(),
+        Policy::authen_then_commit(),
+        Policy::authen_then_fetch(),
+        Policy::commit_plus_fetch(),
+        Policy::authen_then_issue(),
+        Policy::commit_plus_obfuscation(),
+    ];
+    let g = geomeans(&ps, &opts);
+    let (write, commit, fetch, cf, issue, obf) = (g[0], g[1], g[2], g[3], g[4], g[5]);
+    v.check(
+        "Figure 7: write ≥ commit ≥ fetch ≥ commit+fetch ≥ issue, all < baseline",
+        write >= commit && commit >= fetch && fetch >= cf && cf >= issue && write < 1.0001,
+        format!("w {write:.3} c {commit:.3} f {fetch:.3} cf {cf:.3} i {issue:.3}"),
+    );
+    v.check(
+        "Figure 7: write within 5% of baseline; issue and obfuscation are the costly schemes",
+        write > 0.95 && issue < 0.9 && obf < commit,
+        format!("write {write:.3}, issue {issue:.3}, obf {obf:.3}"),
+    );
+
+    // ---- Figure 9 monotonicity ----
+    let obf_at = |bytes: u32| {
+        let o = RunOpts { remap_cache_bytes: Some(bytes), ..opts };
+        geomeans(&[Policy::commit_plus_obfuscation()], &o)[0]
+    };
+    let (o64, o256, o1m) = (obf_at(64 << 10), obf_at(256 << 10), obf_at(1 << 20));
+    v.check(
+        "Figure 9: IPC improves with remap-cache size",
+        o64 <= o256 + 1e-9 && o256 <= o1m + 1e-9,
+        format!("64K {o64:.3} ≤ 256K {o256:.3} ≤ 1M {o1m:.3}"),
+    );
+
+    // ---- Figure 10: RUU sensitivity ----
+    let small = RunOpts { cpu: CpuConfig::paper_ruu64(), ..opts };
+    let commit_small = geomeans(&[Policy::authen_then_commit()], &small)[0];
+    let issue_small = geomeans(&[Policy::authen_then_issue()], &small)[0];
+    v.check(
+        "Figures 10–11: halving the RUU hurts commit-gating more than issue-gating",
+        (commit - commit_small) > (issue - issue_small) - 1e-9 && commit_small >= issue_small,
+        format!(
+            "commit {commit:.3}→{commit_small:.3}, issue {issue:.3}→{issue_small:.3}"
+        ),
+    );
+
+    // ---- Figures 12–13: hash tree ----
+    let tree_opts = RunOpts { tree: true, ..opts };
+    let gt = geomeans(
+        &[Policy::authen_then_write(), Policy::authen_then_commit(), Policy::authen_then_issue()],
+        &tree_opts,
+    );
+    v.check(
+        "Figure 12: hash-tree authentication costs every scheme; write ≈ commit compress",
+        gt[0] < write && gt[2] < issue && (gt[0] - gt[1]).abs() < 0.05,
+        format!("tree: write {:.3} commit {:.3} issue {:.3}", gt[0], gt[1], gt[2]),
+    );
+    v.check(
+        "Figure 13: commit's advantage over issue grows under the tree",
+        gt[1] / gt[2] > commit / issue,
+        format!("tree ratio {:.3} vs flat {:.3}", gt[1] / gt[2], commit / issue),
+    );
+
+    // ---- L2 size (Fig 7 a/b vs c/d) ----
+    let big = RunOpts { l2: L2Size::M1, ..opts };
+    let issue_1m = geomeans(&[Policy::authen_then_issue()], &big)[0];
+    v.check(
+        "Figure 7c/d: ranking stable and impact not worse with the 1MB L2",
+        issue_1m >= issue - 0.02,
+        format!("issue 256K {issue:.3} vs 1M {issue_1m:.3}"),
+    );
+
+    println!();
+    if v.failures == 0 {
+        println!("reproduction verified: every claim holds");
+        std::process::ExitCode::SUCCESS
+    } else {
+        println!("{} claim(s) FAILED", v.failures);
+        std::process::ExitCode::FAILURE
+    }
+}

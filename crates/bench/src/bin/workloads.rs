@@ -1,0 +1,60 @@
+//! Characterizes the 18 synthetic benchmarks: instruction mix, cache
+//! behaviour, branch predictability — the evidence that each profile
+//! reproduces its namesake's memory character.
+
+use secsim_bench::{run_bench, RunOpts};
+use secsim_core::Policy;
+use secsim_stats::Table;
+use secsim_workloads::{benchmarks, profile, BenchClass};
+
+fn main() {
+    let opts = RunOpts { max_insts: 300_000, ..RunOpts::default() };
+    let mut t = Table::new([
+        "bench",
+        "class",
+        "footprint",
+        "IPC",
+        "loads/ki",
+        "stores/ki",
+        "branches/ki",
+        "mispred %",
+        "L1D miss %",
+        "L2 miss/ki",
+        "auth req/ki",
+    ]);
+    for bench in benchmarks() {
+        let p = profile(bench).expect("profile");
+        let r = run_bench(bench, Policy::authen_then_commit(), &opts).expect("bench");
+        let ki = r.insts as f64 / 1000.0;
+        let c = &r.counters;
+        let l1d_acc = c.get("l1d.read_hit")
+            + c.get("l1d.read_miss")
+            + c.get("l1d.write_hit")
+            + c.get("l1d.write_miss");
+        let l1d_miss = c.get("l1d.read_miss") + c.get("l1d.write_miss");
+        t.push_row([
+            bench.to_string(),
+            match p.class {
+                BenchClass::Int => "INT".into(),
+                BenchClass::Fp => "FP".to_string(),
+            },
+            format!("{}MB", p.footprint >> 20),
+            format!("{:.3}", r.ipc()),
+            format!("{:.0}", c.get("pipe.loads") as f64 / ki),
+            format!("{:.0}", c.get("pipe.stores") as f64 / ki),
+            format!("{:.0}", c.get("pipe.branches") as f64 / ki),
+            format!(
+                "{:.1}",
+                100.0 * c.get("pipe.mispredicts") as f64 / c.get("pipe.branches").max(1) as f64
+            ),
+            format!("{:.1}", 100.0 * l1d_miss as f64 / l1d_acc.max(1) as f64),
+            format!("{:.1}", c.get("l2.miss") as f64 / ki),
+            format!("{:.1}", c.get("auth.requests") as f64 / ki),
+        ]);
+    }
+    secsim_bench::emit(
+        "workloads",
+        "Workload characterization (authen-then-commit, 256KB L2)",
+        &t,
+    );
+}

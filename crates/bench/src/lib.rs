@@ -1,0 +1,239 @@
+//! The experiment harness: shared machinery for the binaries that
+//! regenerate every table and figure of the paper.
+//!
+//! Each `src/bin/*.rs` binary corresponds to one table or figure (see
+//! DESIGN.md's experiment index); this library provides the common
+//! plumbing: running a benchmark under a policy, normalizing IPC against
+//! the decrypt-only baseline, and emitting Markdown/CSV into `results/`.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use secsim_bench::{run_bench, L2Size, RunOpts};
+//! use secsim_core::Policy;
+//!
+//! let opts = RunOpts::default();
+//! let r = run_bench("mcf", Policy::authen_then_issue(), &opts).expect("known benchmark");
+//! println!("mcf IPC = {:.3}", r.ipc());
+//! ```
+
+use secsim_core::{Policy, SecureConfig};
+use secsim_cpu::{simulate, CpuConfig, SimConfig, SimReport};
+use secsim_mem::MemSystemConfig;
+use secsim_stats::Table;
+use secsim_workloads::build;
+use std::fs;
+use std::path::PathBuf;
+
+/// L2 capacity point (paper Table 3 evaluates both).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum L2Size {
+    /// 256 KB, 4 cycles.
+    K256,
+    /// 1 MB, 8 cycles.
+    M1,
+}
+
+impl L2Size {
+    /// Human-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            L2Size::K256 => "256KB",
+            L2Size::M1 => "1MB",
+        }
+    }
+
+    fn mem_config(self) -> MemSystemConfig {
+        match self {
+            L2Size::K256 => MemSystemConfig::paper_256k(),
+            L2Size::M1 => MemSystemConfig::paper_1m(),
+        }
+    }
+}
+
+/// Options shared by every experiment run.
+#[derive(Debug, Clone, Copy)]
+pub struct RunOpts {
+    /// L2 capacity.
+    pub l2: L2Size,
+    /// Pipeline configuration (RUU sweep uses `paper_ruu64`).
+    pub cpu: CpuConfig,
+    /// Instructions simulated per run (scaled down ~100× from the
+    /// paper's 400 M; see DESIGN.md).
+    pub max_insts: u64,
+    /// Workload seed.
+    pub seed: u64,
+    /// Hash-tree authentication (Figure 12/13).
+    pub tree: bool,
+    /// Remap-cache capacity override for obfuscating policies
+    /// (Figure 9); `None` keeps the 256 KB default.
+    pub remap_cache_bytes: Option<u32>,
+}
+
+impl Default for RunOpts {
+    fn default() -> Self {
+        Self {
+            l2: L2Size::K256,
+            cpu: CpuConfig::paper_reference(),
+            max_insts: default_insts(),
+            seed: 2006,
+            tree: false,
+            remap_cache_bytes: None,
+        }
+    }
+}
+
+/// Default instruction budget per run. Override with the
+/// `SECSIM_INSTS` environment variable.
+pub fn default_insts() -> u64 {
+    std::env::var("SECSIM_INSTS").ok().and_then(|s| s.parse().ok()).unwrap_or(1_000_000)
+}
+
+/// Runs `bench` under `policy` and returns the report. `None` for an
+/// unknown benchmark name.
+pub fn run_bench(bench: &str, policy: Policy, opts: &RunOpts) -> Option<SimReport> {
+    let mut w = build(bench, opts.seed)?;
+    let mut secure = if opts.tree {
+        SecureConfig::paper_with_tree(policy, w.data_base, w.data_bytes)
+    } else {
+        SecureConfig::paper(policy)
+    }
+    .with_protected_region(w.data_base, w.data_bytes);
+    if let Some(bytes) = opts.remap_cache_bytes {
+        secure = secure.with_remap_cache_bytes(bytes);
+    }
+    let cfg = SimConfig {
+        cpu: opts.cpu,
+        mem: opts.l2.mem_config(),
+        secure,
+        max_insts: opts.max_insts,
+    };
+    Some(simulate(&mut w.mem, w.entry, &cfg, false))
+}
+
+/// Runs `bench` under `policy` and the decrypt-only baseline, returning
+/// `IPC(policy) / IPC(baseline)` — the normalization used throughout the
+/// paper's figures.
+pub fn normalized_ipc(bench: &str, policy: Policy, opts: &RunOpts) -> Option<f64> {
+    let base = run_bench(bench, Policy::baseline(), opts)?.ipc();
+    let p = run_bench(bench, policy, opts)?.ipc();
+    (base > 0.0).then(|| p / base)
+}
+
+/// Writes a table as Markdown + CSV under `results/` and prints the
+/// Markdown to stdout.
+pub fn emit(name: &str, title: &str, table: &Table) {
+    println!("## {title}\n");
+    println!("{}", table.to_markdown());
+    let dir = results_dir();
+    let _ = fs::create_dir_all(&dir);
+    let _ = fs::write(dir.join(format!("{name}.md")), format!("## {title}\n\n{}", table.to_markdown()));
+    let _ = fs::write(dir.join(format!("{name}.csv")), table.to_csv());
+    eprintln!("[written to {}/{name}.md and .csv]", dir.display());
+}
+
+/// Where experiment outputs land (`SECSIM_RESULTS` or `./results`).
+pub fn results_dir() -> PathBuf {
+    std::env::var_os("SECSIM_RESULTS").map(PathBuf::from).unwrap_or_else(|| PathBuf::from("results"))
+}
+
+/// Formats a ratio cell.
+pub fn cell(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Builds a normalized-IPC table: one row per benchmark in `benches`,
+/// one column per `(label, policy)`, plus arithmetic-mean and
+/// geometric-mean rows — the layout of the paper's Figure 7/10/12 data.
+pub fn normalized_table(
+    benches: &[&str],
+    policies: &[(&str, Policy)],
+    opts: &RunOpts,
+) -> Table {
+    let mut headers: Vec<String> = vec!["bench".into()];
+    headers.extend(policies.iter().map(|(l, _)| (*l).to_string()));
+    let mut table = Table::new(headers);
+    let mut sums = vec![secsim_stats::Summary::new(); policies.len()];
+    for bench in benches {
+        let base = run_bench(bench, Policy::baseline(), opts)
+            .unwrap_or_else(|| panic!("unknown benchmark {bench}"))
+            .ipc();
+        let mut row = vec![(*bench).to_string()];
+        for (i, (_, policy)) in policies.iter().enumerate() {
+            let ipc = run_bench(bench, *policy, opts).expect("benchmark exists").ipc();
+            let norm = if base > 0.0 { ipc / base } else { 0.0 };
+            sums[i].push(norm.max(1e-9));
+            row.push(cell(norm));
+        }
+        table.push_row(row);
+    }
+    let mut mean_row = vec!["MEAN".to_string()];
+    mean_row.extend(sums.iter().map(|s| cell(s.mean())));
+    table.push_row(mean_row);
+    let mut geo_row = vec!["GEOMEAN".to_string()];
+    geo_row.extend(sums.iter().map(|s| cell(s.geomean())));
+    table.push_row(geo_row);
+    table
+}
+
+/// Builds a speedup-over-`authen-then-issue` table (Figures 8/11/13):
+/// `IPC(policy) / IPC(issue) - 1`, reported as percentages.
+pub fn speedup_over_issue_table(
+    benches: &[&str],
+    policies: &[(&str, Policy)],
+    opts: &RunOpts,
+) -> Table {
+    let mut headers: Vec<String> = vec!["bench".into()];
+    headers.extend(policies.iter().map(|(l, _)| format!("{l} (%)")));
+    let mut table = Table::new(headers);
+    let mut sums = vec![secsim_stats::Summary::new(); policies.len()];
+    for bench in benches {
+        let issue = run_bench(bench, Policy::authen_then_issue(), opts)
+            .unwrap_or_else(|| panic!("unknown benchmark {bench}"))
+            .ipc();
+        let mut row = vec![(*bench).to_string()];
+        for (i, (_, policy)) in policies.iter().enumerate() {
+            let ipc = run_bench(bench, *policy, opts).expect("benchmark exists").ipc();
+            let pct = if issue > 0.0 { (ipc / issue - 1.0) * 100.0 } else { 0.0 };
+            sums[i].push((pct + 1000.0).max(1e-9)); // offset keeps Summary positive
+            row.push(format!("{pct:+.1}"));
+        }
+        table.push_row(row);
+    }
+    let mut mean_row = vec!["MEAN".to_string()];
+    mean_row.extend(sums.iter().map(|s| format!("{:+.1}", s.mean() - 1000.0)));
+    table.push_row(mean_row);
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn l2_labels() {
+        assert_eq!(L2Size::K256.label(), "256KB");
+        assert_eq!(L2Size::M1.label(), "1MB");
+    }
+
+    #[test]
+    fn unknown_bench_is_none() {
+        assert!(run_bench("nope", Policy::baseline(), &RunOpts::default()).is_none());
+    }
+
+    #[test]
+    fn tiny_run_produces_ipc() {
+        let opts = RunOpts { max_insts: 20_000, ..RunOpts::default() };
+        let r = run_bench("gzip", Policy::baseline(), &opts).expect("gzip exists");
+        assert!(r.ipc() > 0.1);
+        assert_eq!(r.insts, 20_000);
+    }
+
+    #[test]
+    fn normalized_ipc_below_one_for_issue_gating() {
+        let opts = RunOpts { max_insts: 60_000, ..RunOpts::default() };
+        let n = normalized_ipc("mcf", Policy::authen_then_issue(), &opts).expect("mcf");
+        assert!(n < 1.0, "authen-then-issue must cost something on mcf, got {n}");
+        assert!(n > 0.3, "sanity: {n}");
+    }
+}

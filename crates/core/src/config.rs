@@ -1,0 +1,121 @@
+//! Top-level secure-processor configuration: a policy plus the memory
+//! controller it drives.
+
+use crate::ctrl::CtrlConfig;
+use crate::obfuscate::ObfConfig;
+use crate::policy::Policy;
+use crate::tree::TreeConfig;
+
+/// A complete security configuration for one simulation run.
+///
+/// # Examples
+///
+/// ```
+/// use secsim_core::{Policy, SecureConfig};
+///
+/// let cfg = SecureConfig::paper(Policy::authen_then_commit());
+/// assert!(cfg.ctrl.authenticate);
+///
+/// let base = SecureConfig::paper(Policy::baseline());
+/// assert!(!base.ctrl.authenticate);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SecureConfig {
+    /// Which pipeline events wait for verification.
+    pub policy: Policy,
+    /// The memory-controller configuration.
+    pub ctrl: CtrlConfig,
+}
+
+impl SecureConfig {
+    /// The paper's reference controller under `policy`. Obfuscating
+    /// policies get the 256 KB remap cache over a default 4 MB region
+    /// starting at 0 — override with
+    /// [`SecureConfig::with_protected_region`] to match the workload
+    /// footprint.
+    pub fn paper(policy: Policy) -> Self {
+        let mut ctrl =
+            if policy.authenticate { CtrlConfig::paper_reference() } else { CtrlConfig::baseline() };
+        if policy.obfuscate {
+            ctrl.obf = Some(ObfConfig::paper_reference(0, (4 * 1024 * 1024) / 64));
+        }
+        Self { policy, ctrl }
+    }
+
+    /// The paper's hash-tree configuration (Figure 12) under `policy`.
+    pub fn paper_with_tree(policy: Policy, region_base: u32, region_bytes: u32) -> Self {
+        let mut cfg = Self::paper(policy);
+        if cfg.ctrl.authenticate {
+            cfg.ctrl.tree =
+                Some(TreeConfig::paper_reference(region_base, u64::from(region_bytes / 64)));
+        }
+        cfg
+    }
+
+    /// Points the protected region (obfuscation and/or tree) at the
+    /// actual workload footprint.
+    pub fn with_protected_region(mut self, base: u32, bytes: u32) -> Self {
+        if let Some(obf) = &mut self.ctrl.obf {
+            let cache = obf.remap_cache;
+            *obf = ObfConfig {
+                region_base: base,
+                region_lines: bytes / obf.line_bytes,
+                remap_cache: cache,
+                ..*obf
+            };
+        }
+        if let Some(tree) = &mut self.ctrl.tree {
+            tree.region_base = base;
+            tree.covered_lines = u64::from(bytes / tree.line_bytes);
+        }
+        self
+    }
+
+    /// Overrides the remap-cache capacity (the Figure 9 sweep).
+    pub fn with_remap_cache_bytes(mut self, bytes: u32) -> Self {
+        if let Some(obf) = &mut self.ctrl.obf {
+            obf.remap_cache.size_bytes = bytes;
+        }
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_wires_obfuscation() {
+        let cfg = SecureConfig::paper(Policy::commit_plus_obfuscation());
+        assert!(cfg.ctrl.obf.is_some());
+        let cfg = SecureConfig::paper(Policy::authen_then_commit());
+        assert!(cfg.ctrl.obf.is_none());
+    }
+
+    #[test]
+    fn tree_config_covers_region() {
+        let cfg = SecureConfig::paper_with_tree(Policy::authen_then_issue(), 0x10000, 1 << 20);
+        let tree = cfg.ctrl.tree.expect("tree configured");
+        assert_eq!(tree.region_base, 0x10000);
+        assert_eq!(tree.covered_lines, (1 << 20) / 64);
+        // Baseline never grows a tree.
+        let base = SecureConfig::paper_with_tree(Policy::baseline(), 0, 1 << 20);
+        assert!(base.ctrl.tree.is_none());
+    }
+
+    #[test]
+    fn protected_region_override() {
+        let cfg = SecureConfig::paper(Policy::commit_plus_obfuscation())
+            .with_protected_region(0x8000, 1 << 16);
+        let obf = cfg.ctrl.obf.expect("obf");
+        assert_eq!(obf.region_base, 0x8000);
+        assert_eq!(obf.region_lines, (1 << 16) / 64);
+    }
+
+    #[test]
+    fn remap_cache_sweep() {
+        let cfg = SecureConfig::paper(Policy::commit_plus_obfuscation())
+            .with_remap_cache_bytes(64 * 1024);
+        assert_eq!(cfg.ctrl.obf.expect("obf").remap_cache.size_bytes, 64 * 1024);
+    }
+}

@@ -1,0 +1,246 @@
+//! Functional m-ary MAC (Merkle) tree for replay protection (paper
+//! §5.2.3, after the CHTree scheme of AEGIS).
+//!
+//! Per-line MACs alone cannot stop an adversary from *replaying* a stale
+//! (line, MAC) pair captured earlier. A tree of MACs whose root stays
+//! on-chip closes that hole: any replay changes some internal node on the
+//! path to the root. This module is the functional side; the latency
+//! model lives in [`crate::TreeTiming`].
+
+use secsim_crypto::HmacSha256;
+
+/// An m-ary MAC tree over a contiguous byte region.
+///
+/// Level 0 holds one 32-byte node per `leaf_bytes` leaf block; each
+/// parent authenticates the concatenation of its children; the root is
+/// the trusted on-chip value.
+///
+/// # Examples
+///
+/// ```
+/// use secsim_core::MerkleTree;
+///
+/// let data = vec![7u8; 4 * 64];
+/// let mut tree = MerkleTree::build(&data, 64, 4, b"tree-key");
+/// assert!(tree.verify_leaf(&data[0..64], 0));
+///
+/// // Tamper: per-leaf check fails.
+/// let mut bad = data.clone();
+/// bad[3] ^= 1;
+/// assert!(!tree.verify_leaf(&bad[0..64], 0));
+///
+/// // Legitimate update re-roots the tree.
+/// tree.update_leaf(0, &bad[0..64]);
+/// assert!(tree.verify_leaf(&bad[0..64], 0));
+/// assert!(!tree.verify_leaf(&data[0..64], 0)); // old data now replays
+/// ```
+#[derive(Debug, Clone)]
+pub struct MerkleTree {
+    arity: usize,
+    leaf_bytes: usize,
+    /// `levels[0]` = leaf digests, last = `[root]`.
+    levels: Vec<Vec<[u8; 32]>>,
+    hmac: HmacSha256,
+}
+
+impl MerkleTree {
+    /// Builds a tree over `data` with `leaf_bytes`-sized leaves and the
+    /// given `arity`, keyed by `key`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arity < 2`, `leaf_bytes == 0`, or `data` is not a
+    /// non-empty multiple of `leaf_bytes`.
+    pub fn build(data: &[u8], leaf_bytes: usize, arity: usize, key: &[u8]) -> Self {
+        assert!(arity >= 2, "tree arity must be at least 2");
+        assert!(leaf_bytes > 0, "leaf size must be positive");
+        assert!(
+            !data.is_empty() && data.len() % leaf_bytes == 0,
+            "data must be a non-empty multiple of the leaf size"
+        );
+        let hmac = HmacSha256::new(key);
+        let leaves: Vec<[u8; 32]> = data
+            .chunks(leaf_bytes)
+            .enumerate()
+            .map(|(i, chunk)| Self::leaf_digest(&hmac, i, chunk))
+            .collect();
+        let mut levels = vec![leaves];
+        while levels.last().expect("non-empty").len() > 1 {
+            let below = levels.last().expect("non-empty");
+            let mut above = Vec::with_capacity(below.len().div_ceil(arity));
+            for (i, group) in below.chunks(arity).enumerate() {
+                above.push(Self::node_digest(&hmac, levels.len(), i, group));
+            }
+            levels.push(above);
+        }
+        Self { arity, leaf_bytes, levels, hmac }
+    }
+
+    fn leaf_digest(hmac: &HmacSha256, index: usize, data: &[u8]) -> [u8; 32] {
+        let mut buf = Vec::with_capacity(8 + data.len());
+        buf.extend_from_slice(&(index as u64).to_le_bytes());
+        buf.extend_from_slice(data);
+        hmac.compute(&buf)
+    }
+
+    fn node_digest(hmac: &HmacSha256, level: usize, index: usize, children: &[[u8; 32]]) -> [u8; 32] {
+        let mut buf = Vec::with_capacity(16 + children.len() * 32);
+        buf.extend_from_slice(&(level as u64).to_le_bytes());
+        buf.extend_from_slice(&(index as u64).to_le_bytes());
+        for c in children {
+            buf.extend_from_slice(c);
+        }
+        hmac.compute(&buf)
+    }
+
+    /// The trusted on-chip root.
+    pub fn root(&self) -> [u8; 32] {
+        self.levels.last().expect("non-empty")[0]
+    }
+
+    /// Number of levels above the leaves (the walk length of a
+    /// verification).
+    pub fn height(&self) -> usize {
+        self.levels.len() - 1
+    }
+
+    /// Number of leaves.
+    pub fn leaf_count(&self) -> usize {
+        self.levels[0].len()
+    }
+
+    /// Tree arity.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Verifies leaf `index` against `data` by recomputing the full path
+    /// to the root (the paranoid check: does not trust any stored
+    /// internal node).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range or `data` has the wrong length.
+    pub fn verify_leaf(&self, data: &[u8], index: usize) -> bool {
+        assert_eq!(data.len(), self.leaf_bytes, "leaf data has wrong length");
+        assert!(index < self.leaf_count(), "leaf index out of range");
+        let mut digest = Self::leaf_digest(&self.hmac, index, data);
+        let mut idx = index;
+        for level in 1..self.levels.len() {
+            let parent_idx = idx / self.arity;
+            let first_child = parent_idx * self.arity;
+            let below = &self.levels[level - 1];
+            let group_end = (first_child + self.arity).min(below.len());
+            let mut children: Vec<[u8; 32]> = below[first_child..group_end].to_vec();
+            children[idx - first_child] = digest;
+            digest = Self::node_digest(&self.hmac, level, parent_idx, &children);
+            idx = parent_idx;
+        }
+        digest == self.root()
+    }
+
+    /// Installs new contents for leaf `index` and refreshes the path to
+    /// the root (what the secure processor does on a writeback).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range or `data` has the wrong length.
+    pub fn update_leaf(&mut self, index: usize, data: &[u8]) {
+        assert_eq!(data.len(), self.leaf_bytes, "leaf data has wrong length");
+        assert!(index < self.leaf_count(), "leaf index out of range");
+        self.levels[0][index] = Self::leaf_digest(&self.hmac, index, data);
+        let mut idx = index;
+        for level in 1..self.levels.len() {
+            let parent_idx = idx / self.arity;
+            let first_child = parent_idx * self.arity;
+            let below = &self.levels[level - 1];
+            let group_end = (first_child + self.arity).min(below.len());
+            let digest =
+                Self::node_digest(&self.hmac, level, parent_idx, &below[first_child..group_end]);
+            self.levels[level][parent_idx] = digest;
+            idx = parent_idx;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn region(n_leaves: usize) -> Vec<u8> {
+        (0..n_leaves * 64).map(|i| (i % 251) as u8).collect()
+    }
+
+    #[test]
+    fn build_and_verify_all_leaves() {
+        let data = region(20);
+        let tree = MerkleTree::build(&data, 64, 8, b"k");
+        for i in 0..20 {
+            assert!(tree.verify_leaf(&data[i * 64..(i + 1) * 64], i));
+        }
+        assert_eq!(tree.leaf_count(), 20);
+        // 20 leaves, arity 8: 20 → 3 → 1, height 2.
+        assert_eq!(tree.height(), 2);
+    }
+
+    #[test]
+    fn detects_tampering() {
+        let data = region(9);
+        let tree = MerkleTree::build(&data, 64, 4, b"k");
+        let mut bad = data[0..64].to_vec();
+        bad[17] ^= 0x80;
+        assert!(!tree.verify_leaf(&bad, 0));
+    }
+
+    #[test]
+    fn detects_replay_after_update() {
+        let data = region(8);
+        let mut tree = MerkleTree::build(&data, 64, 8, b"k");
+        let old = data[2 * 64..3 * 64].to_vec();
+        let mut newer = old.clone();
+        newer[0] = newer[0].wrapping_add(1);
+        tree.update_leaf(2, &newer);
+        assert!(tree.verify_leaf(&newer, 2));
+        // The stale line (even though it once carried a valid MAC) must
+        // now fail — this is what per-line MACs alone cannot do.
+        assert!(!tree.verify_leaf(&old, 2));
+    }
+
+    #[test]
+    fn detects_cross_leaf_swap() {
+        let data = region(4);
+        let tree = MerkleTree::build(&data, 64, 2, b"k");
+        // Leaf 1's data presented as leaf 0 must fail (index is bound
+        // into the digest).
+        assert!(!tree.verify_leaf(&data[64..128], 0));
+    }
+
+    #[test]
+    fn single_leaf_tree() {
+        let data = region(1);
+        let tree = MerkleTree::build(&data, 64, 8, b"k");
+        assert_eq!(tree.height(), 0);
+        assert!(tree.verify_leaf(&data, 0));
+    }
+
+    #[test]
+    fn root_changes_with_updates() {
+        let data = region(16);
+        let mut tree = MerkleTree::build(&data, 64, 4, b"k");
+        let r0 = tree.root();
+        tree.update_leaf(5, &[0u8; 64]);
+        assert_ne!(tree.root(), r0);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_one_rejected() {
+        MerkleTree::build(&[0u8; 64], 64, 1, b"k");
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple")]
+    fn ragged_data_rejected() {
+        MerkleTree::build(&[0u8; 65], 64, 2, b"k");
+    }
+}

@@ -1,0 +1,357 @@
+//! HIDE-style fetch-address obfuscation (paper §4.3, §5.2.4).
+//!
+//! Each time a protected line is written back, its external location is
+//! re-mapped (reshuffled); fetches look the current mapping up in an
+//! on-chip *remap cache*. Remap entries themselves live encrypted in
+//! external memory, so a remap-cache miss costs a memory round trip —
+//! this is the cache-size sensitivity swept in Figure 9.
+
+use secsim_mem::{BusKind, Cache, CacheConfig, Channel};
+use secsim_stats::CounterSet;
+
+/// Synthetic address region for remap-table entries.
+const REMAP_BASE: u32 = 0xF000_0000;
+
+/// Obfuscation engine parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObfConfig {
+    /// First protected line address.
+    pub region_base: u32,
+    /// Number of protected lines.
+    pub region_lines: u32,
+    /// Protected line size in bytes.
+    pub line_bytes: u32,
+    /// On-chip remap cache (Figure 9 sweeps its size; Figure 7 uses
+    /// 256 KB).
+    pub remap_cache: CacheConfig,
+    /// Seed for the initial permutation and reshuffle choices
+    /// (deterministic simulation).
+    pub seed: u64,
+    /// Charge the displaced peer line's movement as a demand-path write
+    /// (`true`), or treat it as batched background traffic per HIDE
+    /// (`false`, the reference model).
+    pub swap_writes: bool,
+    /// Permutation chunk size in lines: lines are shuffled *within*
+    /// aligned chunks of this many lines, as in HIDE's page-granularity
+    /// permutation (64 lines = one 4 KB page). Must be a power of two.
+    pub chunk_lines: u32,
+}
+
+impl ObfConfig {
+    /// Paper reference with a 256 KB remap cache.
+    pub fn paper_reference(region_base: u32, region_lines: u32) -> Self {
+        Self::with_cache_bytes(region_base, region_lines, 256 * 1024)
+    }
+
+    /// Reference configuration with an arbitrary remap-cache capacity
+    /// (used by the Figure 9 sweep).
+    pub fn with_cache_bytes(region_base: u32, region_lines: u32, cache_bytes: u32) -> Self {
+        Self {
+            region_base,
+            region_lines,
+            line_bytes: 64,
+            remap_cache: CacheConfig { size_bytes: cache_bytes, line_bytes: 64, assoc: 8, latency: 1 },
+            seed: 0x5ec5_1a1e,
+            swap_writes: false,
+            chunk_lines: 64,
+        }
+    }
+}
+
+/// The address-obfuscation engine: a line-granularity permutation, an
+/// on-chip remap cache, and reshuffle-on-writeback.
+///
+/// # Examples
+///
+/// ```
+/// use secsim_core::{ObfConfig, Obfuscator};
+///
+/// let obf = Obfuscator::new(ObfConfig::paper_reference(0x10000, 1024));
+/// let ext = obf.map(0x10000);
+/// // The externally visible address is (almost surely) not the real one,
+/// // but still inside the region:
+/// assert!(ext >= 0x10000 && ext < 0x10000 + 1024 * 64);
+/// assert_eq!(ext % 64, 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Obfuscator {
+    cfg: ObfConfig,
+    /// `perm[i]` = external slot currently holding logical line `i`.
+    perm: Vec<u32>,
+    remap_cache: Cache,
+    rng: u64,
+    counters: CounterSet,
+}
+
+impl Obfuscator {
+    /// Creates the engine with a seeded random initial permutation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the region is empty.
+    pub fn new(cfg: ObfConfig) -> Self {
+        assert!(cfg.region_lines > 0, "obfuscation region must be non-empty");
+        assert!(cfg.chunk_lines.is_power_of_two(), "chunk size must be a power of two");
+        let mut s = Self {
+            cfg,
+            perm: (0..cfg.region_lines).collect(),
+            remap_cache: Cache::new(cfg.remap_cache),
+            rng: cfg.seed | 1,
+            counters: CounterSet::new(),
+        };
+        // Fisher–Yates within each chunk (HIDE permutes page-locally so
+        // DRAM row locality survives).
+        let chunk = cfg.chunk_lines as usize;
+        let n = cfg.region_lines as usize;
+        let mut base = 0;
+        while base < n {
+            let len = chunk.min(n - base);
+            for i in (1..len).rev() {
+                let j = (s.next_rand() % (i as u64 + 1)) as usize;
+                s.perm.swap(base + i, base + j);
+            }
+            base += len;
+        }
+        s
+    }
+
+    fn next_rand(&mut self) -> u64 {
+        self.rng = self
+            .rng
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.rng >> 11
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ObfConfig {
+        &self.cfg
+    }
+
+    fn line_index(&self, line_addr: u32) -> Option<u32> {
+        let off = line_addr.checked_sub(self.cfg.region_base)?;
+        let idx = off / self.cfg.line_bytes;
+        (idx < self.cfg.region_lines).then_some(idx)
+    }
+
+    fn entry_meta_addr(&self, idx: u32) -> u32 {
+        // 4-byte line pointers, 16 per 64-byte remap-table line.
+        REMAP_BASE + idx * 4
+    }
+
+    /// Current externally visible address for `line_addr` (functional
+    /// mapping; identity outside the region).
+    pub fn map(&self, line_addr: u32) -> u32 {
+        match self.line_index(line_addr) {
+            Some(idx) => self.cfg.region_base + self.perm[idx as usize] * self.cfg.line_bytes,
+            None => line_addr,
+        }
+    }
+
+    /// Timing lookup before a fetch: consult the remap cache; a miss
+    /// fetches the encrypted remap entry from memory. Returns the
+    /// obfuscated address and the cycle the mapping is known.
+    pub fn lookup(&mut self, line_addr: u32, now: u64, chan: &mut Channel) -> (u32, u64) {
+        let Some(idx) = self.line_index(line_addr) else {
+            return (line_addr, now);
+        };
+        let meta = self.entry_meta_addr(idx);
+        let res = self.remap_cache.access(meta, false);
+        self.flush_victim(res.victim, now, chan);
+        let ext = self.cfg.region_base + self.perm[idx as usize] * self.cfg.line_bytes;
+        if res.hit {
+            self.counters.inc("remap_hit");
+            (ext, now + self.cfg.remap_cache.latency)
+        } else {
+            self.counters.inc("remap_miss");
+            let t = chan.transfer(meta, 64, BusKind::RemapFetch, now, 0);
+            (ext, t.done)
+        }
+    }
+
+    /// Reshuffle on writeback: swap the line's external slot with a
+    /// pseudo-random peer, dirty both remap entries, and account the
+    /// displaced line's movement. Returns the *new* external address for
+    /// the written-back line and the cycle the writeback may start.
+    pub fn reshuffle(&mut self, line_addr: u32, now: u64, chan: &mut Channel) -> (u32, u64) {
+        let Some(idx) = self.line_index(line_addr) else {
+            return (line_addr, now);
+        };
+        let idx = idx as usize;
+        // Reshuffle within the line's chunk.
+        let chunk = self.cfg.chunk_lines as usize;
+        let chunk_base = idx / chunk * chunk;
+        let chunk_len = chunk.min(self.cfg.region_lines as usize - chunk_base);
+        let peer = chunk_base + (self.next_rand() % chunk_len as u64) as usize;
+        self.perm.swap(idx, peer);
+        self.counters.inc("reshuffles");
+
+        // Both remap entries are updated in the remap cache
+        // (write-allocate; dirty entries written back on eviction).
+        let mut ready = now;
+        for i in [idx, peer] {
+            let meta = self.entry_meta_addr(i as u32);
+            let res = self.remap_cache.access(meta, true);
+            self.flush_victim(res.victim, now, chan);
+            if !res.hit {
+                self.counters.inc("remap_miss");
+                let t = chan.transfer(meta, 64, BusKind::RemapFetch, now, 0);
+                ready = ready.max(t.done);
+            }
+        }
+        // The peer's data physically moves to this line's old slot: one
+        // extra external write of one line (optional; HIDE batches
+        // these with page-granularity shuffles).
+        if self.cfg.swap_writes && peer != idx {
+            let displaced = self.cfg.region_base + self.perm[peer] as u32 * self.cfg.line_bytes;
+            let t = chan.transfer(displaced, self.cfg.line_bytes, BusKind::Writeback, ready, 0);
+            ready = ready.max(t.done);
+            self.counters.inc("displaced_writes");
+        }
+        let new_ext = self.cfg.region_base + self.perm[idx] as u32 * self.cfg.line_bytes;
+        (new_ext, ready)
+    }
+
+    fn flush_victim(
+        &mut self,
+        victim: Option<secsim_mem::Victim>,
+        now: u64,
+        chan: &mut Channel,
+    ) {
+        if let Some(v) = victim {
+            if v.dirty {
+                chan.transfer(v.line_addr, 8, BusKind::RemapWrite, now, 0);
+                self.counters.inc("remap_writeback");
+            }
+        }
+    }
+
+    /// Verifies the internal table is still a permutation (debug aid /
+    /// test hook).
+    pub fn is_permutation(&self) -> bool {
+        let mut seen = vec![false; self.cfg.region_lines as usize];
+        for &p in &self.perm {
+            let Some(slot) = seen.get_mut(p as usize) else {
+                return false;
+            };
+            if *slot {
+                return false;
+            }
+            *slot = true;
+        }
+        seen.iter().all(|&b| b)
+    }
+
+    /// Engine counters (`remap_hit`, `remap_miss`, `reshuffles`, ...).
+    pub fn counters(&self) -> &CounterSet {
+        &self.counters
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use secsim_mem::DramConfig;
+
+    fn setup(lines: u32, cache_bytes: u32) -> (Obfuscator, Channel) {
+        (
+            Obfuscator::new(ObfConfig::with_cache_bytes(0x1_0000, lines, cache_bytes)),
+            Channel::new(DramConfig::paper_reference()),
+        )
+    }
+
+    #[test]
+    fn initial_mapping_is_permutation() {
+        let (obf, _) = setup(256, 4096);
+        assert!(obf.is_permutation());
+        // And it is actually shuffled (identity would defeat the point).
+        let moved = (0..256u32)
+            .filter(|&i| obf.map(0x1_0000 + i * 64) != 0x1_0000 + i * 64)
+            .count();
+        assert!(moved > 200, "only {moved} lines moved");
+    }
+
+    #[test]
+    fn permutation_is_chunk_local() {
+        let (obf, _) = setup(512, 4096);
+        let chunk_bytes = 64 * obf.config().chunk_lines;
+        for i in 0..512u32 {
+            let logical = 0x1_0000 + i * 64;
+            let external = obf.map(logical);
+            assert_eq!(
+                (logical - 0x1_0000) / chunk_bytes,
+                (external - 0x1_0000) / chunk_bytes,
+                "line {i} escaped its chunk"
+            );
+        }
+    }
+
+    #[test]
+    fn reshuffle_stays_in_chunk() {
+        let (mut obf, mut chan) = setup(512, 65536);
+        let chunk_bytes = 64 * obf.config().chunk_lines;
+        for i in 0..100u64 {
+            let logical = 0x1_0000 + ((i as u32 * 37) % 512) * 64;
+            obf.reshuffle(logical, i * 500, &mut chan);
+            let external = obf.map(logical);
+            assert_eq!((logical - 0x1_0000) / chunk_bytes, (external - 0x1_0000) / chunk_bytes);
+            assert!(obf.is_permutation());
+        }
+    }
+
+    #[test]
+    fn outside_region_identity() {
+        let (obf, _) = setup(16, 4096);
+        assert_eq!(obf.map(0xDEAD_0040), 0xDEAD_0040);
+    }
+
+    #[test]
+    fn lookup_hit_vs_miss_latency() {
+        let (mut obf, mut chan) = setup(4096, 1024); // tiny cache
+        let (_, r1) = obf.lookup(0x1_0000, 100, &mut chan);
+        assert!(r1 > 101, "cold lookup must pay a memory fetch");
+        let (_, r2) = obf.lookup(0x1_0000, r1, &mut chan);
+        assert_eq!(r2, r1 + 1, "warm lookup hits the remap cache");
+    }
+
+    #[test]
+    fn reshuffle_preserves_permutation() {
+        let (mut obf, mut chan) = setup(128, 4096);
+        for i in 0..200u32 {
+            let addr = 0x1_0000 + (i % 128) * 64;
+            obf.reshuffle(addr, u64::from(i) * 1000, &mut chan);
+            assert!(obf.is_permutation());
+        }
+        assert_eq!(obf.counters().get("reshuffles"), 200);
+    }
+
+    #[test]
+    fn reshuffle_changes_mapping_usually() {
+        let (mut obf, mut chan) = setup(1024, 65536);
+        let addr = 0x1_0000;
+        let before = obf.map(addr);
+        let mut changed = false;
+        for i in 0..8 {
+            obf.reshuffle(addr, i * 1000, &mut chan);
+            if obf.map(addr) != before {
+                changed = true;
+                break;
+            }
+        }
+        assert!(changed, "eight reshuffles never moved the line");
+    }
+
+    #[test]
+    fn bus_sees_obfuscated_not_logical_address() {
+        let (mut obf, mut chan) = setup(512, 1024);
+        chan.trace_mut().enable();
+        let logical = 0x1_0000 + 17 * 64;
+        let (ext, _) = obf.lookup(logical, 0, &mut chan);
+        assert_eq!(ext, obf.map(logical));
+        // Unless the permutation fixed this point, the external address
+        // differs from the logical one.
+        if ext != logical {
+            assert!(chan.trace().events().iter().all(|e| e.addr != logical));
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! The authentication control-point policies (paper §4.2).
+
+use std::fmt;
+
+/// How *authen-then-fetch* realizes its guarantee (paper §4.2.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum FetchGateVariant {
+    /// Associate the current *LastRequest register* value with each
+    /// issued instruction; a memory fetch it triggers stalls until that
+    /// request verifies. Cheaper than dependence tracking, still
+    /// sufficient.
+    #[default]
+    LastRequestTag,
+    /// Drain the whole authentication queue before granting any new
+    /// external fetch (`drain-authen-then-fetch`). Simplest, most
+    /// conservative.
+    Drain,
+}
+
+/// Which pipeline events wait for integrity-verification results.
+///
+/// A policy is a set of independent gates, because the paper's schemes
+/// compose (e.g. *authen-then-commit + authen-then-fetch*). Use the named
+/// constructors for the six configurations the paper evaluates.
+///
+/// # Examples
+///
+/// ```
+/// use secsim_core::Policy;
+///
+/// let p = Policy::commit_plus_fetch();
+/// assert!(p.gate_commit && p.gate_fetch && !p.gate_issue);
+/// assert_eq!(p.to_string(), "authen-then-commit+fetch");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Policy {
+    /// Whether integrity verification is performed at all (`false` only
+    /// for the decrypt-only baseline).
+    pub authenticate: bool,
+    /// Unverified instructions/operands may not issue (§4.2.1).
+    pub gate_issue: bool,
+    /// Unverified instructions may not commit (§4.2.3).
+    pub gate_commit: bool,
+    /// Stores may not write memory until their auth tag verifies
+    /// (§4.2.2).
+    pub gate_write: bool,
+    /// External fetches wait on the authentication queue (§4.2.4).
+    pub gate_fetch: bool,
+    /// Variant used when `gate_fetch` is set.
+    pub fetch_variant: FetchGateVariant,
+    /// Bus addresses are remapped through the obfuscation engine (§4.3).
+    pub obfuscate: bool,
+}
+
+impl Policy {
+    const NONE: Policy = Policy {
+        authenticate: true,
+        gate_issue: false,
+        gate_commit: false,
+        gate_write: false,
+        gate_fetch: false,
+        fetch_variant: FetchGateVariant::LastRequestTag,
+        obfuscate: false,
+    };
+
+    /// Decrypt-only baseline: no integrity verification (the
+    /// normalization baseline of Figure 7).
+    pub fn baseline() -> Self {
+        Policy { authenticate: false, ..Self::NONE }
+    }
+
+    /// *Authen-then-issue*: the conservative scheme; verification is on
+    /// the load-use critical path.
+    pub fn authen_then_issue() -> Self {
+        Policy { gate_issue: true, ..Self::NONE }
+    }
+
+    /// *Authen-then-commit*: speculatively execute unverified work, hold
+    /// it at the reorder-buffer head.
+    pub fn authen_then_commit() -> Self {
+        Policy { gate_commit: true, ..Self::NONE }
+    }
+
+    /// *Authen-then-write*: only memory writes wait; the most
+    /// optimistic scheme.
+    pub fn authen_then_write() -> Self {
+        Policy { gate_write: true, ..Self::NONE }
+    }
+
+    /// *Authen-then-fetch*: bus grants wait on the authentication queue.
+    pub fn authen_then_fetch() -> Self {
+        Policy { gate_fetch: true, ..Self::NONE }
+    }
+
+    /// The paper's recommended combination: *authen-then-commit* +
+    /// *authen-then-fetch* (§4.3, Table 2).
+    pub fn commit_plus_fetch() -> Self {
+        Policy { gate_commit: true, gate_fetch: true, ..Self::NONE }
+    }
+
+    /// *Authen-then-commit* + address obfuscation.
+    pub fn commit_plus_obfuscation() -> Self {
+        Policy { gate_commit: true, obfuscate: true, ..Self::NONE }
+    }
+
+    /// Switches the fetch-gate variant (no effect unless `gate_fetch`).
+    pub fn with_fetch_variant(mut self, v: FetchGateVariant) -> Self {
+        self.fetch_variant = v;
+        self
+    }
+
+    /// The six evaluated schemes of Figure 7, in the paper's order.
+    pub fn figure7_schemes() -> [Policy; 6] {
+        [
+            Self::authen_then_issue(),
+            Self::authen_then_write(),
+            Self::authen_then_commit(),
+            Self::authen_then_fetch(),
+            Self::commit_plus_fetch(),
+            Self::commit_plus_obfuscation(),
+        ]
+    }
+
+    /// The five schemes evaluated under hash-tree authentication in
+    /// Figure 12.
+    pub fn figure12_schemes() -> [Policy; 5] {
+        [
+            Self::authen_then_issue(),
+            Self::authen_then_write(),
+            Self::authen_then_commit(),
+            Self::authen_then_fetch(),
+            Self::commit_plus_fetch(),
+        ]
+    }
+}
+
+impl fmt::Display for Policy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if !self.authenticate {
+            return write!(f, "baseline-decrypt-only");
+        }
+        let mut gates: Vec<&str> = Vec::new();
+        if self.gate_issue {
+            gates.push("issue");
+        }
+        if self.gate_commit {
+            gates.push("commit");
+        }
+        if self.gate_write {
+            gates.push("write");
+        }
+        if self.gate_fetch {
+            gates.push("fetch");
+        }
+        if gates.is_empty() {
+            gates.push("none");
+        }
+        write!(f, "authen-then-{}", gates.join("+"))?;
+        if self.obfuscate {
+            write!(f, "+obfuscation")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_single_gates() {
+        assert!(Policy::authen_then_issue().gate_issue);
+        assert!(!Policy::authen_then_issue().gate_commit);
+        assert!(Policy::authen_then_commit().gate_commit);
+        assert!(Policy::authen_then_write().gate_write);
+        assert!(Policy::authen_then_fetch().gate_fetch);
+        assert!(!Policy::baseline().authenticate);
+    }
+
+    #[test]
+    fn combos() {
+        let cf = Policy::commit_plus_fetch();
+        assert!(cf.gate_commit && cf.gate_fetch);
+        let co = Policy::commit_plus_obfuscation();
+        assert!(co.gate_commit && co.obfuscate && !co.gate_fetch);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Policy::baseline().to_string(), "baseline-decrypt-only");
+        assert_eq!(Policy::authen_then_issue().to_string(), "authen-then-issue");
+        assert_eq!(
+            Policy::commit_plus_obfuscation().to_string(),
+            "authen-then-commit+obfuscation"
+        );
+        assert_eq!(Policy::commit_plus_fetch().to_string(), "authen-then-commit+fetch");
+    }
+
+    #[test]
+    fn figure_lists_sizes() {
+        assert_eq!(Policy::figure7_schemes().len(), 6);
+        assert_eq!(Policy::figure12_schemes().len(), 5);
+    }
+
+    #[test]
+    fn fetch_variant_switch() {
+        let p = Policy::authen_then_fetch().with_fetch_variant(FetchGateVariant::Drain);
+        assert_eq!(p.fetch_variant, FetchGateVariant::Drain);
+    }
+}

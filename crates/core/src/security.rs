@@ -1,0 +1,118 @@
+//! The paper's Table 2: security characteristics of each authentication
+//! architecture, derived from the policy's gates.
+//!
+//! `secsim-attack` cross-checks the first column *empirically* by running
+//! the pointer-conversion / binary-search / disclosing-kernel exploits
+//! under every policy and observing the bus trace.
+
+use crate::policy::Policy;
+
+/// The four Table 2 properties.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SecurityProperties {
+    /// Prevents active fetch-address side-channel disclosure (§3.2):
+    /// no unverified value can reach the bus as an address.
+    pub prevents_fetch_side_channel: bool,
+    /// Supports precise exceptions on authentication faults.
+    pub precise_exception: bool,
+    /// External memory state is always derived from authenticated code
+    /// and data.
+    pub authenticated_memory_state: bool,
+    /// Processor (architectural) state is always derived from
+    /// authenticated code and data.
+    pub authenticated_processor_state: bool,
+}
+
+/// Derives Table 2's row for a policy.
+///
+/// # Examples
+///
+/// ```
+/// use secsim_core::{properties, Policy};
+///
+/// let issue = properties(&Policy::authen_then_issue());
+/// assert!(issue.prevents_fetch_side_channel);
+///
+/// let commit = properties(&Policy::authen_then_commit());
+/// assert!(!commit.prevents_fetch_side_channel); // speculative fetches leak
+/// assert!(commit.precise_exception);
+/// ```
+pub fn properties(policy: &Policy) -> SecurityProperties {
+    if !policy.authenticate {
+        return SecurityProperties {
+            prevents_fetch_side_channel: false,
+            precise_exception: false,
+            authenticated_memory_state: false,
+            authenticated_processor_state: false,
+        };
+    }
+    // Side-channel prevention requires that no unverified value can
+    // steer a bus address: issue gating blocks unverified sources
+    // outright; fetch gating blocks the bus grant; obfuscation destroys
+    // the address's meaning.
+    let prevents = policy.gate_issue || policy.gate_fetch || policy.obfuscate;
+    // Precise authentication exceptions need verification to resolve no
+    // later than commit, per instruction.
+    let precise = policy.gate_issue || policy.gate_commit;
+    // Memory state is authenticated if writes (or anything earlier than
+    // writes) wait for verification.
+    let mem_state =
+        policy.gate_issue || policy.gate_commit || policy.gate_write;
+    // Processor state additionally requires commit (or issue) gating —
+    // write gating lets unverified results retire into registers.
+    let proc_state = policy.gate_issue || policy.gate_commit;
+    SecurityProperties {
+        prevents_fetch_side_channel: prevents,
+        precise_exception: precise,
+        authenticated_memory_state: mem_state,
+        authenticated_processor_state: proc_state,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reproduces Table 2 row by row.
+    #[test]
+    fn table2_rows() {
+        let rows = [
+            (Policy::authen_then_issue(), [true, true, true, true]),
+            (Policy::authen_then_write(), [false, false, true, false]),
+            (Policy::authen_then_commit(), [false, true, true, true]),
+            (Policy::commit_plus_fetch(), [true, true, true, true]),
+            (Policy::commit_plus_obfuscation(), [true, true, true, true]),
+        ];
+        for (policy, expect) in rows {
+            let p = properties(&policy);
+            assert_eq!(
+                [
+                    p.prevents_fetch_side_channel,
+                    p.precise_exception,
+                    p.authenticated_memory_state,
+                    p.authenticated_processor_state,
+                ],
+                expect,
+                "Table 2 mismatch for {policy}"
+            );
+        }
+    }
+
+    #[test]
+    fn baseline_has_nothing() {
+        let p = properties(&Policy::baseline());
+        assert!(!p.prevents_fetch_side_channel);
+        assert!(!p.precise_exception);
+        assert!(!p.authenticated_memory_state);
+        assert!(!p.authenticated_processor_state);
+    }
+
+    #[test]
+    fn fetch_alone_prevents_leak_but_not_state() {
+        let p = properties(&Policy::authen_then_fetch());
+        assert!(p.prevents_fetch_side_channel);
+        assert!(!p.precise_exception);
+        assert!(!p.authenticated_memory_state);
+        assert!(!p.authenticated_processor_state);
+    }
+}

@@ -1,0 +1,337 @@
+//! CHTree-style hash-tree *latency* model (paper §5.2.3, Figure 12).
+//!
+//! On every external line fill the secure processor must verify the
+//! MAC-tree path from the line's leaf up to the first *trusted* node —
+//! trusted meaning present in the dedicated on-chip tree-node cache
+//! (8 KB in the paper). Uncached nodes cost extra memory fetches;
+//! internal-node verification is performed concurrently where possible.
+
+use secsim_mem::{BusKind, Cache, CacheConfig, Channel};
+use secsim_stats::CounterSet;
+
+/// Synthetic address region where tree nodes live (so node fetches are
+/// distinguishable in the bus trace and contend for DRAM banks).
+const TREE_BASE: u32 = 0xE000_0000;
+
+/// Hash-tree geometry and timing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TreeConfig {
+    /// Children per internal node (line size / MAC size = 64/8 = 8).
+    pub arity: u64,
+    /// First protected line address (leaves cover
+    /// `region_base .. region_base + covered_lines * line_bytes`).
+    pub region_base: u32,
+    /// Number of protected lines (leaves).
+    pub covered_lines: u64,
+    /// Protected line size in bytes.
+    pub line_bytes: u32,
+    /// Dedicated on-chip node cache (paper: 8 KB).
+    pub node_cache: CacheConfig,
+    /// Hash latency per level, cycles.
+    pub hash_latency: u64,
+    /// Verify fetched levels concurrently (paper's implementation) or
+    /// serially.
+    pub concurrent: bool,
+    /// Build the tree over the *write counters* instead of the data
+    /// lines (the Bonsai-Merkle-tree organization that succeeded
+    /// CHTree): per-line MACs bind counters, and only the counters —
+    /// 8 bytes per line, 8 lines' worth per 64-byte leaf — need tree
+    /// protection. The tree is 8× fewer leaves and commensurately
+    /// shallower, with far better node-cache locality.
+    pub counter_tree: bool,
+}
+
+impl TreeConfig {
+    /// Paper reference: 8-ary tree, 8 KB node cache, 74-cycle SHA-256.
+    pub fn paper_reference(region_base: u32, covered_lines: u64) -> Self {
+        Self {
+            arity: 8,
+            region_base,
+            covered_lines,
+            line_bytes: 64,
+            node_cache: CacheConfig { size_bytes: 8 * 1024, line_bytes: 64, assoc: 8, latency: 1 },
+            hash_latency: 74,
+            concurrent: true,
+            counter_tree: false,
+        }
+    }
+
+    /// The Bonsai-style counter-tree variant of the reference
+    /// configuration.
+    pub fn counter_tree(region_base: u32, covered_lines: u64) -> Self {
+        Self { counter_tree: true, ..Self::paper_reference(region_base, covered_lines) }
+    }
+
+    /// Number of tree leaves: one per line (CHTree) or one per 8 lines
+    /// of counters (counter tree).
+    pub fn leaves(&self) -> u64 {
+        if self.counter_tree {
+            self.covered_lines.div_ceil(8).max(1)
+        } else {
+            self.covered_lines.max(1)
+        }
+    }
+
+    /// Number of levels above the leaves.
+    pub fn height(&self) -> u32 {
+        let mut nodes = self.leaves();
+        let mut h = 0;
+        while nodes > 1 {
+            nodes = nodes.div_ceil(self.arity);
+            h += 1;
+        }
+        h
+    }
+}
+
+/// Result of one verification walk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TreeWalk {
+    /// Cycle all required (uncached) nodes have arrived.
+    pub nodes_ready: u64,
+    /// Extra verification latency beyond the leaf MAC itself.
+    pub extra_hash_latency: u64,
+    /// How many levels had to be fetched from memory.
+    pub fetched_levels: u32,
+}
+
+/// The tree-walk timing engine with its dedicated node cache.
+///
+/// # Examples
+///
+/// ```
+/// use secsim_core::{TreeConfig, TreeTiming};
+/// use secsim_mem::{Channel, DramConfig};
+///
+/// let cfg = TreeConfig::paper_reference(0, 1 << 16); // 4 MB protected
+/// let mut tree = TreeTiming::new(cfg);
+/// let mut chan = Channel::new(DramConfig::paper_reference());
+/// let cold = tree.walk(0, 100, &mut chan);
+/// assert!(cold.fetched_levels > 0);
+/// let warm = tree.walk(64, 10_000, &mut chan); // neighbours share the path
+/// assert_eq!(warm.fetched_levels, 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TreeTiming {
+    cfg: TreeConfig,
+    height: u32,
+    node_cache: Cache,
+    counters: CounterSet,
+}
+
+impl TreeTiming {
+    /// Creates the timing engine with a cold node cache.
+    pub fn new(cfg: TreeConfig) -> Self {
+        let height = cfg.height();
+        Self { cfg, height, node_cache: Cache::new(cfg.node_cache), counters: CounterSet::new() }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &TreeConfig {
+        &self.cfg
+    }
+
+    /// Tree height (levels above leaves).
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Leaf index for a protected line address, or `None` outside the
+    /// region.
+    pub fn leaf_index(&self, line_addr: u32) -> Option<u64> {
+        let off = u64::from(line_addr.checked_sub(self.cfg.region_base)?);
+        let mut idx = off / u64::from(self.cfg.line_bytes);
+        if idx >= self.cfg.covered_lines {
+            return None;
+        }
+        if self.cfg.counter_tree {
+            idx /= 8;
+        }
+        Some(idx)
+    }
+
+    fn node_meta_addr(&self, level: u32, index: u64) -> u32 {
+        // 8-byte MACs per node, packed 8-per-64B-line within a per-level
+        // stripe.
+        TREE_BASE + (level << 24) + ((index as u32) & 0x001F_FFFF) * 8
+    }
+
+    /// Walks the path for `line_addr`'s fill that completed at
+    /// `line_done`, fetching uncached nodes through `chan`.
+    ///
+    /// Addresses outside the protected region return a no-op walk.
+    pub fn walk(&mut self, line_addr: u32, line_done: u64, chan: &mut Channel) -> TreeWalk {
+        let Some(mut idx) = self.leaf_index(line_addr) else {
+            return TreeWalk { nodes_ready: line_done, extra_hash_latency: 0, fetched_levels: 0 };
+        };
+        let mut nodes_ready = line_done;
+        let mut fetched = 0u32;
+        let mut walked_levels = 0u32;
+        for level in 1..=self.height {
+            idx /= self.cfg.arity;
+            walked_levels += 1;
+            if level == self.height {
+                // Root lives on-chip: always trusted.
+                break;
+            }
+            let meta = self.node_meta_addr(level, idx);
+            let res = self.node_cache.access(meta, false);
+            if res.hit {
+                // Found a trusted (cached, previously verified) node —
+                // the walk stops here.
+                self.counters.inc("node_hit");
+                break;
+            }
+            self.counters.inc("node_miss");
+            fetched += 1;
+            let t = chan.transfer(meta, 64, BusKind::TreeFetch, line_done, 0);
+            nodes_ready = nodes_ready.max(t.done);
+        }
+        let extra = if self.cfg.concurrent {
+            // All levels verify in parallel once their inputs are home;
+            // one extra hash stage covers the internal nodes.
+            if walked_levels > 1 {
+                self.cfg.hash_latency
+            } else {
+                0
+            }
+        } else {
+            u64::from(walked_levels.saturating_sub(1)) * self.cfg.hash_latency
+        };
+        self.counters.add("levels_walked", u64::from(walked_levels));
+        TreeWalk { nodes_ready, extra_hash_latency: extra, fetched_levels: fetched }
+    }
+
+    /// Marks the path dirty on a writeback (node-cache writes; evicted
+    /// dirty node lines become tree writebacks).
+    pub fn update_path(&mut self, line_addr: u32, now: u64, chan: &mut Channel) {
+        let Some(mut idx) = self.leaf_index(line_addr) else {
+            return;
+        };
+        for level in 1..self.height.max(1) {
+            idx /= self.cfg.arity;
+            let meta = self.node_meta_addr(level, idx);
+            let res = self.node_cache.access(meta, true);
+            if let Some(v) = res.victim {
+                if v.dirty {
+                    chan.transfer(v.line_addr, 64, BusKind::TreeFetch, now, 0);
+                    self.counters.inc("node_writeback");
+                }
+            }
+            if res.hit {
+                break;
+            }
+        }
+    }
+
+    /// Node-cache hit/miss counters.
+    pub fn counters(&self) -> &CounterSet {
+        &self.counters
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use secsim_mem::DramConfig;
+
+    fn setup(lines: u64) -> (TreeTiming, Channel) {
+        (
+            TreeTiming::new(TreeConfig::paper_reference(0x1000, lines)),
+            Channel::new(DramConfig::paper_reference()),
+        )
+    }
+
+    #[test]
+    fn height_math() {
+        assert_eq!(TreeConfig::paper_reference(0, 1).height(), 0);
+        assert_eq!(TreeConfig::paper_reference(0, 8).height(), 1);
+        assert_eq!(TreeConfig::paper_reference(0, 9).height(), 2);
+        assert_eq!(TreeConfig::paper_reference(0, 64).height(), 2);
+        assert_eq!(TreeConfig::paper_reference(0, 1 << 16).height(), 6);
+    }
+
+    #[test]
+    fn leaf_index_bounds() {
+        let (t, _) = setup(16);
+        assert_eq!(t.leaf_index(0x1000), Some(0));
+        assert_eq!(t.leaf_index(0x1040), Some(1));
+        assert_eq!(t.leaf_index(0x0FFF), None);
+        assert_eq!(t.leaf_index(0x1000 + 16 * 64), None);
+    }
+
+    #[test]
+    fn cold_walk_fetches_then_warm_walk_hits() {
+        let (mut t, mut chan) = setup(1 << 12); // height 4
+        let cold = t.walk(0x1000, 500, &mut chan);
+        assert!(cold.fetched_levels >= 1);
+        assert!(cold.nodes_ready > 500);
+        let warm = t.walk(0x1000, 10_000, &mut chan);
+        assert_eq!(warm.fetched_levels, 0);
+        assert_eq!(warm.nodes_ready, 10_000);
+    }
+
+    #[test]
+    fn outside_region_is_noop() {
+        let (mut t, mut chan) = setup(8);
+        let w = t.walk(0xDEAD_0000, 42, &mut chan);
+        assert_eq!(w, TreeWalk { nodes_ready: 42, extra_hash_latency: 0, fetched_levels: 0 });
+    }
+
+    #[test]
+    fn concurrent_vs_serial_hash_latency() {
+        let mut cfg = TreeConfig::paper_reference(0, 1 << 12);
+        cfg.concurrent = false;
+        let mut serial = TreeTiming::new(cfg);
+        let mut chan = Channel::new(DramConfig::paper_reference());
+        let w = serial.walk(0, 100, &mut chan);
+        assert!(w.extra_hash_latency >= 2 * cfg.hash_latency);
+
+        let (mut conc, mut chan2) = setup(1 << 12);
+        let w2 = conc.walk(0x1000, 100, &mut chan2);
+        assert_eq!(w2.extra_hash_latency, 74);
+    }
+
+    #[test]
+    fn single_level_tree_is_free() {
+        let (mut t, mut chan) = setup(8); // height 1: root only above leaves
+        let w = t.walk(0x1000, 100, &mut chan);
+        assert_eq!(w.fetched_levels, 0);
+        assert_eq!(w.extra_hash_latency, 0);
+    }
+
+    #[test]
+    fn counter_tree_is_shallower_and_cheaper() {
+        let lines = 1u64 << 16; // 4 MB protected
+        let ch = TreeConfig::paper_reference(0, lines);
+        let bmt = TreeConfig::counter_tree(0, lines);
+        assert!(bmt.height() < ch.height(), "{} vs {}", bmt.height(), ch.height());
+        assert_eq!(bmt.leaves(), lines / 8);
+
+        // Cold walks fetch fewer levels, and neighbouring lines share a
+        // counter leaf so the node cache hits far more often.
+        let mut t_ch = TreeTiming::new(ch);
+        let mut t_bmt = TreeTiming::new(bmt);
+        let mut c1 = Channel::new(DramConfig::paper_reference());
+        let mut c2 = Channel::new(DramConfig::paper_reference());
+        let mut fetched_ch = 0;
+        let mut fetched_bmt = 0;
+        for i in 0..64u32 {
+            fetched_ch += t_ch.walk(i * 64, 1000 * u64::from(i), &mut c1).fetched_levels;
+            fetched_bmt += t_bmt.walk(i * 64, 1000 * u64::from(i), &mut c2).fetched_levels;
+        }
+        assert!(
+            fetched_bmt < fetched_ch,
+            "counter tree fetched {fetched_bmt} node levels vs CHTree {fetched_ch}"
+        );
+    }
+
+    #[test]
+    fn update_path_touches_cache() {
+        let (mut t, mut chan) = setup(1 << 12);
+        t.update_path(0x1000, 100, &mut chan);
+        // Subsequent walk hits the now-cached level-1 node.
+        let w = t.walk(0x1000, 200, &mut chan);
+        assert_eq!(w.fetched_levels, 0);
+    }
+}

@@ -1,0 +1,179 @@
+//! Property-based tests for the authentication architecture: queue
+//! ordering invariants, obfuscator permutation safety, Merkle tree
+//! soundness, encrypted-memory semantics.
+
+use proptest::prelude::*;
+use secsim_core::{
+    AuthQueue, AuthQueueConfig, EncryptedMemory, MerkleTree, ObfConfig, Obfuscator,
+};
+use secsim_isa::MemIo;
+use secsim_mem::{Channel, DramConfig};
+
+proptest! {
+    /// Completion times are monotone in request id for any arrival
+    /// pattern and queue shape — the property the LastRequest watermark
+    /// broadcasting relies on.
+    #[test]
+    fn queue_done_times_monotone(
+        arrivals in prop::collection::vec((0u64..100_000, 0u64..500), 1..200),
+        capacity in 1usize..32,
+        mac in 1u64..200,
+        ii in 0u64..100,
+    ) {
+        let mut q = AuthQueue::new(AuthQueueConfig {
+            capacity,
+            mac_latency: mac,
+            initiation_interval: ii,
+        });
+        let mut last = 0;
+        for (ready, extra) in arrivals {
+            let id = q.request(ready, extra);
+            let done = q.done_time(id);
+            prop_assert!(done >= last);
+            prop_assert!(done >= ready + mac, "verification cannot finish before data+MAC");
+            last = done;
+        }
+        prop_assert_eq!(q.drain_time(), last);
+    }
+
+    /// The fetch-gate watermark is monotone in the sample time and never
+    /// exceeds the drain time.
+    #[test]
+    fn queue_watermark_monotone(
+        arrivals in prop::collection::vec(0u64..50_000, 1..100),
+        probes in prop::collection::vec(0u64..60_000, 1..50),
+    ) {
+        let mut q = AuthQueue::new(AuthQueueConfig::default());
+        for a in arrivals {
+            q.request(a, 0);
+        }
+        let mut sorted = probes;
+        sorted.sort_unstable();
+        let mut last = 0;
+        for t in sorted {
+            let w = q.watermark_before(t);
+            prop_assert!(w >= last);
+            prop_assert!(w <= q.drain_time());
+            last = w;
+        }
+    }
+
+    /// The obfuscator's mapping stays a permutation — and stays inside
+    /// each line's chunk — under arbitrary reshuffle/lookup interleaving.
+    #[test]
+    fn obfuscator_stays_chunk_local_permutation(
+        lines in 1u32..600,
+        ops in prop::collection::vec((any::<bool>(), any::<u32>(), 0u64..10_000), 1..150),
+    ) {
+        let cfg = ObfConfig::with_cache_bytes(0x1_0000, lines, 4096);
+        let mut obf = Obfuscator::new(cfg);
+        let mut chan = Channel::new(DramConfig::paper_reference());
+        let chunk_bytes = cfg.line_bytes * cfg.chunk_lines;
+        for (shuffle, raw, t) in ops {
+            let addr = 0x1_0000 + (raw % lines) * cfg.line_bytes;
+            if shuffle {
+                obf.reshuffle(addr, t, &mut chan);
+            } else {
+                let (ext, ready) = obf.lookup(addr, t, &mut chan);
+                prop_assert!(ready >= t);
+                prop_assert_eq!(ext, obf.map(addr));
+            }
+            prop_assert!(obf.is_permutation());
+            let ext = obf.map(addr);
+            prop_assert_eq!(
+                (addr - 0x1_0000) / chunk_bytes,
+                (ext - 0x1_0000) / chunk_bytes,
+                "line escaped its chunk"
+            );
+        }
+    }
+
+    /// The Merkle tree flags any single-bit corruption of any leaf, for
+    /// arbitrary tree shapes.
+    #[test]
+    fn merkle_detects_any_corruption(
+        n_leaves in 1usize..40,
+        leaf_sel in any::<prop::sample::Index>(),
+        byte_sel in any::<prop::sample::Index>(),
+        bit in 0u8..8,
+        arity in 2usize..9,
+    ) {
+        let data: Vec<u8> = (0..n_leaves * 64).map(|i| (i * 31 % 251) as u8).collect();
+        let tree = MerkleTree::build(&data, 64, arity, b"pt-key");
+        let leaf = leaf_sel.index(n_leaves);
+        let mut chunk = data[leaf * 64..(leaf + 1) * 64].to_vec();
+        prop_assert!(tree.verify_leaf(&chunk, leaf));
+        chunk[byte_sel.index(64)] ^= 1 << bit;
+        prop_assert!(!tree.verify_leaf(&chunk, leaf));
+    }
+
+    /// Updating one leaf never breaks verification of the others.
+    #[test]
+    fn merkle_update_preserves_siblings(
+        n_leaves in 2usize..24,
+        upd_sel in any::<prop::sample::Index>(),
+        fill in any::<u8>(),
+    ) {
+        let data: Vec<u8> = (0..n_leaves * 64).map(|i| i as u8).collect();
+        let mut tree = MerkleTree::build(&data, 64, 4, b"k");
+        let upd = upd_sel.index(n_leaves);
+        let new_leaf = [fill; 64];
+        tree.update_leaf(upd, &new_leaf);
+        for i in 0..n_leaves {
+            if i == upd {
+                prop_assert!(tree.verify_leaf(&new_leaf, i));
+            } else {
+                prop_assert!(tree.verify_leaf(&data[i * 64..(i + 1) * 64], i));
+            }
+        }
+    }
+
+    /// EncryptedMemory: reads return what was written, lines stay valid
+    /// under legitimate writes, and any non-trivial ciphertext tamper is
+    /// caught by the MAC.
+    #[test]
+    fn encmem_write_read_and_tamper(
+        writes in prop::collection::vec((0u32..960, any::<u32>()), 1..40),
+        tamper_off in 0u32..1020,
+        mask in any::<[u8; 4]>(),
+    ) {
+        let mut m = EncryptedMemory::from_plain(0x4000, &[0u8; 1024], &[3; 16], b"pk");
+        let mut shadow = std::collections::HashMap::new();
+        for (off, v) in writes {
+            let addr = 0x4000 + (off & !3);
+            m.write_u32(addr, v);
+            shadow.insert(addr, v);
+        }
+        for (addr, v) in &shadow {
+            prop_assert_eq!(m.read_u32(*addr), *v);
+            prop_assert!(m.line_valid(*addr));
+        }
+        prop_assert!(m.invalid_lines().is_empty());
+
+        let before = m.read_u32(0x4000 + (tamper_off & !3));
+        m.tamper_xor(0x4000 + tamper_off, &mask);
+        if mask != [0; 4] {
+            // Some line covering the tamper must now fail.
+            prop_assert!(!m.invalid_lines().is_empty());
+        }
+        // CTR malleability: a word-aligned tamper flips exactly those bits.
+        if tamper_off % 4 == 0 {
+            let expect = before ^ u32::from_le_bytes(mask);
+            prop_assert_eq!(m.read_u32(0x4000 + tamper_off), expect);
+        }
+    }
+
+    /// Capture/replay of a line with a stale counter is always caught.
+    #[test]
+    fn encmem_stale_replay_detected(v1 in any::<u32>(), v2 in any::<u32>()) {
+        prop_assume!(v1 != v2);
+        let mut m = EncryptedMemory::from_plain(0, &[0u8; 256], &[1; 16], b"rk");
+        m.write_u32(64, v1);
+        let (ct, mac, ctr) = m.capture_line(64);
+        m.write_u32(64, v2); // bumps the counter
+        // Replaying the old ciphertext+MAC against the *current* counter
+        // fails (the processor's counter is fresher).
+        m.replay_line(64, &ct, mac, ctr + 1);
+        prop_assert!(!m.line_valid(64));
+    }
+}

@@ -1,0 +1,231 @@
+//! Branch prediction: bimodal 2-bit counters, a branch target buffer and
+//! a return-address stack.
+
+use secsim_isa::{Inst, Reg};
+use secsim_stats::CounterSet;
+
+/// Predictor sizing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BPredConfig {
+    /// Bimodal 2-bit counter table entries (power of two).
+    pub bimodal_entries: u32,
+    /// BTB entries (power of two, direct mapped).
+    pub btb_entries: u32,
+    /// Return-address stack depth.
+    pub ras_depth: u32,
+}
+
+impl Default for BPredConfig {
+    fn default() -> Self {
+        Self { bimodal_entries: 2048, btb_entries: 512, ras_depth: 8 }
+    }
+}
+
+/// A combined bimodal + BTB + RAS predictor.
+///
+/// # Examples
+///
+/// ```
+/// use secsim_cpu::{BPredConfig, BranchPredictor};
+/// use secsim_isa::{Inst, Reg};
+///
+/// let mut bp = BranchPredictor::new(BPredConfig::default());
+/// let br = Inst::Bne { rs1: Reg::R1, rs2: Reg::R0, off: -2 };
+/// // Train it taken a few times; it learns.
+/// for _ in 0..4 {
+///     let _ = bp.predict(0x1000, &br);
+///     bp.update(0x1000, &br, true, 0x0FF8);
+/// }
+/// let (taken, target) = bp.predict(0x1000, &br);
+/// assert!(taken);
+/// assert_eq!(target, Some(0x0FF8));
+/// ```
+#[derive(Debug, Clone)]
+pub struct BranchPredictor {
+    cfg: BPredConfig,
+    bimodal: Vec<u8>,
+    btb: Vec<(u32, u32)>, // (tag pc, target)
+    ras: Vec<u32>,
+    counters: CounterSet,
+}
+
+impl BranchPredictor {
+    /// Creates a predictor with weakly-taken counters and an empty BTB.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless table sizes are powers of two.
+    pub fn new(cfg: BPredConfig) -> Self {
+        assert!(cfg.bimodal_entries.is_power_of_two());
+        assert!(cfg.btb_entries.is_power_of_two());
+        Self {
+            cfg,
+            bimodal: vec![2; cfg.bimodal_entries as usize],
+            btb: vec![(u32::MAX, 0); cfg.btb_entries as usize],
+            ras: Vec::new(),
+            counters: CounterSet::new(),
+        }
+    }
+
+    fn bim_idx(&self, pc: u32) -> usize {
+        ((pc >> 2) & (self.cfg.bimodal_entries - 1)) as usize
+    }
+
+    fn btb_idx(&self, pc: u32) -> usize {
+        ((pc >> 2) & (self.cfg.btb_entries - 1)) as usize
+    }
+
+    /// Predicts `(taken, target)` for the control instruction at `pc`.
+    /// `target = None` means "no target known" (BTB miss) — a taken
+    /// prediction without a target still redirects late.
+    pub fn predict(&mut self, pc: u32, inst: &Inst) -> (bool, Option<u32>) {
+        match inst {
+            // Direct jumps/calls: target known at decode.
+            Inst::J { off } | Inst::Jal { off } => {
+                (true, Some(pc.wrapping_add(4).wrapping_add((off << 2) as u32)))
+            }
+            // Return: pop the RAS.
+            Inst::Jalr { rd: Reg::R0, rs1: Reg::R31 } => (true, self.ras.pop()),
+            // Other indirect jumps: BTB.
+            Inst::Jalr { .. } => {
+                let (tag, tgt) = self.btb[self.btb_idx(pc)];
+                (true, (tag == pc).then_some(tgt))
+            }
+            // Conditional branches: bimodal direction + BTB target.
+            _ => {
+                let taken = self.bimodal[self.bim_idx(pc)] >= 2;
+                let (tag, tgt) = self.btb[self.btb_idx(pc)];
+                (taken, (tag == pc).then_some(tgt))
+            }
+        }
+    }
+
+    /// Trains the predictor with the resolved outcome. Calls push the
+    /// RAS; conditional branches update the bimodal table; taken
+    /// transfers install BTB entries.
+    pub fn update(&mut self, pc: u32, inst: &Inst, taken: bool, target: u32) {
+        match inst {
+            Inst::Jal { .. } => {
+                self.push_ras(pc.wrapping_add(4));
+            }
+            Inst::Jalr { rd, .. } if *rd != Reg::R0 => {
+                self.push_ras(pc.wrapping_add(4));
+            }
+            _ => {}
+        }
+        if inst.class() == secsim_isa::OpClass::Branch {
+            let idx = self.bim_idx(pc);
+            let c = &mut self.bimodal[idx];
+            if taken {
+                *c = (*c + 1).min(3);
+            } else {
+                *c = c.saturating_sub(1);
+            }
+        }
+        if taken {
+            let i = self.btb_idx(pc);
+            self.btb[i] = (pc, target);
+        }
+    }
+
+    fn push_ras(&mut self, ret: u32) {
+        if self.ras.len() as u32 >= self.cfg.ras_depth {
+            self.ras.remove(0);
+        }
+        self.ras.push(ret);
+    }
+
+    /// Records outcome statistics (`pred.hit` / `pred.miss`).
+    pub fn record_outcome(&mut self, correct: bool) {
+        self.counters.inc(if correct { "pred.hit" } else { "pred.miss" });
+    }
+
+    /// Prediction counters.
+    pub fn counters(&self) -> &CounterSet {
+        &self.counters
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bp() -> BranchPredictor {
+        BranchPredictor::new(BPredConfig::default())
+    }
+
+    fn branch() -> Inst {
+        Inst::Beq { rs1: Reg::R1, rs2: Reg::R2, off: 10 }
+    }
+
+    #[test]
+    fn bimodal_learns_not_taken() {
+        let mut p = bp();
+        for _ in 0..3 {
+            p.update(0x100, &branch(), false, 0x200);
+        }
+        let (taken, _) = p.predict(0x100, &branch());
+        assert!(!taken);
+    }
+
+    #[test]
+    fn bimodal_hysteresis() {
+        let mut p = bp();
+        // starts weakly taken (2); one not-taken flips to 1 → predict NT
+        p.update(0x100, &branch(), false, 0);
+        assert!(!p.predict(0x100, &branch()).0);
+        // one taken goes back to 2 → predict T
+        p.update(0x100, &branch(), true, 0x200);
+        assert!(p.predict(0x100, &branch()).0);
+    }
+
+    #[test]
+    fn btb_provides_target_after_taken() {
+        let mut p = bp();
+        assert_eq!(p.predict(0x100, &branch()).1, None);
+        p.update(0x100, &branch(), true, 0x300);
+        assert_eq!(p.predict(0x100, &branch()).1, Some(0x300));
+    }
+
+    #[test]
+    fn direct_jump_always_known() {
+        let mut p = bp();
+        let j = Inst::J { off: 4 };
+        let (taken, tgt) = p.predict(0x100, &j);
+        assert!(taken);
+        assert_eq!(tgt, Some(0x100 + 4 + 16));
+    }
+
+    #[test]
+    fn ras_pairs_calls_and_returns() {
+        let mut p = bp();
+        let call = Inst::Jal { off: 100 };
+        p.update(0x1000, &call, true, 0x1194);
+        let ret = Inst::Jalr { rd: Reg::R0, rs1: Reg::R31 };
+        let (taken, tgt) = p.predict(0x1194, &ret);
+        assert!(taken);
+        assert_eq!(tgt, Some(0x1004));
+    }
+
+    #[test]
+    fn ras_depth_bounded() {
+        let mut p = BranchPredictor::new(BPredConfig { ras_depth: 2, ..Default::default() });
+        let call = Inst::Jal { off: 1 };
+        for pc in [0x100u32, 0x200, 0x300] {
+            p.update(pc, &call, true, 0);
+        }
+        let ret = Inst::Jalr { rd: Reg::R0, rs1: Reg::R31 };
+        assert_eq!(p.predict(0, &ret).1, Some(0x304));
+        assert_eq!(p.predict(0, &ret).1, Some(0x204));
+        assert_eq!(p.predict(0, &ret).1, None); // 0x104 fell off
+    }
+
+    #[test]
+    fn indirect_jump_uses_btb() {
+        let mut p = bp();
+        let jr = Inst::Jalr { rd: Reg::R1, rs1: Reg::R2 };
+        assert_eq!(p.predict(0x500, &jr).1, None);
+        p.update(0x500, &jr, true, 0x2000);
+        assert_eq!(p.predict(0x500, &jr).1, Some(0x2000));
+    }
+}

@@ -1,0 +1,138 @@
+//! Processor and simulation configuration (paper Table 3).
+
+use crate::bpred::BPredConfig;
+use secsim_core::{Policy, SecureConfig};
+use secsim_mem::MemSystemConfig;
+
+/// Core pipeline parameters.
+///
+/// Defaults follow the paper's Table 3: 8-wide fetch/decode/issue/commit,
+/// 128-entry RUU, 64-entry LSQ (the paper's RUU-size study halves the
+/// RUU to 64).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CpuConfig {
+    /// Instructions fetched per cycle.
+    pub fetch_width: u32,
+    /// Instructions dispatched (decode/rename) per cycle.
+    pub decode_width: u32,
+    /// Instructions issued per cycle.
+    pub issue_width: u32,
+    /// Instructions committed per cycle.
+    pub commit_width: u32,
+    /// Register Update Unit (unified ROB/RS) entries.
+    pub ruu_size: u32,
+    /// Load/store queue entries.
+    pub lsq_size: u32,
+    /// Store buffer entries (post-commit, pre-write; back-pressures
+    /// commit under *authen-then-write*).
+    pub store_buffer: u32,
+    /// Front-end depth in cycles between fetch and dispatch.
+    pub frontend_depth: u64,
+    /// Extra cycles to redirect fetch after a mispredicted branch
+    /// resolves.
+    pub mispredict_redirect: u64,
+    /// Integer ALUs.
+    pub int_alu: u32,
+    /// Integer multiply/divide units.
+    pub int_mul: u32,
+    /// FP adders.
+    pub fp_alu: u32,
+    /// FP multiply/divide units.
+    pub fp_mul: u32,
+    /// Cache ports (loads + stores per cycle).
+    pub mem_ports: u32,
+    /// Branch predictor.
+    pub bpred: BPredConfig,
+}
+
+impl CpuConfig {
+    /// Paper Table 3 (128-entry RUU).
+    pub fn paper_reference() -> Self {
+        Self {
+            fetch_width: 8,
+            decode_width: 8,
+            issue_width: 8,
+            commit_width: 8,
+            ruu_size: 128,
+            lsq_size: 64,
+            store_buffer: 16,
+            frontend_depth: 3,
+            mispredict_redirect: 3,
+            int_alu: 4,
+            int_mul: 1,
+            fp_alu: 2,
+            fp_mul: 1,
+            mem_ports: 2,
+            bpred: BPredConfig::default(),
+        }
+    }
+
+    /// The RUU-sensitivity point: 64-entry RUU (Figures 10–11).
+    pub fn paper_ruu64() -> Self {
+        Self { ruu_size: 64, ..Self::paper_reference() }
+    }
+}
+
+impl Default for CpuConfig {
+    fn default() -> Self {
+        Self::paper_reference()
+    }
+}
+
+/// Everything one simulation run needs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimConfig {
+    /// Pipeline parameters.
+    pub cpu: CpuConfig,
+    /// Memory hierarchy parameters.
+    pub mem: MemSystemConfig,
+    /// Security policy + memory-controller configuration.
+    pub secure: SecureConfig,
+    /// Stop after this many retired instructions (0 = until halt).
+    pub max_insts: u64,
+}
+
+impl SimConfig {
+    /// Paper reference with the 256 KB L2 under `policy`.
+    pub fn paper_256k(policy: Policy) -> Self {
+        Self {
+            cpu: CpuConfig::paper_reference(),
+            mem: MemSystemConfig::paper_256k(),
+            secure: SecureConfig::paper(policy),
+            max_insts: 0,
+        }
+    }
+
+    /// Paper reference with the 1 MB L2 under `policy`.
+    pub fn paper_1m(policy: Policy) -> Self {
+        Self { mem: MemSystemConfig::paper_1m(), ..Self::paper_256k(policy) }
+    }
+
+    /// Caps the run length.
+    pub fn with_max_insts(mut self, n: u64) -> Self {
+        self.max_insts = n;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults() {
+        let c = CpuConfig::paper_reference();
+        assert_eq!(c.fetch_width, 8);
+        assert_eq!(c.ruu_size, 128);
+        assert_eq!(CpuConfig::paper_ruu64().ruu_size, 64);
+        assert_eq!(CpuConfig::default(), c);
+    }
+
+    #[test]
+    fn sim_config_l2_variants() {
+        let a = SimConfig::paper_256k(Policy::baseline());
+        let b = SimConfig::paper_1m(Policy::baseline());
+        assert!(b.mem.l2.size_bytes > a.mem.l2.size_bytes);
+        assert_eq!(a.with_max_insts(5).max_insts, 5);
+    }
+}

@@ -1,0 +1,65 @@
+//! The out-of-order secure-processor pipeline.
+//!
+//! An execution-driven, cycle-level timing model of an 8-wide
+//! out-of-order processor in the style of SimpleScalar's `sim-outorder`
+//! (Register Update Unit + load/store queue), with the paper's
+//! authentication control points wired into four places:
+//!
+//! * **issue** — instructions from unverified I-lines, and values loaded
+//!   from unverified D-lines, are not usable until verification
+//!   completes (*authen-then-issue*);
+//! * **commit** — the RUU head retires only once its lines verify
+//!   (*authen-then-commit*);
+//! * **store release** — a committed store leaves the store buffer only
+//!   after its *LastRequest* authentication tag verifies
+//!   (*authen-then-write*);
+//! * **bus grant** — external fetches carry an authentication watermark
+//!   below which the bus is not granted (*authen-then-fetch*, tag or
+//!   drain variant).
+//!
+//! The model executes the program *functionally* (via `secsim-isa`) to
+//! obtain values, addresses and branch outcomes — including tampered
+//! programs whose decrypted-but-unverified instructions the paper's
+//! exploits rely on — and layers resource-constrained timing on top:
+//! fetch/decode/issue/commit bandwidth, RUU/LSQ occupancy, functional
+//! units, branch prediction, cache hierarchy, bus and DRAM contention,
+//! and the cryptographic latencies from `secsim-core`.
+//!
+//! # Examples
+//!
+//! ```
+//! use secsim_cpu::{simulate, SimConfig};
+//! use secsim_core::Policy;
+//! use secsim_isa::{Asm, FlatMem, Reg};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut a = Asm::new(0x1000);
+//! let top = a.new_label();
+//! a.addi(Reg::R1, Reg::R0, 5000);
+//! a.bind(top)?;
+//! a.addi(Reg::R1, Reg::R1, -1);
+//! a.bne(Reg::R1, Reg::R0, top);
+//! a.halt();
+//! let mut mem = FlatMem::new(0x1000, 1 << 16);
+//! mem.load_words(0x1000, &a.assemble()?);
+//!
+//! let cfg = SimConfig::paper_256k(Policy::authen_then_commit());
+//! let report = simulate(&mut mem, 0x1000, &cfg, false);
+//! assert!(report.halted);
+//! assert!(report.ipc() > 0.5);
+//! # Ok(())
+//! # }
+//! ```
+
+mod bpred;
+mod config;
+mod pipeline;
+mod report;
+mod sched;
+mod viz;
+
+pub use bpred::{BPredConfig, BranchPredictor};
+pub use config::{CpuConfig, SimConfig};
+pub use pipeline::{simulate, SecureImage};
+pub use report::{AuthException, ControlEvent, IoEvent, SimReport};
+pub use viz::{render_timeline, InstTiming, TIMING_CAP};

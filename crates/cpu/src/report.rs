@@ -1,0 +1,139 @@
+//! Simulation results.
+
+use secsim_mem::BusEvent;
+use secsim_stats::CounterSet;
+
+/// An authentication (integrity-verification) failure observed during a
+/// run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AuthException {
+    /// Cycle at which verification completed and failed — before this
+    /// cycle the machine was running on unverified (possibly
+    /// attacker-chosen) state.
+    pub cycle: u64,
+    /// Line whose MAC failed.
+    pub line_addr: u32,
+    /// Whether the policy delivers this exception precisely
+    /// (issue/commit gating).
+    pub precise: bool,
+}
+
+/// A value written to an I/O port by an `out` instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IoEvent {
+    /// Port number.
+    pub port: u8,
+    /// Value written.
+    pub value: u32,
+    /// Cycle the output becomes externally visible (after any
+    /// write/commit gating).
+    pub cycle: u64,
+}
+
+/// A resolved control transfer (recorded when bus tracing is on; the
+/// attack harness uses resolution times to decide whether an observed
+/// instruction fetch reflects the *resolved* direction of a tampered
+/// comparison or merely an uninformative prediction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ControlEvent {
+    /// PC of the control instruction.
+    pub pc: u32,
+    /// Resolved direction.
+    pub taken: bool,
+    /// Resolved target.
+    pub target: u32,
+    /// Cycle the branch resolved (execution complete).
+    pub resolved: u64,
+}
+
+/// The outcome of one simulation run.
+#[derive(Debug, Clone, Default)]
+pub struct SimReport {
+    /// Retired instructions.
+    pub insts: u64,
+    /// Total cycles (last commit).
+    pub cycles: u64,
+    /// Whether the program executed `halt`.
+    pub halted: bool,
+    /// Whether an undecodable instruction stopped the run.
+    pub decode_fault: bool,
+    /// First integrity-verification failure, if any line accessed was
+    /// tampered.
+    pub exception: Option<AuthException>,
+    /// I/O port writes in commit order.
+    pub io_events: Vec<IoEvent>,
+    /// Captured front-side-bus events (when tracing was enabled).
+    pub bus_events: Vec<BusEvent>,
+    /// Resolved control transfers (when tracing was enabled).
+    pub control_events: Vec<ControlEvent>,
+    /// Stage times of the first [`crate::TIMING_CAP`] instructions
+    /// (when tracing was enabled) — feed to
+    /// [`crate::render_timeline`].
+    pub inst_timings: Vec<crate::InstTiming>,
+    /// Merged counters from every component.
+    pub counters: CounterSet,
+}
+
+impl SimReport {
+    /// Instructions per cycle (0.0 for an empty run).
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.insts as f64 / self.cycles as f64
+        }
+    }
+
+    /// Bus events that became visible *before* the first authentication
+    /// exception (i.e. before the machine could have been stopped).
+    /// With no exception, every event is visible.
+    pub fn events_before_exception(&self) -> impl Iterator<Item = &BusEvent> {
+        let cut = self.exception.map_or(u64::MAX, |e| e.cycle);
+        self.bus_events.iter().filter(move |e| e.cycle < cut)
+    }
+
+    /// I/O outputs that became visible before the first authentication
+    /// exception.
+    pub fn io_before_exception(&self) -> impl Iterator<Item = &IoEvent> {
+        let cut = self.exception.map_or(u64::MAX, |e| e.cycle);
+        self.io_events.iter().filter(move |e| e.cycle < cut)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use secsim_mem::BusKind;
+
+    #[test]
+    fn ipc_math() {
+        let r = SimReport { insts: 100, cycles: 50, ..Default::default() };
+        assert_eq!(r.ipc(), 2.0);
+        assert_eq!(SimReport::default().ipc(), 0.0);
+    }
+
+    #[test]
+    fn exception_truncates_visibility() {
+        let mut r = SimReport::default();
+        r.bus_events = vec![
+            BusEvent { cycle: 10, addr: 0xA, kind: BusKind::DataFetch },
+            BusEvent { cycle: 200, addr: 0xB, kind: BusKind::DataFetch },
+        ];
+        r.io_events = vec![
+            IoEvent { port: 1, value: 7, cycle: 20 },
+            IoEvent { port: 1, value: 8, cycle: 300 },
+        ];
+        r.exception = Some(AuthException { cycle: 100, line_addr: 0, precise: true });
+        let seen: Vec<u32> = r.events_before_exception().map(|e| e.addr).collect();
+        assert_eq!(seen, vec![0xA]);
+        let io: Vec<u32> = r.io_before_exception().map(|e| e.value).collect();
+        assert_eq!(io, vec![7]);
+    }
+
+    #[test]
+    fn no_exception_everything_visible() {
+        let mut r = SimReport::default();
+        r.bus_events = vec![BusEvent { cycle: 10, addr: 1, kind: BusKind::InstrFetch }];
+        assert_eq!(r.events_before_exception().count(), 1);
+    }
+}

@@ -1,0 +1,189 @@
+//! Cycle-slot and functional-unit schedulers for the one-pass timing
+//! model.
+
+use std::collections::HashMap;
+
+/// Bandwidth limiter for in-order stages (fetch/dispatch/commit):
+/// requests arrive with non-decreasing earliest times, at most `width`
+/// grants per cycle.
+#[derive(Debug, Clone)]
+pub struct InOrderSlots {
+    width: u32,
+    cycle: u64,
+    used: u32,
+}
+
+impl InOrderSlots {
+    /// Creates a limiter granting `width` slots per cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0`.
+    pub fn new(width: u32) -> Self {
+        assert!(width > 0, "width must be positive");
+        Self { width, cycle: 0, used: 0 }
+    }
+
+    /// Grants a slot at the first cycle `>= at` with capacity.
+    /// `at` values must be non-decreasing across calls.
+    pub fn take(&mut self, at: u64) -> u64 {
+        if at > self.cycle {
+            self.cycle = at;
+            self.used = 0;
+        }
+        if self.used >= self.width {
+            self.cycle += 1;
+            self.used = 0;
+        }
+        self.used += 1;
+        self.cycle
+    }
+}
+
+/// Bandwidth limiter for the out-of-order issue stage: requests may
+/// target any cycle at or above a monotonically advancing floor.
+#[derive(Debug, Clone)]
+pub struct WindowSlots {
+    width: u32,
+    used: HashMap<u64, u32>,
+    floor: u64,
+    inserts: u64,
+}
+
+impl WindowSlots {
+    /// Creates a limiter granting `width` slots per cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0`.
+    pub fn new(width: u32) -> Self {
+        assert!(width > 0, "width must be positive");
+        Self { width, used: HashMap::new(), floor: 0, inserts: 0 }
+    }
+
+    /// Grants a slot at the first cycle `>= max(at, floor)` with
+    /// capacity.
+    pub fn take(&mut self, at: u64) -> u64 {
+        let mut c = at.max(self.floor);
+        loop {
+            let u = self.used.entry(c).or_insert(0);
+            if *u < self.width {
+                *u += 1;
+                self.inserts += 1;
+                if self.inserts % 65536 == 0 {
+                    self.prune();
+                }
+                return c;
+            }
+            c += 1;
+        }
+    }
+
+    /// Advances the floor: no future `take` will target cycles below
+    /// `floor` (the dispatch time of the current instruction, which
+    /// lower-bounds all future issue times).
+    pub fn advance_floor(&mut self, floor: u64) {
+        if floor > self.floor {
+            self.floor = floor;
+        }
+    }
+
+    fn prune(&mut self) {
+        let floor = self.floor;
+        self.used.retain(|&c, _| c >= floor);
+    }
+}
+
+/// A pool of identical functional units: each grant occupies the chosen
+/// unit for `occupancy` cycles (1 = fully pipelined).
+#[derive(Debug, Clone)]
+pub struct FuPool {
+    free_at: Vec<u64>,
+}
+
+impl FuPool {
+    /// Creates a pool of `units` units.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `units == 0`.
+    pub fn new(units: u32) -> Self {
+        assert!(units > 0, "unit count must be positive");
+        Self { free_at: vec![0; units as usize] }
+    }
+
+    /// Grants the earliest-available unit no earlier than `at`,
+    /// occupying it for `occupancy` cycles. Returns the start cycle.
+    pub fn take(&mut self, at: u64, occupancy: u64) -> u64 {
+        let (idx, _) = self
+            .free_at
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &f)| f)
+            .expect("pool is non-empty");
+        let start = at.max(self.free_at[idx]);
+        self.free_at[idx] = start + occupancy.max(1);
+        start
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_order_slots_pack_per_cycle() {
+        let mut s = InOrderSlots::new(2);
+        assert_eq!(s.take(5), 5);
+        assert_eq!(s.take(5), 5);
+        assert_eq!(s.take(5), 6);
+        assert_eq!(s.take(6), 6); // second slot of cycle 6
+        assert_eq!(s.take(6), 7);
+        assert_eq!(s.take(100), 100);
+    }
+
+    #[test]
+    fn window_slots_allow_out_of_order() {
+        let mut s = WindowSlots::new(1);
+        assert_eq!(s.take(10), 10);
+        assert_eq!(s.take(5), 5); // earlier cycle still available
+        assert_eq!(s.take(5), 6);
+        assert_eq!(s.take(10), 11);
+    }
+
+    #[test]
+    fn window_floor_blocks_past() {
+        let mut s = WindowSlots::new(4);
+        s.advance_floor(100);
+        assert_eq!(s.take(5), 100);
+    }
+
+    #[test]
+    fn fu_pool_balances_units() {
+        let mut p = FuPool::new(2);
+        assert_eq!(p.take(0, 10), 0); // unit 0 busy till 10
+        assert_eq!(p.take(0, 10), 0); // unit 1 busy till 10
+        assert_eq!(p.take(0, 10), 10); // back to unit 0
+    }
+
+    #[test]
+    fn fu_pool_pipelined_units() {
+        let mut p = FuPool::new(1);
+        assert_eq!(p.take(0, 1), 0);
+        assert_eq!(p.take(0, 1), 1);
+        assert_eq!(p.take(0, 1), 2);
+    }
+
+    #[test]
+    fn fu_pool_nonpipelined_divider() {
+        let mut p = FuPool::new(1);
+        assert_eq!(p.take(0, 20), 0);
+        assert_eq!(p.take(5, 20), 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_width_rejected() {
+        InOrderSlots::new(0);
+    }
+}

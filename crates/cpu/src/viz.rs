@@ -1,0 +1,135 @@
+//! ASCII pipeline-timeline rendering for small traced runs.
+//!
+//! When [`simulate`](crate::simulate) runs with tracing enabled, the
+//! first [`TIMING_CAP`] instructions' stage times are recorded as
+//! [`InstTiming`]s; [`render_timeline`] draws them as a Gantt chart —
+//! the quickest way to *see* where an authentication policy inserts its
+//! stall.
+
+use secsim_isa::Inst;
+use std::fmt::Write as _;
+
+/// Per-instruction stage times (cycles).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InstTiming {
+    /// Dynamic instruction number.
+    pub seq: u64,
+    /// PC.
+    pub pc: u32,
+    /// The instruction.
+    pub inst: Inst,
+    /// Fetch cycle.
+    pub fetch: u64,
+    /// Dispatch (rename) cycle.
+    pub dispatch: u64,
+    /// Issue cycle.
+    pub issue: u64,
+    /// Execution-complete cycle.
+    pub complete: u64,
+    /// Commit cycle.
+    pub commit: u64,
+}
+
+/// How many leading instructions are recorded per traced run.
+pub const TIMING_CAP: usize = 256;
+
+/// Renders timings as an ASCII Gantt chart `width` columns wide.
+///
+/// Stage markers: `F` fetch, `D` dispatch, `I` issue, `X` complete,
+/// `C` commit; `·` fills the span between fetch and commit.
+///
+/// # Examples
+///
+/// ```
+/// use secsim_cpu::{render_timeline, InstTiming};
+/// use secsim_isa::Inst;
+///
+/// let t = [InstTiming {
+///     seq: 0, pc: 0x1000, inst: Inst::Nop,
+///     fetch: 0, dispatch: 3, issue: 4, complete: 5, commit: 6,
+/// }];
+/// let chart = render_timeline(&t, 40);
+/// assert!(chart.contains('F') && chart.contains('C'));
+/// ```
+pub fn render_timeline(timings: &[InstTiming], width: usize) -> String {
+    let width = width.max(16);
+    let mut out = String::new();
+    let Some(first) = timings.first() else {
+        return "(no instructions recorded)\n".to_string();
+    };
+    let t0 = first.fetch;
+    let t1 = timings.iter().map(|t| t.commit).max().expect("non-empty").max(t0 + 1);
+    let span = (t1 - t0) as f64;
+    let col = |t: u64| -> usize {
+        (((t.saturating_sub(t0)) as f64 / span) * (width - 1) as f64).round() as usize
+    };
+    let _ = writeln!(out, "cycles {t0}..{t1}  (F fetch, D dispatch, I issue, X complete, C commit)");
+    for t in timings {
+        let mut lane = vec![b' '; width];
+        let (cf, cd, ci, cx, cc) = (col(t.fetch), col(t.dispatch), col(t.issue), col(t.complete), col(t.commit));
+        for slot in lane.iter_mut().take(cc + 1).skip(cf) {
+            *slot = b'.';
+        }
+        // Later markers overwrite earlier ones on collision — commit wins.
+        lane[cf] = b'F';
+        lane[cd] = b'D';
+        lane[ci] = b'I';
+        lane[cx] = b'X';
+        lane[cc] = b'C';
+        let lane = String::from_utf8(lane).expect("ascii");
+        let _ = writeln!(out, "{:>4} {:<22} |{}|", t.seq, t.inst.to_string(), lane);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use secsim_isa::Reg;
+
+    fn t(seq: u64, fetch: u64, commit: u64) -> InstTiming {
+        InstTiming {
+            seq,
+            pc: 0x1000 + seq as u32 * 4,
+            inst: Inst::Addi { rd: Reg::R1, rs1: Reg::R0, imm: 1 },
+            fetch,
+            dispatch: fetch + 3,
+            issue: fetch + 4,
+            complete: fetch + 5,
+            commit,
+        }
+    }
+
+    #[test]
+    fn renders_all_markers_in_order() {
+        let chart = render_timeline(&[t(0, 0, 20), t(1, 2, 22)], 60);
+        assert_eq!(chart.lines().count(), 3);
+        for line in chart.lines().skip(1) {
+            let f = line.find('F').expect("F");
+            let c = line.find('C').expect("C");
+            assert!(f < c, "fetch must precede commit: {line}");
+        }
+    }
+
+    #[test]
+    fn empty_input_is_graceful() {
+        assert!(render_timeline(&[], 40).contains("no instructions"));
+    }
+
+    #[test]
+    fn degenerate_same_cycle_run() {
+        // All stages in one cycle must not panic or divide by zero.
+        let one = InstTiming {
+            seq: 0,
+            pc: 0,
+            inst: Inst::Nop,
+            fetch: 5,
+            dispatch: 5,
+            issue: 5,
+            complete: 5,
+            commit: 5,
+        };
+        let chart = render_timeline(&[one], 16);
+        assert!(chart.contains('C'));
+    }
+}

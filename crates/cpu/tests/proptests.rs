@@ -1,0 +1,119 @@
+//! Property-based tests for the pipeline: random straight-line programs
+//! must (a) time causally, (b) compute exactly what the functional
+//! interpreter computes, (c) be deterministic, and (d) be functionally
+//! transparent to the authentication policy.
+
+use proptest::prelude::*;
+use secsim_core::Policy;
+use secsim_cpu::{simulate, SimConfig};
+use secsim_isa::{encode, step, ArchState, FlatMem, Inst, MemIo, Reg};
+
+const DATA_BASE: u32 = 0x8000;
+const CODE_BASE: u32 = 0x1000;
+
+/// A generator of *terminating* programs: straight-line integer ALU ops
+/// and loads/stores with bounded addresses, finished by `out` + `halt`.
+fn straightline_program() -> impl Strategy<Value = Vec<Inst>> {
+    let reg = || (1u32..8).prop_map(Reg::from_index);
+    let op = prop_oneof![
+        (reg(), reg(), reg()).prop_map(|(rd, rs1, rs2)| Inst::Add { rd, rs1, rs2 }),
+        (reg(), reg(), reg()).prop_map(|(rd, rs1, rs2)| Inst::Sub { rd, rs1, rs2 }),
+        (reg(), reg(), reg()).prop_map(|(rd, rs1, rs2)| Inst::Xor { rd, rs1, rs2 }),
+        (reg(), reg(), reg()).prop_map(|(rd, rs1, rs2)| Inst::Mul { rd, rs1, rs2 }),
+        (reg(), reg(), reg()).prop_map(|(rd, rs1, rs2)| Inst::Divu { rd, rs1, rs2 }),
+        (reg(), reg(), -100i16..100).prop_map(|(rd, rs1, imm)| Inst::Addi { rd, rs1, imm }),
+        (reg(), reg(), 0u8..32).prop_map(|(rd, rs1, sh)| Inst::Slli { rd, rs1, sh }),
+        // Loads/stores at data base + bounded offset (always mapped).
+        (reg(), 0i16..256).prop_map(|(rd, off)| Inst::Lw { rd, rs1: Reg::R9, off: off * 4 % 512 }),
+        (reg(), 0i16..128).prop_map(|(rs2, off)| Inst::Sw {
+            rs1: Reg::R9,
+            rs2,
+            off: off * 4 % 512,
+        }),
+    ];
+    prop::collection::vec(op, 1..60)
+}
+
+fn build_image(body: &[Inst]) -> (FlatMem, u32) {
+    let mut mem = FlatMem::new(CODE_BASE, 256 * 1024);
+    let mut words = Vec::new();
+    // Prologue: r9 = data base; seed a few registers.
+    words.push(encode(Inst::Lui { rd: Reg::R9, imm: 0 }));
+    words.push(encode(Inst::Ori { rd: Reg::R9, rs1: Reg::R9, imm: DATA_BASE as u16 }));
+    for (i, r) in [Reg::R1, Reg::R2, Reg::R3].iter().enumerate() {
+        words.push(encode(Inst::Addi { rd: *r, rs1: Reg::R0, imm: (i as i16 + 1) * 17 }));
+    }
+    words.extend(body.iter().map(|i| encode(*i)));
+    // Epilogue: fold registers into r1 and report it.
+    for r in [Reg::R2, Reg::R3, Reg::R4, Reg::R5, Reg::R6, Reg::R7] {
+        words.push(encode(Inst::Xor { rd: Reg::R1, rs1: Reg::R1, rs2: r }));
+    }
+    words.push(encode(Inst::Out { rs1: Reg::R1, port: 0 }));
+    words.push(encode(Inst::Halt));
+    mem.load_words(CODE_BASE, &words);
+    // Initialize data region.
+    for i in 0..256u32 {
+        mem.write_u32(DATA_BASE + 4 * i, i.wrapping_mul(2654435761));
+    }
+    (mem, CODE_BASE)
+}
+
+/// Runs the pure functional interpreter to get the reference output.
+fn reference_output(mem: &FlatMem, entry: u32) -> u32 {
+    let mut m = mem.clone();
+    let mut st = ArchState::new(entry);
+    let mut out = 0;
+    for _ in 0..10_000 {
+        if st.halted {
+            break;
+        }
+        let info = step(&mut st, &mut m).expect("valid program");
+        if let Some((_, v)) = info.out {
+            out = v;
+        }
+    }
+    assert!(st.halted, "reference did not halt");
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The pipeline's architectural results equal the interpreter's, for
+    /// every policy, and timing is causal.
+    #[test]
+    fn pipeline_matches_interpreter_under_all_policies(body in straightline_program()) {
+        let (mem, entry) = build_image(&body);
+        let expect = reference_output(&mem, entry);
+        for policy in [
+            Policy::baseline(),
+            Policy::authen_then_issue(),
+            Policy::authen_then_write(),
+            Policy::commit_plus_fetch(),
+        ] {
+            let cfg = SimConfig::paper_256k(policy);
+            let r = simulate(&mut mem.clone(), entry, &cfg, false);
+            prop_assert!(r.halted);
+            prop_assert!(r.exception.is_none());
+            prop_assert_eq!(r.io_events.len(), 1);
+            prop_assert_eq!(r.io_events[0].value, expect, "policy {}", policy);
+            prop_assert!(r.cycles >= r.insts / 8, "cannot beat the 8-wide commit limit");
+            prop_assert!(r.io_events[0].cycle <= r.cycles);
+        }
+    }
+
+    /// Gating policies only ever slow things down relative to baseline,
+    /// and cycle counts are reproducible.
+    #[test]
+    fn gating_never_speeds_up(body in straightline_program()) {
+        let (mem, entry) = build_image(&body);
+        let run = |p: Policy| {
+            simulate(&mut mem.clone(), entry, &SimConfig::paper_256k(p), false).cycles
+        };
+        let base = run(Policy::baseline());
+        prop_assert_eq!(run(Policy::baseline()), base, "nondeterministic baseline");
+        for policy in [Policy::authen_then_issue(), Policy::authen_then_commit()] {
+            prop_assert!(run(policy) >= base, "{} beat the baseline", policy);
+        }
+    }
+}

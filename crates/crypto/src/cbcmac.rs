@@ -1,0 +1,108 @@
+//! CBC-MAC over AES, used for the paper's Table 1 comparison of
+//! `[CBC + CBC-MAC]` against `[Counter mode + HMAC]`.
+//!
+//! CBC-MAC chains the cipher serially over the line, so both decryption
+//! *and* authentication latency scale with the number of 16-byte chunks —
+//! the narrow-gap but slow alternative the paper argues against.
+
+use crate::aes::Aes;
+
+/// An AES-CBC-MAC instance.
+///
+/// # Examples
+///
+/// ```
+/// use secsim_crypto::{Aes, CbcMac};
+///
+/// let mac = CbcMac::new(Aes::new_128(&[3u8; 16]));
+/// let t = mac.compute(&[0u8; 64]);
+/// assert_eq!(t, mac.compute(&[0u8; 64]));
+/// assert_ne!(t, mac.compute(&[1u8; 64]));
+/// ```
+#[derive(Debug, Clone)]
+pub struct CbcMac {
+    aes: Aes,
+}
+
+impl CbcMac {
+    /// Creates a CBC-MAC instance from an AES cipher.
+    pub fn new(aes: Aes) -> Self {
+        Self { aes }
+    }
+
+    /// Computes the 16-byte MAC over `data`.
+    ///
+    /// Fixed-length use only (cache lines): inputs are zero-padded to a
+    /// multiple of 16 bytes. The simulator always MACs whole lines, so
+    /// the classic variable-length CBC-MAC forgery does not apply; a
+    /// production design would use CMAC.
+    pub fn compute(&self, data: &[u8]) -> [u8; 16] {
+        let mut state = [0u8; 16];
+        for chunk in data.chunks(16) {
+            for (s, b) in state.iter_mut().zip(chunk.iter()) {
+                *s ^= b;
+            }
+            self.aes.encrypt_block(&mut state);
+        }
+        state
+    }
+
+    /// Computes a truncated 64-bit tag (to match the stored MAC size used
+    /// for HMAC).
+    pub fn compute_truncated(&self, data: &[u8]) -> u64 {
+        let t = self.compute(data);
+        u64::from_be_bytes(t[..8].try_into().expect("8 bytes"))
+    }
+
+    /// Verifies `data` against a truncated tag.
+    pub fn verify_truncated(&self, data: &[u8], tag: u64) -> bool {
+        self.compute_truncated(data) == tag
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mac() -> CbcMac {
+        CbcMac::new(Aes::new_128(&[0x11; 16]))
+    }
+
+    #[test]
+    fn deterministic_and_sensitive() {
+        let m = mac();
+        let a = m.compute(&[7u8; 64]);
+        assert_eq!(a, m.compute(&[7u8; 64]));
+        let mut tampered = [7u8; 64];
+        tampered[63] ^= 1;
+        assert_ne!(a, m.compute(&tampered));
+    }
+
+    #[test]
+    fn first_block_change_propagates() {
+        let m = mac();
+        let mut x = [0u8; 64];
+        let a = m.compute(&x);
+        x[0] = 1;
+        assert_ne!(a, m.compute(&x));
+    }
+
+    #[test]
+    fn truncated_round_trip() {
+        let m = mac();
+        let data = [9u8; 32];
+        let t = m.compute_truncated(&data);
+        assert!(m.verify_truncated(&data, t));
+        assert!(!m.verify_truncated(&[8u8; 32], t));
+    }
+
+    #[test]
+    fn single_block_equals_raw_aes() {
+        let aes = Aes::new_128(&[0x11; 16]);
+        let m = CbcMac::new(aes.clone());
+        let data = [0x42u8; 16];
+        let mut expect = data;
+        aes.encrypt_block(&mut expect);
+        assert_eq!(m.compute(&data), expect);
+    }
+}

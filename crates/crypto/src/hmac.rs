@@ -1,0 +1,154 @@
+//! HMAC-SHA256 (RFC 2104 / FIPS 198), the paper's reference MAC for
+//! per-line integrity verification. The secure processor stores a
+//! *truncated* 64-bit MAC alongside each protected cache line
+//! (paper §5.2.3).
+
+use crate::sha256::Sha256;
+
+const BLOCK: usize = 64;
+
+/// A reusable HMAC-SHA256 keyed instance.
+///
+/// # Examples
+///
+/// ```
+/// use secsim_crypto::HmacSha256;
+///
+/// let mac = HmacSha256::new(b"key");
+/// let t1 = mac.compute(b"message");
+/// let t2 = mac.compute(b"message");
+/// assert_eq!(t1, t2);
+/// assert_ne!(mac.compute(b"other"), t1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct HmacSha256 {
+    ipad: [u8; BLOCK],
+    opad: [u8; BLOCK],
+}
+
+impl HmacSha256 {
+    /// Creates an instance from an arbitrary-length key.
+    pub fn new(key: &[u8]) -> Self {
+        let mut k = [0u8; BLOCK];
+        if key.len() > BLOCK {
+            let d = Sha256::digest(key);
+            k[..32].copy_from_slice(&d);
+        } else {
+            k[..key.len()].copy_from_slice(key);
+        }
+        let mut ipad = [0x36u8; BLOCK];
+        let mut opad = [0x5cu8; BLOCK];
+        for i in 0..BLOCK {
+            ipad[i] ^= k[i];
+            opad[i] ^= k[i];
+        }
+        Self { ipad, opad }
+    }
+
+    /// Computes the full 32-byte tag over `data`.
+    pub fn compute(&self, data: &[u8]) -> [u8; 32] {
+        let mut inner = Sha256::new();
+        inner.update(&self.ipad);
+        inner.update(data);
+        let inner_digest = inner.finalize();
+        let mut outer = Sha256::new();
+        outer.update(&self.opad);
+        outer.update(&inner_digest);
+        outer.finalize()
+    }
+
+    /// Computes the 64-bit truncated tag the secure processor stores per
+    /// cache line (paper default MAC size).
+    pub fn compute_truncated(&self, data: &[u8]) -> u64 {
+        truncated_mac(&self.compute(data))
+    }
+
+    /// Verifies `data` against a truncated 64-bit tag.
+    pub fn verify_truncated(&self, data: &[u8], tag: u64) -> bool {
+        self.compute_truncated(data) == tag
+    }
+}
+
+/// One-shot HMAC-SHA256.
+pub fn hmac_sha256(key: &[u8], data: &[u8]) -> [u8; 32] {
+    HmacSha256::new(key).compute(data)
+}
+
+/// Truncates a 32-byte tag to the paper's 64-bit stored MAC (first 8
+/// bytes, big-endian).
+pub fn truncated_mac(tag: &[u8; 32]) -> u64 {
+    u64::from_be_bytes(tag[..8].try_into().expect("8 bytes"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    /// RFC 4231 test case 1.
+    #[test]
+    fn rfc4231_case1() {
+        let key = [0x0bu8; 20];
+        let tag = hmac_sha256(&key, b"Hi There");
+        assert_eq!(
+            hex(&tag),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    /// RFC 4231 test case 2 ("Jefe").
+    #[test]
+    fn rfc4231_case2() {
+        let tag = hmac_sha256(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(
+            hex(&tag),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    /// RFC 4231 test case 3 (0xaa key, 0xdd data).
+    #[test]
+    fn rfc4231_case3() {
+        let key = [0xaau8; 20];
+        let data = [0xddu8; 50];
+        let tag = hmac_sha256(&key, &data);
+        assert_eq!(
+            hex(&tag),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+        );
+    }
+
+    /// RFC 4231 test case 6: key longer than the block size.
+    #[test]
+    fn rfc4231_long_key() {
+        let key = [0xaau8; 131];
+        let tag = hmac_sha256(&key, b"Test Using Larger Than Block-Size Key - Hash Key First");
+        assert_eq!(
+            hex(&tag),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    #[test]
+    fn truncated_verify() {
+        let mac = HmacSha256::new(b"line-key");
+        let data = [7u8; 64];
+        let tag = mac.compute_truncated(&data);
+        assert!(mac.verify_truncated(&data, tag));
+        let mut tampered = data;
+        tampered[0] ^= 0x80;
+        assert!(!mac.verify_truncated(&tampered, tag));
+    }
+
+    #[test]
+    fn truncation_uses_first_eight_bytes() {
+        let tag = [
+            1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20, 21, 22, 23,
+            24, 25, 26, 27, 28, 29, 30, 31, 32,
+        ];
+        assert_eq!(truncated_mac(&tag), 0x0102030405060708);
+    }
+}

@@ -1,0 +1,200 @@
+//! Latency models for the cryptographic engines (paper §2 Table 1 and
+//! §5.2).
+//!
+//! All latencies are expressed in **core clock cycles at 1 GHz**, so
+//! 1 cycle = 1 ns with the paper's processor parameters. The reference
+//! values follow the paper's synthesized implementations: 80 ns for the
+//! pipelined 256-bit Rijndael and 74 ns for SHA-256 over one 512-bit
+//! padded block.
+
+/// Memory encryption mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EncryptionMode {
+    /// Counter mode: pads precomputable from the fetch address, so
+    /// decryption overlaps the memory fetch.
+    CounterMode,
+    /// Cipher-block chaining: decryption is serial in the line's chunks.
+    Cbc,
+}
+
+/// Integrity-verification scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MacScheme {
+    /// HMAC over SHA-256 (truncated 64-bit stored MAC). Starts when data
+    /// arrives; one flat hash latency per line.
+    HmacSha256,
+    /// CBC-MAC over AES: serial in the line's 16-byte chunks.
+    CbcMacAes,
+    /// Galois MAC (GMAC): the GF(2^128) multiplications parallelize
+    /// across the line's blocks, so verification costs roughly one AES
+    /// latency plus a short multiply tree — the modern low-gap option.
+    GmacAes,
+}
+
+/// Engine latencies in core cycles.
+///
+/// # Examples
+///
+/// ```
+/// use secsim_crypto::CryptoLatency;
+///
+/// let lat = CryptoLatency::paper_reference();
+/// // CTR decryption fully overlaps a 200-cycle memory fetch:
+/// assert_eq!(lat.ctr_decrypt_ready(1000, 1200), 1200);
+/// // ...but dominates a 50-cycle L2-adjacent fetch:
+/// assert_eq!(lat.ctr_decrypt_ready(1000, 1050), 1080);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CryptoLatency {
+    /// Latency of one AES decryption (pipelined engine), cycles.
+    pub aes_cycles: u64,
+    /// Latency of SHA-256 over one 512-bit padded block, cycles.
+    pub sha_block_cycles: u64,
+    /// Latency of a parallel-GHASH GMAC over one line, cycles
+    /// (`E_K(J0)` overlaps the fetch; the multiply tree is shallow).
+    pub gmac_cycles: u64,
+}
+
+impl CryptoLatency {
+    /// The paper's reference implementation: 80 ns AES, 74 ns SHA-256 at
+    /// a 1 GHz core clock.
+    pub fn paper_reference() -> Self {
+        Self { aes_cycles: 80, sha_block_cycles: 74, gmac_cycles: 26 }
+    }
+
+    /// Cycle when counter-mode plaintext is available, given the cycle
+    /// the fetch was issued (pad precomputation starts then) and the
+    /// cycle the ciphertext arrives.
+    ///
+    /// `decrypt_ready = max(data_ready, fetch_issue + aes)` — the single
+    /// XOR after pad generation is treated as free.
+    pub fn ctr_decrypt_ready(&self, fetch_issue: u64, data_ready: u64) -> u64 {
+        data_ready.max(fetch_issue + self.aes_cycles)
+    }
+
+    /// Cycle when CBC plaintext for chunk `n` (0-based) is available:
+    /// `data_ready + aes * (n + 1)` (serial chain).
+    pub fn cbc_decrypt_ready(&self, data_ready: u64, chunk: u64) -> u64 {
+        data_ready + self.aes_cycles * (chunk + 1)
+    }
+
+    /// Flat HMAC latency per protected line (the paper models one hash
+    /// latency after the data arrives).
+    pub fn hmac_latency(&self) -> u64 {
+        self.sha_block_cycles
+    }
+
+    /// CBC-MAC latency over a line of `chunks` 16-byte chunks (serial).
+    pub fn cbcmac_latency(&self, chunks: u64) -> u64 {
+        self.aes_cycles * chunks
+    }
+
+    /// GMAC latency per line (parallel GHASH; `E_K(J0)` precomputed
+    /// like a CTR pad).
+    pub fn gmac_latency(&self) -> u64 {
+        self.gmac_cycles
+    }
+
+    /// Computes Table 1's decryption/authentication latency pair for a
+    /// `(mode, MAC)` configuration, a memory fetch of `fetch_cycles`, and
+    /// a line of `line_bytes`.
+    ///
+    /// Both latencies are measured from fetch issue to readiness of the
+    /// *whole line* (for CBC that is the last chunk).
+    pub fn latency_gap(
+        &self,
+        mode: EncryptionMode,
+        mac: MacScheme,
+        fetch_cycles: u64,
+        line_bytes: u64,
+    ) -> LatencyGap {
+        let chunks = line_bytes.div_ceil(16);
+        let decrypt = match mode {
+            EncryptionMode::CounterMode => self.ctr_decrypt_ready(0, fetch_cycles),
+            EncryptionMode::Cbc => self.cbc_decrypt_ready(fetch_cycles, chunks - 1),
+        };
+        let auth = match mac {
+            MacScheme::HmacSha256 => fetch_cycles + self.hmac_latency(),
+            MacScheme::CbcMacAes => fetch_cycles + self.cbcmac_latency(chunks),
+            MacScheme::GmacAes => fetch_cycles + self.gmac_latency(),
+        };
+        LatencyGap { decrypt, auth }
+    }
+}
+
+impl Default for CryptoLatency {
+    fn default() -> Self {
+        Self::paper_reference()
+    }
+}
+
+/// A (decryption-ready, authentication-ready) latency pair, cycles from
+/// fetch issue (Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyGap {
+    /// Cycle (from fetch issue) when plaintext is usable.
+    pub decrypt: u64,
+    /// Cycle (from fetch issue) when integrity verification completes.
+    pub auth: u64,
+}
+
+impl LatencyGap {
+    /// How long authentication lags behind decryption — the
+    /// "security-blank execution window" of the paper (§3.1).
+    pub fn gap(&self) -> i64 {
+        self.auth as i64 - self.decrypt as i64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_values() {
+        let lat = CryptoLatency::paper_reference();
+        assert_eq!(lat.aes_cycles, 80);
+        assert_eq!(lat.sha_block_cycles, 74);
+        assert_eq!(CryptoLatency::default(), lat);
+    }
+
+    #[test]
+    fn ctr_overlaps_fetch() {
+        let lat = CryptoLatency::paper_reference();
+        // long fetch: decryption hidden entirely
+        assert_eq!(lat.ctr_decrypt_ready(0, 200), 200);
+        // short fetch: AES dominates
+        assert_eq!(lat.ctr_decrypt_ready(0, 40), 80);
+    }
+
+    #[test]
+    fn cbc_serializes() {
+        let lat = CryptoLatency::paper_reference();
+        assert_eq!(lat.cbc_decrypt_ready(200, 0), 280);
+        assert_eq!(lat.cbc_decrypt_ready(200, 3), 520);
+    }
+
+    #[test]
+    fn table1_ctr_hmac_vs_cbc_cbcmac() {
+        let lat = CryptoLatency::paper_reference();
+        let fetch = 200;
+        let ctr = lat.latency_gap(EncryptionMode::CounterMode, MacScheme::HmacSha256, fetch, 64);
+        let cbc = lat.latency_gap(EncryptionMode::Cbc, MacScheme::CbcMacAes, fetch, 64);
+        // CTR+HMAC: fast decrypt, auth lags by the hash latency.
+        assert_eq!(ctr.decrypt, 200);
+        assert_eq!(ctr.auth, 274);
+        assert_eq!(ctr.gap(), 74);
+        // CBC+CBC-MAC: slow decrypt (4 chunks serial), auth equally slow
+        // — narrow gap but much worse critical-word latency.
+        assert_eq!(cbc.decrypt, 200 + 4 * 80);
+        assert_eq!(cbc.auth, 200 + 4 * 80);
+        assert_eq!(cbc.gap(), 0);
+        assert!(cbc.decrypt > ctr.decrypt);
+    }
+
+    #[test]
+    fn gap_can_be_negative_in_principle() {
+        let g = LatencyGap { decrypt: 100, auth: 90 };
+        assert_eq!(g.gap(), -10);
+    }
+}

@@ -1,0 +1,575 @@
+//! A small label-based assembler / program builder.
+//!
+//! Workload generators in `secsim-workloads` build their kernels through
+//! this API; the attack crate uses it to craft disclosing kernels.
+
+use crate::encode::encode;
+use crate::inst::Inst;
+use crate::reg::{FReg, Reg};
+use std::fmt;
+
+/// A forward-referencable code label.
+///
+/// Created by [`Asm::new_label`], bound to the current position by
+/// [`Asm::bind`], and usable as a branch/jump target before or after it is
+/// bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Label(usize);
+
+/// Errors reported by [`Asm::assemble`] and [`Asm::bind`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmError {
+    /// A label used as a target was never bound.
+    UnboundLabel(Label),
+    /// A label was bound twice.
+    Rebound(Label),
+    /// A branch offset does not fit in its immediate field.
+    OffsetOverflow {
+        /// Instruction index of the branch.
+        at: usize,
+        /// The word offset that did not fit.
+        off: i64,
+    },
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::UnboundLabel(l) => write!(f, "label {:?} was never bound", l),
+            AsmError::Rebound(l) => write!(f, "label {:?} bound twice", l),
+            AsmError::OffsetOverflow { at, off } => {
+                write!(f, "branch at instruction {at} needs offset {off}, out of range")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+#[derive(Debug, Clone, Copy)]
+enum Fixup {
+    /// 16-bit word offset relative to the *following* instruction.
+    Rel16(Label),
+    /// 26-bit word offset relative to the *following* instruction.
+    Rel26(Label),
+}
+
+/// An assembler that accumulates instructions and resolves labels.
+///
+/// # Examples
+///
+/// ```
+/// use secsim_isa::{Asm, Reg};
+///
+/// # fn main() -> Result<(), secsim_isa::AsmError> {
+/// let mut a = Asm::new(0x4000);
+/// let done = a.new_label();
+/// a.beq(Reg::R1, Reg::R0, done); // forward reference
+/// a.addi(Reg::R2, Reg::R2, 1);
+/// a.bind(done)?;
+/// a.halt();
+/// let words = a.assemble()?;
+/// assert_eq!(words.len(), 3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Asm {
+    base: u32,
+    insts: Vec<Inst>,
+    fixups: Vec<(usize, Fixup)>,
+    labels: Vec<Option<usize>>,
+}
+
+impl Asm {
+    /// Creates an assembler whose first instruction lives at `base`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` is not 4-byte aligned.
+    pub fn new(base: u32) -> Self {
+        assert_eq!(base % 4, 0, "code base must be word aligned");
+        Self { base, insts: Vec::new(), fixups: Vec::new(), labels: Vec::new() }
+    }
+
+    /// The base address passed to [`Asm::new`].
+    pub fn base(&self) -> u32 {
+        self.base
+    }
+
+    /// Number of instructions emitted so far.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Whether no instruction has been emitted.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// Address the *next* emitted instruction will occupy.
+    pub fn here(&self) -> u32 {
+        self.base + (self.insts.len() as u32) * 4
+    }
+
+    /// Creates a fresh, unbound label.
+    pub fn new_label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Binds `label` to the current position.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AsmError::Rebound`] if the label was already bound.
+    pub fn bind(&mut self, label: Label) -> Result<(), AsmError> {
+        let slot = &mut self.labels[label.0];
+        if slot.is_some() {
+            return Err(AsmError::Rebound(label));
+        }
+        *slot = Some(self.insts.len());
+        Ok(())
+    }
+
+    /// Emits a raw instruction.
+    pub fn push(&mut self, inst: Inst) -> &mut Self {
+        self.insts.push(inst);
+        self
+    }
+
+    /// Resolves labels and encodes to instruction words.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any referenced label is unbound or an offset
+    /// overflows its field.
+    pub fn assemble(&self) -> Result<Vec<u32>, AsmError> {
+        let mut insts = self.insts.clone();
+        for &(at, fixup) in &self.fixups {
+            let (label, bits) = match fixup {
+                Fixup::Rel16(l) => (l, 16u32),
+                Fixup::Rel26(l) => (l, 26u32),
+            };
+            let target = self.labels[label.0].ok_or(AsmError::UnboundLabel(label))?;
+            let off = target as i64 - (at as i64 + 1);
+            let max = (1i64 << (bits - 1)) - 1;
+            let min = -(1i64 << (bits - 1));
+            if off < min || off > max {
+                return Err(AsmError::OffsetOverflow { at, off });
+            }
+            patch_offset(&mut insts[at], off);
+        }
+        Ok(insts.iter().map(|&i| encode(i)).collect())
+    }
+
+    /// The instruction list (labels not yet resolved).
+    pub fn insts(&self) -> &[Inst] {
+        &self.insts
+    }
+}
+
+fn patch_offset(inst: &mut Inst, off: i64) {
+    use Inst::*;
+    match inst {
+        Beq { off: o, .. } | Bne { off: o, .. } | Blt { off: o, .. } | Bge { off: o, .. }
+        | Bltu { off: o, .. } | Bgeu { off: o, .. } => *o = off as i16,
+        J { off: o } | Jal { off: o } => *o = off as i32,
+        _ => unreachable!("fixup attached to non-branch instruction"),
+    }
+}
+
+macro_rules! rrr {
+    ($($(#[$doc:meta])* $m:ident => $v:ident),+ $(,)?) => {
+        impl Asm {
+            $(
+                $(#[$doc])*
+                pub fn $m(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+                    self.push(Inst::$v { rd, rs1, rs2 })
+                }
+            )+
+        }
+    };
+}
+
+rrr! {
+    /// `rd = rs1 + rs2`
+    add => Add,
+    /// `rd = rs1 - rs2`
+    sub => Sub,
+    /// `rd = rs1 & rs2`
+    and => And,
+    /// `rd = rs1 | rs2`
+    or => Or,
+    /// `rd = rs1 ^ rs2`
+    xor => Xor,
+    /// `rd = rs1 << (rs2 & 31)`
+    sll => Sll,
+    /// `rd = rs1 >> (rs2 & 31)` (logical)
+    srl => Srl,
+    /// `rd = rs1 >> (rs2 & 31)` (arithmetic)
+    sra => Sra,
+    /// `rd = (rs1 <s rs2)`
+    slt => Slt,
+    /// `rd = (rs1 <u rs2)`
+    sltu => Sltu,
+    /// `rd = rs1 * rs2` (low 32 bits)
+    mul => Mul,
+    /// `rd = rs1 /u rs2` (`u32::MAX` on divide-by-zero)
+    divu => Divu,
+    /// `rd = rs1 %u rs2` (`rs1` on divide-by-zero)
+    remu => Remu,
+}
+
+macro_rules! branches {
+    ($($(#[$doc:meta])* $m:ident => $v:ident),+ $(,)?) => {
+        impl Asm {
+            $(
+                $(#[$doc])*
+                pub fn $m(&mut self, rs1: Reg, rs2: Reg, target: Label) -> &mut Self {
+                    let at = self.insts.len();
+                    self.fixups.push((at, Fixup::Rel16(target)));
+                    self.push(Inst::$v { rs1, rs2, off: 0 })
+                }
+            )+
+        }
+    };
+}
+
+branches! {
+    /// Branch if `rs1 == rs2`.
+    beq => Beq,
+    /// Branch if `rs1 != rs2`.
+    bne => Bne,
+    /// Branch if `rs1 <s rs2`.
+    blt => Blt,
+    /// Branch if `rs1 >=s rs2`.
+    bge => Bge,
+    /// Branch if `rs1 <u rs2`.
+    bltu => Bltu,
+    /// Branch if `rs1 >=u rs2`.
+    bgeu => Bgeu,
+}
+
+macro_rules! loads {
+    ($($(#[$doc:meta])* $m:ident => $v:ident),+ $(,)?) => {
+        impl Asm {
+            $(
+                $(#[$doc])*
+                pub fn $m(&mut self, rd: Reg, rs1: Reg, off: i16) -> &mut Self {
+                    self.push(Inst::$v { rd, rs1, off })
+                }
+            )+
+        }
+    };
+}
+
+loads! {
+    /// Load sign-extended byte.
+    lb => Lb,
+    /// Load zero-extended byte.
+    lbu => Lbu,
+    /// Load sign-extended half.
+    lh => Lh,
+    /// Load zero-extended half.
+    lhu => Lhu,
+    /// Load word.
+    lw => Lw,
+}
+
+impl Asm {
+    /// `rd = rs1 + imm`
+    pub fn addi(&mut self, rd: Reg, rs1: Reg, imm: i16) -> &mut Self {
+        self.push(Inst::Addi { rd, rs1, imm })
+    }
+
+    /// `rd = rs1 & imm`
+    pub fn andi(&mut self, rd: Reg, rs1: Reg, imm: u16) -> &mut Self {
+        self.push(Inst::Andi { rd, rs1, imm })
+    }
+
+    /// `rd = rs1 | imm`
+    pub fn ori(&mut self, rd: Reg, rs1: Reg, imm: u16) -> &mut Self {
+        self.push(Inst::Ori { rd, rs1, imm })
+    }
+
+    /// `rd = rs1 ^ imm`
+    pub fn xori(&mut self, rd: Reg, rs1: Reg, imm: u16) -> &mut Self {
+        self.push(Inst::Xori { rd, rs1, imm })
+    }
+
+    /// `rd = (rs1 <s imm)`
+    pub fn slti(&mut self, rd: Reg, rs1: Reg, imm: i16) -> &mut Self {
+        self.push(Inst::Slti { rd, rs1, imm })
+    }
+
+    /// `rd = rs1 << sh`
+    pub fn slli(&mut self, rd: Reg, rs1: Reg, sh: u8) -> &mut Self {
+        self.push(Inst::Slli { rd, rs1, sh })
+    }
+
+    /// `rd = rs1 >> sh` (logical)
+    pub fn srli(&mut self, rd: Reg, rs1: Reg, sh: u8) -> &mut Self {
+        self.push(Inst::Srli { rd, rs1, sh })
+    }
+
+    /// `rd = rs1 >> sh` (arithmetic)
+    pub fn srai(&mut self, rd: Reg, rs1: Reg, sh: u8) -> &mut Self {
+        self.push(Inst::Srai { rd, rs1, sh })
+    }
+
+    /// `rd = imm << 16`
+    pub fn lui(&mut self, rd: Reg, imm: u16) -> &mut Self {
+        self.push(Inst::Lui { rd, imm })
+    }
+
+    /// Loads the full 32-bit constant `v` into `rd` (`lui` + `ori`; emits
+    /// one or two instructions).
+    pub fn li(&mut self, rd: Reg, v: u32) -> &mut Self {
+        let hi = (v >> 16) as u16;
+        let lo = (v & 0xFFFF) as u16;
+        if hi != 0 {
+            self.lui(rd, hi);
+            if lo != 0 {
+                self.ori(rd, rd, lo);
+            }
+        } else {
+            self.ori(rd, Reg::R0, lo);
+        }
+        self
+    }
+
+    /// Store byte.
+    pub fn sb(&mut self, rs2: Reg, rs1: Reg, off: i16) -> &mut Self {
+        self.push(Inst::Sb { rs1, rs2, off })
+    }
+
+    /// Store half.
+    pub fn sh(&mut self, rs2: Reg, rs1: Reg, off: i16) -> &mut Self {
+        self.push(Inst::Sh { rs1, rs2, off })
+    }
+
+    /// Store word.
+    pub fn sw(&mut self, rs2: Reg, rs1: Reg, off: i16) -> &mut Self {
+        self.push(Inst::Sw { rs1, rs2, off })
+    }
+
+    /// Load FP double.
+    pub fn fld(&mut self, fd: FReg, rs1: Reg, off: i16) -> &mut Self {
+        self.push(Inst::Fld { fd, rs1, off })
+    }
+
+    /// Store FP double.
+    pub fn fsd(&mut self, fs2: FReg, rs1: Reg, off: i16) -> &mut Self {
+        self.push(Inst::Fsd { rs1, fs2, off })
+    }
+
+    /// `fd = fs1 + fs2`
+    pub fn fadd(&mut self, fd: FReg, fs1: FReg, fs2: FReg) -> &mut Self {
+        self.push(Inst::Fadd { fd, fs1, fs2 })
+    }
+
+    /// `fd = fs1 - fs2`
+    pub fn fsub(&mut self, fd: FReg, fs1: FReg, fs2: FReg) -> &mut Self {
+        self.push(Inst::Fsub { fd, fs1, fs2 })
+    }
+
+    /// `fd = fs1 * fs2`
+    pub fn fmul(&mut self, fd: FReg, fs1: FReg, fs2: FReg) -> &mut Self {
+        self.push(Inst::Fmul { fd, fs1, fs2 })
+    }
+
+    /// `fd = fs1 / fs2`
+    pub fn fdiv(&mut self, fd: FReg, fs1: FReg, fs2: FReg) -> &mut Self {
+        self.push(Inst::Fdiv { fd, fs1, fs2 })
+    }
+
+    /// `fd = fs1`
+    pub fn fmov(&mut self, fd: FReg, fs1: FReg) -> &mut Self {
+        self.push(Inst::Fmov { fd, fs1 })
+    }
+
+    /// `rd = (fs1 < fs2)`
+    pub fn fcmplt(&mut self, rd: Reg, fs1: FReg, fs2: FReg) -> &mut Self {
+        self.push(Inst::Fcmplt { rd, fs1, fs2 })
+    }
+
+    /// `fd = rs1 as f64` (signed)
+    pub fn fcvtif(&mut self, fd: FReg, rs1: Reg) -> &mut Self {
+        self.push(Inst::Fcvtif { fd, rs1 })
+    }
+
+    /// `rd = fs1 as i64 as u32` (truncating)
+    pub fn fcvtfi(&mut self, rd: Reg, fs1: FReg) -> &mut Self {
+        self.push(Inst::Fcvtfi { rd, fs1 })
+    }
+
+    /// Unconditional jump to `target`.
+    pub fn j(&mut self, target: Label) -> &mut Self {
+        let at = self.insts.len();
+        self.fixups.push((at, Fixup::Rel26(target)));
+        self.push(Inst::J { off: 0 })
+    }
+
+    /// Call `target` (links `r31`).
+    pub fn jal(&mut self, target: Label) -> &mut Self {
+        let at = self.insts.len();
+        self.fixups.push((at, Fixup::Rel26(target)));
+        self.push(Inst::Jal { off: 0 })
+    }
+
+    /// Indirect jump to `rs1`, linking into `rd`.
+    pub fn jalr(&mut self, rd: Reg, rs1: Reg) -> &mut Self {
+        self.push(Inst::Jalr { rd, rs1 })
+    }
+
+    /// Return (`jalr r0, r31`).
+    pub fn ret(&mut self) -> &mut Self {
+        self.jalr(Reg::R0, Reg::R31)
+    }
+
+    /// Write `rs1` to I/O `port`.
+    pub fn out(&mut self, rs1: Reg, port: u8) -> &mut Self {
+        self.push(Inst::Out { rs1, port })
+    }
+
+    /// Stop the machine.
+    pub fn halt(&mut self) -> &mut Self {
+        self.push(Inst::Halt)
+    }
+
+    /// No-op.
+    pub fn nop(&mut self) -> &mut Self {
+        self.push(Inst::Nop)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{step, ArchState};
+    use crate::mem::{FlatMem, MemIo};
+
+    fn run(a: &Asm, mem_len: usize, max_steps: usize) -> (ArchState, FlatMem) {
+        let words = a.assemble().expect("assemble");
+        let mut mem = FlatMem::new(a.base(), mem_len);
+        mem.load_words(a.base(), &words);
+        let mut st = ArchState::new(a.base());
+        for _ in 0..max_steps {
+            if st.halted {
+                break;
+            }
+            step(&mut st, &mut mem).expect("step");
+        }
+        assert!(st.halted, "program did not halt");
+        (st, mem)
+    }
+
+    #[test]
+    fn forward_and_backward_labels() {
+        let mut a = Asm::new(0);
+        let top = a.new_label();
+        let end = a.new_label();
+        a.addi(Reg::R1, Reg::R0, 3);
+        a.bind(top).unwrap();
+        a.beq(Reg::R1, Reg::R0, end); // forward
+        a.addi(Reg::R1, Reg::R1, -1);
+        a.bne(Reg::R0, Reg::R0, end); // never taken
+        a.j(top); // backward
+        a.bind(end).unwrap();
+        a.halt();
+        let (st, _) = run(&a, 4096, 100);
+        assert_eq!(st.reg(Reg::R1), 0);
+    }
+
+    #[test]
+    fn call_and_return() {
+        let mut a = Asm::new(0x1000);
+        let func = a.new_label();
+        let end = a.new_label();
+        a.addi(Reg::R1, Reg::R0, 1);
+        a.jal(func);
+        a.j(end);
+        a.bind(func).unwrap();
+        a.addi(Reg::R1, Reg::R1, 10);
+        a.ret();
+        a.bind(end).unwrap();
+        a.halt();
+        let (st, _) = run(&a, 64 * 1024, 100);
+        assert_eq!(st.reg(Reg::R1), 11);
+    }
+
+    #[test]
+    fn li_expansions() {
+        let mut a = Asm::new(0);
+        a.li(Reg::R1, 0xDEADBEEF);
+        a.li(Reg::R2, 0x0000BEEF);
+        a.li(Reg::R3, 0xDEAD0000);
+        a.halt();
+        let (st, _) = run(&a, 4096, 100);
+        assert_eq!(st.reg(Reg::R1), 0xDEADBEEF);
+        assert_eq!(st.reg(Reg::R2), 0x0000BEEF);
+        assert_eq!(st.reg(Reg::R3), 0xDEAD0000);
+    }
+
+    #[test]
+    fn unbound_label_errors() {
+        let mut a = Asm::new(0);
+        let l = a.new_label();
+        a.j(l);
+        assert!(matches!(a.assemble(), Err(AsmError::UnboundLabel(_))));
+    }
+
+    #[test]
+    fn rebound_label_errors() {
+        let mut a = Asm::new(0);
+        let l = a.new_label();
+        a.bind(l).unwrap();
+        assert_eq!(a.bind(l), Err(AsmError::Rebound(l)));
+    }
+
+    #[test]
+    fn offset_overflow_detected() {
+        let mut a = Asm::new(0);
+        let far = a.new_label();
+        a.beq(Reg::R0, Reg::R0, far);
+        for _ in 0..40_000 {
+            a.nop();
+        }
+        a.bind(far).unwrap();
+        a.halt();
+        assert!(matches!(a.assemble(), Err(AsmError::OffsetOverflow { .. })));
+    }
+
+    #[test]
+    fn here_tracks_position() {
+        let mut a = Asm::new(0x100);
+        assert_eq!(a.here(), 0x100);
+        a.nop();
+        assert_eq!(a.here(), 0x104);
+    }
+
+    #[test]
+    fn memory_loop_writes_array() {
+        // for i in 0..8 { mem[0x800 + 4*i] = i }
+        let mut a = Asm::new(0);
+        let top = a.new_label();
+        let end = a.new_label();
+        a.addi(Reg::R1, Reg::R0, 0); // i
+        a.addi(Reg::R2, Reg::R0, 8); // n
+        a.li(Reg::R3, 0x800); // base
+        a.bind(top).unwrap();
+        a.bge(Reg::R1, Reg::R2, end);
+        a.slli(Reg::R4, Reg::R1, 2);
+        a.add(Reg::R4, Reg::R4, Reg::R3);
+        a.sw(Reg::R1, Reg::R4, 0);
+        a.addi(Reg::R1, Reg::R1, 1);
+        a.j(top);
+        a.bind(end).unwrap();
+        a.halt();
+        let (_, mut mem) = run(&a, 4096, 1000);
+        for i in 0..8u32 {
+            assert_eq!(mem.read_u32(0x800 + 4 * i), i);
+        }
+    }
+}

@@ -1,0 +1,378 @@
+//! Bit-level instruction encoding.
+//!
+//! Layout (fields named by bit ranges, big-endian bit numbering):
+//!
+//! * R-type:  `[31:26] op | [25:21] rs1 | [20:16] rs2 | [15:11] rd | [10:0] funct`
+//! * I-type:  `[31:26] op | [25:21] rs1 | [20:16] rd  | [15:0] imm16`
+//! * S/B-type:`[31:26] op | [25:21] rs1 | [20:16] rs2 | [15:0] off16`
+//! * J-type:  `[31:26] op | [25:0] off26` (signed word offset)
+//!
+//! The encoding is deliberately simple and *predictable*: the paper's
+//! disclosing-kernel exploit relies on an adversary being able to predict
+//! compiler-generated instruction words (function prologues, loop shapes)
+//! and synthesize XOR masks that rewrite them under counter-mode
+//! malleability.
+
+use crate::inst::Inst;
+use crate::reg::{FReg, Reg};
+
+const OP_SHIFT: u32 = 26;
+
+mod op {
+    pub const NOP: u32 = 0x00;
+    pub const INT_R: u32 = 0x01;
+    pub const ADDI: u32 = 0x02;
+    pub const ANDI: u32 = 0x03;
+    pub const ORI: u32 = 0x04;
+    pub const XORI: u32 = 0x05;
+    pub const SLTI: u32 = 0x06;
+    pub const SLLI: u32 = 0x08;
+    pub const SRLI: u32 = 0x09;
+    pub const SRAI: u32 = 0x0A;
+    pub const LUI: u32 = 0x0B;
+    pub const LB: u32 = 0x10;
+    pub const LBU: u32 = 0x11;
+    pub const LH: u32 = 0x12;
+    pub const LHU: u32 = 0x13;
+    pub const LW: u32 = 0x14;
+    pub const SB: u32 = 0x15;
+    pub const SH: u32 = 0x16;
+    pub const SW: u32 = 0x17;
+    pub const FLD: u32 = 0x18;
+    pub const FSD: u32 = 0x19;
+    pub const FP_R: u32 = 0x1A;
+    pub const BEQ: u32 = 0x20;
+    pub const BNE: u32 = 0x21;
+    pub const BLT: u32 = 0x22;
+    pub const BGE: u32 = 0x23;
+    pub const BLTU: u32 = 0x24;
+    pub const BGEU: u32 = 0x25;
+    pub const J: u32 = 0x26;
+    pub const JAL: u32 = 0x27;
+    pub const JALR: u32 = 0x28;
+    pub const OUT: u32 = 0x30;
+    pub const HALT: u32 = 0x3F;
+}
+
+mod funct {
+    pub const ADD: u32 = 0;
+    pub const SUB: u32 = 1;
+    pub const AND: u32 = 2;
+    pub const OR: u32 = 3;
+    pub const XOR: u32 = 4;
+    pub const SLL: u32 = 5;
+    pub const SRL: u32 = 6;
+    pub const SRA: u32 = 7;
+    pub const SLT: u32 = 8;
+    pub const SLTU: u32 = 9;
+    pub const MUL: u32 = 10;
+    pub const DIVU: u32 = 11;
+    pub const REMU: u32 = 12;
+
+    pub const FADD: u32 = 0;
+    pub const FSUB: u32 = 1;
+    pub const FMUL: u32 = 2;
+    pub const FDIV: u32 = 3;
+    pub const FMOV: u32 = 4;
+    pub const FCMPLT: u32 = 5;
+    pub const FCVTIF: u32 = 6;
+    pub const FCVTFI: u32 = 7;
+}
+
+fn r_type(op: u32, rs1: u32, rs2: u32, rd: u32, fct: u32) -> u32 {
+    (op << OP_SHIFT) | (rs1 << 21) | (rs2 << 16) | (rd << 11) | (fct & 0x7FF)
+}
+
+fn i_type(op: u32, rs1: u32, rd: u32, imm: u32) -> u32 {
+    (op << OP_SHIFT) | (rs1 << 21) | (rd << 16) | (imm & 0xFFFF)
+}
+
+fn j_type(op: u32, off: i32) -> u32 {
+    (op << OP_SHIFT) | ((off as u32) & 0x03FF_FFFF)
+}
+
+/// Encodes an instruction into its 32-bit word.
+///
+/// `Inst::Illegal(w)` encodes back to `w` verbatim so tampered images can
+/// be round-tripped.
+///
+/// # Examples
+///
+/// ```
+/// use secsim_isa::{decode, encode, Inst, Reg};
+///
+/// let i = Inst::Addi { rd: Reg::R1, rs1: Reg::R0, imm: -7 };
+/// assert_eq!(decode(encode(i)), i);
+/// assert_eq!(encode(Inst::Nop), 0);
+/// ```
+pub fn encode(inst: Inst) -> u32 {
+    use Inst::*;
+    let r = |x: Reg| x.index() as u32;
+    let fr = |x: FReg| x.index() as u32;
+    match inst {
+        Nop => 0,
+        Add { rd, rs1, rs2 } => r_type(op::INT_R, r(rs1), r(rs2), r(rd), funct::ADD),
+        Sub { rd, rs1, rs2 } => r_type(op::INT_R, r(rs1), r(rs2), r(rd), funct::SUB),
+        And { rd, rs1, rs2 } => r_type(op::INT_R, r(rs1), r(rs2), r(rd), funct::AND),
+        Or { rd, rs1, rs2 } => r_type(op::INT_R, r(rs1), r(rs2), r(rd), funct::OR),
+        Xor { rd, rs1, rs2 } => r_type(op::INT_R, r(rs1), r(rs2), r(rd), funct::XOR),
+        Sll { rd, rs1, rs2 } => r_type(op::INT_R, r(rs1), r(rs2), r(rd), funct::SLL),
+        Srl { rd, rs1, rs2 } => r_type(op::INT_R, r(rs1), r(rs2), r(rd), funct::SRL),
+        Sra { rd, rs1, rs2 } => r_type(op::INT_R, r(rs1), r(rs2), r(rd), funct::SRA),
+        Slt { rd, rs1, rs2 } => r_type(op::INT_R, r(rs1), r(rs2), r(rd), funct::SLT),
+        Sltu { rd, rs1, rs2 } => r_type(op::INT_R, r(rs1), r(rs2), r(rd), funct::SLTU),
+        Mul { rd, rs1, rs2 } => r_type(op::INT_R, r(rs1), r(rs2), r(rd), funct::MUL),
+        Divu { rd, rs1, rs2 } => r_type(op::INT_R, r(rs1), r(rs2), r(rd), funct::DIVU),
+        Remu { rd, rs1, rs2 } => r_type(op::INT_R, r(rs1), r(rs2), r(rd), funct::REMU),
+        Addi { rd, rs1, imm } => i_type(op::ADDI, r(rs1), r(rd), imm as u16 as u32),
+        Andi { rd, rs1, imm } => i_type(op::ANDI, r(rs1), r(rd), imm as u32),
+        Ori { rd, rs1, imm } => i_type(op::ORI, r(rs1), r(rd), imm as u32),
+        Xori { rd, rs1, imm } => i_type(op::XORI, r(rs1), r(rd), imm as u32),
+        Slti { rd, rs1, imm } => i_type(op::SLTI, r(rs1), r(rd), imm as u16 as u32),
+        Slli { rd, rs1, sh } => i_type(op::SLLI, r(rs1), r(rd), (sh & 31) as u32),
+        Srli { rd, rs1, sh } => i_type(op::SRLI, r(rs1), r(rd), (sh & 31) as u32),
+        Srai { rd, rs1, sh } => i_type(op::SRAI, r(rs1), r(rd), (sh & 31) as u32),
+        Lui { rd, imm } => i_type(op::LUI, 0, r(rd), imm as u32),
+        Lb { rd, rs1, off } => i_type(op::LB, r(rs1), r(rd), off as u16 as u32),
+        Lbu { rd, rs1, off } => i_type(op::LBU, r(rs1), r(rd), off as u16 as u32),
+        Lh { rd, rs1, off } => i_type(op::LH, r(rs1), r(rd), off as u16 as u32),
+        Lhu { rd, rs1, off } => i_type(op::LHU, r(rs1), r(rd), off as u16 as u32),
+        Lw { rd, rs1, off } => i_type(op::LW, r(rs1), r(rd), off as u16 as u32),
+        Fld { fd, rs1, off } => i_type(op::FLD, r(rs1), fr(fd), off as u16 as u32),
+        Sb { rs1, rs2, off } => i_type(op::SB, r(rs1), r(rs2), off as u16 as u32),
+        Sh { rs1, rs2, off } => i_type(op::SH, r(rs1), r(rs2), off as u16 as u32),
+        Sw { rs1, rs2, off } => i_type(op::SW, r(rs1), r(rs2), off as u16 as u32),
+        Fsd { rs1, fs2, off } => i_type(op::FSD, r(rs1), fr(fs2), off as u16 as u32),
+        Fadd { fd, fs1, fs2 } => r_type(op::FP_R, fr(fs1), fr(fs2), fr(fd), funct::FADD),
+        Fsub { fd, fs1, fs2 } => r_type(op::FP_R, fr(fs1), fr(fs2), fr(fd), funct::FSUB),
+        Fmul { fd, fs1, fs2 } => r_type(op::FP_R, fr(fs1), fr(fs2), fr(fd), funct::FMUL),
+        Fdiv { fd, fs1, fs2 } => r_type(op::FP_R, fr(fs1), fr(fs2), fr(fd), funct::FDIV),
+        Fmov { fd, fs1 } => r_type(op::FP_R, fr(fs1), 0, fr(fd), funct::FMOV),
+        Fcmplt { rd, fs1, fs2 } => r_type(op::FP_R, fr(fs1), fr(fs2), r(rd), funct::FCMPLT),
+        Fcvtif { fd, rs1 } => r_type(op::FP_R, r(rs1), 0, fr(fd), funct::FCVTIF),
+        Fcvtfi { rd, fs1 } => r_type(op::FP_R, fr(fs1), 0, r(rd), funct::FCVTFI),
+        Beq { rs1, rs2, off } => i_type(op::BEQ, r(rs1), r(rs2), off as u16 as u32),
+        Bne { rs1, rs2, off } => i_type(op::BNE, r(rs1), r(rs2), off as u16 as u32),
+        Blt { rs1, rs2, off } => i_type(op::BLT, r(rs1), r(rs2), off as u16 as u32),
+        Bge { rs1, rs2, off } => i_type(op::BGE, r(rs1), r(rs2), off as u16 as u32),
+        Bltu { rs1, rs2, off } => i_type(op::BLTU, r(rs1), r(rs2), off as u16 as u32),
+        Bgeu { rs1, rs2, off } => i_type(op::BGEU, r(rs1), r(rs2), off as u16 as u32),
+        J { off } => j_type(op::J, off),
+        Jal { off } => j_type(op::JAL, off),
+        Jalr { rd, rs1 } => i_type(op::JALR, r(rs1), r(rd), 0),
+        Out { rs1, port } => i_type(op::OUT, r(rs1), 0, port as u32),
+        Halt => op::HALT << OP_SHIFT,
+        Illegal(w) => w,
+    }
+}
+
+fn sext26(x: u32) -> i32 {
+    ((x << 6) as i32) >> 6
+}
+
+/// Decodes a 32-bit word into an instruction.
+///
+/// Unknown opcodes decode to [`Inst::Illegal`]; unused fields of known
+/// formats are ignored (hardware-style lenient decode), so an adversary
+/// flipping ciphertext bits usually lands on *some* valid instruction —
+/// which is exactly the property the paper's exploits depend on.
+///
+/// # Examples
+///
+/// ```
+/// use secsim_isa::{decode, Inst};
+/// assert_eq!(decode(0), Inst::Nop);
+/// assert!(matches!(decode(0xF800_0000), Inst::Illegal(_))); // unassigned opcode 0x3E
+/// ```
+pub fn decode(word: u32) -> Inst {
+    use Inst::*;
+    let opc = word >> OP_SHIFT;
+    let rs1 = Reg::from_index((word >> 21) & 31);
+    let rs2 = Reg::from_index((word >> 16) & 31);
+    let rrd = Reg::from_index((word >> 11) & 31);
+    let fs1 = FReg::from_index((word >> 21) & 31);
+    let fs2 = FReg::from_index((word >> 16) & 31);
+    let frd = FReg::from_index((word >> 11) & 31);
+    // In I-type, the field at [20:16] is the destination.
+    let ird = rs2;
+    let ifd = fs2;
+    let imm = (word & 0xFFFF) as u16;
+    let simm = imm as i16;
+    let fct = word & 0x7FF;
+
+    match opc {
+        op::NOP => {
+            if word == 0 {
+                Nop
+            } else {
+                Illegal(word)
+            }
+        }
+        op::INT_R => match fct {
+            funct::ADD => Add { rd: rrd, rs1, rs2 },
+            funct::SUB => Sub { rd: rrd, rs1, rs2 },
+            funct::AND => And { rd: rrd, rs1, rs2 },
+            funct::OR => Or { rd: rrd, rs1, rs2 },
+            funct::XOR => Xor { rd: rrd, rs1, rs2 },
+            funct::SLL => Sll { rd: rrd, rs1, rs2 },
+            funct::SRL => Srl { rd: rrd, rs1, rs2 },
+            funct::SRA => Sra { rd: rrd, rs1, rs2 },
+            funct::SLT => Slt { rd: rrd, rs1, rs2 },
+            funct::SLTU => Sltu { rd: rrd, rs1, rs2 },
+            funct::MUL => Mul { rd: rrd, rs1, rs2 },
+            funct::DIVU => Divu { rd: rrd, rs1, rs2 },
+            funct::REMU => Remu { rd: rrd, rs1, rs2 },
+            _ => Illegal(word),
+        },
+        op::ADDI => Addi { rd: ird, rs1, imm: simm },
+        op::ANDI => Andi { rd: ird, rs1, imm },
+        op::ORI => Ori { rd: ird, rs1, imm },
+        op::XORI => Xori { rd: ird, rs1, imm },
+        op::SLTI => Slti { rd: ird, rs1, imm: simm },
+        op::SLLI => Slli { rd: ird, rs1, sh: (imm & 31) as u8 },
+        op::SRLI => Srli { rd: ird, rs1, sh: (imm & 31) as u8 },
+        op::SRAI => Srai { rd: ird, rs1, sh: (imm & 31) as u8 },
+        op::LUI => Lui { rd: ird, imm },
+        op::LB => Lb { rd: ird, rs1, off: simm },
+        op::LBU => Lbu { rd: ird, rs1, off: simm },
+        op::LH => Lh { rd: ird, rs1, off: simm },
+        op::LHU => Lhu { rd: ird, rs1, off: simm },
+        op::LW => Lw { rd: ird, rs1, off: simm },
+        op::SB => Sb { rs1, rs2, off: simm },
+        op::SH => Sh { rs1, rs2, off: simm },
+        op::SW => Sw { rs1, rs2, off: simm },
+        op::FLD => Fld { fd: ifd, rs1, off: simm },
+        op::FSD => Fsd { rs1, fs2: ifd, off: simm },
+        op::FP_R => match fct {
+            funct::FADD => Fadd { fd: frd, fs1, fs2 },
+            funct::FSUB => Fsub { fd: frd, fs1, fs2 },
+            funct::FMUL => Fmul { fd: frd, fs1, fs2 },
+            funct::FDIV => Fdiv { fd: frd, fs1, fs2 },
+            funct::FMOV => Fmov { fd: frd, fs1 },
+            funct::FCMPLT => Fcmplt { rd: rrd, fs1, fs2 },
+            funct::FCVTIF => Fcvtif { fd: frd, rs1 },
+            funct::FCVTFI => Fcvtfi { rd: rrd, fs1 },
+            _ => Illegal(word),
+        },
+        op::BEQ => Beq { rs1, rs2, off: simm },
+        op::BNE => Bne { rs1, rs2, off: simm },
+        op::BLT => Blt { rs1, rs2, off: simm },
+        op::BGE => Bge { rs1, rs2, off: simm },
+        op::BLTU => Bltu { rs1, rs2, off: simm },
+        op::BGEU => Bgeu { rs1, rs2, off: simm },
+        op::J => J { off: sext26(word & 0x03FF_FFFF) },
+        op::JAL => Jal { off: sext26(word & 0x03FF_FFFF) },
+        op::JALR => Jalr { rd: ird, rs1 },
+        op::OUT => Out { rs1, port: (word & 0xFF) as u8 },
+        op::HALT => Halt,
+        _ => Illegal(word),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::Inst;
+    use crate::reg::{FReg, Reg};
+
+    fn rt(i: Inst) {
+        assert_eq!(decode(encode(i)), i, "round trip failed for {i}");
+    }
+
+    #[test]
+    fn round_trip_representatives() {
+        let r1 = Reg::R1;
+        let r2 = Reg::R2;
+        let r3 = Reg::R3;
+        let f1 = FReg::R1;
+        let f2 = FReg::R2;
+        let f3 = FReg::R3;
+        for i in [
+            Inst::Add { rd: r1, rs1: r2, rs2: r3 },
+            Inst::Sub { rd: r3, rs1: r1, rs2: r2 },
+            Inst::And { rd: r1, rs1: r1, rs2: r1 },
+            Inst::Or { rd: r1, rs1: r2, rs2: r3 },
+            Inst::Xor { rd: r1, rs1: r2, rs2: r3 },
+            Inst::Sll { rd: r1, rs1: r2, rs2: r3 },
+            Inst::Srl { rd: r1, rs1: r2, rs2: r3 },
+            Inst::Sra { rd: r1, rs1: r2, rs2: r3 },
+            Inst::Slt { rd: r1, rs1: r2, rs2: r3 },
+            Inst::Sltu { rd: r1, rs1: r2, rs2: r3 },
+            Inst::Mul { rd: r1, rs1: r2, rs2: r3 },
+            Inst::Divu { rd: r1, rs1: r2, rs2: r3 },
+            Inst::Remu { rd: r1, rs1: r2, rs2: r3 },
+            Inst::Addi { rd: r1, rs1: r2, imm: -32768 },
+            Inst::Andi { rd: r1, rs1: r2, imm: 0xFFFF },
+            Inst::Ori { rd: r1, rs1: r2, imm: 0xABCD },
+            Inst::Xori { rd: r1, rs1: r2, imm: 1 },
+            Inst::Slti { rd: r1, rs1: r2, imm: 32767 },
+            Inst::Slli { rd: r1, rs1: r2, sh: 31 },
+            Inst::Srli { rd: r1, rs1: r2, sh: 0 },
+            Inst::Srai { rd: r1, rs1: r2, sh: 15 },
+            Inst::Lui { rd: r1, imm: 0xDEAD },
+            Inst::Lb { rd: r1, rs1: r2, off: -1 },
+            Inst::Lbu { rd: r1, rs1: r2, off: 1 },
+            Inst::Lh { rd: r1, rs1: r2, off: -2 },
+            Inst::Lhu { rd: r1, rs1: r2, off: 2 },
+            Inst::Lw { rd: r1, rs1: r2, off: 4 },
+            Inst::Fld { fd: f1, rs1: r2, off: 8 },
+            Inst::Sb { rs1: r1, rs2: r2, off: 3 },
+            Inst::Sh { rs1: r1, rs2: r2, off: -6 },
+            Inst::Sw { rs1: r1, rs2: r2, off: 12 },
+            Inst::Fsd { rs1: r1, fs2: f2, off: -8 },
+            Inst::Fadd { fd: f1, fs1: f2, fs2: f3 },
+            Inst::Fsub { fd: f1, fs1: f2, fs2: f3 },
+            Inst::Fmul { fd: f1, fs1: f2, fs2: f3 },
+            Inst::Fdiv { fd: f1, fs1: f2, fs2: f3 },
+            Inst::Fmov { fd: f1, fs1: f2 },
+            Inst::Fcmplt { rd: r1, fs1: f2, fs2: f3 },
+            Inst::Fcvtif { fd: f1, rs1: r2 },
+            Inst::Fcvtfi { rd: r1, fs1: f2 },
+            Inst::Beq { rs1: r1, rs2: r2, off: -100 },
+            Inst::Bne { rs1: r1, rs2: r2, off: 100 },
+            Inst::Blt { rs1: r1, rs2: r2, off: 0 },
+            Inst::Bge { rs1: r1, rs2: r2, off: 5 },
+            Inst::Bltu { rs1: r1, rs2: r2, off: -5 },
+            Inst::Bgeu { rs1: r1, rs2: r2, off: 7 },
+            Inst::J { off: -(1 << 25) },
+            Inst::Jal { off: (1 << 25) - 1 },
+            Inst::Jalr { rd: r1, rs1: r2 },
+            Inst::Out { rs1: r1, port: 255 },
+            Inst::Halt,
+            Inst::Nop,
+        ] {
+            rt(i);
+        }
+    }
+
+    #[test]
+    fn nop_is_zero_word() {
+        assert_eq!(encode(Inst::Nop), 0);
+        assert_eq!(decode(0), Inst::Nop);
+    }
+
+    #[test]
+    fn nonzero_opcode_zero_rest_is_illegal() {
+        assert_eq!(decode(0x0000_0001), Inst::Illegal(1));
+    }
+
+    #[test]
+    fn unknown_opcode_is_illegal() {
+        let w = 0x3E << 26; // unassigned
+        assert_eq!(decode(w), Inst::Illegal(w));
+    }
+
+    #[test]
+    fn illegal_round_trips_verbatim() {
+        let w = 0x0000_1234;
+        assert_eq!(encode(decode(w)), w);
+    }
+
+    #[test]
+    fn sext26_works() {
+        assert_eq!(sext26(0x03FF_FFFF), -1);
+        assert_eq!(sext26(0x0200_0000), -(1 << 25));
+        assert_eq!(sext26(0x01FF_FFFF), (1 << 25) - 1);
+        assert_eq!(sext26(0), 0);
+    }
+}

@@ -1,0 +1,509 @@
+//! Functional ("oracle") semantics of the ISA.
+//!
+//! The out-of-order timing model in `secsim-cpu` drives this interpreter
+//! one instruction at a time to obtain values, effective addresses and
+//! branch outcomes, then layers cycle timing on top. The same interpreter
+//! runs tampered (attacker-modified) programs: decoding never panics, and
+//! executing an undecodable word returns [`Fault::IllegalInstruction`].
+
+use crate::encode::decode;
+use crate::inst::{Inst, MemWidth};
+use crate::mem::MemIo;
+use crate::reg::{FReg, Reg};
+use std::fmt;
+
+/// Architectural register and PC state.
+///
+/// # Examples
+///
+/// ```
+/// use secsim_isa::{ArchState, Reg};
+///
+/// let mut st = ArchState::new(0x1000);
+/// st.set_reg(Reg::R5, 42);
+/// assert_eq!(st.reg(Reg::R5), 42);
+/// st.set_reg(Reg::R0, 99); // r0 is hardwired to zero
+/// assert_eq!(st.reg(Reg::R0), 0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArchState {
+    /// Current program counter.
+    pub pc: u32,
+    /// Whether a `halt` has been executed.
+    pub halted: bool,
+    /// Number of retired instructions.
+    pub icount: u64,
+    regs: [u32; 32],
+    fregs: [f64; 32],
+}
+
+impl ArchState {
+    /// Creates a zeroed state with the given entry PC.
+    pub fn new(entry: u32) -> Self {
+        Self { pc: entry, halted: false, icount: 0, regs: [0; 32], fregs: [0.0; 32] }
+    }
+
+    /// Reads an integer register (`r0` always reads 0).
+    pub fn reg(&self, r: Reg) -> u32 {
+        self.regs[r.index()]
+    }
+
+    /// Writes an integer register (writes to `r0` are discarded).
+    pub fn set_reg(&mut self, r: Reg, v: u32) {
+        if r != Reg::R0 {
+            self.regs[r.index()] = v;
+        }
+    }
+
+    /// Reads a floating-point register.
+    pub fn freg(&self, r: FReg) -> f64 {
+        self.fregs[r.index()]
+    }
+
+    /// Writes a floating-point register.
+    pub fn set_freg(&mut self, r: FReg, v: f64) {
+        self.fregs[r.index()] = v;
+    }
+}
+
+/// A memory access performed by one instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemAccess {
+    /// Effective byte address.
+    pub addr: u32,
+    /// Access width.
+    pub width: MemWidth,
+    /// `true` for stores.
+    pub is_store: bool,
+}
+
+/// Everything the timing model needs to know about one executed
+/// instruction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepInfo {
+    /// PC of the executed instruction.
+    pub pc: u32,
+    /// The decoded instruction.
+    pub inst: Inst,
+    /// PC of the next instruction (branch/jump targets included).
+    pub next_pc: u32,
+    /// Memory access, if this was a load/store.
+    pub mem: Option<MemAccess>,
+    /// `(taken, target)` for control-transfer instructions. Unconditional
+    /// jumps report `taken = true`.
+    pub control: Option<(bool, u32)>,
+    /// `(port, value)` written by an `out` instruction.
+    pub out: Option<(u8, u32)>,
+}
+
+/// A fault raised by the functional semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// The fetched word does not decode to a valid instruction.
+    IllegalInstruction {
+        /// PC of the faulting word.
+        pc: u32,
+        /// The raw word.
+        word: u32,
+    },
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Fault::IllegalInstruction { pc, word } => {
+                write!(f, "illegal instruction {word:#010x} at pc {pc:#010x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Fault {}
+
+/// Executes one instruction at `st.pc` against `mem`.
+///
+/// Returns a [`StepInfo`] describing the committed effects. `halt` sets
+/// `st.halted` and still returns normally; calling [`step`] again on a
+/// halted machine returns a no-op `StepInfo` without advancing.
+///
+/// # Errors
+///
+/// Returns [`Fault::IllegalInstruction`] when the fetched word is
+/// undecodable; the PC is left pointing at the faulting instruction so a
+/// security-exception handler can report a precise state.
+///
+/// # Examples
+///
+/// ```
+/// use secsim_isa::{step, ArchState, FlatMem, Inst, MemIo, Reg, encode};
+///
+/// let mut mem = FlatMem::new(0, 64);
+/// mem.write_u32(0, encode(Inst::Addi { rd: Reg::R1, rs1: Reg::R0, imm: 9 }));
+/// let mut st = ArchState::new(0);
+/// let info = step(&mut st, &mut mem).unwrap();
+/// assert_eq!(st.reg(Reg::R1), 9);
+/// assert_eq!(info.next_pc, 4);
+/// ```
+pub fn step<M: MemIo>(st: &mut ArchState, mem: &mut M) -> Result<StepInfo, Fault> {
+    if st.halted {
+        return Ok(StepInfo {
+            pc: st.pc,
+            inst: Inst::Halt,
+            next_pc: st.pc,
+            mem: None,
+            control: None,
+            out: None,
+        });
+    }
+    let pc = st.pc;
+    let word = mem.fetch_word(pc);
+    let inst = decode(word);
+    let mut next_pc = pc.wrapping_add(4);
+    let mut info_mem = None;
+    let mut control = None;
+    let mut out = None;
+
+    use Inst::*;
+    match inst {
+        Add { rd, rs1, rs2 } => st.set_reg(rd, st.reg(rs1).wrapping_add(st.reg(rs2))),
+        Sub { rd, rs1, rs2 } => st.set_reg(rd, st.reg(rs1).wrapping_sub(st.reg(rs2))),
+        And { rd, rs1, rs2 } => st.set_reg(rd, st.reg(rs1) & st.reg(rs2)),
+        Or { rd, rs1, rs2 } => st.set_reg(rd, st.reg(rs1) | st.reg(rs2)),
+        Xor { rd, rs1, rs2 } => st.set_reg(rd, st.reg(rs1) ^ st.reg(rs2)),
+        Sll { rd, rs1, rs2 } => st.set_reg(rd, st.reg(rs1) << (st.reg(rs2) & 31)),
+        Srl { rd, rs1, rs2 } => st.set_reg(rd, st.reg(rs1) >> (st.reg(rs2) & 31)),
+        Sra { rd, rs1, rs2 } => {
+            st.set_reg(rd, ((st.reg(rs1) as i32) >> (st.reg(rs2) & 31)) as u32)
+        }
+        Slt { rd, rs1, rs2 } => {
+            st.set_reg(rd, ((st.reg(rs1) as i32) < (st.reg(rs2) as i32)) as u32)
+        }
+        Sltu { rd, rs1, rs2 } => st.set_reg(rd, (st.reg(rs1) < st.reg(rs2)) as u32),
+        Mul { rd, rs1, rs2 } => st.set_reg(rd, st.reg(rs1).wrapping_mul(st.reg(rs2))),
+        Divu { rd, rs1, rs2 } => {
+            let d = st.reg(rs2);
+            st.set_reg(rd, if d == 0 { u32::MAX } else { st.reg(rs1) / d });
+        }
+        Remu { rd, rs1, rs2 } => {
+            let d = st.reg(rs2);
+            st.set_reg(rd, if d == 0 { st.reg(rs1) } else { st.reg(rs1) % d });
+        }
+        Addi { rd, rs1, imm } => st.set_reg(rd, st.reg(rs1).wrapping_add(imm as i32 as u32)),
+        Andi { rd, rs1, imm } => st.set_reg(rd, st.reg(rs1) & imm as u32),
+        Ori { rd, rs1, imm } => st.set_reg(rd, st.reg(rs1) | imm as u32),
+        Xori { rd, rs1, imm } => st.set_reg(rd, st.reg(rs1) ^ imm as u32),
+        Slti { rd, rs1, imm } => st.set_reg(rd, ((st.reg(rs1) as i32) < imm as i32) as u32),
+        Slli { rd, rs1, sh } => st.set_reg(rd, st.reg(rs1) << (sh & 31)),
+        Srli { rd, rs1, sh } => st.set_reg(rd, st.reg(rs1) >> (sh & 31)),
+        Srai { rd, rs1, sh } => st.set_reg(rd, ((st.reg(rs1) as i32) >> (sh & 31)) as u32),
+        Lui { rd, imm } => st.set_reg(rd, (imm as u32) << 16),
+        Lb { rd, rs1, off } => {
+            let addr = ea(st.reg(rs1), off);
+            let mut b = [0u8; 1];
+            mem.read(addr, &mut b);
+            st.set_reg(rd, b[0] as i8 as i32 as u32);
+            info_mem = Some(MemAccess { addr, width: MemWidth::Byte, is_store: false });
+        }
+        Lbu { rd, rs1, off } => {
+            let addr = ea(st.reg(rs1), off);
+            let mut b = [0u8; 1];
+            mem.read(addr, &mut b);
+            st.set_reg(rd, b[0] as u32);
+            info_mem = Some(MemAccess { addr, width: MemWidth::Byte, is_store: false });
+        }
+        Lh { rd, rs1, off } => {
+            let addr = ea(st.reg(rs1), off);
+            let mut b = [0u8; 2];
+            mem.read(addr, &mut b);
+            st.set_reg(rd, i16::from_le_bytes(b) as i32 as u32);
+            info_mem = Some(MemAccess { addr, width: MemWidth::Half, is_store: false });
+        }
+        Lhu { rd, rs1, off } => {
+            let addr = ea(st.reg(rs1), off);
+            let mut b = [0u8; 2];
+            mem.read(addr, &mut b);
+            st.set_reg(rd, u16::from_le_bytes(b) as u32);
+            info_mem = Some(MemAccess { addr, width: MemWidth::Half, is_store: false });
+        }
+        Lw { rd, rs1, off } => {
+            let addr = ea(st.reg(rs1), off);
+            st.set_reg(rd, mem.read_u32(addr));
+            info_mem = Some(MemAccess { addr, width: MemWidth::Word, is_store: false });
+        }
+        Fld { fd, rs1, off } => {
+            let addr = ea(st.reg(rs1), off);
+            st.set_freg(fd, mem.read_f64(addr));
+            info_mem = Some(MemAccess { addr, width: MemWidth::Double, is_store: false });
+        }
+        Sb { rs1, rs2, off } => {
+            let addr = ea(st.reg(rs1), off);
+            mem.write(addr, &[st.reg(rs2) as u8]);
+            info_mem = Some(MemAccess { addr, width: MemWidth::Byte, is_store: true });
+        }
+        Sh { rs1, rs2, off } => {
+            let addr = ea(st.reg(rs1), off);
+            mem.write(addr, &(st.reg(rs2) as u16).to_le_bytes());
+            info_mem = Some(MemAccess { addr, width: MemWidth::Half, is_store: true });
+        }
+        Sw { rs1, rs2, off } => {
+            let addr = ea(st.reg(rs1), off);
+            mem.write_u32(addr, st.reg(rs2));
+            info_mem = Some(MemAccess { addr, width: MemWidth::Word, is_store: true });
+        }
+        Fsd { rs1, fs2, off } => {
+            let addr = ea(st.reg(rs1), off);
+            mem.write_f64(addr, st.freg(fs2));
+            info_mem = Some(MemAccess { addr, width: MemWidth::Double, is_store: true });
+        }
+        Fadd { fd, fs1, fs2 } => st.set_freg(fd, st.freg(fs1) + st.freg(fs2)),
+        Fsub { fd, fs1, fs2 } => st.set_freg(fd, st.freg(fs1) - st.freg(fs2)),
+        Fmul { fd, fs1, fs2 } => st.set_freg(fd, st.freg(fs1) * st.freg(fs2)),
+        Fdiv { fd, fs1, fs2 } => st.set_freg(fd, st.freg(fs1) / st.freg(fs2)),
+        Fmov { fd, fs1 } => st.set_freg(fd, st.freg(fs1)),
+        Fcmplt { rd, fs1, fs2 } => st.set_reg(rd, (st.freg(fs1) < st.freg(fs2)) as u32),
+        Fcvtif { fd, rs1 } => st.set_freg(fd, st.reg(rs1) as i32 as f64),
+        Fcvtfi { rd, fs1 } => st.set_reg(rd, st.freg(fs1) as i64 as u32),
+        Beq { rs1, rs2, off } => {
+            let taken = st.reg(rs1) == st.reg(rs2);
+            branch(&mut next_pc, &mut control, pc, off, taken);
+        }
+        Bne { rs1, rs2, off } => {
+            let taken = st.reg(rs1) != st.reg(rs2);
+            branch(&mut next_pc, &mut control, pc, off, taken);
+        }
+        Blt { rs1, rs2, off } => {
+            let taken = (st.reg(rs1) as i32) < (st.reg(rs2) as i32);
+            branch(&mut next_pc, &mut control, pc, off, taken);
+        }
+        Bge { rs1, rs2, off } => {
+            let taken = (st.reg(rs1) as i32) >= (st.reg(rs2) as i32);
+            branch(&mut next_pc, &mut control, pc, off, taken);
+        }
+        Bltu { rs1, rs2, off } => {
+            let taken = st.reg(rs1) < st.reg(rs2);
+            branch(&mut next_pc, &mut control, pc, off, taken);
+        }
+        Bgeu { rs1, rs2, off } => {
+            let taken = st.reg(rs1) >= st.reg(rs2);
+            branch(&mut next_pc, &mut control, pc, off, taken);
+        }
+        J { off } => {
+            let target = jump_target(pc, off);
+            next_pc = target;
+            control = Some((true, target));
+        }
+        Jal { off } => {
+            let target = jump_target(pc, off);
+            st.set_reg(Reg::R31, pc.wrapping_add(4));
+            next_pc = target;
+            control = Some((true, target));
+        }
+        Jalr { rd, rs1 } => {
+            let target = st.reg(rs1) & !3;
+            st.set_reg(rd, pc.wrapping_add(4));
+            next_pc = target;
+            control = Some((true, target));
+        }
+        Out { rs1, port } => out = Some((port, st.reg(rs1))),
+        Halt => {
+            st.halted = true;
+            next_pc = pc;
+        }
+        Nop => {}
+        Illegal(word) => return Err(Fault::IllegalInstruction { pc, word }),
+    }
+
+    st.pc = next_pc;
+    st.icount += 1;
+    Ok(StepInfo { pc, inst, next_pc, mem: info_mem, control, out })
+}
+
+fn ea(base: u32, off: i16) -> u32 {
+    base.wrapping_add(off as i32 as u32)
+}
+
+fn branch_target(pc: u32, off: i16) -> u32 {
+    pc.wrapping_add(4).wrapping_add(((off as i32) << 2) as u32)
+}
+
+fn jump_target(pc: u32, off: i32) -> u32 {
+    pc.wrapping_add(4).wrapping_add((off << 2) as u32)
+}
+
+fn branch(next_pc: &mut u32, control: &mut Option<(bool, u32)>, pc: u32, off: i16, taken: bool) {
+    let target = branch_target(pc, off);
+    if taken {
+        *next_pc = target;
+    }
+    *control = Some((taken, target));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::encode;
+    use crate::mem::FlatMem;
+
+    fn run_one(inst: Inst, setup: impl FnOnce(&mut ArchState, &mut FlatMem)) -> (ArchState, FlatMem, StepInfo) {
+        let mut mem = FlatMem::new(0, 4096);
+        let mut st = ArchState::new(0);
+        setup(&mut st, &mut mem);
+        mem.write_u32(0, encode(inst));
+        let info = step(&mut st, &mut mem).expect("step");
+        (st, mem, info)
+    }
+
+    #[test]
+    fn arithmetic_ops() {
+        let (st, _, _) = run_one(Inst::Add { rd: Reg::R3, rs1: Reg::R1, rs2: Reg::R2 }, |st, _| {
+            st.set_reg(Reg::R1, 7);
+            st.set_reg(Reg::R2, u32::MAX); // wrapping
+        });
+        assert_eq!(st.reg(Reg::R3), 6);
+
+        let (st, _, _) = run_one(Inst::Sra { rd: Reg::R3, rs1: Reg::R1, rs2: Reg::R2 }, |st, _| {
+            st.set_reg(Reg::R1, 0x8000_0000);
+            st.set_reg(Reg::R2, 4);
+        });
+        assert_eq!(st.reg(Reg::R3), 0xF800_0000);
+    }
+
+    #[test]
+    fn div_by_zero_defined() {
+        let (st, _, _) = run_one(Inst::Divu { rd: Reg::R3, rs1: Reg::R1, rs2: Reg::R0 }, |st, _| {
+            st.set_reg(Reg::R1, 10);
+        });
+        assert_eq!(st.reg(Reg::R3), u32::MAX);
+        let (st, _, _) = run_one(Inst::Remu { rd: Reg::R3, rs1: Reg::R1, rs2: Reg::R0 }, |st, _| {
+            st.set_reg(Reg::R1, 10);
+        });
+        assert_eq!(st.reg(Reg::R3), 10);
+    }
+
+    #[test]
+    fn loads_sign_and_zero_extend() {
+        let (st, _, info) = run_one(Inst::Lb { rd: Reg::R2, rs1: Reg::R1, off: 0 }, |st, mem| {
+            st.set_reg(Reg::R1, 0x100);
+            mem.write(0x100, &[0xFF]);
+        });
+        assert_eq!(st.reg(Reg::R2), 0xFFFF_FFFF);
+        assert_eq!(info.mem, Some(MemAccess { addr: 0x100, width: MemWidth::Byte, is_store: false }));
+
+        let (st, _, _) = run_one(Inst::Lbu { rd: Reg::R2, rs1: Reg::R1, off: 0 }, |st, mem| {
+            st.set_reg(Reg::R1, 0x100);
+            mem.write(0x100, &[0xFF]);
+        });
+        assert_eq!(st.reg(Reg::R2), 0xFF);
+
+        let (st, _, _) = run_one(Inst::Lh { rd: Reg::R2, rs1: Reg::R1, off: 2 }, |st, mem| {
+            st.set_reg(Reg::R1, 0x100);
+            mem.write(0x102, &0x8000u16.to_le_bytes());
+        });
+        assert_eq!(st.reg(Reg::R2), 0xFFFF_8000);
+    }
+
+    #[test]
+    fn store_then_load() {
+        let (_, mem, info) = run_one(Inst::Sw { rs1: Reg::R1, rs2: Reg::R2, off: 4 }, |st, _| {
+            st.set_reg(Reg::R1, 0x200);
+            st.set_reg(Reg::R2, 0xCAFEBABE);
+        });
+        let mut m = mem;
+        assert_eq!(m.read_u32(0x204), 0xCAFEBABE);
+        assert!(info.mem.unwrap().is_store);
+    }
+
+    #[test]
+    fn fp_ops() {
+        let (st, _, _) = run_one(Inst::Fadd { fd: FReg::R3, fs1: FReg::R1, fs2: FReg::R2 }, |st, _| {
+            st.set_freg(FReg::R1, 1.5);
+            st.set_freg(FReg::R2, 2.25);
+        });
+        assert_eq!(st.freg(FReg::R3), 3.75);
+
+        let (st, _, _) = run_one(Inst::Fcmplt { rd: Reg::R1, fs1: FReg::R1, fs2: FReg::R2 }, |st, _| {
+            st.set_freg(FReg::R1, -1.0);
+            st.set_freg(FReg::R2, 0.0);
+        });
+        assert_eq!(st.reg(Reg::R1), 1);
+
+        let (st, _, _) = run_one(Inst::Fcvtif { fd: FReg::R1, rs1: Reg::R1 }, |st, _| {
+            st.set_reg(Reg::R1, (-5i32) as u32);
+        });
+        assert_eq!(st.freg(FReg::R1), -5.0);
+
+        let (st, _, _) = run_one(Inst::Fcvtfi { rd: Reg::R1, fs1: FReg::R1 }, |st, _| {
+            st.set_freg(FReg::R1, 6.9);
+        });
+        assert_eq!(st.reg(Reg::R1), 6);
+    }
+
+    #[test]
+    fn branch_taken_and_not_taken() {
+        let (st, _, info) = run_one(Inst::Beq { rs1: Reg::R1, rs2: Reg::R2, off: 3 }, |st, _| {
+            st.set_reg(Reg::R1, 5);
+            st.set_reg(Reg::R2, 5);
+        });
+        assert_eq!(st.pc, 4 + 12);
+        assert_eq!(info.control, Some((true, 16)));
+
+        let (st, _, info) = run_one(Inst::Beq { rs1: Reg::R1, rs2: Reg::R2, off: 3 }, |st, _| {
+            st.set_reg(Reg::R1, 5);
+            st.set_reg(Reg::R2, 6);
+        });
+        assert_eq!(st.pc, 4);
+        assert_eq!(info.control, Some((false, 16)));
+    }
+
+    #[test]
+    fn jumps_and_links() {
+        let (st, _, _) = run_one(Inst::Jal { off: 10 }, |_, _| {});
+        assert_eq!(st.pc, 4 + 40);
+        assert_eq!(st.reg(Reg::R31), 4);
+
+        let (st, _, _) = run_one(Inst::Jalr { rd: Reg::R5, rs1: Reg::R1 }, |st, _| {
+            st.set_reg(Reg::R1, 0x203); // misaligned, forced to 0x200
+        });
+        assert_eq!(st.pc, 0x200);
+        assert_eq!(st.reg(Reg::R5), 4);
+    }
+
+    #[test]
+    fn out_and_halt() {
+        let (st, _, info) = run_one(Inst::Out { rs1: Reg::R1, port: 3 }, |st, _| {
+            st.set_reg(Reg::R1, 0x55);
+        });
+        assert_eq!(info.out, Some((3, 0x55)));
+        assert!(!st.halted);
+
+        let (mut st, mut mem, _) = run_one(Inst::Halt, |_, _| {});
+        assert!(st.halted);
+        let pc_before = st.pc;
+        let info = step(&mut st, &mut mem).unwrap();
+        assert_eq!(st.pc, pc_before); // halted machine does not advance
+        assert_eq!(info.inst, Inst::Halt);
+    }
+
+    #[test]
+    fn illegal_faults_with_precise_pc() {
+        let mut mem = FlatMem::new(0, 64);
+        mem.write_u32(0, 0xF800_0001);
+        let mut st = ArchState::new(0);
+        let err = step(&mut st, &mut mem).unwrap_err();
+        assert_eq!(err, Fault::IllegalInstruction { pc: 0, word: 0xF800_0001 });
+        assert_eq!(st.pc, 0); // precise
+        assert_eq!(st.icount, 0);
+    }
+
+    #[test]
+    fn icount_advances() {
+        let mut mem = FlatMem::new(0, 64);
+        mem.write_u32(0, encode(Inst::Nop));
+        mem.write_u32(4, encode(Inst::Halt));
+        let mut st = ArchState::new(0);
+        step(&mut st, &mut mem).unwrap();
+        step(&mut st, &mut mem).unwrap();
+        assert_eq!(st.icount, 2);
+        assert!(st.halted);
+    }
+}

@@ -1,0 +1,415 @@
+use crate::reg::{FReg, Reg};
+use std::fmt;
+
+/// Width of a memory access in bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemWidth {
+    /// 1 byte.
+    Byte,
+    /// 2 bytes.
+    Half,
+    /// 4 bytes.
+    Word,
+    /// 8 bytes (floating-point loads/stores).
+    Double,
+}
+
+impl MemWidth {
+    /// Access size in bytes.
+    pub fn bytes(self) -> u32 {
+        match self {
+            MemWidth::Byte => 1,
+            MemWidth::Half => 2,
+            MemWidth::Word => 4,
+            MemWidth::Double => 8,
+        }
+    }
+}
+
+/// Functional-unit class of an instruction, used by the pipeline's issue
+/// logic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpClass {
+    /// Single-cycle integer ALU operation.
+    IntAlu,
+    /// Integer multiply/divide (long latency).
+    IntMul,
+    /// Floating-point add/sub/compare/convert.
+    FpAlu,
+    /// Floating-point multiply/divide (long latency).
+    FpMulDiv,
+    /// Memory load (integer or FP).
+    Load,
+    /// Memory store (integer or FP).
+    Store,
+    /// Conditional branch.
+    Branch,
+    /// Unconditional jump / call / return.
+    Jump,
+    /// `out`, `halt`, `nop`.
+    System,
+    /// Undecodable word (executes as a fault).
+    Illegal,
+}
+
+/// A reference to an architectural register in either register file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RegRef {
+    /// Integer register.
+    Int(Reg),
+    /// Floating-point register.
+    Fp(FReg),
+}
+
+/// One decoded instruction of the `secsim` RISC ISA.
+///
+/// The ISA is a classic 32-bit load/store RISC: 32 integer registers
+/// (`r0` hardwired to zero), 32 `f64` registers, fixed 4-byte encoding.
+/// Branch/jump offsets are *word* offsets relative to `pc + 4`.
+///
+/// # Examples
+///
+/// ```
+/// use secsim_isa::{Inst, OpClass, Reg};
+///
+/// let i = Inst::Add { rd: Reg::R1, rs1: Reg::R2, rs2: Reg::R3 };
+/// assert_eq!(i.class(), OpClass::IntAlu);
+/// assert_eq!(i.to_string(), "add r1, r2, r3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum Inst {
+    // ---- integer register-register ----
+    Add { rd: Reg, rs1: Reg, rs2: Reg },
+    Sub { rd: Reg, rs1: Reg, rs2: Reg },
+    And { rd: Reg, rs1: Reg, rs2: Reg },
+    Or { rd: Reg, rs1: Reg, rs2: Reg },
+    Xor { rd: Reg, rs1: Reg, rs2: Reg },
+    Sll { rd: Reg, rs1: Reg, rs2: Reg },
+    Srl { rd: Reg, rs1: Reg, rs2: Reg },
+    Sra { rd: Reg, rs1: Reg, rs2: Reg },
+    Slt { rd: Reg, rs1: Reg, rs2: Reg },
+    Sltu { rd: Reg, rs1: Reg, rs2: Reg },
+    Mul { rd: Reg, rs1: Reg, rs2: Reg },
+    Divu { rd: Reg, rs1: Reg, rs2: Reg },
+    Remu { rd: Reg, rs1: Reg, rs2: Reg },
+
+    // ---- integer register-immediate ----
+    Addi { rd: Reg, rs1: Reg, imm: i16 },
+    Andi { rd: Reg, rs1: Reg, imm: u16 },
+    Ori { rd: Reg, rs1: Reg, imm: u16 },
+    Xori { rd: Reg, rs1: Reg, imm: u16 },
+    Slti { rd: Reg, rs1: Reg, imm: i16 },
+    Slli { rd: Reg, rs1: Reg, sh: u8 },
+    Srli { rd: Reg, rs1: Reg, sh: u8 },
+    Srai { rd: Reg, rs1: Reg, sh: u8 },
+    /// `rd = imm << 16`.
+    Lui { rd: Reg, imm: u16 },
+
+    // ---- loads (address = rs1 + off) ----
+    Lb { rd: Reg, rs1: Reg, off: i16 },
+    Lbu { rd: Reg, rs1: Reg, off: i16 },
+    Lh { rd: Reg, rs1: Reg, off: i16 },
+    Lhu { rd: Reg, rs1: Reg, off: i16 },
+    Lw { rd: Reg, rs1: Reg, off: i16 },
+    Fld { fd: FReg, rs1: Reg, off: i16 },
+
+    // ---- stores (address = rs1 + off, value = rs2/fs2) ----
+    Sb { rs1: Reg, rs2: Reg, off: i16 },
+    Sh { rs1: Reg, rs2: Reg, off: i16 },
+    Sw { rs1: Reg, rs2: Reg, off: i16 },
+    Fsd { rs1: Reg, fs2: FReg, off: i16 },
+
+    // ---- floating point ----
+    Fadd { fd: FReg, fs1: FReg, fs2: FReg },
+    Fsub { fd: FReg, fs1: FReg, fs2: FReg },
+    Fmul { fd: FReg, fs1: FReg, fs2: FReg },
+    Fdiv { fd: FReg, fs1: FReg, fs2: FReg },
+    Fmov { fd: FReg, fs1: FReg },
+    /// `rd = (fs1 < fs2) as u32`
+    Fcmplt { rd: Reg, fs1: FReg, fs2: FReg },
+    /// `fd = rs1 as i32 as f64`
+    Fcvtif { fd: FReg, rs1: Reg },
+    /// `rd = fs1 as i64 as u32` (truncating)
+    Fcvtfi { rd: Reg, fs1: FReg },
+
+    // ---- control transfer (off: signed word offset from pc+4) ----
+    Beq { rs1: Reg, rs2: Reg, off: i16 },
+    Bne { rs1: Reg, rs2: Reg, off: i16 },
+    Blt { rs1: Reg, rs2: Reg, off: i16 },
+    Bge { rs1: Reg, rs2: Reg, off: i16 },
+    Bltu { rs1: Reg, rs2: Reg, off: i16 },
+    Bgeu { rs1: Reg, rs2: Reg, off: i16 },
+    /// Unconditional jump, no link. 26-bit signed word offset.
+    J { off: i32 },
+    /// Call: link into `r31`, 26-bit signed word offset.
+    Jal { off: i32 },
+    /// Indirect jump to `rs1`, link into `rd` (use `r0` to discard).
+    Jalr { rd: Reg, rs1: Reg },
+
+    // ---- system ----
+    /// Writes `rs1` to I/O port `port` — the paper's "output channel".
+    Out { rs1: Reg, port: u8 },
+    /// Stops the machine.
+    Halt,
+    /// No operation (encodes as the all-zero word).
+    Nop,
+    /// An undecodable instruction word; executing it faults.
+    Illegal(u32),
+}
+
+impl Inst {
+    /// Functional-unit class for issue scheduling.
+    pub fn class(&self) -> OpClass {
+        use Inst::*;
+        match self {
+            Add { .. } | Sub { .. } | And { .. } | Or { .. } | Xor { .. } | Sll { .. }
+            | Srl { .. } | Sra { .. } | Slt { .. } | Sltu { .. } | Addi { .. } | Andi { .. }
+            | Ori { .. } | Xori { .. } | Slti { .. } | Slli { .. } | Srli { .. }
+            | Srai { .. } | Lui { .. } => OpClass::IntAlu,
+            Mul { .. } | Divu { .. } | Remu { .. } => OpClass::IntMul,
+            Fadd { .. } | Fsub { .. } | Fmov { .. } | Fcmplt { .. } | Fcvtif { .. }
+            | Fcvtfi { .. } => OpClass::FpAlu,
+            Fmul { .. } | Fdiv { .. } => OpClass::FpMulDiv,
+            Lb { .. } | Lbu { .. } | Lh { .. } | Lhu { .. } | Lw { .. } | Fld { .. } => {
+                OpClass::Load
+            }
+            Sb { .. } | Sh { .. } | Sw { .. } | Fsd { .. } => OpClass::Store,
+            Beq { .. } | Bne { .. } | Blt { .. } | Bge { .. } | Bltu { .. } | Bgeu { .. } => {
+                OpClass::Branch
+            }
+            J { .. } | Jal { .. } | Jalr { .. } => OpClass::Jump,
+            Out { .. } | Halt | Nop => OpClass::System,
+            Illegal(_) => OpClass::Illegal,
+        }
+    }
+
+    /// Source registers read by this instruction (up to two).
+    pub fn srcs(&self) -> [Option<RegRef>; 2] {
+        use Inst::*;
+        let i = RegRef::Int;
+        let f = RegRef::Fp;
+        match *self {
+            Add { rs1, rs2, .. }
+            | Sub { rs1, rs2, .. }
+            | And { rs1, rs2, .. }
+            | Or { rs1, rs2, .. }
+            | Xor { rs1, rs2, .. }
+            | Sll { rs1, rs2, .. }
+            | Srl { rs1, rs2, .. }
+            | Sra { rs1, rs2, .. }
+            | Slt { rs1, rs2, .. }
+            | Sltu { rs1, rs2, .. }
+            | Mul { rs1, rs2, .. }
+            | Divu { rs1, rs2, .. }
+            | Remu { rs1, rs2, .. } => [Some(i(rs1)), Some(i(rs2))],
+            Addi { rs1, .. } | Slti { rs1, .. } => [Some(i(rs1)), None],
+            Andi { rs1, .. } | Ori { rs1, .. } | Xori { rs1, .. } => [Some(i(rs1)), None],
+            Slli { rs1, .. } | Srli { rs1, .. } | Srai { rs1, .. } => [Some(i(rs1)), None],
+            Lui { .. } => [None, None],
+            Lb { rs1, .. } | Lbu { rs1, .. } | Lh { rs1, .. } | Lhu { rs1, .. }
+            | Lw { rs1, .. } | Fld { rs1, .. } => [Some(i(rs1)), None],
+            Sb { rs1, rs2, .. } | Sh { rs1, rs2, .. } | Sw { rs1, rs2, .. } => {
+                [Some(i(rs1)), Some(i(rs2))]
+            }
+            Fsd { rs1, fs2, .. } => [Some(i(rs1)), Some(f(fs2))],
+            Fadd { fs1, fs2, .. } | Fsub { fs1, fs2, .. } | Fmul { fs1, fs2, .. }
+            | Fdiv { fs1, fs2, .. } | Fcmplt { fs1, fs2, .. } => [Some(f(fs1)), Some(f(fs2))],
+            Fmov { fs1, .. } => [Some(f(fs1)), None],
+            Fcvtif { rs1, .. } => [Some(i(rs1)), None],
+            Fcvtfi { fs1, .. } => [Some(f(fs1)), None],
+            Beq { rs1, rs2, .. } | Bne { rs1, rs2, .. } | Blt { rs1, rs2, .. }
+            | Bge { rs1, rs2, .. } | Bltu { rs1, rs2, .. } | Bgeu { rs1, rs2, .. } => {
+                [Some(i(rs1)), Some(i(rs2))]
+            }
+            J { .. } | Jal { .. } => [None, None],
+            Jalr { rs1, .. } => [Some(i(rs1)), None],
+            Out { rs1, .. } => [Some(i(rs1)), None],
+            Halt | Nop | Illegal(_) => [None, None],
+        }
+    }
+
+    /// Destination register written by this instruction, if any.
+    ///
+    /// Writes to `r0` are reported as `None` (they are architectural
+    /// no-ops).
+    pub fn dst(&self) -> Option<RegRef> {
+        use Inst::*;
+        let int = |r: Reg| {
+            if r == Reg::R0 {
+                None
+            } else {
+                Some(RegRef::Int(r))
+            }
+        };
+        match *self {
+            Add { rd, .. } | Sub { rd, .. } | And { rd, .. } | Or { rd, .. } | Xor { rd, .. }
+            | Sll { rd, .. } | Srl { rd, .. } | Sra { rd, .. } | Slt { rd, .. }
+            | Sltu { rd, .. } | Mul { rd, .. } | Divu { rd, .. } | Remu { rd, .. }
+            | Addi { rd, .. } | Andi { rd, .. } | Ori { rd, .. } | Xori { rd, .. }
+            | Slti { rd, .. } | Slli { rd, .. } | Srli { rd, .. } | Srai { rd, .. }
+            | Lui { rd, .. } | Lb { rd, .. } | Lbu { rd, .. } | Lh { rd, .. }
+            | Lhu { rd, .. } | Lw { rd, .. } | Fcmplt { rd, .. } | Fcvtfi { rd, .. } => int(rd),
+            Fld { fd, .. } | Fadd { fd, .. } | Fsub { fd, .. } | Fmul { fd, .. }
+            | Fdiv { fd, .. } | Fmov { fd, .. } | Fcvtif { fd, .. } => Some(RegRef::Fp(fd)),
+            Jal { .. } => Some(RegRef::Int(Reg::R31)),
+            Jalr { rd, .. } => int(rd),
+            Sb { .. } | Sh { .. } | Sw { .. } | Fsd { .. } | Beq { .. } | Bne { .. }
+            | Blt { .. } | Bge { .. } | Bltu { .. } | Bgeu { .. } | J { .. } | Out { .. }
+            | Halt | Nop | Illegal(_) => None,
+        }
+    }
+
+    /// Whether this is a load (including `fld`).
+    pub fn is_load(&self) -> bool {
+        self.class() == OpClass::Load
+    }
+
+    /// Whether this is a store (including `fsd`).
+    pub fn is_store(&self) -> bool {
+        self.class() == OpClass::Store
+    }
+
+    /// Whether this is any control-transfer instruction.
+    pub fn is_control(&self) -> bool {
+        matches!(self.class(), OpClass::Branch | OpClass::Jump)
+    }
+
+    /// Memory access width for loads/stores; `None` otherwise.
+    pub fn mem_width(&self) -> Option<MemWidth> {
+        use Inst::*;
+        match self {
+            Lb { .. } | Lbu { .. } | Sb { .. } => Some(MemWidth::Byte),
+            Lh { .. } | Lhu { .. } | Sh { .. } => Some(MemWidth::Half),
+            Lw { .. } | Sw { .. } => Some(MemWidth::Word),
+            Fld { .. } | Fsd { .. } => Some(MemWidth::Double),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use Inst::*;
+        match *self {
+            Add { rd, rs1, rs2 } => write!(f, "add {rd}, {rs1}, {rs2}"),
+            Sub { rd, rs1, rs2 } => write!(f, "sub {rd}, {rs1}, {rs2}"),
+            And { rd, rs1, rs2 } => write!(f, "and {rd}, {rs1}, {rs2}"),
+            Or { rd, rs1, rs2 } => write!(f, "or {rd}, {rs1}, {rs2}"),
+            Xor { rd, rs1, rs2 } => write!(f, "xor {rd}, {rs1}, {rs2}"),
+            Sll { rd, rs1, rs2 } => write!(f, "sll {rd}, {rs1}, {rs2}"),
+            Srl { rd, rs1, rs2 } => write!(f, "srl {rd}, {rs1}, {rs2}"),
+            Sra { rd, rs1, rs2 } => write!(f, "sra {rd}, {rs1}, {rs2}"),
+            Slt { rd, rs1, rs2 } => write!(f, "slt {rd}, {rs1}, {rs2}"),
+            Sltu { rd, rs1, rs2 } => write!(f, "sltu {rd}, {rs1}, {rs2}"),
+            Mul { rd, rs1, rs2 } => write!(f, "mul {rd}, {rs1}, {rs2}"),
+            Divu { rd, rs1, rs2 } => write!(f, "divu {rd}, {rs1}, {rs2}"),
+            Remu { rd, rs1, rs2 } => write!(f, "remu {rd}, {rs1}, {rs2}"),
+            Addi { rd, rs1, imm } => write!(f, "addi {rd}, {rs1}, {imm}"),
+            Andi { rd, rs1, imm } => write!(f, "andi {rd}, {rs1}, {imm:#x}"),
+            Ori { rd, rs1, imm } => write!(f, "ori {rd}, {rs1}, {imm:#x}"),
+            Xori { rd, rs1, imm } => write!(f, "xori {rd}, {rs1}, {imm:#x}"),
+            Slti { rd, rs1, imm } => write!(f, "slti {rd}, {rs1}, {imm}"),
+            Slli { rd, rs1, sh } => write!(f, "slli {rd}, {rs1}, {sh}"),
+            Srli { rd, rs1, sh } => write!(f, "srli {rd}, {rs1}, {sh}"),
+            Srai { rd, rs1, sh } => write!(f, "srai {rd}, {rs1}, {sh}"),
+            Lui { rd, imm } => write!(f, "lui {rd}, {imm:#x}"),
+            Lb { rd, rs1, off } => write!(f, "lb {rd}, {off}({rs1})"),
+            Lbu { rd, rs1, off } => write!(f, "lbu {rd}, {off}({rs1})"),
+            Lh { rd, rs1, off } => write!(f, "lh {rd}, {off}({rs1})"),
+            Lhu { rd, rs1, off } => write!(f, "lhu {rd}, {off}({rs1})"),
+            Lw { rd, rs1, off } => write!(f, "lw {rd}, {off}({rs1})"),
+            Fld { fd, rs1, off } => write!(f, "fld {fd}, {off}({rs1})"),
+            Sb { rs1, rs2, off } => write!(f, "sb {rs2}, {off}({rs1})"),
+            Sh { rs1, rs2, off } => write!(f, "sh {rs2}, {off}({rs1})"),
+            Sw { rs1, rs2, off } => write!(f, "sw {rs2}, {off}({rs1})"),
+            Fsd { rs1, fs2, off } => write!(f, "fsd {fs2}, {off}({rs1})"),
+            Fadd { fd, fs1, fs2 } => write!(f, "fadd {fd}, {fs1}, {fs2}"),
+            Fsub { fd, fs1, fs2 } => write!(f, "fsub {fd}, {fs1}, {fs2}"),
+            Fmul { fd, fs1, fs2 } => write!(f, "fmul {fd}, {fs1}, {fs2}"),
+            Fdiv { fd, fs1, fs2 } => write!(f, "fdiv {fd}, {fs1}, {fs2}"),
+            Fmov { fd, fs1 } => write!(f, "fmov {fd}, {fs1}"),
+            Fcmplt { rd, fs1, fs2 } => write!(f, "fcmplt {rd}, {fs1}, {fs2}"),
+            Fcvtif { fd, rs1 } => write!(f, "fcvtif {fd}, {rs1}"),
+            Fcvtfi { rd, fs1 } => write!(f, "fcvtfi {rd}, {fs1}"),
+            Beq { rs1, rs2, off } => write!(f, "beq {rs1}, {rs2}, {off}"),
+            Bne { rs1, rs2, off } => write!(f, "bne {rs1}, {rs2}, {off}"),
+            Blt { rs1, rs2, off } => write!(f, "blt {rs1}, {rs2}, {off}"),
+            Bge { rs1, rs2, off } => write!(f, "bge {rs1}, {rs2}, {off}"),
+            Bltu { rs1, rs2, off } => write!(f, "bltu {rs1}, {rs2}, {off}"),
+            Bgeu { rs1, rs2, off } => write!(f, "bgeu {rs1}, {rs2}, {off}"),
+            J { off } => write!(f, "j {off}"),
+            Jal { off } => write!(f, "jal {off}"),
+            Jalr { rd, rs1 } => write!(f, "jalr {rd}, {rs1}"),
+            Out { rs1, port } => write!(f, "out {rs1}, {port}"),
+            Halt => write!(f, "halt"),
+            Nop => write!(f, "nop"),
+            Illegal(w) => write!(f, "illegal {w:#010x}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classes() {
+        assert_eq!(
+            Inst::Mul { rd: Reg::R1, rs1: Reg::R2, rs2: Reg::R3 }.class(),
+            OpClass::IntMul
+        );
+        assert_eq!(Inst::Lw { rd: Reg::R1, rs1: Reg::R2, off: 0 }.class(), OpClass::Load);
+        assert_eq!(
+            Inst::Fdiv { fd: FReg::R1, fs1: FReg::R2, fs2: FReg::R3 }.class(),
+            OpClass::FpMulDiv
+        );
+        assert_eq!(Inst::Halt.class(), OpClass::System);
+        assert_eq!(Inst::Illegal(0xdead).class(), OpClass::Illegal);
+    }
+
+    #[test]
+    fn srcs_and_dst() {
+        let add = Inst::Add { rd: Reg::R1, rs1: Reg::R2, rs2: Reg::R3 };
+        assert_eq!(add.srcs(), [Some(RegRef::Int(Reg::R2)), Some(RegRef::Int(Reg::R3))]);
+        assert_eq!(add.dst(), Some(RegRef::Int(Reg::R1)));
+
+        // write to r0 is a no-op
+        let addz = Inst::Add { rd: Reg::R0, rs1: Reg::R2, rs2: Reg::R3 };
+        assert_eq!(addz.dst(), None);
+
+        let fsd = Inst::Fsd { rs1: Reg::R4, fs2: FReg::R5, off: 8 };
+        assert_eq!(fsd.srcs(), [Some(RegRef::Int(Reg::R4)), Some(RegRef::Fp(FReg::R5))]);
+        assert_eq!(fsd.dst(), None);
+
+        let jal = Inst::Jal { off: 4 };
+        assert_eq!(jal.dst(), Some(RegRef::Int(Reg::R31)));
+    }
+
+    #[test]
+    fn predicates() {
+        assert!(Inst::Lw { rd: Reg::R1, rs1: Reg::R2, off: 0 }.is_load());
+        assert!(Inst::Sw { rs1: Reg::R1, rs2: Reg::R2, off: 0 }.is_store());
+        assert!(Inst::Beq { rs1: Reg::R1, rs2: Reg::R2, off: 0 }.is_control());
+        assert!(Inst::J { off: 1 }.is_control());
+        assert!(!Inst::Nop.is_control());
+    }
+
+    #[test]
+    fn mem_width() {
+        assert_eq!(Inst::Lb { rd: Reg::R1, rs1: Reg::R2, off: 0 }.mem_width(), Some(MemWidth::Byte));
+        assert_eq!(
+            Inst::Fld { fd: FReg::R1, rs1: Reg::R2, off: 0 }.mem_width(),
+            Some(MemWidth::Double)
+        );
+        assert_eq!(Inst::Nop.mem_width(), None);
+        assert_eq!(MemWidth::Half.bytes(), 2);
+    }
+
+    #[test]
+    fn display_smoke() {
+        let i = Inst::Lw { rd: Reg::R5, rs1: Reg::R6, off: -4 };
+        assert_eq!(i.to_string(), "lw r5, -4(r6)");
+        assert_eq!(Inst::Halt.to_string(), "halt");
+    }
+}

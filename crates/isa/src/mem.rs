@@ -1,0 +1,223 @@
+/// Byte-addressed memory used by the functional semantics.
+///
+/// Implementations decide what out-of-range accesses do; the reference
+/// [`FlatMem`] returns zeros and discards writes, recording the access so
+/// that attack analyses can inspect bogus addresses produced by tampered
+/// programs.
+pub trait MemIo {
+    /// Reads `buf.len()` bytes starting at `addr`.
+    fn read(&mut self, addr: u32, buf: &mut [u8]);
+
+    /// Writes `data` starting at `addr`.
+    fn write(&mut self, addr: u32, data: &[u8]);
+
+    /// Fetches the 32-bit little-endian instruction word at `addr`.
+    fn fetch_word(&mut self, addr: u32) -> u32 {
+        let mut b = [0u8; 4];
+        self.read(addr, &mut b);
+        u32::from_le_bytes(b)
+    }
+
+    /// Reads a little-endian `u32`.
+    fn read_u32(&mut self, addr: u32) -> u32 {
+        let mut b = [0u8; 4];
+        self.read(addr, &mut b);
+        u32::from_le_bytes(b)
+    }
+
+    /// Writes a little-endian `u32`.
+    fn write_u32(&mut self, addr: u32, v: u32) {
+        self.write(addr, &v.to_le_bytes());
+    }
+
+    /// Reads a little-endian `f64`.
+    fn read_f64(&mut self, addr: u32) -> f64 {
+        let mut b = [0u8; 8];
+        self.read(addr, &mut b);
+        f64::from_le_bytes(b)
+    }
+
+    /// Writes a little-endian `f64`.
+    fn write_f64(&mut self, addr: u32, v: f64) {
+        self.write(addr, &v.to_le_bytes());
+    }
+}
+
+impl<M: MemIo + ?Sized> MemIo for &mut M {
+    fn read(&mut self, addr: u32, buf: &mut [u8]) {
+        (**self).read(addr, buf)
+    }
+    fn write(&mut self, addr: u32, data: &[u8]) {
+        (**self).write(addr, data)
+    }
+}
+
+/// A flat, contiguous memory image starting at a base address.
+///
+/// Accesses outside `[base, base + len)` read as zero and are recorded in
+/// [`FlatMem::oob_count`] — a tampered program dereferencing a secret as a
+/// pointer usually lands out of range, and the simulator must keep running
+/// (the *bus address* is what leaks, not the data).
+///
+/// # Examples
+///
+/// ```
+/// use secsim_isa::{FlatMem, MemIo};
+///
+/// let mut m = FlatMem::new(0x1000, 64);
+/// m.write_u32(0x1000, 0xdeadbeef);
+/// assert_eq!(m.read_u32(0x1000), 0xdeadbeef);
+/// assert_eq!(m.read_u32(0x9999_0000), 0); // out of range
+/// assert_eq!(m.oob_count(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlatMem {
+    base: u32,
+    bytes: Vec<u8>,
+    oob: u64,
+}
+
+impl FlatMem {
+    /// Creates `len` bytes of zeroed memory starting at `base`.
+    pub fn new(base: u32, len: usize) -> Self {
+        Self { base, bytes: vec![0; len], oob: 0 }
+    }
+
+    /// The lowest mapped address.
+    pub fn base(&self) -> u32 {
+        self.base
+    }
+
+    /// Number of mapped bytes.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Whether the image maps zero bytes.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// How many reads/writes fell (partly) outside the image.
+    pub fn oob_count(&self) -> u64 {
+        self.oob
+    }
+
+    /// Whether `addr..addr+len` is fully inside the image.
+    pub fn contains(&self, addr: u32, len: usize) -> bool {
+        let Some(off) = addr.checked_sub(self.base) else {
+            return false;
+        };
+        (off as usize).checked_add(len).is_some_and(|end| end <= self.bytes.len())
+    }
+
+    /// Copies instruction `words` into memory starting at `addr`
+    /// (little-endian).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the target range is out of bounds.
+    pub fn load_words(&mut self, addr: u32, words: &[u32]) {
+        assert!(
+            self.contains(addr, words.len() * 4),
+            "load_words target {addr:#x}+{} out of image",
+            words.len() * 4
+        );
+        for (i, w) in words.iter().enumerate() {
+            let a = addr + (i as u32) * 4;
+            self.write(a, &w.to_le_bytes());
+        }
+    }
+
+    /// Direct access to the raw backing bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Mutable access to the raw backing bytes (used by the encryption
+    /// layer and by attackers tampering with the image).
+    pub fn as_bytes_mut(&mut self) -> &mut [u8] {
+        &mut self.bytes
+    }
+}
+
+impl MemIo for FlatMem {
+    fn read(&mut self, addr: u32, buf: &mut [u8]) {
+        if self.contains(addr, buf.len()) {
+            let off = (addr - self.base) as usize;
+            buf.copy_from_slice(&self.bytes[off..off + buf.len()]);
+        } else {
+            buf.fill(0);
+            self.oob += 1;
+        }
+    }
+
+    fn write(&mut self, addr: u32, data: &[u8]) {
+        if self.contains(addr, data.len()) {
+            let off = (addr - self.base) as usize;
+            self.bytes[off..off + data.len()].copy_from_slice(data);
+        } else {
+            self.oob += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_round_trip() {
+        let mut m = FlatMem::new(0x100, 32);
+        m.write(0x100, &[1, 2, 3, 4]);
+        let mut b = [0u8; 4];
+        m.read(0x100, &mut b);
+        assert_eq!(b, [1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn u32_and_f64_helpers() {
+        let mut m = FlatMem::new(0, 16);
+        m.write_u32(4, 0x01020304);
+        assert_eq!(m.read_u32(4), 0x01020304);
+        assert_eq!(m.fetch_word(4), 0x01020304);
+        m.write_f64(8, 3.5);
+        assert_eq!(m.read_f64(8), 3.5);
+    }
+
+    #[test]
+    fn oob_reads_zero_and_count() {
+        let mut m = FlatMem::new(0x1000, 8);
+        assert_eq!(m.read_u32(0), 0);
+        m.write_u32(0xFFFF_FFF0, 7);
+        assert_eq!(m.oob_count(), 2);
+        // straddling the end is oob
+        assert_eq!(m.read_u32(0x1006), 0);
+        assert_eq!(m.oob_count(), 3);
+    }
+
+    #[test]
+    fn contains_edges() {
+        let m = FlatMem::new(0x1000, 8);
+        assert!(m.contains(0x1000, 8));
+        assert!(!m.contains(0x1000, 9));
+        assert!(!m.contains(0xFFF, 1));
+        assert!(m.contains(0x1007, 1));
+        assert!(!m.contains(0x1008, 0).then_some(false).unwrap_or(false));
+    }
+
+    #[test]
+    fn load_words_little_endian() {
+        let mut m = FlatMem::new(0, 8);
+        m.load_words(0, &[0x11223344, 0xAABBCCDD]);
+        assert_eq!(m.as_bytes()[0], 0x44);
+        assert_eq!(m.read_u32(4), 0xAABBCCDD);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of image")]
+    fn load_words_oob_panics() {
+        let mut m = FlatMem::new(0, 4);
+        m.load_words(0, &[1, 2]);
+    }
+}

@@ -1,0 +1,618 @@
+//! A text assembler: parses the same syntax [`Inst`]'s
+//! [`Display`](std::fmt::Display) prints, plus labels, comments and the
+//! `li`/`ret` pseudo-instructions.
+//!
+//! # Grammar
+//!
+//! * one instruction per line; `#` or `;` start a comment;
+//! * `name:` on its own (or before an instruction) binds a label;
+//! * branch/jump targets may be labels or numeric word offsets;
+//! * loads/stores use `lw r1, -4(r2)` addressing;
+//! * immediates accept decimal and `0x…` hexadecimal.
+//!
+//! # Examples
+//!
+//! ```
+//! use secsim_isa::assemble_text;
+//!
+//! let words = assemble_text(
+//!     "
+//!     li   r1, 10        # counter
+//!     li   r2, 0         ; sum
+//! top:
+//!     add  r2, r2, r1
+//!     addi r1, r1, -1
+//!     bne  r1, r0, top
+//!     halt
+//!     ",
+//!     0x1000,
+//! ).unwrap();
+//! assert!(words.len() >= 6);
+//! ```
+
+use crate::asm::{Asm, AsmError, Label};
+use crate::inst::Inst;
+use crate::reg::{FReg, Reg};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Errors from the text assembler.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// Unknown mnemonic.
+    UnknownMnemonic {
+        /// 1-based source line.
+        line: usize,
+        /// The offending mnemonic.
+        mnemonic: String,
+    },
+    /// Malformed operands for a known mnemonic.
+    BadOperands {
+        /// 1-based source line.
+        line: usize,
+        /// Explanation.
+        reason: String,
+    },
+    /// A label was defined twice.
+    DuplicateLabel {
+        /// 1-based source line.
+        line: usize,
+        /// The label name.
+        name: String,
+    },
+    /// Label resolution / offset-range error from the underlying
+    /// assembler.
+    Assemble(AsmError),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::UnknownMnemonic { line, mnemonic } => {
+                write!(f, "line {line}: unknown mnemonic `{mnemonic}`")
+            }
+            ParseError::BadOperands { line, reason } => {
+                write!(f, "line {line}: {reason}")
+            }
+            ParseError::DuplicateLabel { line, name } => {
+                write!(f, "line {line}: label `{name}` defined twice")
+            }
+            ParseError::Assemble(e) => write!(f, "assembly failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<AsmError> for ParseError {
+    fn from(e: AsmError) -> Self {
+        ParseError::Assemble(e)
+    }
+}
+
+fn bad(line: usize, reason: impl Into<String>) -> ParseError {
+    ParseError::BadOperands { line, reason: reason.into() }
+}
+
+fn parse_reg(tok: &str, line: usize) -> Result<Reg, ParseError> {
+    let idx = tok
+        .strip_prefix('r')
+        .and_then(|n| n.parse::<u32>().ok())
+        .filter(|&n| n < 32)
+        .ok_or_else(|| bad(line, format!("expected integer register, got `{tok}`")))?;
+    Ok(Reg::from_index(idx))
+}
+
+fn parse_freg(tok: &str, line: usize) -> Result<FReg, ParseError> {
+    let idx = tok
+        .strip_prefix('f')
+        .and_then(|n| n.parse::<u32>().ok())
+        .filter(|&n| n < 32)
+        .ok_or_else(|| bad(line, format!("expected FP register, got `{tok}`")))?;
+    Ok(FReg::from_index(idx))
+}
+
+fn parse_int(tok: &str, line: usize) -> Result<i64, ParseError> {
+    let (neg, body) = match tok.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, tok),
+    };
+    let v = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
+        i64::from_str_radix(hex, 16)
+    } else {
+        body.parse::<i64>()
+    }
+    .map_err(|_| bad(line, format!("expected number, got `{tok}`")))?;
+    Ok(if neg { -v } else { v })
+}
+
+fn as_i16(v: i64, line: usize) -> Result<i16, ParseError> {
+    i16::try_from(v).map_err(|_| bad(line, format!("immediate {v} out of i16 range")))
+}
+
+fn as_u16(v: i64, line: usize) -> Result<u16, ParseError> {
+    if (0..=0xFFFF).contains(&v) {
+        Ok(v as u16)
+    } else if (-0x8000..0).contains(&v) {
+        Ok(v as i16 as u16)
+    } else {
+        Err(bad(line, format!("immediate {v} out of 16-bit range")))
+    }
+}
+
+/// `off(base)` addressing.
+fn parse_mem_operand(tok: &str, line: usize) -> Result<(Reg, i16), ParseError> {
+    let open = tok.find('(').ok_or_else(|| bad(line, format!("expected `off(reg)`, got `{tok}`")))?;
+    let close =
+        tok.rfind(')').filter(|&c| c > open).ok_or_else(|| bad(line, "unclosed parenthesis"))?;
+    let off = if open == 0 { 0 } else { as_i16(parse_int(&tok[..open], line)?, line)? };
+    let base = parse_reg(&tok[open + 1..close], line)?;
+    Ok((base, off))
+}
+
+enum Target {
+    Label(String),
+    Offset(i32),
+}
+
+fn parse_target(tok: &str, line: usize) -> Target {
+    match parse_int(tok, line) {
+        Ok(v) => Target::Offset(v as i32),
+        Err(_) => Target::Label(tok.to_string()),
+    }
+}
+
+/// Assembles `source` at `base`, returning instruction words.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] describing the first offending line, or a
+/// wrapped [`AsmError`] for unresolved labels / out-of-range offsets.
+pub fn assemble_text(source: &str, base: u32) -> Result<Vec<u32>, ParseError> {
+    let mut a = Asm::new(base);
+    let mut labels: HashMap<String, Label> = HashMap::new();
+    let mut bound: HashMap<String, usize> = HashMap::new();
+
+    // Helper shared by both passes.
+    fn intern(a: &mut Asm, labels: &mut HashMap<String, Label>, name: &str) -> Label {
+        if let Some(l) = labels.get(name) {
+            return *l;
+        }
+        let l = a.new_label();
+        labels.insert(name.to_string(), l);
+        l
+    }
+
+    for (lineno, raw) in source.lines().enumerate() {
+        let line = lineno + 1;
+        let mut text = raw;
+        if let Some(p) = text.find(['#', ';']) {
+            text = &text[..p];
+        }
+        let mut text = text.trim();
+        // Label definitions (possibly followed by an instruction).
+        while let Some(colon) = text.find(':') {
+            let (name, rest) = text.split_at(colon);
+            let name = name.trim();
+            if name.is_empty() || name.contains(char::is_whitespace) {
+                return Err(bad(line, "malformed label"));
+            }
+            if bound.contains_key(name) {
+                return Err(ParseError::DuplicateLabel { line, name: name.to_string() });
+            }
+            let l = intern(&mut a, &mut labels, name);
+            a.bind(l)?;
+            bound.insert(name.to_string(), line);
+            text = rest[1..].trim();
+        }
+        if text.is_empty() {
+            continue;
+        }
+
+        let (mnemonic, rest) = match text.find(char::is_whitespace) {
+            Some(p) => (&text[..p], text[p..].trim()),
+            None => (text, ""),
+        };
+        let ops: Vec<&str> = if rest.is_empty() {
+            Vec::new()
+        } else {
+            rest.split(',').map(str::trim).collect()
+        };
+        let nops = ops.len();
+        let want = |n: usize| -> Result<(), ParseError> {
+            if nops == n {
+                Ok(())
+            } else {
+                Err(bad(line, format!("`{mnemonic}` wants {n} operands, got {nops}")))
+            }
+        };
+
+        macro_rules! rrr {
+            ($v:ident) => {{
+                want(3)?;
+                let rd = parse_reg(ops[0], line)?;
+                let rs1 = parse_reg(ops[1], line)?;
+                let rs2 = parse_reg(ops[2], line)?;
+                a.push(Inst::$v { rd, rs1, rs2 });
+            }};
+        }
+        macro_rules! fff {
+            ($v:ident) => {{
+                want(3)?;
+                let fd = parse_freg(ops[0], line)?;
+                let fs1 = parse_freg(ops[1], line)?;
+                let fs2 = parse_freg(ops[2], line)?;
+                a.push(Inst::$v { fd, fs1, fs2 });
+            }};
+        }
+        macro_rules! load {
+            ($v:ident) => {{
+                want(2)?;
+                let rd = parse_reg(ops[0], line)?;
+                let (rs1, off) = parse_mem_operand(ops[1], line)?;
+                a.push(Inst::$v { rd, rs1, off });
+            }};
+        }
+        macro_rules! store {
+            ($v:ident) => {{
+                want(2)?;
+                let rs2 = parse_reg(ops[0], line)?;
+                let (rs1, off) = parse_mem_operand(ops[1], line)?;
+                a.push(Inst::$v { rs1, rs2, off });
+            }};
+        }
+        macro_rules! branch {
+            ($m:ident) => {{
+                want(3)?;
+                let rs1 = parse_reg(ops[0], line)?;
+                let rs2 = parse_reg(ops[1], line)?;
+                match parse_target(ops[2], line) {
+                    Target::Label(name) => {
+                        let l = intern(&mut a, &mut labels, &name);
+                        a.$m(rs1, rs2, l);
+                    }
+                    Target::Offset(off) => {
+                        a.push(branch_inst(stringify!($m), rs1, rs2, as_i16(off as i64, line)?));
+                    }
+                }
+            }};
+        }
+        macro_rules! shift {
+            ($v:ident) => {{
+                want(3)?;
+                let rd = parse_reg(ops[0], line)?;
+                let rs1 = parse_reg(ops[1], line)?;
+                let sh = parse_int(ops[2], line)?;
+                if !(0..32).contains(&sh) {
+                    return Err(bad(line, format!("shift amount {sh} out of range")));
+                }
+                a.push(Inst::$v { rd, rs1, sh: sh as u8 });
+            }};
+        }
+
+        match mnemonic {
+            "add" => rrr!(Add),
+            "sub" => rrr!(Sub),
+            "and" => rrr!(And),
+            "or" => rrr!(Or),
+            "xor" => rrr!(Xor),
+            "sll" => rrr!(Sll),
+            "srl" => rrr!(Srl),
+            "sra" => rrr!(Sra),
+            "slt" => rrr!(Slt),
+            "sltu" => rrr!(Sltu),
+            "mul" => rrr!(Mul),
+            "divu" => rrr!(Divu),
+            "remu" => rrr!(Remu),
+            "addi" | "slti" => {
+                want(3)?;
+                let rd = parse_reg(ops[0], line)?;
+                let rs1 = parse_reg(ops[1], line)?;
+                let imm = as_i16(parse_int(ops[2], line)?, line)?;
+                a.push(if mnemonic == "addi" {
+                    Inst::Addi { rd, rs1, imm }
+                } else {
+                    Inst::Slti { rd, rs1, imm }
+                });
+            }
+            "andi" | "ori" | "xori" => {
+                want(3)?;
+                let rd = parse_reg(ops[0], line)?;
+                let rs1 = parse_reg(ops[1], line)?;
+                let imm = as_u16(parse_int(ops[2], line)?, line)?;
+                a.push(match mnemonic {
+                    "andi" => Inst::Andi { rd, rs1, imm },
+                    "ori" => Inst::Ori { rd, rs1, imm },
+                    _ => Inst::Xori { rd, rs1, imm },
+                });
+            }
+            "slli" => shift!(Slli),
+            "srli" => shift!(Srli),
+            "srai" => shift!(Srai),
+            "lui" => {
+                want(2)?;
+                let rd = parse_reg(ops[0], line)?;
+                let imm = as_u16(parse_int(ops[1], line)?, line)?;
+                a.push(Inst::Lui { rd, imm });
+            }
+            "li" => {
+                want(2)?;
+                let rd = parse_reg(ops[0], line)?;
+                let v = parse_int(ops[1], line)?;
+                if !(-(1i64 << 31)..(1i64 << 32)).contains(&v) {
+                    return Err(bad(line, format!("li constant {v} out of 32-bit range")));
+                }
+                a.li(rd, v as u32);
+            }
+            "lb" => load!(Lb),
+            "lbu" => load!(Lbu),
+            "lh" => load!(Lh),
+            "lhu" => load!(Lhu),
+            "lw" => load!(Lw),
+            "sb" => store!(Sb),
+            "sh" => store!(Sh),
+            "sw" => store!(Sw),
+            "fld" => {
+                want(2)?;
+                let fd = parse_freg(ops[0], line)?;
+                let (rs1, off) = parse_mem_operand(ops[1], line)?;
+                a.push(Inst::Fld { fd, rs1, off });
+            }
+            "fsd" => {
+                want(2)?;
+                let fs2 = parse_freg(ops[0], line)?;
+                let (rs1, off) = parse_mem_operand(ops[1], line)?;
+                a.push(Inst::Fsd { rs1, fs2, off });
+            }
+            "fadd" => fff!(Fadd),
+            "fsub" => fff!(Fsub),
+            "fmul" => fff!(Fmul),
+            "fdiv" => fff!(Fdiv),
+            "fmov" => {
+                want(2)?;
+                let fd = parse_freg(ops[0], line)?;
+                let fs1 = parse_freg(ops[1], line)?;
+                a.push(Inst::Fmov { fd, fs1 });
+            }
+            "fcmplt" => {
+                want(3)?;
+                let rd = parse_reg(ops[0], line)?;
+                let fs1 = parse_freg(ops[1], line)?;
+                let fs2 = parse_freg(ops[2], line)?;
+                a.push(Inst::Fcmplt { rd, fs1, fs2 });
+            }
+            "fcvtif" => {
+                want(2)?;
+                let fd = parse_freg(ops[0], line)?;
+                let rs1 = parse_reg(ops[1], line)?;
+                a.push(Inst::Fcvtif { fd, rs1 });
+            }
+            "fcvtfi" => {
+                want(2)?;
+                let rd = parse_reg(ops[0], line)?;
+                let fs1 = parse_freg(ops[1], line)?;
+                a.push(Inst::Fcvtfi { rd, fs1 });
+            }
+            "beq" => branch!(beq),
+            "bne" => branch!(bne),
+            "blt" => branch!(blt),
+            "bge" => branch!(bge),
+            "bltu" => branch!(bltu),
+            "bgeu" => branch!(bgeu),
+            "j" | "jal" => {
+                want(1)?;
+                match parse_target(ops[0], line) {
+                    Target::Label(name) => {
+                        let l = intern(&mut a, &mut labels, &name);
+                        if mnemonic == "j" {
+                            a.j(l);
+                        } else {
+                            a.jal(l);
+                        }
+                    }
+                    Target::Offset(off) => {
+                        a.push(if mnemonic == "j" {
+                            Inst::J { off }
+                        } else {
+                            Inst::Jal { off }
+                        });
+                    }
+                }
+            }
+            "jalr" => {
+                want(2)?;
+                let rd = parse_reg(ops[0], line)?;
+                let rs1 = parse_reg(ops[1], line)?;
+                a.push(Inst::Jalr { rd, rs1 });
+            }
+            "ret" => {
+                want(0)?;
+                a.ret();
+            }
+            "out" => {
+                want(2)?;
+                let rs1 = parse_reg(ops[0], line)?;
+                let port = parse_int(ops[1], line)?;
+                if !(0..256).contains(&port) {
+                    return Err(bad(line, format!("port {port} out of range")));
+                }
+                a.push(Inst::Out { rs1, port: port as u8 });
+            }
+            "halt" => {
+                want(0)?;
+                a.halt();
+            }
+            "nop" => {
+                want(0)?;
+                a.nop();
+            }
+            other => {
+                return Err(ParseError::UnknownMnemonic { line, mnemonic: other.to_string() })
+            }
+        }
+    }
+    Ok(a.assemble()?)
+}
+
+fn branch_inst(m: &str, rs1: Reg, rs2: Reg, off: i16) -> Inst {
+    match m {
+        "beq" => Inst::Beq { rs1, rs2, off },
+        "bne" => Inst::Bne { rs1, rs2, off },
+        "blt" => Inst::Blt { rs1, rs2, off },
+        "bge" => Inst::Bge { rs1, rs2, off },
+        "bltu" => Inst::Bltu { rs1, rs2, off },
+        _ => Inst::Bgeu { rs1, rs2, off },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::{decode, encode};
+    use crate::exec::{step, ArchState};
+    use crate::mem::FlatMem;
+
+    fn run(words: &[u32], base: u32) -> ArchState {
+        let mut mem = FlatMem::new(base & !0xFFF, 1 << 16);
+        mem.load_words(base, words);
+        let mut st = ArchState::new(base);
+        for _ in 0..100_000 {
+            if st.halted {
+                break;
+            }
+            step(&mut st, &mut mem).expect("valid code");
+        }
+        assert!(st.halted);
+        st
+    }
+
+    #[test]
+    fn sum_loop_from_text() {
+        let words = assemble_text(
+            "
+            li r1, 100
+            li r2, 0
+        top: add r2, r2, r1
+            addi r1, r1, -1
+            bne r1, r0, top
+            halt
+            ",
+            0x1000,
+        )
+        .expect("assembles");
+        let st = run(&words, 0x1000);
+        assert_eq!(st.reg(Reg::R2), 5050);
+    }
+
+    #[test]
+    fn memory_and_calls() {
+        let words = assemble_text(
+            "
+            li   r1, 0x2000
+            li   r2, 0xABCD
+            sw   r2, 4(r1)
+            lw   r3, 4(r1)
+            jal  double
+            out  r3, 1
+            halt
+        double:
+            add  r3, r3, r3
+            ret
+            ",
+            0x1000,
+        )
+        .expect("assembles");
+        let st = run(&words, 0x1000);
+        assert_eq!(st.reg(Reg::R3), 0xABCD * 2);
+    }
+
+    #[test]
+    fn display_parse_round_trip() {
+        // Every printable non-control instruction re-parses to itself.
+        let insts = [
+            Inst::Add { rd: Reg::R1, rs1: Reg::R2, rs2: Reg::R3 },
+            Inst::Addi { rd: Reg::R4, rs1: Reg::R5, imm: -77 },
+            Inst::Andi { rd: Reg::R4, rs1: Reg::R5, imm: 0xFACE },
+            Inst::Slli { rd: Reg::R1, rs1: Reg::R2, sh: 13 },
+            Inst::Lui { rd: Reg::R7, imm: 0xBEEF },
+            Inst::Lw { rd: Reg::R1, rs1: Reg::R2, off: -8 },
+            Inst::Sb { rs1: Reg::R3, rs2: Reg::R4, off: 17 },
+            Inst::Fadd { fd: FReg::R1, fs1: FReg::R2, fs2: FReg::R3 },
+            Inst::Fld { fd: FReg::R9, rs1: Reg::R8, off: 16 },
+            Inst::Fsd { rs1: Reg::R8, fs2: FReg::R9, off: -16 },
+            Inst::Fcmplt { rd: Reg::R2, fs1: FReg::R3, fs2: FReg::R4 },
+            Inst::Fcvtif { fd: FReg::R1, rs1: Reg::R2 },
+            Inst::Fcvtfi { rd: Reg::R1, fs1: FReg::R2 },
+            Inst::Beq { rs1: Reg::R1, rs2: Reg::R2, off: -6 },
+            Inst::J { off: 42 },
+            Inst::Jalr { rd: Reg::R1, rs1: Reg::R31 },
+            Inst::Out { rs1: Reg::R1, port: 3 },
+            Inst::Halt,
+            Inst::Nop,
+        ];
+        for inst in insts {
+            let text = inst.to_string();
+            let words = assemble_text(&text, 0)
+                .unwrap_or_else(|e| panic!("`{text}` failed to parse: {e}"));
+            assert_eq!(words.len(), 1, "`{text}`");
+            assert_eq!(decode(words[0]), inst, "`{text}`");
+            assert_eq!(words[0], encode(inst));
+        }
+    }
+
+    #[test]
+    fn errors_are_informative() {
+        assert!(matches!(
+            assemble_text("frobnicate r1", 0),
+            Err(ParseError::UnknownMnemonic { line: 1, .. })
+        ));
+        assert!(matches!(assemble_text("add r1, r2", 0), Err(ParseError::BadOperands { .. })));
+        assert!(matches!(
+            assemble_text("addi r1, r2, 99999", 0),
+            Err(ParseError::BadOperands { .. })
+        ));
+        assert!(matches!(
+            assemble_text("x: nop\nx: nop", 0),
+            Err(ParseError::DuplicateLabel { line: 2, .. })
+        ));
+        assert!(matches!(
+            assemble_text("j nowhere", 0),
+            Err(ParseError::Assemble(AsmError::UnboundLabel(_)))
+        ));
+        assert!(matches!(assemble_text("lw r1, r2", 0), Err(ParseError::BadOperands { .. })));
+    }
+
+    #[test]
+    fn comments_and_blank_lines() {
+        let words = assemble_text(
+            "# leading comment\n\n  nop ; trailing\n  halt # done\n",
+            0,
+        )
+        .expect("assembles");
+        assert_eq!(words.len(), 2);
+    }
+
+    #[test]
+    fn hex_and_negative_immediates() {
+        let words = assemble_text("addi r1, r0, -0x10\nhalt", 0).expect("assembles");
+        assert_eq!(decode(words[0]), Inst::Addi { rd: Reg::R1, rs1: Reg::R0, imm: -16 });
+    }
+
+    #[test]
+    fn label_on_same_line_and_forward() {
+        let st = run(
+            &assemble_text(
+                "
+                j skip
+                addi r1, r0, 99   # never runs
+            skip: addi r1, r0, 7
+                halt
+                ",
+                0x2000,
+            )
+            .expect("assembles"),
+            0x2000,
+        );
+        assert_eq!(st.reg(Reg::R1), 7);
+    }
+}

@@ -1,0 +1,113 @@
+use std::fmt;
+
+macro_rules! regfile {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        #[repr(u8)]
+        #[allow(missing_docs)]
+        pub enum $name {
+            R0 = 0, R1, R2, R3, R4, R5, R6, R7,
+            R8, R9, R10, R11, R12, R13, R14, R15,
+            R16, R17, R18, R19, R20, R21, R22, R23,
+            R24, R25, R26, R27, R28, R29, R30, R31,
+        }
+
+        impl $name {
+            /// All 32 registers in index order.
+            pub const ALL: [$name; 32] = [
+                $name::R0, $name::R1, $name::R2, $name::R3, $name::R4,
+                $name::R5, $name::R6, $name::R7, $name::R8, $name::R9,
+                $name::R10, $name::R11, $name::R12, $name::R13, $name::R14,
+                $name::R15, $name::R16, $name::R17, $name::R18, $name::R19,
+                $name::R20, $name::R21, $name::R22, $name::R23, $name::R24,
+                $name::R25, $name::R26, $name::R27, $name::R28, $name::R29,
+                $name::R30, $name::R31,
+            ];
+
+            /// The register's index, 0..=31.
+            pub fn index(self) -> usize {
+                self as usize
+            }
+
+            /// Builds a register from a 5-bit field value.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `i >= 32`.
+            pub fn from_index(i: u32) -> Self {
+                Self::ALL[i as usize]
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.index())
+            }
+        }
+    };
+}
+
+regfile!(
+    /// An integer register name, `r0`..`r31`.
+    ///
+    /// `r0` is hardwired to zero: reads return 0 and writes are discarded,
+    /// exactly like MIPS/Alpha `$zero`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use secsim_isa::Reg;
+    /// assert_eq!(Reg::R7.index(), 7);
+    /// assert_eq!(Reg::from_index(7), Reg::R7);
+    /// assert_eq!(Reg::R7.to_string(), "r7");
+    /// ```
+    Reg,
+    "r"
+);
+
+regfile!(
+    /// A floating-point register name, `f0`..`f31` (each holds an `f64`).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use secsim_isa::FReg;
+    /// assert_eq!(FReg::R3.to_string(), "f3");
+    /// ```
+    FReg,
+    "f"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_round_trip() {
+        for i in 0..32 {
+            assert_eq!(Reg::from_index(i).index(), i as usize);
+            assert_eq!(FReg::from_index(i).index(), i as usize);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_index_out_of_range_panics() {
+        let _ = Reg::from_index(32);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Reg::R0.to_string(), "r0");
+        assert_eq!(Reg::R31.to_string(), "r31");
+        assert_eq!(FReg::R15.to_string(), "f15");
+    }
+
+    #[test]
+    fn all_has_32_unique() {
+        use std::collections::HashSet;
+        let set: HashSet<_> = Reg::ALL.iter().collect();
+        assert_eq!(set.len(), 32);
+    }
+}

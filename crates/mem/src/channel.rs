@@ -1,0 +1,309 @@
+//! The front-side bus channel: arbitration, DRAM scheduling, and the
+//! attacker-visible address trace.
+//!
+//! Everything that crosses the processor↔memory interface goes through
+//! [`Channel::transfer`]. The address of every granted transaction is
+//! recorded in a [`BusTrace`] — this is the *memory-fetch side channel*
+//! of the paper: contents are encrypted, addresses are not (§3).
+
+use crate::dram::{Dram, DramResult};
+use secsim_stats::CounterSet;
+
+/// What a bus transaction carries — attack analyses filter on this.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BusKind {
+    /// Instruction line fetch.
+    InstrFetch,
+    /// Data line fetch.
+    DataFetch,
+    /// Dirty-line writeback.
+    Writeback,
+    /// Per-line MAC fetch.
+    MacFetch,
+    /// Per-line MAC update write.
+    MacWrite,
+    /// Counter-block fetch (counter-mode metadata).
+    CounterFetch,
+    /// Remap-table entry fetch (address obfuscation).
+    RemapFetch,
+    /// Remap-table entry write (address obfuscation).
+    RemapWrite,
+    /// MAC/hash-tree internal node fetch.
+    TreeFetch,
+}
+
+impl BusKind {
+    /// Whether an eavesdropper would classify this as a *demand fetch*
+    /// whose address may carry program data (the exploitable kinds).
+    pub fn is_demand_fetch(self) -> bool {
+        matches!(self, BusKind::InstrFetch | BusKind::DataFetch)
+    }
+}
+
+/// One address observed on the front-side bus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BusEvent {
+    /// Core cycle at which the address phase was granted.
+    pub cycle: u64,
+    /// The (line-aligned) address visible on the pins.
+    pub addr: u32,
+    /// Transaction type.
+    pub kind: BusKind,
+}
+
+/// A recording of bus events — the adversary's logic-analyzer probe.
+#[derive(Debug, Clone, Default)]
+pub struct BusTrace {
+    events: Vec<BusEvent>,
+    enabled: bool,
+}
+
+impl BusTrace {
+    /// Creates a disabled (non-recording) trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Starts recording.
+    pub fn enable(&mut self) {
+        self.enabled = true;
+    }
+
+    /// Stops recording (events already captured are kept).
+    pub fn disable(&mut self) {
+        self.enabled = false;
+    }
+
+    /// Whether events are currently recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    fn record(&mut self, ev: BusEvent) {
+        if self.enabled {
+            self.events.push(ev);
+        }
+    }
+
+    /// All captured events in grant order.
+    pub fn events(&self) -> &[BusEvent] {
+        &self.events
+    }
+
+    /// Captured demand-fetch addresses (the exploitable subset).
+    pub fn demand_addrs(&self) -> impl Iterator<Item = u32> + '_ {
+        self.events.iter().filter(|e| e.kind.is_demand_fetch()).map(|e| e.addr)
+    }
+
+    /// Clears captured events.
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+}
+
+/// Result of one channel transfer (core cycles).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Transfer {
+    /// Cycle the address was granted (and became visible on the bus).
+    pub granted: u64,
+    /// Cycle the first (critical) chunk arrived.
+    pub first_ready: u64,
+    /// Cycle the burst completed.
+    pub done: u64,
+}
+
+/// The serializing front-side bus + SDRAM channel.
+///
+/// A single shared 8-byte bus (paper Table 3) carries every transaction;
+/// the channel serializes occupancy and delegates bank timing to
+/// [`Dram`].
+///
+/// # Examples
+///
+/// ```
+/// use secsim_mem::{BusKind, Channel, DramConfig};
+///
+/// let mut ch = Channel::new(DramConfig::paper_reference());
+/// ch.trace_mut().enable();
+/// let t = ch.transfer(0x4000, 64, BusKind::DataFetch, 0, 0);
+/// assert!(t.done > t.granted);
+/// assert_eq!(ch.trace().events().len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Channel {
+    dram: Dram,
+    /// Address-phase pipelining: one new transaction per bus clock.
+    addr_free: u64,
+    /// The shared 8-byte data bus: bursts may not overlap.
+    data_free: u64,
+    trace: BusTrace,
+    counters: CounterSet,
+}
+
+impl Channel {
+    /// Creates a channel over a fresh SDRAM.
+    pub fn new(dram_cfg: crate::dram::DramConfig) -> Self {
+        Self {
+            dram: Dram::new(dram_cfg),
+            addr_free: 0,
+            data_free: 0,
+            trace: BusTrace::new(),
+            counters: CounterSet::new(),
+        }
+    }
+
+    /// Performs a `bytes` burst at `addr`, with the address phase granted
+    /// no earlier than `max(now, not_before)`.
+    ///
+    /// The bus is split-transaction: address phases pipeline one per bus
+    /// clock, bank access latencies overlap across banks, and only the
+    /// data bursts serialize on the 8-byte data bus.
+    ///
+    /// `not_before` is the hook for the paper's *authen-then-fetch*
+    /// policy: the secure processor refuses to grant bus cycles to a
+    /// fetch until its authentication precondition is met (§4.2.4).
+    pub fn transfer(
+        &mut self,
+        addr: u32,
+        bytes: u32,
+        kind: BusKind,
+        now: u64,
+        not_before: u64,
+    ) -> Transfer {
+        let req = now.max(not_before).max(self.addr_free);
+        let addr_phase = self.dram.config().core_per_bus;
+        self.addr_free = req + addr_phase;
+        let DramResult { start, first_ready, done } = self.dram.access(addr, bytes, req);
+        // Serialize the data burst on the shared data bus.
+        let shift = self.data_free.saturating_sub(first_ready);
+        let first_ready = first_ready + shift;
+        let done = done + shift;
+        self.data_free = done;
+        self.trace.record(BusEvent { cycle: start, addr, kind });
+        self.counters.inc(kind_counter(kind));
+        self.counters.add("busy_cycles", done - first_ready + addr_phase);
+        Transfer { granted: start, first_ready, done }
+    }
+
+    /// The attacker-visible bus trace.
+    pub fn trace(&self) -> &BusTrace {
+        &self.trace
+    }
+
+    /// Mutable access to the trace (enable/disable/clear).
+    pub fn trace_mut(&mut self) -> &mut BusTrace {
+        &mut self.trace
+    }
+
+    /// Cycle at which the data bus becomes free.
+    pub fn free_at(&self) -> u64 {
+        self.data_free
+    }
+
+    /// Per-kind transaction counters plus `busy_cycles`.
+    pub fn counters(&self) -> &CounterSet {
+        &self.counters
+    }
+
+    /// DRAM page-status counters.
+    pub fn dram_counters(&self) -> &CounterSet {
+        self.dram.counters()
+    }
+}
+
+fn kind_counter(kind: BusKind) -> &'static str {
+    match kind {
+        BusKind::InstrFetch => "xact.ifetch",
+        BusKind::DataFetch => "xact.dfetch",
+        BusKind::Writeback => "xact.writeback",
+        BusKind::MacFetch => "xact.mac_fetch",
+        BusKind::MacWrite => "xact.mac_write",
+        BusKind::CounterFetch => "xact.counter_fetch",
+        BusKind::RemapFetch => "xact.remap_fetch",
+        BusKind::RemapWrite => "xact.remap_write",
+        BusKind::TreeFetch => "xact.tree_fetch",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dram::DramConfig;
+
+    fn ch() -> Channel {
+        Channel::new(DramConfig::paper_reference())
+    }
+
+    #[test]
+    fn data_bursts_serialize_but_latency_overlaps() {
+        let mut c = ch();
+        // Different banks (4KB row stride → next bank).
+        let a = c.transfer(0, 64, BusKind::DataFetch, 0, 0);
+        let b = c.transfer(4096, 64, BusKind::DataFetch, 0, 0);
+        // Address phases pipeline: b granted shortly after a.
+        assert!(b.granted < a.first_ready);
+        // Data bursts may not overlap.
+        assert!(b.first_ready >= a.done);
+        // But b's total latency is far less than 2x serial.
+        assert!(b.done < a.done + (a.done - a.granted));
+    }
+
+    #[test]
+    fn same_bank_serializes_fully() {
+        let mut c = ch();
+        let a = c.transfer(0, 64, BusKind::DataFetch, 0, 0);
+        let b = c.transfer(0, 64, BusKind::DataFetch, 0, 0);
+        assert!(b.first_ready >= a.done);
+        assert!(b.granted >= a.granted + 5); // address phase pipelining
+    }
+
+    #[test]
+    fn not_before_delays_grant() {
+        let mut c = ch();
+        let t = c.transfer(0, 64, BusKind::DataFetch, 0, 5000);
+        assert!(t.granted >= 5000);
+    }
+
+    #[test]
+    fn trace_records_only_when_enabled() {
+        let mut c = ch();
+        c.transfer(0x100, 64, BusKind::DataFetch, 0, 0);
+        assert!(c.trace().events().is_empty());
+        c.trace_mut().enable();
+        c.transfer(0x200, 64, BusKind::InstrFetch, 0, 0);
+        assert_eq!(c.trace().events().len(), 1);
+        assert_eq!(c.trace().events()[0].addr, 0x200);
+        assert_eq!(c.trace().events()[0].kind, BusKind::InstrFetch);
+    }
+
+    #[test]
+    fn demand_addrs_filters_metadata() {
+        let mut c = ch();
+        c.trace_mut().enable();
+        c.transfer(0x100, 64, BusKind::DataFetch, 0, 0);
+        c.transfer(0x200, 8, BusKind::MacFetch, 0, 0);
+        c.transfer(0x300, 64, BusKind::InstrFetch, 0, 0);
+        let addrs: Vec<u32> = c.trace().demand_addrs().collect();
+        assert_eq!(addrs, vec![0x100, 0x300]);
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut c = ch();
+        c.transfer(0, 64, BusKind::Writeback, 0, 0);
+        c.transfer(0, 8, BusKind::MacWrite, 0, 0);
+        assert_eq!(c.counters().get("xact.writeback"), 1);
+        assert_eq!(c.counters().get("xact.mac_write"), 1);
+        assert!(c.counters().get("busy_cycles") > 0);
+    }
+
+    #[test]
+    fn clear_trace() {
+        let mut c = ch();
+        c.trace_mut().enable();
+        c.transfer(0, 64, BusKind::DataFetch, 0, 0);
+        c.trace_mut().clear();
+        assert!(c.trace().events().is_empty());
+        assert!(c.trace().is_enabled());
+    }
+}

@@ -1,0 +1,205 @@
+//! Banked SDRAM timing model following the paper's Table 3 parameters
+//! (PC SDRAM per Gries & Römer): 200 MHz, 8-byte-wide data bus, `X-5-5-5`
+//! core-clock burst where `X` depends on the open-row status of the bank.
+
+use secsim_stats::CounterSet;
+
+/// SDRAM geometry and timing (all SDRAM latencies in *memory bus
+/// clocks*; the model converts to core cycles via `core_per_bus`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DramConfig {
+    /// Number of banks.
+    pub banks: u32,
+    /// Bytes per row (page) per bank.
+    pub row_bytes: u32,
+    /// CAS latency, bus clocks (paper: 20).
+    pub cas: u64,
+    /// RAS-to-CAS (RCD) latency, bus clocks (paper: 7).
+    pub rcd: u64,
+    /// Precharge (RP) latency, bus clocks (paper: 7).
+    pub rp: u64,
+    /// Core cycles per memory bus clock (1 GHz core / 200 MHz bus = 5).
+    pub core_per_bus: u64,
+    /// Data-bus width in bytes (paper: 8).
+    pub bus_bytes: u32,
+}
+
+impl DramConfig {
+    /// Paper Table 3 parameters.
+    pub fn paper_reference() -> Self {
+        Self { banks: 4, row_bytes: 4096, cas: 20, rcd: 7, rp: 7, core_per_bus: 5, bus_bytes: 8 }
+    }
+}
+
+impl Default for DramConfig {
+    fn default() -> Self {
+        Self::paper_reference()
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Bank {
+    open_row: Option<u32>,
+    busy_until: u64,
+}
+
+/// Result of one DRAM transaction (times in core cycles).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DramResult {
+    /// Cycle the transaction began occupying the bank.
+    pub start: u64,
+    /// Cycle the first (critical) 8-byte chunk is on the bus.
+    pub first_ready: u64,
+    /// Cycle the full burst completes.
+    pub done: u64,
+}
+
+/// A banked SDRAM with open-row (page-mode) policy.
+///
+/// # Examples
+///
+/// ```
+/// use secsim_mem::{Dram, DramConfig};
+///
+/// let mut d = Dram::new(DramConfig::paper_reference());
+/// let a = d.access(0x0000, 64, 0);
+/// let b = d.access(0x0040, 64, a.done); // same row: page hit, faster
+/// assert!(b.first_ready - b.start < a.first_ready - a.start);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Dram {
+    cfg: DramConfig,
+    banks: Vec<Bank>,
+    counters: CounterSet,
+}
+
+impl Dram {
+    /// Creates an SDRAM model with all rows closed.
+    pub fn new(cfg: DramConfig) -> Self {
+        assert!(cfg.banks >= 1 && cfg.core_per_bus >= 1 && cfg.bus_bytes >= 1);
+        Self {
+            cfg,
+            banks: vec![Bank { open_row: None, busy_until: 0 }; cfg.banks as usize],
+            counters: CounterSet::new(),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &DramConfig {
+        &self.cfg
+    }
+
+    /// Performs a `bytes`-byte burst at `addr`, not earlier than `now`
+    /// (core cycles). Returns start / critical-word / completion times.
+    pub fn access(&mut self, addr: u32, bytes: u32, now: u64) -> DramResult {
+        // Row interleaving: consecutive rows rotate across banks.
+        let row_global = addr / self.cfg.row_bytes;
+        let bank_idx = (row_global % self.cfg.banks) as usize;
+        let row = row_global / self.cfg.banks;
+        let bank = &mut self.banks[bank_idx];
+
+        let start = now.max(bank.busy_until);
+        let transfers = bytes.div_ceil(self.cfg.bus_bytes) as u64;
+        // (first-word latency, bank occupancy) in bus clocks. CAS reads
+        // to an open row pipeline, so a page-hit burst occupies the bank
+        // only for its data transfers; activates/precharges do not.
+        let (x_bus, occupy_bus) = match bank.open_row {
+            Some(open) if open == row => {
+                self.counters.inc("page_hit");
+                (self.cfg.cas, transfers)
+            }
+            Some(_) => {
+                self.counters.inc("page_conflict");
+                (self.cfg.rp + self.cfg.rcd + self.cfg.cas, self.cfg.rp + self.cfg.rcd + transfers)
+            }
+            None => {
+                self.counters.inc("page_empty");
+                (self.cfg.rcd + self.cfg.cas, self.cfg.rcd + transfers)
+            }
+        };
+        let first_ready = start + x_bus * self.cfg.core_per_bus;
+        // X-5-5-5...: each subsequent 8-byte transfer takes one bus clock
+        // (5 core cycles).
+        let done = first_ready + transfers.saturating_sub(1) * self.cfg.core_per_bus;
+        bank.open_row = Some(row);
+        bank.busy_until = start + occupy_bus * self.cfg.core_per_bus;
+        self.counters.inc("accesses");
+        DramResult { start, first_ready, done }
+    }
+
+    /// Page-hit/conflict/empty counters.
+    pub fn counters(&self) -> &CounterSet {
+        &self.counters
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d() -> Dram {
+        Dram::new(DramConfig::paper_reference())
+    }
+
+    #[test]
+    fn empty_page_latency() {
+        let mut d = d();
+        let r = d.access(0, 64, 100);
+        // RCD+CAS = 27 bus clocks * 5 = 135 core cycles to first chunk.
+        assert_eq!(r.start, 100);
+        assert_eq!(r.first_ready, 100 + 135);
+        // 64B / 8B = 8 transfers, 7 more bus clocks.
+        assert_eq!(r.done, 100 + 135 + 35);
+        assert_eq!(d.counters().get("page_empty"), 1);
+    }
+
+    #[test]
+    fn page_hit_is_faster() {
+        let mut d = d();
+        let a = d.access(0, 64, 0);
+        let b = d.access(64, 64, a.done);
+        assert_eq!(b.first_ready - b.start, 20 * 5);
+        assert_eq!(d.counters().get("page_hit"), 1);
+    }
+
+    #[test]
+    fn page_conflict_pays_precharge() {
+        let mut d = d();
+        let a = d.access(0, 64, 0);
+        // Same bank, different row: banks=4, row_bytes=4096 ⇒ same bank
+        // every 4 rows = 16 KB stride.
+        let b = d.access(4096 * 4, 64, a.done);
+        assert_eq!(b.first_ready - b.start, (7 + 7 + 20) * 5);
+        assert_eq!(d.counters().get("page_conflict"), 1);
+    }
+
+    #[test]
+    fn different_banks_overlap() {
+        let mut d = d();
+        let a = d.access(0, 64, 0);
+        // Next row (4 KB stride) lands in the next bank: can start at 0.
+        let b = d.access(4096, 64, 0);
+        assert_eq!(b.start, 0);
+        let _ = a;
+    }
+
+    #[test]
+    fn busy_bank_holds_activate_not_cas() {
+        let mut d = d();
+        let _ = d.access(0, 64, 0);
+        // Occupancy for an empty-page access = RCD + burst bus clocks.
+        let b = d.access(0, 64, 10); // same bank, now a page hit
+        assert_eq!(b.start, (7 + 8) * 5);
+        // CAS pipelines: back-to-back page hits stream at burst rate.
+        let c = d.access(64, 64, b.start);
+        assert_eq!(c.start, b.start + 8 * 5);
+        assert_eq!(c.first_ready - c.start, 20 * 5);
+    }
+
+    #[test]
+    fn small_burst_single_transfer() {
+        let mut d = d();
+        let r = d.access(0, 8, 0);
+        assert_eq!(r.done, r.first_ready);
+    }
+}

@@ -1,0 +1,174 @@
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A registry of named, monotonically increasing event counters.
+///
+/// Counter names are dot-separated by convention (`"l2.miss"`,
+/// `"auth.stall_cycles"`). Names are ordered, so iteration and the
+/// [`Display`](fmt::Display) rendering are deterministic.
+///
+/// # Examples
+///
+/// ```
+/// use secsim_stats::CounterSet;
+///
+/// let mut c = CounterSet::new();
+/// c.inc("fetch.lines");
+/// c.add("fetch.lines", 4);
+/// assert_eq!(c.get("fetch.lines"), 5);
+/// assert_eq!(c.get("never.touched"), 0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CounterSet {
+    map: BTreeMap<String, u64>,
+}
+
+impl CounterSet {
+    /// Creates an empty counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Increments `name` by one.
+    pub fn inc(&mut self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Adds `n` to `name`, creating the counter at zero if absent.
+    pub fn add(&mut self, name: &str, n: u64) {
+        if let Some(v) = self.map.get_mut(name) {
+            *v += n;
+        } else {
+            self.map.insert(name.to_owned(), n);
+        }
+    }
+
+    /// Sets `name` to an absolute value (for gauges sampled at end of run).
+    pub fn set(&mut self, name: &str, n: u64) {
+        self.map.insert(name.to_owned(), n);
+    }
+
+    /// Returns the current value of `name`, or 0 if it was never touched.
+    pub fn get(&self, name: &str) -> u64 {
+        self.map.get(name).copied().unwrap_or(0)
+    }
+
+    /// Returns `numerator / denominator` as a ratio, or 0.0 when the
+    /// denominator counter is zero.
+    pub fn ratio(&self, numerator: &str, denominator: &str) -> f64 {
+        let d = self.get(denominator);
+        if d == 0 {
+            0.0
+        } else {
+            self.get(numerator) as f64 / d as f64
+        }
+    }
+
+    /// Merges another counter set into this one by summing values.
+    pub fn merge(&mut self, other: &CounterSet) {
+        for (k, v) in &other.map {
+            self.add(k, *v);
+        }
+    }
+
+    /// Iterates over `(name, value)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.map.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Number of distinct counters.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether no counter has been touched.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+impl fmt::Display for CounterSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (k, v) in &self.map {
+            writeln!(f, "{k:40} {v}")?;
+        }
+        Ok(())
+    }
+}
+
+impl<'a> Extend<(&'a str, u64)> for CounterSet {
+    fn extend<T: IntoIterator<Item = (&'a str, u64)>>(&mut self, iter: T) {
+        for (k, v) in iter {
+            self.add(k, v);
+        }
+    }
+}
+
+impl<'a> FromIterator<(&'a str, u64)> for CounterSet {
+    fn from_iter<T: IntoIterator<Item = (&'a str, u64)>>(iter: T) -> Self {
+        let mut c = CounterSet::new();
+        c.extend(iter);
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inc_and_add() {
+        let mut c = CounterSet::new();
+        c.inc("a");
+        c.inc("a");
+        c.add("b", 10);
+        assert_eq!(c.get("a"), 2);
+        assert_eq!(c.get("b"), 10);
+        assert_eq!(c.get("c"), 0);
+        assert_eq!(c.len(), 2);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn set_overwrites() {
+        let mut c = CounterSet::new();
+        c.add("g", 5);
+        c.set("g", 2);
+        assert_eq!(c.get("g"), 2);
+    }
+
+    #[test]
+    fn ratio_handles_zero_denominator() {
+        let mut c = CounterSet::new();
+        c.add("hit", 3);
+        assert_eq!(c.ratio("hit", "access"), 0.0);
+        c.add("access", 4);
+        assert!((c.ratio("hit", "access") - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_sums() {
+        let mut a = CounterSet::new();
+        a.add("x", 1);
+        let mut b = CounterSet::new();
+        b.add("x", 2);
+        b.add("y", 3);
+        a.merge(&b);
+        assert_eq!(a.get("x"), 3);
+        assert_eq!(a.get("y"), 3);
+    }
+
+    #[test]
+    fn iter_is_name_ordered() {
+        let c: CounterSet = [("b", 2), ("a", 1)].into_iter().collect();
+        let names: Vec<&str> = c.iter().map(|(k, _)| k).collect();
+        assert_eq!(names, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn display_not_empty() {
+        let mut c = CounterSet::new();
+        c.inc("thing");
+        assert!(format!("{c}").contains("thing"));
+    }
+}

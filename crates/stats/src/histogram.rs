@@ -1,0 +1,193 @@
+use std::fmt;
+
+/// A fixed-width-bucket histogram over `u64` samples (cycle latencies,
+/// queue occupancies).
+///
+/// Samples beyond the last bucket accumulate in an overflow bucket.
+///
+/// # Examples
+///
+/// ```
+/// use secsim_stats::Histogram;
+///
+/// let mut h = Histogram::new(10, 8); // 8 buckets of width 10: [0,10), [10,20), ...
+/// h.record(3);
+/// h.record(15);
+/// h.record(1_000); // overflow
+/// assert_eq!(h.count(), 3);
+/// assert_eq!(h.bucket_count(0), 1);
+/// assert_eq!(h.bucket_count(1), 1);
+/// assert_eq!(h.overflow(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    bucket_width: u64,
+    buckets: Vec<u64>,
+    overflow: u64,
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `buckets` buckets of `bucket_width` each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket_width == 0` or `buckets == 0`.
+    pub fn new(bucket_width: u64, buckets: usize) -> Self {
+        assert!(bucket_width > 0, "bucket width must be positive");
+        assert!(buckets > 0, "bucket count must be positive");
+        Self {
+            bucket_width,
+            buckets: vec![0; buckets],
+            overflow: 0,
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, x: u64) {
+        let idx = (x / self.bucket_width) as usize;
+        if idx < self.buckets.len() {
+            self.buckets[idx] += 1;
+        } else {
+            self.overflow += 1;
+        }
+        self.count += 1;
+        self.sum += x;
+        self.max = self.max.max(x);
+    }
+
+    /// Total number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of recorded samples; 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Largest recorded sample.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Count in bucket `i` (`[i*w, (i+1)*w)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn bucket_count(&self, i: usize) -> u64 {
+        self.buckets[i]
+    }
+
+    /// Count of samples beyond the last bucket.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Number of configured buckets (excluding overflow).
+    pub fn buckets(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Approximate p-th percentile (0..=100) using bucket lower bounds;
+    /// returns 0 when empty.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((p / 100.0) * self.count as f64).ceil() as u64;
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= target {
+                return i as u64 * self.bucket_width;
+            }
+        }
+        self.max
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "count={} mean={:.2} max={}", self.count, self.mean(), self.max)?;
+        for (i, b) in self.buckets.iter().enumerate() {
+            if *b > 0 {
+                writeln!(
+                    f,
+                    "[{:6}, {:6}) {}",
+                    i as u64 * self.bucket_width,
+                    (i as u64 + 1) * self.bucket_width,
+                    b
+                )?;
+            }
+        }
+        if self.overflow > 0 {
+            writeln!(f, "[overflow    ) {}", self.overflow)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_into_buckets() {
+        let mut h = Histogram::new(5, 4);
+        for x in [0, 4, 5, 19, 20, 100] {
+            h.record(x);
+        }
+        assert_eq!(h.bucket_count(0), 2);
+        assert_eq!(h.bucket_count(1), 1);
+        assert_eq!(h.bucket_count(3), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.max(), 100);
+        assert!((h.mean() - 148.0 / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket width")]
+    fn zero_width_rejected() {
+        Histogram::new(0, 4);
+    }
+
+    #[test]
+    fn percentile_monotone() {
+        let mut h = Histogram::new(1, 100);
+        for x in 0..100 {
+            h.record(x);
+        }
+        assert_eq!(h.percentile(1.0), 0);
+        assert_eq!(h.percentile(50.0), 49);
+        assert_eq!(h.percentile(100.0), 99);
+        assert!(h.percentile(25.0) <= h.percentile(75.0));
+    }
+
+    #[test]
+    fn empty_percentile_zero() {
+        let h = Histogram::new(1, 2);
+        assert_eq!(h.percentile(50.0), 0);
+    }
+
+    #[test]
+    fn display_shows_counts() {
+        let mut h = Histogram::new(10, 2);
+        h.record(3);
+        h.record(25);
+        let out = format!("{h}");
+        assert!(out.contains("count=2"));
+        assert!(out.contains("overflow"));
+    }
+}

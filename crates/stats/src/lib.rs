@@ -1,0 +1,36 @@
+//! Statistics and reporting utilities for the `secsim` workspace.
+//!
+//! This crate is deliberately dependency-free. It provides:
+//!
+//! * [`CounterSet`] — a named event-counter registry used by every
+//!   simulator component (caches, pipeline, authentication engine).
+//! * [`Summary`] — streaming summary statistics (mean, geometric mean,
+//!   min/max) for per-benchmark metrics such as normalized IPC.
+//! * [`Histogram`] — fixed-bucket latency histograms.
+//! * [`Table`] — a tiny table builder that renders Markdown and CSV; every
+//!   experiment binary in `secsim-bench` reports through it.
+//!
+//! # Examples
+//!
+//! ```
+//! use secsim_stats::{CounterSet, Table};
+//!
+//! let mut c = CounterSet::new();
+//! c.inc("l2.miss");
+//! c.add("l2.miss", 2);
+//! assert_eq!(c.get("l2.miss"), 3);
+//!
+//! let mut t = Table::new(["bench", "ipc"]);
+//! t.push_row(["mcf", "0.41"]);
+//! assert!(t.to_markdown().contains("mcf"));
+//! ```
+
+mod counters;
+mod histogram;
+mod summary;
+mod table;
+
+pub use counters::CounterSet;
+pub use histogram::Histogram;
+pub use summary::{geomean, Summary};
+pub use table::{fmt3, Table};

@@ -1,0 +1,204 @@
+use std::fmt;
+
+/// Streaming summary statistics over a sequence of `f64` samples.
+///
+/// Tracks count, sum, min, max and the sum of natural logarithms (for the
+/// geometric mean, the conventional aggregate for normalized IPC across a
+/// benchmark suite).
+///
+/// # Examples
+///
+/// ```
+/// use secsim_stats::Summary;
+///
+/// let s: Summary = [1.0, 4.0].into_iter().collect();
+/// assert_eq!(s.mean(), 2.5);
+/// assert_eq!(s.geomean(), 2.0);
+/// assert_eq!(s.min(), 1.0);
+/// assert_eq!(s.max(), 4.0);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Summary {
+    count: u64,
+    sum: f64,
+    log_sum: f64,
+    min: f64,
+    max: f64,
+    sum_sq: f64,
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is NaN, or if `x <= 0` (the geometric mean is only
+    /// defined for positive samples; normalized IPC is always positive).
+    pub fn push(&mut self, x: f64) {
+        assert!(!x.is_nan(), "summary sample must not be NaN");
+        assert!(x > 0.0, "summary sample must be positive, got {x}");
+        if self.count == 0 {
+            self.min = x;
+            self.max = x;
+        } else {
+            self.min = self.min.min(x);
+            self.max = self.max.max(x);
+        }
+        self.count += 1;
+        self.sum += x;
+        self.sum_sq += x * x;
+        self.log_sum += x.ln();
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean; 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Geometric mean; 0.0 when empty.
+    pub fn geomean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            (self.log_sum / self.count as f64).exp()
+        }
+    }
+
+    /// Population standard deviation; 0.0 when fewer than two samples.
+    pub fn stddev(&self) -> f64 {
+        if self.count < 2 {
+            return 0.0;
+        }
+        let n = self.count as f64;
+        let var = (self.sum_sq - self.sum * self.sum / n) / n;
+        var.max(0.0).sqrt()
+    }
+
+    /// Smallest sample; 0.0 when empty.
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample; 0.0 when empty.
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.4} geomean={:.4} min={:.4} max={:.4}",
+            self.count,
+            self.mean(),
+            self.geomean(),
+            self.min(),
+            self.max()
+        )
+    }
+}
+
+impl Extend<f64> for Summary {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+impl FromIterator<f64> for Summary {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        let mut s = Summary::new();
+        s.extend(iter);
+        s
+    }
+}
+
+/// Geometric mean of an iterator of positive samples; 0.0 when empty.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(secsim_stats::geomean([2.0, 8.0]), 4.0);
+/// ```
+pub fn geomean<I: IntoIterator<Item = f64>>(iter: I) -> f64 {
+    iter.into_iter().collect::<Summary>().geomean()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_summary_is_zeroed() {
+        let s = Summary::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.geomean(), 0.0);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.max(), 0.0);
+        assert_eq!(s.stddev(), 0.0);
+    }
+
+    #[test]
+    fn basic_stats() {
+        let s: Summary = [1.0, 2.0, 3.0, 4.0].into_iter().collect();
+        assert_eq!(s.count(), 4);
+        assert!((s.mean() - 2.5).abs() < 1e-12);
+        assert!((s.geomean() - 24.0_f64.powf(0.25)).abs() < 1e-12);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 4.0);
+        assert!(s.stddev() > 1.0 && s.stddev() < 1.2);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_nonpositive() {
+        let mut s = Summary::new();
+        s.push(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn rejects_nan() {
+        let mut s = Summary::new();
+        s.push(f64::NAN);
+    }
+
+    #[test]
+    fn geomean_helper() {
+        assert_eq!(geomean([2.0, 8.0]), 4.0);
+        assert_eq!(geomean(std::iter::empty()), 0.0);
+    }
+
+    #[test]
+    fn display_contains_fields() {
+        let s: Summary = [2.0].into_iter().collect();
+        let d = format!("{s}");
+        assert!(d.contains("n=1"));
+        assert!(d.contains("mean"));
+    }
+}

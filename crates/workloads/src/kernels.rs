@@ -1,0 +1,308 @@
+//! Parameterized kernel code generators.
+//!
+//! Register convention inside generated programs:
+//!
+//! * `r8`  — data-region base (set once at entry)
+//! * `r9`  — outer loop counter
+//! * `r16` — LCG state (random-access kernels)
+//! * `r17` — pointer-chase cursor
+//! * `r10`–`r15`, `f1`–`f6` — kernel scratch
+
+use secsim_isa::{Asm, FReg, Reg};
+
+/// One inner-loop kernel of a benchmark profile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelKind {
+    /// `sum += A[i * stride]` over the region — sequential/strided read
+    /// misses with high memory-level parallelism.
+    StreamSum {
+        /// Byte stride between loads (use the line size to touch every
+        /// line once).
+        stride: u32,
+    },
+    /// `p = *p` over a Sattolo-cycle linked list — fully serialized,
+    /// dependent misses (the mcf signature).
+    PointerChase,
+    /// LCG-driven loads scattered over the region — independent random
+    /// misses.
+    RandomLoad,
+    /// `A[i * stride] = x` — a store stream that generates writeback
+    /// traffic.
+    StoreStream {
+        /// Byte stride between stores.
+        stride: u32,
+    },
+    /// `Y[i] += a * X[i]` over two region halves (FP loads, multiply,
+    /// add, store).
+    Daxpy,
+    /// Load, test low bit, branch — data-dependent branches with ~50%
+    /// misprediction on random data.
+    Branchy,
+    /// Register-only integer ALU work (dependency chain) — dilutes
+    /// memory intensity for compute-bound benchmarks.
+    AluMix,
+    /// Register-only FP work (multiply-add chain).
+    FpMix,
+}
+
+const BASE: Reg = Reg::R8;
+const LCG: Reg = Reg::R16;
+const CURSOR: Reg = Reg::R17;
+
+/// Emits the inner loop for `kind`, touching `region_mask + 1` bytes of
+/// the data region and executing `elems` iterations.
+///
+/// `region_mask` must be a power of two minus one (the region size the
+/// kernel wraps over).
+pub fn emit(a: &mut Asm, kind: KernelKind, elems: u32, region_mask: u32) {
+    match kind {
+        KernelKind::StreamSum { stride } => emit_stream_sum(a, elems, stride, region_mask),
+        KernelKind::PointerChase => emit_pointer_chase(a, elems),
+        KernelKind::RandomLoad => emit_random_load(a, elems, region_mask),
+        KernelKind::StoreStream { stride } => emit_store_stream(a, elems, stride, region_mask),
+        KernelKind::Daxpy => emit_daxpy(a, elems, region_mask),
+        KernelKind::Branchy => emit_branchy(a, elems, region_mask),
+        KernelKind::AluMix => emit_alu_mix(a, elems),
+        KernelKind::FpMix => emit_fp_mix(a, elems),
+    }
+}
+
+fn emit_counted_loop(a: &mut Asm, elems: u32, body: impl FnOnce(&mut Asm)) {
+    let top = a.new_label();
+    a.li(Reg::R10, elems);
+    a.bind(top).expect("fresh label");
+    body(a);
+    a.addi(Reg::R10, Reg::R10, -1);
+    a.bne(Reg::R10, Reg::R0, top);
+}
+
+fn emit_stream_sum(a: &mut Asm, elems: u32, stride: u32, region_mask: u32) {
+    // r11 = running byte offset (persists across phase entries via
+    // wrap), r12 = value, r13 = sum.
+    emit_counted_loop(a, elems, |a| {
+        a.li(Reg::R14, region_mask);
+        a.and(Reg::R11, Reg::R11, Reg::R14);
+        a.add(Reg::R15, BASE, Reg::R11);
+        a.lw(Reg::R12, Reg::R15, 0);
+        a.add(Reg::R13, Reg::R13, Reg::R12);
+        a.li(Reg::R14, stride);
+        a.add(Reg::R11, Reg::R11, Reg::R14);
+    });
+}
+
+fn emit_pointer_chase(a: &mut Asm, elems: u32) {
+    // cursor = *cursor; the list is a single cycle, so it never ends.
+    emit_counted_loop(a, elems, |a| {
+        a.lw(CURSOR, CURSOR, 0);
+    });
+}
+
+fn emit_random_load(a: &mut Asm, elems: u32, region_mask: u32) {
+    emit_counted_loop(a, elems, |a| {
+        // x = x * 1103515245 + 12345
+        a.li(Reg::R14, 1103515245);
+        a.mul(LCG, LCG, Reg::R14);
+        a.addi(LCG, LCG, 12345);
+        // addr = base + ((x >> 2) & mask & ~3)
+        a.srli(Reg::R15, LCG, 2);
+        a.li(Reg::R14, region_mask & !3);
+        a.and(Reg::R15, Reg::R15, Reg::R14);
+        a.add(Reg::R15, BASE, Reg::R15);
+        a.lw(Reg::R12, Reg::R15, 0);
+        a.add(Reg::R13, Reg::R13, Reg::R12);
+    });
+}
+
+fn emit_store_stream(a: &mut Asm, elems: u32, stride: u32, region_mask: u32) {
+    emit_counted_loop(a, elems, |a| {
+        a.li(Reg::R14, region_mask);
+        a.and(Reg::R11, Reg::R11, Reg::R14);
+        a.add(Reg::R15, BASE, Reg::R11);
+        a.sw(Reg::R13, Reg::R15, 0);
+        a.li(Reg::R14, stride);
+        a.add(Reg::R11, Reg::R11, Reg::R14);
+        a.addi(Reg::R13, Reg::R13, 1);
+    });
+}
+
+fn emit_daxpy(a: &mut Asm, elems: u32, region_mask: u32) {
+    // X in the lower half, Y in the upper half of the region.
+    let half = (region_mask + 1) / 2;
+    emit_counted_loop(a, elems, |a| {
+        a.li(Reg::R14, half - 1);
+        a.and(Reg::R11, Reg::R11, Reg::R14);
+        a.add(Reg::R15, BASE, Reg::R11); // &X[i]
+        a.fld(FReg::R2, Reg::R15, 0);
+        a.li(Reg::R14, half);
+        a.add(Reg::R15, Reg::R15, Reg::R14); // &Y[i]
+        a.fld(FReg::R3, Reg::R15, 0);
+        a.fmul(FReg::R4, FReg::R2, FReg::R1); // a * X[i]
+        a.fadd(FReg::R3, FReg::R3, FReg::R4);
+        a.fsd(FReg::R3, Reg::R15, 0);
+        a.addi(Reg::R11, Reg::R11, 8);
+    });
+}
+
+fn emit_branchy(a: &mut Asm, elems: u32, region_mask: u32) {
+    emit_counted_loop(a, elems, |a| {
+        let odd = a.new_label();
+        let join = a.new_label();
+        a.li(Reg::R14, 1103515245);
+        a.mul(LCG, LCG, Reg::R14);
+        a.addi(LCG, LCG, 12345);
+        a.srli(Reg::R15, LCG, 2);
+        a.li(Reg::R14, region_mask & !3);
+        a.and(Reg::R15, Reg::R15, Reg::R14);
+        a.add(Reg::R15, BASE, Reg::R15);
+        a.lw(Reg::R12, Reg::R15, 0);
+        a.andi(Reg::R12, Reg::R12, 1);
+        a.bne(Reg::R12, Reg::R0, odd);
+        a.addi(Reg::R13, Reg::R13, 1);
+        a.j(join);
+        a.bind(odd).expect("fresh");
+        a.addi(Reg::R13, Reg::R13, -1);
+        a.bind(join).expect("fresh");
+    });
+}
+
+fn emit_alu_mix(a: &mut Asm, elems: u32) {
+    emit_counted_loop(a, elems, |a| {
+        a.add(Reg::R13, Reg::R13, Reg::R11);
+        a.xor(Reg::R11, Reg::R11, Reg::R13);
+        a.slli(Reg::R12, Reg::R13, 1);
+        a.sub(Reg::R13, Reg::R12, Reg::R11);
+    });
+}
+
+fn emit_fp_mix(a: &mut Asm, elems: u32) {
+    emit_counted_loop(a, elems, |a| {
+        a.fmul(FReg::R4, FReg::R4, FReg::R1);
+        a.fadd(FReg::R5, FReg::R5, FReg::R4);
+        a.fsub(FReg::R4, FReg::R5, FReg::R6);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use secsim_isa::{step, ArchState, FlatMem, MemIo};
+
+    fn run(a: &Asm, mem: &mut FlatMem, max: usize) -> ArchState {
+        let words = a.assemble().expect("assemble");
+        mem.load_words(a.base(), &words);
+        let mut st = ArchState::new(a.base());
+        for _ in 0..max {
+            if st.halted {
+                break;
+            }
+            step(&mut st, mem).expect("step");
+        }
+        assert!(st.halted, "kernel did not halt");
+        st
+    }
+
+    #[test]
+    fn stream_sum_computes_sum() {
+        let mut mem = FlatMem::new(0, 1 << 16);
+        let base = 0x8000u32;
+        for i in 0..16u32 {
+            mem.write_u32(base + i * 4, i + 1);
+        }
+        let mut a = Asm::new(0x1000);
+        a.li(Reg::R8, base);
+        emit(&mut a, KernelKind::StreamSum { stride: 4 }, 16, 63);
+        a.halt();
+        let st = run(&a, &mut mem, 10_000);
+        assert_eq!(st.reg(Reg::R13), (1..=16).sum::<u32>());
+    }
+
+    #[test]
+    fn pointer_chase_follows_cycle() {
+        let mut mem = FlatMem::new(0, 1 << 16);
+        // 4-node cycle: 0x8000 -> 0x8100 -> 0x8200 -> 0x8300 -> 0x8000
+        for i in 0..4u32 {
+            mem.write_u32(0x8000 + i * 0x100, 0x8000 + ((i + 1) % 4) * 0x100);
+        }
+        let mut a = Asm::new(0x1000);
+        a.li(Reg::R17, 0x8000);
+        emit(&mut a, KernelKind::PointerChase, 5, 0);
+        a.halt();
+        let st = run(&a, &mut mem, 10_000);
+        assert_eq!(st.reg(Reg::R17), 0x8100); // 5 hops from 0x8000
+    }
+
+    #[test]
+    fn random_load_stays_in_region() {
+        let mut mem = FlatMem::new(0, 1 << 16);
+        let mut a = Asm::new(0x1000);
+        a.li(Reg::R8, 0x8000);
+        a.li(Reg::R16, 7); // LCG seed
+        emit(&mut a, KernelKind::RandomLoad, 50, 0x3FFF);
+        a.halt();
+        let st = run(&a, &mut mem, 10_000);
+        // Region is mapped, so no out-of-bounds accesses occurred.
+        assert_eq!(mem.oob_count(), 0);
+        let _ = st;
+    }
+
+    #[test]
+    fn store_stream_writes() {
+        let mut mem = FlatMem::new(0, 1 << 16);
+        let mut a = Asm::new(0x1000);
+        a.li(Reg::R8, 0x8000);
+        emit(&mut a, KernelKind::StoreStream { stride: 4 }, 8, 0xFF);
+        a.halt();
+        run(&a, &mut mem, 10_000);
+        // r13 starts 0 and increments per store: values 0..8
+        for i in 0..8u32 {
+            assert_eq!(mem.read_u32(0x8000 + i * 4), i);
+        }
+    }
+
+    #[test]
+    fn daxpy_updates_y() {
+        let mut mem = FlatMem::new(0, 1 << 16);
+        let region = 0x8000u32;
+        let half = 128u32;
+        for i in 0..4u32 {
+            mem.write_f64(region + i * 8, (i + 1) as f64); // X
+            mem.write_f64(region + half + i * 8, 10.0); // Y
+        }
+        let mut a = Asm::new(0x1000);
+        a.li(Reg::R8, region);
+        // a (f1) = 2.0 via int convert
+        a.addi(Reg::R11, Reg::R0, 2);
+        a.fcvtif(FReg::R1, Reg::R11);
+        a.addi(Reg::R11, Reg::R0, 0);
+        emit(&mut a, KernelKind::Daxpy, 4, half * 2 - 1);
+        a.halt();
+        run(&a, &mut mem, 10_000);
+        for i in 0..4u32 {
+            assert_eq!(mem.read_f64(region + half + i * 8), 10.0 + 2.0 * (i + 1) as f64);
+        }
+    }
+
+    #[test]
+    fn branchy_terminates_and_counts() {
+        let mut mem = FlatMem::new(0, 1 << 16);
+        for i in 0..64u32 {
+            mem.write_u32(0x8000 + i * 4, i); // half odd, half even
+        }
+        let mut a = Asm::new(0x1000);
+        a.li(Reg::R8, 0x8000);
+        a.li(Reg::R16, 99);
+        emit(&mut a, KernelKind::Branchy, 40, 0xFF);
+        a.halt();
+        run(&a, &mut mem, 100_000);
+    }
+
+    #[test]
+    fn alu_and_fp_mix_halt() {
+        let mut mem = FlatMem::new(0, 1 << 16);
+        let mut a = Asm::new(0x1000);
+        emit(&mut a, KernelKind::AluMix, 100, 0);
+        emit(&mut a, KernelKind::FpMix, 100, 0);
+        a.halt();
+        run(&a, &mut mem, 100_000);
+    }
+}

@@ -1,0 +1,41 @@
+//! Synthetic SPEC2000-like workloads for the `secsim` evaluation.
+//!
+//! The paper evaluates on 18 SPEC2000 INT/FP benchmarks "with high L2
+//! misses and memory throughput requirements", compiled for Alpha and
+//! fast-forwarded with SimPoint. We cannot ship SPEC binaries, so this
+//! crate builds, for each of those 18 names, a *real ISA program* whose
+//! memory behaviour reproduces the benchmark's character:
+//!
+//! * **mcf**-like: dependent pointer chasing over a multi-megabyte list —
+//!   serialized L2 misses, the worst case for *authen-then-issue*;
+//! * **swim/mgrid/applu**-like: strided FP streams over large arrays —
+//!   high bandwidth, plentiful memory-level parallelism;
+//! * **gzip**-like: small working set — barely touches memory;
+//! * **gcc/parser**-like: data-dependent branches plus irregular
+//!   accesses; …and so on.
+//!
+//! Each workload is assembled from parameterized kernels
+//! ([`KernelKind`]): streaming reads, pointer chases (Sattolo-cycle
+//! linked lists), LCG-driven random loads, store streams, DAXPY-style FP
+//! loops and branchy reductions. Profiles are deterministic per seed.
+//!
+//! # Examples
+//!
+//! ```
+//! use secsim_workloads::{build, benchmarks};
+//!
+//! assert_eq!(benchmarks().len(), 18);
+//! let w = build("mcf", 42).expect("known benchmark");
+//! assert_eq!(w.name, "mcf");
+//! assert!(w.data_bytes >= 1 << 20);
+//! ```
+
+mod builder;
+mod kernels;
+mod micro;
+mod spec;
+
+pub use builder::Workload;
+pub use kernels::KernelKind;
+pub use micro::Micro;
+pub use spec::{benchmarks, build, fp_benchmarks, int_benchmarks, profile, BenchClass, Phase, Profile};

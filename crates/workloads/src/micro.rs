@@ -1,0 +1,112 @@
+//! Micro-workloads: single-behaviour probes used to validate the timing
+//! model itself (as distinct from the SPEC-like mixes in
+//! [`crate::build`]). Each isolates one machine characteristic:
+//!
+//! * [`Micro::LatencyChain`] — dependent pointer chase ⇒ measures
+//!   load-to-load latency (memory latency + policy gap);
+//! * [`Micro::Bandwidth`] — independent streaming loads ⇒ measures
+//!   sustainable line bandwidth;
+//! * [`Micro::BranchTorture`] — data-dependent 50/50 branches ⇒
+//!   measures the misprediction pipeline penalty;
+//! * [`Micro::IlpAlu`] — eight independent ALU chains ⇒ measures issue
+//!   width.
+
+use crate::builder::Workload;
+use crate::kernels::KernelKind;
+use crate::spec::{BenchClass, Phase, Profile};
+
+/// The available micro-probes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Micro {
+    /// Serialized dependent misses.
+    LatencyChain,
+    /// Independent streaming misses.
+    Bandwidth,
+    /// Unpredictable data-dependent branches.
+    BranchTorture,
+    /// Pure independent integer ALU work.
+    IlpAlu,
+}
+
+impl Micro {
+    /// All probes.
+    pub const ALL: [Micro; 4] =
+        [Micro::LatencyChain, Micro::Bandwidth, Micro::BranchTorture, Micro::IlpAlu];
+
+    /// Probe name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Micro::LatencyChain => "latency-chain",
+            Micro::Bandwidth => "bandwidth",
+            Micro::BranchTorture => "branch-torture",
+            Micro::IlpAlu => "ilp-alu",
+        }
+    }
+
+    fn profile(self) -> Profile {
+        let (name, phases, footprint, stride): (&'static str, Vec<Phase>, u32, u32) = match self {
+            Micro::LatencyChain => (
+                "latency-chain",
+                vec![Phase::new(KernelKind::PointerChase, 512)],
+                8 << 20,
+                4096,
+            ),
+            Micro::Bandwidth => (
+                "bandwidth",
+                vec![Phase::new(KernelKind::StreamSum { stride: 64 }, 512)],
+                8 << 20,
+                64,
+            ),
+            Micro::BranchTorture => (
+                "branch-torture",
+                vec![Phase::hot(KernelKind::Branchy, 512, 64 * 1024)],
+                1 << 20,
+                64,
+            ),
+            Micro::IlpAlu => {
+                ("ilp-alu", vec![Phase::new(KernelKind::AluMix, 2048)], 1 << 20, 64)
+            }
+        };
+        Profile {
+            name,
+            class: BenchClass::Int,
+            footprint,
+            node_stride: stride,
+            outer_iters: 1 << 20,
+            phases,
+        }
+    }
+
+    /// Builds the probe as a runnable [`Workload`].
+    pub fn build(self, seed: u64) -> Workload {
+        Workload::from_profile(&self.profile(), seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use secsim_isa::{step, ArchState};
+
+    #[test]
+    fn all_probes_build_and_run() {
+        for m in Micro::ALL {
+            let mut w = m.build(3);
+            let mut st = ArchState::new(w.entry);
+            for _ in 0..50_000 {
+                if st.halted {
+                    break;
+                }
+                step(&mut st, &mut w.mem).expect("no faults");
+            }
+            assert!(st.icount >= 50_000 || st.halted, "{} stalled", m.name());
+            assert_eq!(w.mem.oob_count(), 0, "{} went out of bounds", m.name());
+        }
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let names: std::collections::HashSet<_> = Micro::ALL.iter().map(|m| m.name()).collect();
+        assert_eq!(names.len(), Micro::ALL.len());
+    }
+}

@@ -1,0 +1,353 @@
+//! The 18 SPEC2000-like benchmark profiles (paper §5.1: "Eighteen
+//! SPEC2000 INT and FP benchmarks with high L2 misses and memory
+//! throughput requirements").
+//!
+//! Each profile is a kernel mix tuned to reproduce the benchmark's
+//! *relative* memory character — pointer-chase-bound mcf, streaming art
+//! and swim, compute-leaning wupwise, cache-resident gzip — not its
+//! absolute IPC.
+
+use crate::builder::Workload;
+use crate::kernels::KernelKind;
+
+/// Integer vs floating-point suite (Figures 7a/7b split on this).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BenchClass {
+    /// SPEC2000 INT.
+    Int,
+    /// SPEC2000 FP.
+    Fp,
+}
+
+/// One inner-loop phase of a profile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Phase {
+    /// Kernel type.
+    pub kind: KernelKind,
+    /// Inner iterations per outer loop.
+    pub elems: u32,
+    /// Power-of-two region this phase wraps over (0 = whole footprint).
+    /// Smaller-than-footprint regions give a benchmark a hot working
+    /// set, which is what makes the 256 KB → 1 MB L2 comparison
+    /// interesting.
+    pub region_bytes: u32,
+}
+
+impl Phase {
+    /// A phase over the full footprint.
+    pub fn new(kind: KernelKind, elems: u32) -> Self {
+        Self { kind, elems, region_bytes: 0 }
+    }
+
+    /// A phase confined to a hot region.
+    pub fn hot(kind: KernelKind, elems: u32, region_bytes: u32) -> Self {
+        Self { kind, elems, region_bytes }
+    }
+}
+
+/// A benchmark profile: footprint + kernel mix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Profile {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// INT or FP suite.
+    pub class: BenchClass,
+    /// Data footprint in bytes (power of two).
+    pub footprint: u32,
+    /// Byte distance between linked-list nodes (pointer-chase
+    /// profiles).
+    pub node_stride: u32,
+    /// Outer-loop iterations (runs are normally capped by
+    /// `max_insts`, so this just needs to be large).
+    pub outer_iters: u32,
+    /// The kernel mix executed each outer iteration.
+    pub phases: Vec<Phase>,
+}
+
+const MB: u32 = 1 << 20;
+const LINE: u32 = 64;
+
+fn p(
+    name: &'static str,
+    class: BenchClass,
+    footprint: u32,
+    node_stride: u32,
+    phases: Vec<Phase>,
+) -> Profile {
+    Profile { name, class, footprint, node_stride, outer_iters: 1 << 20, phases }
+}
+
+/// The profile for `name`, or `None` for an unknown benchmark.
+pub fn profile(name: &str) -> Option<Profile> {
+    use BenchClass::{Fp, Int};
+    use KernelKind::*;
+    let prof = match name {
+        // ---- SPEC2000 INT ----
+        "bzip2" => p(
+            "bzip2",
+            Int,
+            4 * MB,
+            LINE,
+            vec![
+                Phase::new(StreamSum { stride: LINE }, 150),
+                Phase::new(StoreStream { stride: LINE }, 70),
+                Phase::hot(RandomLoad, 50, 512 * 1024),
+                Phase::new(AluMix, 700),
+            ],
+        ),
+        "gcc" => p(
+            "gcc",
+            Int,
+            4 * MB,
+            LINE,
+            vec![
+                Phase::new(Branchy, 120),
+                Phase::hot(RandomLoad, 70, 512 * 1024),
+                Phase::new(AluMix, 900),
+            ],
+        ),
+        "gzip" => p(
+            "gzip",
+            Int,
+            2 * MB,
+            LINE,
+            vec![
+                Phase::hot(StreamSum { stride: 16 }, 200, 128 * 1024),
+                Phase::hot(StoreStream { stride: 16 }, 60, 64 * 1024),
+                Phase::new(AluMix, 1400),
+            ],
+        ),
+        "mcf" => p(
+            "mcf",
+            Int,
+            8 * MB,
+            256,
+            vec![
+                Phase::new(PointerChase, 350),
+                Phase::new(RandomLoad, 60),
+                Phase::new(AluMix, 500),
+            ],
+        ),
+        "parser" => p(
+            "parser",
+            Int,
+            2 * MB,
+            128,
+            vec![
+                Phase::new(PointerChase, 80),
+                Phase::new(Branchy, 80),
+                Phase::new(AluMix, 700),
+            ],
+        ),
+        "perlbmk" => p(
+            "perlbmk",
+            Int,
+            2 * MB,
+            128,
+            vec![
+                Phase::new(Branchy, 90),
+                Phase::new(PointerChase, 30),
+                Phase::new(AluMix, 900),
+            ],
+        ),
+        "twolf" => p(
+            "twolf",
+            Int,
+            2 * MB,
+            LINE,
+            vec![
+                Phase::hot(RandomLoad, 160, 512 * 1024),
+                Phase::new(Branchy, 80),
+                Phase::new(AluMix, 500),
+            ],
+        ),
+        "vortex" => p(
+            "vortex",
+            Int,
+            4 * MB,
+            LINE,
+            vec![
+                Phase::hot(RandomLoad, 100, 512 * 1024),
+                Phase::new(StoreStream { stride: LINE }, 60),
+                Phase::new(AluMix, 700),
+            ],
+        ),
+        "vpr" => p(
+            "vpr",
+            Int,
+            2 * MB,
+            LINE,
+            vec![
+                Phase::hot(RandomLoad, 140, 512 * 1024),
+                Phase::new(Branchy, 70),
+                Phase::new(AluMix, 550),
+            ],
+        ),
+        // ---- SPEC2000 FP ----
+        "ammp" => p(
+            "ammp",
+            Fp,
+            4 * MB,
+            128,
+            vec![
+                Phase::new(PointerChase, 200),
+                Phase::new(Daxpy, 80),
+                Phase::new(FpMix, 500),
+            ],
+        ),
+        "applu" => p(
+            "applu",
+            Fp,
+            4 * MB,
+            LINE,
+            vec![
+                Phase::new(Daxpy, 150),
+                Phase::new(StreamSum { stride: LINE }, 80),
+                Phase::new(FpMix, 600),
+            ],
+        ),
+        "art" => p(
+            "art",
+            Fp,
+            4 * MB,
+            LINE,
+            vec![Phase::new(StreamSum { stride: LINE }, 250), Phase::new(FpMix, 450)],
+        ),
+        "equake" => p(
+            "equake",
+            Fp,
+            4 * MB,
+            LINE,
+            vec![
+                Phase::hot(RandomLoad, 100, 512 * 1024),
+                Phase::new(Daxpy, 80),
+                Phase::new(FpMix, 500),
+            ],
+        ),
+        "facerec" => p(
+            "facerec",
+            Fp,
+            4 * MB,
+            LINE,
+            vec![
+                Phase::new(StreamSum { stride: LINE }, 120),
+                Phase::hot(RandomLoad, 40, 512 * 1024),
+                Phase::new(FpMix, 600),
+            ],
+        ),
+        "lucas" => p(
+            "lucas",
+            Fp,
+            8 * MB,
+            LINE,
+            vec![Phase::new(StreamSum { stride: 128 }, 160), Phase::new(FpMix, 700)],
+        ),
+        "mgrid" => p(
+            "mgrid",
+            Fp,
+            8 * MB,
+            LINE,
+            vec![
+                Phase::new(StreamSum { stride: LINE }, 220),
+                Phase::new(Daxpy, 80),
+                Phase::new(FpMix, 400),
+            ],
+        ),
+        "swim" => p(
+            "swim",
+            Fp,
+            8 * MB,
+            LINE,
+            vec![
+                Phase::new(Daxpy, 180),
+                Phase::new(StreamSum { stride: LINE }, 100),
+                Phase::new(FpMix, 400),
+            ],
+        ),
+        "wupwise" => p(
+            "wupwise",
+            Fp,
+            4 * MB,
+            LINE,
+            vec![
+                Phase::new(Daxpy, 70),
+                Phase::new(StreamSum { stride: LINE }, 40),
+                Phase::new(FpMix, 800),
+            ],
+        ),
+        _ => return None,
+    };
+    Some(prof)
+}
+
+/// All 18 benchmark names, INT first.
+pub fn benchmarks() -> [&'static str; 18] {
+    [
+        "bzip2", "gcc", "gzip", "mcf", "parser", "perlbmk", "twolf", "vortex", "vpr", "ammp",
+        "applu", "art", "equake", "facerec", "lucas", "mgrid", "swim", "wupwise",
+    ]
+}
+
+/// The nine INT benchmarks.
+pub fn int_benchmarks() -> [&'static str; 9] {
+    ["bzip2", "gcc", "gzip", "mcf", "parser", "perlbmk", "twolf", "vortex", "vpr"]
+}
+
+/// The nine FP benchmarks.
+pub fn fp_benchmarks() -> [&'static str; 9] {
+    ["ammp", "applu", "art", "equake", "facerec", "lucas", "mgrid", "swim", "wupwise"]
+}
+
+/// Builds the named benchmark deterministically in `seed`.
+pub fn build(name: &str, seed: u64) -> Option<Workload> {
+    profile(name).map(|p| Workload::from_profile(&p, seed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_benchmarks_have_profiles() {
+        for b in benchmarks() {
+            let p = profile(b).unwrap_or_else(|| panic!("missing profile {b}"));
+            assert!(p.footprint.is_power_of_two());
+            assert!(!p.phases.is_empty());
+            assert_eq!(p.name, b);
+        }
+        assert!(profile("notabench").is_none());
+        assert!(build("notabench", 0).is_none());
+    }
+
+    #[test]
+    fn class_split_is_9_9() {
+        assert_eq!(int_benchmarks().len(), 9);
+        assert_eq!(fp_benchmarks().len(), 9);
+        for b in int_benchmarks() {
+            assert_eq!(profile(b).expect("profile").class, BenchClass::Int);
+        }
+        for b in fp_benchmarks() {
+            assert_eq!(profile(b).expect("profile").class, BenchClass::Fp);
+        }
+    }
+
+    #[test]
+    fn hot_regions_are_powers_of_two_within_footprint() {
+        for b in benchmarks() {
+            let p = profile(b).expect("profile");
+            for ph in &p.phases {
+                if ph.region_bytes != 0 {
+                    assert!(ph.region_bytes.is_power_of_two());
+                    assert!(ph.region_bytes <= p.footprint);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mcf_is_chase_dominated() {
+        let p = profile("mcf").expect("profile");
+        assert!(matches!(p.phases[0].kind, KernelKind::PointerChase));
+        assert!(p.footprint >= 8 << 20);
+    }
+}

@@ -1,0 +1,65 @@
+//! Quickstart: assemble a program, run it on the secure processor under
+//! two authentication policies, and compare the cost.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use secsim::core::Policy;
+use secsim::cpu::{simulate, SimConfig};
+use secsim::isa::{Asm, FlatMem, Reg};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A pointer-chasing loop: the worst case for authentication that
+    // sits on the load-use critical path.
+    let mut a = Asm::new(0x1000);
+    let top = a.new_label();
+    let done = a.new_label();
+    a.li(Reg::R1, 0x10_0000); // list head
+    a.bind(top)?;
+    a.beq(Reg::R1, Reg::R0, done);
+    a.lw(Reg::R1, Reg::R1, 0); // p = p->next
+    a.j(top);
+    a.bind(done)?;
+    a.halt();
+    let words = a.assemble()?;
+
+    // Build the memory image: code plus a 512-node list, each node on
+    // its own page so every hop misses.
+    let mut mem = FlatMem::new(0x1000, 4 << 20);
+    mem.load_words(0x1000, &words);
+    use secsim::isa::MemIo;
+    let nodes = 512u32;
+    for i in 0..nodes {
+        let addr = 0x10_0000 + i * 4096;
+        let next = if i + 1 == nodes { 0 } else { 0x10_0000 + (i + 1) * 4096 };
+        mem.write_u32(addr, next);
+    }
+
+    println!("policy                      cycles      IPC   norm");
+    let baseline = {
+        let cfg = SimConfig::paper_256k(Policy::baseline());
+        simulate(&mut mem.clone(), 0x1000, &cfg, false)
+    };
+    for policy in [
+        Policy::baseline(),
+        Policy::authen_then_write(),
+        Policy::authen_then_commit(),
+        Policy::authen_then_fetch(),
+        Policy::commit_plus_fetch(),
+        Policy::authen_then_issue(),
+    ] {
+        let cfg = SimConfig::paper_256k(policy);
+        let r = simulate(&mut mem.clone(), 0x1000, &cfg, false);
+        println!(
+            "{:<26} {:>8} {:>8.3} {:>6.3}",
+            policy.to_string(),
+            r.cycles,
+            r.ipc(),
+            r.ipc() / baseline.ipc()
+        );
+    }
+    println!("\nDependent misses make authen-then-issue pay the full MAC latency per hop,");
+    println!("while authen-then-write hides verification off the critical path entirely.");
+    Ok(())
+}

@@ -1,0 +1,170 @@
+//! A *real* cipher as the victim: XTEA (32 rounds) assembled for the
+//! secure processor's ISA, its round keys stored in protected memory.
+//!
+//! 1. Run it sealed (AES-CTR + HMAC): it encrypts correctly — verified
+//!    against a host-side XTEA reference.
+//! 2. Attack it: the predictable `nop` sled before `halt` (compilers
+//!    emit such padding) is rewritten, via counter-mode malleability,
+//!    into a two-load disclosing kernel that dereferences key[0].
+//! 3. Under authen-then-commit the key word crosses the bus before the
+//!    MAC check fires; under commit+fetch it never does.
+//!
+//! ```text
+//! cargo run --release --example xtea_victim
+//! ```
+
+use secsim::attack::analysis::find_value;
+use secsim::core::{EncryptedMemory, Policy};
+use secsim::cpu::{simulate, SimConfig, SimReport};
+use secsim::isa::{encode, Asm, Inst, Reg};
+
+const CODE: u32 = 0x1000;
+const KEY_ADDR: u32 = 0x3000; // 4 round-key words — the secret
+const V_ADDR: u32 = 0x3100; // the 64-bit block to encrypt
+const KEY: [u32; 4] = [0xB0B0, 0x1357_9BDF, 0x0246_8ACE, 0xFEED_F00D];
+const V: [u32; 2] = [0x0123_4567, 0x89AB_CDEF];
+const DELTA: u32 = 0x9E37_79B9;
+
+/// Host-side XTEA reference.
+fn xtea_encrypt(mut v0: u32, mut v1: u32, key: &[u32; 4]) -> (u32, u32) {
+    let mut sum = 0u32;
+    for _ in 0..32 {
+        v0 = v0.wrapping_add(
+            (((v1 << 4) ^ (v1 >> 5)).wrapping_add(v1))
+                ^ (sum.wrapping_add(key[(sum & 3) as usize])),
+        );
+        sum = sum.wrapping_add(DELTA);
+        v1 = v1.wrapping_add(
+            (((v0 << 4) ^ (v0 >> 5)).wrapping_add(v0))
+                ^ (sum.wrapping_add(key[((sum >> 11) & 3) as usize])),
+        );
+    }
+    (v0, v1)
+}
+
+/// Emits one XTEA half-round update:
+/// `target += (((other<<4) ^ (other>>5)) + other) ^ (sum + key[idx])`.
+fn emit_half(a: &mut Asm, target: Reg, other: Reg, key_idx_reg: Reg) {
+    // r14 = (other<<4) ^ (other>>5)
+    a.slli(Reg::R14, other, 4);
+    a.srli(Reg::R15, other, 5);
+    a.xor(Reg::R14, Reg::R14, Reg::R15);
+    a.add(Reg::R14, Reg::R14, other);
+    // r15 = sum + key[idx]; key address = r9 + idx*4
+    a.slli(Reg::R15, key_idx_reg, 2);
+    a.add(Reg::R15, Reg::R15, Reg::R9);
+    a.lw(Reg::R15, Reg::R15, 0);
+    a.add(Reg::R15, Reg::R15, Reg::R12); // + sum
+    a.xor(Reg::R14, Reg::R14, Reg::R15);
+    a.add(target, target, Reg::R14);
+}
+
+fn build_victim() -> (EncryptedMemory, Vec<u32>, u32) {
+    let mut a = Asm::new(CODE);
+    // r9 = key base, r10 = v0, r11 = v1, r12 = sum, r13 = delta, r8 = round counter
+    a.li(Reg::R9, KEY_ADDR);
+    a.li(Reg::R5, V_ADDR);
+    a.lw(Reg::R10, Reg::R5, 0);
+    a.lw(Reg::R11, Reg::R5, 4);
+    a.addi(Reg::R12, Reg::R0, 0);
+    a.li(Reg::R13, DELTA);
+    a.li(Reg::R8, 32);
+    let round = a.new_label();
+    a.bind(round).expect("fresh");
+    // v0 half: key index = sum & 3
+    a.andi(Reg::R7, Reg::R12, 3);
+    emit_half(&mut a, Reg::R10, Reg::R11, Reg::R7);
+    // sum += delta
+    a.add(Reg::R12, Reg::R12, Reg::R13);
+    // v1 half: key index = (sum >> 11) & 3
+    a.srli(Reg::R7, Reg::R12, 11);
+    a.andi(Reg::R7, Reg::R7, 3);
+    emit_half(&mut a, Reg::R11, Reg::R10, Reg::R7);
+    a.addi(Reg::R8, Reg::R8, -1);
+    a.bne(Reg::R8, Reg::R0, round);
+    a.out(Reg::R10, 0);
+    a.out(Reg::R11, 1);
+    // Align the padding to a fresh 64-byte line: a kernel injected into
+    // a line that earlier code shares would be fetched — and fail
+    // verification — long before control reaches it. Attackers pick
+    // their spot.
+    while a.here() % 64 != 0 {
+        a.nop();
+    }
+    // The predictable epilogue padding the attacker will overwrite.
+    let sled_start = a.here();
+    for _ in 0..8 {
+        a.nop();
+    }
+    a.halt();
+    let words = a.assemble().expect("XTEA assembles");
+
+    let mut plain = vec![0u8; 16 * 1024];
+    for (i, w) in words.iter().enumerate() {
+        let off = (CODE as usize - 0x0) + 4 * i;
+        plain[off..off + 4].copy_from_slice(&w.to_le_bytes());
+    }
+    for (i, k) in KEY.iter().enumerate() {
+        let off = KEY_ADDR as usize + 4 * i;
+        plain[off..off + 4].copy_from_slice(&k.to_le_bytes());
+    }
+    plain[V_ADDR as usize..V_ADDR as usize + 4].copy_from_slice(&V[0].to_le_bytes());
+    plain[V_ADDR as usize + 4..V_ADDR as usize + 8].copy_from_slice(&V[1].to_le_bytes());
+    (EncryptedMemory::from_plain(0, &plain, &[0xEE; 16], b"xtea-demo"), words, sled_start)
+}
+
+fn run(image: &EncryptedMemory, policy: Policy) -> SimReport {
+    let mut img = image.clone();
+    let mut cfg = SimConfig::paper_256k(policy).with_max_insts(100_000);
+    cfg.secure = cfg.secure.with_protected_region(0, 16 * 1024);
+    simulate(&mut img, CODE, &cfg, true)
+}
+
+fn main() {
+    let (image, words, sled_start) = build_victim();
+    let (e0, e1) = xtea_encrypt(V[0], V[1], &KEY);
+
+    // 1. The sealed cipher runs correctly.
+    let r = run(&image, Policy::commit_plus_fetch());
+    assert!(r.halted && r.exception.is_none());
+    assert_eq!(r.io_events[0].value, e0, "v0 mismatch vs host XTEA");
+    assert_eq!(r.io_events[1].value, e1, "v1 mismatch vs host XTEA");
+    println!(
+        "sealed XTEA encrypts ({:08x} {:08x}) -> ({:08x} {:08x})  [matches host reference]",
+        V[0], V[1], e0, e1
+    );
+    println!("  {} instructions, {} cycles, IPC {:.2}\n", r.insts, r.cycles, r.ipc());
+
+    // 2. Rewrite the nop sled into `r1 = key[0]; load [r1]` using the
+    //    known plaintext (nops are the all-zero word).
+    let mut tampered = image.clone();
+    let mut k = Asm::new(sled_start);
+    k.li(Reg::R1, KEY_ADDR);
+    k.lw(Reg::R1, Reg::R1, 0);
+    k.lw(Reg::R2, Reg::R1, 0); // key[0] becomes a fetch address
+    let kernel = k.assemble().expect("kernel assembles");
+    let sled_index = ((sled_start - CODE) / 4) as usize;
+    for (i, new_word) in kernel.iter().enumerate() {
+        let old_word = words[sled_index + i];
+        assert_eq!(old_word, encode(Inst::Nop), "sled must be nops");
+        let mask = (old_word ^ new_word).to_le_bytes();
+        tampered.tamper_xor(sled_start + 4 * i as u32, &mask);
+    }
+    println!("adversary rewrote the 8-nop epilogue into a key-disclosing kernel\n");
+
+    // 3. Policy comparison.
+    for policy in [Policy::authen_then_commit(), Policy::commit_plus_fetch()] {
+        let r = run(&tampered, policy);
+        let visible: Vec<_> = r.events_before_exception().copied().collect();
+        let leak = find_value(&visible, KEY[0], 3);
+        println!("under {policy}:");
+        match leak {
+            Some(e) => println!("  KEY LEAKED: key[0]={:#010x} seen on the bus at cycle {}", KEY[0], e.cycle),
+            None => println!("  key never reached the bus"),
+        }
+        match r.exception {
+            Some(e) => println!("  authentication exception at cycle {}\n", e.cycle),
+            None => println!("  (no exception!)\n"),
+        }
+    }
+}

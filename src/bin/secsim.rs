@@ -1,0 +1,278 @@
+//! The `secsim` command-line driver.
+//!
+//! ```text
+//! secsim run --bench mcf --policy commit [--l2 1m] [--insts 1000000] [--ruu 64] [--tree]
+//! secsim asm program.s [--policy commit] [--base 0x1000] [--mem 1048576] [--trace]
+//! secsim attack --exploit pointer-conversion --policy commit
+//! secsim list
+//! ```
+
+use secsim::attack::{run_exploit, Exploit};
+use secsim::core::{Policy, SecureConfig};
+use secsim::cpu::{simulate, CpuConfig, SimConfig, SimReport};
+use secsim::isa::{assemble_text, FlatMem};
+use secsim::mem::MemSystemConfig;
+use secsim::workloads::{benchmarks, build};
+use std::process::ExitCode;
+
+fn parse_policy(name: &str) -> Option<Policy> {
+    Some(match name {
+        "baseline" | "none" => Policy::baseline(),
+        "issue" => Policy::authen_then_issue(),
+        "commit" => Policy::authen_then_commit(),
+        "write" => Policy::authen_then_write(),
+        "fetch" => Policy::authen_then_fetch(),
+        "commit+fetch" | "cf" => Policy::commit_plus_fetch(),
+        "commit+obf" | "obf" => Policy::commit_plus_obfuscation(),
+        _ => return None,
+    })
+}
+
+fn parse_exploit(name: &str) -> Option<Exploit> {
+    Exploit::ALL.into_iter().find(|e| e.name() == name)
+}
+
+struct Args {
+    map: Vec<(String, String)>,
+    positional: Vec<String>,
+}
+
+impl Args {
+    fn parse(args: &[String]) -> Self {
+        let mut map = Vec::new();
+        let mut positional = Vec::new();
+        let mut i = 0;
+        while i < args.len() {
+            if let Some(key) = args[i].strip_prefix("--") {
+                let value = if i + 1 < args.len() && !args[i + 1].starts_with("--") {
+                    i += 1;
+                    args[i].clone()
+                } else {
+                    "true".to_string()
+                };
+                map.push((key.to_string(), value));
+            } else {
+                positional.push(args[i].clone());
+            }
+            i += 1;
+        }
+        Self { map, positional }
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.map.iter().rev().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+
+    fn flag(&self, key: &str) -> bool {
+        self.get(key).is_some()
+    }
+
+    fn num(&self, key: &str, default: u64) -> Result<u64, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => {
+                let v = v.trim();
+                if let Some(hex) = v.strip_prefix("0x") {
+                    u64::from_str_radix(hex, 16)
+                } else {
+                    v.parse()
+                }
+                .map_err(|_| format!("--{key}: expected a number, got `{v}`"))
+            }
+        }
+    }
+}
+
+fn print_report(r: &SimReport, verbose: bool) {
+    println!("insts   {:>12}", r.insts);
+    println!("cycles  {:>12}", r.cycles);
+    println!("IPC     {:>12.4}", r.ipc());
+    println!(
+        "status  {:>12}",
+        if r.decode_fault {
+            "decode-fault"
+        } else if r.halted {
+            "halted"
+        } else {
+            "inst-cap"
+        }
+    );
+    if let Some(e) = r.exception {
+        println!(
+            "AUTH EXCEPTION at cycle {} (line {:#x}, precise: {})",
+            e.cycle, e.line_addr, e.precise
+        );
+    }
+    for io in &r.io_events {
+        println!("out port {} = {:#x} @ cycle {}", io.port, io.value, io.cycle);
+    }
+    if verbose {
+        println!("--- counters ---\n{}", r.counters);
+    }
+}
+
+fn cmd_run(args: &Args) -> Result<(), String> {
+    let bench = args.get("bench").ok_or("run: --bench <name> is required")?;
+    let policy_name = args.get("policy").unwrap_or("commit");
+    let policy = parse_policy(policy_name).ok_or_else(|| format!("unknown policy `{policy_name}`"))?;
+    let mut w = build(bench, args.num("seed", 2006)?)
+        .ok_or_else(|| format!("unknown benchmark `{bench}` (try `secsim list`)"))?;
+    let mem = match args.get("l2").unwrap_or("256k") {
+        "256k" | "256K" => MemSystemConfig::paper_256k(),
+        "1m" | "1M" => MemSystemConfig::paper_1m(),
+        other => return Err(format!("--l2: expected 256k or 1m, got `{other}`")),
+    };
+    let cpu = match args.num("ruu", 128)? {
+        128 => CpuConfig::paper_reference(),
+        64 => CpuConfig::paper_ruu64(),
+        other => CpuConfig { ruu_size: other as u32, ..CpuConfig::paper_reference() },
+    };
+    let secure = if args.flag("tree") {
+        SecureConfig::paper_with_tree(policy, w.data_base, w.data_bytes)
+    } else {
+        SecureConfig::paper(policy)
+    }
+    .with_protected_region(w.data_base, w.data_bytes);
+    let cfg = SimConfig { cpu, mem, secure, max_insts: args.num("insts", 1_000_000)? };
+    eprintln!("running {bench} under {policy} ({} L2)...", args.get("l2").unwrap_or("256k"));
+    let trace = args.flag("trace") || args.get("trace-out").is_some();
+    let r = simulate(&mut w.mem, w.entry, &cfg, trace);
+    print_report(&r, args.flag("verbose"));
+    if let Some(path) = args.get("trace-out") {
+        write_trace_csv(path, &r)?;
+        eprintln!("bus trace ({} events) written to {path}", r.bus_events.len());
+    } else if trace {
+        println!("--- first bus events ---");
+        for e in r.bus_events.iter().take(20) {
+            println!("cycle {:>8}  {:#010x}  {:?}", e.cycle, e.addr, e.kind);
+        }
+    }
+    Ok(())
+}
+
+/// Exports the attacker-visible bus trace as CSV.
+fn write_trace_csv(path: &str, r: &SimReport) -> Result<(), String> {
+    let mut out = String::from("cycle,addr,kind\n");
+    for e in &r.bus_events {
+        out.push_str(&format!("{},{:#010x},{:?}\n", e.cycle, e.addr, e.kind));
+    }
+    std::fs::write(path, out).map_err(|e| format!("{path}: {e}"))
+}
+
+/// `secsim sweep --bench <name>`: one benchmark across every policy.
+fn cmd_sweep(args: &Args) -> Result<(), String> {
+    let bench = args.get("bench").ok_or("sweep: --bench <name> is required")?;
+    let insts = args.num("insts", 300_000)?;
+    let policies: [(&str, Policy); 7] = [
+        ("baseline", Policy::baseline()),
+        ("issue", Policy::authen_then_issue()),
+        ("write", Policy::authen_then_write()),
+        ("commit", Policy::authen_then_commit()),
+        ("fetch", Policy::authen_then_fetch()),
+        ("commit+fetch", Policy::commit_plus_fetch()),
+        ("commit+obf", Policy::commit_plus_obfuscation()),
+    ];
+    let mut base_ipc = 0.0;
+    println!("{:<14} {:>10} {:>8} {:>8}", "policy", "cycles", "IPC", "norm");
+    for (name, policy) in policies {
+        let mut w = build(bench, args.num("seed", 2006)?)
+            .ok_or_else(|| format!("unknown benchmark `{bench}`"))?;
+        let mut cfg = SimConfig::paper_256k(policy).with_max_insts(insts);
+        cfg.secure = cfg.secure.with_protected_region(w.data_base, w.data_bytes);
+        let r = simulate(&mut w.mem, w.entry, &cfg, false);
+        if base_ipc == 0.0 {
+            base_ipc = r.ipc();
+        }
+        println!("{:<14} {:>10} {:>8.3} {:>8.3}", name, r.cycles, r.ipc(), r.ipc() / base_ipc);
+    }
+    Ok(())
+}
+
+fn cmd_asm(args: &Args) -> Result<(), String> {
+    let path = args.positional.get(1).ok_or("asm: a source file is required")?;
+    let source = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let base = args.num("base", 0x1000)? as u32;
+    let words = assemble_text(&source, base).map_err(|e| e.to_string())?;
+    println!("assembled {} instructions at {base:#x}", words.len());
+    if args.flag("hex") {
+        for (i, w) in words.iter().enumerate() {
+            println!("{:#010x}: {w:08x}  {}", base + 4 * i as u32, secsim::isa::decode(*w));
+        }
+        return Ok(());
+    }
+    let policy_name = args.get("policy").unwrap_or("commit");
+    let policy = parse_policy(policy_name).ok_or_else(|| format!("unknown policy `{policy_name}`"))?;
+    let mem_bytes = args.num("mem", 1 << 20)? as usize;
+    let mut mem = FlatMem::new(base & !0xFFF, mem_bytes);
+    mem.load_words(base, &words);
+    let cfg = SimConfig::paper_256k(policy).with_max_insts(args.num("insts", 10_000_000)?);
+    let r = simulate(&mut mem, base, &cfg, args.flag("trace"));
+    print_report(&r, args.flag("verbose"));
+    Ok(())
+}
+
+fn cmd_attack(args: &Args) -> Result<(), String> {
+    let name = args.get("exploit").ok_or("attack: --exploit <name> is required")?;
+    let exploit = parse_exploit(name).ok_or_else(|| {
+        format!(
+            "unknown exploit `{name}`; available: {}",
+            Exploit::ALL.map(|e| e.name()).join(", ")
+        )
+    })?;
+    let policy_name = args.get("policy").unwrap_or("commit");
+    let policy = parse_policy(policy_name).ok_or_else(|| format!("unknown policy `{policy_name}`"))?;
+    eprintln!("running {} against {policy}...", exploit.name());
+    let out = run_exploit(exploit, policy);
+    println!("leaked   {}", out.leaked);
+    match out.recovered {
+        Some(v) => println!("secret   {v:#010x} (recovered by the adversary)"),
+        None => println!("secret   not recovered"),
+    }
+    match out.exception_cycle {
+        Some(c) => println!("caught   authentication exception at cycle {c}"),
+        None => println!("caught   never (tampering undetected)"),
+    }
+    println!("trials   {}", out.trials);
+    Ok(())
+}
+
+fn cmd_list() {
+    println!("benchmarks: {}", benchmarks().join(", "));
+    println!(
+        "policies:   baseline issue commit write fetch commit+fetch commit+obf"
+    );
+    println!("exploits:   {}", Exploit::ALL.map(|e| e.name()).join(", "));
+}
+
+const USAGE: &str = "usage:
+  secsim run   --bench <name> [--policy P] [--l2 256k|1m] [--insts N] [--ruu N] [--tree] [--trace] [--trace-out f.csv] [--verbose]
+  secsim sweep --bench <name> [--insts N] [--seed N]
+  secsim asm   <file.s> [--base 0x1000] [--policy P] [--insts N] [--hex] [--trace]
+  secsim attack --exploit <name> [--policy P]
+  secsim list";
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let args = Args::parse(&raw);
+    let result = match args.positional.first().map(String::as_str) {
+        Some("run") => cmd_run(&args),
+        Some("sweep") => cmd_sweep(&args),
+        Some("asm") => cmd_asm(&args),
+        Some("attack") => cmd_attack(&args),
+        Some("list") => {
+            cmd_list();
+            Ok(())
+        }
+        _ => {
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

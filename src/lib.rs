@@ -1,0 +1,27 @@
+//! # secsim — authentication control points for secure processors
+//!
+//! A facade crate re-exporting the whole `secsim` workspace: a
+//! cycle-level out-of-order secure-processor simulator reproducing
+//! *"Authentication Control Point and Its Implications For Secure
+//! Processor Design"* (MICRO 2006).
+//!
+//! See the individual crates for details:
+//!
+//! * [`isa`] — the 32-bit RISC ISA, assembler and functional semantics
+//! * [`crypto`] — AES / SHA-256 / HMAC / CBC-MAC and latency models
+//! * [`mem`] — caches, front-side bus (with attacker-visible observer) and SDRAM
+//! * [`core`] — the paper's contribution: authentication queue and the
+//!   five authentication control-point policies
+//! * [`cpu`] — the out-of-order pipeline gated by those policies
+//! * [`workloads`] — synthetic SPEC2000-like kernels
+//! * [`attack`] — memory-fetch side-channel exploits
+//! * [`stats`] — counters and report tables
+
+pub use secsim_attack as attack;
+pub use secsim_core as core;
+pub use secsim_cpu as cpu;
+pub use secsim_crypto as crypto;
+pub use secsim_isa as isa;
+pub use secsim_mem as mem;
+pub use secsim_stats as stats;
+pub use secsim_workloads as workloads;

@@ -1,0 +1,235 @@
+//! Cross-crate integration tests: the whole stack — ISA → crypto →
+//! memory → secure controller → pipeline — exercised through the facade.
+
+use secsim::core::{properties, EncryptedMemory, Policy, SecureConfig};
+use secsim::cpu::{simulate, SimConfig};
+use secsim::isa::{Asm, FlatMem, MemIo, Reg};
+use secsim::workloads::build;
+
+/// A program whose final answer is architecturally observable via `out`.
+fn checksum_program() -> (Vec<u32>, u32) {
+    let mut a = Asm::new(0x1000);
+    let top = a.new_label();
+    a.li(Reg::R1, 0x4000);
+    a.addi(Reg::R2, Reg::R0, 64);
+    a.addi(Reg::R3, Reg::R0, 0);
+    a.bind(top).expect("fresh");
+    a.lw(Reg::R4, Reg::R1, 0);
+    a.add(Reg::R3, Reg::R3, Reg::R4);
+    a.sw(Reg::R3, Reg::R1, 0); // running prefix sums (stores too)
+    a.addi(Reg::R1, Reg::R1, 4);
+    a.addi(Reg::R2, Reg::R2, -1);
+    a.bne(Reg::R2, Reg::R0, top);
+    a.out(Reg::R3, 9);
+    a.halt();
+    (a.assemble().expect("assembles"), 0x1000)
+}
+
+fn flat_image() -> (FlatMem, u32) {
+    let (words, entry) = checksum_program();
+    let mut mem = FlatMem::new(0x1000, 64 * 1024);
+    mem.load_words(entry, &words);
+    for i in 0..64u32 {
+        mem.write_u32(0x4000 + 4 * i, i * 3 + 1);
+    }
+    (mem, entry)
+}
+
+/// Every policy computes the same architectural result — gating changes
+/// *when*, never *what*.
+#[test]
+fn policies_are_functionally_transparent() {
+    let (mem, entry) = flat_image();
+    let mut outputs = Vec::new();
+    for policy in [
+        Policy::baseline(),
+        Policy::authen_then_issue(),
+        Policy::authen_then_write(),
+        Policy::authen_then_commit(),
+        Policy::authen_then_fetch(),
+        Policy::commit_plus_fetch(),
+        Policy::commit_plus_obfuscation(),
+    ] {
+        let mut cfg = SimConfig::paper_256k(policy);
+        cfg.secure = cfg.secure.with_protected_region(0x1000, 63 * 1024);
+        let r = simulate(&mut mem.clone(), entry, &cfg, false);
+        assert!(r.halted, "{policy} did not halt");
+        assert!(r.exception.is_none(), "{policy} raised a spurious exception");
+        assert_eq!(r.io_events.len(), 1);
+        outputs.push(r.io_events[0].value);
+    }
+    assert!(outputs.windows(2).all(|w| w[0] == w[1]), "outputs diverged: {outputs:?}");
+}
+
+/// The same program produces the same functional result from plaintext
+/// and encrypted images (the crypto layer is transparent when untampered).
+#[test]
+fn encrypted_image_is_functionally_equivalent() {
+    let (words, entry) = checksum_program();
+    let mut plain = vec![0u8; 64 * 1024];
+    for (i, w) in words.iter().enumerate() {
+        let off = 0x1000 + 4 * i;
+        plain[off..off + 4].copy_from_slice(&w.to_le_bytes());
+    }
+    for i in 0..64usize {
+        let off = 0x4000 + 4 * i;
+        plain[off..off + 4].copy_from_slice(&((i as u32) * 3 + 1).to_le_bytes());
+    }
+    let mut enc = EncryptedMemory::from_plain(0, &plain, &[5; 16], b"it-key");
+    let cfg = SimConfig::paper_256k(Policy::commit_plus_fetch());
+    let r_enc = simulate(&mut enc, entry, &cfg, false);
+
+    let (mem, _) = flat_image();
+    let r_flat = simulate(&mut mem.clone(), entry, &cfg, false);
+    assert_eq!(r_enc.io_events[0].value, r_flat.io_events[0].value);
+    assert!(r_enc.exception.is_none());
+}
+
+/// Cycle counts are bit-for-bit reproducible across runs and clones.
+#[test]
+fn simulation_is_deterministic() {
+    let mut w1 = build("twolf", 99).expect("twolf");
+    let mut w2 = build("twolf", 99).expect("twolf");
+    let cfg = SimConfig::paper_256k(Policy::commit_plus_obfuscation())
+        .with_max_insts(40_000);
+    let cfg = SimConfig {
+        secure: cfg.secure.with_protected_region(w1.data_base, w1.data_bytes),
+        ..cfg
+    };
+    let a = simulate(&mut w1.mem, w1.entry, &cfg, false);
+    let b = simulate(&mut w2.mem, w2.entry, &cfg, false);
+    assert_eq!(a.cycles, b.cycles);
+    assert_eq!(a.counters.get("l2.miss"), b.counters.get("l2.miss"));
+}
+
+/// The paper's headline performance ordering holds end-to-end on the
+/// full benchmark pipeline (geomean over a representative subset).
+#[test]
+fn figure7_ordering_holds() {
+    let benches = ["mcf", "art", "twolf", "wupwise"];
+    let mut geo = std::collections::HashMap::new();
+    for policy in [
+        Policy::baseline(),
+        Policy::authen_then_issue(),
+        Policy::authen_then_write(),
+        Policy::authen_then_commit(),
+        Policy::commit_plus_fetch(),
+    ] {
+        let mut acc = 1.0f64;
+        for b in benches {
+            let mut w = build(b, 7).expect("bench");
+            let mut cfg = SimConfig::paper_256k(policy).with_max_insts(60_000);
+            cfg.secure = cfg.secure.with_protected_region(w.data_base, w.data_bytes);
+            acc *= simulate(&mut w.mem, w.entry, &cfg, false).ipc();
+        }
+        geo.insert(policy.to_string(), acc.powf(0.25));
+    }
+    let base = geo["baseline-decrypt-only"];
+    let issue = geo["authen-then-issue"];
+    let write = geo["authen-then-write"];
+    let commit = geo["authen-then-commit"];
+    let cf = geo["authen-then-commit+fetch"];
+    assert!(write <= base * 1.001, "write {write} vs base {base}");
+    assert!(commit <= write * 1.001, "commit {commit} vs write {write}");
+    assert!(cf <= commit * 1.001, "c+f {cf} vs commit {commit}");
+    assert!(issue <= cf * 1.001, "issue {issue} vs c+f {cf}");
+    assert!(issue < base * 0.95, "issue gating must cost > 5% on this mix");
+}
+
+/// Empirical security matches the static Table 2 through the facade.
+#[test]
+fn security_matrix_agrees_with_properties() {
+    use secsim::attack::{run_exploit, Exploit};
+    for policy in [
+        Policy::authen_then_issue(),
+        Policy::authen_then_commit(),
+        Policy::commit_plus_fetch(),
+    ] {
+        let claimed = properties(&policy).prevents_fetch_side_channel;
+        let leaked = run_exploit(Exploit::DisclosingKernel, policy).leaked;
+        assert_eq!(!leaked, claimed, "mismatch for {policy}");
+    }
+}
+
+/// Larger L2 must not hurt, and generally helps, under every policy.
+#[test]
+fn l2_size_monotonicity() {
+    for policy in [Policy::baseline(), Policy::authen_then_issue()] {
+        let mut w = build("vpr", 3).expect("vpr");
+        let cfg_s = SimConfig::paper_256k(policy).with_max_insts(60_000);
+        let small = simulate(&mut w.mem, w.entry, &cfg_s, false).ipc();
+        let mut w = build("vpr", 3).expect("vpr");
+        let cfg_l = SimConfig::paper_1m(policy).with_max_insts(60_000);
+        let large = simulate(&mut w.mem, w.entry, &cfg_l, false).ipc();
+        assert!(large >= small * 0.98, "{policy}: 1MB {large} vs 256KB {small}");
+    }
+}
+
+/// SecureConfig plumbing: hash-tree configuration reaches the engine and
+/// costs something.
+#[test]
+fn tree_config_costs_performance() {
+    let run = |tree: bool| {
+        let mut w = build("art", 5).expect("art");
+        let secure = if tree {
+            SecureConfig::paper_with_tree(
+                Policy::authen_then_issue(),
+                w.data_base,
+                w.data_bytes,
+            )
+        } else {
+            SecureConfig::paper(Policy::authen_then_issue())
+        };
+        let cfg = SimConfig { secure, ..SimConfig::paper_256k(Policy::authen_then_issue()) }
+            .with_max_insts(60_000);
+        simulate(&mut w.mem, w.entry, &cfg, false).ipc()
+    };
+    let flat_mac = run(false);
+    let with_tree = run(true);
+    assert!(
+        with_tree < flat_mac,
+        "tree walks must add latency: {with_tree} vs {flat_mac}"
+    );
+}
+
+/// Replay protection end-to-end: a consistent-triple replay of a stale
+/// "authorization flag" fools per-line MACs (no exception, stale value
+/// used) but is caught by the hash tree.
+#[test]
+fn replay_attack_needs_the_tree() {
+    use secsim::isa::{Asm, Reg};
+    // Victim: read flag at 0x2000, out it, halt.
+    let mut a = Asm::new(0x1000);
+    a.li(Reg::R1, 0x2000);
+    a.lw(Reg::R2, Reg::R1, 0);
+    a.out(Reg::R2, 0);
+    a.halt();
+    let words = a.assemble().expect("assembles");
+    let mut plain = vec![0u8; 16 * 1024];
+    for (i, w) in words.iter().enumerate() {
+        plain[0x1000 + 4 * i..0x1000 + 4 * i + 4].copy_from_slice(&w.to_le_bytes());
+    }
+
+    let run = |with_tree: bool| {
+        let mut img = EncryptedMemory::from_plain(0, &plain, &[2; 16], b"replay");
+        if with_tree {
+            img.enable_tree(b"root");
+        }
+        // The flag was once 1 (authorized); the adversary captures it.
+        img.write_u32(0x2000, 1);
+        let captured = img.capture_line(0x2000);
+        // The victim revokes authorization.
+        img.write_u32(0x2000, 0);
+        // The adversary replays the stale line.
+        img.replay_line(0x2000, &captured.0, captured.1, captured.2);
+        let cfg = SimConfig::paper_256k(Policy::authen_then_issue());
+        simulate(&mut img, 0x1000, &cfg, false)
+    };
+
+    let flat = run(false);
+    assert!(flat.exception.is_none(), "flat MAC accepts the consistent replay");
+    assert_eq!(flat.io_events[0].value, 1, "the stale authorized flag is used!");
+
+    let tree = run(true);
+    assert!(tree.exception.is_some(), "the tree catches the replay");
+}

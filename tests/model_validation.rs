@@ -1,0 +1,83 @@
+//! Model validation via micro-probes: each probe isolates one machine
+//! characteristic and checks it lands where the Table 3 parameters say
+//! it must.
+
+use secsim::core::Policy;
+use secsim::cpu::{simulate, SimConfig, SimReport};
+use secsim::workloads::Micro;
+
+fn run(m: Micro, policy: Policy, insts: u64) -> SimReport {
+    let mut w = m.build(1);
+    let mut cfg = SimConfig::paper_256k(policy).with_max_insts(insts);
+    cfg.secure = cfg.secure.with_protected_region(w.data_base, w.data_bytes);
+    simulate(&mut w.mem, w.entry, &cfg, false)
+}
+
+/// Dependent misses: per-hop latency must be in the SDRAM range
+/// (RCD+CAS ≈ 135–170 core cycles plus queueing), and the
+/// authen-then-issue gap per hop ≈ line tail + MAC latency.
+#[test]
+fn latency_chain_calibration() {
+    let insts = 60_000;
+    let base = run(Micro::LatencyChain, Policy::baseline(), insts);
+    let hops = base.counters.get("pipe.load_l2_miss");
+    assert!(hops > 10_000, "chase must miss almost every hop, got {hops}");
+    let per_hop = base.cycles as f64 / hops as f64;
+    assert!(
+        (100.0..400.0).contains(&per_hop),
+        "per-hop latency {per_hop:.0} outside the SDRAM range"
+    );
+    let issue = run(Micro::LatencyChain, Policy::authen_then_issue(), insts);
+    let gap = (issue.cycles as f64 - base.cycles as f64) / hops as f64;
+    assert!(
+        (60.0..200.0).contains(&gap),
+        "issue-gating per-hop gap {gap:.0} should be near line-tail + 74-cycle MAC"
+    );
+}
+
+/// Streaming loads: the 8-byte 200 MHz data bus caps throughput at one
+/// 72-byte (line + MAC) burst per 45 core cycles.
+#[test]
+fn bandwidth_probe_respects_the_bus() {
+    let r = run(Micro::Bandwidth, Policy::authen_then_commit(), 120_000);
+    let lines = r.counters.get("l2.miss");
+    assert!(lines > 5_000, "stream must miss every line, got {lines}");
+    let cycles_per_line = r.cycles as f64 / lines as f64;
+    assert!(
+        cycles_per_line >= 44.0,
+        "beat the physical bus: {cycles_per_line:.1} cycles/line < 45"
+    );
+    assert!(
+        cycles_per_line <= 120.0,
+        "stream should be close to bus-bound, got {cycles_per_line:.1} cycles/line"
+    );
+}
+
+/// Data-dependent branches on random data: the bimodal predictor cannot
+/// learn them (~35–60% mispredict), and each mispredict costs a
+/// resolve + redirect.
+#[test]
+fn branch_torture_defeats_bimodal() {
+    let r = run(Micro::BranchTorture, Policy::baseline(), 100_000);
+    let rate =
+        r.counters.get("pipe.mispredicts") as f64 / r.counters.get("pipe.branches") as f64;
+    assert!(
+        (0.15..0.6).contains(&rate),
+        "random-direction branches should defeat bimodal: rate {rate:.2}"
+    );
+}
+
+/// Independent ALU chains: IPC must exceed what a scalar machine could
+/// do and stay below the commit width.
+#[test]
+fn ilp_probe_exercises_width() {
+    let r = run(Micro::IlpAlu, Policy::baseline(), 200_000);
+    assert!(r.ipc() > 1.2, "8-wide core should exceed IPC 1.2 on pure ALU, got {:.2}", r.ipc());
+    assert!(r.ipc() <= 8.0, "cannot beat the commit width");
+    // And authentication is irrelevant without misses:
+    let issue = run(Micro::IlpAlu, Policy::authen_then_issue(), 200_000);
+    assert!(
+        issue.ipc() > r.ipc() * 0.9,
+        "cache-resident code must be unaffected by issue gating"
+    );
+}
