@@ -3,6 +3,11 @@
 //! must never put the secret on the bus before the exception — not just
 //! the handcrafted exploits.
 
+// Gated behind the `proptest` cargo feature: the external `proptest`
+// crate is not available in offline builds. See this crate's Cargo.toml
+// for how to enable it.
+#![cfg(feature = "proptest")]
+
 use proptest::prelude::*;
 use secsim_attack::{Victim, VictimKind, SECRET};
 use secsim_core::Policy;

@@ -11,38 +11,44 @@
 //!  6. lazy authentication: performance vs vulnerability window
 
 use secsim_attack::{run_exploit, Exploit};
-use secsim_bench::{cell, RunOpts};
+use secsim_bench::{cell, RunOpts, Sweep, SweepPoint};
 use secsim_core::{FetchGateVariant, Policy, TreeConfig};
-use secsim_cpu::{simulate, SimConfig};
+use secsim_cpu::SimConfig;
 use secsim_crypto::{CryptoLatency, EncryptionMode, MacScheme};
 use secsim_stats::Table;
-use secsim_workloads::build;
+use secsim_workloads::{profile, DATA_BASE};
 
 const BENCHES: [&str; 4] = ["mcf", "art", "twolf", "swim"];
+const SEED: u64 = 5;
 
-fn geomean_norm(policy: Policy, tweak: impl Fn(&mut SimConfig)) -> f64 {
-    let mut acc = 1.0f64;
-    for bench in BENCHES {
-        let run = |p: Policy| {
-            let mut w = build(bench, 5).expect("bench");
-            let mut cfg = SimConfig::paper_256k(p)
-                .with_max_insts(RunOpts::default().max_insts.min(200_000));
-            cfg.secure = cfg.secure.with_protected_region(w.data_base, w.data_bytes);
-            tweak(&mut cfg);
-            simulate(&mut w.mem, w.entry, &cfg, false).ipc()
-        };
-        acc *= run(policy) / run(Policy::baseline());
-    }
+fn geomean_norm(sweep: &Sweep, policy: Policy, tweak: impl Fn(&mut SimConfig)) -> f64 {
+    // One (policy, baseline) pair per benchmark, run as a single grid.
+    let points: Vec<SweepPoint> = BENCHES
+        .iter()
+        .flat_map(|bench| {
+            [policy, Policy::baseline()].into_iter().map(|p| {
+                let mut cfg = SimConfig::paper_256k(p)
+                    .with_max_insts(RunOpts::default().max_insts.min(200_000));
+                let prof = profile(bench).expect("bench");
+                cfg.secure = cfg.secure.with_protected_region(DATA_BASE, prof.footprint);
+                tweak(&mut cfg);
+                SweepPoint::from_config(bench, SEED, cfg)
+            })
+        })
+        .collect();
+    let ipcs: Vec<f64> =
+        sweep.run(&points).into_iter().map(|r| r.expect("bench").ipc()).collect();
+    let acc: f64 = ipcs.chunks(2).map(|pair| pair[0] / pair[1]).product();
     acc.powf(1.0 / BENCHES.len() as f64)
 }
 
-fn section_ctr_predict() {
+fn section_ctr_predict(sweep: &Sweep) {
     let mut t = Table::new(["policy", "predicted counters [19]", "explicit counter fetches"]);
     for policy in [Policy::authen_then_issue(), Policy::authen_then_commit()] {
         t.push_row([
             policy.to_string(),
-            cell(geomean_norm(policy, |_| {})),
-            cell(geomean_norm(policy, |c| c.secure.ctrl.ctr_predict = false)),
+            cell(geomean_norm(sweep, policy, |_| {})),
+            cell(geomean_norm(sweep, policy, |c| c.secure.ctrl.ctr_predict = false)),
         ]);
     }
     secsim_bench::emit(
@@ -52,13 +58,13 @@ fn section_ctr_predict() {
     );
 }
 
-fn section_enc_mode() {
+fn section_enc_mode(sweep: &Sweep) {
     let mut t = Table::new(["policy", "CTR + HMAC", "CBC + CBC-MAC"]);
     for policy in [Policy::authen_then_issue(), Policy::authen_then_commit()] {
         t.push_row([
             policy.to_string(),
-            cell(geomean_norm(policy, |_| {})),
-            cell(geomean_norm(policy, |c| {
+            cell(geomean_norm(sweep, policy, |_| {})),
+            cell(geomean_norm(sweep, policy, |c| {
                 c.secure.ctrl.enc_mode = EncryptionMode::Cbc;
                 c.secure.ctrl.mac_scheme = MacScheme::CbcMacAes;
             })),
@@ -71,13 +77,14 @@ fn section_enc_mode() {
     );
 }
 
-fn section_fetch_variant() {
+fn section_fetch_variant(sweep: &Sweep) {
     let mut t = Table::new(["policy", "LastRequest tag", "drain"]);
     for policy in [Policy::authen_then_fetch(), Policy::commit_plus_fetch()] {
         t.push_row([
             policy.to_string(),
-            cell(geomean_norm(policy, |_| {})),
+            cell(geomean_norm(sweep, policy, |_| {})),
             cell(geomean_norm(
+                sweep,
                 policy.with_fetch_variant(FetchGateVariant::Drain),
                 |_| {},
             )),
@@ -90,18 +97,18 @@ fn section_fetch_variant() {
     );
 }
 
-fn section_mac_latency() {
+fn section_mac_latency(sweep: &Sweep) {
     let mut t = Table::new(["mac latency (cyc)", "issue", "commit", "fetch"]);
     for mac in [20u64, 74, 148, 296] {
         t.push_row([
             mac.to_string(),
-            cell(geomean_norm(Policy::authen_then_issue(), |c| {
+            cell(geomean_norm(sweep, Policy::authen_then_issue(), |c| {
                 c.secure.ctrl.queue.mac_latency = mac;
             })),
-            cell(geomean_norm(Policy::authen_then_commit(), |c| {
+            cell(geomean_norm(sweep, Policy::authen_then_commit(), |c| {
                 c.secure.ctrl.queue.mac_latency = mac;
             })),
-            cell(geomean_norm(Policy::authen_then_fetch(), |c| {
+            cell(geomean_norm(sweep, Policy::authen_then_fetch(), |c| {
                 c.secure.ctrl.queue.mac_latency = mac;
             })),
         ]);
@@ -113,15 +120,15 @@ fn section_mac_latency() {
     );
 }
 
-fn section_queue_capacity() {
+fn section_queue_capacity(sweep: &Sweep) {
     let mut t = Table::new(["queue capacity", "issue", "commit+fetch"]);
     for cap in [2usize, 4, 16, 64] {
         t.push_row([
             cap.to_string(),
-            cell(geomean_norm(Policy::authen_then_issue(), |c| {
+            cell(geomean_norm(sweep, Policy::authen_then_issue(), |c| {
                 c.secure.ctrl.queue.capacity = cap;
             })),
-            cell(geomean_norm(Policy::commit_plus_fetch(), |c| {
+            cell(geomean_norm(sweep, Policy::commit_plus_fetch(), |c| {
                 c.secure.ctrl.queue.capacity = cap;
             })),
         ]);
@@ -133,11 +140,11 @@ fn section_queue_capacity() {
     );
 }
 
-fn section_lazy() {
+fn section_lazy(sweep: &Sweep) {
     // Performance: lazy verification under commit gating.
     let mut t = Table::new(["lazy delay (cyc)", "commit norm-IPC", "exploit window (cyc)"]);
     for delay in [0u64, 500, 5_000] {
-        let perf = geomean_norm(Policy::authen_then_commit(), |c| {
+        let perf = geomean_norm(sweep, Policy::authen_then_commit(), |c| {
             c.secure.ctrl.lazy_delay = delay;
         });
         // Vulnerability window: time between the exploit's leak and the
@@ -169,15 +176,15 @@ fn run_exploit_with_lazy(exploit: Exploit, policy: Policy, delay: u64) -> String
     }
 }
 
-fn section_prefetch() {
+fn section_prefetch(sweep: &Sweep) {
     let mut t = Table::new(["policy", "no prefetch", "next-line prefetch"]);
     for policy in
         [Policy::baseline(), Policy::authen_then_issue(), Policy::commit_plus_fetch()]
     {
         t.push_row([
             policy.to_string(),
-            cell(geomean_norm(policy, |_| {})),
-            cell(geomean_norm(policy, |c| c.mem.prefetch_next_line = true)),
+            cell(geomean_norm(sweep, policy, |_| {})),
+            cell(geomean_norm(sweep, policy, |c| c.mem.prefetch_next_line = true)),
         ]);
     }
     secsim_bench::emit(
@@ -187,7 +194,7 @@ fn section_prefetch() {
     );
 }
 
-fn section_mac_scheme() {
+fn section_mac_scheme(sweep: &Sweep) {
     let gmac = |c: &mut SimConfig| {
         c.secure.ctrl.mac_scheme = MacScheme::GmacAes;
         c.secure.ctrl.queue.mac_latency = CryptoLatency::paper_reference().gmac_latency();
@@ -200,8 +207,8 @@ fn section_mac_scheme() {
     ] {
         t.push_row([
             policy.to_string(),
-            cell(geomean_norm(policy, |_| {})),
-            cell(geomean_norm(policy, gmac)),
+            cell(geomean_norm(sweep, policy, |_| {})),
+            cell(geomean_norm(sweep, policy, gmac)),
         ]);
     }
     secsim_bench::emit(
@@ -212,7 +219,7 @@ fn section_mac_scheme() {
     );
 }
 
-fn section_tree_organization() {
+fn section_tree_organization(sweep: &Sweep) {
     // Trees cover the unified 8 MB region (largest footprint).
     let lines = (8u64 << 20) / 64;
     let chtree =
@@ -223,9 +230,9 @@ fn section_tree_organization() {
     for policy in [Policy::authen_then_issue(), Policy::authen_then_commit()] {
         t.push_row([
             policy.to_string(),
-            cell(geomean_norm(policy, |_| {})),
-            cell(geomean_norm(policy, chtree)),
-            cell(geomean_norm(policy, bmt)),
+            cell(geomean_norm(sweep, policy, |_| {})),
+            cell(geomean_norm(sweep, policy, chtree)),
+            cell(geomean_norm(sweep, policy, bmt)),
         ]);
     }
     secsim_bench::emit(
@@ -237,13 +244,14 @@ fn section_tree_organization() {
 }
 
 fn main() {
-    section_ctr_predict();
-    section_enc_mode();
-    section_fetch_variant();
-    section_mac_latency();
-    section_queue_capacity();
-    section_lazy();
-    section_prefetch();
-    section_mac_scheme();
-    section_tree_organization();
+    let (sweep, _args) = Sweep::from_args();
+    section_ctr_predict(&sweep);
+    section_enc_mode(&sweep);
+    section_fetch_variant(&sweep);
+    section_mac_latency(&sweep);
+    section_queue_capacity(&sweep);
+    section_lazy(&sweep);
+    section_prefetch(&sweep);
+    section_mac_scheme(&sweep);
+    section_tree_organization(&sweep);
 }

@@ -6,6 +6,8 @@ use std::process::Command;
 fn main() {
     let exe = std::env::current_exe().expect("own path");
     let dir = exe.parent().expect("bin dir");
+    // Forward sweep knobs (--jobs / --no-cache) to every experiment.
+    let fwd: Vec<String> = std::env::args().skip(1).collect();
     for bin in
         [
         "table1", "table2", "table3", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
@@ -13,7 +15,8 @@ fn main() {
     ]
     {
         eprintln!("== running {bin} ==");
-        let status = Command::new(dir.join(bin)).status().expect("spawn experiment binary");
+        let status =
+            Command::new(dir.join(bin)).args(&fwd).status().expect("spawn experiment binary");
         assert!(status.success(), "{bin} failed");
     }
     eprintln!("all experiments complete; see results/");

@@ -1,10 +1,11 @@
 //! Quick calibration sweep: normalized IPC per benchmark per policy.
-use secsim_bench::{run_bench, RunOpts};
+use secsim_bench::{RunOpts, Sweep, SweepPoint};
 use secsim_core::Policy;
 use secsim_stats::Table;
 use secsim_workloads::benchmarks;
 
 fn main() {
+    let (sweep, _args) = Sweep::from_args();
     let opts = RunOpts { max_insts: std::env::var("SECSIM_INSTS").ok().and_then(|s| s.parse().ok()).unwrap_or(300_000), ..RunOpts::default() };
     let policies = [
         ("base", Policy::baseline()),
@@ -15,15 +16,19 @@ fn main() {
         ("c+f", Policy::commit_plus_fetch()),
         ("c+obf", Policy::commit_plus_obfuscation()),
     ];
+    let points: Vec<SweepPoint> = benchmarks()
+        .iter()
+        .flat_map(|b| policies.iter().map(|(_, p)| SweepPoint::new(b, *p, &opts).unwrap()))
+        .collect();
+    let mut reports = sweep.run(&points).into_iter().map(|r| r.unwrap());
     let mut t = Table::new(["bench", "ipc", "issue", "write", "commit", "fetch", "c+f", "c+obf", "l2miss/ki"]);
     for b in benchmarks() {
-        let base = run_bench(b, Policy::baseline(), &opts).unwrap();
+        let base = reports.next().expect("grid shape");
         let bipc = base.ipc();
         let mut row = vec![b.to_string(), format!("{bipc:.3}")];
-        for (name, p) in policies.iter().skip(1) {
-            let r = run_bench(b, *p, &opts).unwrap();
+        for _ in policies.iter().skip(1) {
+            let r = reports.next().expect("grid shape");
             row.push(format!("{:.3}", r.ipc() / bipc));
-            let _ = name;
         }
         row.push(format!("{:.1}", base.counters.get("l2.miss") as f64 / (base.insts as f64 / 1000.0)));
         t.push_row(row);

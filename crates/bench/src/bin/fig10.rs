@@ -1,12 +1,13 @@
 //! Figure 10: normalized IPC with the RUU halved to 64 entries
 //! (256 KB L2).
 
-use secsim_bench::{normalized_table, RunOpts};
+use secsim_bench::{normalized_table, RunOpts, Sweep};
 use secsim_core::Policy;
 use secsim_cpu::CpuConfig;
 use secsim_workloads::benchmarks;
 
 fn main() {
+    let (sweep, _args) = Sweep::from_args();
     let opts = RunOpts { cpu: CpuConfig::paper_ruu64(), ..RunOpts::default() };
     let policies = [
         ("issue", Policy::authen_then_issue()),
@@ -14,7 +15,7 @@ fn main() {
         ("commit", Policy::authen_then_commit()),
         ("write", Policy::authen_then_write()),
     ];
-    let t = normalized_table(&benchmarks(), &policies, &opts);
+    let t = normalized_table(&sweep, &benchmarks(), &policies, &opts);
     secsim_bench::emit(
         "fig10",
         "Figure 10 — normalized IPC, 64-entry RUU, 256KB L2 (baseline: decrypt-only)",

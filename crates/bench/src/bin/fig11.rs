@@ -1,18 +1,19 @@
 //! Figure 11: IPC speedup over authen-then-issue with a 64-entry RUU
 //! (256 KB L2).
 
-use secsim_bench::{speedup_over_issue_table, RunOpts};
+use secsim_bench::{speedup_over_issue_table, RunOpts, Sweep};
 use secsim_core::Policy;
 use secsim_cpu::CpuConfig;
 use secsim_workloads::benchmarks;
 
 fn main() {
+    let (sweep, _args) = Sweep::from_args();
     let opts = RunOpts { cpu: CpuConfig::paper_ruu64(), ..RunOpts::default() };
     let policies = [
         ("commit", Policy::authen_then_commit()),
         ("commit+fetch", Policy::commit_plus_fetch()),
     ];
-    let t = speedup_over_issue_table(&benchmarks(), &policies, &opts);
+    let t = speedup_over_issue_table(&sweep, &benchmarks(), &policies, &opts);
     secsim_bench::emit(
         "fig11",
         "Figure 11 — IPC speedup over authen-then-issue, 64-entry RUU, 256KB L2",

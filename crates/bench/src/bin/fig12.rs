@@ -1,11 +1,12 @@
 //! Figure 12: normalized IPC under hash-tree (CHTree-style) memory
 //! authentication with the dedicated 8 KB node cache.
 
-use secsim_bench::{normalized_table, RunOpts};
+use secsim_bench::{normalized_table, RunOpts, Sweep};
 use secsim_core::Policy;
 use secsim_workloads::benchmarks;
 
 fn main() {
+    let (sweep, _args) = Sweep::from_args();
     let opts = RunOpts { tree: true, ..RunOpts::default() };
     let policies = [
         ("issue", Policy::authen_then_issue()),
@@ -14,7 +15,7 @@ fn main() {
         ("fetch", Policy::authen_then_fetch()),
         ("commit+fetch", Policy::commit_plus_fetch()),
     ];
-    let t = normalized_table(&benchmarks(), &policies, &opts);
+    let t = normalized_table(&sweep, &benchmarks(), &policies, &opts);
     secsim_bench::emit(
         "fig12",
         "Figure 12 — normalized IPC under hash-tree authentication (baseline: decrypt-only)",

@@ -1,17 +1,18 @@
 //! Figure 13: IPC speedup over authen-then-issue under hash-tree
 //! authentication.
 
-use secsim_bench::{speedup_over_issue_table, RunOpts};
+use secsim_bench::{speedup_over_issue_table, RunOpts, Sweep};
 use secsim_core::Policy;
 use secsim_workloads::benchmarks;
 
 fn main() {
+    let (sweep, _args) = Sweep::from_args();
     let opts = RunOpts { tree: true, ..RunOpts::default() };
     let policies = [
         ("commit", Policy::authen_then_commit()),
         ("commit+fetch", Policy::commit_plus_fetch()),
     ];
-    let t = speedup_over_issue_table(&benchmarks(), &policies, &opts);
+    let t = speedup_over_issue_table(&sweep, &benchmarks(), &policies, &opts);
     secsim_bench::emit(
         "fig13",
         "Figure 13 — IPC speedup over authen-then-issue, hash-tree authentication",

@@ -3,11 +3,11 @@
 //!
 //! Usage: `fig7 [--l2 256k|1m|both]`
 
-use secsim_bench::{normalized_table, L2Size, RunOpts};
+use secsim_bench::{normalized_table, L2Size, RunOpts, Sweep};
 use secsim_core::Policy;
 use secsim_workloads::{fp_benchmarks, int_benchmarks};
 
-fn run_l2(l2: L2Size, panel_int: &str, panel_fp: &str) {
+fn run_l2(sweep: &Sweep, l2: L2Size, panel_int: &str, panel_fp: &str) {
     let opts = RunOpts { l2, ..RunOpts::default() };
     let policies = [
         ("issue", Policy::authen_then_issue()),
@@ -17,7 +17,7 @@ fn run_l2(l2: L2Size, panel_int: &str, panel_fp: &str) {
         ("commit+fetch", Policy::commit_plus_fetch()),
         ("commit+obf", Policy::commit_plus_obfuscation()),
     ];
-    let t = normalized_table(&int_benchmarks(), &policies, &opts);
+    let t = normalized_table(sweep, &int_benchmarks(), &policies, &opts);
     secsim_bench::emit(
         &format!("fig7{panel_int}"),
         &format!(
@@ -26,7 +26,7 @@ fn run_l2(l2: L2Size, panel_int: &str, panel_fp: &str) {
         ),
         &t,
     );
-    let t = normalized_table(&fp_benchmarks(), &policies, &opts);
+    let t = normalized_table(sweep, &fp_benchmarks(), &policies, &opts);
     secsim_bench::emit(
         &format!("fig7{panel_fp}"),
         &format!(
@@ -38,12 +38,13 @@ fn run_l2(l2: L2Size, panel_int: &str, panel_fp: &str) {
 }
 
 fn main() {
-    let arg = std::env::args().nth(2).or_else(|| std::env::args().nth(1));
-    let which = arg.as_deref().unwrap_or("both");
+    let (sweep, args) = Sweep::from_args();
+    let arg = args.iter().position(|a| a == "--l2").and_then(|i| args.get(i + 1)).cloned();
+    let which = arg.as_deref().or(args.last().map(String::as_str)).unwrap_or("both");
     if which != "1m" {
-        run_l2(L2Size::K256, "a", "b");
+        run_l2(&sweep, L2Size::K256, "a", "b");
     }
     if which != "256k" {
-        run_l2(L2Size::M1, "c", "d");
+        run_l2(&sweep, L2Size::M1, "c", "d");
     }
 }

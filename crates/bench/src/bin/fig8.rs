@@ -1,18 +1,19 @@
 //! Figure 8: IPC speedup of authen-then-commit, authen-then-write and
 //! commit+fetch over authen-then-issue (256 KB L2).
 
-use secsim_bench::{speedup_over_issue_table, RunOpts};
+use secsim_bench::{speedup_over_issue_table, RunOpts, Sweep};
 use secsim_core::Policy;
 use secsim_workloads::benchmarks;
 
 fn main() {
+    let (sweep, _args) = Sweep::from_args();
     let opts = RunOpts::default();
     let policies = [
         ("commit", Policy::authen_then_commit()),
         ("write", Policy::authen_then_write()),
         ("commit+fetch", Policy::commit_plus_fetch()),
     ];
-    let t = speedup_over_issue_table(&benchmarks(), &policies, &opts);
+    let t = speedup_over_issue_table(&sweep, &benchmarks(), &policies, &opts);
     secsim_bench::emit(
         "fig8",
         "Figure 8 — IPC speedup over authen-then-issue, 256KB L2",

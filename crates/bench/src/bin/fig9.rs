@@ -1,28 +1,38 @@
 //! Figure 9: normalized IPC of authen-then-commit + address obfuscation
 //! for three remap-cache sizes (64 KB / 256 KB / 1 MB).
 
-use secsim_bench::{cell, run_bench, RunOpts};
+use secsim_bench::{cell, RunOpts, Sweep, SweepPoint};
 use secsim_core::Policy;
 use secsim_stats::{Summary, Table};
 use secsim_workloads::benchmarks;
 
 fn main() {
+    let (sweep, _args) = Sweep::from_args();
     let sizes: [(&str, u32); 3] =
         [("64KB", 64 * 1024), ("256KB", 256 * 1024), ("1MB", 1024 * 1024)];
     let mut headers = vec!["bench".to_string()];
     headers.extend(sizes.iter().map(|(l, _)| format!("remap {l}")));
     let mut t = Table::new(headers);
+    // Grid: per bench, the baseline plus one obfuscating point per size.
+    let mut points = Vec::new();
+    for bench in benchmarks() {
+        points.push(
+            SweepPoint::new(bench, Policy::baseline(), &RunOpts::default()).expect("bench"),
+        );
+        for (_, bytes) in sizes {
+            let opts = RunOpts { remap_cache_bytes: Some(bytes), ..RunOpts::default() };
+            points.push(
+                SweepPoint::new(bench, Policy::commit_plus_obfuscation(), &opts).expect("bench"),
+            );
+        }
+    }
+    let mut reports = sweep.run(&points).into_iter().map(|r| r.expect("bench").ipc());
     let mut sums = vec![Summary::new(); sizes.len()];
     for bench in benchmarks() {
-        let base =
-            run_bench(bench, Policy::baseline(), &RunOpts::default()).expect("bench").ipc();
+        let base = reports.next().expect("grid shape");
         let mut row = vec![bench.to_string()];
-        for (i, (_, bytes)) in sizes.iter().enumerate() {
-            let opts = RunOpts { remap_cache_bytes: Some(*bytes), ..RunOpts::default() };
-            let ipc = run_bench(bench, Policy::commit_plus_obfuscation(), &opts)
-                .expect("bench")
-                .ipc();
-            let norm = ipc / base;
+        for (i, _) in sizes.iter().enumerate() {
+            let norm = reports.next().expect("grid shape") / base;
             sums[i].push(norm.max(1e-9));
             row.push(cell(norm));
         }

@@ -1,0 +1,101 @@
+//! Simulator-throughput micro-benchmark: simulated instructions per
+//! second of wall clock, recorded into `results/perf_baseline.json`.
+//!
+//! Each invocation measures a fixed set of (workload, policy) hot-path
+//! shapes and *merges* its numbers into the JSON file under a label, so
+//! before/after comparisons survive across commits:
+//!
+//! ```text
+//! cargo run --release --bin perf -- --label seed-alloc
+//! # ...optimize...
+//! cargo run --release --bin perf -- --label optimized
+//! ```
+//!
+//! The file maps label → case → {insts, iters, total_secs,
+//! insts_per_sec}. Labels are overwritten in place when re-measured.
+
+use secsim_bench::timing::{fmt_rate, measure};
+use secsim_bench::{results_dir, run_bench, L2Size, RunOpts};
+use secsim_core::Policy;
+use secsim_stats::Json;
+use std::fs;
+
+/// Instructions per measured run: long enough to dwarf workload-image
+/// construction, short enough that the full matrix stays under a minute.
+const INSTS: u64 = 200_000;
+
+/// The measured cases: the allocation-heavy shapes the optimization
+/// targets. `mcf` is miss-dominated (every L2 miss walks the secure
+/// fill path: counter fetch, decrypt, MAC); `swim` is
+/// bandwidth-dominated (writebacks exercise seal/MAC-update); `gzip`
+/// is cache-resident (pipeline + counter bookkeeping dominates).
+const CASES: &[(&str, &str)] = &[
+    ("mcf/commit", "mcf"),
+    ("swim/commit", "swim"),
+    ("gzip/commit", "gzip"),
+    ("mcf/commit+tree", "mcf"),
+    ("mcf/baseline", "mcf"),
+];
+
+fn policy_for(case: &str) -> Policy {
+    if case.ends_with("baseline") {
+        Policy::baseline()
+    } else {
+        Policy::authen_then_commit()
+    }
+}
+
+fn main() {
+    let mut label = String::from("current");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--label" => label = args.next().expect("--label needs a value"),
+            other => {
+                eprintln!("unknown argument: {other} (expected --label <name>)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut cases = Vec::new();
+    for &(case, bench) in CASES {
+        let opts = RunOpts {
+            l2: L2Size::K256,
+            max_insts: INSTS,
+            tree: case.ends_with("tree"),
+            ..RunOpts::default()
+        };
+        let policy = policy_for(case);
+        let m = measure(case, 2.0, || {
+            run_bench(bench, policy, &opts).expect("benchmark exists");
+        });
+        let rate = m.rate(INSTS as f64);
+        println!("{:24} {:>12} simulated insts/s  ({:.0} ms/run)", m.label, fmt_rate(rate), m.per_iter_secs() * 1e3);
+        cases.push((
+            case.to_string(),
+            Json::obj(vec![
+                ("insts", Json::UInt(INSTS)),
+                ("iters", Json::UInt(m.iters)),
+                ("total_secs", Json::Float(m.total_secs)),
+                ("insts_per_sec", Json::Float(rate)),
+            ]),
+        ));
+    }
+
+    let dir = results_dir();
+    fs::create_dir_all(&dir).expect("create results dir");
+    let path = dir.join("perf_baseline.json");
+    let mut doc = fs::read_to_string(&path)
+        .ok()
+        .and_then(|text| Json::parse(&text).ok())
+        .and_then(|v| match v {
+            Json::Object(pairs) => Some(pairs),
+            _ => None,
+        })
+        .unwrap_or_default();
+    doc.retain(|(k, _)| *k != label);
+    doc.push((label.clone(), Json::Object(cases)));
+    fs::write(&path, Json::Object(doc).render()).expect("write perf_baseline.json");
+    println!("recorded label '{label}' -> {}", path.display());
+}

@@ -10,7 +10,7 @@
 //! ```
 
 use secsim_attack::{empirical_matrix, run_exploit, Exploit, SECRET};
-use secsim_bench::{run_bench, L2Size, RunOpts};
+use secsim_bench::{L2Size, RunOpts, Sweep, SweepPoint};
 use secsim_core::{properties, Policy};
 use secsim_crypto::{CryptoLatency, EncryptionMode, MacScheme};
 use secsim_cpu::CpuConfig;
@@ -30,20 +30,31 @@ impl Verifier {
     }
 }
 
-fn geomeans(policies: &[Policy], opts: &RunOpts) -> Vec<f64> {
+fn geomeans(sweep: &Sweep, policies: &[Policy], opts: &RunOpts) -> Vec<f64> {
     const BENCHES: [&str; 5] = ["mcf", "art", "twolf", "swim", "wupwise"];
+    // The whole (bench × policy) grid runs as one parallel sweep;
+    // repeated calls hit the in-process memo or the on-disk cache.
+    let mut points = Vec::new();
+    for bench in BENCHES {
+        points.push(SweepPoint::new(bench, Policy::baseline(), opts).expect("bench"));
+        for p in policies {
+            points.push(SweepPoint::new(bench, *p, opts).expect("bench"));
+        }
+    }
+    let mut reports = sweep.run(&points).into_iter().map(|r| r.expect("bench").ipc());
     let mut base = 1.0f64;
     let mut acc = vec![1.0f64; policies.len()];
-    for bench in BENCHES {
-        base *= run_bench(bench, Policy::baseline(), opts).expect("bench").ipc();
-        for (i, p) in policies.iter().enumerate() {
-            acc[i] *= run_bench(bench, *p, opts).expect("bench").ipc();
+    for _ in BENCHES {
+        base *= reports.next().expect("grid shape");
+        for a in acc.iter_mut() {
+            *a *= reports.next().expect("grid shape");
         }
     }
     acc.iter().map(|a| (a / base).powf(1.0 / BENCHES.len() as f64)).collect()
 }
 
 fn main() -> std::process::ExitCode {
+    let (sweep, _args) = Sweep::from_args();
     let mut v = Verifier { failures: 0 };
     let opts = RunOpts { max_insts: 150_000, ..RunOpts::default() };
 
@@ -96,7 +107,7 @@ fn main() -> std::process::ExitCode {
         Policy::authen_then_issue(),
         Policy::commit_plus_obfuscation(),
     ];
-    let g = geomeans(&ps, &opts);
+    let g = geomeans(&sweep, &ps, &opts);
     let (write, commit, fetch, cf, issue, obf) = (g[0], g[1], g[2], g[3], g[4], g[5]);
     v.check(
         "Figure 7: write ≥ commit ≥ fetch ≥ commit+fetch ≥ issue, all < baseline",
@@ -112,7 +123,7 @@ fn main() -> std::process::ExitCode {
     // ---- Figure 9 monotonicity ----
     let obf_at = |bytes: u32| {
         let o = RunOpts { remap_cache_bytes: Some(bytes), ..opts };
-        geomeans(&[Policy::commit_plus_obfuscation()], &o)[0]
+        geomeans(&sweep, &[Policy::commit_plus_obfuscation()], &o)[0]
     };
     let (o64, o256, o1m) = (obf_at(64 << 10), obf_at(256 << 10), obf_at(1 << 20));
     v.check(
@@ -123,8 +134,8 @@ fn main() -> std::process::ExitCode {
 
     // ---- Figure 10: RUU sensitivity ----
     let small = RunOpts { cpu: CpuConfig::paper_ruu64(), ..opts };
-    let commit_small = geomeans(&[Policy::authen_then_commit()], &small)[0];
-    let issue_small = geomeans(&[Policy::authen_then_issue()], &small)[0];
+    let commit_small = geomeans(&sweep, &[Policy::authen_then_commit()], &small)[0];
+    let issue_small = geomeans(&sweep, &[Policy::authen_then_issue()], &small)[0];
     v.check(
         "Figures 10–11: halving the RUU hurts commit-gating more than issue-gating",
         (commit - commit_small) > (issue - issue_small) - 1e-9 && commit_small >= issue_small,
@@ -136,6 +147,7 @@ fn main() -> std::process::ExitCode {
     // ---- Figures 12–13: hash tree ----
     let tree_opts = RunOpts { tree: true, ..opts };
     let gt = geomeans(
+        &sweep,
         &[Policy::authen_then_write(), Policy::authen_then_commit(), Policy::authen_then_issue()],
         &tree_opts,
     );
@@ -152,7 +164,7 @@ fn main() -> std::process::ExitCode {
 
     // ---- L2 size (Fig 7 a/b vs c/d) ----
     let big = RunOpts { l2: L2Size::M1, ..opts };
-    let issue_1m = geomeans(&[Policy::authen_then_issue()], &big)[0];
+    let issue_1m = geomeans(&sweep, &[Policy::authen_then_issue()], &big)[0];
     v.check(
         "Figure 7c/d: ranking stable and impact not worse with the 1MB L2",
         issue_1m >= issue - 0.02,

@@ -2,13 +2,19 @@
 //! behaviour, branch predictability — the evidence that each profile
 //! reproduces its namesake's memory character.
 
-use secsim_bench::{run_bench, RunOpts};
+use secsim_bench::{RunOpts, Sweep, SweepPoint};
 use secsim_core::Policy;
 use secsim_stats::Table;
 use secsim_workloads::{benchmarks, profile, BenchClass};
 
 fn main() {
+    let (sweep, _args) = Sweep::from_args();
     let opts = RunOpts { max_insts: 300_000, ..RunOpts::default() };
+    let points: Vec<SweepPoint> = benchmarks()
+        .iter()
+        .map(|b| SweepPoint::new(b, Policy::authen_then_commit(), &opts).expect("bench"))
+        .collect();
+    let mut reports = sweep.run(&points).into_iter().map(|r| r.expect("bench"));
     let mut t = Table::new([
         "bench",
         "class",
@@ -24,7 +30,7 @@ fn main() {
     ]);
     for bench in benchmarks() {
         let p = profile(bench).expect("profile");
-        let r = run_bench(bench, Policy::authen_then_commit(), &opts).expect("bench");
+        let r = reports.next().expect("grid shape");
         let ki = r.insts as f64 / 1000.0;
         let c = &r.counters;
         let l1d_acc = c.get("l1d.read_hit")

@@ -17,11 +17,16 @@
 //! println!("mcf IPC = {:.3}", r.ipc());
 //! ```
 
+pub mod sweep;
+pub mod timing;
+
+pub use sweep::{Sweep, SweepPoint, CACHE_VERSION};
+
 use secsim_core::{Policy, SecureConfig};
 use secsim_cpu::{simulate, CpuConfig, SimConfig, SimReport};
 use secsim_mem::MemSystemConfig;
 use secsim_stats::Table;
-use secsim_workloads::build;
+use secsim_workloads::{build, profile, DATA_BASE};
 use std::fs;
 use std::path::PathBuf;
 
@@ -89,25 +94,36 @@ pub fn default_insts() -> u64 {
     std::env::var("SECSIM_INSTS").ok().and_then(|s| s.parse().ok()).unwrap_or(1_000_000)
 }
 
-/// Runs `bench` under `policy` and returns the report. `None` for an
-/// unknown benchmark name.
-pub fn run_bench(bench: &str, policy: Policy, opts: &RunOpts) -> Option<SimReport> {
-    let mut w = build(bench, opts.seed)?;
+/// The full simulator configuration for `bench` under `policy` —
+/// derived from the benchmark's *profile* alone (no workload image is
+/// built), so it is cheap enough to fingerprint for cache keys. `None`
+/// for an unknown benchmark name.
+pub fn sim_config(bench: &str, policy: Policy, opts: &RunOpts) -> Option<SimConfig> {
+    let prof = profile(bench)?;
+    let (data_base, data_bytes) = (DATA_BASE, prof.footprint);
     let mut secure = if opts.tree {
-        SecureConfig::paper_with_tree(policy, w.data_base, w.data_bytes)
+        SecureConfig::paper_with_tree(policy, data_base, data_bytes)
     } else {
         SecureConfig::paper(policy)
     }
-    .with_protected_region(w.data_base, w.data_bytes);
+    .with_protected_region(data_base, data_bytes);
     if let Some(bytes) = opts.remap_cache_bytes {
         secure = secure.with_remap_cache_bytes(bytes);
     }
-    let cfg = SimConfig {
+    Some(SimConfig {
         cpu: opts.cpu,
         mem: opts.l2.mem_config(),
         secure,
         max_insts: opts.max_insts,
-    };
+    })
+}
+
+/// Runs `bench` under `policy` and returns the report. `None` for an
+/// unknown benchmark name. Always simulates — use [`Sweep`] for the
+/// parallel, cached path.
+pub fn run_bench(bench: &str, policy: Policy, opts: &RunOpts) -> Option<SimReport> {
+    let cfg = sim_config(bench, policy, opts)?;
+    let mut w = build(bench, opts.seed)?;
     Some(simulate(&mut w.mem, w.entry, &cfg, false))
 }
 
@@ -142,10 +158,42 @@ pub fn cell(x: f64) -> String {
     format!("{x:.3}")
 }
 
+/// Runs the full `(benches × (reference + policies))` grid through
+/// `sweep` and returns, per benchmark, the reference IPC plus each
+/// policy's IPC — the shared shape of every ratio table.
+fn ipc_grid(
+    sweep: &Sweep,
+    benches: &[&str],
+    reference: Policy,
+    policies: &[(&str, Policy)],
+    opts: &RunOpts,
+) -> Vec<(f64, Vec<f64>)> {
+    let mut points = Vec::with_capacity(benches.len() * (policies.len() + 1));
+    for bench in benches {
+        points.push(
+            SweepPoint::new(bench, reference, opts)
+                .unwrap_or_else(|| panic!("unknown benchmark {bench}")),
+        );
+        for (_, policy) in policies {
+            points.push(SweepPoint::new(bench, *policy, opts).expect("benchmark exists"));
+        }
+    }
+    let reports = sweep.run(&points);
+    let mut rows = Vec::with_capacity(benches.len());
+    let mut it = reports.into_iter().map(|r| r.expect("benchmark exists").ipc());
+    for _ in benches {
+        let base = it.next().expect("grid shape");
+        let row = policies.iter().map(|_| it.next().expect("grid shape")).collect();
+        rows.push((base, row));
+    }
+    rows
+}
+
 /// Builds a normalized-IPC table: one row per benchmark in `benches`,
 /// one column per `(label, policy)`, plus arithmetic-mean and
 /// geometric-mean rows — the layout of the paper's Figure 7/10/12 data.
 pub fn normalized_table(
+    sweep: &Sweep,
     benches: &[&str],
     policies: &[(&str, Policy)],
     opts: &RunOpts,
@@ -154,13 +202,10 @@ pub fn normalized_table(
     headers.extend(policies.iter().map(|(l, _)| (*l).to_string()));
     let mut table = Table::new(headers);
     let mut sums = vec![secsim_stats::Summary::new(); policies.len()];
-    for bench in benches {
-        let base = run_bench(bench, Policy::baseline(), opts)
-            .unwrap_or_else(|| panic!("unknown benchmark {bench}"))
-            .ipc();
+    let grid = ipc_grid(sweep, benches, Policy::baseline(), policies, opts);
+    for (bench, (base, ipcs)) in benches.iter().zip(grid) {
         let mut row = vec![(*bench).to_string()];
-        for (i, (_, policy)) in policies.iter().enumerate() {
-            let ipc = run_bench(bench, *policy, opts).expect("benchmark exists").ipc();
+        for (i, ipc) in ipcs.into_iter().enumerate() {
             let norm = if base > 0.0 { ipc / base } else { 0.0 };
             sums[i].push(norm.max(1e-9));
             row.push(cell(norm));
@@ -179,6 +224,7 @@ pub fn normalized_table(
 /// Builds a speedup-over-`authen-then-issue` table (Figures 8/11/13):
 /// `IPC(policy) / IPC(issue) - 1`, reported as percentages.
 pub fn speedup_over_issue_table(
+    sweep: &Sweep,
     benches: &[&str],
     policies: &[(&str, Policy)],
     opts: &RunOpts,
@@ -187,13 +233,10 @@ pub fn speedup_over_issue_table(
     headers.extend(policies.iter().map(|(l, _)| format!("{l} (%)")));
     let mut table = Table::new(headers);
     let mut sums = vec![secsim_stats::Summary::new(); policies.len()];
-    for bench in benches {
-        let issue = run_bench(bench, Policy::authen_then_issue(), opts)
-            .unwrap_or_else(|| panic!("unknown benchmark {bench}"))
-            .ipc();
+    let grid = ipc_grid(sweep, benches, Policy::authen_then_issue(), policies, opts);
+    for (bench, (issue, ipcs)) in benches.iter().zip(grid) {
         let mut row = vec![(*bench).to_string()];
-        for (i, (_, policy)) in policies.iter().enumerate() {
-            let ipc = run_bench(bench, *policy, opts).expect("benchmark exists").ipc();
+        for (i, ipc) in ipcs.into_iter().enumerate() {
             let pct = if issue > 0.0 { (ipc / issue - 1.0) * 100.0 } else { 0.0 };
             sums[i].push((pct + 1000.0).max(1e-9)); // offset keeps Summary positive
             row.push(format!("{pct:+.1}"));

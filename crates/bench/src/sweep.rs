@@ -1,0 +1,313 @@
+//! Parallel sweep execution over a grid of simulation points, backed by
+//! a persistent on-disk result cache.
+//!
+//! Every figure/table binary boils down to "run `simulate` over a grid
+//! of `(benchmark, SimConfig)` points and aggregate". [`Sweep::run`]
+//! executes such a grid across a worker pool (plain `std::thread` —
+//! no external dependencies) and returns the reports **in grid order**,
+//! so results are byte-identical to a serial run regardless of the
+//! worker count.
+//!
+//! Completed points are persisted under `results/cache/` keyed by a
+//! stable fingerprint of the *full* run configuration (see
+//! [`SweepPoint::key`]). A second invocation of any experiment binary
+//! reloads its reports instead of re-simulating. Cache entries are
+//! invalidated implicitly: any change to the benchmark name, seed, or
+//! any `SimConfig` field changes the key, and model changes that alter
+//! results without changing the config must bump [`CACHE_VERSION`].
+//!
+//! Knobs:
+//!
+//! * `SECSIM_JOBS` / `--jobs N` — worker count (default: all cores).
+//! * `--no-cache` — skip both cache lookup and cache writes.
+//! * `SECSIM_RESULTS` — relocates `results/`, and the cache with it.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use secsim_bench::{RunOpts, Sweep, SweepPoint};
+//! use secsim_core::Policy;
+//!
+//! let sweep = Sweep::new();
+//! let points: Vec<SweepPoint> = ["mcf", "gzip"]
+//!     .iter()
+//!     .map(|b| SweepPoint::new(b, Policy::authen_then_commit(), &RunOpts::default()).unwrap())
+//!     .collect();
+//! let reports = sweep.run(&points);
+//! assert_eq!(reports.len(), 2);
+//! ```
+
+use crate::{results_dir, sim_config, RunOpts};
+use secsim_core::Policy;
+use secsim_cpu::{simulate, SimConfig, SimReport};
+use secsim_stats::{Json, StableHash, StableHasher};
+use secsim_workloads::build;
+use std::collections::HashMap;
+use std::fs;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Salt for every cache key. Bump when the simulator's *behaviour*
+/// changes in a way that is not visible in `SimConfig` (model fixes,
+/// workload-generation changes), so stale entries can never be
+/// mistaken for fresh results.
+pub const CACHE_VERSION: u64 = 1;
+
+/// One cell of a sweep grid: a workload plus the exact configuration to
+/// simulate it under.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// Benchmark name (see `secsim_workloads::benchmarks`).
+    pub bench: String,
+    /// Workload seed.
+    pub seed: u64,
+    /// Full simulator configuration.
+    pub cfg: SimConfig,
+}
+
+impl SweepPoint {
+    /// The standard-experiment point: `bench` under `policy` with the
+    /// shared [`RunOpts`]. `None` for an unknown benchmark.
+    pub fn new(bench: &str, policy: Policy, opts: &RunOpts) -> Option<Self> {
+        Some(Self { bench: bench.to_string(), seed: opts.seed, cfg: sim_config(bench, policy, opts)? })
+    }
+
+    /// A point with a hand-built configuration (ablations).
+    pub fn from_config(bench: &str, seed: u64, cfg: SimConfig) -> Self {
+        Self { bench: bench.to_string(), seed, cfg }
+    }
+
+    /// Stable cache key: a fingerprint of `(CACHE_VERSION, bench, seed,
+    /// cfg)`. Identical across processes, platforms and worker counts.
+    pub fn key(&self) -> u64 {
+        let mut h = StableHasher::new();
+        CACHE_VERSION.stable_hash(&mut h);
+        self.bench.stable_hash(&mut h);
+        self.seed.stable_hash(&mut h);
+        self.cfg.stable_hash(&mut h);
+        h.finish()
+    }
+
+    fn run(&self) -> Option<SimReport> {
+        let mut w = build(&self.bench, self.seed)?;
+        Some(simulate(&mut w.mem, w.entry, &self.cfg, false))
+    }
+}
+
+/// The parallel, cached sweep executor. See the module docs.
+#[derive(Debug)]
+pub struct Sweep {
+    jobs: usize,
+    cache_dir: Option<PathBuf>,
+    /// In-process memo so repeated grids (verify_repro's geomeans, the
+    /// shared baselines of the figure tables) simulate at most once per
+    /// process even with caching disabled.
+    memo: Mutex<HashMap<u64, SimReport>>,
+}
+
+impl Default for Sweep {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sweep {
+    /// A sweep with the default worker count (`SECSIM_JOBS`, else all
+    /// cores) and the default cache directory (`results/cache`).
+    pub fn new() -> Self {
+        let jobs = std::env::var("SECSIM_JOBS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
+        Self { jobs, cache_dir: Some(results_dir().join("cache")), memo: Mutex::new(HashMap::new()) }
+    }
+
+    /// A sweep configured from the process arguments: consumes
+    /// `--jobs N` and `--no-cache`, returning the remaining arguments
+    /// (without the program name) for the binary's own parsing.
+    pub fn from_args() -> (Self, Vec<String>) {
+        let mut sweep = Self::new();
+        let mut rest = Vec::new();
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--jobs" => {
+                    let n = args.next().and_then(|s| s.parse().ok()).filter(|&n| n >= 1);
+                    let Some(n) = n else {
+                        eprintln!("error: --jobs needs a positive integer");
+                        std::process::exit(2);
+                    };
+                    sweep = sweep.with_jobs(n);
+                }
+                "--no-cache" => sweep = sweep.without_cache(),
+                _ => rest.push(arg),
+            }
+        }
+        (sweep, rest)
+    }
+
+    /// Overrides the worker count (1 = serial).
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        assert!(jobs >= 1);
+        self.jobs = jobs;
+        self
+    }
+
+    /// Disables the persistent cache (the in-process memo remains).
+    pub fn without_cache(mut self) -> Self {
+        self.cache_dir = None;
+        self
+    }
+
+    /// Redirects the persistent cache.
+    pub fn with_cache_dir(mut self, dir: PathBuf) -> Self {
+        self.cache_dir = Some(dir);
+        self
+    }
+
+    /// The configured worker count.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Runs every point, in parallel, returning reports **in grid
+    /// order**. `None` marks an unknown benchmark. Cached points are
+    /// loaded, fresh points are simulated and persisted.
+    pub fn run(&self, points: &[SweepPoint]) -> Vec<Option<SimReport>> {
+        let mut slots: Vec<Mutex<Option<SimReport>>> = Vec::with_capacity(points.len());
+        slots.resize_with(points.len(), || Mutex::new(None));
+        let mut todo: Vec<usize> = Vec::new();
+        {
+            let memo = self.memo.lock().expect("memo poisoned");
+            for (i, p) in points.iter().enumerate() {
+                match memo.get(&p.key()) {
+                    Some(r) => *slots[i].lock().expect("slot") = Some(r.clone()),
+                    None => todo.push(i),
+                }
+            }
+        }
+        // Disk lookups stay serial: they are ~instant next to a run.
+        todo.retain(|&i| {
+            let p = &points[i];
+            match self.load_cached(p) {
+                Some(r) => {
+                    self.memo.lock().expect("memo poisoned").insert(p.key(), r.clone());
+                    *slots[i].lock().expect("slot") = Some(r);
+                    false
+                }
+                None => true,
+            }
+        });
+
+        let next = AtomicUsize::new(0);
+        let workers = self.jobs.min(todo.len().max(1));
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let n = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(&i) = todo.get(n) else { break };
+                    let report = points[i].run();
+                    *slots[i].lock().expect("slot") = report;
+                });
+            }
+        });
+
+        for &i in &todo {
+            let p = &points[i];
+            if let Some(r) = slots[i].lock().expect("slot").as_ref() {
+                self.store_cached(p, i, r);
+                self.memo.lock().expect("memo poisoned").insert(p.key(), r.clone());
+            }
+        }
+        slots.into_iter().map(|s| s.into_inner().expect("slot")).collect()
+    }
+
+    /// Runs a single point (cache- and memo-aware).
+    pub fn get(&self, bench: &str, policy: Policy, opts: &RunOpts) -> Option<SimReport> {
+        let point = SweepPoint::new(bench, policy, opts)?;
+        self.run(std::slice::from_ref(&point)).pop().flatten()
+    }
+
+    fn cache_path(&self, p: &SweepPoint) -> Option<PathBuf> {
+        self.cache_dir.as_ref().map(|d| d.join(format!("{}-{:016x}.json", p.bench, p.key())))
+    }
+
+    fn load_cached(&self, p: &SweepPoint) -> Option<SimReport> {
+        let text = fs::read_to_string(self.cache_path(p)?).ok()?;
+        let v = Json::parse(&text).ok()?;
+        if v.get("version")?.as_u64()? != CACHE_VERSION {
+            return None;
+        }
+        if v.get("key")?.as_str()? != format!("{:016x}", p.key()) {
+            return None;
+        }
+        SimReport::from_json(v.get("report")?)
+    }
+
+    /// Persists atomically (tmp + rename), so concurrent experiment
+    /// processes never observe a torn entry. `idx` only disambiguates
+    /// tmp names within one process.
+    fn store_cached(&self, p: &SweepPoint, idx: usize, r: &SimReport) {
+        let Some(path) = self.cache_path(p) else { return };
+        // Traced reports refuse to serialize; sweeps never trace.
+        let Some(report) = r.to_json() else { return };
+        let entry = Json::obj(vec![
+            ("version", Json::UInt(CACHE_VERSION)),
+            ("bench", Json::Str(p.bench.clone())),
+            ("key", Json::Str(format!("{:016x}", p.key()))),
+            ("report", report),
+        ]);
+        let Some(dir) = path.parent() else { return };
+        if fs::create_dir_all(dir).is_err() {
+            return;
+        }
+        let tmp = dir.join(format!(".tmp-{:016x}-{}-{idx}", p.key(), std::process::id()));
+        if fs::write(&tmp, entry.render()).is_ok() && fs::rename(&tmp, &path).is_err() {
+            let _ = fs::remove_file(&tmp);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts() -> RunOpts {
+        RunOpts { max_insts: 5_000, ..RunOpts::default() }
+    }
+
+    #[test]
+    fn key_is_stable_and_config_sensitive() {
+        let a = SweepPoint::new("mcf", Policy::authen_then_commit(), &opts()).unwrap();
+        let b = SweepPoint::new("mcf", Policy::authen_then_commit(), &opts()).unwrap();
+        assert_eq!(a.key(), b.key());
+        let c = SweepPoint::new("mcf", Policy::authen_then_issue(), &opts()).unwrap();
+        assert_ne!(a.key(), c.key());
+        let d = SweepPoint::new("gzip", Policy::authen_then_commit(), &opts()).unwrap();
+        assert_ne!(a.key(), d.key());
+        let e = SweepPoint::new("mcf", Policy::authen_then_commit(), &RunOpts { seed: 7, ..opts() })
+            .unwrap();
+        assert_ne!(a.key(), e.key());
+    }
+
+    #[test]
+    fn unknown_bench_is_none() {
+        assert!(SweepPoint::new("nope", Policy::baseline(), &opts()).is_none());
+        let sweep = Sweep::new().without_cache().with_jobs(1);
+        assert!(sweep.get("nope", Policy::baseline(), &opts()).is_none());
+    }
+
+    #[test]
+    fn memo_hits_do_not_resimulate() {
+        let sweep = Sweep::new().without_cache().with_jobs(2);
+        let p = SweepPoint::new("gzip", Policy::baseline(), &opts()).unwrap();
+        let first = sweep.run(&[p.clone()]);
+        let again = sweep.run(&[p]);
+        assert_eq!(
+            first[0].as_ref().unwrap().to_json().unwrap().render(),
+            again[0].as_ref().unwrap().to_json().unwrap().render()
+        );
+    }
+}

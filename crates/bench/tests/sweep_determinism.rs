@@ -1,0 +1,101 @@
+//! The sweep engine's two reproducibility guarantees:
+//!
+//! 1. a parallel sweep returns results **byte-identical** to a serial
+//!    one, in the same (grid) order;
+//! 2. a cache hit reproduces the original report exactly.
+//!
+//! Reports carry no `PartialEq`; byte-identity is asserted on the
+//! deterministic JSON rendering, which covers every serialized field.
+
+use secsim_bench::{RunOpts, Sweep, SweepPoint};
+use secsim_core::Policy;
+use std::fs;
+use std::path::PathBuf;
+
+fn opts() -> RunOpts {
+    RunOpts { max_insts: 8_000, ..RunOpts::default() }
+}
+
+fn grid() -> Vec<SweepPoint> {
+    let policies = [
+        Policy::baseline(),
+        Policy::authen_then_issue(),
+        Policy::authen_then_commit(),
+        Policy::commit_plus_fetch(),
+    ];
+    ["gzip", "mcf", "swim"]
+        .iter()
+        .flat_map(|b| policies.iter().map(|p| SweepPoint::new(b, *p, &opts()).expect("bench")))
+        .collect()
+}
+
+fn renders(sweep: &Sweep, points: &[SweepPoint]) -> Vec<String> {
+    sweep
+        .run(points)
+        .into_iter()
+        .map(|r| r.expect("bench").to_json().expect("untraced").render())
+        .collect()
+}
+
+/// A scratch cache directory, removed on drop even if the test fails.
+struct TempCache(PathBuf);
+
+impl TempCache {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("secsim-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        Self(dir)
+    }
+}
+
+impl Drop for TempCache {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.0);
+    }
+}
+
+#[test]
+fn parallel_sweep_is_byte_identical_to_serial() {
+    let points = grid();
+    let serial = renders(&Sweep::new().with_jobs(1).without_cache(), &points);
+    let parallel = renders(&Sweep::new().with_jobs(4).without_cache(), &points);
+    assert_eq!(serial.len(), points.len());
+    for (i, (s, p)) in serial.iter().zip(&parallel).enumerate() {
+        assert_eq!(s, p, "point {i} diverged between jobs=1 and jobs=4");
+    }
+}
+
+#[test]
+fn cache_hit_reproduces_report_exactly() {
+    let cache = TempCache::new("sweep-cache-test");
+    let points = grid();
+    let fresh = renders(&Sweep::new().with_jobs(4).with_cache_dir(cache.0.clone()), &points);
+    let entries = fs::read_dir(&cache.0).expect("cache dir created").count();
+    assert_eq!(entries, points.len(), "one cache file per grid point");
+    // A brand-new sweep (empty memo) must reload every report from disk
+    // byte-for-byte.
+    let cached = renders(&Sweep::new().with_jobs(1).with_cache_dir(cache.0.clone()), &points);
+    assert_eq!(fresh, cached);
+    assert_eq!(
+        fs::read_dir(&cache.0).expect("cache dir").count(),
+        entries,
+        "cache hits must not create new entries"
+    );
+}
+
+#[test]
+fn stale_cache_entries_are_ignored() {
+    let cache = TempCache::new("sweep-stale-test");
+    let point = SweepPoint::new("gzip", Policy::baseline(), &opts()).expect("bench");
+    let sweep = Sweep::new().with_jobs(1).with_cache_dir(cache.0.clone());
+    let first = renders(&sweep, std::slice::from_ref(&point));
+    // Corrupt the entry; a fresh sweep must fall back to simulation and
+    // reproduce the same report.
+    let file = fs::read_dir(&cache.0).expect("dir").next().expect("entry").expect("entry").path();
+    fs::write(&file, "{\"version\":0}").expect("overwrite");
+    let again = renders(
+        &Sweep::new().with_jobs(1).with_cache_dir(cache.0.clone()),
+        std::slice::from_ref(&point),
+    );
+    assert_eq!(first, again);
+}

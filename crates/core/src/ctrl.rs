@@ -140,7 +140,11 @@ pub struct SecureMemCtrl {
     counter_cache: Cache,
     tree: Option<TreeTiming>,
     obf: Option<Obfuscator>,
-    counters: CounterSet,
+    // Plain fields: bumped on every fill/writeback.
+    counter_hits: u64,
+    counter_misses: u64,
+    auth_requests: u64,
+    writebacks: u64,
 }
 
 impl SecureMemCtrl {
@@ -152,7 +156,10 @@ impl SecureMemCtrl {
             counter_cache: Cache::new(cfg.counter_cache),
             tree: cfg.tree.map(TreeTiming::new),
             obf: cfg.obf.map(Obfuscator::new),
-            counters: CounterSet::new(),
+            counter_hits: 0,
+            counter_misses: 0,
+            auth_requests: 0,
+            writebacks: 0,
         }
     }
 
@@ -178,9 +185,16 @@ impl SecureMemCtrl {
         self.tree.as_ref()
     }
 
-    /// Controller counters.
-    pub fn counters(&self) -> &CounterSet {
-        &self.counters
+    /// Controller counters, materialized on demand.
+    pub fn counters(&self) -> CounterSet {
+        [
+            ("counter_hit", self.counter_hits),
+            ("counter_miss", self.counter_misses),
+            ("auth_requests", self.auth_requests),
+            ("writebacks", self.writebacks),
+        ]
+        .into_iter()
+        .collect()
     }
 
     /// Counter-cache address covering `line_addr`'s 8-byte counter.
@@ -195,10 +209,10 @@ impl SecureMemCtrl {
         let meta = Self::counter_meta_addr(line_addr);
         let res = self.counter_cache.access(meta, false);
         if res.hit {
-            self.counters.inc("counter_hit");
+            self.counter_hits += 1;
             now
         } else {
-            self.counters.inc("counter_miss");
+            self.counter_misses += 1;
             let t = chan.transfer(meta, 64, BusKind::CounterFetch, now, 0);
             t.done
         }
@@ -273,7 +287,7 @@ impl FillEngine for SecureMemCtrl {
             input_ready + self.cfg.lazy_delay,
             tree_extra + mac_extra,
         );
-        self.counters.inc("auth_requests");
+        self.auth_requests += 1;
         FillResponse {
             data_ready: t.first_ready,
             decrypt_ready,
@@ -295,7 +309,7 @@ impl FillEngine for SecureMemCtrl {
             let meta = Self::counter_meta_addr(line_addr);
             let res = self.counter_cache.access(meta, true);
             if !res.hit {
-                self.counters.inc("counter_miss");
+                self.counter_misses += 1;
                 chan.transfer(meta, 64, BusKind::CounterFetch, ready, 0);
             }
             if let Some(v) = res.victim {
@@ -313,7 +327,7 @@ impl FillEngine for SecureMemCtrl {
         if let Some(tree) = self.tree.as_mut() {
             tree.update_path(line_addr, ready, chan);
         }
-        self.counters.inc("writebacks");
+        self.writebacks += 1;
     }
 }
 

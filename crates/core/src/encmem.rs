@@ -74,7 +74,9 @@ impl EncryptedMemory {
         let mut mem = Self {
             base,
             line_bytes: LINE,
-            cipher: shadow.clone(),
+            // seal_line overwrites every line below; no need to copy the
+            // plaintext in just to clobber it.
+            cipher: vec![0u8; len],
             shadow,
             counters: vec![1; n_lines],
             macs: vec![0; n_lines],
@@ -131,9 +133,11 @@ impl EncryptedMemory {
         let range = self.line_range(idx);
         let addr = self.line_addr(idx);
         let ctr = self.counters[idx];
-        let mut ct = self.shadow[range.clone()].to_vec();
-        self.ks.apply(addr, ctr, &mut ct);
-        self.cipher[range.clone()].copy_from_slice(&ct);
+        // Encrypt in place inside `cipher` (CTR is an XOR, so copying the
+        // plaintext in and applying the keystream needs no scratch line —
+        // this runs on every store the simulated program makes).
+        self.cipher[range.clone()].copy_from_slice(&self.shadow[range.clone()]);
+        self.ks.apply(addr, ctr, &mut self.cipher[range.clone()]);
         self.macs[idx] = self.compute_mac(idx);
         self.mac_valid[idx] = true;
         // Legitimate writeback: the processor refreshes the tree path.
@@ -146,21 +150,21 @@ impl EncryptedMemory {
     /// a single line are both detectable.
     fn compute_mac(&self, idx: usize) -> u64 {
         let range = self.line_range(idx);
-        let mut buf = Vec::with_capacity(12 + self.line_bytes as usize);
-        buf.extend_from_slice(&self.line_addr(idx).to_le_bytes());
-        buf.extend_from_slice(&self.counters[idx].to_le_bytes());
-        buf.extend_from_slice(&self.shadow[range]);
-        self.hmac.compute_truncated(&buf)
+        self.hmac.compute_truncated_parts(&[
+            &self.line_addr(idx).to_le_bytes(),
+            &self.counters[idx].to_le_bytes(),
+            &self.shadow[range],
+        ])
     }
 
     fn refresh_line_validity(&mut self, idx: usize) {
-        // Decrypt current ciphertext into the shadow, then verify.
+        // Decrypt current ciphertext into the shadow (in place — CTR is
+        // an XOR), then verify.
         let range = self.line_range(idx);
         let addr = self.line_addr(idx);
         let ctr = self.counters[idx];
-        let mut pt = self.cipher[range.clone()].to_vec();
-        self.ks.apply(addr, ctr, &mut pt);
-        self.shadow[range.clone()].copy_from_slice(&pt);
+        self.shadow[range.clone()].copy_from_slice(&self.cipher[range.clone()]);
+        self.ks.apply(addr, ctr, &mut self.shadow[range.clone()]);
         let mut valid = self.compute_mac(idx) == self.macs[idx];
         if let Some(tree) = &self.tree {
             valid &= tree.verify_leaf(&self.shadow[range], idx);
@@ -218,6 +222,14 @@ impl EncryptedMemory {
         (self.cipher[self.line_range(idx)].to_vec(), self.macs[idx], self.counters[idx])
     }
 
+    /// Borrows the ciphertext of the line containing `addr` — the
+    /// allocation-free accessor analysis loops should prefer over
+    /// [`EncryptedMemory::ciphertext_line`].
+    pub fn ciphertext_line_ref(&self, addr: u32) -> &[u8] {
+        let idx = self.line_of(addr).expect("outside image");
+        &self.cipher[self.line_range(idx)]
+    }
+
     /// Whether the line containing `addr` currently passes MAC
     /// verification. Addresses outside the image report `true` (nothing
     /// to verify).
@@ -238,10 +250,10 @@ impl EncryptedMemory {
             .collect()
     }
 
-    /// A copy of the ciphertext for the line containing `addr`.
+    /// A copy of the ciphertext for the line containing `addr` (see
+    /// [`EncryptedMemory::ciphertext_line_ref`] for the borrowed form).
     pub fn ciphertext_line(&self, addr: u32) -> Vec<u8> {
-        let idx = self.line_of(addr).expect("outside image");
-        self.cipher[self.line_range(idx)].to_vec()
+        self.ciphertext_line_ref(addr).to_vec()
     }
 
     /// The image's base address.
@@ -333,6 +345,7 @@ mod tests {
         let ct = m.ciphertext_line(0x4000);
         let pt: Vec<u8> = (0..64u8).collect();
         assert_ne!(ct, pt);
+        assert_eq!(m.ciphertext_line_ref(0x4000), &ct[..]);
     }
 
     #[test]

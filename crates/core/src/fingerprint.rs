@@ -1,0 +1,208 @@
+//! [`StableHash`] implementations for the security-policy and
+//! memory-controller configuration types.
+//!
+//! Together with `secsim-mem`'s impls these let a complete run
+//! configuration be fingerprinted for the on-disk experiment result
+//! cache. Structs are destructured exhaustively so a newly added field
+//! is a compile error here rather than a silently stale cache key.
+//!
+//! `secsim-crypto` does not depend on `secsim-stats`, so its config
+//! types ([`CryptoLatency`], [`EncryptionMode`], [`MacScheme`]) cannot
+//! implement the trait themselves (orphan rule); [`CtrlConfig`]'s impl
+//! hashes their public fields and variant indices directly.
+
+use crate::config::SecureConfig;
+use crate::ctrl::CtrlConfig;
+use crate::obfuscate::ObfConfig;
+use crate::policy::{FetchGateVariant, Policy};
+use crate::queue::AuthQueueConfig;
+use crate::tree::TreeConfig;
+use secsim_crypto::{CryptoLatency, EncryptionMode, MacScheme};
+use secsim_stats::{StableHash, StableHasher};
+
+impl StableHash for FetchGateVariant {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        let idx: u64 = match self {
+            FetchGateVariant::LastRequestTag => 0,
+            FetchGateVariant::Drain => 1,
+        };
+        idx.stable_hash(h);
+    }
+}
+
+impl StableHash for Policy {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        let Policy {
+            authenticate,
+            gate_issue,
+            gate_commit,
+            gate_write,
+            gate_fetch,
+            fetch_variant,
+            obfuscate,
+        } = *self;
+        authenticate.stable_hash(h);
+        gate_issue.stable_hash(h);
+        gate_commit.stable_hash(h);
+        gate_write.stable_hash(h);
+        gate_fetch.stable_hash(h);
+        fetch_variant.stable_hash(h);
+        obfuscate.stable_hash(h);
+    }
+}
+
+impl StableHash for AuthQueueConfig {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        let AuthQueueConfig { capacity, mac_latency, initiation_interval } = *self;
+        capacity.stable_hash(h);
+        mac_latency.stable_hash(h);
+        initiation_interval.stable_hash(h);
+    }
+}
+
+impl StableHash for ObfConfig {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        let ObfConfig {
+            region_base,
+            region_lines,
+            line_bytes,
+            remap_cache,
+            seed,
+            swap_writes,
+            chunk_lines,
+        } = *self;
+        region_base.stable_hash(h);
+        region_lines.stable_hash(h);
+        line_bytes.stable_hash(h);
+        remap_cache.stable_hash(h);
+        seed.stable_hash(h);
+        swap_writes.stable_hash(h);
+        chunk_lines.stable_hash(h);
+    }
+}
+
+impl StableHash for TreeConfig {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        let TreeConfig {
+            arity,
+            region_base,
+            covered_lines,
+            line_bytes,
+            node_cache,
+            hash_latency,
+            concurrent,
+            counter_tree,
+        } = *self;
+        arity.stable_hash(h);
+        region_base.stable_hash(h);
+        covered_lines.stable_hash(h);
+        line_bytes.stable_hash(h);
+        node_cache.stable_hash(h);
+        hash_latency.stable_hash(h);
+        concurrent.stable_hash(h);
+        counter_tree.stable_hash(h);
+    }
+}
+
+/// Hashes the foreign crypto config types by public content (see module
+/// docs for why they cannot implement the trait themselves).
+fn hash_crypto(
+    crypto: &CryptoLatency,
+    enc_mode: EncryptionMode,
+    mac_scheme: MacScheme,
+    h: &mut StableHasher,
+) {
+    let CryptoLatency { aes_cycles, sha_block_cycles, gmac_cycles } = *crypto;
+    aes_cycles.stable_hash(h);
+    sha_block_cycles.stable_hash(h);
+    gmac_cycles.stable_hash(h);
+    let enc_idx: u64 = match enc_mode {
+        EncryptionMode::CounterMode => 0,
+        EncryptionMode::Cbc => 1,
+    };
+    enc_idx.stable_hash(h);
+    let mac_idx: u64 = match mac_scheme {
+        MacScheme::HmacSha256 => 0,
+        MacScheme::CbcMacAes => 1,
+        MacScheme::GmacAes => 2,
+    };
+    mac_idx.stable_hash(h);
+}
+
+impl StableHash for CtrlConfig {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        let CtrlConfig {
+            crypto,
+            enc_mode,
+            mac_scheme,
+            authenticate,
+            queue,
+            counter_cache,
+            mac_bytes,
+            ctr_predict,
+            lazy_delay,
+            tree,
+            obf,
+        } = self;
+        hash_crypto(crypto, *enc_mode, *mac_scheme, h);
+        authenticate.stable_hash(h);
+        queue.stable_hash(h);
+        counter_cache.stable_hash(h);
+        mac_bytes.stable_hash(h);
+        ctr_predict.stable_hash(h);
+        lazy_delay.stable_hash(h);
+        tree.stable_hash(h);
+        obf.stable_hash(h);
+    }
+}
+
+impl StableHash for SecureConfig {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        let SecureConfig { policy, ctrl } = self;
+        policy.stable_hash(h);
+        ctrl.stable_hash(h);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policies_fingerprint_distinctly() {
+        let all = [
+            Policy::baseline(),
+            Policy::authen_then_issue(),
+            Policy::authen_then_commit(),
+            Policy::authen_then_write(),
+            Policy::authen_then_fetch(),
+            Policy::commit_plus_fetch(),
+            Policy::commit_plus_obfuscation(),
+        ];
+        for (i, a) in all.iter().enumerate() {
+            for b in &all[i + 1..] {
+                assert_ne!(a.stable_digest(), b.stable_digest(), "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn ctrl_tweaks_change_digest() {
+        let a = SecureConfig::paper(Policy::authen_then_commit());
+        let mut b = a.clone();
+        b.ctrl.queue.mac_latency += 1;
+        assert_ne!(a.stable_digest(), b.stable_digest());
+        let mut c = a.clone();
+        c.ctrl.mac_scheme = MacScheme::GmacAes;
+        assert_ne!(a.stable_digest(), c.stable_digest());
+        let mut d = a.clone();
+        d.ctrl.tree = Some(TreeConfig::paper_reference(0, 1 << 14));
+        assert_ne!(a.stable_digest(), d.stable_digest());
+    }
+
+    #[test]
+    fn digest_is_deterministic() {
+        let a = SecureConfig::paper_with_tree(Policy::commit_plus_fetch(), 0x10_0000, 1 << 22);
+        assert_eq!(a.stable_digest(), a.stable_digest());
+    }
+}

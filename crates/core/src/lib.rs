@@ -52,6 +52,7 @@
 mod config;
 mod ctrl;
 mod encmem;
+mod fingerprint;
 mod merkle;
 mod obfuscate;
 mod policy;

@@ -79,7 +79,9 @@ pub struct AuthQueue {
     /// `arrive_times[i]` = cycle request `i + 1`'s data arrived on chip
     /// (clamped monotone so binary search is valid).
     arrive_times: Vec<u64>,
-    counters: CounterSet,
+    // Plain fields: bumped on every enqueue.
+    requests: u64,
+    queue_wait_cycles: u64,
 }
 
 impl AuthQueue {
@@ -96,7 +98,8 @@ impl AuthQueue {
             done_times: Vec::new(),
             start_times: Vec::new(),
             arrive_times: Vec::new(),
-            counters: CounterSet::new(),
+            requests: 0,
+            queue_wait_cycles: 0,
         }
     }
 
@@ -140,7 +143,7 @@ impl AuthQueue {
         };
         let start = data_ready.max(engine_free).max(slot_free);
         if start > data_ready {
-            self.counters.add("queue_wait_cycles", start - data_ready);
+            self.queue_wait_cycles += start - data_ready;
         }
         let prev_done = if n == 0 { 0 } else { self.done_times[n - 1] };
         // In-order completion broadcast: done times are monotone.
@@ -149,7 +152,7 @@ impl AuthQueue {
         self.done_times.push(done);
         let prev_arrive = self.arrive_times.last().copied().unwrap_or(0);
         self.arrive_times.push(arrived.min(data_ready).max(prev_arrive));
-        self.counters.inc("requests");
+        self.requests += 1;
         AuthId(n as u64 + 1)
     }
 
@@ -210,9 +213,12 @@ impl AuthQueue {
         self.done_times.is_empty()
     }
 
-    /// Queue counters (`requests`, `queue_wait_cycles`).
-    pub fn counters(&self) -> &CounterSet {
-        &self.counters
+    /// Queue counters (`requests`, `queue_wait_cycles`), materialized on
+    /// demand.
+    pub fn counters(&self) -> CounterSet {
+        [("requests", self.requests), ("queue_wait_cycles", self.queue_wait_cycles)]
+            .into_iter()
+            .collect()
     }
 }
 

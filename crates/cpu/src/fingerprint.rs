@@ -1,0 +1,92 @@
+//! [`StableHash`] implementations for the pipeline configuration, and
+//! for [`SimConfig`] — the complete run description the experiment
+//! result cache keys on.
+//!
+//! As in the other crates' impls, exhaustive destructuring turns "added
+//! a field, forgot the hash" into a compile error.
+
+use crate::bpred::BPredConfig;
+use crate::config::{CpuConfig, SimConfig};
+use secsim_stats::{StableHash, StableHasher};
+
+impl StableHash for BPredConfig {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        let BPredConfig { bimodal_entries, btb_entries, ras_depth } = *self;
+        bimodal_entries.stable_hash(h);
+        btb_entries.stable_hash(h);
+        ras_depth.stable_hash(h);
+    }
+}
+
+impl StableHash for CpuConfig {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        let CpuConfig {
+            fetch_width,
+            decode_width,
+            issue_width,
+            commit_width,
+            ruu_size,
+            lsq_size,
+            store_buffer,
+            frontend_depth,
+            mispredict_redirect,
+            int_alu,
+            int_mul,
+            fp_alu,
+            fp_mul,
+            mem_ports,
+            bpred,
+        } = *self;
+        fetch_width.stable_hash(h);
+        decode_width.stable_hash(h);
+        issue_width.stable_hash(h);
+        commit_width.stable_hash(h);
+        ruu_size.stable_hash(h);
+        lsq_size.stable_hash(h);
+        store_buffer.stable_hash(h);
+        frontend_depth.stable_hash(h);
+        mispredict_redirect.stable_hash(h);
+        int_alu.stable_hash(h);
+        int_mul.stable_hash(h);
+        fp_alu.stable_hash(h);
+        fp_mul.stable_hash(h);
+        mem_ports.stable_hash(h);
+        bpred.stable_hash(h);
+    }
+}
+
+impl StableHash for SimConfig {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        let SimConfig { cpu, mem, secure, max_insts } = self;
+        cpu.stable_hash(h);
+        mem.stable_hash(h);
+        secure.stable_hash(h);
+        max_insts.stable_hash(h);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use secsim_core::Policy;
+
+    #[test]
+    fn config_tweaks_change_digest() {
+        let a = SimConfig::paper_256k(Policy::authen_then_issue());
+        let b = SimConfig::paper_256k(Policy::authen_then_commit());
+        assert_ne!(a.stable_digest(), b.stable_digest());
+        let c = a.clone().with_max_insts(1234);
+        assert_ne!(a.stable_digest(), c.stable_digest());
+        let mut d = a.clone();
+        d.cpu = CpuConfig::paper_ruu64();
+        assert_ne!(a.stable_digest(), d.stable_digest());
+        let e = SimConfig::paper_1m(Policy::authen_then_issue());
+        assert_ne!(a.stable_digest(), e.stable_digest());
+    }
+
+    #[test]
+    fn digest_is_deterministic() {
+        let a = SimConfig::paper_256k(Policy::commit_plus_obfuscation());
+        assert_eq!(a.stable_digest(), a.stable_digest());
+    }
+}

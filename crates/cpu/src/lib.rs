@@ -53,6 +53,7 @@
 
 mod bpred;
 mod config;
+mod fingerprint;
 mod pipeline;
 mod report;
 mod sched;

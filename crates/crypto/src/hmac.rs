@@ -63,6 +63,29 @@ impl HmacSha256 {
         truncated_mac(&self.compute(data))
     }
 
+    /// Computes the full tag over the concatenation of `parts` without
+    /// materializing it — the per-line MAC binds (address ‖ counter ‖
+    /// plaintext) and this streams the pieces straight into SHA-256, so
+    /// the simulator's memory hot path makes zero heap allocations per
+    /// MAC.
+    pub fn compute_parts(&self, parts: &[&[u8]]) -> [u8; 32] {
+        let mut inner = Sha256::new();
+        inner.update(&self.ipad);
+        for part in parts {
+            inner.update(part);
+        }
+        let inner_digest = inner.finalize();
+        let mut outer = Sha256::new();
+        outer.update(&self.opad);
+        outer.update(&inner_digest);
+        outer.finalize()
+    }
+
+    /// Truncated-tag variant of [`HmacSha256::compute_parts`].
+    pub fn compute_truncated_parts(&self, parts: &[&[u8]]) -> u64 {
+        truncated_mac(&self.compute_parts(parts))
+    }
+
     /// Verifies `data` against a truncated 64-bit tag.
     pub fn verify_truncated(&self, data: &[u8], tag: u64) -> bool {
         self.compute_truncated(data) == tag
@@ -141,6 +164,24 @@ mod tests {
         let mut tampered = data;
         tampered[0] ^= 0x80;
         assert!(!mac.verify_truncated(&tampered, tag));
+    }
+
+    #[test]
+    fn parts_match_concatenation() {
+        let mac = HmacSha256::new(b"line-key");
+        let addr = 0x8040u32.to_le_bytes();
+        let ctr = 17u64.to_le_bytes();
+        let line = [0x5Au8; 64];
+        let mut concat = Vec::new();
+        concat.extend_from_slice(&addr);
+        concat.extend_from_slice(&ctr);
+        concat.extend_from_slice(&line);
+        assert_eq!(mac.compute_parts(&[&addr, &ctr, &line]), mac.compute(&concat));
+        assert_eq!(
+            mac.compute_truncated_parts(&[&addr, &ctr, &line]),
+            mac.compute_truncated(&concat)
+        );
+        assert_eq!(mac.compute_parts(&[]), mac.compute(b""));
     }
 
     #[test]

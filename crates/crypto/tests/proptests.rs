@@ -1,5 +1,10 @@
 //! Property-based tests for the cryptographic substrate.
 
+// Gated behind the `proptest` cargo feature: the external `proptest`
+// crate is not available in offline builds. See this crate's Cargo.toml
+// for how to enable it.
+#![cfg(feature = "proptest")]
+
 use proptest::prelude::*;
 use secsim_crypto::{Aes, CbcMac, CtrKeystream, HmacSha256, Sha256};
 

@@ -1,6 +1,11 @@
 //! Property-based tests for the ISA: encode/decode round trips and
 //! interpreter invariants.
 
+// Gated behind the `proptest` cargo feature: the external `proptest`
+// crate is not available in offline builds. See this crate's Cargo.toml
+// for how to enable it.
+#![cfg(feature = "proptest")]
+
 use proptest::prelude::*;
 use secsim_isa::{decode, encode, step, ArchState, FReg, FlatMem, Inst, MemIo, Reg};
 

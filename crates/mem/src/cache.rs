@@ -94,6 +94,18 @@ pub struct CacheAccess {
     pub victim: Option<Victim>,
 }
 
+/// Event counts kept as plain fields — `access` runs on every simulated
+/// memory reference, so it must not pay a name lookup per event.
+#[derive(Debug, Clone, Copy, Default)]
+struct CacheCounters {
+    read_hit: u64,
+    write_hit: u64,
+    read_miss: u64,
+    write_miss: u64,
+    evictions: u64,
+    writebacks: u64,
+}
+
 /// A set-associative, write-back, write-allocate cache with LRU
 /// replacement.
 ///
@@ -105,7 +117,7 @@ pub struct Cache {
     cfg: CacheConfig,
     lines: Vec<Line>,
     tick: u64,
-    counters: CounterSet,
+    counters: CacheCounters,
 }
 
 impl Cache {
@@ -117,7 +129,7 @@ impl Cache {
     pub fn new(cfg: CacheConfig) -> Self {
         cfg.validate();
         let n = (cfg.sets() * cfg.assoc) as usize;
-        Self { cfg, lines: vec![INVALID; n], tick: 0, counters: CounterSet::new() }
+        Self { cfg, lines: vec![INVALID; n], tick: 0, counters: CacheCounters::default() }
     }
 
     /// The configuration this cache was built with.
@@ -149,13 +161,21 @@ impl Cache {
             if line.valid && line.tag == tag {
                 line.lru = lru_tick;
                 line.dirty |= write;
-                self.counters.inc(if write { "write_hit" } else { "read_hit" });
+                if write {
+                    self.counters.write_hit += 1;
+                } else {
+                    self.counters.read_hit += 1;
+                }
                 return CacheAccess { hit: true, victim: None };
             }
         }
 
         // Miss: pick invalid way or LRU victim.
-        self.counters.inc(if write { "write_miss" } else { "read_miss" });
+        if write {
+            self.counters.write_miss += 1;
+        } else {
+            self.counters.read_miss += 1;
+        }
         let victim_idx = range
             .clone()
             .min_by_key(|&i| {
@@ -169,9 +189,9 @@ impl Cache {
             .expect("set is non-empty");
         let old = self.lines[victim_idx];
         let victim = if old.valid {
-            self.counters.inc("evictions");
+            self.counters.evictions += 1;
             if old.dirty {
-                self.counters.inc("writebacks");
+                self.counters.writebacks += 1;
             }
             Some(Victim { line_addr: self.reconstruct_addr(victim_idx, old.tag), dirty: old.dirty })
         } else {
@@ -223,19 +243,30 @@ impl Cache {
         (tag * self.cfg.sets() + set) * self.cfg.line_bytes
     }
 
-    /// Hit/miss/eviction counters.
-    pub fn counters(&self) -> &CounterSet {
-        &self.counters
+    /// Hit/miss/eviction counters, materialized as a named set (built on
+    /// demand — the hot path keeps plain fields).
+    pub fn counters(&self) -> CounterSet {
+        let c = &self.counters;
+        [
+            ("read_hit", c.read_hit),
+            ("write_hit", c.write_hit),
+            ("read_miss", c.read_miss),
+            ("write_miss", c.write_miss),
+            ("evictions", c.evictions),
+            ("writebacks", c.writebacks),
+        ]
+        .into_iter()
+        .collect()
     }
 
     /// Total misses (read + write).
     pub fn misses(&self) -> u64 {
-        self.counters.get("read_miss") + self.counters.get("write_miss")
+        self.counters.read_miss + self.counters.write_miss
     }
 
     /// Total accesses.
     pub fn accesses(&self) -> u64 {
-        self.misses() + self.counters.get("read_hit") + self.counters.get("write_hit")
+        self.misses() + self.counters.read_hit + self.counters.write_hit
     }
 }
 

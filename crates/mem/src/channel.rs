@@ -129,6 +129,9 @@ pub struct Transfer {
 /// assert!(t.done > t.granted);
 /// assert_eq!(ch.trace().events().len(), 1);
 /// ```
+/// One slot per [`BusKind`] variant, indexed by `kind_index`.
+const N_KINDS: usize = 9;
+
 #[derive(Debug, Clone)]
 pub struct Channel {
     dram: Dram,
@@ -137,7 +140,10 @@ pub struct Channel {
     /// The shared 8-byte data bus: bursts may not overlap.
     data_free: u64,
     trace: BusTrace,
-    counters: CounterSet,
+    /// Transaction counts per kind — a fixed array, because `transfer`
+    /// runs on every off-chip event and must not do name lookups.
+    xacts: [u64; N_KINDS],
+    busy_cycles: u64,
 }
 
 impl Channel {
@@ -148,7 +154,8 @@ impl Channel {
             addr_free: 0,
             data_free: 0,
             trace: BusTrace::new(),
-            counters: CounterSet::new(),
+            xacts: [0; N_KINDS],
+            busy_cycles: 0,
         }
     }
 
@@ -180,8 +187,8 @@ impl Channel {
         let done = done + shift;
         self.data_free = done;
         self.trace.record(BusEvent { cycle: start, addr, kind });
-        self.counters.inc(kind_counter(kind));
-        self.counters.add("busy_cycles", done - first_ready + addr_phase);
+        self.xacts[kind_index(kind)] += 1;
+        self.busy_cycles += done - first_ready + addr_phase;
         Transfer { granted: start, first_ready, done }
     }
 
@@ -200,14 +207,46 @@ impl Channel {
         self.data_free
     }
 
-    /// Per-kind transaction counters plus `busy_cycles`.
-    pub fn counters(&self) -> &CounterSet {
-        &self.counters
+    /// Per-kind transaction counters plus `busy_cycles`, materialized on
+    /// demand.
+    pub fn counters(&self) -> CounterSet {
+        let mut c: CounterSet = ALL_KINDS
+            .iter()
+            .map(|&kind| (kind_counter(kind), self.xacts[kind_index(kind)]))
+            .collect();
+        c.add("busy_cycles", self.busy_cycles);
+        c
     }
 
     /// DRAM page-status counters.
-    pub fn dram_counters(&self) -> &CounterSet {
+    pub fn dram_counters(&self) -> CounterSet {
         self.dram.counters()
+    }
+}
+
+const ALL_KINDS: [BusKind; N_KINDS] = [
+    BusKind::InstrFetch,
+    BusKind::DataFetch,
+    BusKind::Writeback,
+    BusKind::MacFetch,
+    BusKind::MacWrite,
+    BusKind::CounterFetch,
+    BusKind::RemapFetch,
+    BusKind::RemapWrite,
+    BusKind::TreeFetch,
+];
+
+fn kind_index(kind: BusKind) -> usize {
+    match kind {
+        BusKind::InstrFetch => 0,
+        BusKind::DataFetch => 1,
+        BusKind::Writeback => 2,
+        BusKind::MacFetch => 3,
+        BusKind::MacWrite => 4,
+        BusKind::CounterFetch => 5,
+        BusKind::RemapFetch => 6,
+        BusKind::RemapWrite => 7,
+        BusKind::TreeFetch => 8,
     }
 }
 

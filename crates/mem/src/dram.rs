@@ -66,11 +66,20 @@ pub struct DramResult {
 /// let b = d.access(0x0040, 64, a.done); // same row: page hit, faster
 /// assert!(b.first_ready - b.start < a.first_ready - a.start);
 /// ```
+/// Page-status counts as plain fields — one `access` per bus transfer.
+#[derive(Debug, Clone, Copy, Default)]
+struct DramCounters {
+    page_hit: u64,
+    page_conflict: u64,
+    page_empty: u64,
+    accesses: u64,
+}
+
 #[derive(Debug, Clone)]
 pub struct Dram {
     cfg: DramConfig,
     banks: Vec<Bank>,
-    counters: CounterSet,
+    counters: DramCounters,
 }
 
 impl Dram {
@@ -80,7 +89,7 @@ impl Dram {
         Self {
             cfg,
             banks: vec![Bank { open_row: None, busy_until: 0 }; cfg.banks as usize],
-            counters: CounterSet::new(),
+            counters: DramCounters::default(),
         }
     }
 
@@ -105,15 +114,15 @@ impl Dram {
         // only for its data transfers; activates/precharges do not.
         let (x_bus, occupy_bus) = match bank.open_row {
             Some(open) if open == row => {
-                self.counters.inc("page_hit");
+                self.counters.page_hit += 1;
                 (self.cfg.cas, transfers)
             }
             Some(_) => {
-                self.counters.inc("page_conflict");
+                self.counters.page_conflict += 1;
                 (self.cfg.rp + self.cfg.rcd + self.cfg.cas, self.cfg.rp + self.cfg.rcd + transfers)
             }
             None => {
-                self.counters.inc("page_empty");
+                self.counters.page_empty += 1;
                 (self.cfg.rcd + self.cfg.cas, self.cfg.rcd + transfers)
             }
         };
@@ -123,13 +132,21 @@ impl Dram {
         let done = first_ready + transfers.saturating_sub(1) * self.cfg.core_per_bus;
         bank.open_row = Some(row);
         bank.busy_until = start + occupy_bus * self.cfg.core_per_bus;
-        self.counters.inc("accesses");
+        self.counters.accesses += 1;
         DramResult { start, first_ready, done }
     }
 
-    /// Page-hit/conflict/empty counters.
-    pub fn counters(&self) -> &CounterSet {
-        &self.counters
+    /// Page-hit/conflict/empty counters, materialized on demand.
+    pub fn counters(&self) -> CounterSet {
+        let c = &self.counters;
+        [
+            ("page_hit", c.page_hit),
+            ("page_conflict", c.page_conflict),
+            ("page_empty", c.page_empty),
+            ("accesses", c.accesses),
+        ]
+        .into_iter()
+        .collect()
     }
 }
 

@@ -1,0 +1,82 @@
+//! [`StableHash`] implementations for the memory-hierarchy
+//! configuration types, so a full [`MemSystemConfig`] can participate in
+//! the experiment result cache's platform-stable run fingerprint.
+//!
+//! Every impl destructures its struct exhaustively: adding a field
+//! without extending the hash is a compile error, which is exactly the
+//! failure mode an on-disk cache must not have (a silently-unchanged key
+//! for a changed configuration serves stale results).
+
+use crate::cache::CacheConfig;
+use crate::dram::DramConfig;
+use crate::hierarchy::MemSystemConfig;
+use crate::tlb::TlbConfig;
+use secsim_stats::{StableHash, StableHasher};
+
+impl StableHash for CacheConfig {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        let CacheConfig { size_bytes, line_bytes, assoc, latency } = *self;
+        size_bytes.stable_hash(h);
+        line_bytes.stable_hash(h);
+        assoc.stable_hash(h);
+        latency.stable_hash(h);
+    }
+}
+
+impl StableHash for DramConfig {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        let DramConfig { banks, row_bytes, cas, rcd, rp, core_per_bus, bus_bytes } = *self;
+        banks.stable_hash(h);
+        row_bytes.stable_hash(h);
+        cas.stable_hash(h);
+        rcd.stable_hash(h);
+        rp.stable_hash(h);
+        core_per_bus.stable_hash(h);
+        bus_bytes.stable_hash(h);
+    }
+}
+
+impl StableHash for TlbConfig {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        let TlbConfig { entries, assoc, page_bytes, miss_penalty } = *self;
+        entries.stable_hash(h);
+        assoc.stable_hash(h);
+        page_bytes.stable_hash(h);
+        miss_penalty.stable_hash(h);
+    }
+}
+
+impl StableHash for MemSystemConfig {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        let MemSystemConfig { l1i, l1d, l2, dram, itlb, dtlb, prefetch_next_line } = *self;
+        l1i.stable_hash(h);
+        l1d.stable_hash(h);
+        l2.stable_hash(h);
+        dram.stable_hash(h);
+        itlb.stable_hash(h);
+        dtlb.stable_hash(h);
+        prefetch_next_line.stable_hash(h);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinct_configs_distinct_digests() {
+        let a = MemSystemConfig::paper_256k();
+        let mut b = a;
+        b.l2.size_bytes *= 2;
+        assert_ne!(a.stable_digest(), b.stable_digest());
+        let mut c = a;
+        c.prefetch_next_line = !c.prefetch_next_line;
+        assert_ne!(a.stable_digest(), c.stable_digest());
+    }
+
+    #[test]
+    fn digest_is_deterministic() {
+        let a = MemSystemConfig::paper_1m();
+        assert_eq!(a.stable_digest(), a.stable_digest());
+    }
+}

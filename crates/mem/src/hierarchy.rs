@@ -190,7 +190,10 @@ pub struct MemSystem<F> {
     chan: Channel,
     engine: F,
     line_meta: HashMap<u32, FillResponse>,
-    counters: CounterSet,
+    // Plain fields: bumped on every L2 lookup.
+    l2_hits: u64,
+    l2_misses: u64,
+    l2_prefetches: u64,
 }
 
 impl<F: FillEngine> MemSystem<F> {
@@ -206,7 +209,9 @@ impl<F: FillEngine> MemSystem<F> {
             chan: Channel::new(cfg.dram),
             engine,
             line_meta: HashMap::new(),
-            counters: CounterSet::new(),
+            l2_hits: 0,
+            l2_misses: 0,
+            l2_prefetches: 0,
         }
     }
 
@@ -257,14 +262,14 @@ impl<F: FillEngine> MemSystem<F> {
         let l2_lat = self.l2.config().latency;
         let l2_res = self.l2.access(addr, false);
         if l2_res.hit {
-            self.counters.inc("l2.hit");
+            self.l2_hits += 1;
             let base = t0 + l1_lat + l2_lat;
             return self.result_from_meta(l2_line, base, true, false);
         }
 
         // L2 miss: write back dirty L2 victim, then fill through the
         // engine.
-        self.counters.inc("l2.miss");
+        self.l2_misses += 1;
         let miss_time = t0 + l1_lat + l2_lat;
         if let Some(v) = l2_res.victim {
             self.line_meta.remove(&v.line_addr);
@@ -312,7 +317,7 @@ impl<F: FillEngine> MemSystem<F> {
                     &mut self.chan,
                 );
                 self.line_meta.insert(next, presp);
-                self.counters.inc("l2.prefetch");
+                self.l2_prefetches += 1;
             }
         }
         MemAccessResult {
@@ -368,13 +373,16 @@ impl<F: FillEngine> MemSystem<F> {
         self.cfg.l2.line_addr(addr)
     }
 
-    /// Hierarchy-level counters (`l2.hit` / `l2.miss`).
-    pub fn counters(&self) -> &CounterSet {
-        &self.counters
+    /// Hierarchy-level counters (`l2.hit` / `l2.miss` /
+    /// `l2.prefetch`), materialized on demand.
+    pub fn counters(&self) -> CounterSet {
+        [("l2.hit", self.l2_hits), ("l2.miss", self.l2_misses), ("l2.prefetch", self.l2_prefetches)]
+            .into_iter()
+            .collect()
     }
 
     /// Per-cache counters: `(l1i, l1d, l2)`.
-    pub fn cache_counters(&self) -> (&CounterSet, &CounterSet, &CounterSet) {
+    pub fn cache_counters(&self) -> (CounterSet, CounterSet, CounterSet) {
         (self.l1i.counters(), self.l1d.counters(), self.l2.counters())
     }
 

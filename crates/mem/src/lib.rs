@@ -34,6 +34,7 @@
 mod cache;
 mod channel;
 mod dram;
+mod fingerprint;
 mod hierarchy;
 mod tlb;
 

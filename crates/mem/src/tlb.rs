@@ -57,7 +57,9 @@ pub struct Tlb {
     cfg: TlbConfig,
     entries: Vec<Entry>,
     tick: u64,
-    counters: CounterSet,
+    // Plain fields: `access` runs per simulated memory reference.
+    hits: u64,
+    misses: u64,
 }
 
 impl Tlb {
@@ -74,7 +76,8 @@ impl Tlb {
             cfg,
             entries: vec![Entry { vpn: 0, valid: false, lru: 0 }; cfg.entries as usize],
             tick: 0,
-            counters: CounterSet::new(),
+            hits: 0,
+            misses: 0,
         }
     }
 
@@ -94,11 +97,11 @@ impl Tlb {
             let e = &mut self.entries[i];
             if e.valid && e.vpn == vpn {
                 e.lru = self.tick;
-                self.counters.inc("hit");
+                self.hits += 1;
                 return 0;
             }
         }
-        self.counters.inc("miss");
+        self.misses += 1;
         let victim = ways
             .min_by_key(|&i| {
                 let e = &self.entries[i];
@@ -113,9 +116,9 @@ impl Tlb {
         self.cfg.miss_penalty
     }
 
-    /// Hit/miss counters.
-    pub fn counters(&self) -> &CounterSet {
-        &self.counters
+    /// Hit/miss counters, materialized on demand.
+    pub fn counters(&self) -> CounterSet {
+        [("hit", self.hits), ("miss", self.misses)].into_iter().collect()
     }
 }
 

@@ -2,6 +2,11 @@
 //! against an executable reference model; DRAM/channel timing obeys
 //! basic causality invariants.
 
+// Gated behind the `proptest` cargo feature: the external `proptest`
+// crate is not available in offline builds. See this crate's Cargo.toml
+// for how to enable it.
+#![cfg(feature = "proptest")]
+
 use proptest::prelude::*;
 use secsim_mem::{
     AccessKind, BusKind, Cache, CacheConfig, Channel, Dram, DramConfig, MemSystem,

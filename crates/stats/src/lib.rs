@@ -9,6 +9,10 @@
 //! * [`Histogram`] — fixed-bucket latency histograms.
 //! * [`Table`] — a tiny table builder that renders Markdown and CSV; every
 //!   experiment binary in `secsim-bench` reports through it.
+//! * [`Json`] — a minimal JSON value with parser and deterministic
+//!   renderer, backing the on-disk experiment result cache.
+//! * [`StableHash`] / [`StableHasher`] — platform-stable FNV-1a config
+//!   fingerprinting for cache keys.
 //!
 //! # Examples
 //!
@@ -27,10 +31,14 @@
 
 mod counters;
 mod histogram;
+mod json;
+mod stable_hash;
 mod summary;
 mod table;
 
 pub use counters::CounterSet;
 pub use histogram::Histogram;
+pub use json::{Json, JsonError};
+pub use stable_hash::{StableHash, StableHasher};
 pub use summary::{geomean, Summary};
 pub use table::{fmt3, Table};

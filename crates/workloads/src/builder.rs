@@ -1,15 +1,18 @@
 //! Workload assembly: program + initialized memory image.
 
 use crate::kernels::{emit, KernelKind};
+use crate::rng::SplitMix64;
 use crate::spec::{Phase, Profile};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use secsim_isa::{Asm, FReg, FlatMem, MemIo, Reg};
 
 /// Code is placed at 4 KB; data starts at 1 MB so code and data lines
 /// never collide.
 const CODE_BASE: u32 = 0x1000;
-const DATA_BASE: u32 = 0x10_0000;
+
+/// First data address of every built workload. Exported so experiment
+/// harnesses can derive a run's full configuration (protected region
+/// base) without paying for image construction.
+pub const DATA_BASE: u32 = 0x10_0000;
 
 /// A runnable benchmark: entry point plus an initialized flat memory
 /// image.
@@ -41,7 +44,7 @@ impl Workload {
     /// Builds the program and image for `profile`, deterministically in
     /// `seed`.
     pub fn from_profile(profile: &Profile, seed: u64) -> Self {
-        let mut rng = StdRng::seed_from_u64(seed ^ 0x5ec5_1313);
+        let mut rng = SplitMix64::new(seed ^ 0x5ec5_1313);
         let footprint = profile.footprint;
         assert!(footprint.is_power_of_two(), "footprint must be a power of two");
         let mut mem = FlatMem::new(0, (DATA_BASE + footprint) as usize);
@@ -50,7 +53,7 @@ impl Workload {
         // Fill the region with pseudo-random words (drives branchy
         // kernels and makes stream sums nontrivial).
         for addr in (DATA_BASE..DATA_BASE + footprint).step_by(4) {
-            mem.write_u32(addr, rng.gen());
+            mem.write_u32(addr, rng.next_u32());
         }
         // Pointer-chase list: a Sattolo single cycle over nodes spaced
         // `node_stride` apart, overwriting the region's words at node
@@ -62,7 +65,7 @@ impl Workload {
             let mut order: Vec<u32> = (0..n).collect();
             // Sattolo's algorithm: a uniformly random single n-cycle.
             for i in (1..n as usize).rev() {
-                let j = rng.gen_range(0..i);
+                let j = rng.index(i);
                 order.swap(i, j);
             }
             for k in 0..n as usize {

@@ -33,9 +33,11 @@
 mod builder;
 mod kernels;
 mod micro;
+mod rng;
 mod spec;
 
-pub use builder::Workload;
+pub use builder::{Workload, DATA_BASE};
+pub use rng::SplitMix64;
 pub use kernels::KernelKind;
 pub use micro::Micro;
 pub use spec::{benchmarks, build, fp_benchmarks, int_benchmarks, profile, BenchClass, Phase, Profile};

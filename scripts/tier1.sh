@@ -1,0 +1,26 @@
+#!/bin/sh
+# Tier-1 gate: offline build + test + a cached-vs-fresh sweep smoke run.
+# Must pass on a machine with no network access and no registry mirror.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== build (release, offline) =="
+cargo build --release --workspace
+
+echo "== test (workspace, offline) =="
+cargo test --workspace -q
+
+echo "== sweep smoke: fresh run, then cache hit =="
+SMOKE_RESULTS="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_RESULTS"' EXIT
+export SECSIM_RESULTS="$SMOKE_RESULTS"
+export SECSIM_INSTS=20000
+./target/release/fig11 > "$SMOKE_RESULTS/fresh.txt"
+[ "$(ls "$SMOKE_RESULTS/cache" | wc -l)" -gt 0 ] || {
+    echo "FAIL: fresh sweep wrote no cache entries"; exit 1; }
+./target/release/fig11 > "$SMOKE_RESULTS/cached.txt"
+cmp "$SMOKE_RESULTS/fresh.txt" "$SMOKE_RESULTS/cached.txt" || {
+    echo "FAIL: cached sweep output differs from fresh run"; exit 1; }
+echo "cached output byte-identical to fresh run"
+
+echo "== tier-1 OK =="
