@@ -1,0 +1,76 @@
+//! Golden snapshot of the empirical attack matrix.
+//!
+//! `empirical_matrix()` runs every exploit against every policy on the
+//! real simulator; the existing unit tests check it against the paper's
+//! Table 2 *claims* (a weaker, column-level property). This snapshot
+//! pins every individual cell, so any change to the pipeline, the
+//! gating logic, the crypto model or the exploit programs that flips a
+//! single outcome fails loudly here and forces a deliberate snapshot
+//! update.
+
+use secsim_attack::{empirical_matrix, matrix_table, Exploit};
+
+/// `(policy name, outcomes in Exploit::ALL order)`; `true` = the
+/// exploit leaked the secret.
+///
+/// Columns: pointer-conversion, binary-search, disclosing-kernel,
+/// disclosing-kernel-io, shift-window, brute-force-page.
+const GOLDEN: [(&str, [bool; 6]); 7] = [
+    ("baseline-decrypt-only", [true, true, true, true, true, true]),
+    ("authen-then-issue", [false, false, false, false, false, false]),
+    ("authen-then-write", [true, true, true, false, true, true]),
+    ("authen-then-commit", [true, true, true, false, true, true]),
+    ("authen-then-fetch", [false, false, false, true, false, false]),
+    ("authen-then-commit+fetch", [false, false, false, false, false, false]),
+    ("authen-then-commit+obfuscation", [false, false, false, false, false, false]),
+];
+
+#[test]
+fn matrix_matches_golden_snapshot() {
+    let rows = empirical_matrix();
+    assert_eq!(rows.len(), GOLDEN.len(), "policy set changed — update GOLDEN");
+    for (row, (name, outcomes)) in rows.iter().zip(GOLDEN) {
+        assert_eq!(row.policy.to_string(), name, "policy order changed — update GOLDEN");
+        for ((exploit, leaked), want) in row.outcomes.iter().zip(outcomes) {
+            assert_eq!(
+                *leaked,
+                want,
+                "{name} / {}: got {}, snapshot says {}",
+                exploit.name(),
+                if *leaked { "LEAK" } else { "safe" },
+                if want { "LEAK" } else { "safe" },
+            );
+        }
+    }
+}
+
+#[test]
+fn golden_snapshot_is_in_exploit_order() {
+    // The snapshot's column order is Exploit::ALL — if the enum order
+    // changes the table above silently means something else, so pin it.
+    let names: Vec<&str> = Exploit::ALL.iter().map(|e| e.name()).collect();
+    assert_eq!(
+        names,
+        [
+            "pointer-conversion",
+            "binary-search",
+            "disclosing-kernel",
+            "disclosing-kernel-io",
+            "shift-window",
+            "brute-force-page",
+        ]
+    );
+}
+
+#[test]
+fn rendered_table_matches_snapshot_cells() {
+    // The markdown emitted to results/table2_empirical.md must carry
+    // the same verdicts (guards the renderer, not just the data).
+    let rows = empirical_matrix();
+    let table = matrix_table(&rows);
+    for (r, (_, outcomes)) in table.rows().iter().zip(GOLDEN) {
+        for (cell, want) in r[1..=6].iter().zip(outcomes) {
+            assert_eq!(cell, if want { "LEAK" } else { "safe" });
+        }
+    }
+}

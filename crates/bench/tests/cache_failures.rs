@@ -1,0 +1,136 @@
+//! Failure-path tests for the persistent sweep cache: a corrupt,
+//! stale-versioned, or torn cache entry must silently fall back to a
+//! fresh simulation and leave a valid, byte-identical entry behind —
+//! never a panic, never a poisoned result.
+
+use secsim_bench::{RunOpts, Sweep, SweepPoint};
+use secsim_core::Policy;
+use std::fs;
+use std::path::PathBuf;
+
+fn opts() -> RunOpts {
+    RunOpts { max_insts: 3_000, ..RunOpts::default() }
+}
+
+fn point() -> SweepPoint {
+    SweepPoint::new("gzip", Policy::authen_then_commit(), &opts()).expect("known bench")
+}
+
+fn temp_cache(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir()
+        .join(format!("secsim-cache-fail-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&d);
+    fs::create_dir_all(&d).expect("temp dir");
+    d
+}
+
+fn entry_path(dir: &PathBuf, p: &SweepPoint) -> PathBuf {
+    dir.join(format!("{}-{:016x}.json", p.bench, p.key()))
+}
+
+/// Runs the point through a fresh `Sweep` (fresh in-process memo) over
+/// `dir` and returns the report's serialized form for comparison.
+fn run_once(dir: &PathBuf) -> String {
+    let sweep = Sweep::new().with_jobs(1).with_cache_dir(dir.clone());
+    let r = sweep
+        .run(std::slice::from_ref(&point()))
+        .pop()
+        .flatten()
+        .expect("known bench simulates");
+    r.to_json().expect("untraced report serializes").render()
+}
+
+#[test]
+fn truncated_entry_falls_back_and_rewrites() {
+    let dir = temp_cache("truncated");
+    let baseline = run_once(&dir);
+    let path = entry_path(&dir, &point());
+    assert!(path.is_file(), "first run must write the entry");
+
+    // Truncate mid-JSON, as a crashed writer without the atomic-rename
+    // discipline would have left it.
+    let full = fs::read_to_string(&path).unwrap();
+    fs::write(&path, &full[..full.len() / 2]).unwrap();
+
+    let again = run_once(&dir);
+    assert_eq!(again, baseline, "fallback simulation must agree with the original");
+    let healed = fs::read_to_string(&path).unwrap();
+    assert_eq!(healed, full, "corrupt entry must be rewritten valid and byte-identical");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn version_mismatch_is_ignored_and_replaced() {
+    let dir = temp_cache("version");
+    let baseline = run_once(&dir);
+    let path = entry_path(&dir, &point());
+    let full = fs::read_to_string(&path).unwrap();
+
+    // Forge a future CACHE_VERSION with otherwise-valid JSON: a format
+    // bump must invalidate old entries even when they parse.
+    let forged = full.replacen("\"version\":1", "\"version\":9999", 1);
+    assert_ne!(forged, full, "version field not found — cache format changed?");
+    fs::write(&path, &forged).unwrap();
+
+    let again = run_once(&dir);
+    assert_eq!(again, baseline);
+    assert_eq!(fs::read_to_string(&path).unwrap(), full, "stale entry must be replaced");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn key_mismatch_is_ignored() {
+    let dir = temp_cache("key");
+    let baseline = run_once(&dir);
+    let path = entry_path(&dir, &point());
+    let full = fs::read_to_string(&path).unwrap();
+
+    // An entry whose embedded key disagrees with its filename (e.g. a
+    // hand-copied file) must not be trusted.
+    let forged = full.replacen("\"key\":\"", "\"key\":\"0", 1);
+    fs::write(&path, &forged).unwrap();
+
+    let again = run_once(&dir);
+    assert_eq!(again, baseline);
+    assert_eq!(fs::read_to_string(&path).unwrap(), full);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn leftover_tmp_files_do_not_confuse_the_cache() {
+    let dir = temp_cache("tmp");
+    // Plant torn tmp files (a mid-write crash) before any run.
+    let p = point();
+    fs::write(dir.join(format!(".tmp-{:016x}-999-0", p.key())), "{\"version\"").unwrap();
+    fs::write(dir.join(".tmp-garbage"), "not json at all").unwrap();
+
+    let baseline = run_once(&dir);
+    let path = entry_path(&dir, &p);
+    assert!(path.is_file());
+
+    // A second fresh sweep must load the real entry (cache hit path)
+    // and still agree.
+    let again = run_once(&dir);
+    assert_eq!(again, baseline);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cache_round_trip_is_byte_stable_across_processes_shape() {
+    // Same point, two independent Sweep instances (separate memos):
+    // the second must *load* rather than re-simulate, and the loaded
+    // report must serialize identically — the property the persistent
+    // result cache exists for.
+    let dir = temp_cache("stable");
+    let first = run_once(&dir);
+    let path = entry_path(&dir, &point());
+    let mtime = fs::metadata(&path).unwrap().modified().unwrap();
+    let second = run_once(&dir);
+    assert_eq!(first, second);
+    assert_eq!(
+        fs::metadata(&path).unwrap().modified().unwrap(),
+        mtime,
+        "cache hit must not rewrite the entry"
+    );
+    let _ = fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,221 @@
+//! Lockstep differential comparison against the ISA golden model.
+//!
+//! The pipeline is execution-driven — it *already* calls the golden
+//! model once per instruction to obtain values and branch outcomes — so
+//! the comparison here is an independent re-execution: a second
+//! [`ArchState`] over a second copy of the image replays one
+//! [`step`] per retired instruction and must reproduce every
+//! architectural effect the pipeline observed, and the same final
+//! state. This catches retirement-stream corruption (skipped, repeated
+//! or reordered instructions), state leaking between the timing and
+//! functional layers, and image aliasing bugs.
+
+use secsim_cpu::{simulate_observed, RetireRecord, SimConfig, SimReport};
+use secsim_isa::{step, ArchState, FReg, Reg, RegRef};
+use secsim_stats::{Json, StableHash, StableHasher};
+use secsim_workloads::Workload;
+use std::path::{Path, PathBuf};
+
+/// A confirmed pipeline/golden-model disagreement, self-contained
+/// enough to reproduce: the program is regenerated from `(bench,
+/// seed)`, the configuration is pinned by fingerprint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Divergence {
+    /// Benchmark name (`"fuzz"` for generated programs).
+    pub bench: String,
+    /// Workload/program seed.
+    pub seed: u64,
+    /// Stable fingerprint of the full [`SimConfig`].
+    pub config_fingerprint: u64,
+    /// Zero-based retirement index of the first disagreement
+    /// (`u64::MAX` for final-state-only divergences).
+    pub retire_index: u64,
+    /// Which compared field disagreed (`"pc"`, `"dst"`, `"final.state"`, …).
+    pub field: String,
+    /// Golden-model value.
+    pub expected: String,
+    /// Pipeline-observed value.
+    pub actual: String,
+    /// Smallest `max_insts` that still reproduces the divergence.
+    pub min_insts: u64,
+}
+
+/// One differential run: the pipeline report, its retirement stream,
+/// and the first divergence (if any).
+#[derive(Debug)]
+pub struct RunOutcome {
+    /// The pipeline's timing report.
+    pub report: SimReport,
+    /// One record per committed instruction, program order.
+    pub records: Vec<RetireRecord>,
+    /// First pipeline/golden disagreement, minimized.
+    pub divergence: Option<Divergence>,
+}
+
+/// Stable fingerprint of a full simulator configuration.
+pub fn config_fingerprint(cfg: &SimConfig) -> u64 {
+    let mut h = StableHasher::new();
+    cfg.stable_hash(&mut h);
+    h.finish()
+}
+
+/// Bit-exact architectural-state equality: FP registers compare by raw
+/// bits, so identical NaNs on both sides are equal (the derived `==`
+/// would report a fuzz program that computes `0.0 / 0.0` as a
+/// divergence even when both states hold the very same NaN).
+fn states_bit_equal(a: &ArchState, b: &ArchState) -> bool {
+    a.pc == b.pc
+        && a.halted == b.halted
+        && a.icount == b.icount
+        && Reg::ALL.iter().all(|&r| a.reg(r) == b.reg(r))
+        && FReg::ALL.iter().all(|&f| a.freg(f).to_bits() == b.freg(f).to_bits())
+}
+
+/// Replays the golden model against `records` and returns the first
+/// disagreement as `(retire_index, field, expected, actual)`.
+///
+/// `decode_fault` is the pipeline's claim that the instruction *after*
+/// the last record faulted; `pipe_final` is the pipeline's final
+/// architectural state and image (skip to compare the stream only).
+pub fn golden_compare(
+    w: &Workload,
+    records: &[RetireRecord],
+    decode_fault: bool,
+    pipe_final: Option<(&ArchState, &secsim_isa::FlatMem)>,
+) -> Option<(u64, &'static str, String, String)> {
+    let mut mem = w.mem.clone();
+    let mut st = ArchState::new(w.entry);
+    for r in records {
+        let i = r.seq;
+        let info = match step(&mut st, &mut mem) {
+            Ok(info) => info,
+            Err(f) => {
+                return Some((i, "golden-fault", "a decodable instruction".into(), format!("{f:?}")))
+            }
+        };
+        if info.pc != r.pc {
+            return Some((i, "pc", format!("{:#x}", info.pc), format!("{:#x}", r.pc)));
+        }
+        if info.inst != r.inst {
+            return Some((i, "inst", format!("{:?}", info.inst), format!("{:?}", r.inst)));
+        }
+        if info.next_pc != r.next_pc {
+            return Some((i, "next_pc", format!("{:#x}", info.next_pc), format!("{:#x}", r.next_pc)));
+        }
+        if info.mem != r.mem {
+            return Some((i, "mem", format!("{:?}", info.mem), format!("{:?}", r.mem)));
+        }
+        if info.out != r.out {
+            return Some((i, "out", format!("{:?}", info.out), format!("{:?}", r.out)));
+        }
+        if info.control != r.control {
+            return Some((i, "control", format!("{:?}", info.control), format!("{:?}", r.control)));
+        }
+        if let Some((dst, bits)) = r.dst {
+            let golden = match dst {
+                RegRef::Int(r) => u64::from(st.reg(r)),
+                RegRef::Fp(f) => st.freg(f).to_bits(),
+            };
+            if golden != bits {
+                return Some((
+                    i,
+                    "dst",
+                    format!("{dst:?}={golden:#x}"),
+                    format!("{dst:?}={bits:#x}"),
+                ));
+            }
+        }
+    }
+    let n = records.len() as u64;
+    if decode_fault && step(&mut st, &mut mem).is_ok() {
+        return Some((n, "decode-fault", "a fault".into(), "a decodable instruction".into()));
+    }
+    if let Some((fst, fmem)) = pipe_final {
+        if !decode_fault && !states_bit_equal(fst, &st) {
+            return Some((u64::MAX, "final.state", format!("{st:?}"), format!("{fst:?}")));
+        }
+        if fmem.as_bytes() != mem.as_bytes() {
+            let at = fmem
+                .as_bytes()
+                .iter()
+                .zip(mem.as_bytes())
+                .position(|(a, b)| a != b)
+                .unwrap_or(0);
+            return Some((
+                u64::MAX,
+                "final.mem",
+                format!("byte {at:#x} = {:#04x}", mem.as_bytes()[at]),
+                format!("byte {at:#x} = {:#04x}", fmem.as_bytes()[at]),
+            ));
+        }
+    }
+    None
+}
+
+fn run_once(w: &Workload, cfg: &SimConfig) -> (SimReport, Vec<RetireRecord>, ArchState, secsim_isa::FlatMem) {
+    let mut mem = w.mem.clone();
+    let mut records = Vec::new();
+    let (report, st) = simulate_observed(&mut mem, w.entry, cfg, false, |r: &RetireRecord| {
+        records.push(*r)
+    });
+    (report, records, st, mem)
+}
+
+/// Runs `w` under `cfg` on the pipeline, replays the golden model
+/// against the retirement stream, and minimizes any divergence by
+/// re-running with `max_insts` clamped to the first divergent retire.
+pub fn diff_run(bench: &str, seed: u64, w: &Workload, cfg: &SimConfig) -> RunOutcome {
+    let (report, records, st, mem) = run_once(w, cfg);
+    let raw = golden_compare(w, &records, report.decode_fault, Some((&st, &mem)));
+    let divergence = raw.map(|(idx, field, expected, actual)| {
+        // Minimize: a stream divergence at retire k still reproduces
+        // with max_insts = k + 1; final-state divergences need the
+        // whole run.
+        let mut min_insts = report.insts;
+        if idx != u64::MAX {
+            let mut short = *cfg;
+            short.max_insts = idx + 1;
+            let (srep, srecs, sst, smem) = run_once(w, &short);
+            if golden_compare(w, &srecs, srep.decode_fault, Some((&sst, &smem))).is_some() {
+                min_insts = idx + 1;
+            }
+        }
+        Divergence {
+            bench: bench.to_string(),
+            seed,
+            config_fingerprint: config_fingerprint(cfg),
+            retire_index: idx,
+            field: field.to_string(),
+            expected,
+            actual,
+            min_insts,
+        }
+    });
+    RunOutcome { report, records, divergence }
+}
+
+/// Writes a self-contained JSON repro of `d` (with the program words)
+/// into `dir`, returning the file path.
+pub fn dump_divergence(dir: &Path, d: &Divergence, words: &[u32]) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!(
+        "{}-seed{}-cfg{:016x}.json",
+        d.bench, d.seed, d.config_fingerprint
+    ));
+    let json = Json::obj(vec![
+        ("bench", Json::Str(d.bench.clone())),
+        ("seed", Json::UInt(d.seed)),
+        ("config_fingerprint", Json::Str(format!("{:016x}", d.config_fingerprint))),
+        ("retire_index", Json::UInt(d.retire_index)),
+        ("field", Json::Str(d.field.clone())),
+        ("expected", Json::Str(d.expected.clone())),
+        ("actual", Json::Str(d.actual.clone())),
+        ("min_insts", Json::UInt(d.min_insts)),
+        (
+            "program",
+            Json::Array(words.iter().map(|w| Json::Str(format!("{w:08x}"))).collect()),
+        ),
+    ]);
+    std::fs::write(&path, json.render())?;
+    Ok(path)
+}

@@ -1,0 +1,32 @@
+//! `secsim-check`: differential co-simulation with security-invariant
+//! oracles.
+//!
+//! The cycle-level pipeline ([`secsim_cpu::simulate_observed`]) and the
+//! ISA golden model ([`secsim_isa::step`]) execute the same program from
+//! the same image. The pipeline emits one [`RetireRecord`] per
+//! committed instruction; [`diff`] replays the golden model in lockstep
+//! against that stream, comparing PCs, decoded instructions, memory
+//! effects, destination values, I/O and control outcomes, and the final
+//! architectural state and memory image. Any mismatch is a
+//! [`Divergence`], minimized and dumped as a self-contained JSON repro.
+//!
+//! [`oracle`] audits the same record stream against the *definition* of
+//! each authentication control point — authen-then-issue, -commit,
+//! -write and -fetch — independently of the inline asserts compiled
+//! into the pipeline (those abort; these report, and can be exercised
+//! on doctored records to prove they fire).
+//!
+//! [`grid`] sweeps deterministic fuzz programs
+//! ([`secsim_workloads::generate_fuzz`]) across the full policy ×
+//! MAC-latency grid.
+//!
+//! [`RetireRecord`]: secsim_cpu::RetireRecord
+//! [`Divergence`]: diff::Divergence
+
+pub mod diff;
+pub mod grid;
+pub mod oracle;
+
+pub use diff::{diff_run, dump_divergence, golden_compare, Divergence, RunOutcome};
+pub use grid::{check_config, policy_grid, run_batch, BatchSummary, GridPoint, PointStats};
+pub use oracle::{check_records, GateViolation};

@@ -1,0 +1,122 @@
+//! `secsim-check`: run the differential co-simulation batch.
+//!
+//! ```text
+//! secsim-check [--programs N] [--seed S] [--smoke] [--jobs N] [--no-cache]
+//! ```
+//!
+//! Runs `N` deterministic fuzz programs (default 500, `--smoke` = 40)
+//! per policy against the golden model at every policy × MAC-latency
+//! grid point, audits the four control-point oracles, sweeps the same
+//! grid through the cached [`secsim_bench::Sweep`] executor for an IPC
+//! table, and exits nonzero on any divergence or violation. Divergence
+//! repros land in `results/divergence/`.
+
+use secsim_bench::{emit, results_dir, Sweep, SweepPoint};
+use secsim_check::{check_config, dump_divergence, policy_grid, run_batch};
+use secsim_stats::Table;
+use secsim_workloads::generate_fuzz;
+
+fn main() {
+    let (sweep, rest) = Sweep::from_args();
+    let mut programs_per_policy: usize = 500;
+    let mut base_seed: u64 = 2006;
+    let mut args = rest.into_iter();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--programs" => {
+                let n = args.next().and_then(|s| s.parse().ok()).filter(|&n| n >= 1);
+                let Some(n) = n else {
+                    eprintln!("error: --programs needs a positive integer");
+                    std::process::exit(2);
+                };
+                programs_per_policy = n;
+            }
+            "--seed" => {
+                let Some(s) = args.next().and_then(|s| s.parse().ok()) else {
+                    eprintln!("error: --seed needs an integer");
+                    std::process::exit(2);
+                };
+                base_seed = s;
+            }
+            "--smoke" => programs_per_policy = 40,
+            other => {
+                eprintln!("error: unknown argument {other:?}");
+                eprintln!(
+                    "usage: secsim-check [--programs N] [--seed S] [--smoke] [--jobs N] [--no-cache]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let grid = policy_grid();
+    // Each policy appears at two MAC latencies; split its program
+    // budget between them so `--programs` counts programs *per policy*.
+    let per_point = programs_per_policy.div_ceil(2);
+    eprintln!(
+        "secsim-check: {} programs/policy ({} grid points x {per_point}), base seed {base_seed}, {} jobs",
+        programs_per_policy,
+        grid.len(),
+        sweep.jobs(),
+    );
+    let summary = run_batch(&grid, per_point, base_seed, sweep.jobs());
+
+    let mut table = Table::new(["point", "programs", "insts", "cycles", "divergences", "violations"]);
+    for p in &summary.points {
+        table.push_row([
+            p.label.clone(),
+            p.programs.to_string(),
+            p.insts.to_string(),
+            p.cycles.to_string(),
+            p.divergences.to_string(),
+            p.violations.to_string(),
+        ]);
+    }
+    emit("check_summary", "Differential co-simulation batch", &table);
+
+    for (label, v) in &summary.violations {
+        eprintln!("VIOLATION [{label}] {v}");
+    }
+    let dump_dir = results_dir().join("divergence");
+    for d in &summary.divergences {
+        let words = generate_fuzz(d.seed).words;
+        match dump_divergence(&dump_dir, d, &words) {
+            Ok(path) => eprintln!("DIVERGENCE {} @{} -> {}", d.field, d.retire_index, path.display()),
+            Err(e) => eprintln!("DIVERGENCE {} @{} (dump failed: {e})", d.field, d.retire_index),
+        }
+    }
+
+    // IPC sanity sweep over the same grid through the cached executor:
+    // exercises the `"fuzz"` bench end-to-end in the standard harness.
+    let seeds: Vec<u64> = (0..3).map(|k| base_seed ^ (k as u64).wrapping_mul(secsim_check::grid::SEED_STRIDE)).collect();
+    let points: Vec<SweepPoint> = grid
+        .iter()
+        .flat_map(|g| {
+            let cfg = check_config(g.policy, g.mac_latency, 200_000);
+            seeds.iter().map(move |&s| SweepPoint::from_config("fuzz", s, cfg))
+        })
+        .collect();
+    let reports = sweep.run(&points);
+    let mut ipc = Table::new(["point", "mean IPC"]);
+    for (gi, g) in grid.iter().enumerate() {
+        let rs: Vec<f64> = (0..seeds.len())
+            .filter_map(|si| reports[gi * seeds.len() + si].as_ref().map(|r| r.ipc()))
+            .collect();
+        let mean = rs.iter().sum::<f64>() / rs.len().max(1) as f64;
+        ipc.push_row([g.label.clone(), format!("{mean:.3}")]);
+    }
+    emit("check_fuzz_ipc", "Fuzz-program IPC across the check grid", &ipc);
+
+    let failed = !summary.divergences.is_empty() || !summary.violations.is_empty();
+    eprintln!(
+        "secsim-check: {} programs, {} insts, {} divergences, {} violations -> {}",
+        summary.programs,
+        summary.insts,
+        summary.divergences.len(),
+        summary.points.iter().map(|p| p.violations).sum::<u64>(),
+        if failed { "FAIL" } else { "ok" },
+    );
+    if failed {
+        std::process::exit(1);
+    }
+}

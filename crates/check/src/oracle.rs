@@ -1,0 +1,116 @@
+//! Security-invariant oracles over the retirement stream.
+//!
+//! Each of the paper's four authentication control points has a precise
+//! definition in terms of event cycles, and every [`RetireRecord`]
+//! carries exactly the cycles needed to audit it:
+//!
+//! * **authen-then-issue** — nothing issues from an unverified I-line,
+//!   and no loaded value becomes usable before its D-line verifies;
+//! * **authen-then-commit** — nothing commits before its I-line and any
+//!   touched D-line verify;
+//! * **authen-then-write** — no store leaves the store buffer for the
+//!   (DRAM-visible) cache before its *LastRequest* watermark verifies;
+//! * **authen-then-fetch** — no demand bus transfer is granted below
+//!   the authentication watermark passed with the request.
+//!
+//! These checks duplicate the inline asserts compiled into the pipeline
+//! — deliberately. The inline asserts abort at the violation site; these
+//! run over plain data, so tests can doctor a record and prove each
+//! oracle actually fires (a dead oracle is worse than none).
+
+use secsim_core::Policy;
+use secsim_cpu::RetireRecord;
+
+/// One violated gate at one retired instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GateViolation {
+    /// Retirement index of the offending instruction.
+    pub seq: u64,
+    /// Its fetch PC.
+    pub pc: u32,
+    /// Which control point was violated (`"issue"`, `"commit"`,
+    /// `"write"`, `"fetch"`).
+    pub gate: &'static str,
+    /// Human-readable cycle evidence.
+    pub detail: String,
+}
+
+impl std::fmt::Display for GateViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "#{} pc={:#x} {} gate: {}", self.seq, self.pc, self.gate, self.detail)
+    }
+}
+
+/// Audits `records` against the gates `policy` promises, returning
+/// every violation (empty = all invariants held).
+pub fn check_records(policy: &Policy, records: &[RetireRecord]) -> Vec<GateViolation> {
+    let mut out = Vec::new();
+    for r in records {
+        if policy.gate_issue {
+            if r.issue < r.iline_auth {
+                out.push(GateViolation {
+                    seq: r.seq,
+                    pc: r.pc,
+                    gate: "issue",
+                    detail: format!("issued at {} before I-line verified at {}", r.issue, r.iline_auth),
+                });
+            }
+            if r.complete < r.data_auth {
+                out.push(GateViolation {
+                    seq: r.seq,
+                    pc: r.pc,
+                    gate: "issue",
+                    detail: format!(
+                        "value usable at {} before data verified at {}",
+                        r.complete, r.data_auth
+                    ),
+                });
+            }
+        }
+        if policy.gate_commit && r.commit < r.iline_auth.max(r.data_auth) {
+            out.push(GateViolation {
+                seq: r.seq,
+                pc: r.pc,
+                gate: "commit",
+                detail: format!(
+                    "committed at {} before verification at {}",
+                    r.commit,
+                    r.iline_auth.max(r.data_auth)
+                ),
+            });
+        }
+        if policy.gate_write
+            && r.mem.is_some_and(|m| m.is_store)
+            && r.store_release < r.store_tag_done
+        {
+            out.push(GateViolation {
+                seq: r.seq,
+                pc: r.pc,
+                gate: "write",
+                detail: format!(
+                    "store released at {} before watermark {}",
+                    r.store_release, r.store_tag_done
+                ),
+            });
+        }
+        // The bus floor is 0 when fetch gating is off, so this check is
+        // unconditional: a granted transfer must respect the floor it
+        // was requested with.
+        for (what, floor, granted) in [
+            ("D-access", r.bus_floor, r.bus_granted),
+            ("I-fetch", r.ifetch_floor, r.ifetch_granted),
+        ] {
+            if granted != 0 && granted < floor {
+                out.push(GateViolation {
+                    seq: r.seq,
+                    pc: r.pc,
+                    gate: "fetch",
+                    detail: format!(
+                        "{what} bus granted at {granted} below auth watermark {floor}"
+                    ),
+                });
+            }
+        }
+    }
+    out
+}

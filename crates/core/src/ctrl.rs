@@ -248,6 +248,20 @@ impl FillEngine for SecureMemCtrl {
         // is remapped but the within-line offset survives.
         let bus_addr = ext_addr | (req.demand_addr & (req.bytes - 1) & !7);
         let t = chan.transfer(bus_addr, req.bytes + extra, kind, addr_ready, req.bus_not_before);
+        // Security-invariant oracle (active in debug/check builds,
+        // compiled out otherwise): the address phase of an external
+        // fetch must never be granted below the authen-then-fetch
+        // watermark the pipeline passed down.
+        if cfg!(any(debug_assertions, feature = "oracles")) {
+            assert!(
+                t.granted >= req.bus_not_before,
+                "fetch-gate oracle: bus granted at cycle {} below auth watermark {} \
+                 (line {:#010x})",
+                t.granted,
+                req.bus_not_before,
+                req.line_addr,
+            );
+        }
 
         // 4. Decryption readiness (critical chunk).
         let decrypt_ready = match self.cfg.enc_mode {
@@ -264,6 +278,7 @@ impl FillEngine for SecureMemCtrl {
                 decrypt_ready,
                 auth_ready: 0,
                 auth_id: 0,
+                bus_granted: t.granted,
             };
         }
         let (input_ready, tree_extra) = match self.tree.as_mut() {
@@ -293,6 +308,7 @@ impl FillEngine for SecureMemCtrl {
             decrypt_ready,
             auth_ready: self.queue.done_time(id),
             auth_id: id.0,
+            bus_granted: t.granted,
         }
     }
 

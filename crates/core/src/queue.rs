@@ -148,6 +148,18 @@ impl AuthQueue {
         let prev_done = if n == 0 { 0 } else { self.done_times[n - 1] };
         // In-order completion broadcast: done times are monotone.
         let done = (start + self.cfg.mac_latency + extra_latency).max(prev_done);
+        // Security-invariant oracle (active in debug/check builds):
+        // the in-order completion broadcast the write/fetch gates rely
+        // on — a request can never finish before its data is home or
+        // before its in-order predecessor.
+        if cfg!(any(debug_assertions, feature = "oracles")) {
+            assert!(
+                done >= prev_done && done >= data_ready && start >= data_ready,
+                "auth-queue oracle: request {} done {done} (start {start}) violates \
+                 in-order completion (prev_done {prev_done}, data_ready {data_ready})",
+                n + 1,
+            );
+        }
         self.start_times.push(start);
         self.done_times.push(done);
         let prev_arrive = self.arrive_times.last().copied().unwrap_or(0);

@@ -54,6 +54,7 @@
 mod bpred;
 mod config;
 mod fingerprint;
+mod observe;
 mod pipeline;
 mod report;
 mod sched;
@@ -61,6 +62,7 @@ mod viz;
 
 pub use bpred::{BPredConfig, BranchPredictor};
 pub use config::{CpuConfig, SimConfig};
-pub use pipeline::{simulate, SecureImage};
+pub use observe::RetireRecord;
+pub use pipeline::{simulate, simulate_observed, SecureImage};
 pub use report::{AuthException, ControlEvent, IoEvent, SimReport};
 pub use viz::{render_timeline, InstTiming, TIMING_CAP};

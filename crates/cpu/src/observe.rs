@@ -1,0 +1,69 @@
+//! Per-retirement observation records for differential co-simulation.
+//!
+//! [`simulate_observed`](crate::simulate_observed) calls an observer
+//! with one [`RetireRecord`] per committed instruction, in program
+//! order. The record carries both the *architectural* effect (what the
+//! golden ISA model must agree on) and the *microarchitectural* event
+//! cycles (what the security-invariant oracles in `secsim-check` audit
+//! against the active policy's gates).
+
+use secsim_isa::{Inst, MemAccess, RegRef};
+
+/// Everything observable about one retired instruction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetireRecord {
+    /// Zero-based retirement index.
+    pub seq: u64,
+    /// Fetch PC.
+    pub pc: u32,
+    /// The decoded instruction.
+    pub inst: Inst,
+    /// Architectural next PC (branch targets included).
+    pub next_pc: u32,
+    /// The memory access, if any.
+    pub mem: Option<MemAccess>,
+    /// Destination register and its value *after* execution. FP values
+    /// are carried as raw bits so the comparison is exact.
+    pub dst: Option<(RegRef, u64)>,
+    /// `(port, value)` of an `out` instruction.
+    pub out: Option<(u8, u32)>,
+    /// `(taken, target)` of a control transfer.
+    pub control: Option<(bool, u32)>,
+
+    // ---- pipeline event cycles ----
+    /// Fetch-slot cycle.
+    pub fetch: u64,
+    /// Dispatch (rename/RUU-allocate) cycle.
+    pub dispatch: u64,
+    /// Issue cycle.
+    pub issue: u64,
+    /// Execution-complete cycle.
+    pub complete: u64,
+    /// Commit cycle.
+    pub commit: u64,
+
+    // ---- gate evidence ----
+    /// Verification time of the instruction's I-line (0 = baseline /
+    /// unauthenticated).
+    pub iline_auth: u64,
+    /// Verification time of the D-line a load/store touched (0 = none,
+    /// forwarded, or unauthenticated).
+    pub data_auth: u64,
+    /// Authen-then-write watermark sampled at store issue (0 = not a
+    /// store or write gating off).
+    pub store_tag_done: u64,
+    /// Cycle a store left the store buffer for the cache (0 = not a
+    /// store).
+    pub store_release: u64,
+    /// Fetch-gate floor passed with this instruction's D-access (its
+    /// `bus_not_before`; 0 = ungated).
+    pub bus_floor: u64,
+    /// Cycle the D-access's demand bus transfer was granted (0 = no
+    /// off-chip transfer, i.e. cache hit or forwarded).
+    pub bus_granted: u64,
+    /// Fetch-gate floor for the I-line fetch this instruction triggered
+    /// (0 = no new I-line fetched or ungated).
+    pub ifetch_floor: u64,
+    /// Bus-grant cycle of that I-line fetch (0 = no off-chip transfer).
+    pub ifetch_granted: u64,
+}

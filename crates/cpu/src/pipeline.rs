@@ -23,6 +23,7 @@
 
 use crate::bpred::BranchPredictor;
 use crate::config::SimConfig;
+use crate::observe::RetireRecord;
 use crate::report::{AuthException, ControlEvent, IoEvent, SimReport};
 use crate::sched::{FuPool, InOrderSlots, WindowSlots};
 use secsim_core::{EncryptedMemory, FetchGateVariant, Policy, SecureMemCtrl};
@@ -99,6 +100,24 @@ pub fn simulate<M: SecureImage>(
     cfg: &SimConfig,
     trace_bus: bool,
 ) -> SimReport {
+    simulate_observed(image, entry, cfg, trace_bus, |_: &RetireRecord| {}).0
+}
+
+/// [`simulate`], additionally calling `observer` with one
+/// [`RetireRecord`] per committed instruction (in program order) and
+/// returning the final architectural state alongside the report.
+///
+/// This is the differential-testing entry point: the records carry the
+/// architectural effects a golden re-execution must match and the event
+/// cycles the policy-gate oracles audit. A no-op observer compiles down
+/// to [`simulate`].
+pub fn simulate_observed<M: SecureImage, F: FnMut(&RetireRecord)>(
+    image: &mut M,
+    entry: u32,
+    cfg: &SimConfig,
+    trace_bus: bool,
+    mut observer: F,
+) -> (SimReport, ArchState) {
     let policy = cfg.secure.policy;
     let mut ms = MemSystem::new(cfg.mem, SecureMemCtrl::new(cfg.secure.ctrl));
     if trace_bus {
@@ -186,6 +205,8 @@ pub fn simulate<M: SecureImage>(
 
         // ---- fetch ----
         let line = info.pc & l1i_line_mask;
+        let mut ifetch_floor: u64 = 0;
+        let mut ifetch_granted: u64 = 0;
         if cur_iline != Some(line) {
             let bnb = fetch_gate(ms.engine(), &policy, fetch_avail);
             let acc = ms.access(info.pc, AccessKind::IFetch, fetch_avail, bnb);
@@ -193,6 +214,8 @@ pub fn simulate<M: SecureImage>(
             cur_iline = Some(line);
             iline_auth = acc.auth_ready;
             fetch_avail = fetch_avail.max(acc.ready);
+            ifetch_floor = bnb;
+            ifetch_granted = acc.bus_granted;
         }
         let ft = fetch_slots.take(fetch_avail);
 
@@ -225,9 +248,11 @@ pub fn simulate<M: SecureImage>(
         let class = info.inst.class();
         let mut data_auth: u64 = 0; // verification time of the D-line touched
         let mut store_tag_done: u64 = 0; // authen-then-write watermark
+        let mut bus_floor: u64 = 0; // fetch-gate floor of the D-access
+        let mut bus_granted: u64 = 0; // its bus-grant cycle (0 = no transfer)
+        let it = issue_slots.take(ready);
         let complete = match class {
             OpClass::Load => {
-                let it = issue_slots.take(ready);
                 let start = fu_mem.take(it, 1);
                 let ma = info.mem.expect("load has a memory access");
                 let word = ma.addr & !3;
@@ -247,6 +272,8 @@ pub fn simulate<M: SecureImage>(
                         let acc = ms.access(ma.addr, AccessKind::Load, start, bnb);
                         note_tamper(image, ma.addr, acc.auth_ready, &mut exception);
                         data_auth = acc.auth_ready;
+                        bus_floor = bnb;
+                        bus_granted = acc.bus_granted;
                         if acc.l2_miss {
                             n_load_l2_misses += 1;
                         }
@@ -261,7 +288,6 @@ pub fn simulate<M: SecureImage>(
                 }
             }
             OpClass::Store => {
-                let it = issue_slots.take(ready);
                 let start = fu_mem.take(it, 1);
                 let ma = info.mem.expect("store has a memory access");
                 let bnb = fetch_gate(ms.engine(), &policy, start);
@@ -270,6 +296,8 @@ pub fn simulate<M: SecureImage>(
                 let acc = ms.access(ma.addr, AccessKind::Store, start, bnb);
                 note_tamper(image, ma.addr, acc.auth_ready, &mut exception);
                 data_auth = acc.auth_ready;
+                bus_floor = bnb;
+                bus_granted = acc.bus_granted;
                 n_stores += 1;
                 if policy.gate_write {
                     let q = ms.engine().queue();
@@ -284,7 +312,6 @@ pub fn simulate<M: SecureImage>(
                 c
             }
             _ => {
-                let it = issue_slots.take(ready);
                 let (lat, occ) = exec_latency(&info.inst);
                 let pool = match class {
                     OpClass::IntMul => &mut fu_mul,
@@ -345,12 +372,14 @@ pub fn simulate<M: SecureImage>(
             lsq_ring[mem_ops % lsq] = ct;
             mem_ops += 1;
         }
+        let mut store_release: u64 = 0;
         if class == OpClass::Store {
             let release = ct.max(store_tag_done);
             write_hold_cycles += release - ct;
             quiesce = quiesce.max(release);
             store_release_ring[stores % sb] = release;
             stores += 1;
+            store_release = release;
             if let Some(ma) = info.mem {
                 if ma.width != MemWidth::Double {
                     store_fwd.insert(ma.addr & !3, (complete, release));
@@ -358,6 +387,45 @@ pub fn simulate<M: SecureImage>(
             }
             if store_fwd.len() > (1 << 20) {
                 store_fwd.retain(|_, &mut (_, w)| w > ct);
+            }
+        }
+
+        // ---- security-invariant oracles ----
+        // Alive under `cargo test` (debug assertions) and the `oracles`
+        // feature; compiled out of plain release builds. Each asserts
+        // the *definition* of its control point against the cycles the
+        // model actually produced.
+        if cfg!(any(debug_assertions, feature = "oracles")) {
+            if policy.gate_issue {
+                assert!(
+                    it >= iline_auth,
+                    "issue-gate oracle: #{insts} pc={:#x} issued at {it} before \
+                     I-line verified at {iline_auth}",
+                    info.pc,
+                );
+                assert!(
+                    complete >= data_auth,
+                    "issue-gate oracle: #{insts} pc={:#x} load usable at {complete} \
+                     before data verified at {data_auth}",
+                    info.pc,
+                );
+            }
+            if policy.gate_commit {
+                assert!(
+                    ct >= iline_auth.max(data_auth),
+                    "commit-gate oracle: #{insts} pc={:#x} committed at {ct} before \
+                     verification at {}",
+                    info.pc,
+                    iline_auth.max(data_auth),
+                );
+            }
+            if policy.gate_write && class == OpClass::Store {
+                assert!(
+                    store_release >= store_tag_done,
+                    "write-gate oracle: #{insts} pc={:#x} store released at \
+                     {store_release} before watermark {store_tag_done}",
+                    info.pc,
+                );
             }
         }
 
@@ -387,6 +455,37 @@ pub fn simulate<M: SecureImage>(
                 commit: ct,
             });
         }
+        observer(&RetireRecord {
+            seq: insts,
+            pc: info.pc,
+            inst: info.inst,
+            next_pc: info.next_pc,
+            mem: info.mem,
+            // `step` already ran, so the state holds post-execution
+            // values; FP goes out as raw bits for exact comparison.
+            dst: info.inst.dst().map(|d| {
+                let bits = match d {
+                    RegRef::Int(r) => u64::from(st.reg(r)),
+                    RegRef::Fp(f) => st.freg(f).to_bits(),
+                };
+                (d, bits)
+            }),
+            out: info.out,
+            control: info.control,
+            fetch: ft,
+            dispatch: dt,
+            issue: it,
+            complete,
+            commit: ct,
+            iline_auth,
+            data_auth,
+            store_tag_done,
+            store_release,
+            bus_floor,
+            bus_granted,
+            ifetch_floor,
+            ifetch_granted,
+        });
         if insts < 40 && std::env::var_os("SECSIM_TRACE_PIPE").is_some() {
             eprintln!(
                 "#{insts} pc={:#x} {} ft={ft} dt={dt} ready={ready} complete={complete} ct={ct}",
@@ -445,7 +544,7 @@ pub fn simulate<M: SecureImage>(
         }
     }
     report.bus_events = ms.channel().trace().events().to_vec();
-    report
+    (report, st)
 }
 
 #[cfg(test)]

@@ -59,12 +59,16 @@ pub struct FillResponse {
     pub auth_ready: u64,
     /// Authentication-queue request id (`0` if none).
     pub auth_id: u64,
+    /// Cycle the demand bus transfer's address phase was granted (`0`
+    /// if the fill put nothing on the bus). Always `>=` the request's
+    /// `bus_not_before` — the authen-then-fetch invariant.
+    pub bus_granted: u64,
 }
 
 impl FillResponse {
     /// A response for data that needs no decryption or verification.
     pub fn immediate(ready: u64) -> Self {
-        Self { data_ready: ready, decrypt_ready: ready, auth_ready: 0, auth_id: 0 }
+        Self { data_ready: ready, decrypt_ready: ready, auth_ready: 0, auth_id: 0, bus_granted: 0 }
     }
 }
 
@@ -98,6 +102,7 @@ impl FillEngine for PlainFill {
             decrypt_ready: t.first_ready,
             auth_ready: 0,
             auth_id: 0,
+            bus_granted: t.granted,
         }
     }
 
@@ -163,6 +168,11 @@ pub struct MemAccessResult {
     pub l2_miss: bool,
     /// Whether this access missed in L1.
     pub l1_miss: bool,
+    /// Cycle the demand bus transfer triggered *by this access* was
+    /// granted (`0` when the access caused no off-chip transfer, i.e.
+    /// any cache hit). The differential harness checks this against the
+    /// authen-then-fetch `bus_not_before` floor.
+    pub bus_granted: u64,
 }
 
 /// The two-level hierarchy with pluggable secure fill engine.
@@ -326,6 +336,7 @@ impl<F: FillEngine> MemSystem<F> {
             auth_id: resp.auth_id,
             l2_miss: true,
             l1_miss: true,
+            bus_granted: resp.bus_granted,
         }
     }
 
@@ -343,8 +354,16 @@ impl<F: FillEngine> MemSystem<F> {
                 auth_id: meta.auth_id,
                 l2_miss,
                 l1_miss,
+                bus_granted: 0,
             },
-            None => MemAccessResult { ready: base, auth_ready: 0, auth_id: 0, l2_miss, l1_miss },
+            None => MemAccessResult {
+                ready: base,
+                auth_ready: 0,
+                auth_id: 0,
+                l2_miss,
+                l1_miss,
+                bus_granted: 0,
+            },
         }
     }
 
@@ -500,6 +519,16 @@ mod tests {
         let mut m = ms();
         m.access(0x70_0000, AccessKind::Load, 0, 0);
         assert_eq!(m.counters().get("l2.prefetch"), 0);
+    }
+
+    #[test]
+    fn bus_grant_cycle_reported_and_respects_floor() {
+        let mut m = ms();
+        let r = m.access(0x60_0000, AccessKind::Load, 0, 7777);
+        assert!(r.l2_miss);
+        assert!(r.bus_granted >= 7777, "grant {} below fetch-gate floor", r.bus_granted);
+        let warm = m.access(0x60_0000, AccessKind::Load, r.ready + 1, 0);
+        assert_eq!(warm.bus_granted, 0, "hits cause no bus transfer");
     }
 
     #[test]

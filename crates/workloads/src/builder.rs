@@ -7,7 +7,7 @@ use secsim_isa::{Asm, FReg, FlatMem, MemIo, Reg};
 
 /// Code is placed at 4 KB; data starts at 1 MB so code and data lines
 /// never collide.
-const CODE_BASE: u32 = 0x1000;
+pub(crate) const CODE_BASE: u32 = 0x1000;
 
 /// First data address of every built workload. Exported so experiment
 /// harnesses can derive a run's full configuration (protected region

@@ -31,12 +31,14 @@
 //! ```
 
 mod builder;
+mod fuzz;
 mod kernels;
 mod micro;
 mod rng;
 mod spec;
 
 pub use builder::{Workload, DATA_BASE};
+pub use fuzz::{generate as generate_fuzz, FuzzProgram, FUZZ_FOOTPRINT};
 pub use rng::SplitMix64;
 pub use kernels::KernelKind;
 pub use micro::Micro;

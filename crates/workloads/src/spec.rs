@@ -275,6 +275,11 @@ pub fn profile(name: &str) -> Option<Profile> {
                 Phase::new(FpMix, 800),
             ],
         ),
+        // ---- not a SPEC profile: the differential-harness fuzz target ----
+        // `build("fuzz", seed)` replaces the kernel program with a
+        // generated one; this profile only supplies the footprint and
+        // class so config derivation (`sim_config`, sweeps) works.
+        "fuzz" => p("fuzz", Int, crate::fuzz::FUZZ_FOOTPRINT, 64, vec![Phase::new(AluMix, 1)]),
         _ => return None,
     };
     Some(prof)
@@ -299,7 +304,13 @@ pub fn fp_benchmarks() -> [&'static str; 9] {
 }
 
 /// Builds the named benchmark deterministically in `seed`.
+///
+/// `"fuzz"` builds a random program from the deterministic generator
+/// instead of a kernel-mix profile (see [`crate::fuzz`]).
 pub fn build(name: &str, seed: u64) -> Option<Workload> {
+    if name == "fuzz" {
+        return Some(crate::fuzz::generate(seed).workload);
+    }
     profile(name).map(|p| Workload::from_profile(&p, seed))
 }
 

@@ -23,4 +23,7 @@ cmp "$SMOKE_RESULTS/fresh.txt" "$SMOKE_RESULTS/cached.txt" || {
     echo "FAIL: cached sweep output differs from fresh run"; exit 1; }
 echo "cached output byte-identical to fresh run"
 
+echo "== check-smoke: differential co-sim batch, all policies, fixed seed =="
+./target/release/secsim-check --smoke --seed 2006
+
 echo "== tier-1 OK =="
