@@ -124,7 +124,7 @@ impl Victim {
                 let mut words = a.assemble().expect("victim assembles");
                 // Pad to BIG_BASE, then the big path.
                 let pad = ((BIG_BASE - CODE_BASE) / 4) as usize - words.len();
-                words.extend(std::iter::repeat(secsim_isa::encode(Inst::Nop)).take(pad));
+                words.extend(std::iter::repeat_n(secsim_isa::encode(Inst::Nop), pad));
                 let mut b = Asm::new(BIG_BASE);
                 for _ in 0..4 {
                     b.addi(Reg::R4, Reg::R4, 1);
@@ -145,7 +145,7 @@ impl Victim {
                 a.halt();
                 let mut words = a.assemble().expect("victim assembles");
                 let pad = ((FUNC_BASE - CODE_BASE) / 4) as usize - words.len();
-                words.extend(std::iter::repeat(secsim_isa::encode(Inst::Nop)).take(pad));
+                words.extend(std::iter::repeat_n(secsim_isa::encode(Inst::Nop), pad));
                 let mut f = Asm::new(FUNC_BASE);
                 for i in 0..30 {
                     f.addi(Reg::R3, Reg::R3, (i % 7) as i16);

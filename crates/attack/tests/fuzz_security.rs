@@ -11,7 +11,7 @@
 use proptest::prelude::*;
 use secsim_attack::{Victim, VictimKind, SECRET};
 use secsim_core::Policy;
-use secsim_cpu::{simulate, SimConfig};
+use secsim_cpu::{SimConfig, SimSession};
 
 fn attack_cfg(policy: Policy) -> SimConfig {
     let mut cfg = SimConfig::paper_256k(policy).with_max_insts(50_000);
@@ -30,7 +30,7 @@ fn secret_leaked(policy: Policy, kind: VictimKind, tampers: &[(u16, [u8; 4])]) -
         }
         victim.image.tamper_xor(addr, mask);
     }
-    let r = simulate(&mut victim.image, victim.entry, &attack_cfg(policy), true);
+    let r = SimSession::new(&attack_cfg(policy)).trace_bus(true).run(&mut victim.image, victim.entry).report;
     let leaked = secsim_attack::analysis::find_value(
         &r.events_before_exception().copied().collect::<Vec<_>>(),
         SECRET,
@@ -86,7 +86,7 @@ proptest! {
             // Flip bits in the *second* instruction word so the entry
             // point still decodes (any decode is fine either way).
             victim.image.tamper_xor(0x1004, &mask);
-            let r = simulate(&mut victim.image, victim.entry, &attack_cfg(policy), false);
+            let r = SimSession::new(&attack_cfg(policy)).run(&mut victim.image, victim.entry).report;
             prop_assert!(
                 r.exception.is_some(),
                 "{policy} failed to detect a code tamper with mask {mask:?}"

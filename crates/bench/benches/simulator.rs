@@ -11,7 +11,7 @@ mod with_criterion {
     use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
     use secsim_attack::{run_exploit, Exploit};
     use secsim_core::Policy;
-    use secsim_cpu::{simulate, SimConfig};
+    use secsim_cpu::{SimConfig, SimSession};
     use secsim_workloads::build;
 
     const INSTS: u64 = 30_000;
@@ -36,7 +36,7 @@ mod with_criterion {
                             cfg.secure.with_protected_region(w.data_base, w.data_bytes);
                         b.iter(|| {
                             let mut m = w.mem.clone();
-                            simulate(&mut m, w.entry, &cfg, false)
+                            SimSession::new(&cfg).run(&mut m, w.entry).report
                         })
                     },
                 );
@@ -70,7 +70,7 @@ mod plain {
     use secsim_attack::{run_exploit, Exploit};
     use secsim_bench::timing::{fmt_rate, measure};
     use secsim_core::Policy;
-    use secsim_cpu::{simulate, SimConfig};
+    use secsim_cpu::{SimConfig, SimSession};
     use secsim_workloads::build;
 
     const INSTS: u64 = 30_000;
@@ -87,7 +87,7 @@ mod plain {
                 cfg.secure = cfg.secure.with_protected_region(w.data_base, w.data_bytes);
                 let m = measure(&format!("simulate_30k/{bench}/{label}"), 1.0, || {
                     let mut mem = w.mem.clone();
-                    simulate(&mut mem, w.entry, &cfg, false);
+                    SimSession::new(&cfg).run(&mut mem, w.entry);
                 });
                 println!(
                     "{:40} {:>12} simulated insts/s  ({:.2} ms/run)",

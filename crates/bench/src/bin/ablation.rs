@@ -16,21 +16,21 @@ use secsim_core::{FetchGateVariant, Policy, TreeConfig};
 use secsim_cpu::SimConfig;
 use secsim_crypto::{CryptoLatency, EncryptionMode, MacScheme};
 use secsim_stats::Table;
-use secsim_workloads::{profile, DATA_BASE};
+use secsim_workloads::{BenchId, DATA_BASE};
 
-const BENCHES: [&str; 4] = ["mcf", "art", "twolf", "swim"];
+const BENCHES: [BenchId; 4] = [BenchId::Mcf, BenchId::Art, BenchId::Twolf, BenchId::Swim];
 const SEED: u64 = 5;
 
 fn geomean_norm(sweep: &Sweep, policy: Policy, tweak: impl Fn(&mut SimConfig)) -> f64 {
     // One (policy, baseline) pair per benchmark, run as a single grid.
     let points: Vec<SweepPoint> = BENCHES
         .iter()
-        .flat_map(|bench| {
-            [policy, Policy::baseline()].into_iter().map(|p| {
+        .flat_map(|&bench| {
+            let tweak = &tweak;
+            [policy, Policy::baseline()].into_iter().map(move |p| {
                 let mut cfg = SimConfig::paper_256k(p)
                     .with_max_insts(RunOpts::default().max_insts.min(200_000));
-                let prof = profile(bench).expect("bench");
-                cfg.secure = cfg.secure.with_protected_region(DATA_BASE, prof.footprint);
+                cfg.secure = cfg.secure.with_protected_region(DATA_BASE, bench.profile().footprint);
                 tweak(&mut cfg);
                 SweepPoint::from_config(bench, SEED, cfg)
             })
@@ -154,8 +154,8 @@ fn section_lazy(sweep: &Sweep) {
         let window = {
             let mut policy = Policy::authen_then_write();
             policy.authenticate = true;
-            let out = run_exploit_with_lazy(Exploit::PointerConversion, policy, delay);
-            out
+            
+            run_exploit_with_lazy(Exploit::PointerConversion, policy, delay)
         };
         t.push_row([delay.to_string(), cell(perf), window]);
     }

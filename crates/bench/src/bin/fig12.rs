@@ -3,7 +3,7 @@
 
 use secsim_bench::{normalized_table, RunOpts, Sweep};
 use secsim_core::Policy;
-use secsim_workloads::benchmarks;
+use secsim_workloads::BenchId;
 
 fn main() {
     let (sweep, _args) = Sweep::from_args();
@@ -15,7 +15,7 @@ fn main() {
         ("fetch", Policy::authen_then_fetch()),
         ("commit+fetch", Policy::commit_plus_fetch()),
     ];
-    let t = normalized_table(&sweep, &benchmarks(), &policies, &opts);
+    let t = normalized_table(&sweep, &BenchId::ALL, &policies, &opts);
     secsim_bench::emit(
         "fig12",
         "Figure 12 — normalized IPC under hash-tree authentication (baseline: decrypt-only)",

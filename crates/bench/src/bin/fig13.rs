@@ -3,7 +3,7 @@
 
 use secsim_bench::{speedup_over_issue_table, RunOpts, Sweep};
 use secsim_core::Policy;
-use secsim_workloads::benchmarks;
+use secsim_workloads::BenchId;
 
 fn main() {
     let (sweep, _args) = Sweep::from_args();
@@ -12,7 +12,7 @@ fn main() {
         ("commit", Policy::authen_then_commit()),
         ("commit+fetch", Policy::commit_plus_fetch()),
     ];
-    let t = speedup_over_issue_table(&sweep, &benchmarks(), &policies, &opts);
+    let t = speedup_over_issue_table(&sweep, &BenchId::ALL, &policies, &opts);
     secsim_bench::emit(
         "fig13",
         "Figure 13 — IPC speedup over authen-then-issue, hash-tree authentication",

@@ -9,7 +9,7 @@
 //! computation with authentication.
 
 use secsim_core::Policy;
-use secsim_cpu::{simulate, SimConfig};
+use secsim_cpu::{SimConfig, SimSession};
 use secsim_isa::{Asm, FlatMem, MemIo, Reg};
 use secsim_stats::Table;
 
@@ -37,7 +37,7 @@ fn main() {
         Policy::authen_then_issue(),
     ] {
         let cfg = SimConfig::paper_256k(policy);
-        let r = simulate(&mut mem.clone(), entry, &cfg, true);
+        let r = SimSession::new(&cfg).trace_bus(true).run(&mut mem.clone(), entry).report;
         let grants: Vec<u64> = r
             .bus_events
             .iter()

@@ -5,7 +5,7 @@
 
 use secsim_bench::{normalized_table, L2Size, RunOpts, Sweep};
 use secsim_core::Policy;
-use secsim_workloads::{fp_benchmarks, int_benchmarks};
+use secsim_workloads::BenchId;
 
 fn run_l2(sweep: &Sweep, l2: L2Size, panel_int: &str, panel_fp: &str) {
     let opts = RunOpts { l2, ..RunOpts::default() };
@@ -17,7 +17,7 @@ fn run_l2(sweep: &Sweep, l2: L2Size, panel_int: &str, panel_fp: &str) {
         ("commit+fetch", Policy::commit_plus_fetch()),
         ("commit+obf", Policy::commit_plus_obfuscation()),
     ];
-    let t = normalized_table(sweep, &int_benchmarks(), &policies, &opts);
+    let t = normalized_table(sweep, &BenchId::INT, &policies, &opts);
     secsim_bench::emit(
         &format!("fig7{panel_int}"),
         &format!(
@@ -26,7 +26,7 @@ fn run_l2(sweep: &Sweep, l2: L2Size, panel_int: &str, panel_fp: &str) {
         ),
         &t,
     );
-    let t = normalized_table(sweep, &fp_benchmarks(), &policies, &opts);
+    let t = normalized_table(sweep, &BenchId::FP, &policies, &opts);
     secsim_bench::emit(
         &format!("fig7{panel_fp}"),
         &format!(

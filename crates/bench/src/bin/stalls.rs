@@ -1,0 +1,68 @@
+//! Stall attribution: where every lost commit slot goes under each
+//! authentication control point.
+//!
+//! The pipeline charges each non-retiring commit slot to exactly one
+//! [`StallCause`] (`sum(stall) + insts == commit_width × cycles`), so
+//! these tables explain the IPC figures mechanistically: issue gating
+//! shows up as `auth_issue` slots, commit gating as `auth_commit`,
+//! write gating as `auth_write` store-buffer holds, and so on.
+//!
+//! Output: one `results/stalls_<bench>.md` (+ `.csv`) per benchmark;
+//! rows are policies, columns the percentage of lost slots per cause.
+
+use secsim_bench::{RunOpts, Sweep, SweepPoint};
+use secsim_core::Policy;
+use secsim_cpu::StallCause;
+use secsim_stats::Table;
+use secsim_workloads::BenchId;
+
+fn main() {
+    let (sweep, _args) = Sweep::from_args();
+    let opts = RunOpts::default();
+    let policies = [
+        ("base", Policy::baseline()),
+        ("issue", Policy::authen_then_issue()),
+        ("write", Policy::authen_then_write()),
+        ("commit", Policy::authen_then_commit()),
+        ("fetch", Policy::authen_then_fetch()),
+        ("commit+fetch", Policy::commit_plus_fetch()),
+    ];
+    let points: Vec<SweepPoint> = BenchId::all()
+        .flat_map(|b| policies.iter().map(move |(_, p)| SweepPoint::of(b, *p, &opts)))
+        .collect();
+    let mut reports = sweep.run(&points).into_iter();
+
+    let mut headers = vec!["policy".to_string(), "IPC".to_string(), "lost slots".to_string()];
+    headers.extend(StallCause::ALL.iter().map(|c| format!("{c} %")));
+    headers.push("attributed %".to_string());
+    for bench in BenchId::all() {
+        let mut t = Table::new(headers.clone());
+        for (label, _) in &policies {
+            match reports.next().expect("grid shape") {
+                Ok(r) => {
+                    let total = r.stall.total();
+                    let pct = |slots: u64| 100.0 * slots as f64 / total.max(1) as f64;
+                    let mut row =
+                        vec![(*label).to_string(), format!("{:.3}", r.ipc()), total.to_string()];
+                    row.extend(StallCause::ALL.iter().map(|&c| format!("{:.1}", pct(r.stall.get(c)))));
+                    // "Attributed" = charged to a specific pipeline or
+                    // authentication cause; only the end-of-run drain
+                    // tail is generic.
+                    row.push(format!("{:.1}", pct(total - r.stall.get(StallCause::Drain))));
+                    t.push_row(row);
+                }
+                Err(e) => {
+                    eprintln!("warning: skipping {bench}/{label}: {e}");
+                    let mut row = vec![(*label).to_string()];
+                    row.extend((0..headers.len() - 1).map(|_| "-".to_string()));
+                    t.push_row(row);
+                }
+            }
+        }
+        secsim_bench::emit(
+            &format!("stalls_{bench}"),
+            &format!("Stall attribution — {bench}, 256KB L2 (% of lost commit slots)"),
+            &t,
+        );
+    }
+}

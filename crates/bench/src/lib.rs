@@ -20,13 +20,13 @@
 pub mod sweep;
 pub mod timing;
 
-pub use sweep::{Sweep, SweepPoint, CACHE_VERSION};
+pub use sweep::{Sweep, SweepError, SweepPoint, CACHE_VERSION};
 
 use secsim_core::{Policy, SecureConfig};
-use secsim_cpu::{simulate, CpuConfig, SimConfig, SimReport};
+use secsim_cpu::{CpuConfig, SimConfig, SimReport, SimSession};
 use secsim_mem::MemSystemConfig;
 use secsim_stats::Table;
-use secsim_workloads::{build, profile, DATA_BASE};
+use secsim_workloads::{BenchId, DATA_BASE};
 use std::fs;
 use std::path::PathBuf;
 
@@ -96,11 +96,9 @@ pub fn default_insts() -> u64 {
 
 /// The full simulator configuration for `bench` under `policy` —
 /// derived from the benchmark's *profile* alone (no workload image is
-/// built), so it is cheap enough to fingerprint for cache keys. `None`
-/// for an unknown benchmark name.
-pub fn sim_config(bench: &str, policy: Policy, opts: &RunOpts) -> Option<SimConfig> {
-    let prof = profile(bench)?;
-    let (data_base, data_bytes) = (DATA_BASE, prof.footprint);
+/// built), so it is cheap enough to fingerprint for cache keys.
+pub fn sim_config_id(bench: BenchId, policy: Policy, opts: &RunOpts) -> SimConfig {
+    let (data_base, data_bytes) = (DATA_BASE, bench.profile().footprint);
     let mut secure = if opts.tree {
         SecureConfig::paper_with_tree(policy, data_base, data_bytes)
     } else {
@@ -110,21 +108,23 @@ pub fn sim_config(bench: &str, policy: Policy, opts: &RunOpts) -> Option<SimConf
     if let Some(bytes) = opts.remap_cache_bytes {
         secure = secure.with_remap_cache_bytes(bytes);
     }
-    Some(SimConfig {
-        cpu: opts.cpu,
-        mem: opts.l2.mem_config(),
-        secure,
-        max_insts: opts.max_insts,
-    })
+    SimConfig { cpu: opts.cpu, mem: opts.l2.mem_config(), secure, max_insts: opts.max_insts }
+}
+
+/// `&str` shim over [`sim_config_id`]. `None` for an unknown benchmark
+/// name.
+pub fn sim_config(bench: &str, policy: Policy, opts: &RunOpts) -> Option<SimConfig> {
+    Some(sim_config_id(bench.parse::<BenchId>().ok()?, policy, opts))
 }
 
 /// Runs `bench` under `policy` and returns the report. `None` for an
 /// unknown benchmark name. Always simulates — use [`Sweep`] for the
 /// parallel, cached path.
 pub fn run_bench(bench: &str, policy: Policy, opts: &RunOpts) -> Option<SimReport> {
-    let cfg = sim_config(bench, policy, opts)?;
-    let mut w = build(bench, opts.seed)?;
-    Some(simulate(&mut w.mem, w.entry, &cfg, false))
+    let bench = bench.parse::<BenchId>().ok()?;
+    let cfg = sim_config_id(bench, policy, opts);
+    let mut w = bench.build(opts.seed);
+    Some(SimSession::new(&cfg).run(&mut w.mem, w.entry).report)
 }
 
 /// Runs `bench` under `policy` and the decrypt-only baseline, returning
@@ -160,27 +160,31 @@ pub fn cell(x: f64) -> String {
 
 /// Runs the full `(benches × (reference + policies))` grid through
 /// `sweep` and returns, per benchmark, the reference IPC plus each
-/// policy's IPC — the shared shape of every ratio table.
+/// policy's IPC — the shared shape of every ratio table. Failed points
+/// are reported on stderr and surface as `None` cells.
 fn ipc_grid(
     sweep: &Sweep,
-    benches: &[&str],
+    benches: &[BenchId],
     reference: Policy,
     policies: &[(&str, Policy)],
     opts: &RunOpts,
-) -> Vec<(f64, Vec<f64>)> {
+) -> Vec<(Option<f64>, Vec<Option<f64>>)> {
     let mut points = Vec::with_capacity(benches.len() * (policies.len() + 1));
-    for bench in benches {
-        points.push(
-            SweepPoint::new(bench, reference, opts)
-                .unwrap_or_else(|| panic!("unknown benchmark {bench}")),
-        );
+    for &bench in benches {
+        points.push(SweepPoint::of(bench, reference, opts));
         for (_, policy) in policies {
-            points.push(SweepPoint::new(bench, *policy, opts).expect("benchmark exists"));
+            points.push(SweepPoint::of(bench, *policy, opts));
         }
     }
     let reports = sweep.run(&points);
+    let mut it = reports.into_iter().map(|r| match r {
+        Ok(report) => Some(report.ipc()),
+        Err(e) => {
+            eprintln!("warning: skipping point: {e}");
+            None
+        }
+    });
     let mut rows = Vec::with_capacity(benches.len());
-    let mut it = reports.into_iter().map(|r| r.expect("benchmark exists").ipc());
     for _ in benches {
         let base = it.next().expect("grid shape");
         let row = policies.iter().map(|_| it.next().expect("grid shape")).collect();
@@ -192,9 +196,10 @@ fn ipc_grid(
 /// Builds a normalized-IPC table: one row per benchmark in `benches`,
 /// one column per `(label, policy)`, plus arithmetic-mean and
 /// geometric-mean rows — the layout of the paper's Figure 7/10/12 data.
+/// Skipped points render as `-` and are excluded from the means.
 pub fn normalized_table(
     sweep: &Sweep,
-    benches: &[&str],
+    benches: &[BenchId],
     policies: &[(&str, Policy)],
     opts: &RunOpts,
 ) -> Table {
@@ -203,12 +208,17 @@ pub fn normalized_table(
     let mut table = Table::new(headers);
     let mut sums = vec![secsim_stats::Summary::new(); policies.len()];
     let grid = ipc_grid(sweep, benches, Policy::baseline(), policies, opts);
-    for (bench, (base, ipcs)) in benches.iter().zip(grid) {
-        let mut row = vec![(*bench).to_string()];
+    for (&bench, (base, ipcs)) in benches.iter().zip(grid) {
+        let mut row = vec![bench.to_string()];
         for (i, ipc) in ipcs.into_iter().enumerate() {
-            let norm = if base > 0.0 { ipc / base } else { 0.0 };
-            sums[i].push(norm.max(1e-9));
-            row.push(cell(norm));
+            match (base, ipc) {
+                (Some(base), Some(ipc)) if base > 0.0 => {
+                    let norm = ipc / base;
+                    sums[i].push(norm.max(1e-9));
+                    row.push(cell(norm));
+                }
+                _ => row.push("-".to_string()),
+            }
         }
         table.push_row(row);
     }
@@ -222,10 +232,11 @@ pub fn normalized_table(
 }
 
 /// Builds a speedup-over-`authen-then-issue` table (Figures 8/11/13):
-/// `IPC(policy) / IPC(issue) - 1`, reported as percentages.
+/// `IPC(policy) / IPC(issue) - 1`, reported as percentages. Skipped
+/// points render as `-` and are excluded from the mean.
 pub fn speedup_over_issue_table(
     sweep: &Sweep,
-    benches: &[&str],
+    benches: &[BenchId],
     policies: &[(&str, Policy)],
     opts: &RunOpts,
 ) -> Table {
@@ -234,12 +245,17 @@ pub fn speedup_over_issue_table(
     let mut table = Table::new(headers);
     let mut sums = vec![secsim_stats::Summary::new(); policies.len()];
     let grid = ipc_grid(sweep, benches, Policy::authen_then_issue(), policies, opts);
-    for (bench, (issue, ipcs)) in benches.iter().zip(grid) {
-        let mut row = vec![(*bench).to_string()];
+    for (&bench, (issue, ipcs)) in benches.iter().zip(grid) {
+        let mut row = vec![bench.to_string()];
         for (i, ipc) in ipcs.into_iter().enumerate() {
-            let pct = if issue > 0.0 { (ipc / issue - 1.0) * 100.0 } else { 0.0 };
-            sums[i].push((pct + 1000.0).max(1e-9)); // offset keeps Summary positive
-            row.push(format!("{pct:+.1}"));
+            match (issue, ipc) {
+                (Some(issue), Some(ipc)) if issue > 0.0 => {
+                    let pct = (ipc / issue - 1.0) * 100.0;
+                    sums[i].push((pct + 1000.0).max(1e-9)); // offset keeps Summary positive
+                    row.push(format!("{pct:+.1}"));
+                }
+                _ => row.push("-".to_string()),
+            }
         }
         table.push_row(row);
     }

@@ -20,6 +20,9 @@
 //!
 //! * `SECSIM_JOBS` / `--jobs N` — worker count (default: all cores).
 //! * `--no-cache` — skip both cache lookup and cache writes.
+//! * `--trace FILE` — after the grid completes, re-run the first point
+//!   with event tracing and write a Chrome `trace_event` JSON to FILE
+//!   (load it in Perfetto / `chrome://tracing`).
 //! * `SECSIM_RESULTS` — relocates `results/`, and the cache with it.
 //!
 //! # Examples
@@ -27,26 +30,65 @@
 //! ```no_run
 //! use secsim_bench::{RunOpts, Sweep, SweepPoint};
 //! use secsim_core::Policy;
+//! use secsim_workloads::BenchId;
 //!
 //! let sweep = Sweep::new();
-//! let points: Vec<SweepPoint> = ["mcf", "gzip"]
-//!     .iter()
-//!     .map(|b| SweepPoint::new(b, Policy::authen_then_commit(), &RunOpts::default()).unwrap())
-//!     .collect();
-//! let reports = sweep.run(&points);
-//! assert_eq!(reports.len(), 2);
+//! let points: Vec<SweepPoint> = [BenchId::Mcf, BenchId::Gzip]
+//!     .map(|b| SweepPoint::of(b, Policy::authen_then_commit(), &RunOpts::default()))
+//!     .to_vec();
+//! for r in sweep.run(&points) {
+//!     match r {
+//!         Ok(report) => println!("IPC {:.3}", report.ipc()),
+//!         Err(e) => eprintln!("skipped: {e}"),
+//!     }
+//! }
 //! ```
 
-use crate::{results_dir, sim_config, RunOpts};
+use crate::{results_dir, sim_config_id, RunOpts};
 use secsim_core::Policy;
-use secsim_cpu::{simulate, SimConfig, SimReport};
+use secsim_cpu::{SimConfig, SimReport, SimSession, TraceConfig};
 use secsim_stats::{Json, StableHash, StableHasher};
-use secsim_workloads::build;
+use secsim_workloads::{BenchId, ParseBenchError};
 use std::collections::HashMap;
 use std::fs;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+/// Why a sweep point produced no report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SweepError {
+    /// A stringly-typed entry point named a benchmark that does not
+    /// exist (see [`BenchId`]).
+    UnknownBench(String),
+    /// The simulation itself panicked; the grid keeps running and the
+    /// caller decides how to report the hole.
+    Failed {
+        /// Benchmark of the failing point.
+        bench: String,
+        /// Panic payload, when it was a string.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for SweepError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SweepError::UnknownBench(name) => write!(f, "unknown benchmark {name:?}"),
+            SweepError::Failed { bench, detail } => {
+                write!(f, "simulation of {bench} failed: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SweepError {}
+
+impl From<ParseBenchError> for SweepError {
+    fn from(e: ParseBenchError) -> Self {
+        SweepError::UnknownBench(e.name().to_string())
+    }
+}
 
 /// Salt for every cache key. Bump when the simulator's *behaviour*
 /// changes in a way that is not visible in `SimConfig` (model fixes,
@@ -58,8 +100,8 @@ pub const CACHE_VERSION: u64 = 1;
 /// simulate it under.
 #[derive(Debug, Clone)]
 pub struct SweepPoint {
-    /// Benchmark name (see `secsim_workloads::benchmarks`).
-    pub bench: String,
+    /// Benchmark identity.
+    pub bench: BenchId,
     /// Workload seed.
     pub seed: u64,
     /// Full simulator configuration.
@@ -68,30 +110,47 @@ pub struct SweepPoint {
 
 impl SweepPoint {
     /// The standard-experiment point: `bench` under `policy` with the
-    /// shared [`RunOpts`]. `None` for an unknown benchmark.
-    pub fn new(bench: &str, policy: Policy, opts: &RunOpts) -> Option<Self> {
-        Some(Self { bench: bench.to_string(), seed: opts.seed, cfg: sim_config(bench, policy, opts)? })
+    /// shared [`RunOpts`]. `&str` shim over [`SweepPoint::of`].
+    pub fn new(bench: &str, policy: Policy, opts: &RunOpts) -> Result<Self, SweepError> {
+        Ok(Self::of(bench.parse::<BenchId>()?, policy, opts))
+    }
+
+    /// The standard-experiment point, from a typed benchmark identity.
+    pub fn of(bench: BenchId, policy: Policy, opts: &RunOpts) -> Self {
+        Self { bench, seed: opts.seed, cfg: sim_config_id(bench, policy, opts) }
     }
 
     /// A point with a hand-built configuration (ablations).
-    pub fn from_config(bench: &str, seed: u64, cfg: SimConfig) -> Self {
-        Self { bench: bench.to_string(), seed, cfg }
+    pub fn from_config(bench: BenchId, seed: u64, cfg: SimConfig) -> Self {
+        Self { bench, seed, cfg }
     }
 
     /// Stable cache key: a fingerprint of `(CACHE_VERSION, bench, seed,
-    /// cfg)`. Identical across processes, platforms and worker counts.
+    /// cfg)`. Identical across processes, platforms and worker counts —
+    /// the benchmark hashes by its canonical *name*, so keys are also
+    /// unchanged from the stringly-typed era.
     pub fn key(&self) -> u64 {
         let mut h = StableHasher::new();
         CACHE_VERSION.stable_hash(&mut h);
-        self.bench.stable_hash(&mut h);
+        self.bench.name().stable_hash(&mut h);
         self.seed.stable_hash(&mut h);
         self.cfg.stable_hash(&mut h);
         h.finish()
     }
 
-    fn run(&self) -> Option<SimReport> {
-        let mut w = build(&self.bench, self.seed)?;
-        Some(simulate(&mut w.mem, w.entry, &self.cfg, false))
+    fn run(&self) -> Result<SimReport, SweepError> {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut w = self.bench.build(self.seed);
+            SimSession::new(&self.cfg).run(&mut w.mem, w.entry).report
+        }))
+        .map_err(|payload| {
+            let detail = payload
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
+                .unwrap_or_else(|| "panic with non-string payload".to_string());
+            SweepError::Failed { bench: self.bench.name().to_string(), detail }
+        })
     }
 }
 
@@ -100,6 +159,9 @@ impl SweepPoint {
 pub struct Sweep {
     jobs: usize,
     cache_dir: Option<PathBuf>,
+    /// Chrome-trace output requested via `--trace FILE`; consumed by the
+    /// first grid that runs.
+    trace_out: Mutex<Option<PathBuf>>,
     /// In-process memo so repeated grids (verify_repro's geomeans, the
     /// shared baselines of the figure tables) simulate at most once per
     /// process even with caching disabled.
@@ -121,12 +183,18 @@ impl Sweep {
             .and_then(|s| s.parse().ok())
             .filter(|&n| n >= 1)
             .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
-        Self { jobs, cache_dir: Some(results_dir().join("cache")), memo: Mutex::new(HashMap::new()) }
+        Self {
+            jobs,
+            cache_dir: Some(results_dir().join("cache")),
+            trace_out: Mutex::new(None),
+            memo: Mutex::new(HashMap::new()),
+        }
     }
 
     /// A sweep configured from the process arguments: consumes
-    /// `--jobs N` and `--no-cache`, returning the remaining arguments
-    /// (without the program name) for the binary's own parsing.
+    /// `--jobs N`, `--no-cache` and `--trace FILE`, returning the
+    /// remaining arguments (without the program name) for the binary's
+    /// own parsing.
     pub fn from_args() -> (Self, Vec<String>) {
         let mut sweep = Self::new();
         let mut rest = Vec::new();
@@ -142,10 +210,24 @@ impl Sweep {
                     sweep = sweep.with_jobs(n);
                 }
                 "--no-cache" => sweep = sweep.without_cache(),
+                "--trace" => {
+                    let Some(path) = args.next() else {
+                        eprintln!("error: --trace needs an output file");
+                        std::process::exit(2);
+                    };
+                    sweep = sweep.with_trace_out(PathBuf::from(path));
+                }
                 _ => rest.push(arg),
             }
         }
         (sweep, rest)
+    }
+
+    /// Requests a Chrome-trace JSON of the first point of the next grid
+    /// (what `--trace FILE` sets up).
+    pub fn with_trace_out(self, path: PathBuf) -> Self {
+        *self.trace_out.lock().expect("trace_out poisoned") = Some(path);
+        self
     }
 
     /// Overrides the worker count (1 = serial).
@@ -172,18 +254,20 @@ impl Sweep {
         self.jobs
     }
 
-    /// Runs every point, in parallel, returning reports **in grid
-    /// order**. `None` marks an unknown benchmark. Cached points are
-    /// loaded, fresh points are simulated and persisted.
-    pub fn run(&self, points: &[SweepPoint]) -> Vec<Option<SimReport>> {
-        let mut slots: Vec<Mutex<Option<SimReport>>> = Vec::with_capacity(points.len());
+    /// Runs every point, in parallel, returning one `Result` per point
+    /// **in grid order** — an `Err` marks a point whose simulation
+    /// panicked, and the rest of the grid still completes. Cached points
+    /// are loaded, fresh points are simulated and persisted.
+    pub fn run(&self, points: &[SweepPoint]) -> Vec<Result<SimReport, SweepError>> {
+        let mut slots: Vec<Mutex<Option<Result<SimReport, SweepError>>>> =
+            Vec::with_capacity(points.len());
         slots.resize_with(points.len(), || Mutex::new(None));
         let mut todo: Vec<usize> = Vec::new();
         {
             let memo = self.memo.lock().expect("memo poisoned");
             for (i, p) in points.iter().enumerate() {
                 match memo.get(&p.key()) {
-                    Some(r) => *slots[i].lock().expect("slot") = Some(r.clone()),
+                    Some(r) => *slots[i].lock().expect("slot") = Some(Ok(r.clone())),
                     None => todo.push(i),
                 }
             }
@@ -194,7 +278,7 @@ impl Sweep {
             match self.load_cached(p) {
                 Some(r) => {
                     self.memo.lock().expect("memo poisoned").insert(p.key(), r.clone());
-                    *slots[i].lock().expect("slot") = Some(r);
+                    *slots[i].lock().expect("slot") = Some(Ok(r));
                     false
                 }
                 None => true,
@@ -209,29 +293,37 @@ impl Sweep {
                     let n = next.fetch_add(1, Ordering::Relaxed);
                     let Some(&i) = todo.get(n) else { break };
                     let report = points[i].run();
-                    *slots[i].lock().expect("slot") = report;
+                    *slots[i].lock().expect("slot") = Some(report);
                 });
             }
         });
 
         for &i in &todo {
             let p = &points[i];
-            if let Some(r) = slots[i].lock().expect("slot").as_ref() {
+            if let Some(Ok(r)) = slots[i].lock().expect("slot").as_ref() {
                 self.store_cached(p, i, r);
                 self.memo.lock().expect("memo poisoned").insert(p.key(), r.clone());
             }
         }
-        slots.into_iter().map(|s| s.into_inner().expect("slot")).collect()
+        if let Some(path) = self.trace_out.lock().expect("trace_out poisoned").take() {
+            if let Some(p) = points.first() {
+                write_chrome_trace(p, &path);
+            }
+        }
+        slots
+            .into_iter()
+            .map(|s| s.into_inner().expect("slot poisoned").expect("every slot filled"))
+            .collect()
     }
 
     /// Runs a single point (cache- and memo-aware).
-    pub fn get(&self, bench: &str, policy: Policy, opts: &RunOpts) -> Option<SimReport> {
+    pub fn get(&self, bench: &str, policy: Policy, opts: &RunOpts) -> Result<SimReport, SweepError> {
         let point = SweepPoint::new(bench, policy, opts)?;
-        self.run(std::slice::from_ref(&point)).pop().flatten()
+        self.run(std::slice::from_ref(&point)).pop().expect("one point, one result")
     }
 
     fn cache_path(&self, p: &SweepPoint) -> Option<PathBuf> {
-        self.cache_dir.as_ref().map(|d| d.join(format!("{}-{:016x}.json", p.bench, p.key())))
+        self.cache_dir.as_ref().map(|d| d.join(format!("{}-{:016x}.json", p.bench.name(), p.key())))
     }
 
     fn load_cached(&self, p: &SweepPoint) -> Option<SimReport> {
@@ -255,7 +347,7 @@ impl Sweep {
         let Some(report) = r.to_json() else { return };
         let entry = Json::obj(vec![
             ("version", Json::UInt(CACHE_VERSION)),
-            ("bench", Json::Str(p.bench.clone())),
+            ("bench", Json::Str(p.bench.name().to_string())),
             ("key", Json::Str(format!("{:016x}", p.key()))),
             ("report", report),
         ]);
@@ -267,6 +359,28 @@ impl Sweep {
         if fs::write(&tmp, entry.render()).is_ok() && fs::rename(&tmp, &path).is_err() {
             let _ = fs::remove_file(&tmp);
         }
+    }
+}
+
+/// Re-runs `p` with event tracing on and writes the Chrome
+/// `trace_event` JSON to `path` (the `--trace FILE` backend).
+fn write_chrome_trace(p: &SweepPoint, path: &Path) {
+    let mut w = p.bench.build(p.seed);
+    let out = SimSession::new(&p.cfg).trace(TraceConfig::default()).run(&mut w.mem, w.entry);
+    let Some(trace) = out.trace else { return };
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            let _ = fs::create_dir_all(dir);
+        }
+    }
+    match fs::write(path, trace.to_chrome().render()) {
+        Ok(()) => eprintln!(
+            "[chrome trace of {} ({} cycles) written to {}]",
+            p.bench,
+            out.report.cycles,
+            path.display()
+        ),
+        Err(e) => eprintln!("error: failed to write trace {}: {e}", path.display()),
     }
 }
 
@@ -293,17 +407,29 @@ mod tests {
     }
 
     #[test]
-    fn unknown_bench_is_none() {
-        assert!(SweepPoint::new("nope", Policy::baseline(), &opts()).is_none());
+    fn unknown_bench_is_typed_error() {
+        let err = SweepPoint::new("nope", Policy::baseline(), &opts()).unwrap_err();
+        assert_eq!(err, SweepError::UnknownBench("nope".to_string()));
         let sweep = Sweep::new().without_cache().with_jobs(1);
-        assert!(sweep.get("nope", Policy::baseline(), &opts()).is_none());
+        assert!(matches!(
+            sweep.get("nope", Policy::baseline(), &opts()),
+            Err(SweepError::UnknownBench(_))
+        ));
+    }
+
+    #[test]
+    fn typed_and_stringly_points_share_cache_keys() {
+        let a = SweepPoint::new("mcf", Policy::authen_then_commit(), &opts()).unwrap();
+        let b = SweepPoint::of(BenchId::Mcf, Policy::authen_then_commit(), &opts());
+        assert_eq!(a.key(), b.key());
+        assert_eq!(a.bench, BenchId::Mcf);
     }
 
     #[test]
     fn memo_hits_do_not_resimulate() {
         let sweep = Sweep::new().without_cache().with_jobs(2);
-        let p = SweepPoint::new("gzip", Policy::baseline(), &opts()).unwrap();
-        let first = sweep.run(&[p.clone()]);
+        let p = SweepPoint::of(BenchId::Gzip, Policy::baseline(), &opts());
+        let first = sweep.run(std::slice::from_ref(&p));
         let again = sweep.run(&[p]);
         assert_eq!(
             first[0].as_ref().unwrap().to_json().unwrap().render(),

@@ -6,7 +6,7 @@
 use secsim_bench::{RunOpts, Sweep, SweepPoint};
 use secsim_core::Policy;
 use std::fs;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 fn opts() -> RunOpts {
     RunOpts { max_insts: 3_000, ..RunOpts::default() }
@@ -24,18 +24,18 @@ fn temp_cache(tag: &str) -> PathBuf {
     d
 }
 
-fn entry_path(dir: &PathBuf, p: &SweepPoint) -> PathBuf {
+fn entry_path(dir: &Path, p: &SweepPoint) -> PathBuf {
     dir.join(format!("{}-{:016x}.json", p.bench, p.key()))
 }
 
 /// Runs the point through a fresh `Sweep` (fresh in-process memo) over
 /// `dir` and returns the report's serialized form for comparison.
-fn run_once(dir: &PathBuf) -> String {
-    let sweep = Sweep::new().with_jobs(1).with_cache_dir(dir.clone());
+fn run_once(dir: &Path) -> String {
+    let sweep = Sweep::new().with_jobs(1).with_cache_dir(dir.to_path_buf());
     let r = sweep
         .run(std::slice::from_ref(&point()))
         .pop()
-        .flatten()
+        .expect("one point in, one result out")
         .expect("known bench simulates");
     r.to_json().expect("untraced report serializes").render()
 }

@@ -10,7 +10,7 @@
 //! or reordered instructions), state leaking between the timing and
 //! functional layers, and image aliasing bugs.
 
-use secsim_cpu::{simulate_observed, RetireRecord, SimConfig, SimReport};
+use secsim_cpu::{RetireRecord, SimConfig, SimReport, SimSession};
 use secsim_isa::{step, ArchState, FReg, Reg, RegRef};
 use secsim_stats::{Json, StableHash, StableHasher};
 use secsim_workloads::Workload;
@@ -155,10 +155,10 @@ pub fn golden_compare(
 fn run_once(w: &Workload, cfg: &SimConfig) -> (SimReport, Vec<RetireRecord>, ArchState, secsim_isa::FlatMem) {
     let mut mem = w.mem.clone();
     let mut records = Vec::new();
-    let (report, st) = simulate_observed(&mut mem, w.entry, cfg, false, |r: &RetireRecord| {
-        records.push(*r)
-    });
-    (report, records, st, mem)
+    let out = SimSession::new(cfg)
+        .observe(|r: &RetireRecord| records.push(*r))
+        .run(&mut mem, w.entry);
+    (out.report, records, out.state, mem)
 }
 
 /// Runs `w` under `cfg` on the pipeline, replays the golden model

@@ -1,7 +1,7 @@
 //! The policy × MAC-latency check grid and the parallel batch runner.
 
 use crate::diff::{diff_run, Divergence};
-use crate::oracle::{check_records, GateViolation};
+use crate::oracle::{check_records, check_stall_completeness, GateViolation};
 use secsim_core::{FetchGateVariant, Policy};
 use secsim_cpu::SimConfig;
 use secsim_workloads::{generate_fuzz, DATA_BASE, FUZZ_FOOTPRINT};
@@ -130,7 +130,8 @@ pub fn run_batch(
                 let fz = generate_fuzz(seed);
                 let cfg = check_config(point.policy, point.mac_latency, fz.max_icount + 8);
                 let out = diff_run("fuzz", seed, &fz.workload, &cfg);
-                let violations = check_records(&point.policy, &out.records);
+                let mut violations = check_records(&point.policy, &out.records);
+                violations.extend(check_stall_completeness(cfg.cpu.commit_width, &out.report));
                 *results[i].lock().unwrap() = Some(TaskResult {
                     insts: out.report.insts,
                     cycles: out.report.cycles,

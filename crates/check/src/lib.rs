@@ -1,9 +1,9 @@
 //! `secsim-check`: differential co-simulation with security-invariant
 //! oracles.
 //!
-//! The cycle-level pipeline ([`secsim_cpu::simulate_observed`]) and the
-//! ISA golden model ([`secsim_isa::step`]) execute the same program from
-//! the same image. The pipeline emits one [`RetireRecord`] per
+//! The cycle-level pipeline (a [`secsim_cpu::SimSession`] with an
+//! observer) and the ISA golden model ([`secsim_isa::step`]) execute
+//! the same program from the same image. The pipeline emits one [`RetireRecord`] per
 //! committed instruction; [`diff`] replays the golden model in lockstep
 //! against that stream, comparing PCs, decoded instructions, memory
 //! effects, destination values, I/O and control outcomes, and the final
@@ -14,7 +14,9 @@
 //! each authentication control point — authen-then-issue, -commit,
 //! -write and -fetch — independently of the inline asserts compiled
 //! into the pipeline (those abort; these report, and can be exercised
-//! on doctored records to prove they fire).
+//! on doctored records to prove they fire). A fifth oracle audits the
+//! stall-attribution ledger of every report
+//! ([`oracle::check_stall_completeness`]).
 //!
 //! [`grid`] sweeps deterministic fuzz programs
 //! ([`secsim_workloads::generate_fuzz`]) across the full policy ×
@@ -29,4 +31,4 @@ pub mod oracle;
 
 pub use diff::{diff_run, dump_divergence, golden_compare, Divergence, RunOutcome};
 pub use grid::{check_config, policy_grid, run_batch, BatchSummary, GridPoint, PointStats};
-pub use oracle::{check_records, GateViolation};
+pub use oracle::{check_records, check_stall_completeness, GateViolation};

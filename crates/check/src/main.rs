@@ -14,7 +14,7 @@
 use secsim_bench::{emit, results_dir, Sweep, SweepPoint};
 use secsim_check::{check_config, dump_divergence, policy_grid, run_batch};
 use secsim_stats::Table;
-use secsim_workloads::generate_fuzz;
+use secsim_workloads::{generate_fuzz, BenchId};
 
 fn main() {
     let (sweep, rest) = Sweep::from_args();
@@ -93,14 +93,20 @@ fn main() {
         .iter()
         .flat_map(|g| {
             let cfg = check_config(g.policy, g.mac_latency, 200_000);
-            seeds.iter().map(move |&s| SweepPoint::from_config("fuzz", s, cfg))
+            seeds.iter().map(move |&s| SweepPoint::from_config(BenchId::Fuzz, s, cfg))
         })
         .collect();
     let reports = sweep.run(&points);
     let mut ipc = Table::new(["point", "mean IPC"]);
     for (gi, g) in grid.iter().enumerate() {
         let rs: Vec<f64> = (0..seeds.len())
-            .filter_map(|si| reports[gi * seeds.len() + si].as_ref().map(|r| r.ipc()))
+            .filter_map(|si| match &reports[gi * seeds.len() + si] {
+                Ok(r) => Some(r.ipc()),
+                Err(e) => {
+                    eprintln!("warning: skipping {} seed #{si}: {e}", g.label);
+                    None
+                }
+            })
             .collect();
         let mean = rs.iter().sum::<f64>() / rs.len().max(1) as f64;
         ipc.push_row([g.label.clone(), format!("{mean:.3}")]);

@@ -17,9 +17,17 @@
 //! — deliberately. The inline asserts abort at the violation site; these
 //! run over plain data, so tests can doctor a record and prove each
 //! oracle actually fires (a dead oracle is worse than none).
+//!
+//! Alongside the four control-point oracles,
+//! [`check_stall_completeness`] audits the cycle-accounting ledger of
+//! the report itself: every commit slot of every cycle must be either a
+//! retired instruction or exactly one attributed [`StallCause`] —
+//! `stall.total() + insts == commit_width × cycles`.
+//!
+//! [`StallCause`]: secsim_cpu::StallCause
 
 use secsim_core::Policy;
-use secsim_cpu::RetireRecord;
+use secsim_cpu::{RetireRecord, SimReport};
 
 /// One violated gate at one retired instruction.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -28,8 +36,8 @@ pub struct GateViolation {
     pub seq: u64,
     /// Its fetch PC.
     pub pc: u32,
-    /// Which control point was violated (`"issue"`, `"commit"`,
-    /// `"write"`, `"fetch"`).
+    /// Which oracle was violated (`"issue"`, `"commit"`, `"write"`,
+    /// `"fetch"`, or `"stall"` for the cycle-accounting ledger).
     pub gate: &'static str,
     /// Human-readable cycle evidence.
     pub detail: String,
@@ -113,4 +121,58 @@ pub fn check_records(policy: &Policy, records: &[RetireRecord]) -> Vec<GateViola
         }
     }
     out
+}
+
+/// Audits the stall-attribution ledger of `report`: the pipeline must
+/// charge every commit slot of every cycle either to a retired
+/// instruction or to exactly one stall cause, so
+/// `stall.total() + insts == commit_width × cycles` holds exactly.
+///
+/// Returns the single `"stall"`-gate violation if the ledger leaks or
+/// double-counts slots (`seq`/`pc` are zero — the ledger is a
+/// whole-run property, not tied to one instruction).
+pub fn check_stall_completeness(commit_width: u32, report: &SimReport) -> Option<GateViolation> {
+    let slots = u64::from(commit_width) * report.cycles;
+    let accounted = report.stall.total() + report.insts;
+    (accounted != slots).then(|| GateViolation {
+        seq: 0,
+        pc: 0,
+        gate: "stall",
+        detail: format!(
+            "ledger accounts {accounted} slots ({} stalled + {} retired), machine had {slots} \
+             ({} cycles × width {commit_width})",
+            report.stall.total(),
+            report.insts,
+            report.cycles,
+        ),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use secsim_cpu::{SimSession, StallCause};
+    use secsim_workloads::generate_fuzz;
+
+    /// The completeness oracle must hold on a live run and fire on a
+    /// doctored ledger — in both directions (leaked and double-counted
+    /// slots).
+    #[test]
+    fn stall_completeness_holds_live_and_fires_doctored() {
+        let fz = generate_fuzz(7);
+        let cfg =
+            crate::grid::check_config(Policy::authen_then_commit(), 74, fz.max_icount + 8);
+        let out = SimSession::new(&cfg).run(&mut fz.workload.mem.clone(), fz.workload.entry);
+        let mut report = out.report;
+        assert_eq!(check_stall_completeness(cfg.cpu.commit_width, &report), None);
+
+        report.stall.add(StallCause::Drain, 1);
+        let v = check_stall_completeness(cfg.cpu.commit_width, &report)
+            .expect("over-counted ledger must fire");
+        assert_eq!(v.gate, "stall");
+        assert!(v.detail.contains("retired"), "detail carries the evidence: {v}");
+
+        report.cycles += 1; // now the ledger under-counts instead
+        assert!(check_stall_completeness(cfg.cpu.commit_width, &report).is_some());
+    }
 }

@@ -234,7 +234,7 @@ impl EncryptedMemory {
     /// verification. Addresses outside the image report `true` (nothing
     /// to verify).
     pub fn line_valid(&self, addr: u32) -> bool {
-        self.line_of(addr).map_or(true, |i| self.mac_valid[i])
+        self.line_of(addr).is_none_or(|i| self.mac_valid[i])
     }
 
     /// Whether the line containing `addr` was ever tampered with.
@@ -399,7 +399,7 @@ mod tests {
         let (old_ct, old_mac, old_ctr) = m.capture_line(0x4080);
         m.write_u32(0x4080, 0x1234_5678); // counter bumps, new MAC
         assert!(m.line_valid(0x4080));
-        m.replay_line(0x4080, &old_ct, old_mac, old_ctr + 0);
+        m.replay_line(0x4080, &old_ct, old_mac, old_ctr);
         // Full replay (ct, mac, counter) *would* pass a per-line MAC if
         // the processor had no fresh counter — here the replayed counter
         // matches the captured one, so the line verifies:

@@ -189,13 +189,13 @@ mod tests {
     #[test]
     fn ctrl_tweaks_change_digest() {
         let a = SecureConfig::paper(Policy::authen_then_commit());
-        let mut b = a.clone();
+        let mut b = a;
         b.ctrl.queue.mac_latency += 1;
         assert_ne!(a.stable_digest(), b.stable_digest());
-        let mut c = a.clone();
+        let mut c = a;
         c.ctrl.mac_scheme = MacScheme::GmacAes;
         assert_ne!(a.stable_digest(), c.stable_digest());
-        let mut d = a.clone();
+        let mut d = a;
         d.ctrl.tree = Some(TreeConfig::paper_reference(0, 1 << 14));
         assert_ne!(a.stable_digest(), d.stable_digest());
     }

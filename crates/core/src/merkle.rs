@@ -55,7 +55,7 @@ impl MerkleTree {
         assert!(arity >= 2, "tree arity must be at least 2");
         assert!(leaf_bytes > 0, "leaf size must be positive");
         assert!(
-            !data.is_empty() && data.len() % leaf_bytes == 0,
+            !data.is_empty() && data.len().is_multiple_of(leaf_bytes),
             "data must be a non-empty multiple of the leaf size"
         );
         let hmac = HmacSha256::new(key);

@@ -203,12 +203,12 @@ impl Obfuscator {
         // extra external write of one line (optional; HIDE batches
         // these with page-granularity shuffles).
         if self.cfg.swap_writes && peer != idx {
-            let displaced = self.cfg.region_base + self.perm[peer] as u32 * self.cfg.line_bytes;
+            let displaced = self.cfg.region_base + self.perm[peer] * self.cfg.line_bytes;
             let t = chan.transfer(displaced, self.cfg.line_bytes, BusKind::Writeback, ready, 0);
             ready = ready.max(t.done);
             self.counters.inc("displaced_writes");
         }
-        let new_ext = self.cfg.region_base + self.perm[idx] as u32 * self.cfg.line_bytes;
+        let new_ext = self.cfg.region_base + self.perm[idx] * self.cfg.line_bytes;
         (new_ext, ready)
     }
 

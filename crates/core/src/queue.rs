@@ -225,6 +225,18 @@ impl AuthQueue {
         self.done_times.is_empty()
     }
 
+    /// Per-request `(arrive, start, done)` cycle triples in request-id
+    /// order: when the block's data was home, when the MAC engine began
+    /// verifying it, and when verification completed. Backs the trace
+    /// layer's MAC-queue spans and auth-queue occupancy series.
+    pub fn spans(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
+        self.arrive_times
+            .iter()
+            .zip(&self.start_times)
+            .zip(&self.done_times)
+            .map(|((&a, &s), &d)| (a, s, d))
+    }
+
     /// Queue counters (`requests`, `queue_wait_cycles`), materialized on
     /// demand.
     pub fn counters(&self) -> CounterSet {

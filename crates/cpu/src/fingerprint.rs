@@ -75,9 +75,9 @@ mod tests {
         let a = SimConfig::paper_256k(Policy::authen_then_issue());
         let b = SimConfig::paper_256k(Policy::authen_then_commit());
         assert_ne!(a.stable_digest(), b.stable_digest());
-        let c = a.clone().with_max_insts(1234);
+        let c = a.with_max_insts(1234);
         assert_ne!(a.stable_digest(), c.stable_digest());
-        let mut d = a.clone();
+        let mut d = a;
         d.cpu = CpuConfig::paper_ruu64();
         assert_ne!(a.stable_digest(), d.stable_digest());
         let e = SimConfig::paper_1m(Policy::authen_then_issue());

@@ -25,10 +25,16 @@
 //! units, branch prediction, cache hierarchy, bus and DRAM contention,
 //! and the cryptographic latencies from `secsim-core`.
 //!
+//! Runs go through the [`SimSession`] builder, which optionally attaches
+//! observers (retire callback, structured event trace, bus trace) without
+//! perturbing timing. Every lost commit slot is charged to exactly one
+//! [`StallCause`]; the resulting [`StallBreakdown`] rides on
+//! [`SimReport::stall`].
+//!
 //! # Examples
 //!
 //! ```
-//! use secsim_cpu::{simulate, SimConfig};
+//! use secsim_cpu::{SimConfig, SimSession};
 //! use secsim_core::Policy;
 //! use secsim_isa::{Asm, FlatMem, Reg};
 //!
@@ -44,9 +50,15 @@
 //! mem.load_words(0x1000, &a.assemble()?);
 //!
 //! let cfg = SimConfig::paper_256k(Policy::authen_then_commit());
-//! let report = simulate(&mut mem, 0x1000, &cfg, false);
-//! assert!(report.halted);
-//! assert!(report.ipc() > 0.5);
+//! let out = SimSession::new(&cfg).run(&mut mem, 0x1000);
+//! assert!(out.report.halted);
+//! assert!(out.report.ipc() > 0.5);
+//! // Every commit slot is accounted for: retired or attributed.
+//! let width = u64::from(cfg.cpu.commit_width);
+//! assert_eq!(
+//!     out.report.stall.total() + out.report.insts,
+//!     width * out.report.cycles,
+//! );
 //! # Ok(())
 //! # }
 //! ```
@@ -58,11 +70,17 @@ mod observe;
 mod pipeline;
 mod report;
 mod sched;
+mod session;
+mod trace;
 mod viz;
 
 pub use bpred::{BPredConfig, BranchPredictor};
 pub use config::{CpuConfig, SimConfig};
 pub use observe::RetireRecord;
-pub use pipeline::{simulate, simulate_observed, SecureImage};
+pub use pipeline::SecureImage;
+#[allow(deprecated)]
+pub use pipeline::{simulate, simulate_observed};
 pub use report::{AuthException, ControlEvent, IoEvent, SimReport};
+pub use session::{SimOutcome, SimSession};
+pub use trace::{SimTrace, StallBreakdown, StallCause, TraceConfig, TraceEvent};
 pub use viz::{render_timeline, InstTiming, TIMING_CAP};

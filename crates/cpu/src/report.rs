@@ -1,5 +1,6 @@
 //! Simulation results.
 
+use crate::trace::StallBreakdown;
 use secsim_mem::{BusEvent, BusKind};
 use secsim_stats::{CounterSet, Json};
 
@@ -72,6 +73,9 @@ pub struct SimReport {
     pub inst_timings: Vec<crate::InstTiming>,
     /// Merged counters from every component.
     pub counters: CounterSet,
+    /// Lost-commit-slot attribution: exactly one [`crate::StallCause`]
+    /// per slot; `stall.total() + insts == commit_width × cycles`.
+    pub stall: StallBreakdown,
 }
 
 impl SimReport {
@@ -165,6 +169,7 @@ impl SimReport {
             ("bus_events", Json::Array(bus_events)),
             ("control_events", Json::Array(control_events)),
             ("counters", counters),
+            ("stall", self.stall.to_json()),
         ]))
     }
 
@@ -238,6 +243,9 @@ impl SimReport {
             control_events,
             inst_timings: Vec::new(),
             counters,
+            // Cache entries written before the stall field existed lack
+            // the key and parse as a miss — exactly what we want.
+            stall: StallBreakdown::from_json(v.get("stall")?)?,
         })
     }
 }
@@ -285,16 +293,18 @@ mod tests {
 
     #[test]
     fn exception_truncates_visibility() {
-        let mut r = SimReport::default();
-        r.bus_events = vec![
-            BusEvent { cycle: 10, addr: 0xA, kind: BusKind::DataFetch },
-            BusEvent { cycle: 200, addr: 0xB, kind: BusKind::DataFetch },
-        ];
-        r.io_events = vec![
-            IoEvent { port: 1, value: 7, cycle: 20 },
-            IoEvent { port: 1, value: 8, cycle: 300 },
-        ];
-        r.exception = Some(AuthException { cycle: 100, line_addr: 0, precise: true });
+        let r = SimReport {
+            bus_events: vec![
+                BusEvent { cycle: 10, addr: 0xA, kind: BusKind::DataFetch },
+                BusEvent { cycle: 200, addr: 0xB, kind: BusKind::DataFetch },
+            ],
+            io_events: vec![
+                IoEvent { port: 1, value: 7, cycle: 20 },
+                IoEvent { port: 1, value: 8, cycle: 300 },
+            ],
+            exception: Some(AuthException { cycle: 100, line_addr: 0, precise: true }),
+            ..SimReport::default()
+        };
         let seen: Vec<u32> = r.events_before_exception().map(|e| e.addr).collect();
         assert_eq!(seen, vec![0xA]);
         let io: Vec<u32> = r.io_before_exception().map(|e| e.value).collect();
@@ -303,8 +313,10 @@ mod tests {
 
     #[test]
     fn no_exception_everything_visible() {
-        let mut r = SimReport::default();
-        r.bus_events = vec![BusEvent { cycle: 10, addr: 1, kind: BusKind::InstrFetch }];
+        let r = SimReport {
+            bus_events: vec![BusEvent { cycle: 10, addr: 1, kind: BusKind::InstrFetch }],
+            ..SimReport::default()
+        };
         assert_eq!(r.events_before_exception().count(), 1);
     }
 
@@ -327,9 +339,11 @@ mod tests {
             vec![ControlEvent { pc: 0x1004, taken: true, target: 0x1010, resolved: 7 }];
         r.counters.add("l2.miss", 17);
         r.counters.add("auth.requests", u64::MAX);
+        r.stall.add(crate::StallCause::AuthCommit, 321);
 
         let j = r.to_json().expect("trace-off report serializes");
         let back = SimReport::from_json(&j).expect("round trip");
+        assert_eq!(back.stall, r.stall);
         assert_eq!(back.insts, r.insts);
         assert_eq!(back.cycles, r.cycles);
         assert_eq!(back.exception, r.exception);

@@ -38,6 +38,14 @@ impl InOrderSlots {
         self.used += 1;
         self.cycle
     }
+
+    /// The current grant position: `(cycle, slots_used_in_cycle)`. After
+    /// a [`take`](InOrderSlots::take) the granted instruction occupies
+    /// slot `slots_used_in_cycle - 1` of `cycle` — the stall-attribution
+    /// layer uses this to index commit slots globally.
+    pub fn occupancy(&self) -> (u64, u32) {
+        (self.cycle, self.used)
+    }
 }
 
 /// Bandwidth limiter for the out-of-order issue stage: requests may
@@ -70,7 +78,7 @@ impl WindowSlots {
             if *u < self.width {
                 *u += 1;
                 self.inserts += 1;
-                if self.inserts % 65536 == 0 {
+                if self.inserts.is_multiple_of(65536) {
                     self.prune();
                 }
                 return c;

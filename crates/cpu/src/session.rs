@@ -1,0 +1,180 @@
+//! The unified simulation entry point.
+//!
+//! [`SimSession`] replaces the old `simulate` / `simulate_observed`
+//! split with one builder: configure bus tracing, event tracing and a
+//! retire observer, then [`run`](SimSession::run). All observers are
+//! optional and none affects the computed timing — a bare session is
+//! cycle-for-cycle (and byte-for-byte in its [`SimReport`]) identical
+//! to the deprecated free functions.
+//!
+//! # Examples
+//!
+//! ```
+//! use secsim_core::Policy;
+//! use secsim_cpu::{SimConfig, SimSession, TraceConfig};
+//! use secsim_isa::{Asm, FlatMem, Reg};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut a = Asm::new(0x1000);
+//! a.addi(Reg::R1, Reg::R0, 7);
+//! a.halt();
+//! let mut mem = FlatMem::new(0x1000, 1 << 16);
+//! mem.load_words(0x1000, &a.assemble()?);
+//!
+//! let cfg = SimConfig::paper_256k(Policy::authen_then_commit());
+//! let mut retires = 0u64;
+//! let out = SimSession::new(&cfg)
+//!     .trace(TraceConfig::default())
+//!     .observe(|_r| retires += 1)
+//!     .run(&mut mem, 0x1000);
+//! assert!(out.report.halted);
+//! assert_eq!(retires, out.report.insts);
+//! let chrome = out.trace.expect("tracing was on").to_chrome();
+//! assert!(chrome.get("traceEvents").is_some());
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::config::SimConfig;
+use crate::observe::RetireRecord;
+use crate::pipeline::{run_pipeline, SecureImage};
+use crate::report::SimReport;
+use crate::trace::{SimTrace, TraceConfig};
+use secsim_isa::ArchState;
+
+/// Everything one simulation run produced.
+#[derive(Debug)]
+pub struct SimOutcome {
+    /// Timing report (cycles, counters, stall breakdown, events).
+    pub report: SimReport,
+    /// Final architectural state of the functional execution.
+    pub state: ArchState,
+    /// Structured event trace, present iff [`SimSession::trace`] was
+    /// configured.
+    pub trace: Option<SimTrace>,
+}
+
+/// A boxed per-retire observer, as registered by [`SimSession::observe`].
+type Observer<'a> = Box<dyn FnMut(&RetireRecord) + 'a>;
+
+/// Builder for one simulation run.
+pub struct SimSession<'a> {
+    cfg: SimConfig,
+    trace_bus: bool,
+    trace: Option<TraceConfig>,
+    observer: Option<Observer<'a>>,
+}
+
+impl<'a> SimSession<'a> {
+    /// A session with no observers: equivalent to the deprecated
+    /// `simulate(image, entry, cfg, false)`.
+    pub fn new(cfg: &SimConfig) -> Self {
+        Self { cfg: *cfg, trace_bus: false, trace: None, observer: None }
+    }
+
+    /// Enables (or disables) the attacker-visible bus trace
+    /// ([`SimReport::bus_events`]) plus resolved-control and
+    /// first-instruction timing capture.
+    pub fn trace_bus(mut self, on: bool) -> Self {
+        self.trace_bus = on;
+        self
+    }
+
+    /// Enables structured event tracing; the run's [`SimOutcome::trace`]
+    /// will hold a [`SimTrace`].
+    pub fn trace(mut self, cfg: TraceConfig) -> Self {
+        self.trace = Some(cfg);
+        self
+    }
+
+    /// Registers a per-retire observer, called once per committed
+    /// instruction in program order.
+    pub fn observe(mut self, f: impl FnMut(&RetireRecord) + 'a) -> Self {
+        self.observer = Some(Box::new(f));
+        self
+    }
+
+    /// Runs `image` from `entry` to completion (halt, decode fault, or
+    /// `cfg.max_insts`).
+    pub fn run<M: SecureImage>(self, image: &mut M, entry: u32) -> SimOutcome {
+        let SimSession { cfg, trace_bus, trace, mut observer } = self;
+        let observer_dyn: Option<&mut dyn FnMut(&RetireRecord)> = match observer.as_mut() {
+            Some(b) => Some(&mut **b),
+            None => None,
+        };
+        let (report, state, trace) =
+            run_pipeline(image, entry, &cfg, trace_bus, observer_dyn, trace);
+        SimOutcome { report, state, trace }
+    }
+}
+
+impl std::fmt::Debug for SimSession<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimSession")
+            .field("cfg", &self.cfg)
+            .field("trace_bus", &self.trace_bus)
+            .field("trace", &self.trace)
+            .field("observer", &self.observer.as_ref().map(|_| "FnMut"))
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use secsim_core::Policy;
+    use secsim_isa::{Asm, FlatMem, MemIo, Reg};
+
+    fn program() -> (FlatMem, u32) {
+        let mut a = Asm::new(0x1000);
+        let top = a.new_label();
+        a.li(Reg::R1, 0x10_0000);
+        a.bind(top).unwrap();
+        a.lw(Reg::R1, Reg::R1, 0);
+        a.bne(Reg::R1, Reg::R0, top);
+        a.halt();
+        let mut mem = FlatMem::new(0x1000, 1 << 22);
+        mem.load_words(0x1000, &a.assemble().unwrap());
+        for i in 0..40u32 {
+            let addr = 0x10_0000 + i * 4096;
+            let next = if i == 39 { 0 } else { addr + 4096 };
+            mem.write_u32(addr, next);
+        }
+        (mem, 0x1000)
+    }
+
+    #[test]
+    fn observer_sees_every_retire_in_order() {
+        let (mem, entry) = program();
+        let cfg = SimConfig::paper_256k(Policy::authen_then_issue());
+        let mut seqs = Vec::new();
+        let out = SimSession::new(&cfg)
+            .observe(|r| seqs.push(r.seq))
+            .run(&mut mem.clone(), entry);
+        assert_eq!(seqs.len() as u64, out.report.insts);
+        assert!(seqs.windows(2).all(|w| w[1] == w[0] + 1));
+    }
+
+    #[test]
+    fn session_matches_deprecated_simulate_byte_for_byte() {
+        let (mem, entry) = program();
+        for policy in [
+            Policy::baseline(),
+            Policy::authen_then_issue(),
+            Policy::authen_then_commit(),
+            Policy::authen_then_write(),
+            Policy::authen_then_fetch(),
+            Policy::commit_plus_fetch(),
+        ] {
+            let cfg = SimConfig::paper_256k(policy);
+            #[allow(deprecated)]
+            let old = crate::simulate(&mut mem.clone(), entry, &cfg, false);
+            let new = SimSession::new(&cfg).run(&mut mem.clone(), entry).report;
+            assert_eq!(
+                old.to_json().unwrap().render(),
+                new.to_json().unwrap().render(),
+                "SimSession must reproduce simulate() exactly under {policy}"
+            );
+        }
+    }
+}

@@ -2,7 +2,7 @@
 //! programs where the expected timing relationship is unambiguous.
 
 use secsim_core::{FetchGateVariant, Policy};
-use secsim_cpu::{simulate, CpuConfig, SimConfig};
+use secsim_cpu::{CpuConfig, SimConfig, SimSession};
 use secsim_isa::{Asm, FlatMem, MemIo, Reg};
 
 /// Dependent-miss chain: each load's address comes from the previous
@@ -33,7 +33,7 @@ fn store_burst(n: u32) -> (FlatMem, u32) {
     let mut a = Asm::new(0x1000);
     let top = a.new_label();
     a.li(Reg::R1, 0x10_0000);
-    a.li(Reg::R2, n as u32);
+    a.li(Reg::R2, n);
     a.bind(top).expect("fresh");
     a.sw(Reg::R2, Reg::R1, 0);
     a.li(Reg::R3, 4096);
@@ -51,7 +51,7 @@ fn cycles(mem: &FlatMem, entry: u32, policy: Policy, cpu: Option<CpuConfig>) -> 
     if let Some(c) = cpu {
         cfg.cpu = c;
     }
-    simulate(&mut mem.clone(), entry, &cfg, false).cycles
+    SimSession::new(&cfg).run(&mut mem.clone(), entry).report.cycles
 }
 
 /// The drain variant of authen-then-fetch is never faster than the
@@ -133,7 +133,7 @@ fn quiesce_extends_cycles_under_write_gating() {
     let mut mem = FlatMem::new(0x1000, 4 << 20);
     mem.load_words(0x1000, &a.assemble().expect("assembles"));
     let cfg = SimConfig::paper_256k(Policy::authen_then_write());
-    let r = simulate(&mut mem, 0x1000, &cfg, false);
+    let r = SimSession::new(&cfg).run(&mut mem, 0x1000).report;
     assert!(r.halted);
     let io = r.io_events[0].cycle;
     assert!(io <= r.cycles, "io at {io} must be within the {}-cycle run", r.cycles);
@@ -181,7 +181,7 @@ fn exception_precision_follows_policy() {
         let mut img = EncryptedMemory::from_plain(0, &plain, &[8; 16], b"pg");
         img.tamper_xor(0x1000, &[0xFF]);
         let cfg = SimConfig::paper_256k(policy);
-        let r = simulate(&mut img, 0x0, &cfg, false);
+        let r = SimSession::new(&cfg).run(&mut img, 0x0).report;
         let e = r.exception.expect("tamper must be detected");
         assert_eq!(e.precise, precise, "precision flag for {policy}");
         assert_eq!(e.line_addr, 0x1000);

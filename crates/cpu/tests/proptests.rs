@@ -10,7 +10,7 @@
 
 use proptest::prelude::*;
 use secsim_core::Policy;
-use secsim_cpu::{simulate, SimConfig};
+use secsim_cpu::{SimConfig, SimSession};
 use secsim_isa::{encode, step, ArchState, FlatMem, Inst, MemIo, Reg};
 
 const DATA_BASE: u32 = 0x8000;
@@ -97,7 +97,7 @@ proptest! {
             Policy::commit_plus_fetch(),
         ] {
             let cfg = SimConfig::paper_256k(policy);
-            let r = simulate(&mut mem.clone(), entry, &cfg, false);
+            let r = SimSession::new(&cfg).run(&mut mem.clone(), entry).report;
             prop_assert!(r.halted);
             prop_assert!(r.exception.is_none());
             prop_assert_eq!(r.io_events.len(), 1);
@@ -113,7 +113,7 @@ proptest! {
     fn gating_never_speeds_up(body in straightline_program()) {
         let (mem, entry) = build_image(&body);
         let run = |p: Policy| {
-            simulate(&mut mem.clone(), entry, &SimConfig::paper_256k(p), false).cycles
+            SimSession::new(&SimConfig::paper_256k(p)).run(&mut mem.clone(), entry).report.cycles
         };
         let base = run(Policy::baseline());
         prop_assert_eq!(run(Policy::baseline()), base, "nondeterministic baseline");

@@ -181,12 +181,10 @@ pub fn step<M: MemIo>(st: &mut ArchState, mem: &mut M) -> Result<StepInfo, Fault
         Sltu { rd, rs1, rs2 } => st.set_reg(rd, (st.reg(rs1) < st.reg(rs2)) as u32),
         Mul { rd, rs1, rs2 } => st.set_reg(rd, st.reg(rs1).wrapping_mul(st.reg(rs2))),
         Divu { rd, rs1, rs2 } => {
-            let d = st.reg(rs2);
-            st.set_reg(rd, if d == 0 { u32::MAX } else { st.reg(rs1) / d });
+            st.set_reg(rd, st.reg(rs1).checked_div(st.reg(rs2)).unwrap_or(u32::MAX));
         }
         Remu { rd, rs1, rs2 } => {
-            let d = st.reg(rs2);
-            st.set_reg(rd, if d == 0 { st.reg(rs1) } else { st.reg(rs1) % d });
+            st.set_reg(rd, st.reg(rs1).checked_rem(st.reg(rs2)).unwrap_or(st.reg(rs1)));
         }
         Addi { rd, rs1, imm } => st.set_reg(rd, st.reg(rs1).wrapping_add(imm as i32 as u32)),
         Andi { rd, rs1, imm } => st.set_reg(rd, st.reg(rs1) & imm as u32),

@@ -203,7 +203,9 @@ mod tests {
         assert!(!m.contains(0x1000, 9));
         assert!(!m.contains(0xFFF, 1));
         assert!(m.contains(0x1007, 1));
-        assert!(!m.contains(0x1008, 0).then_some(false).unwrap_or(false));
+        // a zero-length range at one-past-the-end is (vacuously) contained
+        assert!(m.contains(0x1008, 0));
+        assert!(!m.contains(0x1009, 0));
     }
 
     #[test]

@@ -58,7 +58,7 @@ impl CacheConfig {
         assert!(self.line_bytes.is_power_of_two(), "line size must be a power of two");
         assert!(self.assoc >= 1, "associativity must be at least 1");
         assert!(
-            self.size_bytes % (self.line_bytes * self.assoc) == 0,
+            self.size_bytes.is_multiple_of(self.line_bytes * self.assoc),
             "size must be a multiple of line_bytes * assoc"
         );
         assert!(self.sets().is_power_of_two(), "set count must be a power of two");

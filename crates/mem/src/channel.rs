@@ -112,6 +112,28 @@ pub struct Transfer {
     pub done: u64,
 }
 
+/// One fully-timed bus transaction, recorded only when
+/// [`Channel::record_transfers`] has been called. Unlike [`BusEvent`]
+/// (the attacker's address probe), this carries the full request→grant→
+/// data window the trace layer renders as a span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BusXfer {
+    /// Transaction type.
+    pub kind: BusKind,
+    /// Line-aligned address.
+    pub addr: u32,
+    /// Burst length in bytes.
+    pub bytes: u32,
+    /// Cycle the transaction was requested (before arbitration).
+    pub requested: u64,
+    /// Cycle the address phase was granted.
+    pub granted: u64,
+    /// Cycle the first (critical) chunk arrived.
+    pub first_ready: u64,
+    /// Cycle the burst completed.
+    pub done: u64,
+}
+
 /// The serializing front-side bus + SDRAM channel.
 ///
 /// A single shared 8-byte bus (paper Table 3) carries every transaction;
@@ -144,6 +166,9 @@ pub struct Channel {
     /// runs on every off-chip event and must not do name lookups.
     xacts: [u64; N_KINDS],
     busy_cycles: u64,
+    /// Full transaction log for the trace layer; `None` (the default)
+    /// keeps the hot path allocation-free.
+    xfer_log: Option<Vec<BusXfer>>,
 }
 
 impl Channel {
@@ -156,7 +181,22 @@ impl Channel {
             trace: BusTrace::new(),
             xacts: [0; N_KINDS],
             busy_cycles: 0,
+            xfer_log: None,
         }
+    }
+
+    /// Starts recording every transfer's full timing into the log
+    /// readable via [`Channel::transfers`].
+    pub fn record_transfers(&mut self) {
+        if self.xfer_log.is_none() {
+            self.xfer_log = Some(Vec::new());
+        }
+    }
+
+    /// All recorded transfers in request order (empty unless
+    /// [`Channel::record_transfers`] was called first).
+    pub fn transfers(&self) -> &[BusXfer] {
+        self.xfer_log.as_deref().unwrap_or(&[])
     }
 
     /// Performs a `bytes` burst at `addr`, with the address phase granted
@@ -189,6 +229,17 @@ impl Channel {
         self.trace.record(BusEvent { cycle: start, addr, kind });
         self.xacts[kind_index(kind)] += 1;
         self.busy_cycles += done - first_ready + addr_phase;
+        if let Some(log) = self.xfer_log.as_mut() {
+            log.push(BusXfer {
+                kind,
+                addr,
+                bytes,
+                requested: now.max(not_before),
+                granted: start,
+                first_ready,
+                done,
+            });
+        }
         Transfer { granted: start, first_ready, done }
     }
 

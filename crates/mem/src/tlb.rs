@@ -69,7 +69,7 @@ impl Tlb {
     ///
     /// Panics unless `entries` is a power-of-two multiple of `assoc`.
     pub fn new(cfg: TlbConfig) -> Self {
-        assert!(cfg.assoc >= 1 && cfg.entries % cfg.assoc == 0);
+        assert!(cfg.assoc >= 1 && cfg.entries.is_multiple_of(cfg.assoc));
         assert!((cfg.entries / cfg.assoc).is_power_of_two());
         assert!(cfg.page_bytes.is_power_of_two());
         Self {
@@ -141,7 +141,7 @@ mod tests {
         let cfg = TlbConfig { entries: 4, assoc: 2, page_bytes: 4096, miss_penalty: 10 };
         let mut t = Tlb::new(cfg);
         // Three pages in the same set (set stride = 2 pages).
-        t.access(0 * 4096);
+        t.access(0);
         t.access(2 * 4096);
         t.access(4 * 4096); // evicts page 0
         assert_eq!(t.access(0), 10);

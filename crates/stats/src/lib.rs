@@ -13,6 +13,8 @@
 //!   renderer, backing the on-disk experiment result cache.
 //! * [`StableHash`] / [`StableHasher`] — platform-stable FNV-1a config
 //!   fingerprinting for cache keys.
+//! * [`Timeline`] / [`OccupancySeries`] — Chrome `trace_event` JSON
+//!   export (spans, counters, lane allocation) for `--trace` output.
 //!
 //! # Examples
 //!
@@ -35,6 +37,7 @@ mod json;
 mod stable_hash;
 mod summary;
 mod table;
+mod timeline;
 
 pub use counters::CounterSet;
 pub use histogram::Histogram;
@@ -42,3 +45,4 @@ pub use json::{Json, JsonError};
 pub use stable_hash::{StableHash, StableHasher};
 pub use summary::{geomean, Summary};
 pub use table::{fmt3, Table};
+pub use timeline::{OccupancySeries, Timeline};

@@ -92,7 +92,7 @@ impl Table {
             for (c, w) in cells.iter().zip(widths) {
                 line.push(' ');
                 line.push_str(c);
-                line.extend(std::iter::repeat(' ').take(w - c.chars().count() + 1));
+                line.extend(std::iter::repeat_n(' ', w - c.chars().count() + 1));
                 line.push('|');
             }
             line

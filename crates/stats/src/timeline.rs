@@ -1,0 +1,359 @@
+//! Chrome `trace_event` timeline builder.
+//!
+//! The tracing layer in `secsim-cpu` records spans (an instruction
+//! occupying the RUU, a MAC computation in flight, a bus transfer) and
+//! counter samples (auth-queue depth, RUU occupancy). This module turns
+//! those into the Chrome/Perfetto `trace_event` JSON format — a
+//! `{"traceEvents": [...]}` document of paired `"B"`/`"E"` duration
+//! events plus `"C"` counter events — loadable in `about://tracing` or
+//! <https://ui.perfetto.dev>.
+//!
+//! Spans on the same track may overlap in time (two MACs pipelined in
+//! the auth engine, two bus transfers with overlapped data return), but
+//! the Chrome format nests same-thread events strictly. [`Timeline`]
+//! therefore lane-allocates greedily: each track expands into as many
+//! virtual threads ("`mac (lane 1)`") as its maximum concurrency
+//! requires, and every lane carries non-overlapping spans only.
+//!
+//! All timestamps are simulator cycles, reported through the `ts` field
+//! unscaled (the viewer displays them as microseconds; only relative
+//! placement matters for our use).
+//!
+//! # Examples
+//!
+//! ```
+//! use secsim_stats::Timeline;
+//!
+//! let mut tl = Timeline::new();
+//! tl.push_span("bus", "L2 fill", 10, 25);
+//! tl.push_counter("ruu", 10, 3.0);
+//! let doc = tl.to_chrome_trace().render();
+//! assert!(doc.starts_with("{\"traceEvents\":["));
+//! ```
+
+use crate::json::Json;
+
+/// One duration span on a named track.
+#[derive(Debug, Clone)]
+struct Span {
+    track: usize,
+    name: String,
+    begin: u64,
+    end: u64,
+    args: Vec<(String, Json)>,
+}
+
+/// A builder for Chrome `trace_event` JSON documents.
+///
+/// Push spans and counter samples in any order; [`to_chrome_trace`]
+/// sorts, lane-allocates and renders deterministically.
+///
+/// [`to_chrome_trace`]: Timeline::to_chrome_trace
+#[derive(Debug, Default)]
+pub struct Timeline {
+    tracks: Vec<String>,
+    spans: Vec<Span>,
+    counters: Vec<(String, u64, f64)>,
+}
+
+impl Timeline {
+    /// An empty timeline.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn track_id(&mut self, track: &str) -> usize {
+        if let Some(i) = self.tracks.iter().position(|t| t == track) {
+            return i;
+        }
+        self.tracks.push(track.to_string());
+        self.tracks.len() - 1
+    }
+
+    /// Adds a `[begin, end)` span named `name` to `track`. Zero-length
+    /// spans are widened to one cycle so they stay visible (and keep
+    /// `B` strictly before `E`).
+    pub fn push_span(&mut self, track: &str, name: &str, begin: u64, end: u64) {
+        self.push_span_args(track, name, begin, end, Vec::new());
+    }
+
+    /// [`push_span`](Timeline::push_span) with extra `args` attached to
+    /// the `B` event (shown in the viewer's detail pane).
+    pub fn push_span_args(
+        &mut self,
+        track: &str,
+        name: &str,
+        begin: u64,
+        end: u64,
+        args: Vec<(String, Json)>,
+    ) {
+        let track = self.track_id(track);
+        let end = end.max(begin + 1);
+        self.spans.push(Span { track, name: name.to_string(), begin, end, args });
+    }
+
+    /// Adds one sample of counter series `name` at cycle `ts`.
+    pub fn push_counter(&mut self, name: &str, ts: u64, value: f64) {
+        self.counters.push((name.to_string(), ts, value));
+    }
+
+    /// True if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty() && self.counters.is_empty()
+    }
+
+    /// Renders the Chrome `trace_event` document.
+    pub fn to_chrome_trace(&self) -> Json {
+        // (ts, order, Json): order makes metadata sort first and, at
+        // equal ts, closes the previous span before opening the next on
+        // the same lane (E=1 < B=2).
+        let mut events: Vec<(u64, u8, Json)> = Vec::new();
+        let pid = 1u64;
+
+        // Lane-allocate each track: sort its spans by (begin, end) and
+        // greedily place each on the first lane free at its begin.
+        let mut next_tid = 1u64;
+        for (track_id, track_name) in self.tracks.iter().enumerate() {
+            let mut spans: Vec<&Span> =
+                self.spans.iter().filter(|s| s.track == track_id).collect();
+            spans.sort_by_key(|s| (s.begin, s.end));
+            let mut lane_free: Vec<u64> = Vec::new();
+            let mut lane_tid: Vec<u64> = Vec::new();
+            for s in spans {
+                let lane = match lane_free.iter().position(|&f| f <= s.begin) {
+                    Some(l) => l,
+                    None => {
+                        let l = lane_free.len();
+                        lane_free.push(0);
+                        lane_tid.push(next_tid);
+                        let label = if l == 0 {
+                            track_name.clone()
+                        } else {
+                            format!("{track_name} (lane {l})")
+                        };
+                        events.push((
+                            0,
+                            0,
+                            Json::obj(vec![
+                                ("name", Json::Str("thread_name".into())),
+                                ("ph", Json::Str("M".into())),
+                                ("pid", Json::UInt(pid)),
+                                ("tid", Json::UInt(next_tid)),
+                                ("args", Json::obj(vec![("name", Json::Str(label))])),
+                            ]),
+                        ));
+                        next_tid += 1;
+                        l
+                    }
+                };
+                lane_free[lane] = s.end;
+                let tid = lane_tid[lane];
+                let mut b = vec![
+                    ("name".to_string(), Json::Str(s.name.clone())),
+                    ("cat".to_string(), Json::Str(track_name.clone())),
+                    ("ph".to_string(), Json::Str("B".into())),
+                    ("ts".to_string(), Json::UInt(s.begin)),
+                    ("pid".to_string(), Json::UInt(pid)),
+                    ("tid".to_string(), Json::UInt(tid)),
+                ];
+                if !s.args.is_empty() {
+                    b.push(("args".to_string(), Json::Object(s.args.clone())));
+                }
+                events.push((s.begin, 2, Json::Object(b)));
+                events.push((
+                    s.end,
+                    1,
+                    Json::obj(vec![
+                        ("name", Json::Str(s.name.clone())),
+                        ("cat", Json::Str(track_name.clone())),
+                        ("ph", Json::Str("E".into())),
+                        ("ts", Json::UInt(s.end)),
+                        ("pid", Json::UInt(pid)),
+                        ("tid", Json::UInt(tid)),
+                    ]),
+                ));
+            }
+        }
+
+        // Counters ride on tid 0 (the format keys them by name).
+        for (name, ts, value) in &self.counters {
+            events.push((
+                *ts,
+                3,
+                Json::obj(vec![
+                    ("name", Json::Str(name.clone())),
+                    ("ph", Json::Str("C".into())),
+                    ("ts", Json::UInt(*ts)),
+                    ("pid", Json::UInt(pid)),
+                    ("tid", Json::UInt(0)),
+                    ("args", Json::obj(vec![("value", Json::Float(*value))])),
+                ]),
+            ));
+        }
+
+        events.sort_by_key(|e| (e.0, e.1));
+        Json::obj(vec![(
+            "traceEvents",
+            Json::Array(events.into_iter().map(|(_, _, e)| e).collect()),
+        )])
+    }
+}
+
+/// A bucketed occupancy sampler: feed `+1`/`-1` deltas at event cycles,
+/// read back a downsampled step series suitable for counter events.
+///
+/// The series reports the *maximum* level seen inside each
+/// `interval`-cycle bucket, so short queue spikes survive downsampling.
+#[derive(Debug, Default, Clone)]
+pub struct OccupancySeries {
+    deltas: Vec<(u64, i64)>,
+}
+
+impl OccupancySeries {
+    /// An empty series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a level change of `delta` at `cycle`.
+    pub fn delta(&mut self, cycle: u64, delta: i64) {
+        self.deltas.push((cycle, delta));
+    }
+
+    /// True if no deltas were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.deltas.is_empty()
+    }
+
+    /// The per-bucket maximum level, one `(bucket_start_cycle, level)`
+    /// sample per non-empty bucket plus a closing zero-delta sample.
+    /// `interval` is clamped to at least 1.
+    pub fn samples(&self, interval: u64) -> Vec<(u64, i64)> {
+        let interval = interval.max(1);
+        let mut deltas = self.deltas.clone();
+        deltas.sort_by_key(|&(c, _)| c);
+        let mut out: Vec<(u64, i64)> = Vec::new();
+        let mut level = 0i64;
+        let mut bucket = 0u64;
+        let mut bucket_max = 0i64;
+        let mut any = false;
+        for (c, d) in deltas {
+            let b = c / interval;
+            if any && b != bucket {
+                out.push((bucket * interval, bucket_max));
+                // Carry the standing level into skipped buckets.
+                bucket_max = level;
+            }
+            bucket = b;
+            any = true;
+            level += d;
+            bucket_max = bucket_max.max(level);
+        }
+        if any {
+            out.push((bucket * interval, bucket_max));
+            out.push(((bucket + 1) * interval, level));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn events(doc: &Json) -> Vec<Json> {
+        doc.get("traceEvents").unwrap().as_array().unwrap().to_vec()
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_monotonic_ts() {
+        let mut tl = Timeline::new();
+        tl.push_span("bus", "b", 20, 30);
+        tl.push_span("bus", "a", 5, 12);
+        tl.push_counter("ruu", 7, 2.0);
+        let doc = tl.to_chrome_trace();
+        // Parse maps unsigned literals to Int, so compare renders.
+        let round = Json::parse(&doc.render()).unwrap();
+        assert_eq!(round.render(), doc.render());
+        let mut last = 0;
+        for e in events(&doc) {
+            // Metadata ("M") events carry no timestamp.
+            let Some(ts) = e.get("ts").and_then(Json::as_u64) else {
+                continue;
+            };
+            assert!(ts >= last, "ts went backwards");
+            last = ts;
+        }
+    }
+
+    #[test]
+    fn spans_emit_paired_b_e_per_tid() {
+        let mut tl = Timeline::new();
+        tl.push_span("pipe", "i0", 0, 4);
+        tl.push_span("pipe", "i1", 4, 9);
+        tl.push_span("pipe", "i2", 2, 6); // overlaps i0 -> second lane
+        let doc = tl.to_chrome_trace();
+        let mut depth: std::collections::HashMap<u64, i64> = Default::default();
+        for e in events(&doc) {
+            let ph = e.get("ph").unwrap().as_str().unwrap();
+            let tid = e.get("tid").unwrap().as_u64().unwrap();
+            match ph {
+                "B" => *depth.entry(tid).or_default() += 1,
+                "E" => {
+                    let d = depth.entry(tid).or_default();
+                    *d -= 1;
+                    assert!(*d >= 0, "E without matching B on tid {tid}");
+                }
+                _ => {}
+            }
+            // Our lanes never nest: depth stays 0 or 1.
+            assert!(depth.values().all(|&d| d <= 1));
+        }
+        assert!(depth.values().all(|&d| d == 0), "unclosed span");
+    }
+
+    #[test]
+    fn overlapping_spans_get_separate_lanes_with_names() {
+        let mut tl = Timeline::new();
+        tl.push_span("mac", "m0", 0, 100);
+        tl.push_span("mac", "m1", 10, 50);
+        let doc = tl.to_chrome_trace();
+        let meta: Vec<Json> = events(&doc)
+            .into_iter()
+            .filter(|e| e.get("ph").unwrap().as_str() == Some("M"))
+            .collect();
+        assert_eq!(meta.len(), 2);
+        let names: Vec<String> = meta
+            .iter()
+            .map(|e| {
+                e.get("args").unwrap().get("name").unwrap().as_str().unwrap().to_string()
+            })
+            .collect();
+        assert!(names.contains(&"mac".to_string()));
+        assert!(names.contains(&"mac (lane 1)".to_string()));
+    }
+
+    #[test]
+    fn zero_length_span_is_widened() {
+        let mut tl = Timeline::new();
+        tl.push_span("t", "x", 5, 5);
+        let doc = tl.to_chrome_trace();
+        let es = events(&doc);
+        let b = es.iter().find(|e| e.get("ph").unwrap().as_str() == Some("B")).unwrap();
+        let e = es.iter().find(|e| e.get("ph").unwrap().as_str() == Some("E")).unwrap();
+        assert_eq!(b.get("ts").unwrap().as_u64(), Some(5));
+        assert_eq!(e.get("ts").unwrap().as_u64(), Some(6));
+    }
+
+    #[test]
+    fn occupancy_samples_track_max_per_bucket() {
+        let mut s = OccupancySeries::new();
+        s.delta(0, 1);
+        s.delta(3, 1); // level 2 inside bucket 0
+        s.delta(4, -1);
+        s.delta(130, 1);
+        let samples = s.samples(64);
+        assert_eq!(samples, vec![(0, 2), (128, 2), (192, 2)]);
+        assert!(OccupancySeries::new().samples(64).is_empty());
+    }
+}

@@ -127,7 +127,7 @@ fn emit_store_stream(a: &mut Asm, elems: u32, stride: u32, region_mask: u32) {
 
 fn emit_daxpy(a: &mut Asm, elems: u32, region_mask: u32) {
     // X in the lower half, Y in the upper half of the region.
-    let half = (region_mask + 1) / 2;
+    let half = region_mask.div_ceil(2);
     emit_counted_loop(a, elems, |a| {
         a.li(Reg::R14, half - 1);
         a.and(Reg::R11, Reg::R11, Reg::R14);

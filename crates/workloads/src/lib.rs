@@ -42,4 +42,7 @@ pub use fuzz::{generate as generate_fuzz, FuzzProgram, FUZZ_FOOTPRINT};
 pub use rng::SplitMix64;
 pub use kernels::KernelKind;
 pub use micro::Micro;
-pub use spec::{benchmarks, build, fp_benchmarks, int_benchmarks, profile, BenchClass, Phase, Profile};
+pub use spec::{
+    benchmarks, build, fp_benchmarks, int_benchmarks, profile, BenchClass, BenchId,
+    ParseBenchError, Phase, Profile,
+};

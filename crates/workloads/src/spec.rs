@@ -77,13 +77,221 @@ fn p(
     Profile { name, class, footprint, node_stride, outer_iters: 1 << 20, phases }
 }
 
-/// The profile for `name`, or `None` for an unknown benchmark.
-pub fn profile(name: &str) -> Option<Profile> {
+/// Statically identified benchmark: the 18 SPEC2000 profiles plus the
+/// differential-harness [`Fuzz`](BenchId::Fuzz) target.
+///
+/// Replaces the stringly-typed benchmark names: lookups through
+/// `BenchId` cannot fail, so sweep grids and config derivation carry no
+/// `Option`s. [`FromStr`](std::str::FromStr) / `Display` round-trip
+/// through the canonical lowercase names, which also remain the stable
+/// on-disk cache-key spelling.
+///
+/// # Examples
+///
+/// ```
+/// use secsim_workloads::BenchId;
+///
+/// let b: BenchId = "mcf".parse()?;
+/// assert_eq!(b, BenchId::Mcf);
+/// assert_eq!(b.to_string(), "mcf");
+/// assert_eq!(BenchId::all().count(), 18);
+/// assert!("nosuchbench".parse::<BenchId>().is_err());
+/// # Ok::<(), secsim_workloads::ParseBenchError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum BenchId {
+    /// SPEC2000 INT `256.bzip2`.
+    Bzip2,
+    /// SPEC2000 INT `176.gcc`.
+    Gcc,
+    /// SPEC2000 INT `164.gzip`.
+    Gzip,
+    /// SPEC2000 INT `181.mcf`.
+    Mcf,
+    /// SPEC2000 INT `197.parser`.
+    Parser,
+    /// SPEC2000 INT `253.perlbmk`.
+    Perlbmk,
+    /// SPEC2000 INT `300.twolf`.
+    Twolf,
+    /// SPEC2000 INT `255.vortex`.
+    Vortex,
+    /// SPEC2000 INT `175.vpr`.
+    Vpr,
+    /// SPEC2000 FP `188.ammp`.
+    Ammp,
+    /// SPEC2000 FP `173.applu`.
+    Applu,
+    /// SPEC2000 FP `179.art`.
+    Art,
+    /// SPEC2000 FP `183.equake`.
+    Equake,
+    /// SPEC2000 FP `187.facerec`.
+    Facerec,
+    /// SPEC2000 FP `189.lucas`.
+    Lucas,
+    /// SPEC2000 FP `172.mgrid`.
+    Mgrid,
+    /// SPEC2000 FP `171.swim`.
+    Swim,
+    /// SPEC2000 FP `168.wupwise`.
+    Wupwise,
+    /// Not SPEC: the deterministic fuzz-program target used by the
+    /// differential co-simulation harness (`secsim-check`).
+    Fuzz,
+}
+
+impl BenchId {
+    /// The 18 SPEC benchmarks in paper order (INT suite first); excludes
+    /// [`Fuzz`](BenchId::Fuzz).
+    pub const ALL: [BenchId; 18] = [
+        BenchId::Bzip2,
+        BenchId::Gcc,
+        BenchId::Gzip,
+        BenchId::Mcf,
+        BenchId::Parser,
+        BenchId::Perlbmk,
+        BenchId::Twolf,
+        BenchId::Vortex,
+        BenchId::Vpr,
+        BenchId::Ammp,
+        BenchId::Applu,
+        BenchId::Art,
+        BenchId::Equake,
+        BenchId::Facerec,
+        BenchId::Lucas,
+        BenchId::Mgrid,
+        BenchId::Swim,
+        BenchId::Wupwise,
+    ];
+
+    /// The nine INT benchmarks.
+    pub const INT: [BenchId; 9] = [
+        BenchId::Bzip2,
+        BenchId::Gcc,
+        BenchId::Gzip,
+        BenchId::Mcf,
+        BenchId::Parser,
+        BenchId::Perlbmk,
+        BenchId::Twolf,
+        BenchId::Vortex,
+        BenchId::Vpr,
+    ];
+
+    /// The nine FP benchmarks.
+    pub const FP: [BenchId; 9] = [
+        BenchId::Ammp,
+        BenchId::Applu,
+        BenchId::Art,
+        BenchId::Equake,
+        BenchId::Facerec,
+        BenchId::Lucas,
+        BenchId::Mgrid,
+        BenchId::Swim,
+        BenchId::Wupwise,
+    ];
+
+    /// Iterates the 18 SPEC benchmarks in paper order.
+    pub fn all() -> impl Iterator<Item = BenchId> {
+        Self::ALL.into_iter()
+    }
+
+    /// The canonical lowercase name (cache-key and CLI spelling).
+    pub fn name(self) -> &'static str {
+        match self {
+            BenchId::Bzip2 => "bzip2",
+            BenchId::Gcc => "gcc",
+            BenchId::Gzip => "gzip",
+            BenchId::Mcf => "mcf",
+            BenchId::Parser => "parser",
+            BenchId::Perlbmk => "perlbmk",
+            BenchId::Twolf => "twolf",
+            BenchId::Vortex => "vortex",
+            BenchId::Vpr => "vpr",
+            BenchId::Ammp => "ammp",
+            BenchId::Applu => "applu",
+            BenchId::Art => "art",
+            BenchId::Equake => "equake",
+            BenchId::Facerec => "facerec",
+            BenchId::Lucas => "lucas",
+            BenchId::Mgrid => "mgrid",
+            BenchId::Swim => "swim",
+            BenchId::Wupwise => "wupwise",
+            BenchId::Fuzz => "fuzz",
+        }
+    }
+
+    /// INT or FP suite ([`Fuzz`](BenchId::Fuzz) counts as INT).
+    pub fn class(self) -> BenchClass {
+        self.profile().class
+    }
+
+    /// The benchmark's kernel-mix profile. Infallible, unlike the
+    /// stringly-typed [`profile`] shim.
+    pub fn profile(self) -> Profile {
+        profile_of(self)
+    }
+
+    /// Builds the benchmark deterministically in `seed`.
+    ///
+    /// [`Fuzz`](BenchId::Fuzz) builds a random program from the
+    /// deterministic generator ([`generate_fuzz`](crate::generate_fuzz))
+    /// instead of a kernel-mix profile.
+    pub fn build(self, seed: u64) -> Workload {
+        if self == BenchId::Fuzz {
+            crate::fuzz::generate(seed).workload
+        } else {
+            Workload::from_profile(&self.profile(), seed)
+        }
+    }
+}
+
+impl std::fmt::Display for BenchId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error parsing a benchmark name (see [`BenchId`]'s `FromStr`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseBenchError {
+    name: String,
+}
+
+impl ParseBenchError {
+    /// The unrecognized name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+impl std::fmt::Display for ParseBenchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "unknown benchmark {:?}", self.name)
+    }
+}
+
+impl std::error::Error for ParseBenchError {}
+
+impl std::str::FromStr for BenchId {
+    type Err = ParseBenchError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        BenchId::ALL
+            .into_iter()
+            .chain([BenchId::Fuzz])
+            .find(|b| b.name() == s)
+            .ok_or_else(|| ParseBenchError { name: s.to_string() })
+    }
+}
+
+fn profile_of(id: BenchId) -> Profile {
     use BenchClass::{Fp, Int};
+    use BenchId as B;
     use KernelKind::*;
-    let prof = match name {
+    match id {
         // ---- SPEC2000 INT ----
-        "bzip2" => p(
+        B::Bzip2 => p(
             "bzip2",
             Int,
             4 * MB,
@@ -95,7 +303,7 @@ pub fn profile(name: &str) -> Option<Profile> {
                 Phase::new(AluMix, 700),
             ],
         ),
-        "gcc" => p(
+        B::Gcc => p(
             "gcc",
             Int,
             4 * MB,
@@ -106,7 +314,7 @@ pub fn profile(name: &str) -> Option<Profile> {
                 Phase::new(AluMix, 900),
             ],
         ),
-        "gzip" => p(
+        B::Gzip => p(
             "gzip",
             Int,
             2 * MB,
@@ -117,7 +325,7 @@ pub fn profile(name: &str) -> Option<Profile> {
                 Phase::new(AluMix, 1400),
             ],
         ),
-        "mcf" => p(
+        B::Mcf => p(
             "mcf",
             Int,
             8 * MB,
@@ -128,7 +336,7 @@ pub fn profile(name: &str) -> Option<Profile> {
                 Phase::new(AluMix, 500),
             ],
         ),
-        "parser" => p(
+        B::Parser => p(
             "parser",
             Int,
             2 * MB,
@@ -139,7 +347,7 @@ pub fn profile(name: &str) -> Option<Profile> {
                 Phase::new(AluMix, 700),
             ],
         ),
-        "perlbmk" => p(
+        B::Perlbmk => p(
             "perlbmk",
             Int,
             2 * MB,
@@ -150,7 +358,7 @@ pub fn profile(name: &str) -> Option<Profile> {
                 Phase::new(AluMix, 900),
             ],
         ),
-        "twolf" => p(
+        B::Twolf => p(
             "twolf",
             Int,
             2 * MB,
@@ -161,7 +369,7 @@ pub fn profile(name: &str) -> Option<Profile> {
                 Phase::new(AluMix, 500),
             ],
         ),
-        "vortex" => p(
+        B::Vortex => p(
             "vortex",
             Int,
             4 * MB,
@@ -172,7 +380,7 @@ pub fn profile(name: &str) -> Option<Profile> {
                 Phase::new(AluMix, 700),
             ],
         ),
-        "vpr" => p(
+        B::Vpr => p(
             "vpr",
             Int,
             2 * MB,
@@ -184,7 +392,7 @@ pub fn profile(name: &str) -> Option<Profile> {
             ],
         ),
         // ---- SPEC2000 FP ----
-        "ammp" => p(
+        B::Ammp => p(
             "ammp",
             Fp,
             4 * MB,
@@ -195,7 +403,7 @@ pub fn profile(name: &str) -> Option<Profile> {
                 Phase::new(FpMix, 500),
             ],
         ),
-        "applu" => p(
+        B::Applu => p(
             "applu",
             Fp,
             4 * MB,
@@ -206,14 +414,14 @@ pub fn profile(name: &str) -> Option<Profile> {
                 Phase::new(FpMix, 600),
             ],
         ),
-        "art" => p(
+        B::Art => p(
             "art",
             Fp,
             4 * MB,
             LINE,
             vec![Phase::new(StreamSum { stride: LINE }, 250), Phase::new(FpMix, 450)],
         ),
-        "equake" => p(
+        B::Equake => p(
             "equake",
             Fp,
             4 * MB,
@@ -224,7 +432,7 @@ pub fn profile(name: &str) -> Option<Profile> {
                 Phase::new(FpMix, 500),
             ],
         ),
-        "facerec" => p(
+        B::Facerec => p(
             "facerec",
             Fp,
             4 * MB,
@@ -235,14 +443,14 @@ pub fn profile(name: &str) -> Option<Profile> {
                 Phase::new(FpMix, 600),
             ],
         ),
-        "lucas" => p(
+        B::Lucas => p(
             "lucas",
             Fp,
             8 * MB,
             LINE,
             vec![Phase::new(StreamSum { stride: 128 }, 160), Phase::new(FpMix, 700)],
         ),
-        "mgrid" => p(
+        B::Mgrid => p(
             "mgrid",
             Fp,
             8 * MB,
@@ -253,7 +461,7 @@ pub fn profile(name: &str) -> Option<Profile> {
                 Phase::new(FpMix, 400),
             ],
         ),
-        "swim" => p(
+        B::Swim => p(
             "swim",
             Fp,
             8 * MB,
@@ -264,7 +472,7 @@ pub fn profile(name: &str) -> Option<Profile> {
                 Phase::new(FpMix, 400),
             ],
         ),
-        "wupwise" => p(
+        B::Wupwise => p(
             "wupwise",
             Fp,
             4 * MB,
@@ -279,39 +487,43 @@ pub fn profile(name: &str) -> Option<Profile> {
         // `build("fuzz", seed)` replaces the kernel program with a
         // generated one; this profile only supplies the footprint and
         // class so config derivation (`sim_config`, sweeps) works.
-        "fuzz" => p("fuzz", Int, crate::fuzz::FUZZ_FOOTPRINT, 64, vec![Phase::new(AluMix, 1)]),
-        _ => return None,
-    };
-    Some(prof)
+        B::Fuzz => p("fuzz", Int, crate::fuzz::FUZZ_FOOTPRINT, 64, vec![Phase::new(AluMix, 1)]),
+    }
+}
+
+/// The profile for `name`, or `None` for an unknown benchmark.
+///
+/// `&str` shim over [`BenchId::profile`].
+pub fn profile(name: &str) -> Option<Profile> {
+    name.parse::<BenchId>().ok().map(BenchId::profile)
 }
 
 /// All 18 benchmark names, INT first.
+///
+/// `&str` shim over [`BenchId::ALL`].
 pub fn benchmarks() -> [&'static str; 18] {
-    [
-        "bzip2", "gcc", "gzip", "mcf", "parser", "perlbmk", "twolf", "vortex", "vpr", "ammp",
-        "applu", "art", "equake", "facerec", "lucas", "mgrid", "swim", "wupwise",
-    ]
+    BenchId::ALL.map(BenchId::name)
 }
 
-/// The nine INT benchmarks.
+/// The nine INT benchmark names.
+///
+/// `&str` shim over [`BenchId::INT`].
 pub fn int_benchmarks() -> [&'static str; 9] {
-    ["bzip2", "gcc", "gzip", "mcf", "parser", "perlbmk", "twolf", "vortex", "vpr"]
+    BenchId::INT.map(BenchId::name)
 }
 
-/// The nine FP benchmarks.
+/// The nine FP benchmark names.
+///
+/// `&str` shim over [`BenchId::FP`].
 pub fn fp_benchmarks() -> [&'static str; 9] {
-    ["ammp", "applu", "art", "equake", "facerec", "lucas", "mgrid", "swim", "wupwise"]
+    BenchId::FP.map(BenchId::name)
 }
 
 /// Builds the named benchmark deterministically in `seed`.
 ///
-/// `"fuzz"` builds a random program from the deterministic generator
-/// instead of a kernel-mix profile (see [`crate::fuzz`]).
+/// `&str` shim over [`BenchId::build`].
 pub fn build(name: &str, seed: u64) -> Option<Workload> {
-    if name == "fuzz" {
-        return Some(crate::fuzz::generate(seed).workload);
-    }
-    profile(name).map(|p| Workload::from_profile(&p, seed))
+    name.parse::<BenchId>().ok().map(|b| b.build(seed))
 }
 
 #[cfg(test)]
@@ -353,6 +565,19 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn bench_ids_round_trip_and_match_shims() {
+        for (id, name) in BenchId::all().zip(benchmarks()) {
+            assert_eq!(id.name(), name);
+            assert_eq!(id.to_string().parse::<BenchId>(), Ok(id));
+            assert_eq!(profile(name), Some(id.profile()));
+        }
+        assert_eq!("fuzz".parse(), Ok(BenchId::Fuzz));
+        let err = "notabench".parse::<BenchId>().unwrap_err();
+        assert_eq!(err.name(), "notabench");
+        assert_eq!(BenchId::INT.len() + BenchId::FP.len(), BenchId::ALL.len());
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! ```
 
 use secsim::core::Policy;
-use secsim::cpu::{render_timeline, simulate, SimConfig};
+use secsim::cpu::{render_timeline, SimConfig, SimSession};
 use secsim::isa::{assemble_text, FlatMem, MemIo};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -35,7 +35,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Policy::authen_then_issue(),
     ] {
         let cfg = SimConfig::paper_256k(policy);
-        let r = simulate(&mut mem.clone(), 0x1000, &cfg, true);
+        let r = SimSession::new(&cfg).trace_bus(true).run(&mut mem.clone(), 0x1000).report;
         println!("=== {policy} ({} cycles) ===", r.cycles);
         println!("{}", render_timeline(&r.inst_timings, 100));
     }

@@ -6,7 +6,7 @@
 //! ```
 
 use secsim::core::Policy;
-use secsim::cpu::{simulate, SimConfig};
+use secsim::cpu::{SimConfig, SimSession};
 use secsim::isa::{Asm, FlatMem, Reg};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -39,7 +39,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("policy                      cycles      IPC   norm");
     let baseline = {
         let cfg = SimConfig::paper_256k(Policy::baseline());
-        simulate(&mut mem.clone(), 0x1000, &cfg, false)
+        SimSession::new(&cfg).run(&mut mem.clone(), 0x1000).report
     };
     for policy in [
         Policy::baseline(),
@@ -50,7 +50,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Policy::authen_then_issue(),
     ] {
         let cfg = SimConfig::paper_256k(policy);
-        let r = simulate(&mut mem.clone(), 0x1000, &cfg, false);
+        let r = SimSession::new(&cfg).run(&mut mem.clone(), 0x1000).report;
         println!(
             "{:<26} {:>8} {:>8.3} {:>6.3}",
             policy.to_string(),

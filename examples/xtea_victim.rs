@@ -15,7 +15,7 @@
 
 use secsim::attack::analysis::find_value;
 use secsim::core::{EncryptedMemory, Policy};
-use secsim::cpu::{simulate, SimConfig, SimReport};
+use secsim::cpu::{SimConfig, SimReport, SimSession};
 use secsim::isa::{encode, Asm, Inst, Reg};
 
 const CODE: u32 = 0x1000;
@@ -88,7 +88,7 @@ fn build_victim() -> (EncryptedMemory, Vec<u32>, u32) {
     // a line that earlier code shares would be fetched — and fail
     // verification — long before control reaches it. Attackers pick
     // their spot.
-    while a.here() % 64 != 0 {
+    while !a.here().is_multiple_of(64) {
         a.nop();
     }
     // The predictable epilogue padding the attacker will overwrite.
@@ -101,7 +101,7 @@ fn build_victim() -> (EncryptedMemory, Vec<u32>, u32) {
 
     let mut plain = vec![0u8; 16 * 1024];
     for (i, w) in words.iter().enumerate() {
-        let off = (CODE as usize - 0x0) + 4 * i;
+        let off = (CODE as usize) + 4 * i;
         plain[off..off + 4].copy_from_slice(&w.to_le_bytes());
     }
     for (i, k) in KEY.iter().enumerate() {
@@ -117,7 +117,7 @@ fn run(image: &EncryptedMemory, policy: Policy) -> SimReport {
     let mut img = image.clone();
     let mut cfg = SimConfig::paper_256k(policy).with_max_insts(100_000);
     cfg.secure = cfg.secure.with_protected_region(0, 16 * 1024);
-    simulate(&mut img, CODE, &cfg, true)
+    SimSession::new(&cfg).trace_bus(true).run(&mut img, CODE).report
 }
 
 fn main() {

@@ -10,6 +10,12 @@ cargo build --release --workspace
 echo "== test (workspace, offline) =="
 cargo test --workspace -q
 
+echo "== lint (clippy, warnings denied) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== docs (rustdoc, warnings denied) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
+
 echo "== sweep smoke: fresh run, then cache hit =="
 SMOKE_RESULTS="$(mktemp -d)"
 trap 'rm -rf "$SMOKE_RESULTS"' EXIT

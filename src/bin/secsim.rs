@@ -9,10 +9,10 @@
 
 use secsim::attack::{run_exploit, Exploit};
 use secsim::core::{Policy, SecureConfig};
-use secsim::cpu::{simulate, CpuConfig, SimConfig, SimReport};
+use secsim::cpu::{CpuConfig, SimConfig, SimReport, SimSession, TraceConfig};
 use secsim::isa::{assemble_text, FlatMem};
 use secsim::mem::MemSystemConfig;
-use secsim::workloads::{benchmarks, build};
+use secsim::workloads::BenchId;
 use std::process::ExitCode;
 
 fn parse_policy(name: &str) -> Option<Policy> {
@@ -115,8 +115,8 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     let bench = args.get("bench").ok_or("run: --bench <name> is required")?;
     let policy_name = args.get("policy").unwrap_or("commit");
     let policy = parse_policy(policy_name).ok_or_else(|| format!("unknown policy `{policy_name}`"))?;
-    let mut w = build(bench, args.num("seed", 2006)?)
-        .ok_or_else(|| format!("unknown benchmark `{bench}` (try `secsim list`)"))?;
+    let bench: BenchId = bench.parse().map_err(|e| format!("{e} (try `secsim list`)"))?;
+    let mut w = bench.build(args.num("seed", 2006)?);
     let mem = match args.get("l2").unwrap_or("256k") {
         "256k" | "256K" => MemSystemConfig::paper_256k(),
         "1m" | "1M" => MemSystemConfig::paper_1m(),
@@ -136,8 +136,19 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     let cfg = SimConfig { cpu, mem, secure, max_insts: args.num("insts", 1_000_000)? };
     eprintln!("running {bench} under {policy} ({} L2)...", args.get("l2").unwrap_or("256k"));
     let trace = args.flag("trace") || args.get("trace-out").is_some();
-    let r = simulate(&mut w.mem, w.entry, &cfg, trace);
+    let chrome_path = args.get("chrome-trace");
+    let mut session = SimSession::new(&cfg).trace_bus(trace);
+    if chrome_path.is_some() {
+        session = session.trace(TraceConfig::default());
+    }
+    let out = session.run(&mut w.mem, w.entry);
+    let r = out.report;
     print_report(&r, args.flag("verbose"));
+    if let Some(path) = chrome_path {
+        let t = out.trace.expect("tracing was enabled");
+        std::fs::write(path, t.to_chrome().render()).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("chrome trace written to {path} (open in Perfetto or chrome://tracing)");
+    }
     if let Some(path) = args.get("trace-out") {
         write_trace_csv(path, &r)?;
         eprintln!("bus trace ({} events) written to {path}", r.bus_events.len());
@@ -162,6 +173,7 @@ fn write_trace_csv(path: &str, r: &SimReport) -> Result<(), String> {
 /// `secsim sweep --bench <name>`: one benchmark across every policy.
 fn cmd_sweep(args: &Args) -> Result<(), String> {
     let bench = args.get("bench").ok_or("sweep: --bench <name> is required")?;
+    let bench: BenchId = bench.parse().map_err(|e| format!("{e} (try `secsim list`)"))?;
     let insts = args.num("insts", 300_000)?;
     let policies: [(&str, Policy); 7] = [
         ("baseline", Policy::baseline()),
@@ -175,11 +187,10 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
     let mut base_ipc = 0.0;
     println!("{:<14} {:>10} {:>8} {:>8}", "policy", "cycles", "IPC", "norm");
     for (name, policy) in policies {
-        let mut w = build(bench, args.num("seed", 2006)?)
-            .ok_or_else(|| format!("unknown benchmark `{bench}`"))?;
+        let mut w = bench.build(args.num("seed", 2006)?);
         let mut cfg = SimConfig::paper_256k(policy).with_max_insts(insts);
         cfg.secure = cfg.secure.with_protected_region(w.data_base, w.data_bytes);
-        let r = simulate(&mut w.mem, w.entry, &cfg, false);
+        let r = SimSession::new(&cfg).run(&mut w.mem, w.entry).report;
         if base_ipc == 0.0 {
             base_ipc = r.ipc();
         }
@@ -206,7 +217,7 @@ fn cmd_asm(args: &Args) -> Result<(), String> {
     let mut mem = FlatMem::new(base & !0xFFF, mem_bytes);
     mem.load_words(base, &words);
     let cfg = SimConfig::paper_256k(policy).with_max_insts(args.num("insts", 10_000_000)?);
-    let r = simulate(&mut mem, base, &cfg, args.flag("trace"));
+    let r = SimSession::new(&cfg).trace_bus(args.flag("trace")).run(&mut mem, base).report;
     print_report(&r, args.flag("verbose"));
     Ok(())
 }
@@ -237,7 +248,8 @@ fn cmd_attack(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_list() {
-    println!("benchmarks: {}", benchmarks().join(", "));
+    let names: Vec<&str> = BenchId::all().map(BenchId::name).collect();
+    println!("benchmarks: {}", names.join(", "));
     println!(
         "policies:   baseline issue commit write fetch commit+fetch commit+obf"
     );
@@ -245,7 +257,7 @@ fn cmd_list() {
 }
 
 const USAGE: &str = "usage:
-  secsim run   --bench <name> [--policy P] [--l2 256k|1m] [--insts N] [--ruu N] [--tree] [--trace] [--trace-out f.csv] [--verbose]
+  secsim run   --bench <name> [--policy P] [--l2 256k|1m] [--insts N] [--ruu N] [--tree] [--trace] [--trace-out f.csv] [--chrome-trace f.json] [--verbose]
   secsim sweep --bench <name> [--insts N] [--seed N]
   secsim asm   <file.s> [--base 0x1000] [--policy P] [--insts N] [--hex] [--trace]
   secsim attack --exploit <name> [--policy P]

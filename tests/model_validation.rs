@@ -3,14 +3,14 @@
 //! it must.
 
 use secsim::core::Policy;
-use secsim::cpu::{simulate, SimConfig, SimReport};
+use secsim::cpu::{SimConfig, SimReport, SimSession};
 use secsim::workloads::Micro;
 
 fn run(m: Micro, policy: Policy, insts: u64) -> SimReport {
     let mut w = m.build(1);
     let mut cfg = SimConfig::paper_256k(policy).with_max_insts(insts);
     cfg.secure = cfg.secure.with_protected_region(w.data_base, w.data_bytes);
-    simulate(&mut w.mem, w.entry, &cfg, false)
+    SimSession::new(&cfg).run(&mut w.mem, w.entry).report
 }
 
 /// Dependent misses: per-hop latency must be in the SDRAM range
