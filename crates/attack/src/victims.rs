@@ -209,7 +209,9 @@ impl Victim {
             });
             let mask = (old ^ new).to_le_bytes();
             if mask != [0; 4] {
-                self.image.tamper_xor(FUNC_BASE + 4 * i as u32, &mask);
+                self.image
+                    .tamper_xor(FUNC_BASE + 4 * i as u32, &mask)
+                    .expect("victim code region is in-image");
             }
         }
     }

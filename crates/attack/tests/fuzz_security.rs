@@ -28,9 +28,9 @@ fn secret_leaked(policy: Policy, kind: VictimKind, tampers: &[(u16, [u8; 4])]) -
         if mask != &[0; 4] {
             tampered_any = true;
         }
-        victim.image.tamper_xor(addr, mask);
+        victim.image.tamper_xor(addr, mask).expect("fuzzed tamper stays in-image");
     }
-    let r = SimSession::new(&attack_cfg(policy)).trace_bus(true).run(&mut victim.image, victim.entry).report;
+    let r = SimSession::new(&attack_cfg(policy)).trace_bus(true).run(&mut victim.image, victim.entry).into_report();
     let leaked = secsim_attack::analysis::find_value(
         &r.events_before_exception().copied().collect::<Vec<_>>(),
         SECRET,
@@ -85,8 +85,8 @@ proptest! {
             let mut victim = Victim::build(VictimKind::LinkedList, SECRET);
             // Flip bits in the *second* instruction word so the entry
             // point still decodes (any decode is fine either way).
-            victim.image.tamper_xor(0x1004, &mask);
-            let r = SimSession::new(&attack_cfg(policy)).run(&mut victim.image, victim.entry).report;
+            victim.image.tamper_xor(0x1004, &mask).expect("in-image");
+            let r = SimSession::new(&attack_cfg(policy)).run(&mut victim.image, victim.entry).into_report();
             prop_assert!(
                 r.exception.is_some(),
                 "{policy} failed to detect a code tamper with mask {mask:?}"

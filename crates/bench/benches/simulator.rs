@@ -36,7 +36,7 @@ mod with_criterion {
                             cfg.secure.with_protected_region(w.data_base, w.data_bytes);
                         b.iter(|| {
                             let mut m = w.mem.clone();
-                            SimSession::new(&cfg).run(&mut m, w.entry).report
+                            SimSession::new(&cfg).run(&mut m, w.entry).into_report()
                         })
                     },
                 );

@@ -37,7 +37,7 @@ fn main() {
         Policy::authen_then_issue(),
     ] {
         let cfg = SimConfig::paper_256k(policy);
-        let r = SimSession::new(&cfg).trace_bus(true).run(&mut mem.clone(), entry).report;
+        let r = SimSession::new(&cfg).trace_bus(true).run(&mut mem.clone(), entry).into_report();
         let grants: Vec<u64> = r
             .bus_events
             .iter()

@@ -66,6 +66,9 @@ pub struct RunOpts {
     /// Instructions simulated per run (scaled down ~100× from the
     /// paper's 400 M; see DESIGN.md).
     pub max_insts: u64,
+    /// Cycle fence forwarded to `SimConfig::max_cycles` (0 = unlimited);
+    /// the per-point watchdog of the fault campaign.
+    pub max_cycles: u64,
     /// Workload seed.
     pub seed: u64,
     /// Hash-tree authentication (Figure 12/13).
@@ -81,6 +84,7 @@ impl Default for RunOpts {
             l2: L2Size::K256,
             cpu: CpuConfig::paper_reference(),
             max_insts: default_insts(),
+            max_cycles: 0,
             seed: 2006,
             tree: false,
             remap_cache_bytes: None,
@@ -108,7 +112,13 @@ pub fn sim_config_id(bench: BenchId, policy: Policy, opts: &RunOpts) -> SimConfi
     if let Some(bytes) = opts.remap_cache_bytes {
         secure = secure.with_remap_cache_bytes(bytes);
     }
-    SimConfig { cpu: opts.cpu, mem: opts.l2.mem_config(), secure, max_insts: opts.max_insts }
+    SimConfig {
+        cpu: opts.cpu,
+        mem: opts.l2.mem_config(),
+        secure,
+        max_insts: opts.max_insts,
+        max_cycles: opts.max_cycles,
+    }
 }
 
 /// `&str` shim over [`sim_config_id`]. `None` for an unknown benchmark
@@ -124,7 +134,7 @@ pub fn run_bench(bench: &str, policy: Policy, opts: &RunOpts) -> Option<SimRepor
     let bench = bench.parse::<BenchId>().ok()?;
     let cfg = sim_config_id(bench, policy, opts);
     let mut w = bench.build(opts.seed);
-    Some(SimSession::new(&cfg).run(&mut w.mem, w.entry).report)
+    Some(SimSession::new(&cfg).run(&mut w.mem, w.entry).into_report())
 }
 
 /// Runs `bench` under `policy` and the decrypt-only baseline, returning

@@ -48,7 +48,7 @@ use crate::{results_dir, sim_config_id, RunOpts};
 use secsim_core::Policy;
 use secsim_cpu::{SimConfig, SimReport, SimSession, TraceConfig};
 use secsim_stats::{Json, StableHash, StableHasher};
-use secsim_workloads::{BenchId, ParseBenchError};
+use secsim_workloads::{BenchId, ParseBenchError, SplitMix64};
 use std::collections::HashMap;
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -141,7 +141,7 @@ impl SweepPoint {
     fn run(&self) -> Result<SimReport, SweepError> {
         std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             let mut w = self.bench.build(self.seed);
-            SimSession::new(&self.cfg).run(&mut w.mem, w.entry).report
+            SimSession::new(&self.cfg).run(&mut w.mem, w.entry).into_report()
         }))
         .map_err(|payload| {
             let detail = payload
@@ -327,7 +327,8 @@ impl Sweep {
     }
 
     fn load_cached(&self, p: &SweepPoint) -> Option<SimReport> {
-        let text = fs::read_to_string(self.cache_path(p)?).ok()?;
+        let path = self.cache_path(p)?;
+        let text = retry_io(p.key(), || fs::read_to_string(&path))?;
         let v = Json::parse(&text).ok()?;
         if v.get("version")?.as_u64()? != CACHE_VERSION {
             return None;
@@ -352,22 +353,55 @@ impl Sweep {
             ("report", report),
         ]);
         let Some(dir) = path.parent() else { return };
-        if fs::create_dir_all(dir).is_err() {
+        if retry_io(p.key() ^ 0x5eed, || fs::create_dir_all(dir)).is_none() {
             return;
         }
         let tmp = dir.join(format!(".tmp-{:016x}-{}-{idx}", p.key(), std::process::id()));
-        if fs::write(&tmp, entry.render()).is_ok() && fs::rename(&tmp, &path).is_err() {
+        let body = entry.render();
+        let committed = retry_io(p.key(), || {
+            fs::write(&tmp, &body)?;
+            fs::rename(&tmp, &path)
+        });
+        if committed.is_none() {
             let _ = fs::remove_file(&tmp);
         }
     }
+}
+
+/// Runs one cache-file operation with up to three attempts, sleeping a
+/// short jittered backoff between tries. A transient filesystem error
+/// (EIO, ENOSPC, EAGAIN…) on the shared `results/cache` directory thus
+/// degrades to a cache miss / skipped store instead of failing the
+/// sweep. `NotFound` is the ordinary miss and returns immediately.
+fn retry_io<T>(salt: u64, mut op: impl FnMut() -> std::io::Result<T>) -> Option<T> {
+    const ATTEMPTS: u32 = 3;
+    for attempt in 0..ATTEMPTS {
+        match op() {
+            Ok(v) => return Some(v),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return None,
+            Err(_) => {
+                if attempt + 1 == ATTEMPTS {
+                    return None;
+                }
+                // Deterministic jitter (SplitMix64 over the cache key
+                // and attempt) desynchronizes workers retrying against
+                // the same directory; the base doubles per attempt.
+                let mut rng = SplitMix64::new(salt ^ (u64::from(attempt) << 56));
+                let micros = (100u64 << attempt) + rng.next_u64() % 400;
+                std::thread::sleep(std::time::Duration::from_micros(micros));
+            }
+        }
+    }
+    None
 }
 
 /// Re-runs `p` with event tracing on and writes the Chrome
 /// `trace_event` JSON to `path` (the `--trace FILE` backend).
 fn write_chrome_trace(p: &SweepPoint, path: &Path) {
     let mut w = p.bench.build(p.seed);
-    let out = SimSession::new(&p.cfg).trace(TraceConfig::default()).run(&mut w.mem, w.entry);
-    let Some(trace) = out.trace else { return };
+    let run =
+        SimSession::new(&p.cfg).trace(TraceConfig::default()).run(&mut w.mem, w.entry).into_run();
+    let Some(trace) = run.trace else { return };
     if let Some(dir) = path.parent() {
         if !dir.as_os_str().is_empty() {
             let _ = fs::create_dir_all(dir);
@@ -377,7 +411,7 @@ fn write_chrome_trace(p: &SweepPoint, path: &Path) {
         Ok(()) => eprintln!(
             "[chrome trace of {} ({} cycles) written to {}]",
             p.bench,
-            out.report.cycles,
+            run.report.cycles,
             path.display()
         ),
         Err(e) => eprintln!("error: failed to write trace {}: {e}", path.display()),
@@ -423,6 +457,39 @@ mod tests {
         let b = SweepPoint::of(BenchId::Mcf, Policy::authen_then_commit(), &opts());
         assert_eq!(a.key(), b.key());
         assert_eq!(a.bench, BenchId::Mcf);
+    }
+
+    #[test]
+    fn retry_io_retries_transients_and_gives_up_cleanly() {
+        use std::io::{Error, ErrorKind};
+        // Two transient failures, then success: the third attempt wins.
+        let mut calls = 0;
+        let out = retry_io(42, || {
+            calls += 1;
+            if calls < 3 {
+                Err(Error::from(ErrorKind::Interrupted))
+            } else {
+                Ok(7)
+            }
+        });
+        assert_eq!(out, Some(7));
+        assert_eq!(calls, 3);
+        // A persistent failure exhausts exactly three attempts.
+        let mut calls = 0;
+        let out: Option<()> = retry_io(42, || {
+            calls += 1;
+            Err(Error::from(ErrorKind::Other))
+        });
+        assert_eq!(out, None);
+        assert_eq!(calls, 3);
+        // NotFound is an ordinary cache miss: no retries at all.
+        let mut calls = 0;
+        let out: Option<()> = retry_io(42, || {
+            calls += 1;
+            Err(Error::from(ErrorKind::NotFound))
+        });
+        assert_eq!(out, None);
+        assert_eq!(calls, 1);
     }
 
     #[test]

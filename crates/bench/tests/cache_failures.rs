@@ -116,6 +116,40 @@ fn leftover_tmp_files_do_not_confuse_the_cache() {
 }
 
 #[test]
+fn unreadable_entry_degrades_to_cache_miss_not_error() {
+    // Replace the cache entry with a *directory* of the same name:
+    // `read_to_string` then fails with a persistent non-NotFound error,
+    // which the retry loop must exhaust and degrade to a fresh
+    // simulation — never a SweepError, never a panic.
+    let dir = temp_cache("unreadable");
+    let baseline = run_once(&dir);
+    let path = entry_path(&dir, &point());
+    fs::remove_file(&path).unwrap();
+    fs::create_dir(&path).unwrap();
+
+    let again = run_once(&dir);
+    assert_eq!(again, baseline, "degraded run must agree with the original");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn unwritable_cache_dir_skips_the_store_silently() {
+    // Point the cache at a path whose parent is a plain file:
+    // `create_dir_all` fails persistently, so stores are skipped after
+    // the retries — the sweep itself must still produce its report.
+    let holder = temp_cache("unwritable");
+    let blocker = holder.join("blocker");
+    fs::write(&blocker, "i am a file, not a directory").unwrap();
+    let cache = blocker.join("cache");
+
+    let first = run_once(&cache);
+    let second = run_once(&cache);
+    assert_eq!(first, second, "two uncached runs must still agree");
+    assert!(!entry_path(&cache, &point()).exists(), "nothing can have been written");
+    let _ = fs::remove_dir_all(&holder);
+}
+
+#[test]
 fn cache_round_trip_is_byte_stable_across_processes_shape() {
     // Same point, two independent Sweep instances (separate memos):
     // the second must *load* rather than re-simulate, and the loaded

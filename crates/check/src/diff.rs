@@ -155,10 +155,11 @@ pub fn golden_compare(
 fn run_once(w: &Workload, cfg: &SimConfig) -> (SimReport, Vec<RetireRecord>, ArchState, secsim_isa::FlatMem) {
     let mut mem = w.mem.clone();
     let mut records = Vec::new();
-    let out = SimSession::new(cfg)
+    let run = SimSession::new(cfg)
         .observe(|r: &RetireRecord| records.push(*r))
-        .run(&mut mem, w.entry);
-    (out.report, records, out.state, mem)
+        .run(&mut mem, w.entry)
+        .into_run();
+    (run.report, records, run.state, mem)
 }
 
 /// Runs `w` under `cfg` on the pipeline, replays the golden model

@@ -61,6 +61,10 @@ pub fn check_config(policy: Policy, mac_latency: u64, max_insts: u64) -> SimConf
     cfg.secure = cfg.secure.with_protected_region(DATA_BASE, FUZZ_FOOTPRINT);
     cfg.secure.ctrl.queue.mac_latency = mac_latency;
     cfg.max_insts = max_insts;
+    // Default cycle fence: orders of magnitude above any legitimate
+    // check run, so a wedged point ends as `CycleLimitExceeded` and one
+    // bad configuration cannot hang a whole batch.
+    cfg.max_cycles = 10_000_000;
     cfg
 }
 

@@ -31,4 +31,4 @@ pub mod oracle;
 
 pub use diff::{diff_run, dump_divergence, golden_compare, Divergence, RunOutcome};
 pub use grid::{check_config, policy_grid, run_batch, BatchSummary, GridPoint, PointStats};
-pub use oracle::{check_records, check_stall_completeness, GateViolation};
+pub use oracle::{check_exposure, check_records, check_stall_completeness, GateViolation};

@@ -12,9 +12,63 @@
 //! repros land in `results/divergence/`.
 
 use secsim_bench::{emit, results_dir, Sweep, SweepPoint};
-use secsim_check::{check_config, dump_divergence, policy_grid, run_batch};
+use secsim_check::{check_config, check_exposure, dump_divergence, policy_grid, run_batch};
+use secsim_core::{EncryptedMemory, FaultKind, FaultPlan};
+use secsim_cpu::{SimOutcome, SimSession};
 use secsim_stats::Table;
 use secsim_workloads::{generate_fuzz, BenchId};
+
+/// Fault-recovery pass: one scheduled ciphertext flip against an
+/// encrypted victim at every grid policy. Every authenticating policy
+/// must convert it into a precise `TamperDetected` whose exposure
+/// respects that policy's gates ([`check_exposure`]); the baseline must
+/// sail through untouched by the recovery machinery.
+///
+/// Returns `(label, violation-text)` pairs, empty when the pass holds.
+fn fault_pass() -> Vec<(String, String)> {
+    use secsim_isa::{Asm, Reg};
+    const TARGET: u32 = 0x2000;
+    let mut a = Asm::new(0x0);
+    let top = a.new_label();
+    a.li(Reg::R1, TARGET);
+    a.li(Reg::R2, 2_000);
+    a.bind(top).expect("fresh label");
+    a.lw(Reg::R3, Reg::R1, 0);
+    a.add(Reg::R5, Reg::R3, Reg::R3);
+    a.sw(Reg::R5, Reg::R1, 64);
+    a.addi(Reg::R2, Reg::R2, -1);
+    a.bne(Reg::R2, Reg::R0, top);
+    a.halt();
+    let words = a.assemble().expect("victim assembles");
+    let mut plain = vec![0u8; 16 << 10];
+    for (i, w) in words.iter().enumerate() {
+        plain[4 * i..4 * i + 4].copy_from_slice(&w.to_le_bytes());
+    }
+
+    let mut out = Vec::new();
+    for g in policy_grid().iter().filter(|g| g.mac_latency == 74) {
+        let mut image = EncryptedMemory::from_plain(0, &plain, &[0x5A; 16], b"check-faults");
+        let cfg = check_config(g.policy, g.mac_latency, 0);
+        let plan =
+            FaultPlan::new().at(800, TARGET, FaultKind::CiphertextFlip { mask: 0x01 });
+        match SimSession::new(&cfg).faults(plan).run(&mut image, 0x0) {
+            SimOutcome::TamperDetected { cycle, exposure, .. } => {
+                if cycle < 800 {
+                    out.push((g.label.clone(), format!("detected at {cycle}, before injection")));
+                }
+                for v in check_exposure(&g.policy, &exposure) {
+                    out.push((g.label.clone(), v.to_string()));
+                }
+            }
+            SimOutcome::Completed(_) if !g.policy.authenticate => {}
+            other => out.push((
+                g.label.clone(),
+                format!("expected a detection verdict, got {}", other.verdict_name()),
+            )),
+        }
+    }
+    out
+}
 
 fn main() {
     let (sweep, rest) = Sweep::from_args();
@@ -86,6 +140,18 @@ fn main() {
         }
     }
 
+    // Fault-recovery pass: injected tampering must end in a precise,
+    // gate-respecting detection at every authenticating grid point.
+    let fault_violations = fault_pass();
+    for (label, v) in &fault_violations {
+        eprintln!("FAULT-VIOLATION [{label}] {v}");
+    }
+    eprintln!(
+        "secsim-check: fault pass over {} policies -> {}",
+        policy_grid().iter().filter(|g| g.mac_latency == 74).count(),
+        if fault_violations.is_empty() { "ok" } else { "FAIL" },
+    );
+
     // IPC sanity sweep over the same grid through the cached executor:
     // exercises the `"fuzz"` bench end-to-end in the standard harness.
     let seeds: Vec<u64> = (0..3).map(|k| base_seed ^ (k as u64).wrapping_mul(secsim_check::grid::SEED_STRIDE)).collect();
@@ -113,7 +179,9 @@ fn main() {
     }
     emit("check_fuzz_ipc", "Fuzz-program IPC across the check grid", &ipc);
 
-    let failed = !summary.divergences.is_empty() || !summary.violations.is_empty();
+    let failed = !summary.divergences.is_empty()
+        || !summary.violations.is_empty()
+        || !fault_violations.is_empty();
     eprintln!(
         "secsim-check: {} programs, {} insts, {} divergences, {} violations -> {}",
         summary.programs,

@@ -26,7 +26,7 @@
 //!
 //! [`StallCause`]: secsim_cpu::StallCause
 
-use secsim_core::Policy;
+use secsim_core::{Exposure, Policy};
 use secsim_cpu::{RetireRecord, SimReport};
 
 /// One violated gate at one retired instruction.
@@ -123,6 +123,47 @@ pub fn check_records(policy: &Policy, records: &[RetireRecord]) -> Vec<GateViola
     out
 }
 
+/// Audits the pre-detection [`Exposure`] of a `TamperDetected` outcome
+/// against the gates `policy` promises: work a gate holds back can
+/// never appear in the exposure window of a detected tamper.
+///
+/// * `gate_issue` — no tainted instruction issued (and a fortiori none
+///   committed, no tainted store released);
+/// * `gate_commit` — no tainted instruction committed, no tainted
+///   store released (release waits for commit);
+/// * `gate_write` — no tainted store reached the DRAM-visible cache;
+/// * `gate_fetch` — no bus transfer on behalf of tainted work.
+///
+/// Violations use `seq`/`pc` of zero — exposure is a whole-run
+/// property, not tied to one instruction.
+pub fn check_exposure(policy: &Policy, exposure: &Exposure) -> Vec<GateViolation> {
+    let mut out = Vec::new();
+    let mut push = |gate: &'static str, what: &str, n: u64| {
+        if n != 0 {
+            out.push(GateViolation {
+                seq: 0,
+                pc: 0,
+                gate,
+                detail: format!("{n} tainted {what} escaped before detection ({exposure})"),
+            });
+        }
+    };
+    if policy.gate_issue {
+        push("issue", "instructions issued", exposure.issued);
+    }
+    if policy.gate_issue || policy.gate_commit {
+        push("commit", "instructions committed", exposure.committed);
+        push("write", "stores released", exposure.stores_released);
+    }
+    if policy.gate_write {
+        push("write", "stores released", exposure.stores_released);
+    }
+    if policy.gate_fetch {
+        push("fetch", "bus grants", exposure.bus_grants);
+    }
+    out
+}
+
 /// Audits the stall-attribution ledger of `report`: the pipeline must
 /// charge every commit slot of every cycle either to a retired
 /// instruction or to exactly one stall cause, so
@@ -154,6 +195,31 @@ mod tests {
     use secsim_cpu::{SimSession, StallCause};
     use secsim_workloads::generate_fuzz;
 
+    /// The exposure oracle must pass a gate-respecting exposure and
+    /// fire on every component a policy's gates forbid.
+    #[test]
+    fn exposure_oracle_holds_clean_and_fires_doctored() {
+        use secsim_core::Exposure;
+        let zero = Exposure::default();
+        for p in Policy::figure7_schemes() {
+            assert!(check_exposure(&p, &zero).is_empty(), "{p}: zero exposure is clean");
+        }
+
+        let leaked =
+            Exposure { issued: 5, committed: 3, stores_released: 2, bus_grants: 1 };
+        let v = check_exposure(&Policy::authen_then_issue(), &leaked);
+        let gates: Vec<_> = v.iter().map(|g| g.gate).collect();
+        assert_eq!(gates, ["issue", "commit", "write"], "issue gating forbids all three");
+        let v = check_exposure(&Policy::authen_then_commit(), &leaked);
+        assert_eq!(v.iter().map(|g| g.gate).collect::<Vec<_>>(), ["commit", "write"]);
+        let v = check_exposure(&Policy::authen_then_write(), &leaked);
+        assert_eq!(v.iter().map(|g| g.gate).collect::<Vec<_>>(), ["write"]);
+        let v = check_exposure(&Policy::authen_then_fetch(), &leaked);
+        assert_eq!(v.iter().map(|g| g.gate).collect::<Vec<_>>(), ["fetch"]);
+        assert!(v[0].detail.contains("bus"), "detail carries the evidence: {}", v[0]);
+        assert!(check_exposure(&Policy::baseline(), &leaked).is_empty(), "no gates, no claims");
+    }
+
     /// The completeness oracle must hold on a live run and fire on a
     /// doctored ledger — in both directions (leaked and double-counted
     /// slots).
@@ -163,7 +229,7 @@ mod tests {
         let cfg =
             crate::grid::check_config(Policy::authen_then_commit(), 74, fz.max_icount + 8);
         let out = SimSession::new(&cfg).run(&mut fz.workload.mem.clone(), fz.workload.entry);
-        let mut report = out.report;
+        let mut report = out.into_report();
         assert_eq!(check_stall_completeness(cfg.cpu.commit_width, &report), None);
 
         report.stall.add(StallCause::Drain, 1);

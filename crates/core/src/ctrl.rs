@@ -145,6 +145,12 @@ pub struct SecureMemCtrl {
     counter_misses: u64,
     auth_requests: u64,
     writebacks: u64,
+    /// One-shot extra verification latency armed by fault injection
+    /// ([`FaultKind::MacDelay`](crate::FaultKind::MacDelay) /
+    /// [`FaultKind::MacDrop`](crate::FaultKind::MacDrop)); consumed by
+    /// the next authentication request.
+    injected_mac_delay: u64,
+    injected_mac_faults: u64,
 }
 
 impl SecureMemCtrl {
@@ -160,6 +166,8 @@ impl SecureMemCtrl {
             counter_misses: 0,
             auth_requests: 0,
             writebacks: 0,
+            injected_mac_delay: 0,
+            injected_mac_faults: 0,
         }
     }
 
@@ -173,6 +181,16 @@ impl SecureMemCtrl {
     /// *authen-then-fetch* tags.
     pub fn queue(&self) -> &AuthQueue {
         &self.queue
+    }
+
+    /// Arms a one-shot MAC-verification fault: the next authentication
+    /// request pays `extra` additional cycles on top of its normal
+    /// latency. Pass [`MAC_DROP_DELAY`](crate::MAC_DROP_DELAY) to model
+    /// a dropped verification (the result effectively never arrives,
+    /// and gated pipelines run into the `max_cycles` fence). Repeated
+    /// arming before the next request keeps the largest delay.
+    pub fn inject_mac_delay(&mut self, extra: u64) {
+        self.injected_mac_delay = self.injected_mac_delay.max(extra);
     }
 
     /// The obfuscation engine, when configured.
@@ -192,6 +210,7 @@ impl SecureMemCtrl {
             ("counter_miss", self.counter_misses),
             ("auth_requests", self.auth_requests),
             ("writebacks", self.writebacks),
+            ("mac_faults", self.injected_mac_faults),
         ]
         .into_iter()
         .collect()
@@ -297,10 +316,14 @@ impl FillEngine for SecureMemCtrl {
                 self.cfg.crypto.cbcmac_latency(chunks).saturating_sub(self.cfg.queue.mac_latency)
             }
         };
+        let fault_extra = std::mem::take(&mut self.injected_mac_delay);
+        if fault_extra > 0 {
+            self.injected_mac_faults += 1;
+        }
         let id = self.queue.request_arrived(
             decrypt_ready,
             input_ready + self.cfg.lazy_delay,
-            tree_extra + mac_extra,
+            tree_extra + mac_extra + fault_extra,
         );
         self.auth_requests += 1;
         FillResponse {
@@ -371,6 +394,26 @@ mod tests {
         // critical chunk. Gap ≥ hash latency.
         assert!(r.auth_ready >= r.decrypt_ready + 74);
         assert!(r.auth_id > 0);
+    }
+
+    #[test]
+    fn injected_mac_delay_is_one_shot_and_keeps_queue_order() {
+        let mut ctrl = SecureMemCtrl::new(CtrlConfig::paper_reference());
+        let mut ch = chan();
+        let clean = ctrl.fill(fill_req(0x8000, 0), &mut ch);
+        ctrl.inject_mac_delay(500);
+        ctrl.inject_mac_delay(300); // largest armed delay wins
+        let slow = ctrl.fill(fill_req(0x9000, 20_000), &mut ch);
+        assert!(
+            slow.auth_ready >= slow.decrypt_ready + 74 + 500,
+            "armed delay must stretch verification"
+        );
+        // One-shot: the next fill pays only the normal latency again,
+        // though in-order verification keeps done times monotone.
+        let next = ctrl.fill(fill_req(0xA000, 40_000), &mut ch);
+        assert!(next.auth_ready >= slow.auth_ready, "in-order queue stays monotone");
+        assert!(clean.auth_ready < slow.auth_ready);
+        assert_eq!(ctrl.counters().get("mac_faults"), 1);
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! attacker-predicted plaintext (CTR malleability) and genuinely fails
 //! MAC verification.
 
+use crate::faults::{FaultEvent, FaultKind, TamperError};
 use crate::merkle::MerkleTree;
 use secsim_crypto::{Aes, CtrKeystream, HmacSha256};
 use secsim_isa::MemIo;
@@ -32,7 +33,7 @@ use secsim_isa::MemIo;
 /// assert!(m.line_valid(0x1000));
 ///
 /// // Adversary flips one ciphertext bit:
-/// m.tamper_xor(0x1000, &[0x01]);
+/// m.tamper_xor(0x1000, &[0x01]).unwrap();
 /// assert_eq!(m.read_u32(0x1000), 0xdeadbeef ^ 1); // CTR malleability
 /// assert!(!m.line_valid(0x1000));                 // MAC catches it
 /// ```
@@ -176,17 +177,18 @@ impl EncryptedMemory {
     /// adversary's basic operation under a malleable encryption mode.
     /// Affected lines are re-decrypted and re-verified.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the range falls outside the image.
-    pub fn tamper_xor(&mut self, addr: u32, mask: &[u8]) {
-        let start = self
-            .line_of(addr)
-            .unwrap_or_else(|| panic!("tamper at {addr:#x} outside image"));
-        let end_addr = addr + mask.len() as u32 - 1;
-        let end = self
-            .line_of(end_addr)
-            .unwrap_or_else(|| panic!("tamper end {end_addr:#x} outside image"));
+    /// Returns [`TamperError`] (and leaves the image untouched) when any
+    /// byte of the range falls outside the image.
+    pub fn tamper_xor(&mut self, addr: u32, mask: &[u8]) -> Result<(), TamperError> {
+        if mask.is_empty() {
+            return Ok(());
+        }
+        let oob = TamperError { addr, len: mask.len() };
+        let start = self.line_of(addr).ok_or(oob)?;
+        let end_addr = addr.checked_add(mask.len() as u32 - 1).ok_or(oob)?;
+        let end = self.line_of(end_addr).ok_or(oob)?;
         let off = (addr - self.base) as usize;
         for (i, m) in mask.iter().enumerate() {
             self.cipher[off + i] ^= m;
@@ -194,6 +196,72 @@ impl EncryptedMemory {
         for idx in start..=end {
             self.ever_tampered[idx] = true;
             self.refresh_line_validity(idx);
+        }
+        Ok(())
+    }
+
+    /// XORs `mask` over the stored MAC tag of the line containing
+    /// `addr` — tag corruption in DRAM. The line's data is untouched but
+    /// verification now fails.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TamperError`] when `addr` falls outside the image.
+    pub fn corrupt_tag(&mut self, addr: u32, mask: u64) -> Result<(), TamperError> {
+        let idx = self.line_of(addr).ok_or(TamperError { addr, len: 8 })?;
+        self.macs[idx] ^= mask;
+        self.ever_tampered[idx] = true;
+        self.refresh_line_validity(idx);
+        Ok(())
+    }
+
+    /// Replays the line containing `addr` under a stale counter: the
+    /// stored ciphertext stays, but the counter the processor decrypts
+    /// with advances, so decryption yields garbage and the
+    /// (address, counter, plaintext) MAC fails. This is the
+    /// counter-desynchronization form of replay the per-line MAC *can*
+    /// catch (a fully consistent stale triple needs the tree — see
+    /// [`EncryptedMemory::replay_line`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TamperError`] when `addr` falls outside the image.
+    pub fn desync_counter(&mut self, addr: u32) -> Result<(), TamperError> {
+        let idx = self.line_of(addr).ok_or(TamperError { addr, len: 1 })?;
+        self.counters[idx] += 1;
+        self.ever_tampered[idx] = true;
+        self.refresh_line_validity(idx);
+        Ok(())
+    }
+
+    /// Applies one scheduled fault to the image. Returns `Ok(true)` when
+    /// the event mutated stored data or metadata, `Ok(false)` for the
+    /// MAC-queue kinds the image does not model (the memory controller
+    /// handles those).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TamperError`] when the event addresses bytes outside
+    /// the image.
+    pub fn apply_fault(&mut self, ev: &FaultEvent) -> Result<bool, TamperError> {
+        match ev.kind {
+            FaultKind::CiphertextFlip { mask } | FaultKind::BusCorrupt { mask } => {
+                self.tamper_xor(ev.addr, &[mask])?;
+                Ok(true)
+            }
+            FaultKind::DramFlip { bit } => {
+                self.tamper_xor(ev.addr, &[1u8 << (bit & 7)])?;
+                Ok(true)
+            }
+            FaultKind::TagCorrupt { mask } => {
+                self.corrupt_tag(ev.addr, mask)?;
+                Ok(true)
+            }
+            FaultKind::CounterReplay => {
+                self.desync_counter(ev.addr)?;
+                Ok(true)
+            }
+            FaultKind::MacDelay { .. } | FaultKind::MacDrop => Ok(false),
         }
     }
 
@@ -361,7 +429,7 @@ mod tests {
     fn tamper_produces_predicted_plaintext_and_fails_mac() {
         let mut m = image();
         let before = m.read_u32(0x4020);
-        m.tamper_xor(0x4020, &0x0000_00FFu32.to_le_bytes());
+        m.tamper_xor(0x4020, &0x0000_00FFu32.to_le_bytes()).unwrap();
         assert_eq!(m.read_u32(0x4020), before ^ 0xFF);
         assert!(!m.line_valid(0x4020));
         assert!(m.line_ever_tampered(0x4020));
@@ -371,7 +439,7 @@ mod tests {
     #[test]
     fn tamper_spanning_lines_invalidates_both() {
         let mut m = image();
-        m.tamper_xor(0x403E, &[1, 1, 1, 1]); // crosses 0x4040
+        m.tamper_xor(0x403E, &[1, 1, 1, 1]).unwrap(); // crosses 0x4040
         assert!(!m.line_valid(0x4000));
         assert!(!m.line_valid(0x4040));
         assert_eq!(m.invalid_lines().len(), 2);
@@ -386,7 +454,7 @@ mod tests {
         let chosen = [0xABu8; 64];
         let mask: Vec<u8> =
             known.iter().zip(chosen.iter()).map(|(k, c)| k ^ c).collect();
-        m.tamper_xor(0x4000, &mask);
+        m.tamper_xor(0x4000, &mask).unwrap();
         let mut buf = [0u8; 64];
         m.read(0x4000, &mut buf);
         assert_eq!(buf, chosen);
@@ -446,7 +514,7 @@ mod tests {
         assert_eq!(m.read_u32(0x4010), 123);
         assert!(m.invalid_lines().is_empty());
         // Ordinary bit-flip tampering is still caught, of course.
-        m.tamper_xor(0x4010, &[1]);
+        m.tamper_xor(0x4010, &[1]).unwrap();
         assert!(!m.line_valid(0x4010));
     }
 
@@ -459,9 +527,63 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "outside image")]
-    fn tamper_oob_panics() {
+    fn tamper_oob_is_an_error_not_a_panic() {
         let mut m = image();
-        m.tamper_xor(0x0, &[1]);
+        assert_eq!(m.tamper_xor(0x0, &[1]), Err(TamperError { addr: 0x0, len: 1 }));
+        // A range that starts inside but runs off the end is rejected
+        // whole — the image is untouched.
+        let end = 0x4000 + 256 - 2;
+        assert_eq!(m.tamper_xor(end, &[1; 4]), Err(TamperError { addr: end, len: 4 }));
+        assert!(m.invalid_lines().is_empty(), "failed tampers must not mutate");
+        // Empty masks are a no-op.
+        assert_eq!(m.tamper_xor(0x4000, &[]), Ok(()));
+        assert!(m.line_valid(0x4000));
+        // Addresses that would overflow u32 are rejected, not wrapped.
+        assert!(m.tamper_xor(u32::MAX, &[1, 1]).is_err());
+    }
+
+    #[test]
+    fn corrupt_tag_fails_mac_without_touching_data() {
+        let mut m = image();
+        let before = m.read_u32(0x4040);
+        m.corrupt_tag(0x4040, 0x8000_0000_0000_0001).unwrap();
+        assert_eq!(m.read_u32(0x4040), before, "data untouched");
+        assert!(!m.line_valid(0x4040));
+        assert!(m.line_ever_tampered(0x4040));
+        assert!(m.corrupt_tag(0x0, 1).is_err());
+        // XOR-ing the same mask back restores validity (pure metadata).
+        m.corrupt_tag(0x4040, 0x8000_0000_0000_0001).unwrap();
+        assert!(m.line_valid(0x4040));
+    }
+
+    #[test]
+    fn desync_counter_garbles_and_fails_mac() {
+        let mut m = image();
+        let before = m.read_u32(0x4080);
+        m.desync_counter(0x4080).unwrap();
+        assert!(!m.line_valid(0x4080));
+        assert_ne!(m.read_u32(0x4080), before, "stale ciphertext under new counter");
+        assert!(m.desync_counter(0x0).is_err());
+    }
+
+    #[test]
+    fn apply_fault_maps_kinds_onto_primitives() {
+        use crate::faults::{FaultEvent, FaultKind};
+        let mk = |addr, kind| FaultEvent { cycle: 0, addr, kind };
+
+        let mut m = image();
+        assert_eq!(m.apply_fault(&mk(0x4000, FaultKind::CiphertextFlip { mask: 2 })), Ok(true));
+        assert!(!m.line_valid(0x4000));
+        assert_eq!(m.apply_fault(&mk(0x4040, FaultKind::DramFlip { bit: 5 })), Ok(true));
+        assert!(!m.line_valid(0x4040));
+        assert_eq!(m.apply_fault(&mk(0x4080, FaultKind::TagCorrupt { mask: 3 })), Ok(true));
+        assert!(!m.line_valid(0x4080));
+        assert_eq!(m.apply_fault(&mk(0x40C0, FaultKind::CounterReplay)), Ok(true));
+        assert!(!m.line_valid(0x40C0));
+        // MAC-queue faults do not touch the image.
+        assert_eq!(m.apply_fault(&mk(0x4000, FaultKind::MacDrop)), Ok(false));
+        assert_eq!(m.apply_fault(&mk(0x4000, FaultKind::MacDelay { extra: 9 })), Ok(false));
+        // Out-of-image faults surface the address error.
+        assert!(m.apply_fault(&mk(0x0, FaultKind::CounterReplay)).is_err());
     }
 }

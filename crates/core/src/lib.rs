@@ -36,6 +36,10 @@
 //!   cache.
 //! * [`SecurityProperties`] — the paper's Table 2, derivable per policy
 //!   and cross-checked empirically by `secsim-attack`.
+//! * [`FaultPlan`] — a deterministic schedule of mid-run faults
+//!   (ciphertext flips, tag corruption, counter replay, DRAM upsets,
+//!   bus corruption, MAC-queue delay/drop) the pipeline injects as its
+//!   clock advances.
 //!
 //! # Examples
 //!
@@ -52,6 +56,7 @@
 mod config;
 mod ctrl;
 mod encmem;
+mod faults;
 mod fingerprint;
 mod merkle;
 mod obfuscate;
@@ -63,6 +68,10 @@ mod tree;
 pub use config::SecureConfig;
 pub use ctrl::{CtrlConfig, SecureMemCtrl};
 pub use encmem::EncryptedMemory;
+pub use faults::{
+    Exposure, FaultEvent, FaultInjector, FaultKind, FaultPlan, TamperCause, TamperError,
+    MAC_DROP_DELAY,
+};
 pub use merkle::MerkleTree;
 pub use obfuscate::{ObfConfig, Obfuscator};
 pub use policy::{FetchGateVariant, Policy};

@@ -318,6 +318,23 @@ mod tests {
     }
 
     #[test]
+    fn dropped_verification_stalls_but_keeps_invariants() {
+        // A MAC-drop fault is modeled as a huge extra latency: the queue
+        // stays well-formed (monotone done times, sane drain) while the
+        // verification result effectively never arrives — the pipeline's
+        // max_cycles fence is what terminates such runs.
+        let mut q = q(8, 74);
+        let ok = q.request(100, 0);
+        let dropped = q.request(200, crate::faults::MAC_DROP_DELAY);
+        let after = q.request(300, 0);
+        assert_eq!(q.done_time(ok), 174);
+        assert!(q.done_time(dropped) >= crate::faults::MAC_DROP_DELAY);
+        // In-order verification: everything behind the drop waits too.
+        assert!(q.done_time(after) >= q.done_time(dropped));
+        assert_eq!(q.drain_time(), q.done_time(after));
+    }
+
+    #[test]
     fn none_id_is_always_done() {
         let q = q(8, 74);
         assert_eq!(q.done_time(AuthId::NONE), 0);

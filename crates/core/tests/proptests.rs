@@ -156,7 +156,7 @@ proptest! {
         prop_assert!(m.invalid_lines().is_empty());
 
         let before = m.read_u32(0x4000 + (tamper_off & !3));
-        m.tamper_xor(0x4000 + tamper_off, &mask);
+        m.tamper_xor(0x4000 + tamper_off, &mask).expect("offset stays in-image");
         if mask != [0; 4] {
             // Some line covering the tamper must now fail.
             prop_assert!(!m.invalid_lines().is_empty());

@@ -90,6 +90,12 @@ pub struct SimConfig {
     pub secure: SecureConfig,
     /// Stop after this many retired instructions (0 = until halt).
     pub max_insts: u64,
+    /// Cycle fence (0 = unlimited): once the pipeline's clock passes
+    /// this cycle the run ends with
+    /// [`SimOutcome::CycleLimitExceeded`](crate::SimOutcome) — the
+    /// watchdog for non-terminating fuzz programs and dropped-MAC
+    /// faults, whose verification results never arrive.
+    pub max_cycles: u64,
 }
 
 impl SimConfig {
@@ -100,6 +106,7 @@ impl SimConfig {
             mem: MemSystemConfig::paper_256k(),
             secure: SecureConfig::paper(policy),
             max_insts: 0,
+            max_cycles: 0,
         }
     }
 
@@ -111,6 +118,12 @@ impl SimConfig {
     /// Caps the run length.
     pub fn with_max_insts(mut self, n: u64) -> Self {
         self.max_insts = n;
+        self
+    }
+
+    /// Caps the run in cycles (0 = unlimited).
+    pub fn with_max_cycles(mut self, n: u64) -> Self {
+        self.max_cycles = n;
         self
     }
 }
@@ -134,5 +147,7 @@ mod tests {
         let b = SimConfig::paper_1m(Policy::baseline());
         assert!(b.mem.l2.size_bytes > a.mem.l2.size_bytes);
         assert_eq!(a.with_max_insts(5).max_insts, 5);
+        assert_eq!(a.max_cycles, 0, "unlimited by default");
+        assert_eq!(a.with_max_cycles(9).max_cycles, 9);
     }
 }

@@ -57,11 +57,12 @@ impl StableHash for CpuConfig {
 
 impl StableHash for SimConfig {
     fn stable_hash(&self, h: &mut StableHasher) {
-        let SimConfig { cpu, mem, secure, max_insts } = self;
+        let SimConfig { cpu, mem, secure, max_insts, max_cycles } = self;
         cpu.stable_hash(h);
         mem.stable_hash(h);
         secure.stable_hash(h);
         max_insts.stable_hash(h);
+        max_cycles.stable_hash(h);
     }
 }
 
@@ -77,6 +78,8 @@ mod tests {
         assert_ne!(a.stable_digest(), b.stable_digest());
         let c = a.with_max_insts(1234);
         assert_ne!(a.stable_digest(), c.stable_digest());
+        let f = a.with_max_cycles(1234);
+        assert_ne!(a.stable_digest(), f.stable_digest());
         let mut d = a;
         d.cpu = CpuConfig::paper_ruu64();
         assert_ne!(a.stable_digest(), d.stable_digest());

@@ -51,14 +51,12 @@
 //!
 //! let cfg = SimConfig::paper_256k(Policy::authen_then_commit());
 //! let out = SimSession::new(&cfg).run(&mut mem, 0x1000);
-//! assert!(out.report.halted);
-//! assert!(out.report.ipc() > 0.5);
+//! let report = out.report();
+//! assert!(report.halted);
+//! assert!(report.ipc() > 0.5);
 //! // Every commit slot is accounted for: retired or attributed.
 //! let width = u64::from(cfg.cpu.commit_width);
-//! assert_eq!(
-//!     out.report.stall.total() + out.report.insts,
-//!     width * out.report.cycles,
-//! );
+//! assert_eq!(report.stall.total() + report.insts, width * report.cycles);
 //! # Ok(())
 //! # }
 //! ```
@@ -81,6 +79,7 @@ pub use pipeline::SecureImage;
 #[allow(deprecated)]
 pub use pipeline::{simulate, simulate_observed};
 pub use report::{AuthException, ControlEvent, IoEvent, SimReport};
-pub use session::{SimOutcome, SimSession};
+pub use secsim_core::{Exposure, FaultEvent, FaultKind, FaultPlan, TamperCause};
+pub use session::{SimOutcome, SimRun, SimSession};
 pub use trace::{SimTrace, StallBreakdown, StallCause, TraceConfig, TraceEvent};
 pub use viz::{render_timeline, InstTiming, TIMING_CAP};

@@ -27,7 +27,10 @@ use crate::observe::RetireRecord;
 use crate::report::{AuthException, ControlEvent, IoEvent, SimReport};
 use crate::sched::{FuPool, InOrderSlots, WindowSlots};
 use crate::trace::{SimTrace, StallCause, TraceConfig, Tracer};
-use secsim_core::{EncryptedMemory, FetchGateVariant, Policy, SecureMemCtrl};
+use secsim_core::{
+    EncryptedMemory, Exposure, FaultEvent, FaultInjector, FaultKind, FaultPlan, FetchGateVariant,
+    Policy, SecureMemCtrl, TamperCause, TamperError, MAC_DROP_DELAY,
+};
 use secsim_isa::{step, ArchState, FlatMem, Inst, MemIo, MemWidth, OpClass, RegRef};
 use secsim_mem::{AccessKind, MemSystem};
 use std::collections::HashMap;
@@ -42,6 +45,14 @@ pub trait SecureImage: MemIo {
     fn line_valid(&self, _addr: u32) -> bool {
         true
     }
+
+    /// Applies one scheduled fault to the backing image, reporting
+    /// whether stored bits actually changed. Plaintext images carry no
+    /// ciphertext, tags, or counters to corrupt, so the default is a
+    /// no-op.
+    fn apply_fault(&mut self, _ev: &FaultEvent) -> Result<bool, TamperError> {
+        Ok(false)
+    }
 }
 
 impl SecureImage for FlatMem {}
@@ -49,6 +60,10 @@ impl SecureImage for FlatMem {}
 impl SecureImage for EncryptedMemory {
     fn line_valid(&self, addr: u32) -> bool {
         EncryptedMemory::line_valid(self, addr)
+    }
+
+    fn apply_fault(&mut self, ev: &FaultEvent) -> Result<bool, TamperError> {
+        EncryptedMemory::apply_fault(self, ev)
     }
 }
 
@@ -90,6 +105,50 @@ fn fetch_gate(engine: &SecureMemCtrl, policy: &Policy, at: u64) -> u64 {
     }
 }
 
+/// How a pipeline run ended, beyond what [`SimReport`] captures: the
+/// cycle fence (if it tripped), the attributed cause of any detected
+/// tampering, and the exposure accumulated before detection. The
+/// session layer folds this into a structured `SimOutcome`.
+pub(crate) struct RunEnding {
+    /// `Some(fence)` when the run was cut off by `cfg.max_cycles`.
+    pub cycle_limit: Option<u64>,
+    /// What corrupted the detected line (meaningful only when the
+    /// report carries an exception).
+    pub cause: TamperCause,
+    /// Architectural effects dependent on tampered data that predate
+    /// the detection cycle.
+    pub exposure: Exposure,
+}
+
+/// Applies every scheduled fault due at or before `now`: integrity
+/// faults corrupt the image and poison any cached copies (so the
+/// corruption reaches the chip on the next fill), verification faults
+/// arm the controller's one-shot MAC-delay injection.
+fn apply_due_faults<M: SecureImage>(
+    injector: &mut Option<FaultInjector>,
+    now: u64,
+    image: &mut M,
+    ms: &mut MemSystem<SecureMemCtrl>,
+) {
+    let Some(inj) = injector.as_mut() else { return };
+    if !inj.pending() {
+        return;
+    }
+    for ev in inj.take_due(now).to_vec() {
+        match ev.kind {
+            FaultKind::MacDelay { extra } => ms.engine_mut().inject_mac_delay(extra),
+            FaultKind::MacDrop => ms.engine_mut().inject_mac_delay(MAC_DROP_DELAY),
+            _ => {
+                // A fault aimed outside the image is a scheduled no-op;
+                // the injector still records it as applied.
+                if image.apply_fault(&ev).unwrap_or(false) {
+                    ms.poison_line(ev.addr);
+                }
+            }
+        }
+    }
+}
+
 /// Runs one program to completion (halt, decode fault, or
 /// `cfg.max_insts`) and reports timing, exceptions, and — when
 /// `trace_bus` is set — the attacker-visible bus trace.
@@ -102,7 +161,7 @@ pub fn simulate<M: SecureImage>(
     cfg: &SimConfig,
     trace_bus: bool,
 ) -> SimReport {
-    run_pipeline(image, entry, cfg, trace_bus, None, None).0
+    run_pipeline(image, entry, cfg, trace_bus, None, None, None).0
 }
 
 /// [`simulate`], additionally calling `observer` with one
@@ -123,7 +182,8 @@ pub fn simulate_observed<M: SecureImage, F: FnMut(&RetireRecord)>(
     trace_bus: bool,
     mut observer: F,
 ) -> (SimReport, ArchState) {
-    let (report, st, _) = run_pipeline(image, entry, cfg, trace_bus, Some(&mut observer), None);
+    let (report, st, _, _) =
+        run_pipeline(image, entry, cfg, trace_bus, Some(&mut observer), None, None);
     (report, st)
 }
 
@@ -132,7 +192,9 @@ pub fn simulate_observed<M: SecureImage, F: FnMut(&RetireRecord)>(
 ///
 /// `observer` receives one [`RetireRecord`] per committed instruction;
 /// `trace`, when set, turns on structured event tracing and yields a
-/// [`SimTrace`]. Neither affects the computed timing.
+/// [`SimTrace`]. Neither affects the computed timing. `faults`, when
+/// set, schedules deterministic mid-run tampering: due events are
+/// applied as the modelled clock advances past their cycle.
 pub(crate) fn run_pipeline<M: SecureImage>(
     image: &mut M,
     entry: u32,
@@ -140,8 +202,10 @@ pub(crate) fn run_pipeline<M: SecureImage>(
     trace_bus: bool,
     mut observer: Option<&mut dyn FnMut(&RetireRecord)>,
     trace: Option<TraceConfig>,
-) -> (SimReport, ArchState, Option<SimTrace>) {
+    faults: Option<&FaultPlan>,
+) -> (SimReport, ArchState, Option<SimTrace>, RunEnding) {
     let policy = cfg.secure.policy;
+    let mut injector = faults.map(FaultInjector::new);
     let mut ms = MemSystem::new(cfg.mem, SecureMemCtrl::new(cfg.secure.ctrl));
     if trace_bus {
         ms.channel_mut().trace_mut().enable();
@@ -174,9 +238,26 @@ pub(crate) fn run_pipeline<M: SecureImage>(
     let mut commit_ring = vec![0u64; ruu];
     let mut lsq_ring = vec![0u64; lsq];
     let mut store_release_ring = vec![0u64; sb];
-    // word address -> (value ready, cache write time, producer cause)
-    // for forwarding
-    let mut store_fwd: HashMap<u32, (u64, u64, StallCause)> = HashMap::new();
+    // word address -> (value ready, cache write time, producer cause,
+    // producer taint) for forwarding
+    let mut store_fwd: HashMap<u32, (u64, u64, StallCause, bool)> = HashMap::new();
+
+    // Exposure accounting: which registers hold values derived from a
+    // line that fails verification, and the event cycles of every
+    // tainted instruction. Counted against the detection cycle once
+    // the run ends; bounded because detection squashes the run.
+    let mut reg_taint = [false; 64];
+    let mut cur_iline_tainted = false;
+    struct TaintRec {
+        at_issue: bool, // tainted before its own load's data arrived
+        issue: u64,
+        commit: u64,
+        store_release: u64, // 0 = not a store
+        bus_granted: u64,   // 0 = no dependent off-chip transfer
+    }
+    const TAINT_CAP: usize = 1 << 20;
+    let mut taint_log: Vec<TaintRec> = Vec::new();
+    let track_exposure = policy.authenticate;
 
     let l1i_line_mask = !(cfg.mem.l1i.line_bytes - 1);
     let mut cur_iline: Option<u32> = None;
@@ -212,6 +293,7 @@ pub(crate) fn run_pipeline<M: SecureImage>(
     let mut commit_stall_cycles: u64 = 0;
     let mut write_hold_cycles: u64 = 0;
     let mut exception: Option<AuthException> = None;
+    let mut cycle_limit: Option<u64> = None;
     let precise = policy.gate_issue || policy.gate_commit;
 
     let note_tamper = |image: &M, addr: u32, auth_ready: u64, exc: &mut Option<AuthException>| {
@@ -234,6 +316,25 @@ pub(crate) fn run_pipeline<M: SecureImage>(
         if cfg.max_insts > 0 && insts >= cfg.max_insts {
             break;
         }
+        // Recovery: a raised security exception squashes everything
+        // younger than the detection point — no instruction whose fetch
+        // would postdate the exception enters the pipe. Work already in
+        // flight (fetched at or before detection) drains normally; the
+        // exposure ledger records how much of it depended on the
+        // tampered line.
+        if let Some(e) = exception {
+            if fetch_avail > e.cycle {
+                break;
+            }
+        }
+        // Cycle fence: the watchdog for runs whose modelled clock runs
+        // away (dropped MAC verifications, non-terminating fuzz
+        // programs). Fetch, commit, and the store-buffer quiesce
+        // horizon are the three clocks that can escape.
+        if cfg.max_cycles > 0 && fetch_avail.max(prev_commit).max(quiesce) > cfg.max_cycles {
+            cycle_limit = Some(cfg.max_cycles);
+            break;
+        }
         let info = match step(&mut st, image) {
             Ok(i) => i,
             Err(_) => {
@@ -247,10 +348,12 @@ pub(crate) fn run_pipeline<M: SecureImage>(
         let mut ifetch_floor: u64 = 0;
         let mut ifetch_granted: u64 = 0;
         if cur_iline != Some(line) {
+            apply_due_faults(&mut injector, fetch_avail, image, &mut ms);
             let bnb = fetch_gate(ms.engine(), &policy, fetch_avail);
             let acc = ms.access(info.pc, AccessKind::IFetch, fetch_avail, bnb);
             note_tamper(image, info.pc, acc.auth_ready, &mut exception);
             cur_iline = Some(line);
+            cur_iline_tainted = !image.line_valid(info.pc);
             iline_auth = acc.auth_ready;
             if acc.ready > fetch_avail {
                 fetch_cause = if policy.gate_fetch && acc.l2_miss && bnb > fetch_avail {
@@ -293,8 +396,10 @@ pub(crate) fn run_pipeline<M: SecureImage>(
         // ---- operand readiness ----
         let mut ready = dt + 1;
         let mut ready_cause = dt_cause;
+        let mut tainted_at_issue = cur_iline_tainted;
         for src in info.inst.srcs().into_iter().flatten() {
             let slot = reg_slot(src);
+            tainted_at_issue |= reg_taint[slot];
             if reg_ready[slot] > ready {
                 ready = reg_ready[slot];
                 ready_cause = reg_cause[slot];
@@ -312,6 +417,7 @@ pub(crate) fn run_pipeline<M: SecureImage>(
         // ---- issue + execute ----
         let class = info.inst.class();
         let mut data_auth: u64 = 0; // verification time of the D-line touched
+        let mut data_tainted = false; // loaded value comes from an invalid line
         let mut store_tag_done: u64 = 0; // authen-then-write watermark
         let mut bus_floor: u64 = 0; // fetch-gate floor of the D-access
         let mut bus_granted: u64 = 0; // its bus-grant cycle (0 = no transfer)
@@ -348,19 +454,22 @@ pub(crate) fn run_pipeline<M: SecureImage>(
                     .then(|| store_fwd.get(&word))
                     .flatten()
                     .copied()
-                    .filter(|&(_, wtime, _)| wtime > start);
+                    .filter(|&(_, wtime, _, _)| wtime > start);
                 n_loads += 1;
                 match fwd {
-                    Some((vready, _, producer_cause)) => {
+                    Some((vready, _, producer_cause, fwd_taint)) => {
                         n_load_forwards += 1;
+                        data_tainted = fwd_taint;
                         let c = (start + 1).max(vready);
                         (c, if vready > start + 1 { producer_cause } else { start_cause })
                     }
                     None => {
+                        apply_due_faults(&mut injector, start, image, &mut ms);
                         let bnb = fetch_gate(ms.engine(), &policy, start);
                         let acc = ms.access(ma.addr, AccessKind::Load, start, bnb);
                         note_tamper(image, ma.addr, acc.auth_ready, &mut exception);
                         data_auth = acc.auth_ready;
+                        data_tainted = !image.line_valid(ma.addr);
                         bus_floor = bnb;
                         bus_granted = acc.bus_granted;
                         if acc.l2_miss {
@@ -382,6 +491,7 @@ pub(crate) fn run_pipeline<M: SecureImage>(
                 let start = fu_mem.take(it, 1);
                 let start_cause = if start > it { StallCause::FuBusy } else { it_cause };
                 let ma = info.mem.expect("store has a memory access");
+                apply_due_faults(&mut injector, start, image, &mut ms);
                 let bnb = fetch_gate(ms.engine(), &policy, start);
                 // Write-allocate fill happens at issue; the commit-time
                 // write hits the (now resident) line.
@@ -425,9 +535,12 @@ pub(crate) fn run_pipeline<M: SecureImage>(
             }
         };
 
+        let tainted = tainted_at_issue || data_tainted;
         if let Some(dst) = info.inst.dst() {
             reg_ready[reg_slot(dst)] = complete;
             reg_cause[reg_slot(dst)] = complete_cause;
+            // Overwriting a register with a clean value clears its taint.
+            reg_taint[reg_slot(dst)] = tainted;
         }
 
         // ---- control resolution ----
@@ -513,12 +626,21 @@ pub(crate) fn run_pipeline<M: SecureImage>(
             store_release = release;
             if let Some(ma) = info.mem {
                 if ma.width != MemWidth::Double {
-                    store_fwd.insert(ma.addr & !3, (complete, release, complete_cause));
+                    store_fwd.insert(ma.addr & !3, (complete, release, complete_cause, tainted));
                 }
             }
             if store_fwd.len() > (1 << 20) {
-                store_fwd.retain(|_, &mut (_, w, _)| w > ct);
+                store_fwd.retain(|_, &mut (_, w, _, _)| w > ct);
             }
+        }
+        if track_exposure && tainted && taint_log.len() < TAINT_CAP {
+            taint_log.push(TaintRec {
+                at_issue: tainted_at_issue,
+                issue: it,
+                commit: ct,
+                store_release: if class == OpClass::Store { store_release } else { 0 },
+                bus_granted: if tainted_at_issue { bus_granted } else { 0 },
+            });
         }
 
         // ---- security-invariant oracles ----
@@ -716,10 +838,46 @@ pub(crate) fn run_pipeline<M: SecureImage>(
             report.counters.add(&format!("tree.{k}"), v);
         }
     }
+    if let Some(inj) = &injector {
+        report.counters.add("faults.injected", inj.applied().len() as u64);
+    }
     report.bus_events = ms.channel().trace().events().to_vec();
     let sim_trace = tracer
         .map(|t| t.finish(ms.engine().queue().spans(), ms.channel().transfers(), report.cycles));
-    (report, st, sim_trace)
+
+    // ---- exposure ledger ----
+    // Count every tainted architectural event that beat detection. The
+    // per-policy ordering of the paper falls out: issue gating admits
+    // none, commit gating only speculative issues, write gating adds
+    // commits, fetch gating adds released stores.
+    let exposure = match exception {
+        Some(e) if track_exposure => {
+            let d = e.cycle;
+            let mut x = Exposure::default();
+            for t in &taint_log {
+                if t.at_issue && t.issue < d {
+                    x.issued += 1;
+                }
+                if t.commit < d {
+                    x.committed += 1;
+                }
+                if t.store_release > 0 && t.store_release < d {
+                    x.stores_released += 1;
+                }
+                if t.bus_granted > 0 && t.bus_granted < d {
+                    x.bus_grants += 1;
+                }
+            }
+            x
+        }
+        _ => Exposure::default(),
+    };
+    let cause = match (exception, &injector) {
+        (Some(e), Some(inj)) => inj.cause_for(e.line_addr),
+        _ => TamperCause::StaticImage,
+    };
+    let ending = RunEnding { cycle_limit, cause, exposure };
+    (report, st, sim_trace, ending)
 }
 
 #[cfg(test)]
@@ -735,7 +893,7 @@ mod tests {
         cfg: &SimConfig,
         trace_bus: bool,
     ) -> SimReport {
-        crate::SimSession::new(cfg).trace_bus(trace_bus).run(image, entry).report
+        crate::SimSession::new(cfg).trace_bus(trace_bus).run(image, entry).into_report()
     }
 
     fn program_sum_loop(n: i16) -> (FlatMem, u32) {
@@ -975,8 +1133,9 @@ mod tests {
         let cfg = SimConfig::paper_256k(Policy::authen_then_commit());
         let out = crate::SimSession::new(&cfg)
             .trace(TraceConfig::default())
-            .run(&mut mem, entry);
-        let trace = out.trace.expect("trace requested");
+            .run(&mut mem, entry)
+            .into_run();
+        let trace = out.trace.as_ref().expect("trace requested");
         let has = |f: &dyn Fn(&TraceEvent) -> bool| trace.events.iter().any(f);
         assert!(has(&|e| matches!(e, TraceEvent::Inst { .. })));
         assert!(has(&|e| matches!(e, TraceEvent::Auth { .. })));

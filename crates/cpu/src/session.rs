@@ -1,11 +1,16 @@
 //! The unified simulation entry point.
 //!
 //! [`SimSession`] replaces the old `simulate` / `simulate_observed`
-//! split with one builder: configure bus tracing, event tracing and a
-//! retire observer, then [`run`](SimSession::run). All observers are
-//! optional and none affects the computed timing — a bare session is
-//! cycle-for-cycle (and byte-for-byte in its [`SimReport`]) identical
-//! to the deprecated free functions.
+//! split with one builder: configure bus tracing, event tracing, a
+//! retire observer, and an optional [`FaultPlan`], then
+//! [`run`](SimSession::run). All observers are optional and none
+//! affects the computed timing — a bare session is cycle-for-cycle
+//! (and byte-for-byte in its [`SimReport`]) identical to the
+//! deprecated free functions.
+//!
+//! A run finishes with a structured [`SimOutcome`] rather than an
+//! optional exception field callers can ignore: tampering detection and
+//! cycle-fence trips are distinct variants carrying their evidence.
 //!
 //! # Examples
 //!
@@ -27,9 +32,11 @@
 //!     .trace(TraceConfig::default())
 //!     .observe(|_r| retires += 1)
 //!     .run(&mut mem, 0x1000);
-//! assert!(out.report.halted);
-//! assert_eq!(retires, out.report.insts);
-//! let chrome = out.trace.expect("tracing was on").to_chrome();
+//! assert!(matches!(out, secsim_cpu::SimOutcome::Completed(_)));
+//! assert!(out.report().halted);
+//! assert_eq!(retires, out.report().insts);
+//! let run = out.into_run();
+//! let chrome = run.trace.expect("tracing was on").to_chrome();
 //! assert!(chrome.get("traceEvents").is_some());
 //! # Ok(())
 //! # }
@@ -40,11 +47,12 @@ use crate::observe::RetireRecord;
 use crate::pipeline::{run_pipeline, SecureImage};
 use crate::report::SimReport;
 use crate::trace::{SimTrace, TraceConfig};
+use secsim_core::{Exposure, FaultPlan, TamperCause};
 use secsim_isa::ArchState;
 
-/// Everything one simulation run produced.
+/// Everything one simulation run produced, however it ended.
 #[derive(Debug)]
-pub struct SimOutcome {
+pub struct SimRun {
     /// Timing report (cycles, counters, stall breakdown, events).
     pub report: SimReport,
     /// Final architectural state of the functional execution.
@@ -52,6 +60,105 @@ pub struct SimOutcome {
     /// Structured event trace, present iff [`SimSession::trace`] was
     /// configured.
     pub trace: Option<SimTrace>,
+}
+
+/// How a simulation run ended.
+///
+/// Every variant carries the full [`SimRun`]; the variant itself is the
+/// security verdict. Callers that only need the report can use
+/// [`report`](SimOutcome::report) / [`into_report`](SimOutcome::into_report)
+/// regardless of variant.
+#[derive(Debug)]
+pub enum SimOutcome {
+    /// The program ran to completion (halt, decode fault, or
+    /// `max_insts`) with no authentication failure.
+    Completed(SimRun),
+    /// MAC verification failed: a precise security exception was raised
+    /// at `cycle` for the line at `line_addr`, the pipeline squashed
+    /// everything younger than the detection point, and `exposure`
+    /// records how much tainted work beat detection under the active
+    /// policy.
+    TamperDetected {
+        /// The run up to (and draining past) the exception.
+        run: SimRun,
+        /// Cycle the failing verification completed.
+        cycle: u64,
+        /// Address of the line that failed verification.
+        line_addr: u32,
+        /// What corrupted the line, as attributed from the fault plan
+        /// ([`TamperCause::StaticImage`] when the image was tampered
+        /// before the run).
+        cause: TamperCause,
+        /// Architectural effects dependent on the tampered line that
+        /// predate detection.
+        exposure: Exposure,
+    },
+    /// The cycle fence ([`SimConfig::max_cycles`]) tripped before the
+    /// program finished — the watchdog outcome for dropped MAC
+    /// verifications and runaway programs.
+    CycleLimitExceeded {
+        /// The run up to the fence.
+        run: SimRun,
+        /// The fence that tripped (`cfg.max_cycles`).
+        cycle: u64,
+    },
+}
+
+impl SimOutcome {
+    /// The run's artifacts, whichever way it ended.
+    pub fn run(&self) -> &SimRun {
+        match self {
+            SimOutcome::Completed(run) => run,
+            SimOutcome::TamperDetected { run, .. } => run,
+            SimOutcome::CycleLimitExceeded { run, .. } => run,
+        }
+    }
+
+    /// Consumes the outcome, keeping the run's artifacts.
+    pub fn into_run(self) -> SimRun {
+        match self {
+            SimOutcome::Completed(run) => run,
+            SimOutcome::TamperDetected { run, .. } => run,
+            SimOutcome::CycleLimitExceeded { run, .. } => run,
+        }
+    }
+
+    /// The timing report, whichever way the run ended.
+    pub fn report(&self) -> &SimReport {
+        &self.run().report
+    }
+
+    /// Consumes the outcome, keeping only the timing report.
+    pub fn into_report(self) -> SimReport {
+        self.into_run().report
+    }
+
+    /// The final architectural state.
+    pub fn state(&self) -> &ArchState {
+        &self.run().state
+    }
+
+    /// Whether the run ended in a detected authentication failure.
+    pub fn detected(&self) -> bool {
+        matches!(self, SimOutcome::TamperDetected { .. })
+    }
+
+    /// The exposure ledger, when tampering was detected.
+    pub fn exposure(&self) -> Option<Exposure> {
+        match self {
+            SimOutcome::TamperDetected { exposure, .. } => Some(*exposure),
+            _ => None,
+        }
+    }
+
+    /// The variant's name, for logs and campaign tables.
+    pub fn verdict_name(&self) -> &'static str {
+        match self {
+            SimOutcome::Completed(_) => "Completed",
+            SimOutcome::TamperDetected { .. } => "TamperDetected",
+            SimOutcome::CycleLimitExceeded { .. } => "CycleLimitExceeded",
+        }
+    }
 }
 
 /// A boxed per-retire observer, as registered by [`SimSession::observe`].
@@ -63,13 +170,14 @@ pub struct SimSession<'a> {
     trace_bus: bool,
     trace: Option<TraceConfig>,
     observer: Option<Observer<'a>>,
+    faults: Option<FaultPlan>,
 }
 
 impl<'a> SimSession<'a> {
     /// A session with no observers: equivalent to the deprecated
     /// `simulate(image, entry, cfg, false)`.
     pub fn new(cfg: &SimConfig) -> Self {
-        Self { cfg: *cfg, trace_bus: false, trace: None, observer: None }
+        Self { cfg: *cfg, trace_bus: false, trace: None, observer: None, faults: None }
     }
 
     /// Enables (or disables) the attacker-visible bus trace
@@ -80,7 +188,7 @@ impl<'a> SimSession<'a> {
         self
     }
 
-    /// Enables structured event tracing; the run's [`SimOutcome::trace`]
+    /// Enables structured event tracing; the run's [`SimRun::trace`]
     /// will hold a [`SimTrace`].
     pub fn trace(mut self, cfg: TraceConfig) -> Self {
         self.trace = Some(cfg);
@@ -94,17 +202,37 @@ impl<'a> SimSession<'a> {
         self
     }
 
-    /// Runs `image` from `entry` to completion (halt, decode fault, or
-    /// `cfg.max_insts`).
+    /// Schedules deterministic mid-run fault injection: each event in
+    /// `plan` is applied once the modelled clock passes its cycle.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Runs `image` from `entry` until it halts, faults, trips the
+    /// cycle fence, or detects tampering.
     pub fn run<M: SecureImage>(self, image: &mut M, entry: u32) -> SimOutcome {
-        let SimSession { cfg, trace_bus, trace, mut observer } = self;
+        let SimSession { cfg, trace_bus, trace, mut observer, faults } = self;
         let observer_dyn: Option<&mut dyn FnMut(&RetireRecord)> = match observer.as_mut() {
             Some(b) => Some(&mut **b),
             None => None,
         };
-        let (report, state, trace) =
-            run_pipeline(image, entry, &cfg, trace_bus, observer_dyn, trace);
-        SimOutcome { report, state, trace }
+        let (report, state, trace, ending) =
+            run_pipeline(image, entry, &cfg, trace_bus, observer_dyn, trace, faults.as_ref());
+        let run = SimRun { report, state, trace };
+        if let Some(e) = run.report.exception {
+            SimOutcome::TamperDetected {
+                run,
+                cycle: e.cycle,
+                line_addr: e.line_addr,
+                cause: ending.cause,
+                exposure: ending.exposure,
+            }
+        } else if let Some(cycle) = ending.cycle_limit {
+            SimOutcome::CycleLimitExceeded { run, cycle }
+        } else {
+            SimOutcome::Completed(run)
+        }
     }
 }
 
@@ -115,6 +243,7 @@ impl std::fmt::Debug for SimSession<'_> {
             .field("trace_bus", &self.trace_bus)
             .field("trace", &self.trace)
             .field("observer", &self.observer.as_ref().map(|_| "FnMut"))
+            .field("faults", &self.faults)
             .finish()
     }
 }
@@ -122,7 +251,7 @@ impl std::fmt::Debug for SimSession<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use secsim_core::Policy;
+    use secsim_core::{EncryptedMemory, FaultKind, Policy};
     use secsim_isa::{Asm, FlatMem, MemIo, Reg};
 
     fn program() -> (FlatMem, u32) {
@@ -151,7 +280,7 @@ mod tests {
         let out = SimSession::new(&cfg)
             .observe(|r| seqs.push(r.seq))
             .run(&mut mem.clone(), entry);
-        assert_eq!(seqs.len() as u64, out.report.insts);
+        assert_eq!(seqs.len() as u64, out.report().insts);
         assert!(seqs.windows(2).all(|w| w[1] == w[0] + 1));
     }
 
@@ -169,12 +298,60 @@ mod tests {
             let cfg = SimConfig::paper_256k(policy);
             #[allow(deprecated)]
             let old = crate::simulate(&mut mem.clone(), entry, &cfg, false);
-            let new = SimSession::new(&cfg).run(&mut mem.clone(), entry).report;
+            let new = SimSession::new(&cfg).run(&mut mem.clone(), entry).into_report();
             assert_eq!(
                 old.to_json().unwrap().render(),
                 new.to_json().unwrap().render(),
                 "SimSession must reproduce simulate() exactly under {policy}"
             );
+        }
+    }
+
+    #[test]
+    fn faulted_outcome_carries_detection_evidence() {
+        // Tight load loop over one data line; the plan corrupts that
+        // line mid-run, so the next (re)fetch fails verification.
+        let mut a = Asm::new(0x0);
+        let top = a.new_label();
+        a.li(Reg::R1, 0x1000);
+        a.li(Reg::R2, 400);
+        a.bind(top).unwrap();
+        a.lw(Reg::R3, Reg::R1, 0);
+        a.addi(Reg::R2, Reg::R2, -1);
+        a.bne(Reg::R2, Reg::R0, top);
+        a.halt();
+        let words = a.assemble().unwrap();
+        let mut plain = vec![0u8; 8192];
+        for (i, w) in words.iter().enumerate() {
+            plain[4 * i..4 * i + 4].copy_from_slice(&w.to_le_bytes());
+        }
+        let mut img = EncryptedMemory::from_plain(0, &plain, &[8; 16], b"sess");
+        let cfg = SimConfig::paper_256k(Policy::authen_then_issue());
+        let plan = FaultPlan::new().at(300, 0x1000, FaultKind::CiphertextFlip { mask: 0x80 });
+        let out = SimSession::new(&cfg).faults(plan).run(&mut img, 0x0);
+        match out {
+            SimOutcome::TamperDetected { cycle, line_addr, cause, exposure, .. } => {
+                assert!(cycle >= 300, "detection postdates injection, got {cycle}");
+                assert_eq!(line_addr & !63, 0x1000);
+                assert_eq!(cause, TamperCause::CiphertextFlip);
+                // Eager (issue) gating admits no tainted work.
+                assert_eq!(exposure.total(), 0, "issue gating leaked {exposure}");
+            }
+            other => panic!("expected TamperDetected, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cycle_fence_ends_run_as_limit_exceeded() {
+        let (mem, entry) = program();
+        let cfg = SimConfig::paper_256k(Policy::baseline()).with_max_cycles(50);
+        let out = SimSession::new(&cfg).run(&mut mem.clone(), entry);
+        match out {
+            SimOutcome::CycleLimitExceeded { cycle, ref run } => {
+                assert_eq!(cycle, 50);
+                assert!(!run.report.halted);
+            }
+            other => panic!("expected CycleLimitExceeded, got {other:?}"),
         }
     }
 }

@@ -51,7 +51,7 @@ fn cycles(mem: &FlatMem, entry: u32, policy: Policy, cpu: Option<CpuConfig>) -> 
     if let Some(c) = cpu {
         cfg.cpu = c;
     }
-    SimSession::new(&cfg).run(&mut mem.clone(), entry).report.cycles
+    SimSession::new(&cfg).run(&mut mem.clone(), entry).into_report().cycles
 }
 
 /// The drain variant of authen-then-fetch is never faster than the
@@ -133,7 +133,7 @@ fn quiesce_extends_cycles_under_write_gating() {
     let mut mem = FlatMem::new(0x1000, 4 << 20);
     mem.load_words(0x1000, &a.assemble().expect("assembles"));
     let cfg = SimConfig::paper_256k(Policy::authen_then_write());
-    let r = SimSession::new(&cfg).run(&mut mem, 0x1000).report;
+    let r = SimSession::new(&cfg).run(&mut mem, 0x1000).into_report();
     assert!(r.halted);
     let io = r.io_events[0].cycle;
     assert!(io <= r.cycles, "io at {io} must be within the {}-cycle run", r.cycles);
@@ -179,9 +179,9 @@ fn exception_precision_follows_policy() {
         (Policy::authen_then_fetch(), false),
     ] {
         let mut img = EncryptedMemory::from_plain(0, &plain, &[8; 16], b"pg");
-        img.tamper_xor(0x1000, &[0xFF]);
+        img.tamper_xor(0x1000, &[0xFF]).expect("in-image tamper");
         let cfg = SimConfig::paper_256k(policy);
-        let r = SimSession::new(&cfg).run(&mut img, 0x0).report;
+        let r = SimSession::new(&cfg).run(&mut img, 0x0).into_report();
         let e = r.exception.expect("tamper must be detected");
         assert_eq!(e.precise, precise, "precision flag for {policy}");
         assert_eq!(e.line_addr, 0x1000);

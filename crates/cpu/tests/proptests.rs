@@ -97,7 +97,7 @@ proptest! {
             Policy::commit_plus_fetch(),
         ] {
             let cfg = SimConfig::paper_256k(policy);
-            let r = SimSession::new(&cfg).run(&mut mem.clone(), entry).report;
+            let r = SimSession::new(&cfg).run(&mut mem.clone(), entry).into_report();
             prop_assert!(r.halted);
             prop_assert!(r.exception.is_none());
             prop_assert_eq!(r.io_events.len(), 1);
@@ -113,7 +113,7 @@ proptest! {
     fn gating_never_speeds_up(body in straightline_program()) {
         let (mem, entry) = build_image(&body);
         let run = |p: Policy| {
-            SimSession::new(&SimConfig::paper_256k(p)).run(&mut mem.clone(), entry).report.cycles
+            SimSession::new(&SimConfig::paper_256k(p)).run(&mut mem.clone(), entry).into_report().cycles
         };
         let base = run(Policy::baseline());
         prop_assert_eq!(run(Policy::baseline()), base, "nondeterministic baseline");

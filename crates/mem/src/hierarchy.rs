@@ -367,6 +367,33 @@ impl<F: FillEngine> MemSystem<F> {
         }
     }
 
+    /// Drops the line containing `addr` from both L1s and the L2 and
+    /// forgets its fill metadata, so the next access re-fetches it from
+    /// the (possibly corrupted) off-chip image.
+    ///
+    /// This is the fault-injection hook: corrupting DRAM or the bus
+    /// cannot retroactively change clean on-chip copies, so the injector
+    /// pairs every off-chip corruption with a poison of the covering
+    /// line — the next demand access then observes the corruption
+    /// through a genuine re-fill. Dirty copies are dropped without a
+    /// writeback (the injected corruption wins over the victim's data,
+    /// exactly what a mid-run DRAM upset does to an unflushed line).
+    ///
+    /// Returns whether any cached state was dropped.
+    pub fn poison_line(&mut self, addr: u32) -> bool {
+        let l2_line = self.cfg.l2.line_addr(addr);
+        let mut any = self.line_meta.remove(&l2_line).is_some();
+        // L1 lines may be smaller than the L2 line: drop every covered one.
+        let step = self.cfg.l1i.line_bytes.min(self.cfg.l1d.line_bytes);
+        let mut a = l2_line;
+        while a < l2_line + self.cfg.l2.line_bytes {
+            any |= self.l1i.invalidate(a).is_some();
+            any |= self.l1d.invalidate(a).is_some();
+            a += step;
+        }
+        any | self.l2.invalidate(l2_line).is_some()
+    }
+
     /// The fill engine (e.g. to query the authentication queue).
     pub fn engine(&self) -> &F {
         &self.engine
@@ -529,6 +556,27 @@ mod tests {
         assert!(r.bus_granted >= 7777, "grant {} below fetch-gate floor", r.bus_granted);
         let warm = m.access(0x60_0000, AccessKind::Load, r.ready + 1, 0);
         assert_eq!(warm.bus_granted, 0, "hits cause no bus transfer");
+    }
+
+    #[test]
+    fn poison_line_forces_refetch() {
+        let mut m = ms();
+        let cold = m.access(0x80_0000, AccessKind::Load, 0, 0);
+        assert!(cold.l2_miss);
+        let warm = m.access(0x80_0000, AccessKind::Load, cold.ready + 1, 0);
+        assert!(!warm.l1_miss);
+        assert!(m.poison_line(0x80_0000), "resident line must report dropped state");
+        let refetch = m.access(0x80_0000, AccessKind::Load, warm.ready + 1, 0);
+        assert!(refetch.l1_miss && refetch.l2_miss, "poisoned line goes off-chip again");
+        assert!(!m.poison_line(0x12_3456), "absent line drops nothing");
+        // A dirty line is dropped without writeback traffic.
+        m.channel_mut().trace_mut().enable();
+        let st = m.access(0x90_0000, AccessKind::Store, 0, 0);
+        m.poison_line(0x90_0000);
+        let _ = m.access(0x90_0000, AccessKind::Load, st.ready + 1, 0);
+        let wbs =
+            m.channel().trace().events().iter().filter(|e| e.kind == BusKind::Writeback).count();
+        assert_eq!(wbs, 0, "poison must not write the victim back");
     }
 
     #[test]

@@ -40,7 +40,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Run the sealed program and inspect the attacker's view.
     let cfg = SimConfig::paper_256k(Policy::commit_plus_fetch());
     let mut m = image.clone();
-    let r = SimSession::new(&cfg).trace_bus(true).run(&mut m, 0x1000).report;
+    let r = SimSession::new(&cfg).trace_bus(true).run(&mut m, 0x1000).into_report();
     println!("clean run: halted={}, out={:?}", r.halted, r.io_events);
     println!("bus events an eavesdropper saw (addresses only — contents are ciphertext):");
     for e in r.bus_events.iter().take(8) {
@@ -50,8 +50,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Now the adversary flips one ciphertext bit in the array.
     let mut tampered = image.clone();
-    tampered.tamper_xor(0x2000, &[0x01]);
-    let r = SimSession::new(&cfg).trace_bus(true).run(&mut tampered, 0x1000).report;
+    tampered.tamper_xor(0x2000, &[0x01]).expect("in-image");
+    let r = SimSession::new(&cfg).trace_bus(true).run(&mut tampered, 0x1000).into_report();
     println!("tampered run: out={:?}", r.io_events);
     match r.exception {
         Some(e) => println!(

@@ -17,7 +17,7 @@ fn norm_ipc(bench: &str, policy: Policy, mac_latency: u64, ruu: u32) -> f64 {
         cfg.cpu = if ruu == 64 { CpuConfig::paper_ruu64() } else { CpuConfig::paper_reference() };
         cfg.secure.ctrl.queue.mac_latency = mac_latency;
         cfg.secure = cfg.secure.with_protected_region(w.data_base, w.data_bytes);
-        SimSession::new(&cfg).run(&mut w.mem, w.entry).report.ipc()
+        SimSession::new(&cfg).run(&mut w.mem, w.entry).into_report().ipc()
     };
     mk(policy) / mk(Policy::baseline())
 }

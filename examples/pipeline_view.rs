@@ -35,7 +35,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Policy::authen_then_issue(),
     ] {
         let cfg = SimConfig::paper_256k(policy);
-        let r = SimSession::new(&cfg).trace_bus(true).run(&mut mem.clone(), 0x1000).report;
+        let r = SimSession::new(&cfg).trace_bus(true).run(&mut mem.clone(), 0x1000).into_report();
         println!("=== {policy} ({} cycles) ===", r.cycles);
         println!("{}", render_timeline(&r.inst_timings, 100));
     }

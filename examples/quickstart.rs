@@ -39,7 +39,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("policy                      cycles      IPC   norm");
     let baseline = {
         let cfg = SimConfig::paper_256k(Policy::baseline());
-        SimSession::new(&cfg).run(&mut mem.clone(), 0x1000).report
+        SimSession::new(&cfg).run(&mut mem.clone(), 0x1000).into_report()
     };
     for policy in [
         Policy::baseline(),
@@ -50,7 +50,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Policy::authen_then_issue(),
     ] {
         let cfg = SimConfig::paper_256k(policy);
-        let r = SimSession::new(&cfg).run(&mut mem.clone(), 0x1000).report;
+        let r = SimSession::new(&cfg).run(&mut mem.clone(), 0x1000).into_report();
         println!(
             "{:<26} {:>8} {:>8.3} {:>6.3}",
             policy.to_string(),

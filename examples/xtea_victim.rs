@@ -117,7 +117,7 @@ fn run(image: &EncryptedMemory, policy: Policy) -> SimReport {
     let mut img = image.clone();
     let mut cfg = SimConfig::paper_256k(policy).with_max_insts(100_000);
     cfg.secure = cfg.secure.with_protected_region(0, 16 * 1024);
-    SimSession::new(&cfg).trace_bus(true).run(&mut img, CODE).report
+    SimSession::new(&cfg).trace_bus(true).run(&mut img, CODE).into_report()
 }
 
 fn main() {
@@ -148,7 +148,9 @@ fn main() {
         let old_word = words[sled_index + i];
         assert_eq!(old_word, encode(Inst::Nop), "sled must be nops");
         let mask = (old_word ^ new_word).to_le_bytes();
-        tampered.tamper_xor(sled_start + 4 * i as u32, &mask);
+        tampered
+            .tamper_xor(sled_start + 4 * i as u32, &mask)
+            .expect("sled is in-image");
     }
     println!("adversary rewrote the 8-nop epilogue into a key-disclosing kernel\n");
 

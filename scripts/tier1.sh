@@ -32,4 +32,7 @@ echo "cached output byte-identical to fresh run"
 echo "== check-smoke: differential co-sim batch, all policies, fixed seed =="
 ./target/release/secsim-check --smoke --seed 2006
 
+echo "== fault-smoke: injected-tamper campaign, all policies =="
+./target/release/faults --smoke
+
 echo "== tier-1 OK =="

@@ -9,7 +9,7 @@
 
 use secsim::attack::{run_exploit, Exploit};
 use secsim::core::{Policy, SecureConfig};
-use secsim::cpu::{CpuConfig, SimConfig, SimReport, SimSession, TraceConfig};
+use secsim::cpu::{CpuConfig, SimConfig, SimOutcome, SimReport, SimSession, TraceConfig};
 use secsim::isa::{assemble_text, FlatMem};
 use secsim::mem::MemSystemConfig;
 use secsim::workloads::BenchId;
@@ -133,7 +133,13 @@ fn cmd_run(args: &Args) -> Result<(), String> {
         SecureConfig::paper(policy)
     }
     .with_protected_region(w.data_base, w.data_bytes);
-    let cfg = SimConfig { cpu, mem, secure, max_insts: args.num("insts", 1_000_000)? };
+    let cfg = SimConfig {
+        cpu,
+        mem,
+        secure,
+        max_insts: args.num("insts", 1_000_000)?,
+        max_cycles: args.num("cycles", 0)?,
+    };
     eprintln!("running {bench} under {policy} ({} L2)...", args.get("l2").unwrap_or("256k"));
     let trace = args.flag("trace") || args.get("trace-out").is_some();
     let chrome_path = args.get("chrome-trace");
@@ -142,10 +148,21 @@ fn cmd_run(args: &Args) -> Result<(), String> {
         session = session.trace(TraceConfig::default());
     }
     let out = session.run(&mut w.mem, w.entry);
-    let r = out.report;
+    match &out {
+        SimOutcome::TamperDetected { cycle, line_addr, cause, exposure, .. } => eprintln!(
+            "tampering detected at cycle {cycle}: line {line_addr:#x} ({cause}); \
+             exposure before detection: {exposure}"
+        ),
+        SimOutcome::CycleLimitExceeded { cycle, .. } => {
+            eprintln!("cycle fence tripped at {cycle} before the program finished")
+        }
+        SimOutcome::Completed(_) => {}
+    }
+    let run = out.into_run();
+    let r = run.report;
     print_report(&r, args.flag("verbose"));
     if let Some(path) = chrome_path {
-        let t = out.trace.expect("tracing was enabled");
+        let t = run.trace.expect("tracing was enabled");
         std::fs::write(path, t.to_chrome().render()).map_err(|e| format!("{path}: {e}"))?;
         eprintln!("chrome trace written to {path} (open in Perfetto or chrome://tracing)");
     }
@@ -190,7 +207,7 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
         let mut w = bench.build(args.num("seed", 2006)?);
         let mut cfg = SimConfig::paper_256k(policy).with_max_insts(insts);
         cfg.secure = cfg.secure.with_protected_region(w.data_base, w.data_bytes);
-        let r = SimSession::new(&cfg).run(&mut w.mem, w.entry).report;
+        let r = SimSession::new(&cfg).run(&mut w.mem, w.entry).into_report();
         if base_ipc == 0.0 {
             base_ipc = r.ipc();
         }
@@ -217,7 +234,7 @@ fn cmd_asm(args: &Args) -> Result<(), String> {
     let mut mem = FlatMem::new(base & !0xFFF, mem_bytes);
     mem.load_words(base, &words);
     let cfg = SimConfig::paper_256k(policy).with_max_insts(args.num("insts", 10_000_000)?);
-    let r = SimSession::new(&cfg).trace_bus(args.flag("trace")).run(&mut mem, base).report;
+    let r = SimSession::new(&cfg).trace_bus(args.flag("trace")).run(&mut mem, base).into_report();
     print_report(&r, args.flag("verbose"));
     Ok(())
 }

@@ -52,7 +52,7 @@ fn policies_are_functionally_transparent() {
     ] {
         let mut cfg = SimConfig::paper_256k(policy);
         cfg.secure = cfg.secure.with_protected_region(0x1000, 63 * 1024);
-        let r = SimSession::new(&cfg).run(&mut mem.clone(), entry).report;
+        let r = SimSession::new(&cfg).run(&mut mem.clone(), entry).into_report();
         assert!(r.halted, "{policy} did not halt");
         assert!(r.exception.is_none(), "{policy} raised a spurious exception");
         assert_eq!(r.io_events.len(), 1);
@@ -77,10 +77,10 @@ fn encrypted_image_is_functionally_equivalent() {
     }
     let mut enc = EncryptedMemory::from_plain(0, &plain, &[5; 16], b"it-key");
     let cfg = SimConfig::paper_256k(Policy::commit_plus_fetch());
-    let r_enc = SimSession::new(&cfg).run(&mut enc, entry).report;
+    let r_enc = SimSession::new(&cfg).run(&mut enc, entry).into_report();
 
     let (mem, _) = flat_image();
-    let r_flat = SimSession::new(&cfg).run(&mut mem.clone(), entry).report;
+    let r_flat = SimSession::new(&cfg).run(&mut mem.clone(), entry).into_report();
     assert_eq!(r_enc.io_events[0].value, r_flat.io_events[0].value);
     assert!(r_enc.exception.is_none());
 }
@@ -96,8 +96,8 @@ fn simulation_is_deterministic() {
         secure: cfg.secure.with_protected_region(w1.data_base, w1.data_bytes),
         ..cfg
     };
-    let a = SimSession::new(&cfg).run(&mut w1.mem, w1.entry).report;
-    let b = SimSession::new(&cfg).run(&mut w2.mem, w2.entry).report;
+    let a = SimSession::new(&cfg).run(&mut w1.mem, w1.entry).into_report();
+    let b = SimSession::new(&cfg).run(&mut w2.mem, w2.entry).into_report();
     assert_eq!(a.cycles, b.cycles);
     assert_eq!(a.counters.get("l2.miss"), b.counters.get("l2.miss"));
 }
@@ -120,7 +120,7 @@ fn figure7_ordering_holds() {
             let mut w = build(b, 7).expect("bench");
             let mut cfg = SimConfig::paper_256k(policy).with_max_insts(60_000);
             cfg.secure = cfg.secure.with_protected_region(w.data_base, w.data_bytes);
-            acc *= SimSession::new(&cfg).run(&mut w.mem, w.entry).report.ipc();
+            acc *= SimSession::new(&cfg).run(&mut w.mem, w.entry).into_report().ipc();
         }
         geo.insert(policy.to_string(), acc.powf(0.25));
     }
@@ -157,10 +157,10 @@ fn l2_size_monotonicity() {
     for policy in [Policy::baseline(), Policy::authen_then_issue()] {
         let mut w = build("vpr", 3).expect("vpr");
         let cfg_s = SimConfig::paper_256k(policy).with_max_insts(60_000);
-        let small = SimSession::new(&cfg_s).run(&mut w.mem, w.entry).report.ipc();
+        let small = SimSession::new(&cfg_s).run(&mut w.mem, w.entry).into_report().ipc();
         let mut w = build("vpr", 3).expect("vpr");
         let cfg_l = SimConfig::paper_1m(policy).with_max_insts(60_000);
-        let large = SimSession::new(&cfg_l).run(&mut w.mem, w.entry).report.ipc();
+        let large = SimSession::new(&cfg_l).run(&mut w.mem, w.entry).into_report().ipc();
         assert!(large >= small * 0.98, "{policy}: 1MB {large} vs 256KB {small}");
     }
 }
@@ -182,7 +182,7 @@ fn tree_config_costs_performance() {
         };
         let cfg = SimConfig { secure, ..SimConfig::paper_256k(Policy::authen_then_issue()) }
             .with_max_insts(60_000);
-        SimSession::new(&cfg).run(&mut w.mem, w.entry).report.ipc()
+        SimSession::new(&cfg).run(&mut w.mem, w.entry).into_report().ipc()
     };
     let flat_mac = run(false);
     let with_tree = run(true);
@@ -223,7 +223,7 @@ fn replay_attack_needs_the_tree() {
         // The adversary replays the stale line.
         img.replay_line(0x2000, &captured.0, captured.1, captured.2);
         let cfg = SimConfig::paper_256k(Policy::authen_then_issue());
-        SimSession::new(&cfg).run(&mut img, 0x1000).report
+        SimSession::new(&cfg).run(&mut img, 0x1000).into_report()
     };
 
     let flat = run(false);

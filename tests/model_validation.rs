@@ -10,7 +10,7 @@ fn run(m: Micro, policy: Policy, insts: u64) -> SimReport {
     let mut w = m.build(1);
     let mut cfg = SimConfig::paper_256k(policy).with_max_insts(insts);
     cfg.secure = cfg.secure.with_protected_region(w.data_base, w.data_bytes);
-    SimSession::new(&cfg).run(&mut w.mem, w.entry).report
+    SimSession::new(&cfg).run(&mut w.mem, w.entry).into_report()
 }
 
 /// Dependent misses: per-hop latency must be in the SDRAM range
