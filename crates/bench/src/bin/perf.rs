@@ -13,6 +13,15 @@
 //!
 //! The file maps label → case → {insts, iters, total_secs,
 //! insts_per_sec}. Labels are overwritten in place when re-measured.
+//!
+//! Two flags support the CI regression gate:
+//!
+//! * `--smoke` shortens each measurement window (~0.3 s instead of 2 s)
+//!   so the full matrix finishes in a few seconds;
+//! * `--compare LABEL` measures fresh rates and fails (exit 1) if any
+//!   case regresses more than 10% against the stored `LABEL` numbers.
+//!   With `--compare`, nothing is written unless `--label` is also
+//!   given explicitly — the gate must not dirty the tracked baseline.
 
 use secsim_bench::timing::{fmt_rate, measure};
 use secsim_bench::{results_dir, run_bench, L2Size, RunOpts};
@@ -23,6 +32,10 @@ use std::fs;
 /// Instructions per measured run: long enough to dwarf workload-image
 /// construction, short enough that the full matrix stays under a minute.
 const INSTS: u64 = 200_000;
+
+/// Regression-gate floor: `--compare` fails when a fresh rate drops
+/// below this fraction of the stored reference.
+const GATE_FLOOR: f64 = 0.90;
 
 /// The measured cases: the allocation-heavy shapes the optimization
 /// targets. `mcf` is miss-dominated (every L2 miss walks the secure
@@ -45,20 +58,40 @@ fn policy_for(case: &str) -> Policy {
     }
 }
 
+/// The stored per-case rates under `label`, if present.
+fn stored_rates(doc: &[(String, Json)], label: &str) -> Option<Vec<(String, f64)>> {
+    let Json::Object(cases) = doc.iter().find(|(k, _)| k == label).map(|(_, v)| v)? else {
+        return None;
+    };
+    Some(
+        cases
+            .iter()
+            .filter_map(|(case, v)| Some((case.clone(), v.get("insts_per_sec")?.as_f64()?)))
+            .collect(),
+    )
+}
+
 fn main() {
-    let mut label = String::from("current");
+    let mut label: Option<String> = None;
+    let mut compare: Option<String> = None;
+    let mut budget_secs = 2.0;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
-            "--label" => label = args.next().expect("--label needs a value"),
+            "--label" => label = Some(args.next().expect("--label needs a value")),
+            "--compare" => compare = Some(args.next().expect("--compare needs a value")),
+            "--smoke" => budget_secs = 0.3,
             other => {
-                eprintln!("unknown argument: {other} (expected --label <name>)");
+                eprintln!(
+                    "unknown argument: {other} (expected [--label NAME] [--compare NAME] [--smoke])"
+                );
                 std::process::exit(2);
             }
         }
     }
 
     let mut cases = Vec::new();
+    let mut fresh = Vec::new();
     for &(case, bench) in CASES {
         let opts = RunOpts {
             l2: L2Size::K256,
@@ -67,11 +100,12 @@ fn main() {
             ..RunOpts::default()
         };
         let policy = policy_for(case);
-        let m = measure(case, 2.0, || {
+        let m = measure(case, budget_secs, || {
             run_bench(bench, policy, &opts).expect("benchmark exists");
         });
         let rate = m.rate(INSTS as f64);
         println!("{:24} {:>12} simulated insts/s  ({:.0} ms/run)", m.label, fmt_rate(rate), m.per_iter_secs() * 1e3);
+        fresh.push((case.to_string(), rate));
         cases.push((
             case.to_string(),
             Json::obj(vec![
@@ -94,8 +128,40 @@ fn main() {
             _ => None,
         })
         .unwrap_or_default();
-    doc.retain(|(k, _)| *k != label);
-    doc.push((label.clone(), Json::Object(cases)));
-    fs::write(&path, Json::Object(doc).render()).expect("write perf_baseline.json");
-    println!("recorded label '{label}' -> {}", path.display());
+
+    if let Some(ref reference) = compare {
+        let Some(stored) = stored_rates(&doc, reference) else {
+            eprintln!("error: no stored label {reference:?} in {}", path.display());
+            std::process::exit(2);
+        };
+        let mut regressed = false;
+        for (case, rate) in &fresh {
+            let Some((_, reference_rate)) = stored.iter().find(|(c, _)| c == case) else {
+                println!("{case:24} (no stored reference — skipped)");
+                continue;
+            };
+            let ratio = rate / reference_rate;
+            let verdict = if ratio < GATE_FLOOR { "REGRESSED" } else { "ok" };
+            println!(
+                "{case:24} {ratio:>7.2}x vs '{reference}' ({} -> {}) {verdict}",
+                fmt_rate(*reference_rate),
+                fmt_rate(*rate),
+            );
+            regressed |= ratio < GATE_FLOOR;
+        }
+        if regressed {
+            eprintln!("perf: regression gate FAILED (>10% below '{reference}')");
+            std::process::exit(1);
+        }
+        println!("perf: regression gate ok (within 10% of '{reference}')");
+    }
+
+    // The gate is read-only unless a label was requested explicitly.
+    if compare.is_none() || label.is_some() {
+        let label = label.unwrap_or_else(|| "current".into());
+        doc.retain(|(k, _)| *k != label);
+        doc.push((label.clone(), Json::Object(cases)));
+        fs::write(&path, Json::Object(doc).render()).expect("write perf_baseline.json");
+        println!("recorded label '{label}' -> {}", path.display());
+    }
 }

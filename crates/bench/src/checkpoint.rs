@@ -1,0 +1,314 @@
+//! Checkpointed functional fast-forward for warmup.
+//!
+//! Long experiment grids re-simulate the same `(bench, seed)` point
+//! under many policies and latencies, and every run repeats the same
+//! warmup prefix before the region of interest. The warmup prefix is
+//! *functional* — architectural state and memory only, no timing — so
+//! it is policy-independent: one fast-forwarded snapshot can seed the
+//! whole 8-policy × latency grid.
+//!
+//! This module provides that snapshot. [`fast_forward`] steps the
+//! golden interpreter for `warmup_insts` instructions;
+//! [`warm_start`] wraps it with an on-disk checkpoint store beside the
+//! sweep cache (`results/checkpoints/`), keyed by a
+//! [`StableHasher`] fingerprint of `(CHECKPOINT_VERSION, bench, seed,
+//! warmup_insts)`. The serialized form round-trips *exactly* (registers,
+//! PC, instruction count, halt flag, memory bytes, out-of-bounds
+//! counter), so a restored run is byte-for-byte identical to one that
+//! fast-forwarded from scratch — the invariant the checkpoint
+//! determinism tests pin.
+//!
+//! Timing state is deliberately **not** checkpointed: caches, branch
+//! predictor, and MAC queue start cold either way, exactly as they do
+//! in a cold run, so checkpoints can never change a report.
+//!
+//! # Examples
+//!
+//! ```
+//! use secsim_bench::checkpoint;
+//! use secsim_isa::{Asm, FlatMem, Reg};
+//!
+//! let mut a = Asm::new(0x1000);
+//! a.addi(Reg::R1, Reg::R0, 7);
+//! a.halt();
+//! let mut mem = FlatMem::new(0x1000, 1 << 12);
+//! mem.load_words(0x1000, &a.assemble().unwrap());
+//!
+//! let st = checkpoint::fast_forward(&mut mem, 0x1000, 1);
+//! assert_eq!(st.icount, 1);
+//! let bytes = checkpoint::to_bytes(&st, &mem);
+//! let (st2, mem2) = checkpoint::from_bytes(&bytes).unwrap();
+//! assert_eq!(st, st2);
+//! assert_eq!(mem.as_bytes(), mem2.as_bytes());
+//! ```
+
+use secsim_isa::{step, ArchState, FReg, FlatMem, Reg};
+use secsim_stats::{StableHash, StableHasher};
+use secsim_workloads::{BenchId, Workload};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Salt for every checkpoint key and the on-disk format version. Bump
+/// on any serialization change *or* any functional-semantics change
+/// that would make old snapshots diverge from a fresh fast-forward.
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+/// File magic: identifies a secsim checkpoint regardless of version.
+const MAGIC: &[u8; 8] = b"SSIMCKPT";
+
+/// Stable checkpoint key: a fingerprint of
+/// `(CHECKPOINT_VERSION, bench, seed, warmup_insts)`. Identical across
+/// processes and platforms; policy and latency are deliberately absent
+/// (the snapshot is shared across the whole grid).
+pub fn checkpoint_key(bench: BenchId, seed: u64, warmup_insts: u64) -> u64 {
+    let mut h = StableHasher::new();
+    (CHECKPOINT_VERSION as u64).stable_hash(&mut h);
+    bench.name().stable_hash(&mut h);
+    seed.stable_hash(&mut h);
+    warmup_insts.stable_hash(&mut h);
+    h.finish()
+}
+
+/// Where checkpoints land: `checkpoints/` beside the sweep cache,
+/// relocated together with it by `SECSIM_RESULTS`.
+pub fn checkpoints_dir() -> PathBuf {
+    crate::results_dir().join("checkpoints")
+}
+
+/// Steps the golden interpreter until `warmup_insts` instructions have
+/// retired (or the program halts or faults first), mutating `mem` in
+/// place, and returns the architectural state at the boundary.
+///
+/// A decode fault ends the fast-forward early with the PC parked on the
+/// faulting instruction — the subsequent timed run re-encounters the
+/// same fault and handles it under its own rules, exactly as a cold run
+/// reaching that point would.
+pub fn fast_forward(mem: &mut FlatMem, entry: u32, warmup_insts: u64) -> ArchState {
+    let mut st = ArchState::new(entry);
+    while st.icount < warmup_insts && !st.halted {
+        if step(&mut st, mem).is_err() {
+            break;
+        }
+    }
+    st
+}
+
+/// Serializes a warmup snapshot: fixed-width little-endian fields, no
+/// framing dependencies, fully self-describing via magic + version.
+pub fn to_bytes(state: &ArchState, mem: &FlatMem) -> Vec<u8> {
+    let mut out = Vec::with_capacity(MAGIC.len() + 4 + 4 + 1 + 8 + 32 * 4 + 32 * 8 + 4 + 8 + 8 + mem.len());
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&CHECKPOINT_VERSION.to_le_bytes());
+    out.extend_from_slice(&state.pc.to_le_bytes());
+    out.push(state.halted as u8);
+    out.extend_from_slice(&state.icount.to_le_bytes());
+    for i in 0..32 {
+        out.extend_from_slice(&state.reg(Reg::from_index(i)).to_le_bytes());
+    }
+    for i in 0..32 {
+        out.extend_from_slice(&state.freg(FReg::from_index(i)).to_bits().to_le_bytes());
+    }
+    out.extend_from_slice(&mem.base().to_le_bytes());
+    out.extend_from_slice(&mem.oob_count().to_le_bytes());
+    out.extend_from_slice(&(mem.len() as u64).to_le_bytes());
+    out.extend_from_slice(mem.as_bytes());
+    out
+}
+
+/// Parses a snapshot serialized by [`to_bytes`]. `None` on any
+/// malformation — wrong magic, unknown version, or truncation — so a
+/// torn or stale file degrades to a fresh fast-forward, never a panic.
+pub fn from_bytes(bytes: &[u8]) -> Option<(ArchState, FlatMem)> {
+    let mut cur = Cursor { bytes, pos: 0 };
+    if cur.take(MAGIC.len())? != MAGIC {
+        return None;
+    }
+    if cur.u32()? != CHECKPOINT_VERSION {
+        return None;
+    }
+    let pc = cur.u32()?;
+    let halted = match cur.u8()? {
+        0 => false,
+        1 => true,
+        _ => return None,
+    };
+    let icount = cur.u64()?;
+    let mut state = ArchState::new(pc);
+    state.halted = halted;
+    state.icount = icount;
+    for i in 0..32 {
+        let v = cur.u32()?;
+        state.set_reg(Reg::from_index(i), v);
+    }
+    for i in 0..32 {
+        let v = f64::from_bits(cur.u64()?);
+        state.set_freg(FReg::from_index(i), v);
+    }
+    let base = cur.u32()?;
+    let oob = cur.u64()?;
+    let len = cur.u64()? as usize;
+    let data = cur.take(len)?;
+    if cur.pos != bytes.len() {
+        return None; // trailing garbage: treat as corrupt
+    }
+    let mut mem = FlatMem::new(base, len);
+    mem.as_bytes_mut().copy_from_slice(data);
+    mem.set_oob_count(oob);
+    Some((state, mem))
+}
+
+/// Fast-forwards `w` by `warmup_insts` instructions through the
+/// checkpoint store and returns the warm start state: a valid on-disk
+/// snapshot is restored in place (one straight copy into the image), a
+/// miss fast-forwards functionally and persists the result for the rest
+/// of the grid. `warmup_insts == 0` is a cold start and touches neither
+/// the image nor the store.
+///
+/// Store I/O is best-effort: an unreadable entry or unwritable
+/// directory silently degrades to the fresh path. Writes go through a
+/// per-process temporary file renamed into place, so concurrent sweep
+/// workers never observe a torn checkpoint.
+pub fn warm_start(bench: BenchId, seed: u64, warmup_insts: u64, w: &mut Workload) -> ArchState {
+    if warmup_insts == 0 {
+        return ArchState::new(w.entry);
+    }
+    let path = checkpoints_dir()
+        .join(format!("{:016x}.ckpt", checkpoint_key(bench, seed, warmup_insts)));
+    if let Ok(bytes) = fs::read(&path) {
+        if let Some((state, mem)) = from_bytes(&bytes) {
+            if mem.base() == w.mem.base() && mem.len() == w.mem.len() {
+                w.mem.restore_from(&mem);
+                return state;
+            }
+        }
+    }
+    let state = fast_forward(&mut w.mem, w.entry, warmup_insts);
+    save_atomic(&path, &to_bytes(&state, &w.mem));
+    state
+}
+
+/// Best-effort atomic write: temp file in the target directory, then
+/// rename. Failures are swallowed — a missing checkpoint only costs the
+/// next run a fast-forward.
+fn save_atomic(path: &Path, bytes: &[u8]) {
+    let Some(dir) = path.parent() else { return };
+    if fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+    if fs::write(&tmp, bytes).is_ok() && fs::rename(&tmp, path).is_err() {
+        let _ = fs::remove_file(&tmp);
+    }
+}
+
+/// Bounds-checked little-endian reader over a byte slice.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        let s = self.bytes.get(self.pos..end)?;
+        self.pos = end;
+        Some(s)
+    }
+    fn u8(&mut self) -> Option<u8> {
+        Some(self.take(1)?[0])
+    }
+    fn u32(&mut self) -> Option<u32> {
+        Some(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Option<u64> {
+        Some(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use secsim_isa::Asm;
+
+    fn program() -> (FlatMem, u32) {
+        let mut a = Asm::new(0x1000);
+        a.li(Reg::R1, 0x2000);
+        a.addi(Reg::R2, Reg::R0, 5);
+        let top = a.new_label();
+        a.bind(top).unwrap();
+        a.sw(Reg::R2, Reg::R1, 0);
+        a.addi(Reg::R1, Reg::R1, 4);
+        a.addi(Reg::R2, Reg::R2, -1);
+        a.bne(Reg::R2, Reg::R0, top);
+        a.halt();
+        let mut mem = FlatMem::new(0x1000, 1 << 13);
+        mem.load_words(0x1000, &a.assemble().unwrap());
+        (mem, 0x1000)
+    }
+
+    #[test]
+    fn round_trip_is_exact() {
+        let (mut mem, entry) = program();
+        let st = fast_forward(&mut mem, entry, 9);
+        assert_eq!(st.icount, 9);
+        assert!(!st.halted);
+        let bytes = to_bytes(&st, &mem);
+        let (st2, mem2) = from_bytes(&bytes).expect("round trip");
+        assert_eq!(st, st2);
+        assert_eq!(mem, mem2);
+        assert_eq!(mem.oob_count(), mem2.oob_count());
+    }
+
+    #[test]
+    fn oob_counter_survives_round_trip() {
+        use secsim_isa::MemIo;
+        let (mut mem, entry) = program();
+        mem.write_u32(0x9999_0000, 1); // out of image
+        let st = fast_forward(&mut mem, entry, 3);
+        let (_, mem2) = from_bytes(&to_bytes(&st, &mem)).unwrap();
+        assert_eq!(mem2.oob_count(), mem.oob_count());
+        assert!(mem2.oob_count() >= 1);
+    }
+
+    #[test]
+    fn malformed_snapshots_are_rejected_not_panicking() {
+        let (mut mem, entry) = program();
+        let st = fast_forward(&mut mem, entry, 2);
+        let good = to_bytes(&st, &mem);
+        assert!(from_bytes(&good).is_some());
+        // Truncations at every prefix length fail cleanly.
+        for cut in [0, 4, MAGIC.len(), MAGIC.len() + 3, good.len() / 2, good.len() - 1] {
+            assert!(from_bytes(&good[..cut]).is_none(), "cut={cut}");
+        }
+        // Wrong magic.
+        let mut bad = good.clone();
+        bad[0] ^= 0xFF;
+        assert!(from_bytes(&bad).is_none());
+        // Unknown version.
+        let mut bad = good.clone();
+        bad[MAGIC.len()] ^= 0xFF;
+        assert!(from_bytes(&bad).is_none());
+        // Trailing garbage.
+        let mut bad = good.clone();
+        bad.push(0);
+        assert!(from_bytes(&bad).is_none());
+    }
+
+    #[test]
+    fn fast_forward_stops_at_halt() {
+        let (mut mem, entry) = program();
+        let st = fast_forward(&mut mem, entry, 1_000_000);
+        assert!(st.halted);
+        assert!(st.icount < 1_000_000);
+    }
+
+    #[test]
+    fn keys_separate_every_dimension() {
+        let k = |b: &str, s, w| checkpoint_key(b.parse().unwrap(), s, w);
+        let base = k("mcf", 2006, 1000);
+        assert_ne!(base, k("gzip", 2006, 1000));
+        assert_ne!(base, k("mcf", 2007, 1000));
+        assert_ne!(base, k("mcf", 2006, 1001));
+        assert_eq!(base, k("mcf", 2006, 1000));
+    }
+}

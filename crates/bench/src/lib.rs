@@ -17,6 +17,7 @@
 //! println!("mcf IPC = {:.3}", r.ipc());
 //! ```
 
+pub mod checkpoint;
 pub mod sweep;
 pub mod timing;
 
@@ -25,10 +26,11 @@ pub use sweep::{Sweep, SweepError, SweepPoint, CACHE_VERSION};
 use secsim_core::{Policy, SecureConfig};
 use secsim_cpu::{CpuConfig, SimConfig, SimReport, SimSession};
 use secsim_mem::MemSystemConfig;
-use secsim_stats::Table;
-use secsim_workloads::{BenchId, DATA_BASE};
+use secsim_stats::{FastMap, Table};
+use secsim_workloads::{BenchId, Workload, DATA_BASE};
 use std::fs;
 use std::path::PathBuf;
+use std::sync::{Mutex, OnceLock};
 
 /// L2 capacity point (paper Table 3 evaluates both).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -76,6 +78,11 @@ pub struct RunOpts {
     /// Remap-cache capacity override for obfuscating policies
     /// (Figure 9); `None` keeps the 256 KB default.
     pub remap_cache_bytes: Option<u32>,
+    /// Instructions to fast-forward *functionally* before timed
+    /// simulation begins (0 = start cold). Warmup is policy-independent,
+    /// so the whole policy × latency grid shares one checkpointed
+    /// snapshot (see [`checkpoint`]).
+    pub warmup_insts: u64,
 }
 
 impl Default for RunOpts {
@@ -88,6 +95,7 @@ impl Default for RunOpts {
             seed: 2006,
             tree: false,
             remap_cache_bytes: None,
+            warmup_insts: 0,
         }
     }
 }
@@ -127,14 +135,60 @@ pub fn sim_config(bench: &str, policy: Policy, opts: &RunOpts) -> Option<SimConf
     Some(sim_config_id(bench.parse::<BenchId>().ok()?, policy, opts))
 }
 
+/// Builds the workload image for `(bench, seed)` through a process-wide
+/// memo. Construction (program assembly plus data-image initialization)
+/// costs a sizable fraction of a short run, and the experiment binaries
+/// revisit the same point dozens of times across the policy × latency
+/// grid — so each image is built once and cloned per run.
+pub fn build_workload(bench: BenchId, seed: u64) -> Workload {
+    let mut map = workload_memo().lock().expect("workload memo poisoned");
+    map.entry((bench, seed)).or_insert_with(|| bench.build(seed)).clone()
+}
+
+/// The process-wide pristine-image memo backing [`build_workload`].
+fn workload_memo() -> &'static Mutex<FastMap<(BenchId, u64), Workload>> {
+    static CACHE: OnceLock<Mutex<FastMap<(BenchId, u64), Workload>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(FastMap::default()))
+}
+
+/// Runs `f` over a pristine workload image for `(bench, seed)` without
+/// cloning a fresh image per run: each thread keeps a scratch copy that
+/// is restored in place from the pristine memo (one straight copy into
+/// already-faulted pages) before `f` sees it.
+pub fn with_workload<R>(bench: BenchId, seed: u64, f: impl FnOnce(&mut Workload) -> R) -> R {
+    use std::collections::hash_map::Entry;
+    thread_local! {
+        static SCRATCH: std::cell::RefCell<FastMap<(BenchId, u64), Workload>> =
+            std::cell::RefCell::new(FastMap::default());
+    }
+    SCRATCH.with(|s| {
+        let mut map = s.borrow_mut();
+        match map.entry((bench, seed)) {
+            Entry::Occupied(e) => {
+                let w = e.into_mut();
+                {
+                    let memo = workload_memo().lock().expect("workload memo poisoned");
+                    let pristine =
+                        memo.get(&(bench, seed)).expect("scratch entry implies memo entry");
+                    w.mem.restore_from(&pristine.mem);
+                }
+                f(w)
+            }
+            Entry::Vacant(v) => f(v.insert(build_workload(bench, seed))),
+        }
+    })
+}
+
 /// Runs `bench` under `policy` and returns the report. `None` for an
 /// unknown benchmark name. Always simulates — use [`Sweep`] for the
 /// parallel, cached path.
 pub fn run_bench(bench: &str, policy: Policy, opts: &RunOpts) -> Option<SimReport> {
     let bench = bench.parse::<BenchId>().ok()?;
     let cfg = sim_config_id(bench, policy, opts);
-    let mut w = bench.build(opts.seed);
-    Some(SimSession::new(&cfg).run(&mut w.mem, w.entry).into_report())
+    Some(with_workload(bench, opts.seed, |w| {
+        let start = checkpoint::warm_start(bench, opts.seed, opts.warmup_insts, w);
+        SimSession::new(&cfg).resume_from(start).run(&mut w.mem, w.entry).into_report()
+    }))
 }
 
 /// Runs `bench` under `policy` and the decrypt-only baseline, returning

@@ -94,7 +94,7 @@ impl From<ParseBenchError> for SweepError {
 /// changes in a way that is not visible in `SimConfig` (model fixes,
 /// workload-generation changes), so stale entries can never be
 /// mistaken for fresh results.
-pub const CACHE_VERSION: u64 = 1;
+pub const CACHE_VERSION: u64 = 2;
 
 /// One cell of a sweep grid: a workload plus the exact configuration to
 /// simulate it under.
@@ -106,6 +106,11 @@ pub struct SweepPoint {
     pub seed: u64,
     /// Full simulator configuration.
     pub cfg: SimConfig,
+    /// Functional warmup prefix restored from a shared checkpoint
+    /// before timed simulation (0 = cold start). Part of the cache key:
+    /// a warm report and a cold report of the same config are different
+    /// results.
+    pub warmup_insts: u64,
 }
 
 impl SweepPoint {
@@ -117,12 +122,19 @@ impl SweepPoint {
 
     /// The standard-experiment point, from a typed benchmark identity.
     pub fn of(bench: BenchId, policy: Policy, opts: &RunOpts) -> Self {
-        Self { bench, seed: opts.seed, cfg: sim_config_id(bench, policy, opts) }
+        Self {
+            bench,
+            seed: opts.seed,
+            cfg: sim_config_id(bench, policy, opts),
+            warmup_insts: opts.warmup_insts,
+        }
     }
 
-    /// A point with a hand-built configuration (ablations).
+    /// A point with a hand-built configuration (ablations). Starts
+    /// cold; set [`warmup_insts`](SweepPoint::warmup_insts) directly to
+    /// warm it.
     pub fn from_config(bench: BenchId, seed: u64, cfg: SimConfig) -> Self {
-        Self { bench, seed, cfg }
+        Self { bench, seed, cfg, warmup_insts: 0 }
     }
 
     /// Stable cache key: a fingerprint of `(CACHE_VERSION, bench, seed,
@@ -135,13 +147,17 @@ impl SweepPoint {
         self.bench.name().stable_hash(&mut h);
         self.seed.stable_hash(&mut h);
         self.cfg.stable_hash(&mut h);
+        self.warmup_insts.stable_hash(&mut h);
         h.finish()
     }
 
     fn run(&self) -> Result<SimReport, SweepError> {
         std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            let mut w = self.bench.build(self.seed);
-            SimSession::new(&self.cfg).run(&mut w.mem, w.entry).into_report()
+            crate::with_workload(self.bench, self.seed, |w| {
+                let start =
+                    crate::checkpoint::warm_start(self.bench, self.seed, self.warmup_insts, w);
+                SimSession::new(&self.cfg).resume_from(start).run(&mut w.mem, w.entry).into_report()
+            })
         }))
         .map_err(|payload| {
             let detail = payload
@@ -398,9 +414,14 @@ fn retry_io<T>(salt: u64, mut op: impl FnMut() -> std::io::Result<T>) -> Option<
 /// Re-runs `p` with event tracing on and writes the Chrome
 /// `trace_event` JSON to `path` (the `--trace FILE` backend).
 fn write_chrome_trace(p: &SweepPoint, path: &Path) {
-    let mut w = p.bench.build(p.seed);
-    let run =
-        SimSession::new(&p.cfg).trace(TraceConfig::default()).run(&mut w.mem, w.entry).into_run();
+    let run = crate::with_workload(p.bench, p.seed, |w| {
+        let start = crate::checkpoint::warm_start(p.bench, p.seed, p.warmup_insts, w);
+        SimSession::new(&p.cfg)
+            .resume_from(start)
+            .trace(TraceConfig::default())
+            .run(&mut w.mem, w.entry)
+            .into_run()
+    });
     let Some(trace) = run.trace else { return };
     if let Some(dir) = path.parent() {
         if !dir.as_os_str().is_empty() {

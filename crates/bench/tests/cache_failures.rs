@@ -3,7 +3,7 @@
 //! fresh simulation and leave a valid, byte-identical entry behind —
 //! never a panic, never a poisoned result.
 
-use secsim_bench::{RunOpts, Sweep, SweepPoint};
+use secsim_bench::{RunOpts, Sweep, SweepPoint, CACHE_VERSION};
 use secsim_core::Policy;
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -68,7 +68,7 @@ fn version_mismatch_is_ignored_and_replaced() {
 
     // Forge a future CACHE_VERSION with otherwise-valid JSON: a format
     // bump must invalidate old entries even when they parse.
-    let forged = full.replacen("\"version\":1", "\"version\":9999", 1);
+    let forged = full.replacen(&format!("\"version\":{CACHE_VERSION}"), "\"version\":9999", 1);
     assert_ne!(forged, full, "version field not found — cache format changed?");
     fs::write(&path, &forged).unwrap();
 

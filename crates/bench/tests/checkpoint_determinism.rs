@@ -1,0 +1,146 @@
+//! The checkpoint subsystem's guarantee: a timed run resumed from a
+//! *restored* snapshot is byte-for-byte identical to one resumed from a
+//! fresh functional fast-forward — across every policy of the grid,
+//! because warmup is policy-independent.
+//!
+//! Reports carry no `PartialEq`; byte-identity is asserted on the
+//! deterministic JSON rendering, which covers every serialized field.
+
+use secsim_bench::checkpoint::{self, fast_forward, from_bytes, to_bytes};
+use secsim_bench::{run_bench, sim_config_id, with_workload, RunOpts, SweepPoint};
+use secsim_core::{FetchGateVariant, Policy};
+use secsim_cpu::SimSession;
+use secsim_workloads::BenchId;
+use std::fs;
+
+const WARMUP: u64 = 4_000;
+
+fn opts() -> RunOpts {
+    RunOpts { max_insts: 20_000, warmup_insts: WARMUP, ..RunOpts::default() }
+}
+
+/// The full 8-policy grid of the paper (fetch in both last-request-tag
+/// and drain variants, plus the combined policies).
+fn policies8() -> [Policy; 8] {
+    [
+        Policy::baseline(),
+        Policy::authen_then_issue(),
+        Policy::authen_then_commit(),
+        Policy::authen_then_write(),
+        Policy::authen_then_fetch(),
+        Policy::authen_then_fetch().with_fetch_variant(FetchGateVariant::Drain),
+        Policy::commit_plus_fetch(),
+        Policy::commit_plus_obfuscation(),
+    ]
+}
+
+#[test]
+fn restored_snapshot_matches_fresh_fast_forward_across_all_8_policies() {
+    let bench: BenchId = "mcf".parse().unwrap();
+    let opts = opts();
+
+    // Snapshot once: serialize the warmup boundary of a pristine image.
+    let snapshot = with_workload(bench, opts.seed, |w| {
+        let st = fast_forward(&mut w.mem, w.entry, WARMUP);
+        assert_eq!(st.icount, WARMUP, "warmup must not run off the program");
+        to_bytes(&st, &w.mem)
+    });
+
+    for policy in policies8() {
+        let cfg = sim_config_id(bench, policy, &opts);
+
+        // Cold path: fast-forward functionally, then simulate.
+        let cold = with_workload(bench, opts.seed, |w| {
+            let st = fast_forward(&mut w.mem, w.entry, WARMUP);
+            SimSession::new(&cfg).resume_from(st).run(&mut w.mem, w.entry).into_report()
+        });
+
+        // Restore path: deserialize the shared snapshot, copy it over
+        // the image, then simulate.
+        let restored = with_workload(bench, opts.seed, |w| {
+            let (st, mem) = from_bytes(&snapshot).expect("valid snapshot");
+            w.mem.restore_from(&mem);
+            SimSession::new(&cfg).resume_from(st).run(&mut w.mem, w.entry).into_report()
+        });
+
+        assert_eq!(
+            cold.to_json().unwrap().render(),
+            restored.to_json().unwrap().render(),
+            "checkpoint restore diverged from cold fast-forward under {policy}"
+        );
+    }
+}
+
+#[test]
+fn warm_start_disk_store_hit_reproduces_miss_exactly() {
+    // Redirect the results tree (and with it `results/checkpoints/`) to
+    // a scratch dir. This is the only test in this binary touching
+    // `SECSIM_RESULTS`, so the process-global env var is safe to set.
+    let dir = std::env::temp_dir().join(format!("secsim-ckpt-test-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    std::env::set_var("SECSIM_RESULTS", &dir);
+
+    let opts = RunOpts { max_insts: 12_000, warmup_insts: 2_000, ..RunOpts::default() };
+    let policy = Policy::authen_then_commit();
+
+    // Miss: fast-forwards functionally and persists the snapshot.
+    let miss = run_bench("gzip", policy, &opts).expect("gzip exists");
+    let ckpt_dir = checkpoint::checkpoints_dir();
+    let entries = fs::read_dir(&ckpt_dir).expect("checkpoint dir created").count();
+    assert_eq!(entries, 1, "one checkpoint per (bench, seed, warmup)");
+
+    // Hit: restores the snapshot from disk.
+    let hit = run_bench("gzip", policy, &opts).expect("gzip exists");
+    assert_eq!(
+        miss.to_json().unwrap().render(),
+        hit.to_json().unwrap().render(),
+        "disk-restored warmup diverged from the run that wrote it"
+    );
+    assert_eq!(
+        fs::read_dir(&ckpt_dir).expect("checkpoint dir").count(),
+        entries,
+        "hits must not create new checkpoints"
+    );
+
+    // A corrupt store degrades to the fresh path, never a failure.
+    for e in fs::read_dir(&ckpt_dir).unwrap() {
+        fs::write(e.unwrap().path(), b"garbage").unwrap();
+    }
+    let degraded = run_bench("gzip", policy, &opts).expect("gzip exists");
+    assert_eq!(
+        miss.to_json().unwrap().render(),
+        degraded.to_json().unwrap().render(),
+        "corrupt checkpoint must degrade to a fresh fast-forward"
+    );
+
+    std::env::remove_var("SECSIM_RESULTS");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn zero_warmup_is_the_plain_cold_session() {
+    let bench: BenchId = "swim".parse().unwrap();
+    let opts = RunOpts { max_insts: 10_000, ..RunOpts::default() };
+    assert_eq!(opts.warmup_insts, 0, "default is cold");
+    let cfg = sim_config_id(bench, Policy::authen_then_issue(), &opts);
+    let via_run_bench = run_bench("swim", Policy::authen_then_issue(), &opts).unwrap();
+    let direct = with_workload(bench, opts.seed, |w| {
+        SimSession::new(&cfg).run(&mut w.mem, w.entry).into_report()
+    });
+    assert_eq!(
+        via_run_bench.to_json().unwrap().render(),
+        direct.to_json().unwrap().render(),
+        "warmup_insts == 0 must not perturb the existing cold path"
+    );
+}
+
+#[test]
+fn warmup_is_part_of_the_sweep_cache_key() {
+    let cold = SweepPoint::of("mcf".parse().unwrap(), Policy::baseline(), &RunOpts::default());
+    let warm = SweepPoint::of(
+        "mcf".parse().unwrap(),
+        Policy::baseline(),
+        &RunOpts { warmup_insts: 1_000, ..RunOpts::default() },
+    );
+    assert_ne!(cold.key(), warm.key(), "warm and cold reports must never collide");
+}

@@ -11,7 +11,8 @@
 //! table, and exits nonzero on any divergence or violation. Divergence
 //! repros land in `results/divergence/`.
 
-use secsim_bench::{emit, results_dir, Sweep, SweepPoint};
+use secsim_bench::checkpoint::{fast_forward, from_bytes, to_bytes};
+use secsim_bench::{emit, results_dir, sim_config_id, with_workload, RunOpts, Sweep, SweepPoint};
 use secsim_check::{check_config, check_exposure, dump_divergence, policy_grid, run_batch};
 use secsim_core::{EncryptedMemory, FaultKind, FaultPlan};
 use secsim_cpu::{SimOutcome, SimSession};
@@ -65,6 +66,51 @@ fn fault_pass() -> Vec<(String, String)> {
                 g.label.clone(),
                 format!("expected a detection verdict, got {}", other.verdict_name()),
             )),
+        }
+    }
+    out
+}
+
+/// Checkpoint-determinism pass: at every grid policy, a timed run
+/// resumed from a *serialized-and-restored* warmup snapshot must be
+/// byte-identical to one resumed from a fresh functional fast-forward.
+/// Warmup is policy-independent, so one snapshot seeds the whole grid —
+/// exactly how the sweep executor shares checkpoints.
+///
+/// Returns `(label, violation-text)` pairs, empty when the pass holds.
+fn checkpoint_pass() -> Vec<(String, String)> {
+    const WARMUP: u64 = 2_000;
+    let bench: BenchId = "mcf".parse().expect("mcf exists");
+    let opts = RunOpts { max_insts: 10_000, warmup_insts: WARMUP, ..RunOpts::default() };
+
+    let snapshot = with_workload(bench, opts.seed, |w| {
+        let st = fast_forward(&mut w.mem, w.entry, WARMUP);
+        to_bytes(&st, &w.mem)
+    });
+
+    let mut out = Vec::new();
+    for g in policy_grid().iter().filter(|g| g.mac_latency == 74) {
+        let cfg = sim_config_id(bench, g.policy, &opts);
+        let cold = with_workload(bench, opts.seed, |w| {
+            let st = fast_forward(&mut w.mem, w.entry, WARMUP);
+            SimSession::new(&cfg).resume_from(st).run(&mut w.mem, w.entry).into_report()
+        });
+        let restored = with_workload(bench, opts.seed, |w| {
+            let Some((st, mem)) = from_bytes(&snapshot) else {
+                out.push((g.label.clone(), "snapshot failed to deserialize".into()));
+                return cold.clone();
+            };
+            w.mem.restore_from(&mem);
+            SimSession::new(&cfg).resume_from(st).run(&mut w.mem, w.entry).into_report()
+        });
+        let (c, r) = (cold.to_json(), restored.to_json());
+        match (c, r) {
+            (Some(c), Some(r)) if c.render() == r.render() => {}
+            (Some(_), Some(_)) => out.push((
+                g.label.clone(),
+                "restored-checkpoint report diverged from cold fast-forward".into(),
+            )),
+            _ => out.push((g.label.clone(), "report failed to serialize".into())),
         }
     }
     out
@@ -152,6 +198,18 @@ fn main() {
         if fault_violations.is_empty() { "ok" } else { "FAIL" },
     );
 
+    // Checkpoint-determinism pass: warmup restore must be invisible in
+    // every report, under every policy.
+    let checkpoint_violations = checkpoint_pass();
+    for (label, v) in &checkpoint_violations {
+        eprintln!("CHECKPOINT-VIOLATION [{label}] {v}");
+    }
+    eprintln!(
+        "secsim-check: checkpoint pass over {} policies -> {}",
+        policy_grid().iter().filter(|g| g.mac_latency == 74).count(),
+        if checkpoint_violations.is_empty() { "ok" } else { "FAIL" },
+    );
+
     // IPC sanity sweep over the same grid through the cached executor:
     // exercises the `"fuzz"` bench end-to-end in the standard harness.
     let seeds: Vec<u64> = (0..3).map(|k| base_seed ^ (k as u64).wrapping_mul(secsim_check::grid::SEED_STRIDE)).collect();
@@ -181,7 +239,8 @@ fn main() {
 
     let failed = !summary.divergences.is_empty()
         || !summary.violations.is_empty()
-        || !fault_violations.is_empty();
+        || !fault_violations.is_empty()
+        || !checkpoint_violations.is_empty();
     eprintln!(
         "secsim-check: {} programs, {} insts, {} divergences, {} violations -> {}",
         summary.programs,

@@ -15,7 +15,7 @@
 //!    [`AuthQueue`] request; `auth_ready` is its completion broadcast.
 
 use crate::obfuscate::{ObfConfig, Obfuscator};
-use crate::queue::{AuthQueue, AuthQueueConfig};
+use crate::queue::{AuthId, AuthQueue, AuthQueueConfig};
 use crate::tree::{TreeConfig, TreeTiming};
 use secsim_crypto::{CryptoLatency, EncryptionMode, MacScheme};
 use secsim_mem::{
@@ -236,10 +236,15 @@ impl SecureMemCtrl {
             t.done
         }
     }
-}
 
-impl FillEngine for SecureMemCtrl {
-    fn fill(&mut self, req: FillRequest, chan: &mut Channel) -> FillResponse {
+    /// Schedules everything a fill does *before* touching the
+    /// authentication queue: obfuscation lookup, counter resolution, the
+    /// bus transfer, decryption overlap, and the tree walk. The returned
+    /// record carries the queue request to enqueue (when the controller
+    /// authenticates), so [`fill`](FillEngine::fill) enqueues it
+    /// directly and [`fill_batch`](FillEngine::fill_batch) drains a
+    /// whole tick's worth through one queue pass.
+    fn schedule_fill(&mut self, req: FillRequest, chan: &mut Channel) -> ScheduledFill {
         // 1. Address obfuscation lookup.
         let (ext_addr, addr_ready) = match self.obf.as_mut() {
             Some(obf) => obf.lookup(req.line_addr, req.now, chan),
@@ -290,48 +295,139 @@ impl FillEngine for SecureMemCtrl {
             EncryptionMode::Cbc => self.cfg.crypto.cbc_decrypt_ready(t.done, 0),
         };
 
-        // 5. Authentication.
-        if !self.cfg.authenticate {
-            return FillResponse {
-                data_ready: t.first_ready,
-                decrypt_ready,
-                auth_ready: 0,
-                auth_id: 0,
-                bus_granted: t.granted,
+        // 5. Authentication. The tree walk, serial-MAC surcharge, and
+        // one-shot injected fault are consumed here (in request order);
+        // only the queue enqueue itself is deferred to the caller.
+        let auth = if self.cfg.authenticate {
+            let (input_ready, tree_extra) = match self.tree.as_mut() {
+                Some(tree) => {
+                    let w = tree.walk(req.line_addr, t.done, chan);
+                    (w.nodes_ready, w.extra_hash_latency)
+                }
+                None => (t.done, 0),
             };
-        }
-        let (input_ready, tree_extra) = match self.tree.as_mut() {
-            Some(tree) => {
-                let w = tree.walk(req.line_addr, t.done, chan);
-                (w.nodes_ready, w.extra_hash_latency)
+            let mac_extra = match self.cfg.mac_scheme {
+                MacScheme::HmacSha256 | MacScheme::GmacAes => 0,
+                // CBC-MAC recomputes the serial chain over the line's
+                // chunks beyond the queue's base latency.
+                MacScheme::CbcMacAes => {
+                    let chunks = u64::from(req.bytes.div_ceil(16));
+                    self.cfg
+                        .crypto
+                        .cbcmac_latency(chunks)
+                        .saturating_sub(self.cfg.queue.mac_latency)
+                }
+            };
+            let fault_extra = std::mem::take(&mut self.injected_mac_delay);
+            if fault_extra > 0 {
+                self.injected_mac_faults += 1;
             }
-            None => (t.done, 0),
+            Some((
+                decrypt_ready,
+                input_ready + self.cfg.lazy_delay,
+                tree_extra + mac_extra + fault_extra,
+            ))
+        } else {
+            None
         };
-        let mac_extra = match self.cfg.mac_scheme {
-            MacScheme::HmacSha256 | MacScheme::GmacAes => 0,
-            // CBC-MAC recomputes the serial chain over the line's chunks
-            // beyond the queue's base latency.
-            MacScheme::CbcMacAes => {
-                let chunks = u64::from(req.bytes.div_ceil(16));
-                self.cfg.crypto.cbcmac_latency(chunks).saturating_sub(self.cfg.queue.mac_latency)
-            }
-        };
-        let fault_extra = std::mem::take(&mut self.injected_mac_delay);
-        if fault_extra > 0 {
-            self.injected_mac_faults += 1;
-        }
-        let id = self.queue.request_arrived(
-            decrypt_ready,
-            input_ready + self.cfg.lazy_delay,
-            tree_extra + mac_extra + fault_extra,
-        );
-        self.auth_requests += 1;
-        FillResponse {
+        ScheduledFill {
             data_ready: t.first_ready,
             decrypt_ready,
-            auth_ready: self.queue.done_time(id),
-            auth_id: id.0,
             bus_granted: t.granted,
+            auth,
+        }
+    }
+
+    /// Enqueues a scheduled fill's authentication request (if any) and
+    /// materializes the response.
+    fn respond(&mut self, s: ScheduledFill) -> FillResponse {
+        let (auth_ready, auth_id) = match s.auth {
+            None => (0, 0),
+            Some((arrived, input_ready, extra)) => {
+                let id = self.queue.request_arrived(arrived, input_ready, extra);
+                self.auth_requests += 1;
+                (self.queue.done_time(id), id.0)
+            }
+        };
+        FillResponse {
+            data_ready: s.data_ready,
+            decrypt_ready: s.decrypt_ready,
+            auth_ready,
+            auth_id,
+            bus_granted: s.bus_granted,
+        }
+    }
+}
+
+/// A fill scheduled through the obfuscation/bus/crypto stages but not
+/// yet enqueued on the authentication queue.
+#[derive(Debug, Clone, Copy)]
+struct ScheduledFill {
+    data_ready: u64,
+    decrypt_ready: u64,
+    bus_granted: u64,
+    /// `(arrived, input_ready, extra_latency)` for
+    /// [`AuthQueue::request_arrived`], present iff the controller
+    /// authenticates.
+    auth: Option<(u64, u64, u64)>,
+}
+
+impl FillEngine for SecureMemCtrl {
+    fn fill(&mut self, req: FillRequest, chan: &mut Channel) -> FillResponse {
+        let s = self.schedule_fill(req, chan);
+        self.respond(s)
+    }
+
+    /// Batched fill: schedules every request through the bus/crypto
+    /// stages, then drains all authentication enqueues through the queue
+    /// in a single pass ([`AuthQueue::request_arrived_batch`]). Requests
+    /// chain exactly like repeated scalar fills — each subsequent
+    /// request starts no earlier than the previous line's `data_ready` —
+    /// so the batch is timing-identical to the scalar path.
+    fn fill_batch(&mut self, reqs: &[FillRequest], resps: &mut [FillResponse], chan: &mut Channel) {
+        const INLINE: usize = 8;
+        debug_assert_eq!(reqs.len(), resps.len());
+        if reqs.len() > INLINE {
+            // Oversized batches chain through the scalar path.
+            let mut prev_ready = 0;
+            for (req, slot) in reqs.iter().zip(resps.iter_mut()) {
+                let mut r = *req;
+                r.now = r.now.max(prev_ready);
+                *slot = self.fill(r, chan);
+                prev_ready = slot.data_ready;
+            }
+            return;
+        }
+        let mut auth = [(0u64, 0u64, 0u64); INLINE];
+        let mut n_auth = 0usize;
+        let mut prev_ready = 0u64;
+        for (req, slot) in reqs.iter().zip(resps.iter_mut()) {
+            let mut r = *req;
+            r.now = r.now.max(prev_ready);
+            let s = self.schedule_fill(r, chan);
+            prev_ready = s.data_ready;
+            *slot = FillResponse {
+                data_ready: s.data_ready,
+                decrypt_ready: s.decrypt_ready,
+                auth_ready: 0,
+                auth_id: 0,
+                bus_granted: s.bus_granted,
+            };
+            if let Some(triple) = s.auth {
+                auth[n_auth] = triple;
+                n_auth += 1;
+            }
+        }
+        if n_auth > 0 {
+            // `authenticate` is a config constant: either every request
+            // carried an auth triple or none did, so ids line up 1:1.
+            let first = self.queue.request_arrived_batch(&auth[..n_auth]);
+            self.auth_requests += n_auth as u64;
+            for (i, slot) in resps.iter_mut().enumerate() {
+                let id = AuthId(first.0 + i as u64);
+                slot.auth_id = id.0;
+                slot.auth_ready = self.queue.done_time(id);
+            }
         }
     }
 
@@ -477,6 +573,60 @@ mod tests {
         assert!(b.auth_id > a.auth_id);
         assert!(b.auth_ready >= a.auth_ready);
         assert_eq!(ctrl.queue().last_request(), AuthId(2));
+    }
+
+    #[test]
+    fn fill_batch_matches_sequential_fills_exactly() {
+        let cfgs = [
+            CtrlConfig::paper_reference(),
+            CtrlConfig::baseline(),
+            CtrlConfig::with_mac(MacScheme::CbcMacAes),
+            CtrlConfig {
+                tree: Some(TreeConfig::paper_reference(0, 1 << 16)),
+                ..CtrlConfig::paper_reference()
+            },
+        ];
+        for cfg in cfgs {
+            let mut scalar = SecureMemCtrl::new(cfg);
+            let mut batched = SecureMemCtrl::new(cfg);
+            let mut ch_s = chan();
+            let mut ch_b = chan();
+            // Injected one-shot delay must land on the same (first)
+            // request either way.
+            scalar.inject_mac_delay(40);
+            batched.inject_mac_delay(40);
+            let reqs = [fill_req(0x8000, 100), fill_req(0x8040, 100)];
+            // The scalar demand-then-prefetch chain: the second fill
+            // starts at the first line's data_ready.
+            let a = scalar.fill(reqs[0], &mut ch_s);
+            let b = scalar.fill(FillRequest { now: a.data_ready, ..reqs[1] }, &mut ch_s);
+            let mut resps = [FillResponse::immediate(0); 2];
+            batched.fill_batch(&reqs, &mut resps, &mut ch_b);
+            assert_eq!(resps[0], a, "demand response diverged under {cfg:?}");
+            assert_eq!(resps[1], b, "prefetch response diverged under {cfg:?}");
+            assert_eq!(scalar.queue().last_request(), batched.queue().last_request());
+            assert_eq!(scalar.queue().drain_time(), batched.queue().drain_time());
+        }
+    }
+
+    #[test]
+    fn oversized_fill_batch_chains_scalar_path() {
+        let mut scalar = SecureMemCtrl::new(CtrlConfig::paper_reference());
+        let mut batched = SecureMemCtrl::new(CtrlConfig::paper_reference());
+        let mut ch_s = chan();
+        let mut ch_b = chan();
+        let reqs: Vec<FillRequest> =
+            (0..10u32).map(|i| fill_req(0x1_0000 + i * 64, 50)).collect();
+        let mut prev = 0;
+        let mut want = Vec::new();
+        for r in &reqs {
+            let resp = scalar.fill(FillRequest { now: r.now.max(prev), ..*r }, &mut ch_s);
+            prev = resp.data_ready;
+            want.push(resp);
+        }
+        let mut got = vec![FillResponse::immediate(0); reqs.len()];
+        batched.fill_batch(&reqs, &mut got, &mut ch_b);
+        assert_eq!(got, want);
     }
 
     #[test]

@@ -31,9 +31,9 @@ use secsim_core::{
     EncryptedMemory, Exposure, FaultEvent, FaultInjector, FaultKind, FaultPlan, FetchGateVariant,
     Policy, SecureMemCtrl, TamperCause, TamperError, MAC_DROP_DELAY,
 };
-use secsim_isa::{step, ArchState, FlatMem, Inst, MemIo, MemWidth, OpClass, RegRef};
+use secsim_isa::{decode, step_decoded, ArchState, FlatMem, Inst, MemIo, MemWidth, OpClass, RegRef};
 use secsim_mem::{AccessKind, MemSystem};
-use std::collections::HashMap;
+use secsim_stats::FastMap;
 
 /// A functional memory image the pipeline can execute from, with an
 /// integrity oracle telling which lines would fail MAC verification.
@@ -123,17 +123,20 @@ pub(crate) struct RunEnding {
 /// Applies every scheduled fault due at or before `now`: integrity
 /// faults corrupt the image and poison any cached copies (so the
 /// corruption reaches the chip on the next fill), verification faults
-/// arm the controller's one-shot MAC-delay injection.
+/// arm the controller's one-shot MAC-delay injection. Returns whether
+/// any stored bits of the image actually changed (the caller must then
+/// drop decoded-instruction caches built over the image).
 fn apply_due_faults<M: SecureImage>(
     injector: &mut Option<FaultInjector>,
     now: u64,
     image: &mut M,
     ms: &mut MemSystem<SecureMemCtrl>,
-) {
-    let Some(inj) = injector.as_mut() else { return };
+) -> bool {
+    let Some(inj) = injector.as_mut() else { return false };
     if !inj.pending() {
-        return;
+        return false;
     }
+    let mut mutated = false;
     for ev in inj.take_due(now).to_vec() {
         match ev.kind {
             FaultKind::MacDelay { extra } => ms.engine_mut().inject_mac_delay(extra),
@@ -143,9 +146,80 @@ fn apply_due_faults<M: SecureImage>(
                 // the injector still records it as applied.
                 if image.apply_fault(&ev).unwrap_or(false) {
                     ms.poison_line(ev.addr);
+                    mutated = true;
                 }
             }
         }
+    }
+    mutated
+}
+
+/// Direct-mapped decoded-instruction cache indexed by word-PC low bits.
+///
+/// The functional step otherwise re-fetches and re-decodes every dynamic
+/// instruction; hot loops span a few dozen static instructions, so a
+/// small direct-mapped cache removes that work almost entirely. Program
+/// stores probe and evict the covered words (self-modifying fuzz
+/// programs stay correct) and injected faults flush the whole cache.
+struct DecodeCache {
+    /// `pc as u64` per slot; `u64::MAX` = empty (no 32-bit PC matches).
+    tags: Vec<u64>,
+    insts: Vec<Inst>,
+}
+
+impl DecodeCache {
+    /// Slots (power of two): covers a 16 KB code footprint exactly.
+    const LEN: usize = 4096;
+
+    fn new() -> Self {
+        Self { tags: vec![u64::MAX; Self::LEN], insts: vec![Inst::Nop; Self::LEN] }
+    }
+
+    #[inline]
+    fn slot(pc: u32) -> usize {
+        ((pc >> 2) as usize) & (Self::LEN - 1)
+    }
+
+    /// The decoding of memory at `pc`, cached.
+    #[inline]
+    fn lookup<M: MemIo>(&mut self, pc: u32, mem: &mut M) -> Inst {
+        let i = Self::slot(pc);
+        if self.tags[i] == u64::from(pc) {
+            return self.insts[i];
+        }
+        let inst = decode(mem.fetch_word(pc));
+        self.tags[i] = u64::from(pc);
+        self.insts[i] = inst;
+        inst
+    }
+
+    /// Drops any cached decoding of the words a store touched.
+    #[inline]
+    fn invalidate_store(&mut self, addr: u32, width: MemWidth) {
+        let bytes = match width {
+            MemWidth::Byte => 1,
+            MemWidth::Half => 2,
+            MemWidth::Word => 4,
+            MemWidth::Double => 8,
+        };
+        let first = addr & !3;
+        let last = addr.wrapping_add(bytes - 1) & !3;
+        let mut w = first;
+        loop {
+            let i = Self::slot(w);
+            if self.tags[i] == u64::from(w) {
+                self.tags[i] = u64::MAX;
+            }
+            if w == last {
+                break;
+            }
+            w = w.wrapping_add(4);
+        }
+    }
+
+    /// Drops everything (the image changed underneath us).
+    fn flush(&mut self) {
+        self.tags.fill(u64::MAX);
     }
 }
 
@@ -161,7 +235,7 @@ pub fn simulate<M: SecureImage>(
     cfg: &SimConfig,
     trace_bus: bool,
 ) -> SimReport {
-    run_pipeline(image, entry, cfg, trace_bus, None, None, None).0
+    run_pipeline(image, ArchState::new(entry), cfg, trace_bus, None, None, None).0
 }
 
 /// [`simulate`], additionally calling `observer` with one
@@ -183,7 +257,7 @@ pub fn simulate_observed<M: SecureImage, F: FnMut(&RetireRecord)>(
     mut observer: F,
 ) -> (SimReport, ArchState) {
     let (report, st, _, _) =
-        run_pipeline(image, entry, cfg, trace_bus, Some(&mut observer), None, None);
+        run_pipeline(image, ArchState::new(entry), cfg, trace_bus, Some(&mut observer), None, None);
     (report, st)
 }
 
@@ -195,9 +269,14 @@ pub fn simulate_observed<M: SecureImage, F: FnMut(&RetireRecord)>(
 /// [`SimTrace`]. Neither affects the computed timing. `faults`, when
 /// set, schedules deterministic mid-run tampering: due events are
 /// applied as the modelled clock advances past their cycle.
+///
+/// `start` is the architectural state to begin from — `ArchState::new(entry)`
+/// for a cold run, or a functionally fast-forwarded state when resuming from
+/// a warmup checkpoint. Timing state (caches, predictor, MAC queue) always
+/// starts cold; only the *functional* state is warm.
 pub(crate) fn run_pipeline<M: SecureImage>(
     image: &mut M,
-    entry: u32,
+    start: ArchState,
     cfg: &SimConfig,
     trace_bus: bool,
     mut observer: Option<&mut dyn FnMut(&RetireRecord)>,
@@ -215,7 +294,8 @@ pub(crate) fn run_pipeline<M: SecureImage>(
         ms.channel_mut().record_transfers();
     }
     let mut bp = BranchPredictor::new(cfg.cpu.bpred);
-    let mut st = ArchState::new(entry);
+    let mut st = start;
+    let mut icache = DecodeCache::new();
 
     let ruu = cfg.cpu.ruu_size as usize;
     let lsq = cfg.cpu.lsq_size as usize;
@@ -240,23 +320,28 @@ pub(crate) fn run_pipeline<M: SecureImage>(
     let mut store_release_ring = vec![0u64; sb];
     // word address -> (value ready, cache write time, producer cause,
     // producer taint) for forwarding
-    let mut store_fwd: HashMap<u32, (u64, u64, StallCause, bool)> = HashMap::new();
+    let mut store_fwd: FastMap<u32, (u64, u64, StallCause, bool)> = FastMap::default();
 
     // Exposure accounting: which registers hold values derived from a
-    // line that fails verification, and the event cycles of every
-    // tainted instruction. Counted against the detection cycle once
-    // the run ends; bounded because detection squashes the run.
-    let mut reg_taint = [false; 64];
+    // line that fails verification (one bit per scoreboard slot), and
+    // the event cycles of every tainted instruction. Counted against the
+    // detection cycle once the run ends; bounded because detection
+    // squashes the run.
+    let mut reg_taint: u64 = 0;
     let mut cur_iline_tainted = false;
-    struct TaintRec {
-        at_issue: bool, // tainted before its own load's data arrived
-        issue: u64,
-        commit: u64,
-        store_release: u64, // 0 = not a store
-        bus_granted: u64,   // 0 = no dependent off-chip transfer
+    // Struct-of-arrays taint log: the exposure pass scans each event
+    // column independently, and pushes touch four dense u64 streams
+    // instead of one padded wide record.
+    #[derive(Default)]
+    struct TaintLog {
+        at_issue: Vec<bool>, // tainted before its own load's data arrived
+        issue: Vec<u64>,
+        commit: Vec<u64>,
+        store_release: Vec<u64>, // 0 = not a store
+        bus_granted: Vec<u64>,   // 0 = no dependent off-chip transfer
     }
     const TAINT_CAP: usize = 1 << 20;
-    let mut taint_log: Vec<TaintRec> = Vec::new();
+    let mut taint_log = TaintLog::default();
     let track_exposure = policy.authenticate;
 
     let l1i_line_mask = !(cfg.mem.l1i.line_bytes - 1);
@@ -335,20 +420,27 @@ pub(crate) fn run_pipeline<M: SecureImage>(
             cycle_limit = Some(cfg.max_cycles);
             break;
         }
-        let info = match step(&mut st, image) {
+        let next_inst = icache.lookup(st.pc, image);
+        let info = match step_decoded(&mut st, image, next_inst) {
             Ok(i) => i,
             Err(_) => {
                 report.decode_fault = true;
                 break;
             }
         };
+        // A store may overwrite code: evict any decoding it covered.
+        if let Some(ma) = info.mem.filter(|m| m.is_store) {
+            icache.invalidate_store(ma.addr, ma.width);
+        }
 
         // ---- fetch ----
         let line = info.pc & l1i_line_mask;
         let mut ifetch_floor: u64 = 0;
         let mut ifetch_granted: u64 = 0;
         if cur_iline != Some(line) {
-            apply_due_faults(&mut injector, fetch_avail, image, &mut ms);
+            if apply_due_faults(&mut injector, fetch_avail, image, &mut ms) {
+                icache.flush();
+            }
             let bnb = fetch_gate(ms.engine(), &policy, fetch_avail);
             let acc = ms.access(info.pc, AccessKind::IFetch, fetch_avail, bnb);
             note_tamper(image, info.pc, acc.auth_ready, &mut exception);
@@ -399,7 +491,7 @@ pub(crate) fn run_pipeline<M: SecureImage>(
         let mut tainted_at_issue = cur_iline_tainted;
         for src in info.inst.srcs().into_iter().flatten() {
             let slot = reg_slot(src);
-            tainted_at_issue |= reg_taint[slot];
+            tainted_at_issue |= (reg_taint >> slot) & 1 != 0;
             if reg_ready[slot] > ready {
                 ready = reg_ready[slot];
                 ready_cause = reg_cause[slot];
@@ -464,7 +556,9 @@ pub(crate) fn run_pipeline<M: SecureImage>(
                         (c, if vready > start + 1 { producer_cause } else { start_cause })
                     }
                     None => {
-                        apply_due_faults(&mut injector, start, image, &mut ms);
+                        if apply_due_faults(&mut injector, start, image, &mut ms) {
+                            icache.flush();
+                        }
                         let bnb = fetch_gate(ms.engine(), &policy, start);
                         let acc = ms.access(ma.addr, AccessKind::Load, start, bnb);
                         note_tamper(image, ma.addr, acc.auth_ready, &mut exception);
@@ -491,7 +585,9 @@ pub(crate) fn run_pipeline<M: SecureImage>(
                 let start = fu_mem.take(it, 1);
                 let start_cause = if start > it { StallCause::FuBusy } else { it_cause };
                 let ma = info.mem.expect("store has a memory access");
-                apply_due_faults(&mut injector, start, image, &mut ms);
+                if apply_due_faults(&mut injector, start, image, &mut ms) {
+                    icache.flush();
+                }
                 let bnb = fetch_gate(ms.engine(), &policy, start);
                 // Write-allocate fill happens at issue; the commit-time
                 // write hits the (now resident) line.
@@ -540,7 +636,7 @@ pub(crate) fn run_pipeline<M: SecureImage>(
             reg_ready[reg_slot(dst)] = complete;
             reg_cause[reg_slot(dst)] = complete_cause;
             // Overwriting a register with a clean value clears its taint.
-            reg_taint[reg_slot(dst)] = tainted;
+            reg_taint = (reg_taint & !(1 << reg_slot(dst))) | (u64::from(tainted) << reg_slot(dst));
         }
 
         // ---- control resolution ----
@@ -633,14 +729,12 @@ pub(crate) fn run_pipeline<M: SecureImage>(
                 store_fwd.retain(|_, &mut (_, w, _, _)| w > ct);
             }
         }
-        if track_exposure && tainted && taint_log.len() < TAINT_CAP {
-            taint_log.push(TaintRec {
-                at_issue: tainted_at_issue,
-                issue: it,
-                commit: ct,
-                store_release: if class == OpClass::Store { store_release } else { 0 },
-                bus_granted: if tainted_at_issue { bus_granted } else { 0 },
-            });
+        if track_exposure && tainted && taint_log.issue.len() < TAINT_CAP {
+            taint_log.at_issue.push(tainted_at_issue);
+            taint_log.issue.push(it);
+            taint_log.commit.push(ct);
+            taint_log.store_release.push(if class == OpClass::Store { store_release } else { 0 });
+            taint_log.bus_granted.push(if tainted_at_issue { bus_granted } else { 0 });
         }
 
         // ---- security-invariant oracles ----
@@ -854,17 +948,24 @@ pub(crate) fn run_pipeline<M: SecureImage>(
         Some(e) if track_exposure => {
             let d = e.cycle;
             let mut x = Exposure::default();
-            for t in &taint_log {
-                if t.at_issue && t.issue < d {
+            // Column-wise scans over the SoA log.
+            for (&ai, &iss) in taint_log.at_issue.iter().zip(&taint_log.issue) {
+                if ai && iss < d {
                     x.issued += 1;
                 }
-                if t.commit < d {
+            }
+            for &c in &taint_log.commit {
+                if c < d {
                     x.committed += 1;
                 }
-                if t.store_release > 0 && t.store_release < d {
+            }
+            for &s in &taint_log.store_release {
+                if s > 0 && s < d {
                     x.stores_released += 1;
                 }
-                if t.bus_granted > 0 && t.bus_granted < d {
+            }
+            for &b in &taint_log.bus_granted {
+                if b > 0 && b < d {
                     x.bus_grants += 1;
                 }
             }

@@ -50,15 +50,43 @@ impl InOrderSlots {
 
 /// Bandwidth limiter for the out-of-order issue stage: requests may
 /// target any cycle at or above a monotonically advancing floor.
+///
+/// Internally a dense power-of-two ring of per-cycle grant counts
+/// indexed by the cycle's low bits. Live (possibly non-zero) counts
+/// always span fewer than `counts.len()` cycles — `[zeroed_to, hi)` —
+/// so two live cycles never alias one slot; slots vacated as the floor
+/// advances are zeroed lazily before the ring wraps onto them. This
+/// replaces a `HashMap<u64, u32>` that dominated the issue-stage
+/// profile.
+///
+/// Ring growth is capped: grants beyond [`WindowSlots::MAX_LEN`]
+/// cycles past the reclaimable window spill into a sparse overflow
+/// map instead of growing the ring. Only pathological latencies land
+/// there — a dropped MAC verification is modeled as a `2^40`-cycle
+/// delay, and a dense ring spanning it would be an 8 TB allocation.
 #[derive(Debug, Clone)]
 pub struct WindowSlots {
     width: u32,
-    used: HashMap<u64, u32>,
+    counts: Vec<u32>,
+    /// All cycles below this have had their ring slot zeroed; never
+    /// exceeds `floor`.
+    zeroed_to: u64,
+    /// One past the highest ring-granted cycle (upper bound of live
+    /// ring counts; overflow grants are tracked separately).
+    hi: u64,
     floor: u64,
-    inserts: u64,
+    /// Grant counts for cycles at or beyond the capped ring
+    /// (`>= zeroed_to + counts.len()` at all times — entries the
+    /// window slides over are migrated into the ring by `ensure`).
+    overflow: HashMap<u64, u32>,
 }
 
 impl WindowSlots {
+    const INITIAL_LEN: usize = 1024;
+    /// Ring-size cap (2^20 cycles ≈ 4 MB of counts); beyond it the
+    /// sparse overflow map takes over.
+    const MAX_LEN: usize = 1 << 20;
+
     /// Creates a limiter granting `width` slots per cycle.
     ///
     /// # Panics
@@ -66,7 +94,14 @@ impl WindowSlots {
     /// Panics if `width == 0`.
     pub fn new(width: u32) -> Self {
         assert!(width > 0, "width must be positive");
-        Self { width, used: HashMap::new(), floor: 0, inserts: 0 }
+        Self {
+            width,
+            counts: vec![0; Self::INITIAL_LEN],
+            zeroed_to: 0,
+            hi: 0,
+            floor: 0,
+            overflow: HashMap::new(),
+        }
     }
 
     /// Grants a slot at the first cycle `>= max(at, floor)` with
@@ -74,16 +109,29 @@ impl WindowSlots {
     pub fn take(&mut self, at: u64) -> u64 {
         let mut c = at.max(self.floor);
         loop {
-            let u = self.used.entry(c).or_insert(0);
-            if *u < self.width {
-                *u += 1;
-                self.inserts += 1;
-                if self.inserts.is_multiple_of(65536) {
-                    self.prune();
+            self.ensure(c);
+            let len = self.counts.len() as u64;
+            let mask = self.counts.len() - 1;
+            let limit = self.zeroed_to + len;
+            if c >= limit {
+                // Beyond the capped ring even after reclaiming: the
+                // sparse far-future path.
+                while *self.overflow.get(&c).unwrap_or(&0) >= self.width {
+                    c += 1;
+                }
+                *self.overflow.entry(c).or_insert(0) += 1;
+                return c;
+            }
+            while c < limit && self.counts[(c as usize) & mask] >= self.width {
+                c += 1;
+            }
+            if c < limit {
+                self.counts[(c as usize) & mask] += 1;
+                if c >= self.hi {
+                    self.hi = c + 1;
                 }
                 return c;
             }
-            c += 1;
         }
     }
 
@@ -96,9 +144,68 @@ impl WindowSlots {
         }
     }
 
-    fn prune(&mut self) {
-        let floor = self.floor;
-        self.used.retain(|&c, _| c >= floor);
+    /// Makes cycle `c` addressable if the cap allows: first reclaims
+    /// slots below the floor (they can never be granted again), then
+    /// doubles the ring — up to [`WindowSlots::MAX_LEN`] — if the live
+    /// span `[zeroed_to, c]` still does not fit. Whenever the window
+    /// moves, overflow entries it now covers migrate into the ring.
+    fn ensure(&mut self, c: u64) {
+        let len = self.counts.len() as u64;
+        if c < self.zeroed_to + len {
+            return;
+        }
+        let mut moved = false;
+        if self.floor > self.zeroed_to {
+            if self.floor >= self.zeroed_to + len {
+                self.counts.fill(0);
+            } else {
+                let mask = self.counts.len() - 1;
+                for cy in self.zeroed_to..self.floor {
+                    self.counts[(cy as usize) & mask] = 0;
+                }
+            }
+            self.zeroed_to = self.floor;
+            if self.hi < self.zeroed_to {
+                self.hi = self.zeroed_to;
+            }
+            moved = true;
+        }
+        if c >= self.zeroed_to + len && self.counts.len() < Self::MAX_LEN {
+            let mut new_len = self.counts.len();
+            while c >= self.zeroed_to + new_len as u64 && new_len < Self::MAX_LEN {
+                new_len *= 2;
+            }
+            let mut counts = vec![0u32; new_len];
+            let old_mask = self.counts.len() - 1;
+            for cy in self.zeroed_to..self.hi {
+                counts[(cy as usize) & (new_len - 1)] = self.counts[(cy as usize) & old_mask];
+            }
+            self.counts = counts;
+            moved = true;
+        }
+        if moved && !self.overflow.is_empty() {
+            // Re-home overflow entries the window now covers. Slots in
+            // [hi, limit) are zero by the ring invariant, so this is a
+            // plain store; entries below `zeroed_to` can never be
+            // granted again and are dropped outright.
+            let limit = self.zeroed_to + self.counts.len() as u64;
+            let mask = self.counts.len() - 1;
+            let zeroed_to = self.zeroed_to;
+            let counts = &mut self.counts;
+            let hi = &mut self.hi;
+            self.overflow.retain(|&cy, cnt| {
+                if cy >= limit {
+                    return true;
+                }
+                if cy >= zeroed_to {
+                    counts[(cy as usize) & mask] = *cnt;
+                    if cy >= *hi {
+                        *hi = cy + 1;
+                    }
+                }
+                false
+            });
+        }
     }
 }
 
@@ -164,6 +271,62 @@ mod tests {
         let mut s = WindowSlots::new(4);
         s.advance_floor(100);
         assert_eq!(s.take(5), 100);
+    }
+
+    /// Pin the ring-buffer window against a naive unbounded model
+    /// through wrap-around (cycles far beyond the 1024-slot initial
+    /// ring with the floor advancing behind them, forcing slot reuse),
+    /// growth (a live span wider than the ring, forcing a resize that
+    /// must carry every live count across), and far leaps past the
+    /// ring-size cap (the dropped-MAC `2^40` sentinel, which must land
+    /// in the sparse overflow map instead of growing the ring).
+    #[test]
+    fn window_ring_wrap_and_growth_match_dense_model() {
+        fn naive_take(counts: &mut HashMap<u64, u32>, width: u32, floor: u64, at: u64) -> u64 {
+            let mut c = at.max(floor);
+            while *counts.get(&c).unwrap_or(&0) >= width {
+                c += 1;
+            }
+            *counts.entry(c).or_insert(0) += 1;
+            c
+        }
+
+        for width in [1u32, 2, 4] {
+            let mut ring = WindowSlots::new(width);
+            let mut dense: HashMap<u64, u32> = HashMap::new();
+            let mut floor = 0u64;
+            let mut rng = 0x2006_u64;
+            let mut base = 0u64;
+            for i in 0..20_000u64 {
+                // SplitMix64: deterministic, no external RNG.
+                rng = rng.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = rng;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^= z >> 31;
+
+                // Mostly local jitter; occasionally leap far past the
+                // ring (wrap) or stretch the live span (growth).
+                let at = match z % 97 {
+                    0 => base + 3000 + z % 5000, // wider than the ring: growth
+                    1..=5 => base + 1500,        // just past: wrap via reclaim
+                    6 => base + (1u64 << 40) + z % 8, // past the cap: overflow map
+                    _ => base + z % 64,
+                };
+                assert_eq!(
+                    ring.take(at),
+                    naive_take(&mut dense, width, floor, at),
+                    "width {width}, step {i}, at {at}, floor {floor}"
+                );
+                // Advance the floor the way dispatch does: monotonically,
+                // trailing the issue front.
+                if z.is_multiple_of(11) {
+                    base += 1 + z % 40;
+                    floor = floor.max(base.saturating_sub(20));
+                    ring.advance_floor(floor);
+                }
+            }
+        }
     }
 
     #[test]

@@ -171,13 +171,27 @@ pub struct SimSession<'a> {
     trace: Option<TraceConfig>,
     observer: Option<Observer<'a>>,
     faults: Option<FaultPlan>,
+    start: Option<ArchState>,
 }
 
 impl<'a> SimSession<'a> {
     /// A session with no observers: equivalent to the deprecated
     /// `simulate(image, entry, cfg, false)`.
     pub fn new(cfg: &SimConfig) -> Self {
-        Self { cfg: *cfg, trace_bus: false, trace: None, observer: None, faults: None }
+        Self { cfg: *cfg, trace_bus: false, trace: None, observer: None, faults: None, start: None }
+    }
+
+    /// Starts the run from `state` instead of a cold
+    /// `ArchState::new(entry)` — the warmup-checkpoint entry point.
+    ///
+    /// Only the *functional* state (PC, registers, instruction count) is
+    /// warm; every timing structure (caches, predictor, MAC queue) still
+    /// starts cold, so two sessions resumed from byte-identical states
+    /// produce byte-identical reports. The `entry` argument of
+    /// [`run`](SimSession::run) is ignored when a start state is set.
+    pub fn resume_from(mut self, state: ArchState) -> Self {
+        self.start = Some(state);
+        self
     }
 
     /// Enables (or disables) the attacker-visible bus trace
@@ -212,13 +226,14 @@ impl<'a> SimSession<'a> {
     /// Runs `image` from `entry` until it halts, faults, trips the
     /// cycle fence, or detects tampering.
     pub fn run<M: SecureImage>(self, image: &mut M, entry: u32) -> SimOutcome {
-        let SimSession { cfg, trace_bus, trace, mut observer, faults } = self;
+        let SimSession { cfg, trace_bus, trace, mut observer, faults, start } = self;
         let observer_dyn: Option<&mut dyn FnMut(&RetireRecord)> = match observer.as_mut() {
             Some(b) => Some(&mut **b),
             None => None,
         };
+        let start = start.unwrap_or_else(|| ArchState::new(entry));
         let (report, state, trace, ending) =
-            run_pipeline(image, entry, &cfg, trace_bus, observer_dyn, trace, faults.as_ref());
+            run_pipeline(image, start, &cfg, trace_bus, observer_dyn, trace, faults.as_ref());
         let run = SimRun { report, state, trace };
         if let Some(e) = run.report.exception {
             SimOutcome::TamperDetected {
@@ -244,6 +259,7 @@ impl std::fmt::Debug for SimSession<'_> {
             .field("trace", &self.trace)
             .field("observer", &self.observer.as_ref().map(|_| "FnMut"))
             .field("faults", &self.faults)
+            .field("start", &self.start)
             .finish()
     }
 }

@@ -169,12 +169,17 @@ impl Aes {
     }
 
     fn mix_columns(state: &mut [u8; 16]) {
+        // 2·x = xtime(x) and 3·x = xtime(x) ^ x turn the generic
+        // GF(2^8) multiply into four branch-free xtime ops per column
+        // (encrypt is the CTR keystream hot path; decrypt keeps the
+        // generic form).
         for c in 0..4 {
             let col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
-            state[4 * c] = gmul(col[0], 2) ^ gmul(col[1], 3) ^ col[2] ^ col[3];
-            state[4 * c + 1] = col[0] ^ gmul(col[1], 2) ^ gmul(col[2], 3) ^ col[3];
-            state[4 * c + 2] = col[0] ^ col[1] ^ gmul(col[2], 2) ^ gmul(col[3], 3);
-            state[4 * c + 3] = gmul(col[0], 3) ^ col[1] ^ col[2] ^ gmul(col[3], 2);
+            let t = col[0] ^ col[1] ^ col[2] ^ col[3];
+            state[4 * c] = col[0] ^ t ^ xtime(col[0] ^ col[1]);
+            state[4 * c + 1] = col[1] ^ t ^ xtime(col[1] ^ col[2]);
+            state[4 * c + 2] = col[2] ^ t ^ xtime(col[2] ^ col[3]);
+            state[4 * c + 3] = col[3] ^ t ^ xtime(col[3] ^ col[0]);
         }
     }
 

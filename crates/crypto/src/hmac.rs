@@ -22,8 +22,11 @@ const BLOCK: usize = 64;
 /// ```
 #[derive(Debug, Clone)]
 pub struct HmacSha256 {
-    ipad: [u8; BLOCK],
-    opad: [u8; BLOCK],
+    /// SHA-256 state after absorbing the key's inner pad block —
+    /// computed once at key setup so every MAC skips that compression.
+    inner_mid: [u32; 8],
+    /// SHA-256 state after absorbing the key's outer pad block.
+    outer_mid: [u32; 8],
 }
 
 impl HmacSha256 {
@@ -42,17 +45,19 @@ impl HmacSha256 {
             ipad[i] ^= k[i];
             opad[i] ^= k[i];
         }
-        Self { ipad, opad }
+        let mut inner = Sha256::new();
+        inner.update(&ipad);
+        let mut outer = Sha256::new();
+        outer.update(&opad);
+        Self { inner_mid: inner.midstate(), outer_mid: outer.midstate() }
     }
 
     /// Computes the full 32-byte tag over `data`.
     pub fn compute(&self, data: &[u8]) -> [u8; 32] {
-        let mut inner = Sha256::new();
-        inner.update(&self.ipad);
+        let mut inner = Sha256::from_midstate(self.inner_mid, BLOCK as u64);
         inner.update(data);
         let inner_digest = inner.finalize();
-        let mut outer = Sha256::new();
-        outer.update(&self.opad);
+        let mut outer = Sha256::from_midstate(self.outer_mid, BLOCK as u64);
         outer.update(&inner_digest);
         outer.finalize()
     }
@@ -69,14 +74,12 @@ impl HmacSha256 {
     /// the simulator's memory hot path makes zero heap allocations per
     /// MAC.
     pub fn compute_parts(&self, parts: &[&[u8]]) -> [u8; 32] {
-        let mut inner = Sha256::new();
-        inner.update(&self.ipad);
+        let mut inner = Sha256::from_midstate(self.inner_mid, BLOCK as u64);
         for part in parts {
             inner.update(part);
         }
         let inner_digest = inner.finalize();
-        let mut outer = Sha256::new();
-        outer.update(&self.opad);
+        let mut outer = Sha256::from_midstate(self.outer_mid, BLOCK as u64);
         outer.update(&inner_digest);
         outer.finalize()
     }

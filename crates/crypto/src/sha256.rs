@@ -63,6 +63,33 @@ impl Sha256 {
         h.finalize()
     }
 
+    /// Captures the compression state after a whole number of 64-byte
+    /// blocks, for later resumption via [`Sha256::from_midstate`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the absorbed length is not a multiple of the block
+    /// size (the midstate would not capture buffered bytes).
+    pub fn midstate(&self) -> [u32; 8] {
+        assert_eq!(self.buf_len, 0, "midstate requires block-aligned input");
+        self.state
+    }
+
+    /// Resumes hashing from a [`Sha256::midstate`] taken after
+    /// `total_len` absorbed bytes (must be a multiple of 64).
+    ///
+    /// HMAC uses this to skip re-compressing the fixed key pad block on
+    /// every MAC: capture the state once after absorbing the pad, then
+    /// resume from it per message.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total_len` is not a multiple of the block size.
+    pub fn from_midstate(state: [u32; 8], total_len: u64) -> Self {
+        assert!(total_len.is_multiple_of(64), "midstate length must be block-aligned");
+        Self { state, buf: [0; 64], buf_len: 0, total_len }
+    }
+
     /// Absorbs more input.
     pub fn update(&mut self, mut data: &[u8]) {
         self.total_len += data.len() as u64;

@@ -155,9 +155,39 @@ pub fn step<M: MemIo>(st: &mut ArchState, mem: &mut M) -> Result<StepInfo, Fault
             out: None,
         });
     }
+    let word = mem.fetch_word(st.pc);
+    step_decoded(st, mem, decode(word))
+}
+
+/// [`step`] with fetch and decode hoisted out: executes `inst`, which
+/// the caller promises is `decode(mem.fetch_word(st.pc))`. The timing
+/// model keeps a decoded-instruction cache over the (tiny, hot)
+/// code footprint and calls this directly, skipping the per-instruction
+/// fetch and decode that otherwise dominate the functional step.
+///
+/// The caller is responsible for invalidating its cache when memory at
+/// a cached PC changes (program stores, injected faults); passing an
+/// `inst` that no longer matches memory silently diverges from [`step`].
+///
+/// # Errors
+///
+/// Returns [`Fault::IllegalInstruction`] exactly as [`step`] does.
+pub fn step_decoded<M: MemIo>(
+    st: &mut ArchState,
+    mem: &mut M,
+    inst: Inst,
+) -> Result<StepInfo, Fault> {
+    if st.halted {
+        return Ok(StepInfo {
+            pc: st.pc,
+            inst: Inst::Halt,
+            next_pc: st.pc,
+            mem: None,
+            control: None,
+            out: None,
+        });
+    }
     let pc = st.pc;
-    let word = mem.fetch_word(pc);
-    let inst = decode(word);
     let mut next_pc = pc.wrapping_add(4);
     let mut info_mem = None;
     let mut control = None;

@@ -58,7 +58,7 @@ mod reg;
 
 pub use asm::{Asm, AsmError, Label};
 pub use encode::{decode, encode};
-pub use exec::{step, ArchState, Fault, MemAccess, StepInfo};
+pub use exec::{step, step_decoded, ArchState, Fault, MemAccess, StepInfo};
 pub use inst::{Inst, MemWidth, OpClass, RegRef};
 pub use mem::{FlatMem, MemIo};
 pub use parse::{assemble_text, ParseError};

@@ -129,6 +129,30 @@ impl FlatMem {
         }
     }
 
+    /// Restores this image's contents and out-of-bounds counter from
+    /// `pristine`, reusing the existing allocation (one straight copy,
+    /// no reallocation or page faults — the fast path for re-running a
+    /// memoized workload or rewinding to a checkpoint).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two images differ in base address or length.
+    pub fn restore_from(&mut self, pristine: &FlatMem) {
+        assert_eq!(self.base, pristine.base, "restore_from: base mismatch");
+        assert_eq!(self.bytes.len(), pristine.bytes.len(), "restore_from: length mismatch");
+        self.bytes.copy_from_slice(&pristine.bytes);
+        self.oob = pristine.oob;
+    }
+
+    /// Restores the out-of-bounds access counter when rebuilding an
+    /// image from a serialized snapshot. A snapshot must round-trip
+    /// *exactly* — a warmed program may legitimately have taken
+    /// out-of-range accesses, and dropping the count would make a
+    /// restored run diverge from the run that produced the snapshot.
+    pub fn set_oob_count(&mut self, oob: u64) {
+        self.oob = oob;
+    }
+
     /// Direct access to the raw backing bytes.
     pub fn as_bytes(&self) -> &[u8] {
         &self.bytes
@@ -142,6 +166,7 @@ impl FlatMem {
 }
 
 impl MemIo for FlatMem {
+    #[inline]
     fn read(&mut self, addr: u32, buf: &mut [u8]) {
         if self.contains(addr, buf.len()) {
             let off = (addr - self.base) as usize;
@@ -152,10 +177,62 @@ impl MemIo for FlatMem {
         }
     }
 
+    #[inline]
     fn write(&mut self, addr: u32, data: &[u8]) {
         if self.contains(addr, data.len()) {
             let off = (addr - self.base) as usize;
             self.bytes[off..off + data.len()].copy_from_slice(data);
+        } else {
+            self.oob += 1;
+        }
+    }
+
+    // Fixed-width overrides: the length is a compile-time constant here,
+    // so these lower to single loads/stores instead of `memcpy` calls —
+    // they are the functional core's hottest operations.
+
+    #[inline]
+    fn fetch_word(&mut self, addr: u32) -> u32 {
+        self.read_u32(addr)
+    }
+
+    #[inline]
+    fn read_u32(&mut self, addr: u32) -> u32 {
+        if self.contains(addr, 4) {
+            let off = (addr - self.base) as usize;
+            u32::from_le_bytes(self.bytes[off..off + 4].try_into().expect("4-byte slice"))
+        } else {
+            self.oob += 1;
+            0
+        }
+    }
+
+    #[inline]
+    fn write_u32(&mut self, addr: u32, v: u32) {
+        if self.contains(addr, 4) {
+            let off = (addr - self.base) as usize;
+            self.bytes[off..off + 4].copy_from_slice(&v.to_le_bytes());
+        } else {
+            self.oob += 1;
+        }
+    }
+
+    #[inline]
+    fn read_f64(&mut self, addr: u32) -> f64 {
+        if self.contains(addr, 8) {
+            let off = (addr - self.base) as usize;
+            f64::from_le_bytes(self.bytes[off..off + 8].try_into().expect("8-byte slice"))
+        } else {
+            self.oob += 1;
+            0.0
+        }
+    }
+
+    #[inline]
+    fn write_f64(&mut self, addr: u32, v: f64) {
+        if self.contains(addr, 8) {
+            let off = (addr - self.base) as usize;
+            self.bytes[off..off + 8].copy_from_slice(&v.to_le_bytes());
         } else {
             self.oob += 1;
         }

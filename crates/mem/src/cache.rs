@@ -92,6 +92,11 @@ pub struct CacheAccess {
     /// On miss: the line that was evicted to make room (if any was
     /// valid).
     pub victim: Option<Victim>,
+    /// Index of the way slot that was hit (or newly allocated). Stable
+    /// while the line stays resident, and unique across the cache —
+    /// callers keep per-line side data in a dense array indexed by it
+    /// instead of a hash map (see `MemSystem`'s fill metadata).
+    pub way: usize,
 }
 
 /// Event counts kept as plain fields — `access` runs on every simulated
@@ -118,6 +123,11 @@ pub struct Cache {
     lines: Vec<Line>,
     tick: u64,
     counters: CacheCounters,
+    // Precomputed shift/mask geometry: `access` runs per simulated
+    // memory reference and must not pay runtime divisions.
+    line_shift: u32,
+    set_mask: u32,
+    set_shift: u32,
 }
 
 impl Cache {
@@ -129,7 +139,15 @@ impl Cache {
     pub fn new(cfg: CacheConfig) -> Self {
         cfg.validate();
         let n = (cfg.sets() * cfg.assoc) as usize;
-        Self { cfg, lines: vec![INVALID; n], tick: 0, counters: CacheCounters::default() }
+        Self {
+            cfg,
+            lines: vec![INVALID; n],
+            tick: 0,
+            counters: CacheCounters::default(),
+            line_shift: cfg.line_bytes.trailing_zeros(),
+            set_mask: cfg.sets() - 1,
+            set_shift: cfg.sets().trailing_zeros(),
+        }
     }
 
     /// The configuration this cache was built with.
@@ -137,14 +155,16 @@ impl Cache {
         &self.cfg
     }
 
+    #[inline]
     fn set_range(&self, addr: u32) -> std::ops::Range<usize> {
-        let set = (addr / self.cfg.line_bytes) & (self.cfg.sets() - 1);
+        let set = (addr >> self.line_shift) & self.set_mask;
         let base = (set * self.cfg.assoc) as usize;
         base..base + self.cfg.assoc as usize
     }
 
+    #[inline]
     fn tag(&self, addr: u32) -> u32 {
-        addr / self.cfg.line_bytes / self.cfg.sets()
+        addr >> (self.line_shift + self.set_shift)
     }
 
     /// Accesses `addr`, allocating on miss (write-allocate). Returns
@@ -166,7 +186,7 @@ impl Cache {
                 } else {
                     self.counters.read_hit += 1;
                 }
-                return CacheAccess { hit: true, victim: None };
+                return CacheAccess { hit: true, victim: None, way: i };
             }
         }
 
@@ -198,16 +218,28 @@ impl Cache {
             None
         };
         self.lines[victim_idx] = Line { tag, valid: true, dirty: write, lru: lru_tick };
-        CacheAccess { hit: false, victim }
+        CacheAccess { hit: false, victim, way: victim_idx }
     }
 
     /// Checks residency without updating LRU or allocating.
     pub fn probe(&self, addr: u32) -> bool {
+        self.probe_way(addr).is_some()
+    }
+
+    /// The way slot holding `addr`'s line, without updating LRU state.
+    #[inline]
+    pub fn probe_way(&self, addr: u32) -> Option<usize> {
         let tag = self.tag(addr);
-        self.set_range(addr).any(|i| {
+        self.set_range(addr).find(|&i| {
             let l = &self.lines[i];
             l.valid && l.tag == tag
         })
+    }
+
+    /// Total number of way slots (`sets × assoc`) — the index space of
+    /// [`CacheAccess::way`] / [`probe_way`](Cache::probe_way).
+    pub fn way_slots(&self) -> usize {
+        self.lines.len()
     }
 
     /// Marks a resident line dirty (e.g. an L1 victim written back into
@@ -240,7 +272,7 @@ impl Cache {
 
     fn reconstruct_addr(&self, idx: usize, tag: u32) -> u32 {
         let set = (idx as u32) / self.cfg.assoc;
-        (tag * self.cfg.sets() + set) * self.cfg.line_bytes
+        ((tag << self.set_shift) + set) << self.line_shift
     }
 
     /// Hit/miss/eviction counters, materialized as a named set (built on

@@ -15,7 +15,6 @@ use crate::channel::{BusKind, Channel};
 use crate::dram::DramConfig;
 use crate::tlb::{Tlb, TlbConfig};
 use secsim_stats::CounterSet;
-use std::collections::HashMap;
 
 /// What kind of access the pipeline is making.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -78,6 +77,26 @@ pub trait FillEngine {
     /// Schedules the line fetch (plus any metadata traffic: counters,
     /// MACs, tree nodes, remap entries) and returns its timing.
     fn fill(&mut self, req: FillRequest, chan: &mut Channel) -> FillResponse;
+
+    /// Schedules several fills back-to-back, landing the responses in
+    /// `resps` (same length, same order). Each subsequent request starts
+    /// no earlier than the previous response's `data_ready` — exactly
+    /// the chaining a sequential demand-then-prefetch pair exhibits — so
+    /// this default is timing-identical to repeated [`fill`] calls.
+    /// Engines override it to amortize per-request work (e.g. one
+    /// authentication-queue pass for the whole batch).
+    ///
+    /// [`fill`]: FillEngine::fill
+    fn fill_batch(&mut self, reqs: &[FillRequest], resps: &mut [FillResponse], chan: &mut Channel) {
+        debug_assert_eq!(reqs.len(), resps.len());
+        let mut prev_ready = 0;
+        for (req, slot) in reqs.iter().zip(resps.iter_mut()) {
+            let mut r = *req;
+            r.now = r.now.max(prev_ready);
+            *slot = self.fill(r, chan);
+            prev_ready = slot.data_ready;
+        }
+    }
 
     /// Schedules a dirty-line writeback (plus metadata updates).
     fn writeback(&mut self, line_addr: u32, bytes: u32, now: u64, chan: &mut Channel);
@@ -199,7 +218,11 @@ pub struct MemSystem<F> {
     dtlb: Tlb,
     chan: Channel,
     engine: F,
-    line_meta: HashMap<u32, FillResponse>,
+    /// Per-L2-way fill metadata, indexed by [`CacheAccess::way`]
+    /// (`crate::cache::CacheAccess::way`): a slot is meaningful exactly
+    /// while the L2 line it was written for stays resident, so lookups
+    /// go through `Cache::probe_way` and never need a hash map.
+    line_meta: Vec<FillResponse>,
     // Plain fields: bumped on every L2 lookup.
     l2_hits: u64,
     l2_misses: u64,
@@ -218,7 +241,7 @@ impl<F: FillEngine> MemSystem<F> {
             dtlb: Tlb::new(cfg.dtlb),
             chan: Channel::new(cfg.dram),
             engine,
-            line_meta: HashMap::new(),
+            line_meta: vec![FillResponse::immediate(0); Cache::new(cfg.l2).way_slots()],
             l2_hits: 0,
             l2_misses: 0,
             l2_prefetches: 0,
@@ -282,54 +305,77 @@ impl<F: FillEngine> MemSystem<F> {
         self.l2_misses += 1;
         let miss_time = t0 + l1_lat + l2_lat;
         if let Some(v) = l2_res.victim {
-            self.line_meta.remove(&v.line_addr);
+            // The victim's meta slot is `l2_res.way`, overwritten below
+            // with the new line's response — no explicit removal needed.
             if v.dirty {
                 self.engine.writeback(v.line_addr, self.cfg.l2.line_bytes, miss_time, &mut self.chan);
             }
         }
-        let resp = self.engine.fill(
-            FillRequest {
-                line_addr: l2_line,
-                demand_addr: addr,
-                bytes: self.cfg.l2.line_bytes,
-                kind,
-                now: miss_time,
-                bus_not_before,
-            },
-            &mut self.chan,
-        );
-        self.line_meta.insert(l2_line, resp);
-        // Next-line prefetch: same secure fill path, same fetch gate.
+        let line_bytes = self.cfg.l2.line_bytes;
+        let demand_req = FillRequest {
+            line_addr: l2_line,
+            demand_addr: addr,
+            bytes: line_bytes,
+            kind,
+            now: miss_time,
+            bus_not_before,
+        };
+
+        // Next-line prefetch decision, hoisted ahead of the demand fill
+        // so both fills can drain through the engine in one batch. The
+        // L2 allocation for the prefetched line touches no channel
+        // state, so hoisting it preserves bus ordering exactly; only a
+        // dirty prefetch victim — whose writeback must hit the bus
+        // *between* the two fills — forces the sequential path.
+        let mut prefetch = None;
         if self.cfg.prefetch_next_line {
-            let next = l2_line.wrapping_add(self.cfg.l2.line_bytes);
+            let next = l2_line.wrapping_add(line_bytes);
             if !self.l2.probe(next) {
                 let pf = self.l2.access(next, false);
-                if let Some(v) = pf.victim {
-                    self.line_meta.remove(&v.line_addr);
-                    if v.dirty {
-                        self.engine.writeback(
-                            v.line_addr,
-                            self.cfg.l2.line_bytes,
-                            miss_time,
-                            &mut self.chan,
-                        );
-                    }
-                }
-                let presp = self.engine.fill(
-                    FillRequest {
-                        line_addr: next,
-                        demand_addr: next,
-                        bytes: self.cfg.l2.line_bytes,
-                        kind,
-                        now: resp.data_ready,
-                        bus_not_before,
-                    },
-                    &mut self.chan,
-                );
-                self.line_meta.insert(next, presp);
-                self.l2_prefetches += 1;
+                let dirty_victim = pf.victim.filter(|v| v.dirty).map(|v| v.line_addr);
+                let pf_req = FillRequest {
+                    line_addr: next,
+                    demand_addr: next,
+                    bytes: line_bytes,
+                    kind,
+                    now: miss_time,
+                    bus_not_before,
+                };
+                prefetch = Some((pf_req, pf.way, dirty_victim));
             }
         }
+
+        let resp = match prefetch {
+            // Prefetch with a dirty victim: demand fill, victim
+            // writeback, prefetch fill — the exact scalar order.
+            Some((pf_req, pf_way, Some(victim))) => {
+                let resp = self.engine.fill(demand_req, &mut self.chan);
+                self.engine.writeback(victim, line_bytes, miss_time, &mut self.chan);
+                let presp = self
+                    .engine
+                    .fill(FillRequest { now: resp.data_ready, ..pf_req }, &mut self.chan);
+                self.line_meta[pf_way] = presp;
+                self.l2_prefetches += 1;
+                resp
+            }
+            // Clean prefetch: both fills drain through the engine in one
+            // batch (chained so the prefetch starts at the demand line's
+            // `data_ready`, like the sequential pair).
+            Some((pf_req, pf_way, None)) => {
+                let reqs = [demand_req, pf_req];
+                let mut resps = [FillResponse::immediate(0); 2];
+                self.engine.fill_batch(&reqs, &mut resps, &mut self.chan);
+                self.line_meta[pf_way] = resps[1];
+                self.l2_prefetches += 1;
+                resps[0]
+            }
+            None => {
+                let mut resps = [FillResponse::immediate(0)];
+                self.engine.fill_batch(&[demand_req], &mut resps, &mut self.chan);
+                resps[0]
+            }
+        };
+        self.line_meta[l2_res.way] = resp;
         MemAccessResult {
             ready: resp.decrypt_ready.max(miss_time),
             auth_ready: resp.auth_ready,
@@ -347,15 +393,18 @@ impl<F: FillEngine> MemSystem<F> {
         l1_miss: bool,
         l2_miss: bool,
     ) -> MemAccessResult {
-        match self.line_meta.get(&l2_line) {
-            Some(meta) => MemAccessResult {
-                ready: base.max(meta.decrypt_ready),
-                auth_ready: meta.auth_ready,
-                auth_id: meta.auth_id,
-                l2_miss,
-                l1_miss,
-                bus_granted: 0,
-            },
+        match self.l2.probe_way(l2_line) {
+            Some(way) => {
+                let meta = &self.line_meta[way];
+                MemAccessResult {
+                    ready: base.max(meta.decrypt_ready),
+                    auth_ready: meta.auth_ready,
+                    auth_id: meta.auth_id,
+                    l2_miss,
+                    l1_miss,
+                    bus_granted: 0,
+                }
+            }
             None => MemAccessResult {
                 ready: base,
                 auth_ready: 0,
@@ -382,7 +431,9 @@ impl<F: FillEngine> MemSystem<F> {
     /// Returns whether any cached state was dropped.
     pub fn poison_line(&mut self, addr: u32) -> bool {
         let l2_line = self.cfg.l2.line_addr(addr);
-        let mut any = self.line_meta.remove(&l2_line).is_some();
+        // The line's meta slot dies with L2 residency (lookups go
+        // through `probe_way`), so invalidating the caches is enough.
+        let mut any = false;
         // L1 lines may be smaller than the L2 line: drop every covered one.
         let step = self.cfg.l1i.line_bytes.min(self.cfg.l1d.line_bytes);
         let mut a = l2_line;

@@ -57,6 +57,10 @@ pub struct Tlb {
     cfg: TlbConfig,
     entries: Vec<Entry>,
     tick: u64,
+    // Precomputed shift/mask geometry (see `Cache`): no divisions on
+    // the per-reference path.
+    page_shift: u32,
+    set_mask: u32,
     // Plain fields: `access` runs per simulated memory reference.
     hits: u64,
     misses: u64,
@@ -76,21 +80,19 @@ impl Tlb {
             cfg,
             entries: vec![Entry { vpn: 0, valid: false, lru: 0 }; cfg.entries as usize],
             tick: 0,
+            page_shift: cfg.page_bytes.trailing_zeros(),
+            set_mask: cfg.entries / cfg.assoc - 1,
             hits: 0,
             misses: 0,
         }
-    }
-
-    fn sets(&self) -> u32 {
-        self.cfg.entries / self.cfg.assoc
     }
 
     /// Looks up the page of `vaddr`; returns the extra latency (0 on
     /// hit, `miss_penalty` on miss) and installs the entry.
     pub fn access(&mut self, vaddr: u32) -> u64 {
         self.tick += 1;
-        let vpn = vaddr / self.cfg.page_bytes;
-        let set = vpn & (self.sets() - 1);
+        let vpn = vaddr >> self.page_shift;
+        let set = vpn & self.set_mask;
         let base = (set * self.cfg.assoc) as usize;
         let ways = base..base + self.cfg.assoc as usize;
         for i in ways.clone() {

@@ -1,0 +1,128 @@
+//! A fast, deterministic hasher for simulator-internal maps.
+//!
+//! `std::collections::HashMap`'s default SipHash shows up prominently in
+//! the pipeline profile (store-forwarding and line-metadata lookups run
+//! once per memory access). Those maps are keyed by simulator-internal
+//! integers — never attacker-controlled data — so DoS-resistant hashing
+//! buys nothing. [`FxHasher`] is the compiler-style multiply-xor hash:
+//! a couple of instructions per word, and *unseeded*, so map iteration
+//! order is reproducible across runs (determinism is a simulator-wide
+//! invariant).
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative word hasher (the `rustc-hash` / FxHash function).
+#[derive(Debug, Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+/// 64-bit Fibonacci-style multiplier (2^64 / golden ratio, forced odd).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            self.add_to_hash(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`] — stateless, so two maps built the
+/// same way hash identically.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` using [`FxHasher`]: drop-in for hot simulator maps keyed
+/// by internal integers.
+///
+/// # Examples
+///
+/// ```
+/// use secsim_stats::FastMap;
+///
+/// let mut m: FastMap<u32, u64> = FastMap::default();
+/// m.insert(0x1000, 7);
+/// assert_eq!(m.get(&0x1000), Some(&7));
+/// ```
+pub type FastMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` using [`FxHasher`].
+pub type FastSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash>(v: T) -> u64 {
+        FxBuildHasher::default().hash_one(v)
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        assert_eq!(hash_of(0x1234_5678u32), hash_of(0x1234_5678u32));
+        assert_eq!(hash_of((1u64, 2u64)), hash_of((1u64, 2u64)));
+    }
+
+    #[test]
+    fn distinct_keys_distinct_hashes() {
+        assert_ne!(hash_of(1u32), hash_of(2u32));
+        assert_ne!(hash_of(0u64), hash_of(1u64));
+    }
+
+    #[test]
+    fn byte_slices_hash_by_content() {
+        assert_eq!(hash_of([1u8, 2, 3]), hash_of([1u8, 2, 3]));
+        assert_ne!(hash_of([1u8, 2, 3]), hash_of([3u8, 2, 1]));
+    }
+
+    #[test]
+    fn map_behaves_like_hashmap() {
+        let mut m: FastMap<u32, u32> = FastMap::default();
+        for i in 0..1000 {
+            m.insert(i, i * 3);
+        }
+        assert_eq!(m.len(), 1000);
+        for i in 0..1000 {
+            assert_eq!(m.get(&i), Some(&(i * 3)));
+        }
+        m.retain(|k, _| k % 2 == 0);
+        assert_eq!(m.len(), 500);
+    }
+}

@@ -13,6 +13,8 @@
 //!   renderer, backing the on-disk experiment result cache.
 //! * [`StableHash`] / [`StableHasher`] — platform-stable FNV-1a config
 //!   fingerprinting for cache keys.
+//! * [`FastMap`] / [`FastSet`] / [`FxHasher`] — deterministic, fast
+//!   hashing for simulator-internal maps on the hot path.
 //! * [`Timeline`] / [`OccupancySeries`] — Chrome `trace_event` JSON
 //!   export (spans, counters, lane allocation) for `--trace` output.
 //!
@@ -32,6 +34,7 @@
 //! ```
 
 mod counters;
+mod fxhash;
 mod histogram;
 mod json;
 mod stable_hash;
@@ -40,6 +43,7 @@ mod table;
 mod timeline;
 
 pub use counters::CounterSet;
+pub use fxhash::{FastMap, FastSet, FxBuildHasher, FxHasher};
 pub use histogram::Histogram;
 pub use json::{Json, JsonError};
 pub use stable_hash::{StableHash, StableHasher};

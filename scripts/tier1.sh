@@ -16,6 +16,12 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== docs (rustdoc, warnings denied) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
 
+echo "== perf smoke: throughput gate vs recorded 'observability' label =="
+# Reads the tracked results/perf_baseline.json (so it must run before
+# SECSIM_RESULTS is redirected below); read-only — the gate records
+# nothing. Fails on >10% insts/sec regression in any measured case.
+./target/release/perf --smoke --compare observability
+
 echo "== sweep smoke: fresh run, then cache hit =="
 SMOKE_RESULTS="$(mktemp -d)"
 trap 'rm -rf "$SMOKE_RESULTS"' EXIT
@@ -29,7 +35,7 @@ cmp "$SMOKE_RESULTS/fresh.txt" "$SMOKE_RESULTS/cached.txt" || {
     echo "FAIL: cached sweep output differs from fresh run"; exit 1; }
 echo "cached output byte-identical to fresh run"
 
-echo "== check-smoke: differential co-sim batch, all policies, fixed seed =="
+echo "== check-smoke: differential co-sim batch + checkpoint determinism, all policies, fixed seed =="
 ./target/release/secsim-check --smoke --seed 2006
 
 echo "== fault-smoke: injected-tamper campaign, all policies =="
