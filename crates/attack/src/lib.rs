@@ -52,5 +52,5 @@ mod victims;
 
 pub use exploits::{run_exploit, Exploit, ExploitOutcome, SECRET};
 pub use matrix::{empirical_matrix, matrix_table, MatrixRow};
-pub use victims::{Victim, VictimKind, CODE_BASE, CONST_ADDR, FUNC_BASE, LIST_BASE,
-    NULL_ADDR, SECRET_ADDR, WINDOW_BASE};
+pub use victims::{Victim, VictimKind, ARM_BASE, ARM_STRIDE, CODE_BASE, CONST_ADDR, FUNC_BASE,
+    IMAGE_BYTES, LIST_BASE, NULL_ADDR, PROBE_BASE, SECRET_ADDR, WINDOW_BASE};

@@ -30,6 +30,15 @@ pub const WINDOW_BASE: u32 = 0x8000;
 pub const FUNC_BASE: u32 = 0x1400;
 /// Taken-path target of the comparison victim.
 pub const BIG_BASE: u32 = 0x1800;
+/// First arm of the secret-branch victim; the second arm sits
+/// [`ARM_STRIDE`] bytes later. Both arms live in the same 4 KiB DRAM
+/// row, so only their *addresses* (not their bank/row timing) differ.
+pub const ARM_BASE: u32 = 0x1C00;
+/// Byte distance between the two secret-branch arms.
+pub const ARM_STRIDE: u32 = 0x200;
+/// Probe array of the secret-indexed-load victim: 8 lines of 64 bytes,
+/// indexed by the secret's low 3 bits.
+pub const PROBE_BASE: u32 = 0x4000;
 
 const ENC_KEY: [u8; 16] = [0x42; 16];
 const MAC_KEY: &[u8] = b"secsim-attack-mac-key";
@@ -46,6 +55,14 @@ pub enum VictimKind {
     /// Calls a function with a predictable ~32-instruction body
     /// (the injection site), then halts.
     FunctionCall,
+    /// Loads `probe[secret & 7]` — the canonical secret-indexed data
+    /// access. Passively leaks the secret's low bits through the fetch
+    /// address unless obfuscation is on.
+    SecretIndexedLoad,
+    /// Jumps indirectly to one of two byte-identical arms selected by
+    /// the secret's low bit. The *instruction fetch* address is the
+    /// leak; both arms share one DRAM row so their timing matches.
+    SecretBranch,
 }
 
 /// A built victim: its encrypted image plus layout knowledge shared with
@@ -154,6 +171,46 @@ impl Victim {
                 let fw = f.assemble().expect("func assembles");
                 func_plaintext = fw.clone();
                 words.extend(fw);
+                words
+            }
+            VictimKind::SecretIndexedLoad => {
+                let mut a = Asm::new(CODE_BASE);
+                a.li(Reg::R1, SECRET_ADDR);
+                a.lw(Reg::R1, Reg::R1, 0);
+                a.andi(Reg::R1, Reg::R1, 7);
+                a.slli(Reg::R1, Reg::R1, 6);
+                a.lw(Reg::R2, Reg::R1, PROBE_BASE as i16);
+                a.halt();
+                a.assemble().expect("victim assembles")
+            }
+            VictimKind::SecretBranch => {
+                // main: arm = ARM_BASE + (secret & 1) * ARM_STRIDE;
+                // jalr arm. An *indirect* jump keeps the pipeline's
+                // redirect behaviour symmetric across the two targets
+                // (a conditional branch would squash asymmetrically).
+                let mut a = Asm::new(CODE_BASE);
+                a.li(Reg::R1, SECRET_ADDR);
+                a.lw(Reg::R1, Reg::R1, 0);
+                a.andi(Reg::R1, Reg::R1, 1);
+                a.slli(Reg::R1, Reg::R1, 9); // *ARM_STRIDE
+                a.li(Reg::R2, ARM_BASE);
+                a.add(Reg::R1, Reg::R1, Reg::R2);
+                a.jalr(Reg::R31, Reg::R1);
+                a.halt(); // not reached: both arms halt
+                let mut words = a.assemble().expect("victim assembles");
+                // Two byte-identical arms, so only the fetch *address*
+                // differs between secrets.
+                for arm in 0..2u32 {
+                    let base = ARM_BASE + arm * ARM_STRIDE;
+                    let pad = ((base - CODE_BASE) / 4) as usize - words.len();
+                    words.extend(std::iter::repeat_n(secsim_isa::encode(Inst::Nop), pad));
+                    let mut b = Asm::new(base);
+                    for _ in 0..4 {
+                        b.addi(Reg::R10, Reg::R10, 1);
+                    }
+                    b.halt();
+                    words.extend(b.assemble().expect("arm assembles"));
+                }
                 words
             }
         };
@@ -272,6 +329,53 @@ mod tests {
         assert!(!v.func_plaintext.is_empty());
         let st = run_functional(&mut v, 1000);
         assert!(st.halted);
+    }
+
+    fn data_addrs(kind: VictimKind, secret: u32) -> Vec<u32> {
+        let mut v = Victim::build(kind, secret);
+        let mut st = ArchState::new(v.entry);
+        let mut addrs = Vec::new();
+        for _ in 0..1000 {
+            if st.halted {
+                break;
+            }
+            let info = step(&mut st, &mut v.image).expect("no decode fault");
+            if let Some(ma) = info.mem {
+                addrs.push(ma.addr);
+            }
+        }
+        assert!(st.halted);
+        addrs
+    }
+
+    #[test]
+    fn secret_indexed_load_touches_secret_selected_line() {
+        let lo = data_addrs(VictimKind::SecretIndexedLoad, 0);
+        let hi = data_addrs(VictimKind::SecretIndexedLoad, 7);
+        assert!(lo.contains(&PROBE_BASE));
+        assert!(hi.contains(&(PROBE_BASE + 7 * 64)));
+        assert_eq!(lo.len(), hi.len(), "control flow is secret-independent");
+    }
+
+    #[test]
+    fn secret_branch_selects_arm_by_low_bit() {
+        for (secret, arm) in [(0u32, ARM_BASE), (1, ARM_BASE + ARM_STRIDE)] {
+            let mut v = Victim::build(VictimKind::SecretBranch, secret);
+            let mut st = ArchState::new(v.entry);
+            let mut hit_arm = None;
+            for _ in 0..1000 {
+                if st.halted {
+                    break;
+                }
+                if (ARM_BASE..ARM_BASE + 2 * ARM_STRIDE).contains(&st.pc) && hit_arm.is_none() {
+                    hit_arm = Some(st.pc);
+                }
+                step(&mut st, &mut v.image).expect("no decode fault");
+            }
+            assert!(st.halted);
+            assert_eq!(hit_arm, Some(arm), "secret {secret} must route to arm {arm:#x}");
+            assert_eq!(st.reg(Reg::R10), 4, "the arm body must execute");
+        }
     }
 
     #[test]

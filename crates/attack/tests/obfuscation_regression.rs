@@ -1,0 +1,67 @@
+//! Every exploit, promoted to a regression test pair: the address leak
+//! is *present* under the weakest policy that admits it, and *absent*
+//! under `commit_plus_obfuscation`. A pipeline or crypto change that
+//! re-opens any exploit under obfuscation — or silently breaks an
+//! exploit so it no longer demonstrates its leak — fails here by name.
+
+use secsim_attack::{run_exploit, Exploit};
+use secsim_core::Policy;
+
+/// The demonstration policy per exploit: the gate configuration its
+/// leak is classically shown against. Every exploit except the I/O
+/// disclosing kernel leaks under *authen-then-commit* (speculative use
+/// of unverified data); the I/O variant is stopped by the commit gate
+/// and instead leaks under *authen-then-fetch* (which delays fetches
+/// but not I/O retirement).
+fn demo_policy(e: Exploit) -> Policy {
+    match e {
+        Exploit::DisclosingKernelIo => Policy::authen_then_fetch(),
+        _ => Policy::authen_then_commit(),
+    }
+}
+
+fn assert_pair(e: Exploit) {
+    let demo = demo_policy(e);
+    let with = run_exploit(e, demo);
+    assert!(with.leaked, "{} must still demonstrate its leak under {demo}", e.name());
+    let obf = Policy::commit_plus_obfuscation();
+    let without = run_exploit(e, obf);
+    assert!(!without.leaked, "{}'s leak must disappear under {obf}", e.name());
+}
+
+#[test]
+fn pointer_conversion_leak_disappears_under_obfuscation() {
+    assert_pair(Exploit::PointerConversion);
+}
+
+#[test]
+fn binary_search_leak_disappears_under_obfuscation() {
+    assert_pair(Exploit::BinarySearch);
+}
+
+#[test]
+fn disclosing_kernel_leak_disappears_under_obfuscation() {
+    assert_pair(Exploit::DisclosingKernel);
+}
+
+#[test]
+fn disclosing_kernel_io_leak_disappears_under_obfuscation() {
+    assert_pair(Exploit::DisclosingKernelIo);
+}
+
+#[test]
+fn shift_window_leak_disappears_under_obfuscation() {
+    assert_pair(Exploit::ShiftWindow);
+}
+
+#[test]
+fn brute_force_page_leak_disappears_under_obfuscation() {
+    assert_pair(Exploit::BruteForcePage);
+}
+
+#[test]
+fn regression_suite_covers_every_exploit() {
+    // If a new exploit is added to Exploit::ALL, this count forces a
+    // matching `*_leak_disappears_under_obfuscation` test.
+    assert_eq!(Exploit::ALL.len(), 6, "new exploit: add its obfuscation regression test");
+}

@@ -9,6 +9,8 @@
 //! update.
 
 use secsim_attack::{empirical_matrix, matrix_table, Exploit};
+use secsim_check::policy_oblivious;
+use secsim_core::Policy;
 
 /// `(policy name, outcomes in Exploit::ALL order)`; `true` = the
 /// exploit leaked the secret.
@@ -41,6 +43,45 @@ fn matrix_matches_golden_snapshot() {
                 if want { "LEAK" } else { "safe" },
             );
         }
+    }
+}
+
+/// `(policy name, address-oblivious)` — the passive-eavesdropper
+/// column: whether the two-run secret-independence oracle finds the
+/// policy's observable bus trace free of secret-dependent addresses on
+/// the hand-built secret victims. Only the obfuscating policy is
+/// oblivious; every integrity gate (even authen-then-issue, which
+/// stops all *tampering* exploits above) leaks passively.
+const GOLDEN_OBLIVIOUS: [(&str, bool); 7] = [
+    ("baseline-decrypt-only", false),
+    ("authen-then-issue", false),
+    ("authen-then-write", false),
+    ("authen-then-commit", false),
+    ("authen-then-fetch", false),
+    ("authen-then-commit+fetch", false),
+    ("authen-then-commit+obfuscation", true),
+];
+
+#[test]
+fn oblivious_column_matches_golden_snapshot() {
+    let policies = [
+        Policy::baseline(),
+        Policy::authen_then_issue(),
+        Policy::authen_then_write(),
+        Policy::authen_then_commit(),
+        Policy::authen_then_fetch(),
+        Policy::commit_plus_fetch(),
+        Policy::commit_plus_obfuscation(),
+    ];
+    assert_eq!(policies.len(), GOLDEN_OBLIVIOUS.len());
+    for (policy, (name, want)) in policies.into_iter().zip(GOLDEN_OBLIVIOUS) {
+        assert_eq!(policy.to_string(), name, "policy order changed — update GOLDEN_OBLIVIOUS");
+        assert_eq!(
+            policy_oblivious(policy),
+            want,
+            "{name}: oblivious verdict flipped — a change in the pipeline, the \
+             obfuscation engine or the oracle moved a policy across the leak line"
+        );
     }
 }
 

@@ -22,13 +22,28 @@
 //! ([`secsim_workloads::generate_fuzz`]) across the full policy ×
 //! MAC-latency grid.
 //!
+//! [`oblivious`] is the 7th oracle — *confidentiality* rather than
+//! integrity: secret-carrying programs run twice with differing secret
+//! bytes, and the observable bus trace (event kinds, addresses, cycle
+//! timings) must be identical, up to a renaming of remapped lines under
+//! the obfuscating policy. Non-obfuscating policies are expected to
+//! *fail* (that is the leak the paper's §4.3 engine closes); the report
+//! shows which policies are data-oblivious and which leak.
+//!
 //! [`RetireRecord`]: secsim_cpu::RetireRecord
 //! [`Divergence`]: diff::Divergence
 
 pub mod diff;
 pub mod grid;
+pub mod oblivious;
 pub mod oracle;
 
 pub use diff::{diff_run, dump_divergence, golden_compare, Divergence, RunOutcome};
 pub use grid::{check_config, policy_grid, run_batch, BatchSummary, GridPoint, PointStats};
+pub use oblivious::{
+    canonicalize, check_obliviousness, compare_traces, digest_pair, dump_oblivious_divergence,
+    fuzz_oblivious, policy_oblivious, run_oblivious_batch, victim_config, victim_oblivious,
+    ObliviousDivergence, OblivBatchSummary, OblivPointStats, OblivReport, Observable,
+    ObservableCfg, TraceDivergence,
+};
 pub use oracle::{check_exposure, check_records, check_stall_completeness, GateViolation};

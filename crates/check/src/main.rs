@@ -2,22 +2,34 @@
 //!
 //! ```text
 //! secsim-check [--programs N] [--seed S] [--smoke] [--jobs N] [--no-cache]
+//! secsim-check oblivious [--programs N] [--seed S] [--smoke] [--jobs N]
 //! ```
 //!
-//! Runs `N` deterministic fuzz programs (default 500, `--smoke` = 40)
-//! per policy against the golden model at every policy × MAC-latency
-//! grid point, audits the four control-point oracles, sweeps the same
-//! grid through the cached [`secsim_bench::Sweep`] executor for an IPC
-//! table, and exits nonzero on any divergence or violation. Divergence
-//! repros land in `results/divergence/`.
+//! The default mode runs `N` deterministic fuzz programs (default 500,
+//! `--smoke` = 40) per policy against the golden model at every policy
+//! × MAC-latency grid point, audits the four control-point oracles,
+//! sweeps the same grid through the cached [`secsim_bench::Sweep`]
+//! executor for an IPC table, and exits nonzero on any divergence or
+//! violation. Divergence repros land in `results/divergence/`.
+//!
+//! `oblivious` runs the 7th oracle instead: `N` secret-carrying fuzz
+//! pairs per policy (default 100, `--smoke` = 8), two runs each with
+//! differing secret bytes, over the 8-policy grid — plus the two
+//! hand-built secret victims. Obfuscation must be address-oblivious;
+//! every other policy must demonstrably leak. Divergences minimize to
+//! `results/divergence/oblivious-*.json`.
 
+use secsim_attack::VictimKind;
 use secsim_bench::checkpoint::{fast_forward, from_bytes, to_bytes};
 use secsim_bench::{emit, results_dir, sim_config_id, with_workload, RunOpts, Sweep, SweepPoint};
-use secsim_check::{check_config, check_exposure, dump_divergence, policy_grid, run_batch};
+use secsim_check::{
+    check_config, check_exposure, dump_divergence, dump_oblivious_divergence, policy_grid,
+    run_batch, run_oblivious_batch, victim_oblivious, GridPoint,
+};
 use secsim_core::{EncryptedMemory, FaultKind, FaultPlan};
 use secsim_cpu::{SimOutcome, SimSession};
 use secsim_stats::Table;
-use secsim_workloads::{generate_fuzz, BenchId};
+use secsim_workloads::{generate_fuzz, generate_secret_fuzz, BenchId};
 
 /// Fault-recovery pass: one scheduled ciphertext flip against an
 /// encrypted victim at every grid policy. Every authenticating policy
@@ -116,8 +128,147 @@ fn checkpoint_pass() -> Vec<(String, String)> {
     out
 }
 
+/// The `oblivious` batch mode: the two-run secret-independence oracle
+/// over the 8-policy grid (one MAC latency — obliviousness is a gating
+/// property, not a latency one), on generated secret-carrying fuzz
+/// programs plus the two hand-built secret victims.
+///
+/// The expectation is two-sided and enforced with a nonzero exit:
+/// the obfuscating policy must show **zero** address divergences, and
+/// every non-obfuscating policy must show **at least one** (otherwise
+/// the oracle has lost its teeth — the secret probes stopped reaching
+/// the bus). Each leaking point's first divergence is minimized and
+/// dumped to `results/divergence/oblivious-*.json`.
+fn oblivious_main(rest: Vec<String>, sweep: &Sweep) {
+    let mut pairs_per_policy: usize = 100;
+    let mut base_seed: u64 = 2006;
+    let mut args = rest.into_iter();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--programs" => {
+                let n = args.next().and_then(|s| s.parse().ok()).filter(|&n| n >= 1);
+                let Some(n) = n else {
+                    eprintln!("error: --programs needs a positive integer");
+                    std::process::exit(2);
+                };
+                pairs_per_policy = n;
+            }
+            "--seed" => {
+                let Some(s) = args.next().and_then(|s| s.parse().ok()) else {
+                    eprintln!("error: --seed needs an integer");
+                    std::process::exit(2);
+                };
+                base_seed = s;
+            }
+            "--smoke" => pairs_per_policy = 8,
+            other => {
+                eprintln!("error: unknown argument {other:?}");
+                eprintln!("usage: secsim-check oblivious [--programs N] [--seed S] [--smoke] [--jobs N]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let points: Vec<GridPoint> =
+        policy_grid().into_iter().filter(|g| g.mac_latency == 74).collect();
+    eprintln!(
+        "secsim-check oblivious: {} run pairs/policy over {} policies, base seed {base_seed}, {} jobs",
+        pairs_per_policy,
+        points.len(),
+        sweep.jobs(),
+    );
+    let summary = run_oblivious_batch(&points, pairs_per_policy, base_seed, sweep.jobs());
+
+    let mut failures: Vec<String> = Vec::new();
+    let mut table = Table::new([
+        "point", "pairs", "insts", "events", "addr div", "timing div", "verdict",
+    ]);
+    for p in &summary.points {
+        table.push_row([
+            p.label.clone(),
+            p.programs.to_string(),
+            p.insts.to_string(),
+            p.events.to_string(),
+            p.addr_divergences.to_string(),
+            p.timing_divergences.to_string(),
+            if p.addr_oblivious() { "oblivious".into() } else { "LEAKS".to_string() },
+        ]);
+        if p.obfuscated && !p.addr_oblivious() {
+            failures.push(format!(
+                "[{}] obfuscating policy leaked: {} address divergence(s)",
+                p.label, p.addr_divergences,
+            ));
+        }
+        if !p.obfuscated && p.addr_oblivious() {
+            failures.push(format!(
+                "[{}] expected a demonstrable address leak, found none in {} pairs \
+                 (the secret probes are no longer reaching the bus)",
+                p.label, p.programs,
+            ));
+        }
+    }
+    emit("oblivious_check", "Two-run secret-independence oracle across the policy grid", &table);
+
+    let dump_dir = results_dir().join("divergence");
+    for d in &summary.divergences {
+        let words = generate_secret_fuzz(d.seed).words;
+        match dump_oblivious_divergence(&dump_dir, d, &words) {
+            Ok(path) => eprintln!(
+                "OBLIVIOUS-DIVERGENCE [{}] {} @{} ({} vs {}), min {} insts -> {}",
+                d.point,
+                d.channel,
+                d.index,
+                d.expected,
+                d.actual,
+                d.min_insts,
+                path.display(),
+            ),
+            Err(e) => eprintln!("OBLIVIOUS-DIVERGENCE [{}] (dump failed: {e})", d.point),
+        }
+    }
+
+    // The hand-built secret victims: one address-channel verdict per
+    // policy per victim, same two-sided expectation as the fuzz pairs.
+    let mut victims = Table::new(["policy", "secret-indexed-load", "secret-branch"]);
+    for g in &points {
+        let mut row = vec![g.label.clone()];
+        for kind in [VictimKind::SecretIndexedLoad, VictimKind::SecretBranch] {
+            let rep = victim_oblivious(kind, g.policy);
+            row.push(if rep.addr_oblivious() { "oblivious".into() } else { "LEAKS".to_string() });
+            if g.policy.obfuscate && !rep.addr_oblivious() {
+                failures.push(format!("[{}] {kind:?} victim leaked under obfuscation", g.label));
+            }
+            if !g.policy.obfuscate && rep.addr_oblivious() {
+                failures.push(format!(
+                    "[{}] {kind:?} victim expected to leak but did not",
+                    g.label,
+                ));
+            }
+        }
+        victims.push_row(row);
+    }
+    emit("oblivious_victims", "Secret-victim address-obliviousness per policy", &victims);
+
+    for f in &failures {
+        eprintln!("OBLIVIOUS-VIOLATION {f}");
+    }
+    eprintln!(
+        "secsim-check oblivious: {} run pairs, {} insts, {} leaking points minimized -> {}",
+        summary.programs,
+        summary.insts,
+        summary.divergences.len(),
+        if failures.is_empty() { "ok" } else { "FAIL" },
+    );
+    if !failures.is_empty() {
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let (sweep, rest) = Sweep::from_args();
+    if rest.first().map(String::as_str) == Some("oblivious") {
+        return oblivious_main(rest[1..].to_vec(), &sweep);
+    }
     let mut programs_per_policy: usize = 500;
     let mut base_seed: u64 = 2006;
     let mut args = rest.into_iter();

@@ -73,7 +73,7 @@ pub use faults::{
     MAC_DROP_DELAY,
 };
 pub use merkle::MerkleTree;
-pub use obfuscate::{ObfConfig, Obfuscator};
+pub use obfuscate::{ObfConfig, Obfuscator, REMAP_BASE};
 pub use policy::{FetchGateVariant, Policy};
 pub use queue::{AuthId, AuthQueue, AuthQueueConfig};
 pub use security::{properties, SecurityProperties};

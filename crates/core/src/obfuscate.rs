@@ -9,8 +9,10 @@
 use secsim_mem::{BusKind, Cache, CacheConfig, Channel};
 use secsim_stats::CounterSet;
 
-/// Synthetic address region for remap-table entries.
-const REMAP_BASE: u32 = 0xF000_0000;
+/// Synthetic address region for remap-table entries. Exposed so
+/// observability tooling (the two-run obliviousness oracle) can
+/// classify `RemapFetch`/`RemapWrite` bus addresses by region.
+pub const REMAP_BASE: u32 = 0xF000_0000;
 
 /// Obfuscation engine parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -164,7 +166,11 @@ impl Obfuscator {
             (ext, now + self.cfg.remap_cache.latency)
         } else {
             self.counters.inc("remap_miss");
-            let t = chan.transfer(meta, 64, BusKind::RemapFetch, now, 0);
+            // The burst is a full 64-byte metadata line; the bus shows
+            // the line address, not the 4-byte entry offset (which
+            // would leak `idx mod 16` — the logical line — past the
+            // obfuscation).
+            let t = chan.transfer(meta & !63, 64, BusKind::RemapFetch, now, 0);
             (ext, t.done)
         }
     }
@@ -195,7 +201,7 @@ impl Obfuscator {
             self.flush_victim(res.victim, now, chan);
             if !res.hit {
                 self.counters.inc("remap_miss");
-                let t = chan.transfer(meta, 64, BusKind::RemapFetch, now, 0);
+                let t = chan.transfer(meta & !63, 64, BusKind::RemapFetch, now, 0);
                 ready = ready.max(t.done);
             }
         }

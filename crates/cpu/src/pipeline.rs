@@ -235,7 +235,7 @@ pub fn simulate<M: SecureImage>(
     cfg: &SimConfig,
     trace_bus: bool,
 ) -> SimReport {
-    run_pipeline(image, ArchState::new(entry), cfg, trace_bus, None, None, None).0
+    run_pipeline(image, ArchState::new(entry), cfg, BusTraceMode::full_if(trace_bus), None, None, None).0
 }
 
 /// [`simulate`], additionally calling `observer` with one
@@ -256,9 +256,40 @@ pub fn simulate_observed<M: SecureImage, F: FnMut(&RetireRecord)>(
     trace_bus: bool,
     mut observer: F,
 ) -> (SimReport, ArchState) {
-    let (report, st, _, _) =
-        run_pipeline(image, ArchState::new(entry), cfg, trace_bus, Some(&mut observer), None, None);
+    let (report, st, _, _) = run_pipeline(
+        image,
+        ArchState::new(entry),
+        cfg,
+        BusTraceMode::full_if(trace_bus),
+        Some(&mut observer),
+        None,
+        None,
+    );
     (report, st)
+}
+
+/// How (and whether) the attacker-visible bus trace is captured.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub(crate) enum BusTraceMode {
+    /// No capture.
+    #[default]
+    Off,
+    /// Retain every [`secsim_mem::BusEvent`] (plus resolved-control and
+    /// first-instruction timing capture) — memory grows with the run.
+    Full,
+    /// Fold events into a constant-size [`secsim_mem::BusDigest`] only:
+    /// the streaming mode for 100M-instruction two-run comparisons.
+    Digest,
+}
+
+impl BusTraceMode {
+    pub(crate) fn full_if(on: bool) -> Self {
+        if on {
+            BusTraceMode::Full
+        } else {
+            BusTraceMode::Off
+        }
+    }
 }
 
 /// The one-pass timing engine behind [`crate::SimSession`] and the
@@ -278,16 +309,19 @@ pub(crate) fn run_pipeline<M: SecureImage>(
     image: &mut M,
     start: ArchState,
     cfg: &SimConfig,
-    trace_bus: bool,
+    bus_mode: BusTraceMode,
     mut observer: Option<&mut dyn FnMut(&RetireRecord)>,
     trace: Option<TraceConfig>,
     faults: Option<&FaultPlan>,
 ) -> (SimReport, ArchState, Option<SimTrace>, RunEnding) {
     let policy = cfg.secure.policy;
+    let trace_bus = bus_mode == BusTraceMode::Full;
     let mut injector = faults.map(FaultInjector::new);
     let mut ms = MemSystem::new(cfg.mem, SecureMemCtrl::new(cfg.secure.ctrl));
-    if trace_bus {
-        ms.channel_mut().trace_mut().enable();
+    match bus_mode {
+        BusTraceMode::Off => {}
+        BusTraceMode::Full => ms.channel_mut().trace_mut().enable(),
+        BusTraceMode::Digest => ms.channel_mut().trace_mut().enable_digest(),
     }
     let mut tracer = trace.map(Tracer::new);
     if tracer.is_some() {
@@ -936,6 +970,9 @@ pub(crate) fn run_pipeline<M: SecureImage>(
         report.counters.add("faults.injected", inj.applied().len() as u64);
     }
     report.bus_events = ms.channel().trace().events().to_vec();
+    if bus_mode != BusTraceMode::Off {
+        report.bus_digest = Some(ms.channel().trace().digest());
+    }
     let sim_trace = tracer
         .map(|t| t.finish(ms.engine().queue().spans(), ms.channel().transfers(), report.cycles));
 

@@ -1,7 +1,7 @@
 //! Simulation results.
 
 use crate::trace::StallBreakdown;
-use secsim_mem::{BusEvent, BusKind};
+use secsim_mem::{BusDigest, BusEvent, BusKind};
 use secsim_stats::{CounterSet, Json};
 
 /// An authentication (integrity-verification) failure observed during a
@@ -65,6 +65,12 @@ pub struct SimReport {
     pub io_events: Vec<IoEvent>,
     /// Captured front-side-bus events (when tracing was enabled).
     pub bus_events: Vec<BusEvent>,
+    /// Running digest over every bus event, present whenever bus
+    /// tracing was on. In streaming mode
+    /// ([`crate::SimSession::trace_bus_digest`]) this is the *only*
+    /// bus capture — `bus_events` stays empty and memory stays O(1)
+    /// regardless of run length.
+    pub bus_digest: Option<BusDigest>,
     /// Resolved control transfers (when tracing was enabled).
     pub control_events: Vec<ControlEvent>,
     /// Stage times of the first [`crate::TIMING_CAP`] instructions
@@ -159,7 +165,7 @@ impl SimReport {
         let counters = Json::Object(
             self.counters.iter().map(|(k, v)| (k.to_string(), Json::UInt(v))).collect(),
         );
-        Some(Json::obj(vec![
+        let mut fields = vec![
             ("insts", Json::UInt(self.insts)),
             ("cycles", Json::UInt(self.cycles)),
             ("halted", Json::Bool(self.halted)),
@@ -170,7 +176,22 @@ impl SimReport {
             ("control_events", Json::Array(control_events)),
             ("counters", counters),
             ("stall", self.stall.to_json()),
-        ]))
+        ];
+        // Omitted (not null) when absent, so trace-off reports render
+        // byte-identically to those written before the field existed —
+        // the sweep cache stays valid across versions.
+        if let Some(d) = self.bus_digest {
+            fields.push((
+                "bus_digest",
+                Json::obj(vec![
+                    ("events", Json::UInt(d.events)),
+                    ("full", Json::UInt(d.full)),
+                    ("addrs", Json::UInt(d.addrs)),
+                    ("timing", Json::UInt(d.timing)),
+                ]),
+            ));
+        }
+        Some(Json::obj(fields))
     }
 
     /// Reconstructs a report serialized by [`SimReport::to_json`].
@@ -232,6 +253,17 @@ impl SimReport {
             }
             _ => return None,
         }
+        // The digest key is optional: reports serialized before it
+        // existed (or with tracing off) simply lack it.
+        let bus_digest = match v.get("bus_digest") {
+            None | Some(Json::Null) => None,
+            Some(d) => Some(BusDigest {
+                events: d.get("events")?.as_u64()?,
+                full: d.get("full")?.as_u64()?,
+                addrs: d.get("addrs")?.as_u64()?,
+                timing: d.get("timing")?.as_u64()?,
+            }),
+        };
         Some(SimReport {
             insts: v.get("insts")?.as_u64()?,
             cycles: v.get("cycles")?.as_u64()?,
@@ -240,6 +272,7 @@ impl SimReport {
             exception,
             io_events,
             bus_events,
+            bus_digest,
             control_events,
             inst_timings: Vec::new(),
             counters,
@@ -352,6 +385,25 @@ mod tests {
         assert_eq!(back.control_events, r.control_events);
         assert_eq!(back.counters.get("auth.requests"), u64::MAX);
         // Byte-identical re-serialization is what the cache relies on.
+        assert_eq!(back.to_json().unwrap().render(), j.render());
+    }
+
+    #[test]
+    fn bus_digest_round_trips_and_is_omitted_when_absent() {
+        let plain = SimReport { insts: 3, ..Default::default() };
+        let j = plain.to_json().unwrap();
+        assert!(
+            !j.render().contains("bus_digest"),
+            "absent digest must be omitted, not serialized as null"
+        );
+        let digested = SimReport {
+            insts: 3,
+            bus_digest: Some(BusDigest { events: 9, full: 1, addrs: 2, timing: 3 }),
+            ..Default::default()
+        };
+        let j = digested.to_json().unwrap();
+        let back = SimReport::from_json(&j).expect("round trip");
+        assert_eq!(back.bus_digest, digested.bus_digest);
         assert_eq!(back.to_json().unwrap().render(), j.render());
     }
 

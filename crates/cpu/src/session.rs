@@ -44,7 +44,7 @@
 
 use crate::config::SimConfig;
 use crate::observe::RetireRecord;
-use crate::pipeline::{run_pipeline, SecureImage};
+use crate::pipeline::{run_pipeline, BusTraceMode, SecureImage};
 use crate::report::SimReport;
 use crate::trace::{SimTrace, TraceConfig};
 use secsim_core::{Exposure, FaultPlan, TamperCause};
@@ -167,7 +167,7 @@ type Observer<'a> = Box<dyn FnMut(&RetireRecord) + 'a>;
 /// Builder for one simulation run.
 pub struct SimSession<'a> {
     cfg: SimConfig,
-    trace_bus: bool,
+    bus_mode: BusTraceMode,
     trace: Option<TraceConfig>,
     observer: Option<Observer<'a>>,
     faults: Option<FaultPlan>,
@@ -178,7 +178,14 @@ impl<'a> SimSession<'a> {
     /// A session with no observers: equivalent to the deprecated
     /// `simulate(image, entry, cfg, false)`.
     pub fn new(cfg: &SimConfig) -> Self {
-        Self { cfg: *cfg, trace_bus: false, trace: None, observer: None, faults: None, start: None }
+        Self {
+            cfg: *cfg,
+            bus_mode: BusTraceMode::Off,
+            trace: None,
+            observer: None,
+            faults: None,
+            start: None,
+        }
     }
 
     /// Starts the run from `state` instead of a cold
@@ -198,7 +205,19 @@ impl<'a> SimSession<'a> {
     /// ([`SimReport::bus_events`]) plus resolved-control and
     /// first-instruction timing capture.
     pub fn trace_bus(mut self, on: bool) -> Self {
-        self.trace_bus = on;
+        self.bus_mode = BusTraceMode::full_if(on);
+        self
+    }
+
+    /// Enables the *streaming* bus trace: every attacker-visible event
+    /// is folded into the constant-size [`SimReport::bus_digest`]
+    /// instead of being retained in [`SimReport::bus_events`]. Memory
+    /// stays O(1) however long the run, so two-run obliviousness
+    /// comparisons work at checkpointed-warmup (100M-instruction)
+    /// scale. Mutually exclusive with [`trace_bus`](Self::trace_bus):
+    /// the later call wins.
+    pub fn trace_bus_digest(mut self) -> Self {
+        self.bus_mode = BusTraceMode::Digest;
         self
     }
 
@@ -226,14 +245,14 @@ impl<'a> SimSession<'a> {
     /// Runs `image` from `entry` until it halts, faults, trips the
     /// cycle fence, or detects tampering.
     pub fn run<M: SecureImage>(self, image: &mut M, entry: u32) -> SimOutcome {
-        let SimSession { cfg, trace_bus, trace, mut observer, faults, start } = self;
+        let SimSession { cfg, bus_mode, trace, mut observer, faults, start } = self;
         let observer_dyn: Option<&mut dyn FnMut(&RetireRecord)> = match observer.as_mut() {
             Some(b) => Some(&mut **b),
             None => None,
         };
         let start = start.unwrap_or_else(|| ArchState::new(entry));
         let (report, state, trace, ending) =
-            run_pipeline(image, start, &cfg, trace_bus, observer_dyn, trace, faults.as_ref());
+            run_pipeline(image, start, &cfg, bus_mode, observer_dyn, trace, faults.as_ref());
         let run = SimRun { report, state, trace };
         if let Some(e) = run.report.exception {
             SimOutcome::TamperDetected {
@@ -255,7 +274,7 @@ impl std::fmt::Debug for SimSession<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SimSession")
             .field("cfg", &self.cfg)
-            .field("trace_bus", &self.trace_bus)
+            .field("bus_mode", &self.bus_mode)
             .field("trace", &self.trace)
             .field("observer", &self.observer.as_ref().map(|_| "FnMut"))
             .field("faults", &self.faults)
@@ -321,6 +340,20 @@ mod tests {
                 "SimSession must reproduce simulate() exactly under {policy}"
             );
         }
+    }
+
+    #[test]
+    fn digest_session_matches_full_trace_and_retains_no_events() {
+        let (mem, entry) = program();
+        let cfg = SimConfig::paper_256k(Policy::authen_then_commit());
+        let full = SimSession::new(&cfg).trace_bus(true).run(&mut mem.clone(), entry).into_report();
+        let digest =
+            SimSession::new(&cfg).trace_bus_digest().run(&mut mem.clone(), entry).into_report();
+        assert!(!full.bus_events.is_empty(), "full mode retains events");
+        assert!(digest.bus_events.is_empty(), "streaming mode retains none");
+        assert_eq!(full.bus_digest, digest.bus_digest, "same run, same digest");
+        let d = digest.bus_digest.expect("digest mode populates bus_digest");
+        assert_eq!(d.events as usize, full.bus_events.len());
     }
 
     #[test]

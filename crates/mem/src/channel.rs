@@ -51,11 +51,59 @@ pub struct BusEvent {
     pub kind: BusKind,
 }
 
+/// An order-sensitive running digest of a bus trace, kept per channel:
+/// `addrs` folds `(kind, addr)` pairs, `timing` folds `(kind, cycle)`
+/// pairs, and `full` folds whole events. Two traces with equal event
+/// sequences have equal digests, and a digest costs O(1) memory — the
+/// fold mode for 100M-instruction two-run comparisons where retaining
+/// the full event vector would be unbounded.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BusDigest {
+    /// Number of events folded in.
+    pub events: u64,
+    /// Fold of `(kind, addr, cycle)` per event.
+    pub full: u64,
+    /// Fold of `(kind, addr)` per event — the address side channel.
+    pub addrs: u64,
+    /// Fold of `(kind, cycle)` per event — the timing side channel.
+    pub timing: u64,
+}
+
+/// One mixing step of the order-sensitive fold (SplitMix64 finalizer
+/// over the running state xor the next value, so `fold(fold(h,a),b) !=
+/// fold(fold(h,b),a)`).
+fn fold(h: u64, v: u64) -> u64 {
+    let mut x = (h ^ v).wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+impl BusDigest {
+    fn absorb(&mut self, ev: BusEvent) {
+        let kind = kind_index(ev.kind) as u64;
+        self.events += 1;
+        self.full = fold(fold(fold(self.full, kind), u64::from(ev.addr)), ev.cycle);
+        self.addrs = fold(fold(self.addrs, kind), u64::from(ev.addr));
+        self.timing = fold(fold(self.timing, kind), ev.cycle);
+    }
+}
+
 /// A recording of bus events — the adversary's logic-analyzer probe.
+///
+/// Two capture modes: [`enable`](BusTrace::enable) retains every event
+/// in a vector (and keeps the digest alongside), while
+/// [`enable_digest`](BusTrace::enable_digest) only folds events into a
+/// constant-size [`BusDigest`] — the streaming mode for runs whose
+/// full trace would not fit in memory.
 #[derive(Debug, Clone, Default)]
 pub struct BusTrace {
     events: Vec<BusEvent>,
+    digest: BusDigest,
     enabled: bool,
+    /// When set, `record` folds into the digest without retaining the
+    /// event (streaming mode).
+    digest_only: bool,
 }
 
 impl BusTrace {
@@ -64,9 +112,18 @@ impl BusTrace {
         Self::default()
     }
 
-    /// Starts recording.
+    /// Starts recording full events (plus the running digest).
     pub fn enable(&mut self) {
         self.enabled = true;
+        self.digest_only = false;
+    }
+
+    /// Starts recording in streaming mode: events are folded into the
+    /// [`BusDigest`] and not retained, so memory stays O(1) however
+    /// long the run ([`events`](BusTrace::events) stays empty).
+    pub fn enable_digest(&mut self) {
+        self.enabled = true;
+        self.digest_only = true;
     }
 
     /// Stops recording (events already captured are kept).
@@ -79,15 +136,29 @@ impl BusTrace {
         self.enabled
     }
 
+    /// Whether the trace is in streaming (digest-only) mode.
+    pub fn is_digest_only(&self) -> bool {
+        self.digest_only
+    }
+
     fn record(&mut self, ev: BusEvent) {
         if self.enabled {
-            self.events.push(ev);
+            self.digest.absorb(ev);
+            if !self.digest_only {
+                self.events.push(ev);
+            }
         }
     }
 
-    /// All captured events in grant order.
+    /// All captured events in grant order (empty in streaming mode).
     pub fn events(&self) -> &[BusEvent] {
         &self.events
+    }
+
+    /// The running digest over every recorded event (maintained in both
+    /// capture modes).
+    pub fn digest(&self) -> BusDigest {
+        self.digest
     }
 
     /// Captured demand-fetch addresses (the exploitable subset).
@@ -95,9 +166,10 @@ impl BusTrace {
         self.events.iter().filter(|e| e.kind.is_demand_fetch()).map(|e| e.addr)
     }
 
-    /// Clears captured events.
+    /// Clears captured events and resets the digest.
     pub fn clear(&mut self) {
         self.events.clear();
+        self.digest = BusDigest::default();
     }
 }
 
@@ -395,5 +467,62 @@ mod tests {
         c.trace_mut().clear();
         assert!(c.trace().events().is_empty());
         assert!(c.trace().is_enabled());
+        assert_eq!(c.trace().digest(), BusDigest::default());
+    }
+
+    #[test]
+    fn digest_mode_retains_no_events_but_matches_full_mode() {
+        let xfers = [(0x100u32, BusKind::DataFetch), (0x4200, BusKind::InstrFetch), (0x100, BusKind::Writeback)];
+        let mut full = ch();
+        full.trace_mut().enable();
+        let mut digest = ch();
+        digest.trace_mut().enable_digest();
+        for &(addr, kind) in &xfers {
+            full.transfer(addr, 64, kind, 0, 0);
+            digest.transfer(addr, 64, kind, 0, 0);
+        }
+        assert_eq!(full.trace().events().len(), 3);
+        assert!(digest.trace().events().is_empty(), "streaming mode must not retain events");
+        assert_eq!(full.trace().digest(), digest.trace().digest());
+        assert_eq!(digest.trace().digest().events, 3);
+    }
+
+    #[test]
+    fn digest_separates_address_and_timing_channels() {
+        // Same addresses at different grant times: the address fold
+        // matches, the timing (and full) folds differ.
+        let mut a = ch();
+        a.trace_mut().enable_digest();
+        a.transfer(0x100, 64, BusKind::DataFetch, 0, 0);
+        a.transfer(0x4200, 64, BusKind::DataFetch, 0, 0);
+        let mut b = ch();
+        b.trace_mut().enable_digest();
+        b.transfer(0x100, 64, BusKind::DataFetch, 50, 0);
+        b.transfer(0x4200, 64, BusKind::DataFetch, 900, 0);
+        let (da, db) = (a.trace().digest(), b.trace().digest());
+        assert_eq!(da.addrs, db.addrs);
+        assert_ne!(da.timing, db.timing);
+        assert_ne!(da.full, db.full);
+        // And different addresses at the same times: the reverse.
+        let mut c = ch();
+        c.trace_mut().enable_digest();
+        c.transfer(0x140, 64, BusKind::DataFetch, 0, 0);
+        c.transfer(0x4240, 64, BusKind::DataFetch, 0, 0);
+        let dc = c.trace().digest();
+        assert_ne!(da.addrs, dc.addrs);
+        assert_eq!(da.timing, dc.timing);
+    }
+
+    #[test]
+    fn digest_is_order_sensitive() {
+        let mut a = ch();
+        a.trace_mut().enable_digest();
+        a.transfer(0x100, 64, BusKind::DataFetch, 0, 0);
+        a.transfer(0x4200, 64, BusKind::DataFetch, 0, 0);
+        let mut b = ch();
+        b.trace_mut().enable_digest();
+        b.transfer(0x4200, 64, BusKind::DataFetch, 0, 0);
+        b.transfer(0x100, 64, BusKind::DataFetch, 0, 0);
+        assert_ne!(a.trace().digest().addrs, b.trace().digest().addrs);
     }
 }

@@ -39,7 +39,7 @@ mod hierarchy;
 mod tlb;
 
 pub use cache::{Cache, CacheAccess, CacheConfig, Victim};
-pub use channel::{BusEvent, BusKind, BusTrace, BusXfer, Channel, Transfer};
+pub use channel::{BusDigest, BusEvent, BusKind, BusTrace, BusXfer, Channel, Transfer};
 pub use dram::{Dram, DramConfig, DramResult};
 pub use hierarchy::{
     AccessKind, FillEngine, FillRequest, FillResponse, MemAccessResult, MemSystem,

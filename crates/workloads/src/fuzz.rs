@@ -27,6 +27,49 @@ pub const FUZZ_FOOTPRINT: u32 = 1 << 14;
 /// half of the footprint, leaving headroom for load/store offsets.
 const PTR_MASK: u16 = 0x1FF8;
 
+/// Offset of the secret word inside the data image — outside the
+/// masked-pointer window (`< 0x2040`), so generated pointer traffic can
+/// neither read nor clobber it.
+pub const SECRET_OFF: u32 = 0x2100;
+
+/// Offset of the first secret-probe window. Each window is 8 contiguous
+/// 64-byte lines; windows are 16-line (1 KiB) aligned so all 8 candidate
+/// remap-table entries of one window share a single 64-byte metadata
+/// line, and every window maps to L1 sets disjoint from the
+/// masked-pointer region.
+const PROBE_WINDOW_OFF: u32 = 0x2800;
+
+/// Byte stride between consecutive probe windows.
+const PROBE_WINDOW_STRIDE: u32 = 0x400;
+
+/// Number of probe windows (one 3-bit secret field each).
+const PROBE_WINDOWS: u32 = 6;
+
+/// Probe scratch registers, reserved: never in [`SCRATCH`] or
+/// [`POINTERS`], so the generated body cannot disturb them.
+const PROBE_ADDR: Reg = Reg::R24;
+const SECRET: Reg = Reg::R25;
+
+/// A secret-tagged region of the data image: the bytes the two-run
+/// obliviousness oracle varies between runs. Everything *else* about
+/// the program and image is identical across the pair, so any
+/// observable difference is caused by these bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SecretSpec {
+    /// Absolute address of the first secret byte.
+    pub addr: u32,
+    /// Region length in bytes.
+    pub bytes: u32,
+}
+
+impl SecretSpec {
+    /// Overwrites the secret region with `fill` repeated.
+    pub fn apply(&self, mem: &mut impl MemIo, fill: u8) {
+        let buf = vec![fill; self.bytes as usize];
+        mem.write(self.addr, &buf);
+    }
+}
+
 /// Registers with fixed roles; the generated body never writes them.
 const BASE: Reg = Reg::R28; // data base address
 const MASK: Reg = Reg::R27; // pointer mask
@@ -64,10 +107,27 @@ pub struct FuzzProgram {
     /// every static instruction executes at most once per iteration,
     /// plus prologue/epilogue).
     pub max_icount: u64,
+    /// The secret-tagged region, present iff the program was generated
+    /// by [`generate_secret`]. The program reads the secret word and
+    /// probes addresses derived from its 3-bit fields.
+    pub secret: Option<SecretSpec>,
 }
 
 /// Generates the fuzz program for `seed`.
 pub fn generate(seed: u64) -> FuzzProgram {
+    generate_impl(seed, false)
+}
+
+/// Generates the secret-carrying variant of the fuzz program for
+/// `seed`: same generator stream, plus a secret word at
+/// [`SECRET_OFF`] and up to `PROBE_WINDOWS` (6) probe sequences whose
+/// load addresses depend on the secret's 3-bit fields. The returned
+/// [`FuzzProgram::secret`] tells the oracle which bytes to vary.
+pub fn generate_secret(seed: u64) -> FuzzProgram {
+    generate_impl(seed, true)
+}
+
+fn generate_impl(seed: u64, with_secret: bool) -> FuzzProgram {
     let mut rng = SplitMix64::new(seed ^ 0xF022_CA5E);
     let iters = 8 + rng.index(40) as u32;
     let body_len = 24 + rng.index(56) as u32;
@@ -94,6 +154,11 @@ pub fn generate(seed: u64) -> FuzzProgram {
         let to = DATA_BASE + order[(k + 1) % n] * 64;
         mem.write_u32(from, to);
     }
+    // Deterministic default secret so a run without the oracle's
+    // `SecretSpec::apply` is still well-defined.
+    if with_secret {
+        mem.write_u32(DATA_BASE + SECRET_OFF, 0);
+    }
 
     // ---- program ----
     let mut a = Asm::new(CODE_BASE);
@@ -108,12 +173,21 @@ pub fn generate(seed: u64) -> FuzzProgram {
     for (i, f) in FP.into_iter().enumerate() {
         a.fcvtif(f, SCRATCH[i]);
     }
+    if with_secret {
+        // Load the secret word once, then probe window 0
+        // unconditionally so every secret program has at least one
+        // secret-dependent address.
+        a.li(PROBE_ADDR, DATA_BASE + SECRET_OFF);
+        a.lw(SECRET, PROBE_ADDR, 0);
+        emit_probe(&mut a, 0);
+    }
     a.li(CTR, iters);
     let top = a.new_label();
     a.bind(top).expect("fresh label");
     let mut used = 0;
+    let mut next_probe = 1;
     while used < body_len {
-        used += emit_op(&mut a, &mut rng, body_len - used);
+        used += emit_op(&mut a, &mut rng, body_len - used, with_secret, &mut next_probe);
     }
     a.addi(CTR, CTR, -1);
     a.bne(CTR, Reg::R0, top);
@@ -146,7 +220,20 @@ pub fn generate(seed: u64) -> FuzzProgram {
         body_len,
         iters,
         max_icount,
+        secret: with_secret.then_some(SecretSpec { addr: DATA_BASE + SECRET_OFF, bytes: 4 }),
     }
+}
+
+/// Emits the 5-instruction probe for window `k`: extract the 3-bit
+/// field at bit `3k` of the secret word, select one of the window's 8
+/// lines with it, and load from that line. The probed address is the
+/// program's only secret-dependent observable.
+fn emit_probe(a: &mut Asm, k: u32) {
+    a.srli(PROBE_ADDR, SECRET, (3 * k) as u8);
+    a.andi(PROBE_ADDR, PROBE_ADDR, 7);
+    a.slli(PROBE_ADDR, PROBE_ADDR, 6);
+    a.add(PROBE_ADDR, PROBE_ADDR, BASE);
+    a.lw(PROBE_ADDR, PROBE_ADDR, (PROBE_WINDOW_OFF + k * PROBE_WINDOW_STRIDE) as i16);
 }
 
 fn pick<T: Copy>(rng: &mut SplitMix64, xs: &[T]) -> T {
@@ -161,7 +248,17 @@ fn normalize(a: &mut Asm, p: Reg) {
 
 /// Emits one randomly chosen body operation; returns the number of
 /// instruction slots consumed (always `<= remaining`, `>= 1`).
-fn emit_op(a: &mut Asm, rng: &mut SplitMix64, remaining: u32) -> u32 {
+///
+/// When `with_secret` is set, rolls 65–67 (carved from the ALU
+/// fall-through range, so secret-free generation is byte-identical to
+/// [`generate`]) emit the next secret probe while windows remain.
+fn emit_op(
+    a: &mut Asm,
+    rng: &mut SplitMix64,
+    remaining: u32,
+    with_secret: bool,
+    next_probe: &mut u32,
+) -> u32 {
     let roll = rng.index(100);
     if roll < 26 && remaining >= 3 {
         emit_load(a, rng)
@@ -184,6 +281,11 @@ fn emit_op(a: &mut Asm, rng: &mut SplitMix64, remaining: u32) -> u32 {
     } else if roll < 65 {
         a.nop();
         1
+    } else if with_secret && roll < 68 && *next_probe < PROBE_WINDOWS && remaining >= 5 {
+        let k = *next_probe;
+        *next_probe += 1;
+        emit_probe(a, k);
+        5
     } else {
         emit_alu(a, rng);
         1
@@ -369,6 +471,80 @@ mod tests {
             if let Some(ma) = info.mem {
                 assert!(ma.addr >= DATA_BASE);
                 assert!(ma.addr < DATA_BASE + FUZZ_FOOTPRINT);
+            }
+        }
+    }
+
+    /// Runs `fz` functionally with the secret region set to `fill` and
+    /// returns every accessed data address.
+    fn secret_run_addrs(seed: u64, fill: u8) -> Vec<u32> {
+        let mut fz = generate_secret(seed);
+        fz.secret.expect("secret program carries a SecretSpec").apply(&mut fz.workload.mem, fill);
+        let mut st = ArchState::new(fz.workload.entry);
+        let mut addrs = Vec::new();
+        while !st.halted {
+            assert!(st.icount <= fz.max_icount, "seed {seed}: exceeded bound");
+            let info = step(&mut st, &mut fz.workload.mem).expect("no faults");
+            if let Some(ma) = info.mem {
+                addrs.push(ma.addr);
+            }
+        }
+        assert_eq!(fz.workload.mem.oob_count(), 0, "seed {seed}: out-of-bounds access");
+        addrs
+    }
+
+    #[test]
+    fn secret_variant_is_deterministic_and_plain_variant_is_unchanged() {
+        let plain = generate(7);
+        let secret = generate_secret(7);
+        assert_eq!(secret.words, generate_secret(7).words);
+        assert_ne!(plain.words, secret.words, "secret programs carry probe code");
+        assert!(plain.secret.is_none());
+        assert_eq!(secret.secret, Some(SecretSpec { addr: DATA_BASE + SECRET_OFF, bytes: 4 }));
+        // Carving the probe roll out of the ALU fall-through must not
+        // perturb the secret-free stream: regenerate and compare.
+        assert_eq!(plain.words, generate(7).words);
+    }
+
+    #[test]
+    fn secret_probes_leak_architecturally_and_stay_in_bounds() {
+        let mut any_diff = false;
+        for seed in 0..12u64 {
+            let lo = secret_run_addrs(seed, 0x00);
+            let hi = secret_run_addrs(seed, 0xFF);
+            for &a in lo.iter().chain(hi.iter()) {
+                assert!((DATA_BASE..DATA_BASE + FUZZ_FOOTPRINT).contains(&a), "seed {seed}");
+            }
+            assert_eq!(lo.len(), hi.len(), "seed {seed}: control flow is secret-independent");
+            // All-zero vs all-one secrets make every 3-bit field differ
+            // (0 vs 7), so the prologue probe alone guarantees at least
+            // one differing address.
+            if lo != hi {
+                any_diff = true;
+            }
+        }
+        assert!(any_diff, "secret probes never produced a differing address");
+    }
+
+    #[test]
+    fn probe_addresses_confined_to_probe_windows() {
+        for seed in 0..6u64 {
+            let lo = secret_run_addrs(seed, 0x00);
+            let hi = secret_run_addrs(seed, 0xFF);
+            for (a, b) in lo.iter().zip(hi.iter()) {
+                if a != b {
+                    for &x in [a, b] {
+                        let off = x - DATA_BASE;
+                        assert!(off >= PROBE_WINDOW_OFF, "seed {seed}: diff addr {x:#x}");
+                        let w = (off - PROBE_WINDOW_OFF) / PROBE_WINDOW_STRIDE;
+                        assert!(w < PROBE_WINDOWS, "seed {seed}: diff addr {x:#x}");
+                        assert_eq!(
+                            (off - PROBE_WINDOW_OFF) % PROBE_WINDOW_STRIDE % 64,
+                            0,
+                            "probe loads are line-aligned"
+                        );
+                    }
+                }
             }
         }
     }

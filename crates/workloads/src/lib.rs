@@ -38,7 +38,10 @@ mod rng;
 mod spec;
 
 pub use builder::{Workload, DATA_BASE};
-pub use fuzz::{generate as generate_fuzz, FuzzProgram, FUZZ_FOOTPRINT};
+pub use fuzz::{
+    generate as generate_fuzz, generate_secret as generate_secret_fuzz, FuzzProgram, SecretSpec,
+    FUZZ_FOOTPRINT, SECRET_OFF,
+};
 pub use rng::SplitMix64;
 pub use kernels::KernelKind;
 pub use micro::Micro;

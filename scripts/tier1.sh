@@ -38,6 +38,11 @@ echo "cached output byte-identical to fresh run"
 echo "== check-smoke: differential co-sim batch + checkpoint determinism, all policies, fixed seed =="
 ./target/release/secsim-check --smoke --seed 2006
 
+echo "== oblivious-smoke: two-run secret-independence oracle, all policies =="
+# Obfuscation must show zero address divergences; every other policy
+# must demonstrably leak (the repros land under $SECSIM_RESULTS).
+./target/release/secsim-check oblivious --smoke --seed 2006
+
 echo "== fault-smoke: injected-tamper campaign, all policies =="
 ./target/release/faults --smoke
 
