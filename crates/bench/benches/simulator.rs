@@ -12,7 +12,7 @@ mod with_criterion {
     use secsim_attack::{run_exploit, Exploit};
     use secsim_core::Policy;
     use secsim_cpu::{SimConfig, SimSession};
-    use secsim_workloads::build;
+    use secsim_workloads::BenchId;
 
     const INSTS: u64 = 30_000;
 
@@ -20,17 +20,17 @@ mod with_criterion {
         let mut g = c.benchmark_group("simulate_30k");
         g.throughput(Throughput::Elements(INSTS));
         g.sample_size(10);
-        for bench in ["gzip", "mcf", "swim"] {
+        for bench in [BenchId::Gzip, BenchId::Mcf, BenchId::Swim] {
             for (label, policy) in [
                 ("baseline", Policy::baseline()),
                 ("issue", Policy::authen_then_issue()),
                 ("commit+fetch", Policy::commit_plus_fetch()),
             ] {
                 g.bench_with_input(
-                    BenchmarkId::new(bench, label),
+                    BenchmarkId::new(bench.name(), label),
                     &policy,
                     |b, &policy| {
-                        let w = build(bench, 11).expect("bench exists");
+                        let w = bench.build(11);
                         let mut cfg = SimConfig::paper_256k(policy).with_max_insts(INSTS);
                         cfg.secure =
                             cfg.secure.with_protected_region(w.data_base, w.data_bytes);
@@ -71,18 +71,18 @@ mod plain {
     use secsim_bench::timing::{fmt_rate, measure};
     use secsim_core::Policy;
     use secsim_cpu::{SimConfig, SimSession};
-    use secsim_workloads::build;
+    use secsim_workloads::BenchId;
 
     const INSTS: u64 = 30_000;
 
     pub fn main() {
-        for bench in ["gzip", "mcf", "swim"] {
+        for bench in [BenchId::Gzip, BenchId::Mcf, BenchId::Swim] {
             for (label, policy) in [
                 ("baseline", Policy::baseline()),
                 ("issue", Policy::authen_then_issue()),
                 ("commit+fetch", Policy::commit_plus_fetch()),
             ] {
-                let w = build(bench, 11).expect("bench exists");
+                let w = bench.build(11);
                 let mut cfg = SimConfig::paper_256k(policy).with_max_insts(INSTS);
                 cfg.secure = cfg.secure.with_protected_region(w.data_base, w.data_bytes);
                 let m = measure(&format!("simulate_30k/{bench}/{label}"), 1.0, || {

@@ -1,0 +1,172 @@
+//! External-workload gate: assembles every `examples/*.sasm`, diffs the
+//! loader output against the committed golden `.sprog` binaries, and
+//! runs each program through the sweep engine.
+//!
+//! ```text
+//! asm [--smoke] [--bless] [--dir DIR] [--jobs N] [--no-cache]
+//! ```
+//!
+//! * default — the full gate: golden diff plus the 8-policy grid per
+//!   program (warmup-checkpointed, sweep-cached), emitted as one
+//!   normalized-IPC table per program under `results/`.
+//! * `--smoke` — the CI stage: golden diff plus a two-policy run
+//!   (baseline + authen-then-commit) with a short instruction cap.
+//! * `--bless` — rewrite `examples/golden/*.sprog` from the current
+//!   assembler output instead of failing on a mismatch. Run after any
+//!   deliberate format or assembler change, and commit the result.
+//!
+//! The golden diff pins three things at once: the assembler's output for
+//! the checked-in sources, the `.sprog` serialization format, and the
+//! loader round-trip (`from_bytes(to_bytes(img)) == img`).
+
+use secsim_bench::{cell, RunOpts, Sweep, SweepPoint};
+use secsim_core::{FetchGateVariant, Policy};
+use secsim_stats::Table;
+use secsim_workloads::{assemble_named, register_program, BenchId, ProgramImage};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+fn default_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../examples")
+}
+
+fn policies8() -> Vec<(&'static str, Policy)> {
+    vec![
+        ("baseline", Policy::baseline()),
+        ("issue", Policy::authen_then_issue()),
+        ("commit", Policy::authen_then_commit()),
+        ("write", Policy::authen_then_write()),
+        ("fetch", Policy::authen_then_fetch()),
+        ("fetch-drain", Policy::authen_then_fetch().with_fetch_variant(FetchGateVariant::Drain)),
+        ("commit+fetch", Policy::commit_plus_fetch()),
+        ("commit+obf", Policy::commit_plus_obfuscation()),
+    ]
+}
+
+/// Assembles `path` and checks it against `golden/<stem>.sprog`.
+/// Returns the image, or an error line for the summary.
+fn check_one(path: &Path, golden_dir: &Path, bless: bool) -> Result<ProgramImage, String> {
+    let stem = path.file_stem().and_then(|s| s.to_str()).ok_or("bad file name")?.to_string();
+    let source =
+        fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let image = assemble_named(&source, &stem)
+        .map_err(|e| format!("{}:{e}", path.display()))?;
+    let bytes = image.to_bytes();
+
+    // Loader round-trip must be exact before the bytes are worth pinning.
+    let reloaded = ProgramImage::from_bytes(&bytes)
+        .map_err(|e| format!("{stem}: round-trip failed: {e:?}"))?;
+    if reloaded != image {
+        return Err(format!("{stem}: loader round-trip is not the identity"));
+    }
+
+    let golden = golden_dir.join(format!("{stem}.sprog"));
+    if bless {
+        fs::create_dir_all(golden_dir).map_err(|e| format!("{}: {e}", golden_dir.display()))?;
+        fs::write(&golden, &bytes).map_err(|e| format!("{}: {e}", golden.display()))?;
+        eprintln!("blessed {}", golden.display());
+    } else {
+        let want = fs::read(&golden).map_err(|e| {
+            format!("{}: {e} (run `asm --bless` and commit the result)", golden.display())
+        })?;
+        if want != bytes {
+            return Err(format!(
+                "{stem}: assembler output differs from {} ({} vs {} bytes) — \
+                 if the change is deliberate, re-bless",
+                golden.display(),
+                bytes.len(),
+                want.len()
+            ));
+        }
+    }
+    Ok(image)
+}
+
+fn main() {
+    let (sweep, rest) = Sweep::from_args();
+    let smoke = rest.iter().any(|a| a == "--smoke");
+    let bless = rest.iter().any(|a| a == "--bless");
+    let dir = rest
+        .iter()
+        .position(|a| a == "--dir")
+        .and_then(|i| rest.get(i + 1))
+        .map(PathBuf::from)
+        .unwrap_or_else(default_dir);
+    let golden_dir = dir.join("golden");
+
+    let mut sources: Vec<PathBuf> = fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("{}: {e}", dir.display()))
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "sasm"))
+        .collect();
+    sources.sort();
+    assert!(!sources.is_empty(), "no .sasm programs under {}", dir.display());
+
+    let mut errors = Vec::new();
+    let mut benches: Vec<BenchId> = Vec::new();
+    for path in &sources {
+        match check_one(path, &golden_dir, bless) {
+            Ok(image) => {
+                eprintln!(
+                    "ok {}: {} code words, {} data segment(s), footprint {} bytes",
+                    image.name,
+                    image.code.len(),
+                    image.segments.len(),
+                    image.footprint
+                );
+                benches.push(BenchId::External(register_program(image)));
+            }
+            Err(e) => errors.push(e),
+        }
+    }
+    assert!(errors.is_empty(), "golden check failed:\n  {}", errors.join("\n  "));
+
+    // The 50-instruction warmup is deliberately tiny: it exercises the
+    // external-program checkpoint path (keyed by content hash) without
+    // fast-forwarding the shortest example past its halt.
+    let (policies, opts) = if smoke {
+        (
+            vec![("baseline", Policy::baseline()), ("commit", Policy::authen_then_commit())],
+            RunOpts { max_insts: 20_000, warmup_insts: 50, ..RunOpts::default() },
+        )
+    } else {
+        (policies8(), RunOpts { max_insts: 200_000, warmup_insts: 50, ..RunOpts::default() })
+    };
+
+    let points: Vec<SweepPoint> = benches
+        .iter()
+        .flat_map(|&b| policies.iter().map(move |(_, p)| SweepPoint::of(b, *p, &opts)))
+        .collect();
+    let reports = sweep.run(&points);
+
+    let mut headers = vec!["program".to_string(), "base IPC".to_string()];
+    headers.extend(policies.iter().skip(1).map(|(l, _)| format!("{l} (norm)")));
+    let mut t = Table::new(headers);
+    let mut it = reports.into_iter();
+    for &bench in &benches {
+        let base = it.next().expect("grid shape").unwrap_or_else(|e| panic!("{bench}: {e}"));
+        assert!(base.insts > 0, "{bench}: no instructions retired");
+        let mut row = vec![bench.to_string(), format!("{:.3}", base.ipc())];
+        for (label, _) in policies.iter().skip(1) {
+            let r = it.next().expect("grid shape").unwrap_or_else(|e| panic!("{bench}: {e}"));
+            assert!(
+                r.ipc() <= base.ipc() * 1.0001,
+                "{bench}/{label}: gating must not beat the decrypt-only baseline"
+            );
+            row.push(cell(r.ipc() / base.ipc()));
+        }
+        t.push_row(row);
+    }
+
+    if smoke {
+        println!("{}", t.to_markdown());
+        eprintln!("asm smoke OK: {} program(s) assembled, golden-matched and simulated", benches.len());
+    } else {
+        secsim_bench::emit(
+            "asm_external",
+            "External programs (examples/*.sasm) — normalized IPC across the 8-policy grid",
+            &t,
+        );
+    }
+}

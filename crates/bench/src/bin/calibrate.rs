@@ -1,8 +1,8 @@
 //! Quick calibration sweep: normalized IPC per benchmark per policy.
-use secsim_bench::{RunOpts, Sweep, SweepPoint};
+use secsim_bench::{grid_benches, RunOpts, Sweep, SweepPoint};
 use secsim_core::Policy;
 use secsim_stats::Table;
-use secsim_workloads::benchmarks;
+use secsim_workloads::BenchId;
 
 fn main() {
     let (sweep, _args) = Sweep::from_args();
@@ -16,13 +16,14 @@ fn main() {
         ("c+f", Policy::commit_plus_fetch()),
         ("c+obf", Policy::commit_plus_obfuscation()),
     ];
-    let points: Vec<SweepPoint> = benchmarks()
+    let benches = grid_benches(&sweep, &BenchId::ALL);
+    let points: Vec<SweepPoint> = benches
         .iter()
-        .flat_map(|b| policies.iter().map(|(_, p)| SweepPoint::new(b, *p, &opts).unwrap()))
+        .flat_map(|&b| policies.iter().map(move |(_, p)| SweepPoint::of(b, *p, &opts)))
         .collect();
     let mut reports = sweep.run(&points).into_iter().map(|r| r.unwrap());
     let mut t = Table::new(["bench", "ipc", "issue", "write", "commit", "fetch", "c+f", "c+obf", "l2miss/ki"]);
-    for b in benchmarks() {
+    for b in &benches {
         let base = reports.next().expect("grid shape");
         let bipc = base.ipc();
         let mut row = vec![b.to_string(), format!("{bipc:.3}")];

@@ -1,7 +1,7 @@
 //! Figure 10: normalized IPC with the RUU halved to 64 entries
 //! (256 KB L2).
 
-use secsim_bench::{normalized_table, RunOpts, Sweep};
+use secsim_bench::{grid_benches, normalized_table, RunOpts, Sweep};
 use secsim_core::Policy;
 use secsim_cpu::CpuConfig;
 use secsim_workloads::BenchId;
@@ -15,7 +15,7 @@ fn main() {
         ("commit", Policy::authen_then_commit()),
         ("write", Policy::authen_then_write()),
     ];
-    let t = normalized_table(&sweep, &BenchId::ALL, &policies, &opts);
+    let t = normalized_table(&sweep, &grid_benches(&sweep, &BenchId::ALL), &policies, &opts);
     secsim_bench::emit(
         "fig10",
         "Figure 10 — normalized IPC, 64-entry RUU, 256KB L2 (baseline: decrypt-only)",

@@ -1,7 +1,7 @@
 //! Figure 11: IPC speedup over authen-then-issue with a 64-entry RUU
 //! (256 KB L2).
 
-use secsim_bench::{speedup_over_issue_table, RunOpts, Sweep};
+use secsim_bench::{grid_benches, speedup_over_issue_table, RunOpts, Sweep};
 use secsim_core::Policy;
 use secsim_cpu::CpuConfig;
 use secsim_workloads::BenchId;
@@ -13,7 +13,7 @@ fn main() {
         ("commit", Policy::authen_then_commit()),
         ("commit+fetch", Policy::commit_plus_fetch()),
     ];
-    let t = speedup_over_issue_table(&sweep, &BenchId::ALL, &policies, &opts);
+    let t = speedup_over_issue_table(&sweep, &grid_benches(&sweep, &BenchId::ALL), &policies, &opts);
     secsim_bench::emit(
         "fig11",
         "Figure 11 — IPC speedup over authen-then-issue, 64-entry RUU, 256KB L2",

@@ -1,7 +1,7 @@
 //! Figure 12: normalized IPC under hash-tree (CHTree-style) memory
 //! authentication with the dedicated 8 KB node cache.
 
-use secsim_bench::{normalized_table, RunOpts, Sweep};
+use secsim_bench::{grid_benches, normalized_table, RunOpts, Sweep};
 use secsim_core::Policy;
 use secsim_workloads::BenchId;
 
@@ -15,7 +15,7 @@ fn main() {
         ("fetch", Policy::authen_then_fetch()),
         ("commit+fetch", Policy::commit_plus_fetch()),
     ];
-    let t = normalized_table(&sweep, &BenchId::ALL, &policies, &opts);
+    let t = normalized_table(&sweep, &grid_benches(&sweep, &BenchId::ALL), &policies, &opts);
     secsim_bench::emit(
         "fig12",
         "Figure 12 — normalized IPC under hash-tree authentication (baseline: decrypt-only)",

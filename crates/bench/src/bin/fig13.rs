@@ -1,7 +1,7 @@
 //! Figure 13: IPC speedup over authen-then-issue under hash-tree
 //! authentication.
 
-use secsim_bench::{speedup_over_issue_table, RunOpts, Sweep};
+use secsim_bench::{grid_benches, speedup_over_issue_table, RunOpts, Sweep};
 use secsim_core::Policy;
 use secsim_workloads::BenchId;
 
@@ -12,7 +12,7 @@ fn main() {
         ("commit", Policy::authen_then_commit()),
         ("commit+fetch", Policy::commit_plus_fetch()),
     ];
-    let t = speedup_over_issue_table(&sweep, &BenchId::ALL, &policies, &opts);
+    let t = speedup_over_issue_table(&sweep, &grid_benches(&sweep, &BenchId::ALL), &policies, &opts);
     secsim_bench::emit(
         "fig13",
         "Figure 13 — IPC speedup over authen-then-issue, hash-tree authentication",

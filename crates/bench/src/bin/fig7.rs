@@ -3,7 +3,7 @@
 //!
 //! Usage: `fig7 [--l2 256k|1m|both]`
 
-use secsim_bench::{normalized_table, L2Size, RunOpts, Sweep};
+use secsim_bench::{grid_benches, normalized_table, L2Size, RunOpts, Sweep};
 use secsim_core::Policy;
 use secsim_workloads::BenchId;
 
@@ -17,7 +17,8 @@ fn run_l2(sweep: &Sweep, l2: L2Size, panel_int: &str, panel_fp: &str) {
         ("commit+fetch", Policy::commit_plus_fetch()),
         ("commit+obf", Policy::commit_plus_obfuscation()),
     ];
-    let t = normalized_table(sweep, &BenchId::INT, &policies, &opts);
+    // External `--program` workloads ride along on the INT panel.
+    let t = normalized_table(sweep, &grid_benches(sweep, &BenchId::INT), &policies, &opts);
     secsim_bench::emit(
         &format!("fig7{panel_int}"),
         &format!(

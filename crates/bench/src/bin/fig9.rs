@@ -1,13 +1,14 @@
 //! Figure 9: normalized IPC of authen-then-commit + address obfuscation
 //! for three remap-cache sizes (64 KB / 256 KB / 1 MB).
 
-use secsim_bench::{cell, RunOpts, Sweep, SweepPoint};
+use secsim_bench::{cell, grid_benches, RunOpts, Sweep, SweepPoint};
 use secsim_core::Policy;
 use secsim_stats::{Summary, Table};
-use secsim_workloads::benchmarks;
+use secsim_workloads::BenchId;
 
 fn main() {
     let (sweep, _args) = Sweep::from_args();
+    let benches = grid_benches(&sweep, &BenchId::ALL);
     let sizes: [(&str, u32); 3] =
         [("64KB", 64 * 1024), ("256KB", 256 * 1024), ("1MB", 1024 * 1024)];
     let mut headers = vec!["bench".to_string()];
@@ -15,20 +16,16 @@ fn main() {
     let mut t = Table::new(headers);
     // Grid: per bench, the baseline plus one obfuscating point per size.
     let mut points = Vec::new();
-    for bench in benchmarks() {
-        points.push(
-            SweepPoint::new(bench, Policy::baseline(), &RunOpts::default()).expect("bench"),
-        );
+    for &bench in &benches {
+        points.push(SweepPoint::of(bench, Policy::baseline(), &RunOpts::default()));
         for (_, bytes) in sizes {
             let opts = RunOpts { remap_cache_bytes: Some(bytes), ..RunOpts::default() };
-            points.push(
-                SweepPoint::new(bench, Policy::commit_plus_obfuscation(), &opts).expect("bench"),
-            );
+            points.push(SweepPoint::of(bench, Policy::commit_plus_obfuscation(), &opts));
         }
     }
     let mut reports = sweep.run(&points).into_iter().map(|r| r.expect("bench").ipc());
     let mut sums = vec![Summary::new(); sizes.len()];
-    for bench in benchmarks() {
+    for &bench in &benches {
         let base = reports.next().expect("grid shape");
         let mut row = vec![bench.to_string()];
         for (i, _) in sizes.iter().enumerate() {

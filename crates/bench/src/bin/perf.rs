@@ -27,6 +27,7 @@ use secsim_bench::timing::{fmt_rate, measure};
 use secsim_bench::{results_dir, run_bench, L2Size, RunOpts};
 use secsim_core::Policy;
 use secsim_stats::Json;
+use secsim_workloads::BenchId;
 use std::fs;
 
 /// Instructions per measured run: long enough to dwarf workload-image
@@ -42,12 +43,12 @@ const GATE_FLOOR: f64 = 0.90;
 /// fill path: counter fetch, decrypt, MAC); `swim` is
 /// bandwidth-dominated (writebacks exercise seal/MAC-update); `gzip`
 /// is cache-resident (pipeline + counter bookkeeping dominates).
-const CASES: &[(&str, &str)] = &[
-    ("mcf/commit", "mcf"),
-    ("swim/commit", "swim"),
-    ("gzip/commit", "gzip"),
-    ("mcf/commit+tree", "mcf"),
-    ("mcf/baseline", "mcf"),
+const CASES: &[(&str, BenchId)] = &[
+    ("mcf/commit", BenchId::Mcf),
+    ("swim/commit", BenchId::Swim),
+    ("gzip/commit", BenchId::Gzip),
+    ("mcf/commit+tree", BenchId::Mcf),
+    ("mcf/baseline", BenchId::Mcf),
 ];
 
 fn policy_for(case: &str) -> Policy {
@@ -101,7 +102,7 @@ fn main() {
         };
         let policy = policy_for(case);
         let m = measure(case, budget_secs, || {
-            run_bench(bench, policy, &opts).expect("benchmark exists");
+            run_bench(bench, policy, &opts);
         });
         let rate = m.rate(INSTS as f64);
         println!("{:24} {:>12} simulated insts/s  ({:.0} ms/run)", m.label, fmt_rate(rate), m.per_iter_secs() * 1e3);

@@ -10,7 +10,7 @@
 //! Output: one `results/stalls_<bench>.md` (+ `.csv`) per benchmark;
 //! rows are policies, columns the percentage of lost slots per cause.
 
-use secsim_bench::{RunOpts, Sweep, SweepPoint};
+use secsim_bench::{grid_benches, RunOpts, Sweep, SweepPoint};
 use secsim_core::Policy;
 use secsim_cpu::StallCause;
 use secsim_stats::Table;
@@ -27,15 +27,17 @@ fn main() {
         ("fetch", Policy::authen_then_fetch()),
         ("commit+fetch", Policy::commit_plus_fetch()),
     ];
-    let points: Vec<SweepPoint> = BenchId::all()
-        .flat_map(|b| policies.iter().map(move |(_, p)| SweepPoint::of(b, *p, &opts)))
+    let benches = grid_benches(&sweep, &BenchId::ALL);
+    let points: Vec<SweepPoint> = benches
+        .iter()
+        .flat_map(|&b| policies.iter().map(move |(_, p)| SweepPoint::of(b, *p, &opts)))
         .collect();
     let mut reports = sweep.run(&points).into_iter();
 
     let mut headers = vec!["policy".to_string(), "IPC".to_string(), "lost slots".to_string()];
     headers.extend(StallCause::ALL.iter().map(|c| format!("{c} %")));
     headers.push("attributed %".to_string());
-    for bench in BenchId::all() {
+    for &bench in &benches {
         let mut t = Table::new(headers.clone());
         for (label, _) in &policies {
             match reports.next().expect("grid shape") {

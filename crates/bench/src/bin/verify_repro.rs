@@ -14,6 +14,7 @@ use secsim_bench::{L2Size, RunOpts, Sweep, SweepPoint};
 use secsim_core::{properties, Policy};
 use secsim_crypto::{CryptoLatency, EncryptionMode, MacScheme};
 use secsim_cpu::CpuConfig;
+use secsim_workloads::BenchId;
 
 struct Verifier {
     failures: u32,
@@ -31,14 +32,15 @@ impl Verifier {
 }
 
 fn geomeans(sweep: &Sweep, policies: &[Policy], opts: &RunOpts) -> Vec<f64> {
-    const BENCHES: [&str; 5] = ["mcf", "art", "twolf", "swim", "wupwise"];
+    const BENCHES: [BenchId; 5] =
+        [BenchId::Mcf, BenchId::Art, BenchId::Twolf, BenchId::Swim, BenchId::Wupwise];
     // The whole (bench × policy) grid runs as one parallel sweep;
     // repeated calls hit the in-process memo or the on-disk cache.
     let mut points = Vec::new();
     for bench in BENCHES {
-        points.push(SweepPoint::new(bench, Policy::baseline(), opts).expect("bench"));
+        points.push(SweepPoint::of(bench, Policy::baseline(), opts));
         for p in policies {
-            points.push(SweepPoint::new(bench, *p, opts).expect("bench"));
+            points.push(SweepPoint::of(bench, *p, opts));
         }
     }
     let mut reports = sweep.run(&points).into_iter().map(|r| r.expect("bench").ipc());

@@ -2,17 +2,18 @@
 //! behaviour, branch predictability — the evidence that each profile
 //! reproduces its namesake's memory character.
 
-use secsim_bench::{RunOpts, Sweep, SweepPoint};
+use secsim_bench::{grid_benches, RunOpts, Sweep, SweepPoint};
 use secsim_core::Policy;
 use secsim_stats::Table;
-use secsim_workloads::{benchmarks, profile, BenchClass};
+use secsim_workloads::{BenchClass, BenchId};
 
 fn main() {
     let (sweep, _args) = Sweep::from_args();
     let opts = RunOpts { max_insts: 300_000, ..RunOpts::default() };
-    let points: Vec<SweepPoint> = benchmarks()
+    let benches = grid_benches(&sweep, &BenchId::ALL);
+    let points: Vec<SweepPoint> = benches
         .iter()
-        .map(|b| SweepPoint::new(b, Policy::authen_then_commit(), &opts).expect("bench"))
+        .map(|&b| SweepPoint::of(b, Policy::authen_then_commit(), &opts))
         .collect();
     let mut reports = sweep.run(&points).into_iter().map(|r| r.expect("bench"));
     let mut t = Table::new([
@@ -28,8 +29,8 @@ fn main() {
         "L2 miss/ki",
         "auth req/ki",
     ]);
-    for bench in benchmarks() {
-        let p = profile(bench).expect("profile");
+    for &bench in &benches {
+        let p = bench.profile();
         let r = reports.next().expect("grid shape");
         let ki = r.insts as f64 / 1000.0;
         let c = &r.counters;

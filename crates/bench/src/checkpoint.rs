@@ -64,6 +64,12 @@ pub fn checkpoint_key(bench: BenchId, seed: u64, warmup_insts: u64) -> u64 {
     let mut h = StableHasher::new();
     (CHECKPOINT_VERSION as u64).stable_hash(&mut h);
     bench.name().stable_hash(&mut h);
+    // External programs key by content, not just (sanitized) file name,
+    // mirroring the sweep cache.
+    if let Some(hash) = bench.external_hash() {
+        "external".stable_hash(&mut h);
+        hash.stable_hash(&mut h);
+    }
     seed.stable_hash(&mut h);
     warmup_insts.stable_hash(&mut h);
     h.finish()

@@ -11,9 +11,10 @@
 //! ```no_run
 //! use secsim_bench::{run_bench, L2Size, RunOpts};
 //! use secsim_core::Policy;
+//! use secsim_workloads::BenchId;
 //!
 //! let opts = RunOpts::default();
-//! let r = run_bench("mcf", Policy::authen_then_issue(), &opts).expect("known benchmark");
+//! let r = run_bench(BenchId::Mcf, Policy::authen_then_issue(), &opts);
 //! println!("mcf IPC = {:.3}", r.ipc());
 //! ```
 
@@ -27,7 +28,7 @@ use secsim_core::{Policy, SecureConfig};
 use secsim_cpu::{CpuConfig, SimConfig, SimReport, SimSession};
 use secsim_mem::MemSystemConfig;
 use secsim_stats::{FastMap, Table};
-use secsim_workloads::{BenchId, Workload, DATA_BASE};
+use secsim_workloads::{BenchId, Workload};
 use std::fs;
 use std::path::PathBuf;
 use std::sync::{Mutex, OnceLock};
@@ -107,10 +108,12 @@ pub fn default_insts() -> u64 {
 }
 
 /// The full simulator configuration for `bench` under `policy` —
-/// derived from the benchmark's *profile* alone (no workload image is
-/// built), so it is cheap enough to fingerprint for cache keys.
+/// derived from the benchmark's declared geometry alone (no workload
+/// image is built), so it is cheap enough to fingerprint for cache
+/// keys. External programs contribute their own protected-region base
+/// and footprint; built-ins keep the fixed [`secsim_workloads::DATA_BASE`] layout.
 pub fn sim_config_id(bench: BenchId, policy: Policy, opts: &RunOpts) -> SimConfig {
-    let (data_base, data_bytes) = (DATA_BASE, bench.profile().footprint);
+    let (data_base, data_bytes) = (bench.data_base(), bench.footprint());
     let mut secure = if opts.tree {
         SecureConfig::paper_with_tree(policy, data_base, data_bytes)
     } else {
@@ -127,12 +130,6 @@ pub fn sim_config_id(bench: BenchId, policy: Policy, opts: &RunOpts) -> SimConfi
         max_insts: opts.max_insts,
         max_cycles: opts.max_cycles,
     }
-}
-
-/// `&str` shim over [`sim_config_id`]. `None` for an unknown benchmark
-/// name.
-pub fn sim_config(bench: &str, policy: Policy, opts: &RunOpts) -> Option<SimConfig> {
-    Some(sim_config_id(bench.parse::<BenchId>().ok()?, policy, opts))
 }
 
 /// Builds the workload image for `(bench, seed)` through a process-wide
@@ -179,24 +176,22 @@ pub fn with_workload<R>(bench: BenchId, seed: u64, f: impl FnOnce(&mut Workload)
     })
 }
 
-/// Runs `bench` under `policy` and returns the report. `None` for an
-/// unknown benchmark name. Always simulates — use [`Sweep`] for the
-/// parallel, cached path.
-pub fn run_bench(bench: &str, policy: Policy, opts: &RunOpts) -> Option<SimReport> {
-    let bench = bench.parse::<BenchId>().ok()?;
+/// Runs `bench` under `policy` and returns the report. Always
+/// simulates — use [`Sweep`] for the parallel, cached path.
+pub fn run_bench(bench: BenchId, policy: Policy, opts: &RunOpts) -> SimReport {
     let cfg = sim_config_id(bench, policy, opts);
-    Some(with_workload(bench, opts.seed, |w| {
+    with_workload(bench, opts.seed, |w| {
         let start = checkpoint::warm_start(bench, opts.seed, opts.warmup_insts, w);
         SimSession::new(&cfg).resume_from(start).run(&mut w.mem, w.entry).into_report()
-    }))
+    })
 }
 
 /// Runs `bench` under `policy` and the decrypt-only baseline, returning
 /// `IPC(policy) / IPC(baseline)` — the normalization used throughout the
-/// paper's figures.
-pub fn normalized_ipc(bench: &str, policy: Policy, opts: &RunOpts) -> Option<f64> {
-    let base = run_bench(bench, Policy::baseline(), opts)?.ipc();
-    let p = run_bench(bench, policy, opts)?.ipc();
+/// paper's figures. `None` when the baseline produced no cycles.
+pub fn normalized_ipc(bench: BenchId, policy: Policy, opts: &RunOpts) -> Option<f64> {
+    let base = run_bench(bench, Policy::baseline(), opts).ipc();
+    let p = run_bench(bench, policy, opts).ipc();
     (base > 0.0).then(|| p / base)
 }
 
@@ -220,6 +215,14 @@ pub fn results_dir() -> PathBuf {
 /// Formats a ratio cell.
 pub fn cell(x: f64) -> String {
     format!("{x:.3}")
+}
+
+/// The benchmark grid for a figure/table binary: `base` plus any
+/// external programs the user supplied via `--program FILE` (collected
+/// by [`Sweep::from_args`]), so an external workload rides every grid
+/// the built-ins do.
+pub fn grid_benches(sweep: &Sweep, base: &[BenchId]) -> Vec<BenchId> {
+    base.iter().copied().chain(sweep.externals().iter().copied()).collect()
 }
 
 /// Runs the full `(benches × (reference + policies))` grid through
@@ -340,14 +343,14 @@ mod tests {
     }
 
     #[test]
-    fn unknown_bench_is_none() {
-        assert!(run_bench("nope", Policy::baseline(), &RunOpts::default()).is_none());
+    fn unknown_bench_fails_to_parse() {
+        assert!("nope".parse::<BenchId>().is_err());
     }
 
     #[test]
     fn tiny_run_produces_ipc() {
         let opts = RunOpts { max_insts: 20_000, ..RunOpts::default() };
-        let r = run_bench("gzip", Policy::baseline(), &opts).expect("gzip exists");
+        let r = run_bench(BenchId::Gzip, Policy::baseline(), &opts);
         assert!(r.ipc() > 0.1);
         assert_eq!(r.insts, 20_000);
     }
@@ -355,7 +358,7 @@ mod tests {
     #[test]
     fn normalized_ipc_below_one_for_issue_gating() {
         let opts = RunOpts { max_insts: 60_000, ..RunOpts::default() };
-        let n = normalized_ipc("mcf", Policy::authen_then_issue(), &opts).expect("mcf");
+        let n = normalized_ipc(BenchId::Mcf, Policy::authen_then_issue(), &opts).expect("mcf");
         assert!(n < 1.0, "authen-then-issue must cost something on mcf, got {n}");
         assert!(n > 0.3, "sanity: {n}");
     }

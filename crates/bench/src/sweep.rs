@@ -1,8 +1,8 @@
 //! Parallel sweep execution over a grid of simulation points, backed by
 //! a persistent on-disk result cache.
 //!
-//! Every figure/table binary boils down to "run `simulate` over a grid
-//! of `(benchmark, SimConfig)` points and aggregate". [`Sweep::run`]
+//! Every figure/table binary boils down to "run the pipeline over a
+//! grid of `(benchmark, SimConfig)` points and aggregate". [`Sweep::run`]
 //! executes such a grid across a worker pool (plain `std::thread` —
 //! no external dependencies) and returns the reports **in grid order**,
 //! so results are byte-identical to a serial run regardless of the
@@ -23,6 +23,10 @@
 //! * `--trace FILE` — after the grid completes, re-run the first point
 //!   with event tracing and write a Chrome `trace_event` JSON to FILE
 //!   (load it in Perfetto / `chrome://tracing`).
+//! * `--program FILE` — assemble (`.sasm`) or load (`.sprog`) an
+//!   external program and append it to the binary's benchmark grid as a
+//!   [`BenchId::External`] entry (repeatable). External points cache
+//!   like built-ins, keyed by the program's content hash.
 //! * `SECSIM_RESULTS` — relocates `results/`, and the cache with it.
 //!
 //! # Examples
@@ -48,7 +52,7 @@ use crate::{results_dir, sim_config_id, RunOpts};
 use secsim_core::Policy;
 use secsim_cpu::{SimConfig, SimReport, SimSession, TraceConfig};
 use secsim_stats::{Json, StableHash, StableHasher};
-use secsim_workloads::{BenchId, ParseBenchError, SplitMix64};
+use secsim_workloads::{BenchId, ParseBenchError, ProgramSource, SplitMix64};
 use std::collections::HashMap;
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -114,12 +118,6 @@ pub struct SweepPoint {
 }
 
 impl SweepPoint {
-    /// The standard-experiment point: `bench` under `policy` with the
-    /// shared [`RunOpts`]. `&str` shim over [`SweepPoint::of`].
-    pub fn new(bench: &str, policy: Policy, opts: &RunOpts) -> Result<Self, SweepError> {
-        Ok(Self::of(bench.parse::<BenchId>()?, policy, opts))
-    }
-
     /// The standard-experiment point, from a typed benchmark identity.
     pub fn of(bench: BenchId, policy: Policy, opts: &RunOpts) -> Self {
         Self {
@@ -139,12 +137,18 @@ impl SweepPoint {
 
     /// Stable cache key: a fingerprint of `(CACHE_VERSION, bench, seed,
     /// cfg)`. Identical across processes, platforms and worker counts —
-    /// the benchmark hashes by its canonical *name*, so keys are also
-    /// unchanged from the stringly-typed era.
+    /// a built-in benchmark hashes by its canonical *name*, so those
+    /// keys are unchanged from the stringly-typed era, while an external
+    /// program additionally hashes its content fingerprint so two
+    /// programs sharing a file name can never collide in the cache.
     pub fn key(&self) -> u64 {
         let mut h = StableHasher::new();
         CACHE_VERSION.stable_hash(&mut h);
         self.bench.name().stable_hash(&mut h);
+        if let Some(hash) = self.bench.external_hash() {
+            "external".stable_hash(&mut h);
+            hash.stable_hash(&mut h);
+        }
         self.seed.stable_hash(&mut h);
         self.cfg.stable_hash(&mut h);
         self.warmup_insts.stable_hash(&mut h);
@@ -182,6 +186,9 @@ pub struct Sweep {
     /// shared baselines of the figure tables) simulate at most once per
     /// process even with caching disabled.
     memo: Mutex<HashMap<u64, SimReport>>,
+    /// External programs collected from `--program FILE` arguments;
+    /// figure/table binaries append these to their benchmark grids.
+    externals: Vec<BenchId>,
 }
 
 impl Default for Sweep {
@@ -204,13 +211,14 @@ impl Sweep {
             cache_dir: Some(results_dir().join("cache")),
             trace_out: Mutex::new(None),
             memo: Mutex::new(HashMap::new()),
+            externals: Vec::new(),
         }
     }
 
     /// A sweep configured from the process arguments: consumes
-    /// `--jobs N`, `--no-cache` and `--trace FILE`, returning the
-    /// remaining arguments (without the program name) for the binary's
-    /// own parsing.
+    /// `--jobs N`, `--no-cache`, `--trace FILE` and `--program FILE`,
+    /// returning the remaining arguments (without the program name) for
+    /// the binary's own parsing.
     pub fn from_args() -> (Self, Vec<String>) {
         let mut sweep = Self::new();
         let mut rest = Vec::new();
@@ -233,10 +241,30 @@ impl Sweep {
                     };
                     sweep = sweep.with_trace_out(PathBuf::from(path));
                 }
+                "--program" => {
+                    let Some(path) = args.next() else {
+                        eprintln!("error: --program needs a .sasm or .sprog file");
+                        std::process::exit(2);
+                    };
+                    match ProgramSource::from_arg(&path) {
+                        Ok(src) => sweep.externals.push(src.bench_id()),
+                        Err(e) => {
+                            eprintln!("error: --program {path}: {e}");
+                            std::process::exit(2);
+                        }
+                    }
+                }
                 _ => rest.push(arg),
             }
         }
         (sweep, rest)
+    }
+
+    /// External programs collected from `--program FILE`, in argument
+    /// order. Figure/table binaries append these to their grids so an
+    /// external workload rides through the same policies as built-ins.
+    pub fn externals(&self) -> &[BenchId] {
+        &self.externals
     }
 
     /// Requests a Chrome-trace JSON of the first point of the next grid
@@ -333,8 +361,13 @@ impl Sweep {
     }
 
     /// Runs a single point (cache- and memo-aware).
-    pub fn get(&self, bench: &str, policy: Policy, opts: &RunOpts) -> Result<SimReport, SweepError> {
-        let point = SweepPoint::new(bench, policy, opts)?;
+    pub fn get(
+        &self,
+        bench: BenchId,
+        policy: Policy,
+        opts: &RunOpts,
+    ) -> Result<SimReport, SweepError> {
+        let point = SweepPoint::of(bench, policy, opts);
         self.run(std::slice::from_ref(&point)).pop().expect("one point, one result")
     }
 
@@ -449,35 +482,42 @@ mod tests {
 
     #[test]
     fn key_is_stable_and_config_sensitive() {
-        let a = SweepPoint::new("mcf", Policy::authen_then_commit(), &opts()).unwrap();
-        let b = SweepPoint::new("mcf", Policy::authen_then_commit(), &opts()).unwrap();
+        let a = SweepPoint::of(BenchId::Mcf, Policy::authen_then_commit(), &opts());
+        let b = SweepPoint::of(BenchId::Mcf, Policy::authen_then_commit(), &opts());
         assert_eq!(a.key(), b.key());
-        let c = SweepPoint::new("mcf", Policy::authen_then_issue(), &opts()).unwrap();
+        let c = SweepPoint::of(BenchId::Mcf, Policy::authen_then_issue(), &opts());
         assert_ne!(a.key(), c.key());
-        let d = SweepPoint::new("gzip", Policy::authen_then_commit(), &opts()).unwrap();
+        let d = SweepPoint::of(BenchId::Gzip, Policy::authen_then_commit(), &opts());
         assert_ne!(a.key(), d.key());
-        let e = SweepPoint::new("mcf", Policy::authen_then_commit(), &RunOpts { seed: 7, ..opts() })
-            .unwrap();
+        let e =
+            SweepPoint::of(BenchId::Mcf, Policy::authen_then_commit(), &RunOpts { seed: 7, ..opts() });
         assert_ne!(a.key(), e.key());
     }
 
     #[test]
     fn unknown_bench_is_typed_error() {
-        let err = SweepPoint::new("nope", Policy::baseline(), &opts()).unwrap_err();
+        let err: SweepError = "nope".parse::<BenchId>().unwrap_err().into();
         assert_eq!(err, SweepError::UnknownBench("nope".to_string()));
-        let sweep = Sweep::new().without_cache().with_jobs(1);
-        assert!(matches!(
-            sweep.get("nope", Policy::baseline(), &opts()),
-            Err(SweepError::UnknownBench(_))
-        ));
     }
 
     #[test]
-    fn typed_and_stringly_points_share_cache_keys() {
-        let a = SweepPoint::new("mcf", Policy::authen_then_commit(), &opts()).unwrap();
-        let b = SweepPoint::of(BenchId::Mcf, Policy::authen_then_commit(), &opts());
-        assert_eq!(a.key(), b.key());
-        assert_eq!(a.bench, BenchId::Mcf);
+    fn external_points_key_by_content_hash() {
+        use secsim_workloads::{assemble_named, register_program};
+        let mk = |name: &str, iters: i64| {
+            let src = format!("addi r1, r0, {iters}\nloop:\naddi r1, r1, -1\nbne r1, r0, loop\nhalt\n");
+            register_program(assemble_named(&src, name).unwrap())
+        };
+        // Same name, different content: distinct cache keys.
+        let a = BenchId::External(mk("dup", 10));
+        let b = BenchId::External(mk("dup", 11));
+        assert_eq!(a.name(), b.name());
+        let pa = SweepPoint::of(a, Policy::baseline(), &opts());
+        let pb = SweepPoint::of(b, Policy::baseline(), &opts());
+        assert_ne!(pa.key(), pb.key());
+        // Same content re-registered: identical key (cache hit across
+        // processes loading the same file).
+        let a2 = BenchId::External(mk("dup", 10));
+        assert_eq!(pa.key(), SweepPoint::of(a2, Policy::baseline(), &opts()).key());
     }
 
     #[test]

@@ -5,6 +5,7 @@
 
 use secsim_bench::{RunOpts, Sweep, SweepPoint, CACHE_VERSION};
 use secsim_core::Policy;
+use secsim_workloads::BenchId;
 use std::fs;
 use std::path::{Path, PathBuf};
 
@@ -13,7 +14,7 @@ fn opts() -> RunOpts {
 }
 
 fn point() -> SweepPoint {
-    SweepPoint::new("gzip", Policy::authen_then_commit(), &opts()).expect("known bench")
+    SweepPoint::of(BenchId::Gzip, Policy::authen_then_commit(), &opts())
 }
 
 fn temp_cache(tag: &str) -> PathBuf {

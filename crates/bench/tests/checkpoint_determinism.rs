@@ -84,13 +84,13 @@ fn warm_start_disk_store_hit_reproduces_miss_exactly() {
     let policy = Policy::authen_then_commit();
 
     // Miss: fast-forwards functionally and persists the snapshot.
-    let miss = run_bench("gzip", policy, &opts).expect("gzip exists");
+    let miss = run_bench(BenchId::Gzip, policy, &opts);
     let ckpt_dir = checkpoint::checkpoints_dir();
     let entries = fs::read_dir(&ckpt_dir).expect("checkpoint dir created").count();
     assert_eq!(entries, 1, "one checkpoint per (bench, seed, warmup)");
 
     // Hit: restores the snapshot from disk.
-    let hit = run_bench("gzip", policy, &opts).expect("gzip exists");
+    let hit = run_bench(BenchId::Gzip, policy, &opts);
     assert_eq!(
         miss.to_json().unwrap().render(),
         hit.to_json().unwrap().render(),
@@ -106,7 +106,7 @@ fn warm_start_disk_store_hit_reproduces_miss_exactly() {
     for e in fs::read_dir(&ckpt_dir).unwrap() {
         fs::write(e.unwrap().path(), b"garbage").unwrap();
     }
-    let degraded = run_bench("gzip", policy, &opts).expect("gzip exists");
+    let degraded = run_bench(BenchId::Gzip, policy, &opts);
     assert_eq!(
         miss.to_json().unwrap().render(),
         degraded.to_json().unwrap().render(),
@@ -123,7 +123,7 @@ fn zero_warmup_is_the_plain_cold_session() {
     let opts = RunOpts { max_insts: 10_000, ..RunOpts::default() };
     assert_eq!(opts.warmup_insts, 0, "default is cold");
     let cfg = sim_config_id(bench, Policy::authen_then_issue(), &opts);
-    let via_run_bench = run_bench("swim", Policy::authen_then_issue(), &opts).unwrap();
+    let via_run_bench = run_bench(BenchId::Swim, Policy::authen_then_issue(), &opts);
     let direct = with_workload(bench, opts.seed, |w| {
         SimSession::new(&cfg).run(&mut w.mem, w.entry).into_report()
     });

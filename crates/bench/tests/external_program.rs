@@ -1,0 +1,132 @@
+//! External programs are first-class workloads: a hand-assembled copy
+//! of a built-in kernel must be indistinguishable from its builtin
+//! counterpart — byte-identical initialized memory and byte-identical
+//! `SimReport`s across policies — and must ride the same warm-start
+//! checkpoint machinery.
+//!
+//! Reports carry no `PartialEq`; byte-identity is asserted on the
+//! deterministic JSON rendering, which covers every serialized field.
+
+use secsim_bench::checkpoint;
+use secsim_bench::{run_bench, RunOpts};
+use secsim_core::Policy;
+use secsim_isa::disassemble;
+use secsim_workloads::{assemble_named, register_program, BenchId, Segment, DATA_BASE};
+use std::fs;
+
+const CODE_BASE: u32 = 0x1000;
+
+/// Rebuilds `bench` as an external program: disassemble its code words,
+/// run them back through the text assembler, and attach the builtin's
+/// initialized data region as one loader segment (exactly what a
+/// shipped `.sprog` of the kernel would contain).
+fn hand_assembled(bench: BenchId, seed: u64) -> BenchId {
+    let w = bench.build(seed);
+    let bytes = w.mem.as_bytes();
+
+    // Code occupies [CODE_BASE, last nonzero word]; the gap up to the
+    // data base is untouched zeros in a built image.
+    let region = &bytes[CODE_BASE as usize..DATA_BASE as usize];
+    let n = region
+        .chunks_exact(4)
+        .rposition(|c| c != [0, 0, 0, 0])
+        .expect("builtin has code")
+        + 1;
+    let words: Vec<u32> =
+        region[..4 * n].chunks_exact(4).map(|c| u32::from_le_bytes(c.try_into().unwrap())).collect();
+
+    let text = disassemble(&words);
+    assert!(text.lines().last().unwrap().contains("halt"), "code extraction overran");
+
+    let mut img = assemble_named(&text, "hand").expect("disassembly reassembles");
+    assert_eq!(img.code, words, "reassembly must reproduce the builtin's words");
+    assert_eq!(img.entry, w.entry);
+
+    img.data_base = w.data_base;
+    img.footprint = w.data_bytes;
+    img.segments =
+        vec![Segment { addr: w.data_base, bytes: bytes[w.data_base as usize..].to_vec() }];
+    img.validate().expect("hand-assembled image is well-formed");
+    BenchId::External(register_program(img))
+}
+
+#[test]
+fn hand_assembled_builtin_is_byte_identical_under_every_gate() {
+    let opts = RunOpts { max_insts: 20_000, ..RunOpts::default() };
+    assert_eq!(opts.warmup_insts, 0, "cold runs: no checkpoint files, no env coupling");
+
+    let builtin = BenchId::Gzip;
+    let ext = hand_assembled(builtin, opts.seed);
+
+    // The initial machine states agree bit for bit...
+    let a = builtin.build(opts.seed);
+    let b = ext.build(opts.seed);
+    assert_eq!(a.entry, b.entry);
+    assert_eq!((a.data_base, a.data_bytes), (b.data_base, b.data_bytes));
+    assert_eq!(a.mem.as_bytes(), b.mem.as_bytes(), "initialized images differ");
+
+    // ...so every timed run must too, gated or not.
+    for policy in [
+        Policy::baseline(),
+        Policy::authen_then_issue(),
+        Policy::authen_then_commit(),
+        Policy::commit_plus_obfuscation(),
+    ] {
+        assert_eq!(
+            run_bench(builtin, policy, &opts).to_json().unwrap().render(),
+            run_bench(ext, policy, &opts).to_json().unwrap().render(),
+            "external copy of {builtin} diverged under {policy}"
+        );
+    }
+}
+
+#[test]
+fn external_program_rides_the_warm_start_checkpoint_path() {
+    // Redirect the results tree to a scratch dir. This is the only test
+    // in this binary touching `SECSIM_RESULTS` (the byte-identity test
+    // above runs cold and never reads the results dir).
+    let dir = std::env::temp_dir().join(format!("secsim-extprog-test-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    std::env::set_var("SECSIM_RESULTS", &dir);
+
+    let src = "\
+        .entry top\n\
+        .alias n, r1\n\
+        top:  li   n, 5000\n\
+        spin: addi n, n, -1\n\
+        bne  n, r0, spin\n\
+        halt\n";
+    let ext = BenchId::External(register_program(assemble_named(src, "spin").unwrap()));
+
+    let opts = RunOpts { max_insts: 4_000, warmup_insts: 1_000, ..RunOpts::default() };
+    let policy = Policy::authen_then_commit();
+
+    // Miss: fast-forwards functionally and persists the snapshot.
+    let miss = run_bench(ext, policy, &opts);
+    let ckpt_dir = checkpoint::checkpoints_dir();
+    let entries = fs::read_dir(&ckpt_dir).expect("checkpoint dir created").count();
+    assert_eq!(entries, 1, "one checkpoint per (program, seed, warmup)");
+
+    // Hit: restores it. Byte-identical or the content-hash key is wrong.
+    let hit = run_bench(ext, policy, &opts);
+    assert_eq!(
+        miss.to_json().unwrap().render(),
+        hit.to_json().unwrap().render(),
+        "disk-restored external warmup diverged from the run that wrote it"
+    );
+    assert_eq!(fs::read_dir(&ckpt_dir).unwrap().count(), entries, "hit must not re-snapshot");
+
+    // A same-named program with different content must not collide.
+    let other = BenchId::External(register_program(
+        assemble_named(&src.replace("5000", "6000"), "spin").unwrap(),
+    ));
+    run_bench(other, policy, &opts);
+    assert_eq!(
+        fs::read_dir(&ckpt_dir).unwrap().count(),
+        entries + 1,
+        "distinct content under one name must get its own checkpoint"
+    );
+
+    std::env::remove_var("SECSIM_RESULTS");
+    let _ = fs::remove_dir_all(&dir);
+}

@@ -9,6 +9,7 @@
 
 use secsim_bench::{RunOpts, Sweep, SweepPoint};
 use secsim_core::Policy;
+use secsim_workloads::BenchId;
 use std::fs;
 use std::path::PathBuf;
 
@@ -23,9 +24,9 @@ fn grid() -> Vec<SweepPoint> {
         Policy::authen_then_commit(),
         Policy::commit_plus_fetch(),
     ];
-    ["gzip", "mcf", "swim"]
+    [BenchId::Gzip, BenchId::Mcf, BenchId::Swim]
         .iter()
-        .flat_map(|b| policies.iter().map(|p| SweepPoint::new(b, *p, &opts()).expect("bench")))
+        .flat_map(|&b| policies.iter().map(move |p| SweepPoint::of(b, *p, &opts())))
         .collect()
 }
 
@@ -86,7 +87,7 @@ fn cache_hit_reproduces_report_exactly() {
 #[test]
 fn stale_cache_entries_are_ignored() {
     let cache = TempCache::new("sweep-stale-test");
-    let point = SweepPoint::new("gzip", Policy::baseline(), &opts()).expect("bench");
+    let point = SweepPoint::of(BenchId::Gzip, Policy::baseline(), &opts());
     let sweep = Sweep::new().with_jobs(1).with_cache_dir(cache.0.clone());
     let first = renders(&sweep, std::slice::from_ref(&point));
     // Corrupt the entry; a fresh sweep must fall back to simulation and

@@ -67,6 +67,7 @@ mod fingerprint;
 mod observe;
 mod pipeline;
 mod report;
+mod multi;
 mod sched;
 mod session;
 mod trace;
@@ -74,10 +75,9 @@ mod viz;
 
 pub use bpred::{BPredConfig, BranchPredictor};
 pub use config::{CpuConfig, SimConfig};
+pub use multi::{ContextReport, MultiReport, MultiSession};
 pub use observe::RetireRecord;
 pub use pipeline::SecureImage;
-#[allow(deprecated)]
-pub use pipeline::{simulate, simulate_observed};
 pub use report::{AuthException, ControlEvent, IoEvent, SimReport};
 pub use secsim_core::{Exposure, FaultEvent, FaultKind, FaultPlan, TamperCause};
 pub use session::{SimOutcome, SimRun, SimSession};

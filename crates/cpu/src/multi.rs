@@ -1,0 +1,403 @@
+//! Multi-program contention: several architectural contexts sharing
+//! one bus and one MAC engine.
+//!
+//! The single-context pipeline ([`SimSession`](crate::SimSession))
+//! models one program owning the whole memory system. Real secure
+//! processors time-share: every context's L2 misses cross the *same*
+//! processor–memory bus and every fetched line waits on the *same* MAC
+//! verification engine, so an authentication policy that gates fetch or
+//! issue turns the MAC unit into a shared bottleneck — exactly the
+//! contention the paper's control-point comparison is about.
+//!
+//! [`MultiSession`] is a deliberately minimal queueing model over the
+//! functional ISA core, not a second out-of-order pipeline:
+//!
+//! * each context executes instructions functionally at one
+//!   instruction per cycle while its lines are resident;
+//! * a private line-presence table (direct-mapped, sized like the
+//!   configured L2) decides which accesses miss;
+//! * misses queue on the shared **bus** (single server, DRAM-derived
+//!   fill latency) and, when the policy authenticates, on the shared
+//!   **MAC engine** (pipelined: one verification may start per
+//!   initiation interval, each taking the full MAC latency);
+//! * a policy that gates **fetch or issue** blocks the context until
+//!   verification completes; other policies resume at data arrival and
+//!   hide the MAC latency.
+//!
+//! Scheduling is event-driven round-robin: the context with the
+//! earliest ready-cycle runs next (ties to the lower index), so two
+//! identical programs interleave fairly. Everything is deterministic.
+//!
+//! # Examples
+//!
+//! ```
+//! use secsim_core::Policy;
+//! use secsim_cpu::{MultiSession, SimConfig};
+//! use secsim_workloads::BenchId;
+//!
+//! let cfg = SimConfig::paper_256k(Policy::authen_then_fetch()).with_max_insts(20_000);
+//! let report = MultiSession::new(&cfg)
+//!     .context(BenchId::Gzip)
+//!     .context(BenchId::Mcf)
+//!     .run();
+//! assert_eq!(report.contexts.len(), 2);
+//! assert!(report.contexts.iter().all(|c| c.insts > 0));
+//! ```
+
+use crate::config::SimConfig;
+use secsim_isa::{step, ArchState, FlatMem};
+use secsim_workloads::ProgramSource;
+
+/// What one context did during a [`MultiSession`] run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ContextReport {
+    /// Program name.
+    pub name: &'static str,
+    /// Instructions retired.
+    pub insts: u64,
+    /// Cycle the context finished (halted, faulted, or hit a limit).
+    pub cycles: u64,
+    /// Line fills requested (fetch + data misses).
+    pub misses: u64,
+    /// Cycles spent waiting for the shared bus behind other traffic.
+    pub bus_wait: u64,
+    /// Cycles spent waiting on the shared MAC engine (queueing plus,
+    /// under fetch/issue gating, the verification latency itself).
+    pub mac_wait: u64,
+    /// Whether the program ran to a halt (vs. a fault or limit).
+    pub halted: bool,
+}
+
+impl ContextReport {
+    /// Instructions per cycle over the context's own lifetime.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.insts as f64 / self.cycles as f64
+        }
+    }
+}
+
+/// The outcome of a [`MultiSession`] run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MultiReport {
+    /// Cycle the last context finished.
+    pub cycles: u64,
+    /// Cycles the shared bus spent transferring lines.
+    pub bus_busy: u64,
+    /// Cycles the MAC engine's issue slot was occupied.
+    pub mac_busy: u64,
+    /// Per-context results, in registration order.
+    pub contexts: Vec<ContextReport>,
+}
+
+impl MultiReport {
+    /// Bus utilization over the whole run, in [0, 1].
+    pub fn bus_utilization(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.bus_busy as f64 / self.cycles as f64
+        }
+    }
+}
+
+struct Context {
+    name: &'static str,
+    state: ArchState,
+    mem: FlatMem,
+    /// Direct-mapped line-presence table; `u64::MAX` = empty.
+    tags: Vec<u64>,
+    /// Next cycle this context can execute.
+    ready_at: u64,
+    misses: u64,
+    bus_wait: u64,
+    mac_wait: u64,
+    done: bool,
+    halted: bool,
+}
+
+/// Builder for a shared-bus, shared-MAC multi-program run. The module
+/// docs above describe the queueing model.
+pub struct MultiSession {
+    cfg: SimConfig,
+    sources: Vec<(ProgramSource, u64)>,
+}
+
+impl MultiSession {
+    /// A session over `cfg`; every context shares its bus, MAC-engine
+    /// and policy configuration.
+    pub fn new(cfg: &SimConfig) -> Self {
+        Self { cfg: *cfg, sources: Vec::new() }
+    }
+
+    /// Adds a context running `source` (built with seed 0).
+    pub fn context(self, source: impl Into<ProgramSource>) -> Self {
+        self.context_seeded(source, 0)
+    }
+
+    /// Adds a context running `source` built deterministically in
+    /// `seed`.
+    pub fn context_seeded(mut self, source: impl Into<ProgramSource>, seed: u64) -> Self {
+        self.sources.push((source.into(), seed));
+        self
+    }
+
+    /// Runs all contexts to completion (halt, fault, `max_insts`, or
+    /// the `max_cycles` fence) and reports per-context.
+    ///
+    /// # Panics
+    ///
+    /// If no context was added.
+    pub fn run(self) -> MultiReport {
+        assert!(!self.sources.is_empty(), "MultiSession::run needs at least one context");
+        let cfg = &self.cfg;
+        let line_bytes = cfg.mem.l2.line_bytes.max(1);
+        let sets = (cfg.mem.l2.size_bytes / line_bytes).max(1) as usize;
+        let line_shift = line_bytes.trailing_zeros();
+
+        let mut ctxs: Vec<Context> = self
+            .sources
+            .iter()
+            .map(|&(src, seed)| {
+                let w = src.build(seed);
+                Context {
+                    name: w.name,
+                    state: ArchState::new(w.entry),
+                    mem: w.mem,
+                    tags: vec![u64::MAX; sets],
+                    ready_at: 0,
+                    misses: 0,
+                    bus_wait: 0,
+                    mac_wait: 0,
+                    done: false,
+                    halted: false,
+                }
+            })
+            .collect();
+
+        // Shared single-server resources.
+        let mut bus_free: u64 = 0;
+        let mut mac_free: u64 = 0;
+        let mut bus_busy: u64 = 0;
+        let mut mac_busy: u64 = 0;
+
+        let d = &cfg.mem.dram;
+        // One line fill: row activate + column access on the memory
+        // bus, plus the burst (8 bytes per bus clock), all in core
+        // cycles. The bus is held for the whole fill.
+        let fill = (d.rcd + d.cas + u64::from(line_bytes / 8)) * d.core_per_bus;
+        let q = &cfg.secure.ctrl.queue;
+        let authenticate = cfg.secure.policy.authenticate;
+        // Fetch/issue gating stalls the context until verification
+        // completes; later control points resume at data arrival.
+        let gated = authenticate && (cfg.secure.policy.gate_issue || cfg.secure.policy.gate_fetch);
+
+        // Event-driven round-robin: earliest-ready live context, ties
+        // to the lower index.
+        while let Some(i) =
+            (0..ctxs.len()).filter(|&i| !ctxs[i].done).min_by_key(|&i| (ctxs[i].ready_at, i))
+        {
+            let ctx = &mut ctxs[i];
+            if cfg.max_cycles != 0 && ctx.ready_at >= cfg.max_cycles {
+                ctx.done = true;
+                continue;
+            }
+
+            // Execute until the next off-chip event (miss) or the end
+            // of the program/slice.
+            let mut now = ctx.ready_at;
+            let mut pending: Option<u64> = None; // missing line number
+            loop {
+                if ctx.state.halted {
+                    ctx.done = true;
+                    ctx.halted = true;
+                    break;
+                }
+                if cfg.max_insts != 0 && ctx.state.icount >= cfg.max_insts {
+                    ctx.done = true;
+                    break;
+                }
+                if cfg.max_cycles != 0 && now >= cfg.max_cycles {
+                    break;
+                }
+                let pc = ctx.state.pc;
+                let info = match step(&mut ctx.state, &mut ctx.mem) {
+                    Ok(info) => info,
+                    Err(_) => {
+                        ctx.done = true;
+                        break;
+                    }
+                };
+                now += 1;
+                // Fetch line first, then the data line if any: the
+                // first absent one becomes this turn's bus request.
+                let fetch_line = u64::from(pc >> line_shift);
+                let data_line = info.mem.map(|m| u64::from(m.addr >> line_shift));
+                for line in [Some(fetch_line), data_line].into_iter().flatten() {
+                    let set = (line as usize) % sets;
+                    if ctx.tags[set] != line {
+                        ctx.tags[set] = line;
+                        pending = Some(line);
+                        break;
+                    }
+                }
+                if pending.is_some() {
+                    break;
+                }
+            }
+
+            if let Some(_line) = pending {
+                ctx.misses += 1;
+                let grant = now.max(bus_free);
+                ctx.bus_wait += grant - now;
+                bus_free = grant + fill;
+                bus_busy += fill;
+                let data_ready = grant + fill;
+                let mut resume = data_ready;
+                if authenticate {
+                    let mac_start = data_ready.max(mac_free);
+                    mac_free = mac_start + q.initiation_interval;
+                    mac_busy += q.initiation_interval;
+                    let auth_done = mac_start + q.mac_latency;
+                    if gated {
+                        ctx.mac_wait += auth_done - data_ready;
+                        resume = auth_done;
+                    } else {
+                        ctx.mac_wait += mac_start - data_ready;
+                    }
+                }
+                ctx.ready_at = resume;
+            } else {
+                ctx.ready_at = now;
+            }
+        }
+
+        let contexts: Vec<ContextReport> = ctxs
+            .into_iter()
+            .map(|c| ContextReport {
+                name: c.name,
+                insts: c.state.icount,
+                cycles: c.ready_at,
+                misses: c.misses,
+                bus_wait: c.bus_wait,
+                mac_wait: c.mac_wait,
+                halted: c.halted,
+            })
+            .collect();
+        MultiReport {
+            cycles: contexts.iter().map(|c| c.cycles).max().unwrap_or(0),
+            bus_busy,
+            mac_busy,
+            contexts,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use secsim_core::Policy;
+    use secsim_workloads::BenchId;
+
+    fn cfg(policy: Policy) -> SimConfig {
+        SimConfig::paper_256k(policy).with_max_insts(30_000)
+    }
+
+    #[test]
+    fn deterministic_and_fair_for_identical_programs() {
+        let c = cfg(Policy::baseline());
+        let run = || {
+            MultiSession::new(&c)
+                .context_seeded(BenchId::Mcf, 1)
+                .context_seeded(BenchId::Mcf, 1)
+                .run()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "model must be deterministic");
+        let (x, y) = (&a.contexts[0], &a.contexts[1]);
+        assert_eq!(x.insts, y.insts, "identical programs retire identically");
+        let spread = x.cycles.abs_diff(y.cycles);
+        assert!(
+            spread * 10 <= x.cycles.max(y.cycles),
+            "round-robin keeps identical contexts within 10%: {} vs {}",
+            x.cycles,
+            y.cycles
+        );
+    }
+
+    #[test]
+    fn contention_costs_cycles() {
+        let c = cfg(Policy::baseline());
+        let alone = MultiSession::new(&c).context_seeded(BenchId::Mcf, 1).run();
+        let pair = MultiSession::new(&c)
+            .context_seeded(BenchId::Mcf, 1)
+            .context_seeded(BenchId::Mcf, 2)
+            .run();
+        assert!(
+            pair.cycles > alone.cycles,
+            "shared bus must cost cycles: {} alone vs {} contended",
+            alone.cycles,
+            pair.cycles
+        );
+        assert!(pair.contexts.iter().any(|x| x.bus_wait > 0), "someone queued on the bus");
+    }
+
+    #[test]
+    fn fetch_gating_serializes_on_the_mac_engine() {
+        let base = MultiSession::new(&cfg(Policy::baseline()))
+            .context_seeded(BenchId::Mcf, 1)
+            .context_seeded(BenchId::Swim, 1)
+            .run();
+        let fetch = MultiSession::new(&cfg(Policy::authen_then_fetch()))
+            .context_seeded(BenchId::Mcf, 1)
+            .context_seeded(BenchId::Swim, 1)
+            .run();
+        assert!(
+            fetch.cycles > base.cycles,
+            "fetch gating under contention must be slower: {} vs {}",
+            base.cycles,
+            fetch.cycles
+        );
+        assert!(fetch.contexts.iter().all(|x| x.mac_wait > 0), "every context waits on MAC");
+        // Ungated authentication (authen-then-commit) hides most of the
+        // MAC latency: it must land between baseline and fetch-gated.
+        let commit = MultiSession::new(&cfg(Policy::authen_then_commit()))
+            .context_seeded(BenchId::Mcf, 1)
+            .context_seeded(BenchId::Swim, 1)
+            .run();
+        assert!(commit.cycles < fetch.cycles, "{} !< {}", commit.cycles, fetch.cycles);
+        assert!(commit.cycles >= base.cycles);
+    }
+
+    #[test]
+    fn external_programs_are_first_class_contexts() {
+        let img = secsim_workloads::asm::assemble_named(
+            "
+            .data 0x100000
+        buf:    .zero 65536
+            .text
+            li   r1, buf
+            li   r2, 1024
+        top: lw  r3, 0(r1)
+            addi r1, r1, 64
+            addi r2, r2, -1
+            bne  r2, r0, top
+            halt
+            ",
+            "streamer",
+        )
+        .expect("assembles");
+        let id = secsim_workloads::register_program(img);
+        let report = MultiSession::new(&cfg(Policy::authen_then_fetch()))
+            .context(BenchId::External(id))
+            .context_seeded(BenchId::Gzip, 1)
+            .run();
+        let ext = &report.contexts[0];
+        assert_eq!(ext.name, "streamer");
+        assert!(ext.halted, "external program runs to halt");
+        assert!(ext.misses > 0, "streaming over 64 KB must miss");
+    }
+}

@@ -1,8 +1,8 @@
 //! Per-retirement observation records for differential co-simulation.
 //!
-//! [`simulate_observed`](crate::simulate_observed) calls an observer
-//! with one [`RetireRecord`] per committed instruction, in program
-//! order. The record carries both the *architectural* effect (what the
+//! [`SimSession::observe`](crate::SimSession::observe) calls an
+//! observer with one [`RetireRecord`] per committed instruction, in
+//! program order. The record carries both the *architectural* effect (what the
 //! golden ISA model must agree on) and the *microarchitectural* event
 //! cycles (what the security-invariant oracles in `secsim-check` audit
 //! against the active policy's gates).

@@ -223,51 +223,6 @@ impl DecodeCache {
     }
 }
 
-/// Runs one program to completion (halt, decode fault, or
-/// `cfg.max_insts`) and reports timing, exceptions, and — when
-/// `trace_bus` is set — the attacker-visible bus trace.
-///
-/// See the [crate docs](crate) for an end-to-end example.
-#[deprecated(since = "0.3.0", note = "use `SimSession::new(cfg).run(image, entry)` instead")]
-pub fn simulate<M: SecureImage>(
-    image: &mut M,
-    entry: u32,
-    cfg: &SimConfig,
-    trace_bus: bool,
-) -> SimReport {
-    run_pipeline(image, ArchState::new(entry), cfg, BusTraceMode::full_if(trace_bus), None, None, None).0
-}
-
-/// [`simulate`], additionally calling `observer` with one
-/// [`RetireRecord`] per committed instruction (in program order) and
-/// returning the final architectural state alongside the report.
-///
-/// This is the differential-testing entry point: the records carry the
-/// architectural effects a golden re-execution must match and the event
-/// cycles the policy-gate oracles audit.
-#[deprecated(
-    since = "0.3.0",
-    note = "use `SimSession::new(cfg).observe(f).run(image, entry)` instead"
-)]
-pub fn simulate_observed<M: SecureImage, F: FnMut(&RetireRecord)>(
-    image: &mut M,
-    entry: u32,
-    cfg: &SimConfig,
-    trace_bus: bool,
-    mut observer: F,
-) -> (SimReport, ArchState) {
-    let (report, st, _, _) = run_pipeline(
-        image,
-        ArchState::new(entry),
-        cfg,
-        BusTraceMode::full_if(trace_bus),
-        Some(&mut observer),
-        None,
-        None,
-    );
-    (report, st)
-}
-
 /// How (and whether) the attacker-visible bus trace is captured.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub(crate) enum BusTraceMode {
@@ -292,8 +247,7 @@ impl BusTraceMode {
     }
 }
 
-/// The one-pass timing engine behind [`crate::SimSession`] and the
-/// deprecated [`simulate`] / [`simulate_observed`] wrappers.
+/// The one-pass timing engine behind [`crate::SimSession`].
 ///
 /// `observer` receives one [`RetireRecord`] per committed instruction;
 /// `trace`, when set, turns on structured event tracing and yields a

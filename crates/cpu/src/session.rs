@@ -1,12 +1,14 @@
 //! The unified simulation entry point.
 //!
-//! [`SimSession`] replaces the old `simulate` / `simulate_observed`
-//! split with one builder: configure bus tracing, event tracing, a
-//! retire observer, and an optional [`FaultPlan`], then
-//! [`run`](SimSession::run). All observers are optional and none
-//! affects the computed timing — a bare session is cycle-for-cycle
-//! (and byte-for-byte in its [`SimReport`]) identical to the
-//! deprecated free functions.
+//! [`SimSession`] is one builder for every way to run the pipeline:
+//! configure bus tracing, event tracing, a retire observer, and an
+//! optional [`FaultPlan`], then [`run`](SimSession::run) an image —
+//! or [`run_program`](SimSession::run_program) a
+//! [`ProgramSource`] (builtin kernel, fuzz spec, or external image),
+//! which is the single front door programs enter simulations through.
+//! All observers are optional and none affects the computed timing — a
+//! bare session is cycle-for-cycle (and byte-for-byte in its
+//! [`SimReport`]) identical to the bare pipeline.
 //!
 //! A run finishes with a structured [`SimOutcome`] rather than an
 //! optional exception field callers can ignore: tampering detection and
@@ -49,6 +51,7 @@ use crate::report::SimReport;
 use crate::trace::{SimTrace, TraceConfig};
 use secsim_core::{Exposure, FaultPlan, TamperCause};
 use secsim_isa::ArchState;
+use secsim_workloads::ProgramSource;
 
 /// Everything one simulation run produced, however it ended.
 #[derive(Debug)]
@@ -172,11 +175,12 @@ pub struct SimSession<'a> {
     observer: Option<Observer<'a>>,
     faults: Option<FaultPlan>,
     start: Option<ArchState>,
+    program: Option<ProgramSource>,
+    seed: u64,
 }
 
 impl<'a> SimSession<'a> {
-    /// A session with no observers: equivalent to the deprecated
-    /// `simulate(image, entry, cfg, false)`.
+    /// A session with no observers: a bare pipeline run.
     pub fn new(cfg: &SimConfig) -> Self {
         Self {
             cfg: *cfg,
@@ -185,7 +189,42 @@ impl<'a> SimSession<'a> {
             observer: None,
             faults: None,
             start: None,
+            program: None,
+            seed: 0,
         }
+    }
+
+    /// Sets the program to simulate: anything that converts into a
+    /// [`ProgramSource`] — a [`BenchId`](secsim_workloads::BenchId)
+    /// (builtin kernel or fuzz target), an
+    /// [`ExternalId`](secsim_workloads::ExternalId), or an explicit
+    /// source. This is the single front door for programs; run with
+    /// [`run_program`](SimSession::run_program).
+    pub fn program(mut self, source: impl Into<ProgramSource>) -> Self {
+        self.program = Some(source.into());
+        self
+    }
+
+    /// Seed for the program build (kernel data layouts, fuzz program
+    /// selection; external images ignore it). Defaults to 0.
+    pub fn program_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builds the configured [`program`](SimSession::program)
+    /// deterministically in the configured seed and runs it.
+    ///
+    /// # Panics
+    ///
+    /// If no program was set — pass one with
+    /// [`program`](SimSession::program) first.
+    pub fn run_program(self) -> SimOutcome {
+        let source = self.program.expect("SimSession::run_program needs .program(...) first");
+        let seed = self.seed;
+        let mut w = source.build(seed);
+        let entry = w.entry;
+        self.run(&mut w.mem, entry)
     }
 
     /// Starts the run from `state` instead of a cold
@@ -245,7 +284,7 @@ impl<'a> SimSession<'a> {
     /// Runs `image` from `entry` until it halts, faults, trips the
     /// cycle fence, or detects tampering.
     pub fn run<M: SecureImage>(self, image: &mut M, entry: u32) -> SimOutcome {
-        let SimSession { cfg, bus_mode, trace, mut observer, faults, start } = self;
+        let SimSession { cfg, bus_mode, trace, mut observer, faults, start, .. } = self;
         let observer_dyn: Option<&mut dyn FnMut(&RetireRecord)> = match observer.as_mut() {
             Some(b) => Some(&mut **b),
             None => None,
@@ -320,7 +359,7 @@ mod tests {
     }
 
     #[test]
-    fn session_matches_deprecated_simulate_byte_for_byte() {
+    fn session_matches_bare_pipeline_byte_for_byte() {
         let (mem, entry) = program();
         for policy in [
             Policy::baseline(),
@@ -331,13 +370,20 @@ mod tests {
             Policy::commit_plus_fetch(),
         ] {
             let cfg = SimConfig::paper_256k(policy);
-            #[allow(deprecated)]
-            let old = crate::simulate(&mut mem.clone(), entry, &cfg, false);
+            let (old, _, _, _) = crate::pipeline::run_pipeline(
+                &mut mem.clone(),
+                ArchState::new(entry),
+                &cfg,
+                BusTraceMode::Off,
+                None,
+                None,
+                None,
+            );
             let new = SimSession::new(&cfg).run(&mut mem.clone(), entry).into_report();
             assert_eq!(
                 old.to_json().unwrap().render(),
                 new.to_json().unwrap().render(),
-                "SimSession must reproduce simulate() exactly under {policy}"
+                "SimSession must reproduce the bare pipeline exactly under {policy}"
             );
         }
     }

@@ -1,6 +1,6 @@
 //! ASCII pipeline-timeline rendering for small traced runs.
 //!
-//! When [`simulate`](crate::simulate) runs with tracing enabled, the
+//! When a [`SimSession`](crate::SimSession) runs with tracing enabled, the
 //! first [`TIMING_CAP`] instructions' stage times are recorded as
 //! [`InstTiming`]s; [`render_timeline`] draws them as a Gantt chart —
 //! the quickest way to *see* where an authentication policy inserts its

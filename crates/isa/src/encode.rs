@@ -177,6 +177,31 @@ fn sext26(x: u32) -> i32 {
 /// flipping ciphertext bits usually lands on *some* valid instruction —
 /// which is exactly the property the paper's exploits depend on.
 ///
+/// Renders `words` as assembly text, one instruction per line, in the
+/// exact spelling [`Inst`]'s `Display` prints (numeric branch offsets,
+/// hex logical immediates, `illegal 0x…` for undecodable words).
+///
+/// Every line is re-assemblable: `decode` → `Display` → parse is a
+/// fixpoint of the instruction grammar, which the workload assembler's
+/// round-trip property tests lean on.
+///
+/// # Examples
+///
+/// ```
+/// use secsim_isa::{disassemble, encode, Inst, Reg};
+///
+/// let words = [encode(Inst::Addi { rd: Reg::R1, rs1: Reg::R0, imm: 7 }), 0xF800_0000];
+/// assert_eq!(disassemble(&words), "addi r1, r0, 7\nillegal 0xf8000000\n");
+/// ```
+pub fn disassemble(words: &[u32]) -> String {
+    use std::fmt::Write;
+    let mut out = String::with_capacity(words.len() * 20);
+    for &w in words {
+        writeln!(out, "{}", decode(w)).expect("writing to String cannot fail");
+    }
+    out
+}
+
 /// # Examples
 ///
 /// ```

@@ -57,7 +57,7 @@ mod parse;
 mod reg;
 
 pub use asm::{Asm, AsmError, Label};
-pub use encode::{decode, encode};
+pub use encode::{decode, disassemble, encode};
 pub use exec::{step, step_decoded, ArchState, Fault, MemAccess, StepInfo};
 pub use inst::{Inst, MemWidth, OpClass, RegRef};
 pub use mem::{FlatMem, MemIo};

@@ -20,9 +20,9 @@ pub const DATA_BASE: u32 = 0x10_0000;
 /// # Examples
 ///
 /// ```
-/// use secsim_workloads::build;
+/// use secsim_workloads::BenchId;
 ///
-/// let w = build("gzip", 1).expect("known benchmark");
+/// let w = BenchId::Gzip.build(1);
 /// assert!(w.mem.contains(w.entry, 4));
 /// assert_eq!(w.data_base, 0x10_0000);
 /// ```
@@ -113,12 +113,12 @@ impl Workload {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::spec::profile;
+    use crate::spec::BenchId;
     use secsim_isa::{step, ArchState};
 
     #[test]
     fn mcf_builds_and_runs_functionally() {
-        let p = profile("mcf").expect("mcf exists");
+        let p = BenchId::Mcf.profile();
         let mut w = Workload::from_profile(&p, 7);
         let mut st = ArchState::new(w.entry);
         for _ in 0..200_000 {
@@ -135,7 +135,7 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let p = profile("gcc").expect("gcc exists");
+        let p = BenchId::Gcc.profile();
         let a = Workload::from_profile(&p, 3);
         let b = Workload::from_profile(&p, 3);
         assert_eq!(a.mem.as_bytes(), b.mem.as_bytes());
@@ -145,7 +145,7 @@ mod tests {
 
     #[test]
     fn chase_list_is_single_cycle() {
-        let p = profile("mcf").expect("mcf exists");
+        let p = BenchId::Mcf.profile();
         let mut w = Workload::from_profile(&p, 1);
         let n = p.footprint / p.node_stride;
         let mut seen = std::collections::HashSet::new();

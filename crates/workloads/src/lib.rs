@@ -19,33 +19,43 @@
 //! linked lists), LCG-driven random loads, store streams, DAXPY-style FP
 //! loops and branchy reductions. Profiles are deterministic per seed.
 //!
+//! External programs enter through the same front door: the [`asm`]
+//! module assembles `.sasm` text into a relocatable [`ProgramImage`]
+//! (serialized as versioned `.sprog` files), [`register_program`] turns
+//! an image into a [`BenchId::External`] handle, and [`ProgramSource`]
+//! unifies all three origins (builtin | fuzz | external) for session
+//! and sweep builders.
+//!
 //! # Examples
 //!
 //! ```
-//! use secsim_workloads::{build, benchmarks};
+//! use secsim_workloads::BenchId;
 //!
-//! assert_eq!(benchmarks().len(), 18);
-//! let w = build("mcf", 42).expect("known benchmark");
+//! assert_eq!(BenchId::all().count(), 18);
+//! let w = BenchId::Mcf.build(42);
 //! assert_eq!(w.name, "mcf");
 //! assert!(w.data_bytes >= 1 << 20);
 //! ```
 
+pub mod asm;
 mod builder;
 mod fuzz;
 mod kernels;
 mod micro;
+mod prog;
 mod rng;
+mod source;
 mod spec;
 
+pub use asm::{assemble, assemble_named, AsmDiag};
 pub use builder::{Workload, DATA_BASE};
 pub use fuzz::{
     generate as generate_fuzz, generate_secret as generate_secret_fuzz, FuzzProgram, SecretSpec,
     FUZZ_FOOTPRINT, SECRET_OFF,
 };
+pub use prog::{ProgError, ProgramImage, Reloc, RelocKind, Segment, PROG_MAGIC, PROG_VERSION};
 pub use rng::SplitMix64;
 pub use kernels::KernelKind;
 pub use micro::Micro;
-pub use spec::{
-    benchmarks, build, fp_benchmarks, int_benchmarks, profile, BenchClass, BenchId,
-    ParseBenchError, Phase, Profile,
-};
+pub use source::{register_program, ExternalId, ProgramSource, SourceError};
+pub use spec::{BenchClass, BenchId, ParseBenchError, Phase, Profile};

@@ -9,6 +9,7 @@
 
 use crate::builder::Workload;
 use crate::kernels::KernelKind;
+use crate::source::ExternalId;
 
 /// Integer vs floating-point suite (Figures 7a/7b split on this).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -139,6 +140,12 @@ pub enum BenchId {
     /// Not SPEC: the deterministic fuzz-program target used by the
     /// differential co-simulation harness (`secsim-check`).
     Fuzz,
+    /// Not SPEC: an external program registered through
+    /// [`register_program`](crate::register_program) (an assembled
+    /// `.sasm` source or a loaded `.sprog` image). Flows through sweep
+    /// grids, caches and checkpoints like any built-in; its cache-key
+    /// token is the image's content hash rather than the name.
+    External(ExternalId),
 }
 
 impl BenchId {
@@ -218,6 +225,7 @@ impl BenchId {
             BenchId::Swim => "swim",
             BenchId::Wupwise => "wupwise",
             BenchId::Fuzz => "fuzz",
+            BenchId::External(e) => e.name(),
         }
     }
 
@@ -226,8 +234,7 @@ impl BenchId {
         self.profile().class
     }
 
-    /// The benchmark's kernel-mix profile. Infallible, unlike the
-    /// stringly-typed [`profile`] shim.
+    /// The benchmark's kernel-mix profile.
     pub fn profile(self) -> Profile {
         profile_of(self)
     }
@@ -236,12 +243,42 @@ impl BenchId {
     ///
     /// [`Fuzz`](BenchId::Fuzz) builds a random program from the
     /// deterministic generator ([`generate_fuzz`](crate::generate_fuzz))
-    /// instead of a kernel-mix profile.
+    /// instead of a kernel-mix profile; [`External`](BenchId::External)
+    /// loads the registered image (its bytes are fixed, so the seed is
+    /// ignored).
     pub fn build(self, seed: u64) -> Workload {
-        if self == BenchId::Fuzz {
-            crate::fuzz::generate(seed).workload
-        } else {
-            Workload::from_profile(&self.profile(), seed)
+        match self {
+            BenchId::Fuzz => crate::fuzz::generate(seed).workload,
+            BenchId::External(e) => e.image().workload(e.name()),
+            _ => Workload::from_profile(&self.profile(), seed),
+        }
+    }
+
+    /// Data footprint in bytes (power of two). For built-ins this is
+    /// the profile footprint; for externals, the image's declared
+    /// footprint.
+    pub fn footprint(self) -> u32 {
+        match self {
+            BenchId::External(e) => e.image().footprint,
+            _ => self.profile().footprint,
+        }
+    }
+
+    /// Base address of the protected data region.
+    pub fn data_base(self) -> u32 {
+        match self {
+            BenchId::External(e) => e.image().data_base,
+            _ => crate::builder::DATA_BASE,
+        }
+    }
+
+    /// The content hash of an external image, `None` for built-ins.
+    /// Cache and checkpoint keys mix this in so two externals sharing a
+    /// name never collide.
+    pub fn external_hash(self) -> Option<u64> {
+        match self {
+            BenchId::External(e) => Some(e.content_hash()),
+            _ => None,
         }
     }
 }
@@ -484,46 +521,21 @@ fn profile_of(id: BenchId) -> Profile {
             ],
         ),
         // ---- not a SPEC profile: the differential-harness fuzz target ----
-        // `build("fuzz", seed)` replaces the kernel program with a
+        // `BenchId::Fuzz.build(seed)` replaces the kernel program with a
         // generated one; this profile only supplies the footprint and
-        // class so config derivation (`sim_config`, sweeps) works.
+        // class so config derivation (`sim_config_id`, sweeps) works.
         B::Fuzz => p("fuzz", Int, crate::fuzz::FUZZ_FOOTPRINT, 64, vec![Phase::new(AluMix, 1)]),
+        // ---- external images: footprint/class stand-in only; the
+        // program bytes come from the registry, never from a profile ----
+        B::External(e) => Profile {
+            name: e.name(),
+            class: Int,
+            footprint: e.image().footprint,
+            node_stride: LINE,
+            outer_iters: 1,
+            phases: vec![Phase::new(AluMix, 1)],
+        },
     }
-}
-
-/// The profile for `name`, or `None` for an unknown benchmark.
-///
-/// `&str` shim over [`BenchId::profile`].
-pub fn profile(name: &str) -> Option<Profile> {
-    name.parse::<BenchId>().ok().map(BenchId::profile)
-}
-
-/// All 18 benchmark names, INT first.
-///
-/// `&str` shim over [`BenchId::ALL`].
-pub fn benchmarks() -> [&'static str; 18] {
-    BenchId::ALL.map(BenchId::name)
-}
-
-/// The nine INT benchmark names.
-///
-/// `&str` shim over [`BenchId::INT`].
-pub fn int_benchmarks() -> [&'static str; 9] {
-    BenchId::INT.map(BenchId::name)
-}
-
-/// The nine FP benchmark names.
-///
-/// `&str` shim over [`BenchId::FP`].
-pub fn fp_benchmarks() -> [&'static str; 9] {
-    BenchId::FP.map(BenchId::name)
-}
-
-/// Builds the named benchmark deterministically in `seed`.
-///
-/// `&str` shim over [`BenchId::build`].
-pub fn build(name: &str, seed: u64) -> Option<Workload> {
-    name.parse::<BenchId>().ok().map(|b| b.build(seed))
 }
 
 #[cfg(test)]
@@ -532,32 +544,33 @@ mod tests {
 
     #[test]
     fn all_benchmarks_have_profiles() {
-        for b in benchmarks() {
-            let p = profile(b).unwrap_or_else(|| panic!("missing profile {b}"));
+        for b in BenchId::all() {
+            let p = b.profile();
             assert!(p.footprint.is_power_of_two());
             assert!(!p.phases.is_empty());
-            assert_eq!(p.name, b);
+            assert_eq!(p.name, b.name());
+            assert_eq!(p.footprint, b.footprint());
+            assert_eq!(b.data_base(), crate::builder::DATA_BASE);
+            assert_eq!(b.external_hash(), None);
         }
-        assert!(profile("notabench").is_none());
-        assert!(build("notabench", 0).is_none());
     }
 
     #[test]
     fn class_split_is_9_9() {
-        assert_eq!(int_benchmarks().len(), 9);
-        assert_eq!(fp_benchmarks().len(), 9);
-        for b in int_benchmarks() {
-            assert_eq!(profile(b).expect("profile").class, BenchClass::Int);
+        assert_eq!(BenchId::INT.len(), 9);
+        assert_eq!(BenchId::FP.len(), 9);
+        for b in BenchId::INT {
+            assert_eq!(b.class(), BenchClass::Int);
         }
-        for b in fp_benchmarks() {
-            assert_eq!(profile(b).expect("profile").class, BenchClass::Fp);
+        for b in BenchId::FP {
+            assert_eq!(b.class(), BenchClass::Fp);
         }
     }
 
     #[test]
     fn hot_regions_are_powers_of_two_within_footprint() {
-        for b in benchmarks() {
-            let p = profile(b).expect("profile");
+        for b in BenchId::all() {
+            let p = b.profile();
             for ph in &p.phases {
                 if ph.region_bytes != 0 {
                     assert!(ph.region_bytes.is_power_of_two());
@@ -568,11 +581,9 @@ mod tests {
     }
 
     #[test]
-    fn bench_ids_round_trip_and_match_shims() {
-        for (id, name) in BenchId::all().zip(benchmarks()) {
-            assert_eq!(id.name(), name);
+    fn bench_ids_round_trip() {
+        for id in BenchId::all() {
             assert_eq!(id.to_string().parse::<BenchId>(), Ok(id));
-            assert_eq!(profile(name), Some(id.profile()));
         }
         assert_eq!("fuzz".parse(), Ok(BenchId::Fuzz));
         let err = "notabench".parse::<BenchId>().unwrap_err();
@@ -582,8 +593,26 @@ mod tests {
 
     #[test]
     fn mcf_is_chase_dominated() {
-        let p = profile("mcf").expect("profile");
+        let p = BenchId::Mcf.profile();
         assert!(matches!(p.phases[0].kind, KernelKind::PointerChase));
         assert!(p.footprint >= 8 << 20);
+    }
+
+    #[test]
+    fn external_bench_reports_image_geometry() {
+        let img = crate::asm::assemble_named(
+            ".footprint 8192\n.data 0x100000\n.word 1\n.text\nhalt\n",
+            "geom",
+        )
+        .expect("assembles");
+        let id = crate::register_program(img);
+        let b = BenchId::External(id);
+        assert_eq!(b.name(), "geom");
+        assert_eq!(b.footprint(), 8192);
+        assert_eq!(b.data_base(), 0x10_0000);
+        assert!(b.external_hash().is_some());
+        let w = b.build(0);
+        assert_eq!(w.name, "geom");
+        assert_eq!(w.data_base, 0x10_0000);
     }
 }

@@ -1,0 +1,39 @@
+//! Assembler round-trip property over the fuzz corpus.
+//!
+//! Every generated program's instruction words must survive
+//! `disassemble` → `assemble` unchanged, and the disassembly itself
+//! must be a fixpoint (disassembling the reassembled words reproduces
+//! the same text). This pins the text assembler, the instruction
+//! printer, and the encoder against each other: any one of them
+//! drifting breaks the cycle.
+
+use secsim_isa::disassemble;
+use secsim_workloads::{assemble, generate_fuzz, generate_secret_fuzz};
+
+const CODE_BASE: u32 = 0x1000;
+
+fn roundtrip(words: &[u32], what: &str) {
+    let text = disassemble(words);
+    let img = assemble(&text).unwrap_or_else(|e| panic!("{what}: disassembly rejected: {e}"));
+    assert_eq!(img.code_base, CODE_BASE, "{what}: default base drifted");
+    assert_eq!(img.entry, CODE_BASE, "{what}: default entry drifted");
+    assert_eq!(img.code, words, "{what}: reassembled words diverged");
+    assert!(img.relocs.is_empty(), "{what}: numeric source must not relocate");
+    assert_eq!(disassemble(&img.code), text, "{what}: disassembly is not a fixpoint");
+}
+
+#[test]
+fn fuzz_corpus_words_survive_disassemble_assemble() {
+    for seed in 0..32u64 {
+        roundtrip(&generate_fuzz(seed).words, &format!("fuzz seed {seed}"));
+    }
+}
+
+#[test]
+fn secret_fuzz_corpus_words_survive_disassemble_assemble() {
+    // The secret variant adds probe sequences (secret-dependent loads),
+    // widening the opcode mix the printer has to cover.
+    for seed in 0..8u64 {
+        roundtrip(&generate_secret_fuzz(seed).words, &format!("secret fuzz seed {seed}"));
+    }
+}

@@ -8,11 +8,11 @@
 
 use secsim::core::Policy;
 use secsim::cpu::{CpuConfig, SimConfig, SimSession};
-use secsim::workloads::build;
+use secsim::workloads::BenchId;
 
-fn norm_ipc(bench: &str, policy: Policy, mac_latency: u64, ruu: u32) -> f64 {
+fn norm_ipc(bench: BenchId, policy: Policy, mac_latency: u64, ruu: u32) -> f64 {
     let mk = |p: Policy| {
-        let mut w = build(bench, 1).expect("benchmark exists");
+        let mut w = bench.build(1);
         let mut cfg = SimConfig::paper_256k(p).with_max_insts(150_000);
         cfg.cpu = if ruu == 64 { CpuConfig::paper_ruu64() } else { CpuConfig::paper_reference() };
         cfg.secure.ctrl.queue.mac_latency = mac_latency;
@@ -23,7 +23,7 @@ fn norm_ipc(bench: &str, policy: Policy, mac_latency: u64, ruu: u32) -> f64 {
 }
 
 fn main() {
-    let bench = "ammp";
+    let bench = BenchId::Ammp;
     println!("benchmark: {bench} (pointer-chasing FP, 256KB L2)\n");
 
     println!("MAC latency sweep (128-entry RUU): the decrypt→verify gap widens");

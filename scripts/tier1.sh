@@ -35,6 +35,9 @@ cmp "$SMOKE_RESULTS/fresh.txt" "$SMOKE_RESULTS/cached.txt" || {
     echo "FAIL: cached sweep output differs from fresh run"; exit 1; }
 echo "cached output byte-identical to fresh run"
 
+echo "== asm smoke: assemble examples/*.sasm, diff vs golden .sprog, run baseline+commit =="
+./target/release/asm --smoke
+
 echo "== check-smoke: differential co-sim batch + checkpoint determinism, all policies, fixed seed =="
 ./target/release/secsim-check --smoke --seed 2006
 

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! secsim run --bench mcf --policy commit [--l2 1m] [--insts 1000000] [--ruu 64] [--tree]
-//! secsim asm program.s [--policy commit] [--base 0x1000] [--mem 1048576] [--trace]
+//! secsim run --program victim.sasm --policy commit
+//! secsim asm program.sasm [--out program.sprog] [--hex] [--policy commit] [--trace]
 //! secsim attack --exploit pointer-conversion --policy commit
 //! secsim list
 //! ```
@@ -10,9 +11,8 @@
 use secsim::attack::{run_exploit, Exploit};
 use secsim::core::{Policy, SecureConfig};
 use secsim::cpu::{CpuConfig, SimConfig, SimOutcome, SimReport, SimSession, TraceConfig};
-use secsim::isa::{assemble_text, FlatMem};
 use secsim::mem::MemSystemConfig;
-use secsim::workloads::BenchId;
+use secsim::workloads::{assemble_named, register_program, BenchId, ProgramSource};
 use std::process::ExitCode;
 
 fn parse_policy(name: &str) -> Option<Policy> {
@@ -112,10 +112,16 @@ fn print_report(r: &SimReport, verbose: bool) {
 }
 
 fn cmd_run(args: &Args) -> Result<(), String> {
-    let bench = args.get("bench").ok_or("run: --bench <name> is required")?;
     let policy_name = args.get("policy").unwrap_or("commit");
     let policy = parse_policy(policy_name).ok_or_else(|| format!("unknown policy `{policy_name}`"))?;
-    let bench: BenchId = bench.parse().map_err(|e| format!("{e} (try `secsim list`)"))?;
+    let bench: BenchId = match (args.get("bench"), args.get("program")) {
+        (Some(_), Some(_)) => return Err("run: --bench and --program are exclusive".into()),
+        (Some(name), None) => name.parse().map_err(|e| format!("{e} (try `secsim list`)"))?,
+        (None, Some(path)) => ProgramSource::from_arg(path)
+            .map_err(|e| format!("--program {path}: {e}"))?
+            .bench_id(),
+        (None, None) => return Err("run: --bench <name> or --program <file> is required".into()),
+    };
     let mut w = bench.build(args.num("seed", 2006)?);
     let mem = match args.get("l2").unwrap_or("256k") {
         "256k" | "256K" => MemSystemConfig::paper_256k(),
@@ -219,23 +225,53 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
 fn cmd_asm(args: &Args) -> Result<(), String> {
     let path = args.positional.get(1).ok_or("asm: a source file is required")?;
     let source = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-    let base = args.num("base", 0x1000)? as u32;
-    let words = assemble_text(&source, base).map_err(|e| e.to_string())?;
-    println!("assembled {} instructions at {base:#x}", words.len());
+    let stem = std::path::Path::new(path)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("program");
+    let image = assemble_named(&source, stem).map_err(|e| format!("{path}:{e}"))?;
+    eprintln!(
+        "assembled {}: {} code words at {:#x}, {} data segment(s), entry {:#x}, footprint {} bytes",
+        image.name,
+        image.code.len(),
+        image.code_base,
+        image.segments.len(),
+        image.entry,
+        image.footprint,
+    );
+    if let Some(out) = args.get("out") {
+        std::fs::write(out, image.to_bytes()).map_err(|e| format!("{out}: {e}"))?;
+        eprintln!("program image written to {out}");
+        return Ok(());
+    }
     if args.flag("hex") {
-        for (i, w) in words.iter().enumerate() {
-            println!("{:#010x}: {w:08x}  {}", base + 4 * i as u32, secsim::isa::decode(*w));
+        for (i, w) in image.code.iter().enumerate() {
+            println!(
+                "{:#010x}: {w:08x}  {}",
+                image.code_base + 4 * i as u32,
+                secsim::isa::decode(*w)
+            );
         }
         return Ok(());
     }
     let policy_name = args.get("policy").unwrap_or("commit");
     let policy = parse_policy(policy_name).ok_or_else(|| format!("unknown policy `{policy_name}`"))?;
-    let mem_bytes = args.num("mem", 1 << 20)? as usize;
-    let mut mem = FlatMem::new(base & !0xFFF, mem_bytes);
-    mem.load_words(base, &words);
-    let cfg = SimConfig::paper_256k(policy).with_max_insts(args.num("insts", 10_000_000)?);
-    let r = SimSession::new(&cfg).trace_bus(args.flag("trace")).run(&mut mem, base).into_report();
+    let src = ProgramSource::External(register_program(image));
+    let w = src.build(args.num("seed", 2006)?);
+    let mut cfg = SimConfig::paper_256k(policy).with_max_insts(args.num("insts", 10_000_000)?);
+    cfg.secure = cfg.secure.with_protected_region(w.data_base, w.data_bytes);
+    let out = SimSession::new(&cfg)
+        .program(src)
+        .trace_bus(args.flag("trace"))
+        .run_program();
+    let r = out.into_run().report;
     print_report(&r, args.flag("verbose"));
+    if args.flag("trace") {
+        println!("--- first bus events ---");
+        for e in r.bus_events.iter().take(20) {
+            println!("cycle {:>8}  {:#010x}  {:?}", e.cycle, e.addr, e.kind);
+        }
+    }
     Ok(())
 }
 
@@ -274,9 +310,9 @@ fn cmd_list() {
 }
 
 const USAGE: &str = "usage:
-  secsim run   --bench <name> [--policy P] [--l2 256k|1m] [--insts N] [--ruu N] [--tree] [--trace] [--trace-out f.csv] [--chrome-trace f.json] [--verbose]
+  secsim run   --bench <name> | --program <f.sasm|f.sprog> [--policy P] [--l2 256k|1m] [--insts N] [--ruu N] [--tree] [--trace] [--trace-out f.csv] [--chrome-trace f.json] [--verbose]
   secsim sweep --bench <name> [--insts N] [--seed N]
-  secsim asm   <file.s> [--base 0x1000] [--policy P] [--insts N] [--hex] [--trace]
+  secsim asm   <file.sasm> [--out f.sprog] [--hex] [--policy P] [--insts N] [--trace]
   secsim attack --exploit <name> [--policy P]
   secsim list";
 

@@ -4,7 +4,7 @@
 use secsim::core::{properties, EncryptedMemory, Policy, SecureConfig};
 use secsim::cpu::{SimConfig, SimSession};
 use secsim::isa::{Asm, FlatMem, MemIo, Reg};
-use secsim::workloads::build;
+use secsim::workloads::BenchId;
 
 /// A program whose final answer is architecturally observable via `out`.
 fn checksum_program() -> (Vec<u32>, u32) {
@@ -88,8 +88,8 @@ fn encrypted_image_is_functionally_equivalent() {
 /// Cycle counts are bit-for-bit reproducible across runs and clones.
 #[test]
 fn simulation_is_deterministic() {
-    let mut w1 = build("twolf", 99).expect("twolf");
-    let mut w2 = build("twolf", 99).expect("twolf");
+    let mut w1 = BenchId::Twolf.build(99);
+    let mut w2 = BenchId::Twolf.build(99);
     let cfg = SimConfig::paper_256k(Policy::commit_plus_obfuscation())
         .with_max_insts(40_000);
     let cfg = SimConfig {
@@ -106,7 +106,7 @@ fn simulation_is_deterministic() {
 /// full benchmark pipeline (geomean over a representative subset).
 #[test]
 fn figure7_ordering_holds() {
-    let benches = ["mcf", "art", "twolf", "wupwise"];
+    let benches = [BenchId::Mcf, BenchId::Art, BenchId::Twolf, BenchId::Wupwise];
     let mut geo = std::collections::HashMap::new();
     for policy in [
         Policy::baseline(),
@@ -117,7 +117,7 @@ fn figure7_ordering_holds() {
     ] {
         let mut acc = 1.0f64;
         for b in benches {
-            let mut w = build(b, 7).expect("bench");
+            let mut w = b.build(7);
             let mut cfg = SimConfig::paper_256k(policy).with_max_insts(60_000);
             cfg.secure = cfg.secure.with_protected_region(w.data_base, w.data_bytes);
             acc *= SimSession::new(&cfg).run(&mut w.mem, w.entry).into_report().ipc();
@@ -155,10 +155,10 @@ fn security_matrix_agrees_with_properties() {
 #[test]
 fn l2_size_monotonicity() {
     for policy in [Policy::baseline(), Policy::authen_then_issue()] {
-        let mut w = build("vpr", 3).expect("vpr");
+        let mut w = BenchId::Vpr.build(3);
         let cfg_s = SimConfig::paper_256k(policy).with_max_insts(60_000);
         let small = SimSession::new(&cfg_s).run(&mut w.mem, w.entry).into_report().ipc();
-        let mut w = build("vpr", 3).expect("vpr");
+        let mut w = BenchId::Vpr.build(3);
         let cfg_l = SimConfig::paper_1m(policy).with_max_insts(60_000);
         let large = SimSession::new(&cfg_l).run(&mut w.mem, w.entry).into_report().ipc();
         assert!(large >= small * 0.98, "{policy}: 1MB {large} vs 256KB {small}");
@@ -170,7 +170,7 @@ fn l2_size_monotonicity() {
 #[test]
 fn tree_config_costs_performance() {
     let run = |tree: bool| {
-        let mut w = build("art", 5).expect("art");
+        let mut w = BenchId::Art.build(5);
         let secure = if tree {
             SecureConfig::paper_with_tree(
                 Policy::authen_then_issue(),
