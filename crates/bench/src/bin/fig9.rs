@@ -1,5 +1,10 @@
 //! Figure 9: normalized IPC of authen-then-commit + address obfuscation
 //! for three remap-cache sizes (64 KB / 256 KB / 1 MB).
+//!
+//! With `--server HOST:PORT` the grid is submitted to a running
+//! `secsim-serve` instance (see docs/SERVICE.md) instead of simulating
+//! in-process; the table is byte-identical either way. Without it,
+//! `Sweep::run` executes locally against `results/cache/`.
 
 use secsim_bench::{cell, grid_benches, RunOpts, Sweep, SweepPoint};
 use secsim_core::Policy;

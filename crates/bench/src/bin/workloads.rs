@@ -1,6 +1,10 @@
 //! Characterizes the 18 synthetic benchmarks: instruction mix, cache
 //! behaviour, branch predictability — the evidence that each profile
 //! reproduces its namesake's memory character.
+//!
+//! With `--server HOST:PORT` the 18-point grid runs on a `secsim-serve`
+//! instance (see docs/SERVICE.md) instead of in-process; the
+//! characterization table is byte-identical either way.
 
 use secsim_bench::{grid_benches, RunOpts, Sweep, SweepPoint};
 use secsim_core::Policy;

@@ -1,0 +1,205 @@
+//! The thin client of `secsim-serve`: submit a job over the
+//! line-delimited JSON protocol (see [`crate::protocol`]) and stream
+//! the results back.
+//!
+//! This is what `--server ADDR` on any figure binary routes through:
+//! [`run_sweep`] sends the full grid, collects `point-done` events and
+//! returns reports **in grid order**, exactly shaped like
+//! [`Sweep::run`](crate::Sweep::run)'s return value — so a binary
+//! cannot tell (and its output cannot differ) whether its grid ran
+//! in-process or on a server.
+
+use crate::protocol::{self, codes};
+use crate::{SweepError, SweepPoint};
+use secsim_cpu::SimReport;
+use secsim_stats::Json;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::TcpStream;
+
+/// Why a server interaction failed. Any of these aborts the client
+/// call: a half-delivered grid is never returned.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientError {
+    /// Connecting, sending or receiving failed at the socket level.
+    Io(String),
+    /// The server sent something that is not a protocol event.
+    Protocol(String),
+    /// The server answered with a typed `error` event.
+    Server {
+        /// One of the [`codes`] constants.
+        code: String,
+        /// Server-provided detail.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport failed: {e}"),
+            ClientError::Protocol(e) => write!(f, "protocol violation: {e}"),
+            ClientError::Server { code, detail } => write!(f, "server error [{code}]: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e.to_string())
+    }
+}
+
+/// A connected protocol session: one request out, a stream of events
+/// back.
+struct Session {
+    writer: BufWriter<TcpStream>,
+    reader: BufReader<TcpStream>,
+}
+
+impl Session {
+    fn connect(addr: &str) -> Result<Self, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let writer = BufWriter::new(stream.try_clone()?);
+        Ok(Self { writer, reader: BufReader::new(stream) })
+    }
+
+    fn send(&mut self, line: &str) -> Result<(), ClientError> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        Ok(())
+    }
+
+    /// Reads the next event object; `Ok(None)` at EOF. Typed server
+    /// errors surface as [`ClientError::Server`].
+    fn next_event(&mut self) -> Result<Option<Json>, ClientError> {
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Ok(None);
+        }
+        let v = Json::parse(line.trim_end())
+            .map_err(|e| ClientError::Protocol(format!("unparseable event line: {e}")))?;
+        if v.get("event").and_then(Json::as_str) == Some("error") {
+            return Err(ClientError::Server {
+                code: v.get("code").and_then(Json::as_str).unwrap_or("?").to_string(),
+                detail: v.get("detail").and_then(Json::as_str).unwrap_or("").to_string(),
+            });
+        }
+        Ok(Some(v))
+    }
+}
+
+/// Submits `points` as one sweep job and returns the results in grid
+/// order — the remote counterpart of [`Sweep::run`](crate::Sweep::run).
+pub fn run_sweep(
+    addr: &str,
+    points: &[SweepPoint],
+) -> Result<Vec<Result<SimReport, SweepError>>, ClientError> {
+    let mut s = Session::connect(addr)?;
+    s.send(&protocol::sweep_request(points))?;
+    let mut results: Vec<Option<Result<SimReport, SweepError>>> = vec![None; points.len()];
+    let mut complete = false;
+    while let Some(ev) = s.next_event()? {
+        match ev.get("event").and_then(Json::as_str) {
+            Some("queued" | "running") => {}
+            Some("point-done") => {
+                let i = ev
+                    .get("index")
+                    .and_then(Json::as_u64)
+                    .map(|n| n as usize)
+                    .filter(|&n| n < points.len())
+                    .ok_or_else(|| {
+                        ClientError::Protocol("point-done with a bad index".to_string())
+                    })?;
+                results[i] = Some(
+                    protocol::result_from_json(&ev).map_err(ClientError::Protocol)?,
+                );
+            }
+            Some("complete") => {
+                complete = true;
+                break;
+            }
+            other => {
+                return Err(ClientError::Protocol(format!("unexpected event {other:?}")));
+            }
+        }
+    }
+    if !complete {
+        return Err(ClientError::Server {
+            code: codes::TRUNCATED.to_string(),
+            detail: "connection closed before the job completed".to_string(),
+        });
+    }
+    results
+        .into_iter()
+        .map(|r| {
+            r.ok_or_else(|| ClientError::Protocol("job completed with missing points".to_string()))
+        })
+        .collect()
+}
+
+/// Submits a fault-campaign job (8 schemes × 5 integrity kinds injected
+/// at `inject`) and returns the raw `fault-done` event objects.
+pub fn run_faults(
+    addr: &str,
+    inject: u64,
+    timeout_secs: u64,
+) -> Result<Vec<Json>, ClientError> {
+    let mut s = Session::connect(addr)?;
+    s.send(&protocol::faults_request(inject, timeout_secs))?;
+    let mut rows = Vec::new();
+    let mut complete = false;
+    while let Some(ev) = s.next_event()? {
+        match ev.get("event").and_then(Json::as_str) {
+            Some("queued" | "running") => {}
+            Some("fault-done") => rows.push(ev),
+            Some("complete") => {
+                complete = true;
+                break;
+            }
+            other => {
+                return Err(ClientError::Protocol(format!("unexpected event {other:?}")));
+            }
+        }
+    }
+    if !complete {
+        return Err(ClientError::Server {
+            code: codes::TRUNCATED.to_string(),
+            detail: "connection closed before the campaign completed".to_string(),
+        });
+    }
+    Ok(rows)
+}
+
+/// Fetches the server's `status` object (queue depth, store counters,
+/// sweep counters).
+pub fn status(addr: &str) -> Result<Json, ClientError> {
+    let mut s = Session::connect(addr)?;
+    s.send(&protocol::status_request())?;
+    match s.next_event()? {
+        Some(ev) if ev.get("event").and_then(Json::as_str) == Some("status") => Ok(ev),
+        Some(ev) => Err(ClientError::Protocol(format!("expected status, got {}", ev.render()))),
+        None => Err(ClientError::Server {
+            code: codes::TRUNCATED.to_string(),
+            detail: "connection closed before the status arrived".to_string(),
+        }),
+    }
+}
+
+/// Asks the server to drain and exit. Returns once the server
+/// acknowledges.
+pub fn shutdown(addr: &str) -> Result<(), ClientError> {
+    let mut s = Session::connect(addr)?;
+    s.send(&protocol::shutdown_request())?;
+    match s.next_event()? {
+        None => Ok(()), // server exited before acking: fine
+        Some(ev) if ev.get("event").and_then(Json::as_str) == Some("shutting-down") => Ok(()),
+        Some(ev) => Err(ClientError::Protocol(format!(
+            "expected shutting-down, got {}",
+            ev.render()
+        ))),
+    }
+}

@@ -19,10 +19,15 @@
 //! ```
 
 pub mod checkpoint;
+pub mod client;
+pub mod faultpoint;
+pub mod protocol;
+pub mod store;
 pub mod sweep;
 pub mod timing;
 
-pub use sweep::{Sweep, SweepError, SweepPoint, CACHE_VERSION};
+pub use store::{ResultStore, StoreCounters};
+pub use sweep::{Sweep, SweepError, SweepPoint, SweepStats, CACHE_VERSION};
 
 use secsim_core::{Policy, SecureConfig};
 use secsim_cpu::{CpuConfig, SimConfig, SimReport, SimSession};

@@ -1,5 +1,5 @@
 //! Parallel sweep execution over a grid of simulation points, backed by
-//! a persistent on-disk result cache.
+//! the content-addressed [`ResultStore`].
 //!
 //! Every figure/table binary boils down to "run the pipeline over a
 //! grid of `(benchmark, SimConfig)` points and aggregate". [`Sweep::run`]
@@ -8,18 +8,31 @@
 //! so results are byte-identical to a serial run regardless of the
 //! worker count.
 //!
-//! Completed points are persisted under `results/cache/` keyed by a
-//! stable fingerprint of the *full* run configuration (see
+//! Completed points are persisted in the store under `results/cache/`
+//! keyed by a stable fingerprint of the *full* run configuration (see
 //! [`SweepPoint::key`]). A second invocation of any experiment binary
 //! reloads its reports instead of re-simulating. Cache entries are
 //! invalidated implicitly: any change to the benchmark name, seed, or
 //! any `SimConfig` field changes the key, and model changes that alter
 //! results without changing the config must bump [`CACHE_VERSION`].
 //!
+//! Concurrent executors — worker threads of one sweep, several sweeps
+//! in one process, or separate processes sharing a store directory —
+//! deduplicate in flight: an in-process gate plus the store's
+//! cross-process claim files guarantee each missing point is simulated
+//! exactly once, with everyone else fanning in on the published result
+//! (see [`Sweep::stats`]).
+//!
 //! Knobs:
 //!
 //! * `SECSIM_JOBS` / `--jobs N` — worker count (default: all cores).
-//! * `--no-cache` — skip both cache lookup and cache writes.
+//! * `--no-cache` — skip both store lookup and store writes.
+//! * `--server ADDR` — don't simulate locally at all: submit the grid
+//!   to a running `secsim-serve` instance (see `docs/SERVICE.md`) and
+//!   stream results back. Everything else (output, tables) is
+//!   unchanged — the binary becomes a thin client.
+//! * `--store-bytes N` (or `SECSIM_STORE_BYTES`) — LRU byte budget for
+//!   the local store (0 = unlimited).
 //! * `--trace FILE` — after the grid completes, re-run the first point
 //!   with event tracing and write a Chrome `trace_event` JSON to FILE
 //!   (load it in Perfetto / `chrome://tracing`).
@@ -27,7 +40,7 @@
 //!   external program and append it to the binary's benchmark grid as a
 //!   [`BenchId::External`] entry (repeatable). External points cache
 //!   like built-ins, keyed by the program's content hash.
-//! * `SECSIM_RESULTS` — relocates `results/`, and the cache with it.
+//! * `SECSIM_RESULTS` — relocates `results/`, and the store with it.
 //!
 //! # Examples
 //!
@@ -48,16 +61,17 @@
 //! }
 //! ```
 
+use crate::store::{Claim, ResultStore};
 use crate::{results_dir, sim_config_id, RunOpts};
 use secsim_core::Policy;
 use secsim_cpu::{SimConfig, SimReport, SimSession, TraceConfig};
-use secsim_stats::{Json, StableHash, StableHasher};
-use secsim_workloads::{BenchId, ParseBenchError, ProgramSource, SplitMix64};
+use secsim_stats::{StableHash, StableHasher};
+use secsim_workloads::{BenchId, ParseBenchError, ProgramSource};
 use std::collections::HashMap;
 use std::fs;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 
 /// Why a sweep point produced no report.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -65,8 +79,9 @@ pub enum SweepError {
     /// A stringly-typed entry point named a benchmark that does not
     /// exist (see [`BenchId`]).
     UnknownBench(String),
-    /// The simulation itself panicked; the grid keeps running and the
-    /// caller decides how to report the hole.
+    /// The simulation itself panicked or was cut off by a watchdog; the
+    /// grid keeps running and the caller decides how to report the
+    /// hole.
     Failed {
         /// Benchmark of the failing point.
         bench: String,
@@ -174,11 +189,51 @@ impl SweepPoint {
     }
 }
 
-/// The parallel, cached sweep executor. See the module docs.
+/// In-process fan-in gate: the first worker to hit a missing key owns
+/// it; everyone else blocks here until the owner publishes the outcome.
+#[derive(Debug, Default)]
+struct Gate {
+    outcome: Mutex<Option<Result<SimReport, SweepError>>>,
+    ready: Condvar,
+}
+
+impl Gate {
+    fn publish(&self, out: &Result<SimReport, SweepError>) {
+        *self.outcome.lock().expect("gate poisoned") = Some(out.clone());
+        self.ready.notify_all();
+    }
+
+    fn wait(&self) -> Result<SimReport, SweepError> {
+        let mut slot = self.outcome.lock().expect("gate poisoned");
+        while slot.is_none() {
+            slot = self.ready.wait(slot).expect("gate poisoned");
+        }
+        slot.clone().expect("loop exits on Some")
+    }
+}
+
+/// Execution counters of one [`Sweep`] (exactly-once verification and
+/// the server's `status` payload).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SweepStats {
+    /// Points this sweep actually simulated (ran the pipeline for).
+    pub simulated: u64,
+    /// Points served by blocking on another in-process worker's
+    /// simulation of the same key (in-flight fan-in).
+    pub fanin: u64,
+    /// Points served from the in-process memo.
+    pub memo_hits: u64,
+}
+
+/// The parallel, deduplicating, store-backed sweep executor. See the
+/// module docs.
 #[derive(Debug)]
 pub struct Sweep {
     jobs: usize,
-    cache_dir: Option<PathBuf>,
+    store: Option<ResultStore>,
+    /// `--server ADDR`: route grids to a `secsim-serve` instance
+    /// instead of simulating in-process.
+    server: Option<String>,
     /// Chrome-trace output requested via `--trace FILE`; consumed by the
     /// first grid that runs.
     trace_out: Mutex<Option<PathBuf>>,
@@ -186,6 +241,13 @@ pub struct Sweep {
     /// shared baselines of the figure tables) simulate at most once per
     /// process even with caching disabled.
     memo: Mutex<HashMap<u64, SimReport>>,
+    /// Keys currently being simulated by some worker of this sweep;
+    /// concurrent requests for the same key block on the gate instead of
+    /// duplicating the run.
+    inflight: Mutex<HashMap<u64, Arc<Gate>>>,
+    simulated: AtomicU64,
+    fanin: AtomicU64,
+    memo_hits: AtomicU64,
     /// External programs collected from `--program FILE` arguments;
     /// figure/table binaries append these to their benchmark grids.
     externals: Vec<BenchId>,
@@ -199,7 +261,7 @@ impl Default for Sweep {
 
 impl Sweep {
     /// A sweep with the default worker count (`SECSIM_JOBS`, else all
-    /// cores) and the default cache directory (`results/cache`).
+    /// cores) and the default store directory (`results/cache`).
     pub fn new() -> Self {
         let jobs = std::env::var("SECSIM_JOBS")
             .ok()
@@ -208,17 +270,23 @@ impl Sweep {
             .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
         Self {
             jobs,
-            cache_dir: Some(results_dir().join("cache")),
+            store: Some(ResultStore::new(results_dir().join("cache"))),
+            server: None,
             trace_out: Mutex::new(None),
             memo: Mutex::new(HashMap::new()),
+            inflight: Mutex::new(HashMap::new()),
+            simulated: AtomicU64::new(0),
+            fanin: AtomicU64::new(0),
+            memo_hits: AtomicU64::new(0),
             externals: Vec::new(),
         }
     }
 
     /// A sweep configured from the process arguments: consumes
-    /// `--jobs N`, `--no-cache`, `--trace FILE` and `--program FILE`,
-    /// returning the remaining arguments (without the program name) for
-    /// the binary's own parsing.
+    /// `--jobs N`, `--no-cache`, `--server ADDR`, `--store-bytes N`,
+    /// `--trace FILE` and `--program FILE`, returning the remaining
+    /// arguments (without the program name) for the binary's own
+    /// parsing.
     pub fn from_args() -> (Self, Vec<String>) {
         let mut sweep = Self::new();
         let mut rest = Vec::new();
@@ -234,6 +302,21 @@ impl Sweep {
                     sweep = sweep.with_jobs(n);
                 }
                 "--no-cache" => sweep = sweep.without_cache(),
+                "--server" => {
+                    let Some(addr) = args.next() else {
+                        eprintln!("error: --server needs an ADDR (host:port)");
+                        std::process::exit(2);
+                    };
+                    sweep = sweep.with_server(addr);
+                }
+                "--store-bytes" => {
+                    let n = args.next().and_then(|s| s.parse::<u64>().ok());
+                    let Some(n) = n else {
+                        eprintln!("error: --store-bytes needs a byte count (0 = unlimited)");
+                        std::process::exit(2);
+                    };
+                    sweep = sweep.with_store_bytes(n);
+                }
                 "--trace" => {
                     let Some(path) = args.next() else {
                         eprintln!("error: --trace needs an output file");
@@ -281,15 +364,35 @@ impl Sweep {
         self
     }
 
-    /// Disables the persistent cache (the in-process memo remains).
+    /// Disables the persistent store (the in-process memo remains).
     pub fn without_cache(mut self) -> Self {
-        self.cache_dir = None;
+        self.store = None;
         self
     }
 
-    /// Redirects the persistent cache.
+    /// Redirects the persistent store.
     pub fn with_cache_dir(mut self, dir: PathBuf) -> Self {
-        self.cache_dir = Some(dir);
+        self.store = Some(ResultStore::new(dir));
+        self
+    }
+
+    /// Replaces the persistent store wholesale (budget, claim deadline
+    /// and all — the server configures its store this way).
+    pub fn with_store(mut self, store: ResultStore) -> Self {
+        self.store = Some(store);
+        self
+    }
+
+    /// Applies an LRU byte budget to the store (0 = unlimited).
+    pub fn with_store_bytes(mut self, bytes: u64) -> Self {
+        self.store = self.store.map(|s| s.with_budget((bytes > 0).then_some(bytes)));
+        self
+    }
+
+    /// Routes [`Sweep::run`] grids to a `secsim-serve` instance at
+    /// `addr` instead of simulating in-process.
+    pub fn with_server(mut self, addr: String) -> Self {
+        self.server = Some(addr);
         self
     }
 
@@ -298,36 +401,64 @@ impl Sweep {
         self.jobs
     }
 
+    /// The server address grids are routed to, if any.
+    pub fn server(&self) -> Option<&str> {
+        self.server.as_deref()
+    }
+
+    /// The persistent store, if caching is enabled.
+    pub fn store(&self) -> Option<&ResultStore> {
+        self.store.as_ref()
+    }
+
+    /// Execution counters so far (exactly-once verification).
+    pub fn stats(&self) -> SweepStats {
+        SweepStats {
+            simulated: self.simulated.load(Ordering::Relaxed),
+            fanin: self.fanin.load(Ordering::Relaxed),
+            memo_hits: self.memo_hits.load(Ordering::Relaxed),
+        }
+    }
+
     /// Runs every point, in parallel, returning one `Result` per point
     /// **in grid order** — an `Err` marks a point whose simulation
-    /// panicked, and the rest of the grid still completes. Cached points
-    /// are loaded, fresh points are simulated and persisted.
+    /// panicked, and the rest of the grid still completes. Stored points
+    /// are loaded, fresh points are simulated exactly once (concurrent
+    /// requests fan in) and persisted.
+    ///
+    /// With [`with_server`](Sweep::with_server) configured, the grid is
+    /// submitted to the remote `secsim-serve` instance instead; a
+    /// transport failure aborts the process (a half-remote grid would
+    /// silently skew every downstream table).
     pub fn run(&self, points: &[SweepPoint]) -> Vec<Result<SimReport, SweepError>> {
-        let mut slots: Vec<Mutex<Option<Result<SimReport, SweepError>>>> =
-            Vec::with_capacity(points.len());
-        slots.resize_with(points.len(), || Mutex::new(None));
-        let mut todo: Vec<usize> = Vec::new();
-        {
-            let memo = self.memo.lock().expect("memo poisoned");
-            for (i, p) in points.iter().enumerate() {
-                match memo.get(&p.key()) {
-                    Some(r) => *slots[i].lock().expect("slot") = Some(Ok(r.clone())),
-                    None => todo.push(i),
+        if let Some(addr) = &self.server {
+            match crate::client::run_sweep(addr, points) {
+                Ok(results) => return results,
+                Err(e) => {
+                    eprintln!("error: --server {addr}: {e}");
+                    std::process::exit(1);
                 }
             }
         }
-        // Disk lookups stay serial: they are ~instant next to a run.
-        todo.retain(|&i| {
-            let p = &points[i];
-            match self.load_cached(p) {
-                Some(r) => {
-                    self.memo.lock().expect("memo poisoned").insert(p.key(), r.clone());
-                    *slots[i].lock().expect("slot") = Some(Ok(r));
-                    false
+        let mut slots: Vec<Mutex<Option<Result<SimReport, SweepError>>>> =
+            Vec::with_capacity(points.len());
+        slots.resize_with(points.len(), || Mutex::new(None));
+        let todo: Vec<usize> = {
+            // Memo prepass keeps fully-warm grids (repeated tables in
+            // one binary) from spawning workers at all.
+            let memo = self.memo.lock().expect("memo poisoned");
+            let mut todo = Vec::new();
+            for (i, p) in points.iter().enumerate() {
+                match memo.get(&p.key()) {
+                    Some(r) => {
+                        self.memo_hits.fetch_add(1, Ordering::Relaxed);
+                        *slots[i].lock().expect("slot") = Some(Ok(r.clone()));
+                    }
+                    None => todo.push(i),
                 }
-                None => true,
             }
-        });
+            todo
+        };
 
         let next = AtomicUsize::new(0);
         let workers = self.jobs.min(todo.len().max(1));
@@ -336,19 +467,11 @@ impl Sweep {
                 scope.spawn(|| loop {
                     let n = next.fetch_add(1, Ordering::Relaxed);
                     let Some(&i) = todo.get(n) else { break };
-                    let report = points[i].run();
-                    *slots[i].lock().expect("slot") = Some(report);
+                    *slots[i].lock().expect("slot") = Some(self.run_point(&points[i]));
                 });
             }
         });
 
-        for &i in &todo {
-            let p = &points[i];
-            if let Some(Ok(r)) = slots[i].lock().expect("slot").as_ref() {
-                self.store_cached(p, i, r);
-                self.memo.lock().expect("memo poisoned").insert(p.key(), r.clone());
-            }
-        }
         if let Some(path) = self.trace_out.lock().expect("trace_out poisoned").take() {
             if let Some(p) = points.first() {
                 write_chrome_trace(p, &path);
@@ -360,7 +483,93 @@ impl Sweep {
             .collect()
     }
 
-    /// Runs a single point (cache- and memo-aware).
+    /// Runs one point through the full dedup stack: in-process memo →
+    /// in-flight gate → store lookup → cross-process claim → simulate.
+    /// Safe to call from any number of threads concurrently (the server
+    /// worker pool does); each distinct key simulates at most once per
+    /// store, and everyone else fans in.
+    pub fn run_point(&self, p: &SweepPoint) -> Result<SimReport, SweepError> {
+        let key = p.key();
+        if let Some(r) = self.memo.lock().expect("memo poisoned").get(&key) {
+            self.memo_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(r.clone());
+        }
+        let gate = {
+            use std::collections::hash_map::Entry;
+            let mut inflight = self.inflight.lock().expect("inflight poisoned");
+            match inflight.entry(key) {
+                Entry::Occupied(e) => {
+                    // Another worker owns this key: fan in on its gate.
+                    let gate = Arc::clone(e.get());
+                    drop(inflight);
+                    self.fanin.fetch_add(1, Ordering::Relaxed);
+                    return gate.wait();
+                }
+                Entry::Vacant(v) => Arc::clone(v.insert(Arc::new(Gate::default()))),
+            }
+        };
+        let out = self.resolve_uncontended(p, key);
+        if let Ok(r) = &out {
+            self.memo.lock().expect("memo poisoned").insert(key, r.clone());
+        }
+        // Publish-before-remove: a worker arriving after the removal
+        // finds the memo entry instead; one arriving before holds the
+        // gate and gets the outcome directly. No window re-simulates.
+        gate.publish(&out);
+        self.inflight.lock().expect("inflight poisoned").remove(&key);
+        out
+    }
+
+    /// The store-level half of [`run_point`](Sweep::run_point), entered
+    /// by exactly one in-process worker per key.
+    fn resolve_uncontended(&self, p: &SweepPoint, key: u64) -> Result<SimReport, SweepError> {
+        let Some(store) = &self.store else { return self.simulate(p) };
+        let bench = p.bench.name();
+        if let Some(r) = store.load(bench, key) {
+            return Ok(r);
+        }
+        match store.claim(key) {
+            Claim::Won(ticket) => {
+                // Double-check after winning: a concurrent process may
+                // have published the entry (and released its claim)
+                // between our miss above and this claim. Owners always
+                // write before releasing, so a recheck hit is final.
+                if let Some(r) = store.load(bench, key) {
+                    drop(ticket);
+                    return Ok(r);
+                }
+                let out = self.simulate(p);
+                if let Ok(r) = &out {
+                    store.put(bench, key, r);
+                }
+                drop(ticket);
+                out
+            }
+            Claim::Lost => {
+                // A concurrent process owns the point; wait for its
+                // entry. If the owner vanished without publishing,
+                // simulate after all — duplicated work beats a wrong or
+                // missing result.
+                match store.await_entry(bench, key) {
+                    Some(r) => Ok(r),
+                    None => {
+                        let out = self.simulate(p);
+                        if let Ok(r) = &out {
+                            store.put(bench, key, r);
+                        }
+                        out
+                    }
+                }
+            }
+        }
+    }
+
+    fn simulate(&self, p: &SweepPoint) -> Result<SimReport, SweepError> {
+        self.simulated.fetch_add(1, Ordering::Relaxed);
+        p.run()
+    }
+
+    /// Runs a single point (store- and memo-aware).
     pub fn get(
         &self,
         bench: BenchId,
@@ -370,78 +579,6 @@ impl Sweep {
         let point = SweepPoint::of(bench, policy, opts);
         self.run(std::slice::from_ref(&point)).pop().expect("one point, one result")
     }
-
-    fn cache_path(&self, p: &SweepPoint) -> Option<PathBuf> {
-        self.cache_dir.as_ref().map(|d| d.join(format!("{}-{:016x}.json", p.bench.name(), p.key())))
-    }
-
-    fn load_cached(&self, p: &SweepPoint) -> Option<SimReport> {
-        let path = self.cache_path(p)?;
-        let text = retry_io(p.key(), || fs::read_to_string(&path))?;
-        let v = Json::parse(&text).ok()?;
-        if v.get("version")?.as_u64()? != CACHE_VERSION {
-            return None;
-        }
-        if v.get("key")?.as_str()? != format!("{:016x}", p.key()) {
-            return None;
-        }
-        SimReport::from_json(v.get("report")?)
-    }
-
-    /// Persists atomically (tmp + rename), so concurrent experiment
-    /// processes never observe a torn entry. `idx` only disambiguates
-    /// tmp names within one process.
-    fn store_cached(&self, p: &SweepPoint, idx: usize, r: &SimReport) {
-        let Some(path) = self.cache_path(p) else { return };
-        // Traced reports refuse to serialize; sweeps never trace.
-        let Some(report) = r.to_json() else { return };
-        let entry = Json::obj(vec![
-            ("version", Json::UInt(CACHE_VERSION)),
-            ("bench", Json::Str(p.bench.name().to_string())),
-            ("key", Json::Str(format!("{:016x}", p.key()))),
-            ("report", report),
-        ]);
-        let Some(dir) = path.parent() else { return };
-        if retry_io(p.key() ^ 0x5eed, || fs::create_dir_all(dir)).is_none() {
-            return;
-        }
-        let tmp = dir.join(format!(".tmp-{:016x}-{}-{idx}", p.key(), std::process::id()));
-        let body = entry.render();
-        let committed = retry_io(p.key(), || {
-            fs::write(&tmp, &body)?;
-            fs::rename(&tmp, &path)
-        });
-        if committed.is_none() {
-            let _ = fs::remove_file(&tmp);
-        }
-    }
-}
-
-/// Runs one cache-file operation with up to three attempts, sleeping a
-/// short jittered backoff between tries. A transient filesystem error
-/// (EIO, ENOSPC, EAGAIN…) on the shared `results/cache` directory thus
-/// degrades to a cache miss / skipped store instead of failing the
-/// sweep. `NotFound` is the ordinary miss and returns immediately.
-fn retry_io<T>(salt: u64, mut op: impl FnMut() -> std::io::Result<T>) -> Option<T> {
-    const ATTEMPTS: u32 = 3;
-    for attempt in 0..ATTEMPTS {
-        match op() {
-            Ok(v) => return Some(v),
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return None,
-            Err(_) => {
-                if attempt + 1 == ATTEMPTS {
-                    return None;
-                }
-                // Deterministic jitter (SplitMix64 over the cache key
-                // and attempt) desynchronizes workers retrying against
-                // the same directory; the base doubles per attempt.
-                let mut rng = SplitMix64::new(salt ^ (u64::from(attempt) << 56));
-                let micros = (100u64 << attempt) + rng.next_u64() % 400;
-                std::thread::sleep(std::time::Duration::from_micros(micros));
-            }
-        }
-    }
-    None
 }
 
 /// Re-runs `p` with event tracing on and writes the Chrome
@@ -521,39 +658,6 @@ mod tests {
     }
 
     #[test]
-    fn retry_io_retries_transients_and_gives_up_cleanly() {
-        use std::io::{Error, ErrorKind};
-        // Two transient failures, then success: the third attempt wins.
-        let mut calls = 0;
-        let out = retry_io(42, || {
-            calls += 1;
-            if calls < 3 {
-                Err(Error::from(ErrorKind::Interrupted))
-            } else {
-                Ok(7)
-            }
-        });
-        assert_eq!(out, Some(7));
-        assert_eq!(calls, 3);
-        // A persistent failure exhausts exactly three attempts.
-        let mut calls = 0;
-        let out: Option<()> = retry_io(42, || {
-            calls += 1;
-            Err(Error::from(ErrorKind::Other))
-        });
-        assert_eq!(out, None);
-        assert_eq!(calls, 3);
-        // NotFound is an ordinary cache miss: no retries at all.
-        let mut calls = 0;
-        let out: Option<()> = retry_io(42, || {
-            calls += 1;
-            Err(Error::from(ErrorKind::NotFound))
-        });
-        assert_eq!(out, None);
-        assert_eq!(calls, 1);
-    }
-
-    #[test]
     fn memo_hits_do_not_resimulate() {
         let sweep = Sweep::new().without_cache().with_jobs(2);
         let p = SweepPoint::of(BenchId::Gzip, Policy::baseline(), &opts());
@@ -563,5 +667,23 @@ mod tests {
             first[0].as_ref().unwrap().to_json().unwrap().render(),
             again[0].as_ref().unwrap().to_json().unwrap().render()
         );
+        let stats = sweep.stats();
+        assert_eq!(stats.simulated, 1);
+        assert_eq!(stats.memo_hits, 1);
+    }
+
+    #[test]
+    fn duplicate_points_in_one_grid_fan_in() {
+        let sweep = Sweep::new().without_cache().with_jobs(4);
+        let p = SweepPoint::of(BenchId::Mcf, Policy::baseline(), &opts());
+        let grid = vec![p.clone(), p.clone(), p.clone(), p];
+        let results = sweep.run(&grid);
+        let first = results[0].as_ref().unwrap().to_json().unwrap().render();
+        for r in &results {
+            assert_eq!(r.as_ref().unwrap().to_json().unwrap().render(), first);
+        }
+        let stats = sweep.stats();
+        assert_eq!(stats.simulated, 1, "one simulation for four identical points");
+        assert_eq!(stats.fanin + stats.memo_hits, 3, "the other three fan in: {stats:?}");
     }
 }

@@ -1,0 +1,99 @@
+//! Concurrency regressions for the content-addressed result store:
+//! two independent `Sweep`s (stand-ins for two processes) sharing one
+//! store directory must simulate each unique point exactly once, and a
+//! claim left behind by a crashed owner must not wedge anyone.
+
+use secsim_bench::{ResultStore, RunOpts, Sweep, SweepError, SweepPoint};
+use secsim_core::Policy;
+use secsim_cpu::SimReport;
+use secsim_workloads::BenchId;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("secsim-store-conc-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+fn grid() -> Vec<SweepPoint> {
+    let opts = RunOpts { max_insts: 8_000, ..RunOpts::default() };
+    vec![
+        SweepPoint::of(BenchId::Gzip, Policy::baseline(), &opts),
+        SweepPoint::of(BenchId::Gzip, Policy::authen_then_commit(), &opts),
+        SweepPoint::of(BenchId::Mcf, Policy::authen_then_issue(), &opts),
+    ]
+}
+
+fn renders(results: Vec<Result<SimReport, SweepError>>) -> Vec<String> {
+    results
+        .into_iter()
+        .map(|r| r.expect("point reports").to_json().expect("untraced").render())
+        .collect()
+}
+
+/// The satellite regression: N concurrent sweeps over one store, each
+/// unique point simulated exactly once *in total* — in-process gates
+/// dedup within a sweep, claim files dedup across sweeps.
+#[test]
+fn concurrent_sweeps_sharing_a_store_simulate_each_point_exactly_once() {
+    let dir = temp_dir("exactly-once");
+    let sweeps: Vec<Arc<Sweep>> = (0..2)
+        .map(|_| Arc::new(Sweep::new().with_store(ResultStore::new(dir.clone()))))
+        .collect();
+    let handles: Vec<_> = sweeps
+        .iter()
+        .map(|s| {
+            let s = Arc::clone(s);
+            std::thread::spawn(move || s.run(&grid()))
+        })
+        .collect();
+    let outs: Vec<Vec<String>> = handles
+        .into_iter()
+        .map(|h| renders(h.join().expect("sweep thread")))
+        .collect();
+    assert_eq!(outs[0], outs[1], "both sweeps must see byte-identical reports");
+
+    let total: u64 = sweeps.iter().map(|s| s.stats().simulated).sum();
+    assert_eq!(
+        total, 3,
+        "3 unique points across 2 concurrent sweeps must simulate exactly 3 times"
+    );
+    // Whoever lost a claim must have been served from the store, not by
+    // re-simulating.
+    let entries = std::fs::read_dir(&dir)
+        .expect("store dir exists")
+        .filter(|e| {
+            e.as_ref()
+                .is_ok_and(|e| !e.file_name().to_string_lossy().starts_with('.'))
+        })
+        .count();
+    assert_eq!(entries, 3, "one store entry per unique point, no stragglers");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A claim file whose owner crashed (never published an entry) is
+/// broken after the stale deadline and the waiter simulates the point
+/// itself — duplicated work, never a missing result.
+#[test]
+fn stale_claim_from_a_dead_owner_is_broken_and_the_point_still_runs() {
+    let dir = temp_dir("stale-claim");
+    std::fs::create_dir_all(&dir).expect("store dir");
+    let point = grid().remove(0);
+    std::fs::write(dir.join(format!(".claim-{:016x}", point.key())), b"").expect("orphan claim");
+
+    let store =
+        ResultStore::new(dir.clone()).with_claim_wait(Duration::from_millis(100));
+    let sweep = Sweep::new().with_store(store);
+    let out = sweep.run(std::slice::from_ref(&point));
+    assert!(out[0].is_ok(), "the point must still produce a report");
+    assert_eq!(sweep.stats().simulated, 1, "the waiter simulates after breaking the claim");
+    let counters = sweep.store().expect("store configured").counters();
+    assert!(counters.claim_breaks >= 1, "the orphan claim must be counted as broken");
+    assert!(
+        !dir.join(format!(".claim-{:016x}", point.key())).exists(),
+        "the orphan claim file must be gone"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,622 @@
+//! `secsim-serve`: simulation-as-a-service on top of
+//! [`secsim_bench::Sweep`].
+//!
+//! The figure binaries all reduce to "run a grid of points, read the
+//! reports". [`JobServer`] lifts that loop out of the CLI process into
+//! a long-running service: clients submit sweep or fault-campaign jobs
+//! over the line-delimited JSON protocol of [`secsim_bench::protocol`],
+//! a bounded queue feeds a worker pool that executes every point
+//! through one shared [`Sweep`] — so N clients asking for the same
+//! point share **one** simulation (in-process gates plus the store's
+//! cross-process claim files), and every completed point lands in one
+//! content-addressed [`ResultStore`] that
+//! future jobs hit instead of simulating.
+//!
+//! Lifecycle: [`JobServer::bind`] → [`JobServer::serve`] (accept loop)
+//! → shutdown via a `shutdown` request or SIGINT
+//! ([`install_sigint_handler`]) → the server refuses new jobs, drains
+//! the queue, flushes its counters and job timeline under `results/`,
+//! and returns.
+//!
+//! Every sweep job is bounded by a wall-clock watchdog: points still
+//! missing when the job's deadline passes are reported through the
+//! existing [`SweepError::Failed`] degradation path — a slow grid costs
+//! holes, never a wedged server.
+
+use secsim_bench::protocol::{self, codes, Request};
+use secsim_bench::{faultpoint, results_dir, ResultStore, Sweep, SweepError, SweepPoint};
+use secsim_cpu::SimReport;
+use secsim_stats::{Json, Timeline};
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Everything a [`JobServer`] needs to start.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Listen address (`host:port`; port 0 = ephemeral).
+    pub addr: String,
+    /// Concurrent jobs (worker threads popping the queue).
+    pub workers: usize,
+    /// Point-level parallelism within one sweep job.
+    pub threads: usize,
+    /// Bounded queue capacity; a full queue answers `queue-full`.
+    pub queue_cap: usize,
+    /// Wall-clock budget per job; late points degrade to
+    /// [`SweepError::Failed`].
+    pub job_timeout: Duration,
+    /// Directory of the content-addressed result store.
+    pub store_dir: PathBuf,
+    /// LRU byte budget for the store (`None` = unlimited).
+    pub store_bytes: Option<u64>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        let cores = std::thread::available_parallelism().map_or(4, |n| n.get());
+        Self {
+            addr: "127.0.0.1:2006".to_string(),
+            workers: 2,
+            threads: cores.div_ceil(2).max(1),
+            queue_cap: 64,
+            job_timeout: Duration::from_secs(600),
+            store_dir: results_dir().join("cache"),
+            store_bytes: None,
+        }
+    }
+}
+
+/// One queued job.
+struct Job {
+    id: u64,
+    kind: JobKind,
+    /// Event lines stream back to the submitting connection.
+    events: mpsc::Sender<Event>,
+}
+
+enum JobKind {
+    Sweep(Arc<Vec<SweepPoint>>),
+    Faults { inject: u64, timeout_secs: u64 },
+}
+
+impl JobKind {
+    fn label(&self) -> &'static str {
+        match self {
+            JobKind::Sweep(_) => "sweep",
+            JobKind::Faults { .. } => "faults",
+        }
+    }
+}
+
+/// One event line, flagged when it ends the job's stream.
+struct Event {
+    line: String,
+    last: bool,
+}
+
+/// State shared by the accept loop, connection threads and workers.
+struct Shared {
+    sweep: Sweep,
+    queue: Mutex<VecDeque<Job>>,
+    queue_ready: Condvar,
+    queue_cap: usize,
+    /// Cleared when shutdown is requested: no new jobs.
+    accepting: AtomicBool,
+    active_jobs: AtomicU64,
+    jobs_done: AtomicU64,
+    next_job: AtomicU64,
+    started: Instant,
+    timeline: Mutex<Timeline>,
+    threads: usize,
+    job_timeout: Duration,
+}
+
+impl Shared {
+    fn now_ms(&self) -> u64 {
+        self.started.elapsed().as_millis() as u64
+    }
+
+    /// The `status` event object (also the shutdown flush payload).
+    fn status_json(&self) -> Json {
+        let stats = self.sweep.stats();
+        let store = match self.sweep.store() {
+            Some(s) => {
+                let mut obj = s.counters().to_json();
+                if let Json::Object(pairs) = &mut obj {
+                    pairs.push((
+                        "budget_bytes".to_string(),
+                        s.budget().map_or(Json::Null, Json::UInt),
+                    ));
+                }
+                obj
+            }
+            None => Json::Null,
+        };
+        Json::obj(vec![
+            ("event", Json::Str("status".into())),
+            ("protocol", Json::UInt(protocol::PROTOCOL_VERSION)),
+            ("accepting", Json::Bool(self.accepting.load(Ordering::Relaxed))),
+            (
+                "queue_depth",
+                Json::UInt(self.queue.lock().expect("queue poisoned").len() as u64),
+            ),
+            ("active_jobs", Json::UInt(self.active_jobs.load(Ordering::Relaxed))),
+            ("jobs_done", Json::UInt(self.jobs_done.load(Ordering::Relaxed))),
+            (
+                "sweep",
+                Json::obj(vec![
+                    ("simulated", Json::UInt(stats.simulated)),
+                    ("fanin", Json::UInt(stats.fanin)),
+                    ("memo_hits", Json::UInt(stats.memo_hits)),
+                ]),
+            ),
+            ("store", store),
+            ("uptime_ms", Json::UInt(self.now_ms())),
+        ])
+    }
+}
+
+/// Set by the SIGINT handler; polled by every accept loop.
+static SIGINT_SEEN: AtomicBool = AtomicBool::new(false);
+
+/// Installs a SIGINT handler that asks every running [`JobServer`] to
+/// drain and exit (the Ctrl-C path of graceful shutdown). Std-only: the
+/// C runtime's `signal(2)` is already linked into every Rust binary.
+#[cfg(unix)]
+pub fn install_sigint_handler() {
+    extern "C" fn on_sigint(_: i32) {
+        SIGINT_SEEN.store(true, Ordering::Relaxed);
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    let handler = on_sigint as extern "C" fn(i32);
+    unsafe {
+        signal(SIGINT, handler as usize);
+    }
+}
+
+/// No-op off Unix; shutdown remains available via the wire request.
+#[cfg(not(unix))]
+pub fn install_sigint_handler() {}
+
+/// The job server. See the module docs.
+pub struct JobServer {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    workers: usize,
+}
+
+impl JobServer {
+    /// Binds the listen socket and builds the shared store/sweep. The
+    /// server accepts nothing until [`serve`](JobServer::serve).
+    pub fn bind(cfg: &ServerConfig) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        listener.set_nonblocking(true)?;
+        let store = ResultStore::new(cfg.store_dir.clone()).with_budget(cfg.store_bytes);
+        let shared = Arc::new(Shared {
+            sweep: Sweep::new().with_store(store),
+            queue: Mutex::new(VecDeque::new()),
+            queue_ready: Condvar::new(),
+            queue_cap: cfg.queue_cap.max(1),
+            accepting: AtomicBool::new(true),
+            active_jobs: AtomicU64::new(0),
+            jobs_done: AtomicU64::new(0),
+            next_job: AtomicU64::new(0),
+            started: Instant::now(),
+            timeline: Mutex::new(Timeline::new()),
+            threads: cfg.threads.max(1),
+            job_timeout: cfg.job_timeout,
+        });
+        Ok(Self { listener, shared, workers: cfg.workers.max(1) })
+    }
+
+    /// The bound address (reports the real port when 0 was requested).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Runs the accept loop until a `shutdown` request or SIGINT, then
+    /// drains the queue, joins the workers, and flushes status +
+    /// timeline under `results/`. Returns the final status object.
+    pub fn serve(self) -> std::io::Result<Json> {
+        let worker_handles: Vec<_> = (0..self.workers)
+            .map(|_| {
+                let shared = Arc::clone(&self.shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+
+        while self.shared.accepting.load(Ordering::Relaxed) {
+            if SIGINT_SEEN.load(Ordering::Relaxed) {
+                self.shared.accepting.store(false, Ordering::Relaxed);
+                break;
+            }
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    stream.set_nodelay(true).ok();
+                    let shared = Arc::clone(&self.shared);
+                    std::thread::spawn(move || {
+                        let _ = handle_connection(&shared, stream);
+                    });
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                Err(_) => std::thread::sleep(Duration::from_millis(20)),
+            }
+        }
+
+        // Drain: workers exit once the queue is empty (accepting is
+        // already false, so nothing refills it).
+        self.shared.queue_ready.notify_all();
+        for h in worker_handles {
+            let _ = h.join();
+        }
+        let status = self.shared.status_json();
+        // Flush next to the store (results/ for the default config) so
+        // an ad-hoc server never litters the global results directory.
+        let dir = self
+            .shared
+            .sweep
+            .store()
+            .and_then(|s| s.dir().parent().map(std::path::Path::to_path_buf))
+            .unwrap_or_else(results_dir);
+        let _ = std::fs::create_dir_all(&dir);
+        let _ = std::fs::write(dir.join("server_status.json"), status.render());
+        let timeline = self.shared.timeline.lock().expect("timeline poisoned");
+        if !timeline.is_empty() {
+            let _ = std::fs::write(
+                dir.join("server_timeline.json"),
+                timeline.to_chrome_trace().render(),
+            );
+        }
+        Ok(status)
+    }
+}
+
+/// Pops and runs jobs until shutdown is requested and the queue is dry.
+fn worker_loop(shared: &Arc<Shared>) {
+    loop {
+        let job = {
+            let mut q = shared.queue.lock().expect("queue poisoned");
+            loop {
+                if let Some(j) = q.pop_front() {
+                    break Some(j);
+                }
+                if !shared.accepting.load(Ordering::Relaxed) {
+                    break None;
+                }
+                let (guard, _) = shared
+                    .queue_ready
+                    .wait_timeout(q, Duration::from_millis(100))
+                    .expect("queue poisoned");
+                q = guard;
+            }
+        };
+        let Some(job) = job else { return };
+        shared.active_jobs.fetch_add(1, Ordering::Relaxed);
+        let begin = shared.now_ms();
+        let label = job.kind.label();
+        let id = job.id;
+        run_job(shared, job);
+        let end = shared.now_ms();
+        shared
+            .timeline
+            .lock()
+            .expect("timeline poisoned")
+            .push_span("jobs", &format!("{label}#{id}"), begin, end.max(begin + 1));
+        shared.active_jobs.fetch_sub(1, Ordering::Relaxed);
+        shared.jobs_done.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+fn send_event(job: &Job, line: String, last: bool) {
+    // A vanished client is not an error: the job finishes and its
+    // results stay in the store.
+    let _ = job.events.send(Event { line, last });
+}
+
+fn run_job(shared: &Arc<Shared>, job: Job) {
+    send_event(
+        &job,
+        Json::obj(vec![
+            ("event", Json::Str("running".into())),
+            ("job", Json::UInt(job.id)),
+        ])
+        .render(),
+        false,
+    );
+    match &job.kind {
+        JobKind::Sweep(points) => run_sweep_job(shared, &job, Arc::clone(points)),
+        JobKind::Faults { inject, timeout_secs } => {
+            run_faults_job(shared, &job, *inject, *timeout_secs)
+        }
+    }
+}
+
+/// Executes one sweep grid through the shared [`Sweep`], fanning points
+/// across `shared.threads` detached runner threads, with the job-level
+/// wall-clock watchdog collecting results: a point that misses the
+/// deadline is abandoned (its runner thread still finishes and warms
+/// the store for whoever asks next) and reported as
+/// [`SweepError::Failed`].
+fn run_sweep_job(shared: &Arc<Shared>, job: &Job, points: Arc<Vec<SweepPoint>>) {
+    let n = points.len();
+    let (ptx, prx) = mpsc::channel::<(usize, Result<SimReport, SweepError>)>();
+    let next = Arc::new(AtomicUsize::new(0));
+    for _ in 0..shared.threads.min(n) {
+        let shared = Arc::clone(shared);
+        let points = Arc::clone(&points);
+        let next = Arc::clone(&next);
+        let ptx = ptx.clone();
+        std::thread::spawn(move || loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            if i >= points.len() {
+                break;
+            }
+            let r = shared.sweep.run_point(&points[i]);
+            if ptx.send((i, r)).is_err() {
+                break; // job watchdog gave up on us
+            }
+        });
+    }
+    drop(ptx);
+
+    let deadline = Instant::now() + shared.job_timeout;
+    let mut seen = vec![false; n];
+    let (mut ok, mut failed, mut done) = (0u64, 0u64, 0usize);
+    while done < n {
+        let remain = deadline.saturating_duration_since(Instant::now());
+        match prx.recv_timeout(remain) {
+            Ok((i, r)) => {
+                seen[i] = true;
+                done += 1;
+                if r.is_ok() {
+                    ok += 1;
+                } else {
+                    failed += 1;
+                }
+                let (key, payload) = protocol::result_to_json(&r);
+                send_event(
+                    job,
+                    Json::obj(vec![
+                        ("event", Json::Str("point-done".into())),
+                        ("job", Json::UInt(job.id)),
+                        ("index", Json::UInt(i as u64)),
+                        (key, payload),
+                    ])
+                    .render(),
+                    false,
+                );
+            }
+            Err(_) => break, // deadline passed (or all runners gone)
+        }
+    }
+    // The watchdog degradation path: late points become typed holes.
+    for (i, seen) in seen.iter().enumerate() {
+        if *seen {
+            continue;
+        }
+        failed += 1;
+        let err = SweepError::Failed {
+            bench: points[i].bench.name().to_string(),
+            detail: format!(
+                "job watchdog: wall-clock timeout after {}s",
+                shared.job_timeout.as_secs()
+            ),
+        };
+        send_event(
+            job,
+            Json::obj(vec![
+                ("event", Json::Str("point-done".into())),
+                ("job", Json::UInt(job.id)),
+                ("index", Json::UInt(i as u64)),
+                ("error", protocol::sweep_error_to_json(&err)),
+            ])
+            .render(),
+            false,
+        );
+    }
+    send_event(
+        job,
+        Json::obj(vec![
+            ("event", Json::Str("complete".into())),
+            ("job", Json::UInt(job.id)),
+            ("ok", Json::UInt(ok)),
+            ("failed", Json::UInt(failed)),
+        ])
+        .render(),
+        true,
+    );
+}
+
+/// Executes the fault campaign (8 schemes × 5 integrity kinds) at one
+/// injection cycle; every point already carries its own watchdog.
+fn run_faults_job(shared: &Arc<Shared>, job: &Job, inject: u64, timeout_secs: u64) {
+    let timeout = Duration::from_secs(timeout_secs.clamp(1, shared.job_timeout.as_secs().max(1)));
+    let (mut ok, mut failed) = (0u64, 0u64);
+    for kind in faultpoint::integrity_kinds() {
+        for (name, policy) in faultpoint::schemes() {
+            let mut pairs = vec![
+                ("event", Json::Str("fault-done".into())),
+                ("job", Json::UInt(job.id)),
+                ("policy", Json::Str(name.into())),
+                ("fault", protocol::fault_kind_to_json(&kind)),
+            ];
+            match faultpoint::run_point(policy, kind, inject, timeout) {
+                Ok(o) => {
+                    ok += 1;
+                    pairs.push(("verdict", Json::Str(o.verdict.into())));
+                    pairs.push(("detect", o.detect_cycle.map_or(Json::Null, Json::UInt)));
+                    pairs.push((
+                        "exposed",
+                        o.exposure.map_or(Json::Null, |x| Json::UInt(x.total())),
+                    ));
+                    pairs.push(("cycles", Json::UInt(o.cycles)));
+                }
+                Err(e) => {
+                    failed += 1;
+                    pairs.push(("error", protocol::sweep_error_to_json(&e)));
+                }
+            }
+            send_event(job, Json::obj(pairs).render(), false);
+        }
+    }
+    send_event(
+        job,
+        Json::obj(vec![
+            ("event", Json::Str("complete".into())),
+            ("job", Json::UInt(job.id)),
+            ("ok", Json::UInt(ok)),
+            ("failed", Json::UInt(failed)),
+        ])
+        .render(),
+        true,
+    );
+}
+
+/// Serves one client connection: reads request lines (bounded), answers
+/// each with events. Parse failures answer typed errors and keep the
+/// connection; transport failures close it. Jobs execute on the worker
+/// pool, never here — a malformed request can never panic a worker.
+fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) -> std::io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    loop {
+        let mut line = String::new();
+        // Bound the line *before* buffering it: a request without a
+        // newline inside the cap is oversized; EOF mid-line is
+        // truncated.
+        let n = (&mut reader)
+            .take(protocol::MAX_REQUEST_BYTES as u64 + 1)
+            .read_line(&mut line)?;
+        if n == 0 {
+            return Ok(()); // clean EOF between requests
+        }
+        if line.len() > protocol::MAX_REQUEST_BYTES {
+            let _ = writeln!(
+                writer,
+                "{}",
+                protocol::error_line(
+                    codes::OVERSIZED_REQUEST,
+                    &format!("request exceeds {} bytes", protocol::MAX_REQUEST_BYTES),
+                )
+            );
+            return Ok(()); // the rest of the stream is unframed garbage
+        }
+        if !line.ends_with('\n') {
+            // EOF mid-line: the client died or sent an unterminated
+            // request. Typed answer on a best-effort basis, then close.
+            let _ = writeln!(
+                writer,
+                "{}",
+                protocol::error_line(codes::TRUNCATED, "connection closed mid-request")
+            );
+            return Ok(());
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        match protocol::parse_request(trimmed) {
+            Err(e) => {
+                writeln!(writer, "{}", e.to_line())?;
+            }
+            Ok(Request::Status) => {
+                writeln!(writer, "{}", shared.status_json().render())?;
+            }
+            Ok(Request::Shutdown) => {
+                shared.accepting.store(false, Ordering::Relaxed);
+                shared.queue_ready.notify_all();
+                let _ = writeln!(
+                    writer,
+                    "{}",
+                    Json::obj(vec![("event", Json::Str("shutting-down".into()))]).render()
+                );
+                return Ok(());
+            }
+            Ok(Request::Sweep { points }) => {
+                let n = points.len();
+                submit_and_stream(shared, &mut writer, JobKind::Sweep(Arc::new(points)), n)?;
+            }
+            Ok(Request::Faults { inject, timeout_secs }) => {
+                let n = faultpoint::integrity_kinds().len() * faultpoint::schemes().len();
+                submit_and_stream(
+                    shared,
+                    &mut writer,
+                    JobKind::Faults { inject, timeout_secs },
+                    n,
+                )?;
+            }
+        }
+    }
+}
+
+/// Enqueues one job (respecting the drain flag and the bounded queue)
+/// and forwards its event stream to the client until `complete`.
+fn submit_and_stream(
+    shared: &Arc<Shared>,
+    writer: &mut TcpStream,
+    kind: JobKind,
+    points: usize,
+) -> std::io::Result<()> {
+    if !shared.accepting.load(Ordering::Relaxed) {
+        writeln!(
+            writer,
+            "{}",
+            protocol::error_line(codes::SHUTTING_DOWN, "server is draining; no new jobs")
+        )?;
+        return Ok(());
+    }
+    let (tx, rx) = mpsc::channel();
+    let id = shared.next_job.fetch_add(1, Ordering::Relaxed);
+    {
+        let mut q = shared.queue.lock().expect("queue poisoned");
+        if q.len() >= shared.queue_cap {
+            drop(q);
+            writeln!(
+                writer,
+                "{}",
+                protocol::error_line(codes::QUEUE_FULL, "job queue is full; retry later")
+            )?;
+            return Ok(());
+        }
+        q.push_back(Job { id, kind, events: tx });
+        let depth = q.len() as f64;
+        let ts = shared.now_ms();
+        shared
+            .timeline
+            .lock()
+            .expect("timeline poisoned")
+            .push_counter("queue", ts, depth);
+    }
+    shared.queue_ready.notify_one();
+    writeln!(
+        writer,
+        "{}",
+        Json::obj(vec![
+            ("event", Json::Str("queued".into())),
+            ("job", Json::UInt(id)),
+            ("points", Json::UInt(points as u64)),
+        ])
+        .render()
+    )?;
+    // Stream until the job's last event. If the client disconnects we
+    // keep draining so the worker never blocks on a dead socket.
+    let mut client_alive = true;
+    while let Ok(ev) = rx.recv() {
+        if client_alive && writeln!(writer, "{}", ev.line).is_err() {
+            client_alive = false;
+        }
+        if ev.last {
+            break;
+        }
+    }
+    Ok(())
+}

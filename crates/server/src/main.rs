@@ -1,0 +1,185 @@
+//! `secsim-serve` — the simulation job server.
+//!
+//! ```text
+//! secsim-serve [--addr HOST:PORT] [--workers N] [--threads N]
+//!              [--queue N] [--job-timeout-secs N]
+//!              [--store-dir PATH] [--store-bytes N] [--smoke]
+//! ```
+//!
+//! Runs until SIGINT or a `shutdown` request, then drains the queue and
+//! flushes `results/server_status.json` + `results/server_timeline.json`.
+//! `--smoke` runs the self-contained end-to-end check used by tier-1:
+//! an ephemeral server, two concurrent clients submitting the same
+//! 2-point grid, exactly-once simulation asserted, clean shutdown.
+
+use secsim_server::{install_sigint_handler, JobServer, ServerConfig};
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: secsim-serve [--addr HOST:PORT] [--workers N] [--threads N] \
+         [--queue N] [--job-timeout-secs N] [--store-dir PATH] [--store-bytes N] [--smoke]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> (ServerConfig, bool) {
+    let mut cfg = ServerConfig::default();
+    let mut smoke = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| args.next().unwrap_or_else(|| {
+            eprintln!("error: {name} needs a value");
+            usage()
+        });
+        match arg.as_str() {
+            "--addr" => cfg.addr = value("--addr"),
+            "--workers" => cfg.workers = parse_num(&value("--workers"), "--workers") as usize,
+            "--threads" => cfg.threads = parse_num(&value("--threads"), "--threads") as usize,
+            "--queue" => cfg.queue_cap = parse_num(&value("--queue"), "--queue") as usize,
+            "--job-timeout-secs" => {
+                cfg.job_timeout =
+                    Duration::from_secs(parse_num(&value("--job-timeout-secs"), "--job-timeout-secs"))
+            }
+            "--store-dir" => cfg.store_dir = value("--store-dir").into(),
+            "--store-bytes" => {
+                let n = parse_num(&value("--store-bytes"), "--store-bytes");
+                cfg.store_bytes = (n > 0).then_some(n);
+            }
+            "--smoke" => smoke = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("error: unknown flag {other}");
+                usage()
+            }
+        }
+    }
+    (cfg, smoke)
+}
+
+fn parse_num(s: &str, name: &str) -> u64 {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("error: {name} expects a number, got {s:?}");
+        usage()
+    })
+}
+
+fn main() {
+    let (cfg, smoke) = parse_args();
+    if smoke {
+        smoke_test();
+        return;
+    }
+    install_sigint_handler();
+    let server = match JobServer::bind(&cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot bind {}: {e}", cfg.addr);
+            std::process::exit(1);
+        }
+    };
+    match server.local_addr() {
+        Ok(addr) => eprintln!(
+            "secsim-serve listening on {addr} (workers={}, threads={}, queue={}, store={})",
+            cfg.workers,
+            cfg.threads,
+            cfg.queue_cap,
+            cfg.store_dir.display()
+        ),
+        Err(_) => eprintln!("secsim-serve listening on {}", cfg.addr),
+    }
+    match server.serve() {
+        Ok(status) => eprintln!("secsim-serve drained cleanly: {}", status.render()),
+        Err(e) => {
+            eprintln!("error: serve loop failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// The tier-1 smoke: ephemeral server, two concurrent clients, one
+/// identical 2-point grid each. Asserts (a) both clients get complete,
+/// byte-identical result sets, (b) the server simulated each unique
+/// point exactly once (dedup fan-in), (c) shutdown drains cleanly.
+fn smoke_test() {
+    use secsim_bench::{client, RunOpts, SweepPoint};
+    use secsim_core::Policy;
+    use secsim_stats::Json;
+    use secsim_workloads::BenchId;
+
+    let tmp = std::env::temp_dir().join(format!("secsim-serve-smoke-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&tmp);
+    let cfg = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        threads: 2,
+        queue_cap: 8,
+        job_timeout: Duration::from_secs(120),
+        store_dir: tmp.join("store"),
+        store_bytes: None,
+    };
+    let server = JobServer::bind(&cfg).expect("smoke: bind ephemeral port");
+    let addr = server.local_addr().expect("smoke: local addr").to_string();
+    let server_thread = std::thread::spawn(move || server.serve());
+
+    let opts = RunOpts { max_insts: 20_000, ..RunOpts::default() };
+    let points = vec![
+        SweepPoint::of(BenchId::Gzip, Policy::baseline(), &opts),
+        SweepPoint::of(BenchId::Mcf, Policy::authen_then_commit(), &opts),
+    ];
+
+    let clients: Vec<_> = (0..2)
+        .map(|_| {
+            let addr = addr.clone();
+            let points = points.clone();
+            std::thread::spawn(move || client::run_sweep(&addr, &points))
+        })
+        .collect();
+    let mut renders: Vec<Vec<String>> = Vec::new();
+    for c in clients {
+        let results = c
+            .join()
+            .expect("smoke: client thread")
+            .expect("smoke: sweep job succeeds");
+        renders.push(
+            results
+                .into_iter()
+                .map(|r| {
+                    r.expect("smoke: every point reports")
+                        .to_json()
+                        .expect("smoke: untraced report renders")
+                        .render()
+                })
+                .collect(),
+        );
+    }
+    assert_eq!(
+        renders[0], renders[1],
+        "smoke: concurrent clients must see byte-identical reports"
+    );
+
+    let status = client::status(&addr).expect("smoke: status request");
+    let simulated = status
+        .get("sweep")
+        .and_then(|s| s.get("simulated"))
+        .and_then(Json::as_u64)
+        .expect("smoke: status carries sweep.simulated");
+    assert_eq!(
+        simulated, 2,
+        "smoke: 4 requested points over 2 unique keys must simulate exactly twice \
+         (dedup fan-in), got {simulated}"
+    );
+
+    client::shutdown(&addr).expect("smoke: shutdown request");
+    let final_status = server_thread
+        .join()
+        .expect("smoke: server thread")
+        .expect("smoke: serve returns");
+    assert_eq!(
+        final_status.get("queue_depth").and_then(Json::as_u64),
+        Some(0),
+        "smoke: queue must drain before exit"
+    );
+    let _ = std::fs::remove_dir_all(&tmp);
+    println!("serve smoke OK: 2 clients x 2 points, simulated=2, drained clean");
+}

@@ -1,0 +1,159 @@
+//! Wire-protocol coverage against a live `secsim-serve` instance:
+//! every malformed input answers a typed error without killing the
+//! server (or even the connection), and a well-formed grid returns
+//! reports byte-identical to an in-process [`Sweep`].
+
+use secsim_bench::protocol::{codes, MAX_REQUEST_BYTES};
+use secsim_bench::{client, faultpoint, ResultStore, RunOpts, Sweep, SweepPoint};
+use secsim_server::{JobServer, ServerConfig};
+use secsim_stats::Json;
+use secsim_workloads::BenchId;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("secsim-serve-proto-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+fn spawn_server(
+    dir: &std::path::Path,
+) -> (String, std::thread::JoinHandle<std::io::Result<Json>>) {
+    let cfg = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        threads: 2,
+        queue_cap: 8,
+        job_timeout: Duration::from_secs(120),
+        store_dir: dir.join("store"),
+        store_bytes: None,
+    };
+    let server = JobServer::bind(&cfg).expect("bind ephemeral port");
+    let addr = server.local_addr().expect("local addr").to_string();
+    (addr, std::thread::spawn(move || server.serve()))
+}
+
+fn stop(addr: &str, handle: std::thread::JoinHandle<std::io::Result<Json>>, dir: &PathBuf) {
+    client::shutdown(addr).expect("shutdown request");
+    handle.join().expect("server thread").expect("serve returns");
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+/// Every failure class gets its typed code, all on ONE connection —
+/// proving a bad request poisons neither the server nor the session.
+#[test]
+fn malformed_requests_answer_typed_errors_and_the_session_survives() {
+    let dir = temp_dir("failures");
+    let (addr, handle) = spawn_server(&dir);
+
+    let stream = TcpStream::connect(&addr).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut writer = stream;
+    let mut ask = |line: &str| -> Json {
+        writeln!(writer, "{line}").expect("send");
+        let mut reply = String::new();
+        reader.read_line(&mut reply).expect("reply");
+        Json::parse(reply.trim()).expect("reply parses")
+    };
+
+    for (line, want) in [
+        ("this is not json", codes::MALFORMED_JSON),
+        ("{\"kind\":\"status\"}", codes::UNSUPPORTED_VERSION),
+        ("{\"v\":99,\"kind\":\"status\"}", codes::UNSUPPORTED_VERSION),
+        ("{\"v\":1,\"kind\":\"reticulate\"}", codes::UNKNOWN_KIND),
+        ("{\"v\":1,\"kind\":\"sweep\"}", codes::BAD_REQUEST),
+        ("{\"v\":1,\"kind\":\"sweep\",\"points\":[]}", codes::BAD_REQUEST),
+        ("{\"v\":1,\"kind\":\"sweep\",\"points\":[{\"bench\":\"nope\"}]}", codes::BAD_REQUEST),
+        ("{\"v\":1,\"kind\":\"faults\"}", codes::BAD_REQUEST),
+    ] {
+        let ev = ask(line);
+        assert_eq!(ev.get("event").and_then(Json::as_str), Some("error"), "for {line}");
+        assert_eq!(ev.get("code").and_then(Json::as_str), Some(want), "for {line}");
+    }
+    // The same battered connection still serves a real request.
+    let ev = ask("{\"v\":1,\"kind\":\"status\"}");
+    assert_eq!(ev.get("event").and_then(Json::as_str), Some("status"));
+    drop(reader);
+    stop(&addr, handle, &dir);
+}
+
+/// A request bigger than the wire cap is refused with
+/// `oversized-request` before any of it is interpreted.
+#[test]
+fn oversized_request_is_refused_with_a_typed_error() {
+    let dir = temp_dir("oversized");
+    let (addr, handle) = spawn_server(&dir);
+
+    let stream = TcpStream::connect(&addr).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut writer = stream;
+    let huge = vec![b'a'; MAX_REQUEST_BYTES + 2];
+    writer.write_all(&huge).expect("send oversized");
+    writer.write_all(b"\n").expect("terminate");
+    writer.flush().expect("flush");
+    let mut reply = String::new();
+    reader.read_line(&mut reply).expect("reply");
+    let ev = Json::parse(reply.trim()).expect("reply parses");
+    assert_eq!(ev.get("event").and_then(Json::as_str), Some("error"));
+    assert_eq!(ev.get("code").and_then(Json::as_str), Some(codes::OVERSIZED_REQUEST));
+
+    // The server itself is fine: a fresh connection works.
+    client::status(&addr).expect("status after oversized request");
+    stop(&addr, handle, &dir);
+}
+
+/// A stream that ends mid-request gets a best-effort `truncated` error.
+#[test]
+fn truncated_stream_is_answered_with_a_typed_error() {
+    let dir = temp_dir("truncated");
+    let (addr, handle) = spawn_server(&dir);
+
+    let stream = TcpStream::connect(&addr).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut writer = stream;
+    writer.write_all(b"{\"v\":1,\"kind\":").expect("send partial");
+    writer.flush().expect("flush");
+    writer.shutdown(std::net::Shutdown::Write).expect("half-close");
+    let mut reply = String::new();
+    reader.read_line(&mut reply).expect("reply");
+    let ev = Json::parse(reply.trim()).expect("reply parses");
+    assert_eq!(ev.get("event").and_then(Json::as_str), Some("error"));
+    assert_eq!(ev.get("code").and_then(Json::as_str), Some(codes::TRUNCATED));
+
+    client::status(&addr).expect("status after truncated stream");
+    stop(&addr, handle, &dir);
+}
+
+/// The acceptance bar for transparency: one grid over all 8 paper
+/// policies, served remotely, must render byte-identical to the same
+/// grid run through an in-process `Sweep`.
+#[test]
+fn server_reports_are_byte_identical_to_in_process_sweep_across_policies() {
+    let dir = temp_dir("round-trip");
+    let (addr, handle) = spawn_server(&dir);
+
+    let points: Vec<SweepPoint> = faultpoint::schemes()
+        .into_iter()
+        .map(|(_, policy)| {
+            let opts =
+                RunOpts { max_insts: 8_000, tree: policy.authenticate, ..RunOpts::default() };
+            SweepPoint::of(BenchId::Gzip, policy, &opts)
+        })
+        .collect();
+
+    let remote = client::run_sweep(&addr, &points).expect("remote sweep");
+    let local_store = temp_dir("round-trip-local");
+    let local = Sweep::new().with_store(ResultStore::new(local_store.clone())).run(&points);
+
+    assert_eq!(remote.len(), local.len());
+    for (i, (r, l)) in remote.iter().zip(local.iter()).enumerate() {
+        let r = r.as_ref().expect("remote point reports").to_json().expect("untraced").render();
+        let l = l.as_ref().expect("local point reports").to_json().expect("untraced").render();
+        assert_eq!(r, l, "policy #{i}: remote and local reports must be byte-identical");
+    }
+    let _ = std::fs::remove_dir_all(&local_store);
+    stop(&addr, handle, &dir);
+}

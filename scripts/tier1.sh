@@ -49,4 +49,9 @@ echo "== oblivious-smoke: two-run secret-independence oracle, all policies =="
 echo "== fault-smoke: injected-tamper campaign, all policies =="
 ./target/release/faults --smoke
 
+echo "== serve-smoke: job server on an ephemeral port, 2 clients x 2-point grid =="
+# Asserts dedup fan-in (each unique point simulated exactly once for
+# both clients), byte-identical reports, and a clean drain on shutdown.
+./target/release/secsim-serve --smoke
+
 echo "== tier-1 OK =="
