@@ -18,6 +18,7 @@
 //! println!("mcf IPC = {:.3}", r.ipc());
 //! ```
 
+pub mod chaos;
 pub mod checkpoint;
 pub mod client;
 pub mod faultpoint;

@@ -1,4 +1,4 @@
-//! Wire protocol of the `secsim-serve` job server (version 1).
+//! Wire protocol of the `secsim-serve` job server (versions 1 and 2).
 //!
 //! Line-delimited JSON over TCP: the client sends **one request
 //! object per line**, the server answers with a stream of **event
@@ -14,7 +14,19 @@
 //! {"v":1,"kind":"faults","inject":2500}
 //! {"v":1,"kind":"status"}
 //! {"v":1,"kind":"shutdown"}
+//! {"v":2,"kind":"resume","job":3,"since_seq":17}
 //! ```
+//!
+//! Version 2 is a strict superset of version 1 — v1 clients are still
+//! accepted verbatim. What v2 adds is *resumability*: every job-stream
+//! event carries a monotone `seq` number, and a client that lost its
+//! connection mid-stream reconnects and sends `resume` to replay every
+//! event after the last one it saw, instead of resubmitting the job.
+//! Submissions themselves are deduplicated server-side by a content
+//! hash of the request ([`sweep_job_hash`] / [`faults_job_hash`]), so
+//! even a client that *does* resubmit after a crash attaches to the
+//! already-running (or retained completed) job — exactly-once
+//! execution across arbitrary disconnects.
 //!
 //! A sweep point carries the **full** `SimConfig` — every field, no
 //! defaults filled in server-side — so the server reconstructs exactly
@@ -29,27 +41,34 @@
 //!
 //! ```json
 //! {"event":"queued","job":3,"points":16}
-//! {"event":"running","job":3}
-//! {"event":"point-done","job":3,"index":0,"report":{…}}
-//! {"event":"point-done","job":3,"index":1,"error":{"kind":"failed","bench":"mcf","detail":"…"}}
-//! {"event":"complete","job":3,"ok":15,"failed":1}
+//! {"event":"running","job":3,"seq":1}
+//! {"event":"point-done","job":3,"index":0,"report":{…},"seq":2}
+//! {"event":"point-done","job":3,"index":1,"error":{"kind":"failed","bench":"mcf","detail":"…"},"seq":3}
+//! {"event":"complete","job":3,"ok":15,"failed":1,"seq":4}
 //! {"event":"error","code":"malformed-json","detail":"…"}
 //! ```
 //!
 //! Every client-visible failure is a typed `error` event with one of
 //! the [`codes`] constants — a malformed line, an oversized request or
-//! an unknown version can never panic a worker.
+//! an unknown version can never panic a worker. A `queue-full` error
+//! additionally carries a `retry_after_ms` load-shedding hint derived
+//! from the queue depth.
 
 use crate::{SweepError, SweepPoint};
 use secsim_core::{FaultKind, FetchGateVariant, Policy, SecureConfig};
 use secsim_cpu::{BPredConfig, CpuConfig, SimConfig, SimReport};
 use secsim_crypto::{CryptoLatency, EncryptionMode, MacScheme};
 use secsim_mem::{CacheConfig, DramConfig, MemSystemConfig, TlbConfig};
-use secsim_stats::Json;
+use secsim_stats::{Json, StableHash, StableHasher};
 use secsim_workloads::{register_program, BenchId, ProgramImage};
 
 /// Version tag every request must carry (`"v"`).
 pub const PROTOCOL_VERSION: u64 = 1;
+
+/// Protocol version 2: adds server-assigned job ids, monotone per-job
+/// event sequence numbers, and the `resume` request. The server accepts
+/// both versions; [`PROTOCOL_VERSION`] clients keep working unchanged.
+pub const PROTOCOL_V2: u64 = 2;
 
 /// Upper bound on one request line, bytes. Large enough for a sweep
 /// grid with several embedded `.sprog` images, small enough that a
@@ -77,6 +96,12 @@ pub mod codes {
     pub const SHUTTING_DOWN: &str = "shutting-down";
     /// The connection closed mid-request or mid-response.
     pub const TRUNCATED: &str = "truncated";
+    /// A `resume` named a job this server does not know (never
+    /// submitted here, or already garbage-collected).
+    pub const UNKNOWN_JOB: &str = "unknown-job";
+    /// A `resume` asked for events older than the job's bounded
+    /// retained-events buffer still holds; the client must resubmit.
+    pub const RESUME_TOO_OLD: &str = "resume-too-old";
 }
 
 /// A parse/validation failure: a typed code plus a human detail,
@@ -129,6 +154,15 @@ pub enum Request {
     Status,
     /// Drain the queue, refuse new jobs, flush counters, exit.
     Shutdown,
+    /// Re-attach to a known job and replay every retained event with a
+    /// sequence number greater than `since_seq` (v2 only).
+    Resume {
+        /// Server-assigned job id from the `queued` event.
+        job: u64,
+        /// Last sequence number the client received (0 = from the
+        /// beginning).
+        since_seq: u64,
+    },
 }
 
 /// Parses one request line. Every failure is a [`ProtoError`] carrying
@@ -144,18 +178,20 @@ pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
         code: codes::MALFORMED_JSON,
         detail: e.to_string(),
     })?;
-    match v.get("v").and_then(Json::as_u64) {
-        Some(PROTOCOL_VERSION) => {}
+    let version = match v.get("v").and_then(Json::as_u64) {
+        Some(n @ (PROTOCOL_VERSION | PROTOCOL_V2)) => n,
         got => {
             return Err(ProtoError {
                 code: codes::UNSUPPORTED_VERSION,
                 detail: match got {
-                    Some(n) => format!("request version {n}, server speaks {PROTOCOL_VERSION}"),
+                    Some(n) => format!(
+                        "request version {n}, server speaks {PROTOCOL_VERSION} and {PROTOCOL_V2}"
+                    ),
                     None => "request carries no numeric \"v\" field".to_string(),
                 },
             })
         }
-    }
+    };
     let kind = v.get("kind").and_then(Json::as_str).unwrap_or("");
     match kind {
         "sweep" => {
@@ -185,9 +221,21 @@ pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
         }
         "status" => Ok(Request::Status),
         "shutdown" => Ok(Request::Shutdown),
+        "resume" if version >= PROTOCOL_V2 => {
+            let job = v
+                .get("job")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| ProtoError::bad("resume request carries no \"job\" id"))?;
+            let since_seq = v.get("since_seq").and_then(Json::as_u64).unwrap_or(0);
+            Ok(Request::Resume { job, since_seq })
+        }
         other => Err(ProtoError {
             code: codes::UNKNOWN_KIND,
-            detail: format!("unknown request kind {other:?}"),
+            detail: if other == "resume" {
+                format!("\"resume\" needs protocol version {PROTOCOL_V2}")
+            } else {
+                format!("unknown request kind {other:?}")
+            },
         }),
     }
 }
@@ -198,6 +246,40 @@ pub fn sweep_request(points: &[SweepPoint]) -> String {
         ("v", Json::UInt(PROTOCOL_VERSION)),
         ("kind", Json::Str("sweep".into())),
         ("points", Json::Array(points.iter().map(point_to_json).collect())),
+    ])
+    .render()
+}
+
+/// Renders a v2 sweep request line for `points` (identical payload to
+/// [`sweep_request`], but entitled to `resume` later).
+pub fn sweep_request_v2(points: &[SweepPoint]) -> String {
+    Json::obj(vec![
+        ("v", Json::UInt(PROTOCOL_V2)),
+        ("kind", Json::Str("sweep".into())),
+        ("points", Json::Array(points.iter().map(point_to_json).collect())),
+    ])
+    .render()
+}
+
+/// Renders a v2 fault-campaign request line.
+pub fn faults_request_v2(inject: u64, timeout_secs: u64) -> String {
+    Json::obj(vec![
+        ("v", Json::UInt(PROTOCOL_V2)),
+        ("kind", Json::Str("faults".into())),
+        ("inject", Json::UInt(inject)),
+        ("timeout_secs", Json::UInt(timeout_secs)),
+    ])
+    .render()
+}
+
+/// Renders a v2 resume request line: replay retained events of `job`
+/// with `seq > since_seq`.
+pub fn resume_request(job: u64, since_seq: u64) -> String {
+    Json::obj(vec![
+        ("v", Json::UInt(PROTOCOL_V2)),
+        ("kind", Json::Str("resume".into())),
+        ("job", Json::UInt(job)),
+        ("since_seq", Json::UInt(since_seq)),
     ])
     .render()
 }
@@ -239,6 +321,45 @@ pub fn error_line(code: &str, detail: &str) -> String {
         ("detail", Json::Str(detail.into())),
     ])
     .render()
+}
+
+/// Renders the `queue-full` error line with its load-shedding hint:
+/// how long the client should wait before retrying, derived from the
+/// queue depth.
+pub fn queue_full_line(retry_after_ms: u64) -> String {
+    Json::obj(vec![
+        ("event", Json::Str("error".into())),
+        ("code", Json::Str(codes::QUEUE_FULL.into())),
+        ("detail", Json::Str("job queue is full; retry later".into())),
+        ("retry_after_ms", Json::UInt(retry_after_ms)),
+    ])
+    .render()
+}
+
+/// Content hash of a sweep submission: a stable fingerprint over the
+/// grid's point keys **in grid order**. Two clients submitting the same
+/// grid — including one client resubmitting after a crash — hash
+/// identically, which is what lets the server attach them to one job
+/// instead of executing twice.
+pub fn sweep_job_hash(points: &[SweepPoint]) -> u64 {
+    let mut h = StableHasher::new();
+    "sweep".stable_hash(&mut h);
+    (points.len() as u64).stable_hash(&mut h);
+    for p in points {
+        p.key().stable_hash(&mut h);
+    }
+    h.finish()
+}
+
+/// Content hash of a fault-campaign submission (the campaign grid is
+/// implied by the server, so the injection cycle and timeout are the
+/// whole identity).
+pub fn faults_job_hash(inject: u64, timeout_secs: u64) -> u64 {
+    let mut h = StableHasher::new();
+    "faults".stable_hash(&mut h);
+    inject.stable_hash(&mut h);
+    timeout_secs.stable_hash(&mut h);
+    h.finish()
 }
 
 /// Renders a per-point result as the `point-done` event payload.
@@ -847,6 +968,11 @@ mod tests {
             ("{\"v\":1,\"kind\":\"sweep\",\"points\":[]}", codes::BAD_REQUEST),
             ("{\"v\":1,\"kind\":\"sweep\",\"points\":[{\"bench\":\"nope\"}]}", codes::BAD_REQUEST),
             ("{\"v\":1,\"kind\":\"faults\"}", codes::BAD_REQUEST),
+            // resume is a v2 verb: a v1 client asking for it is typed,
+            // and a v2 resume still validates its payload.
+            ("{\"v\":1,\"kind\":\"resume\",\"job\":3}", codes::UNKNOWN_KIND),
+            ("{\"v\":2,\"kind\":\"resume\"}", codes::BAD_REQUEST),
+            ("{\"v\":2,\"kind\":\"reticulate\"}", codes::UNKNOWN_KIND),
         ];
         for (line, want) in cases {
             let err = parse_request(line).unwrap_err();
@@ -877,6 +1003,64 @@ mod tests {
         ));
         assert!(matches!(parse_request(&status_request()).unwrap(), Request::Status));
         assert!(matches!(parse_request(&shutdown_request()).unwrap(), Request::Shutdown));
+    }
+
+    #[test]
+    fn v2_requests_parse_and_v1_payloads_are_accepted_unchanged() {
+        let p = SweepPoint {
+            bench: BenchId::Gzip,
+            seed: 2006,
+            cfg: sim_config_id(BenchId::Gzip, Policy::baseline(), &RunOpts::default()),
+            warmup_insts: 0,
+        };
+        match parse_request(&sweep_request_v2(std::slice::from_ref(&p))).unwrap() {
+            Request::Sweep { points } => assert_eq!(points[0].key(), p.key()),
+            other => panic!("wrong request: {other:?}"),
+        }
+        assert!(matches!(
+            parse_request(&faults_request_v2(2_500, 60)).unwrap(),
+            Request::Faults { inject: 2_500, timeout_secs: 60 }
+        ));
+        assert!(matches!(
+            parse_request(&resume_request(7, 42)).unwrap(),
+            Request::Resume { job: 7, since_seq: 42 }
+        ));
+        // since_seq is optional: resume-from-the-beginning.
+        assert!(matches!(
+            parse_request("{\"v\":2,\"kind\":\"resume\",\"job\":0}").unwrap(),
+            Request::Resume { job: 0, since_seq: 0 }
+        ));
+    }
+
+    #[test]
+    fn job_hashes_are_content_addressed() {
+        let mk = |seed: u64| SweepPoint {
+            bench: BenchId::Gzip,
+            seed,
+            cfg: sim_config_id(BenchId::Gzip, Policy::baseline(), &RunOpts::default()),
+            warmup_insts: 0,
+        };
+        let (a, b) = (mk(1), mk(2));
+        let grid1 = vec![a.clone(), b.clone()];
+        let grid2 = vec![mk(1), mk(2)];
+        assert_eq!(sweep_job_hash(&grid1), sweep_job_hash(&grid2), "same content, same hash");
+        assert_ne!(
+            sweep_job_hash(&grid1),
+            sweep_job_hash(&[b, a]),
+            "grid order is part of the identity (results stream by index)"
+        );
+        assert_ne!(sweep_job_hash(&grid1), sweep_job_hash(&grid1[..1]));
+        assert_eq!(faults_job_hash(2_500, 60), faults_job_hash(2_500, 60));
+        assert_ne!(faults_job_hash(2_500, 60), faults_job_hash(2_501, 60));
+        assert_ne!(faults_job_hash(2_500, 60), sweep_job_hash(&grid1));
+    }
+
+    #[test]
+    fn queue_full_line_carries_the_retry_hint() {
+        let ev = Json::parse(&queue_full_line(350)).unwrap();
+        assert_eq!(ev.get("event").and_then(Json::as_str), Some("error"));
+        assert_eq!(ev.get("code").and_then(Json::as_str), Some(codes::QUEUE_FULL));
+        assert_eq!(ev.get("retry_after_ms").and_then(Json::as_u64), Some(350));
     }
 
     #[test]

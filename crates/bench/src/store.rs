@@ -106,6 +106,12 @@ pub struct StoreCounters {
     pub claims_lost: u64,
     /// Stale claims broken after the wait deadline.
     pub claim_breaks: u64,
+    /// Torn `.tmp-` files removed by [`ResultStore::scavenge`] (a
+    /// writer crashed between `write` and `rename`).
+    pub scavenged_tmp: u64,
+    /// Stale `.claim-` files removed by [`ResultStore::scavenge`] (a
+    /// claim owner crashed without releasing).
+    pub scavenged_claims: u64,
 }
 
 impl StoreCounters {
@@ -120,11 +126,16 @@ impl StoreCounters {
             ("claims_won", Json::UInt(self.claims_won)),
             ("claims_lost", Json::UInt(self.claims_lost)),
             ("claim_breaks", Json::UInt(self.claim_breaks)),
+            ("scavenged_tmp", Json::UInt(self.scavenged_tmp)),
+            ("scavenged_claims", Json::UInt(self.scavenged_claims)),
         ])
     }
 
-    /// Parses what [`StoreCounters::to_json`] rendered.
+    /// Parses what [`StoreCounters::to_json`] rendered. The scavenger
+    /// counters are optional so pre-scavenger status payloads still
+    /// parse.
     pub fn from_json(v: &Json) -> Option<Self> {
+        let opt = |key: &str| v.get(key).and_then(Json::as_u64).unwrap_or(0);
         Some(Self {
             hits: v.get("hits")?.as_u64()?,
             misses: v.get("misses")?.as_u64()?,
@@ -134,6 +145,8 @@ impl StoreCounters {
             claims_won: v.get("claims_won")?.as_u64()?,
             claims_lost: v.get("claims_lost")?.as_u64()?,
             claim_breaks: v.get("claim_breaks")?.as_u64()?,
+            scavenged_tmp: opt("scavenged_tmp"),
+            scavenged_claims: opt("scavenged_claims"),
         })
     }
 }
@@ -161,6 +174,7 @@ pub struct ResultStore {
     dir: PathBuf,
     budget: Option<u64>,
     claim_wait: Duration,
+    scavenge_age: Duration,
     lru: Mutex<LruState>,
     tmp_seq: AtomicU64,
     hits: AtomicU64,
@@ -171,11 +185,18 @@ pub struct ResultStore {
     claims_won: AtomicU64,
     claims_lost: AtomicU64,
     claim_breaks: AtomicU64,
+    scavenged_tmp: AtomicU64,
+    scavenged_claims: AtomicU64,
 }
 
 /// Default patience for a lost claim before the waiter assumes the
 /// owner crashed, breaks the claim, and simulates itself.
 const DEFAULT_CLAIM_WAIT: Duration = Duration::from_secs(600);
+
+/// Default minimum age before a `.tmp-` file counts as torn. Long
+/// enough that no live writer — which holds a tmp file for milliseconds
+/// between `write` and `rename` — can be swept out from under itself.
+const DEFAULT_SCAVENGE_AGE: Duration = Duration::from_secs(60);
 
 impl ResultStore {
     /// A store over `dir`. The byte budget comes from
@@ -194,6 +215,7 @@ impl ResultStore {
             dir,
             budget,
             claim_wait,
+            scavenge_age: DEFAULT_SCAVENGE_AGE,
             lru: Mutex::new(LruState::default()),
             tmp_seq: AtomicU64::new(0),
             hits: AtomicU64::new(0),
@@ -204,6 +226,8 @@ impl ResultStore {
             claims_won: AtomicU64::new(0),
             claims_lost: AtomicU64::new(0),
             claim_breaks: AtomicU64::new(0),
+            scavenged_tmp: AtomicU64::new(0),
+            scavenged_claims: AtomicU64::new(0),
         }
     }
 
@@ -217,6 +241,13 @@ impl ResultStore {
     /// considered stale and broken.
     pub fn with_claim_wait(mut self, wait: Duration) -> Self {
         self.claim_wait = wait;
+        self
+    }
+
+    /// Overrides the minimum age before a `.tmp-` file counts as torn
+    /// for [`scavenge`](ResultStore::scavenge) (tests use `ZERO`).
+    pub fn with_scavenge_age(mut self, age: Duration) -> Self {
+        self.scavenge_age = age;
         self
     }
 
@@ -241,6 +272,8 @@ impl ResultStore {
             claims_won: self.claims_won.load(Ordering::Relaxed),
             claims_lost: self.claims_lost.load(Ordering::Relaxed),
             claim_breaks: self.claim_breaks.load(Ordering::Relaxed),
+            scavenged_tmp: self.scavenged_tmp.load(Ordering::Relaxed),
+            scavenged_claims: self.scavenged_claims.load(Ordering::Relaxed),
         }
     }
 
@@ -432,6 +465,52 @@ impl ResultStore {
             let _ = fs::remove_file(&meta.path);
             self.evictions.fetch_add(1, Ordering::Relaxed);
         }
+    }
+
+    /// Crash recovery: removes debris left by crashed writers.
+    ///
+    /// * `.tmp-…` files older than the scavenge age are torn writes (a
+    ///   writer died between `write` and `rename`); a live writer holds
+    ///   its tmp file for milliseconds, so age discriminates safely.
+    /// * `.claim-…` files older than the claim-wait deadline belong to
+    ///   owners that crashed without releasing; removing them up front
+    ///   spares every later waiter the full stale-claim timeout.
+    ///
+    /// Entries themselves are never touched (atomic rename means an
+    /// entry either exists whole or not at all). Returns
+    /// `(tmp_removed, claims_removed)` and bumps the corresponding
+    /// counters, which `status` surfaces. `secsim-serve` calls this at
+    /// startup.
+    pub fn scavenge(&self) -> (u64, u64) {
+        let Ok(dir) = fs::read_dir(&self.dir) else { return (0, 0) };
+        let (mut tmp, mut claims) = (0u64, 0u64);
+        for entry in dir.flatten() {
+            let path = entry.path();
+            let Some(name) = path.file_name().and_then(|n| n.to_str()) else { continue };
+            let threshold = if name.starts_with(".tmp-") {
+                self.scavenge_age
+            } else if name.starts_with(".claim-") {
+                self.claim_wait
+            } else {
+                continue;
+            };
+            let age = entry
+                .metadata()
+                .ok()
+                .and_then(|m| m.modified().ok())
+                .and_then(|m| m.elapsed().ok())
+                .unwrap_or(Duration::ZERO);
+            if age >= threshold && fs::remove_file(&path).is_ok() {
+                if name.starts_with(".tmp-") {
+                    tmp += 1;
+                } else {
+                    claims += 1;
+                }
+            }
+        }
+        self.scavenged_tmp.fetch_add(tmp, Ordering::Relaxed);
+        self.scavenged_claims.fetch_add(claims, Ordering::Relaxed);
+        (tmp, claims)
     }
 
     /// Seeds the LRU map from the directory (oldest mtime = least
@@ -674,6 +753,53 @@ mod tests {
         assert_eq!(entry_key_from_name(".tmp-00000000000000ff-1-0"), None);
         assert_eq!(entry_key_from_name("notes.txt"), None);
         assert_eq!(entry_key_from_name("short-ff.json"), None);
+    }
+
+    #[test]
+    fn scavenge_removes_torn_tmp_files_and_counts_them() {
+        let dir = temp_dir("scavenge-tmp");
+        fs::create_dir_all(&dir).unwrap();
+        // A torn write: tmp file that never got renamed.
+        fs::write(dir.join(".tmp-00000000000000aa-1234-0"), "partial").unwrap();
+        let store = ResultStore::new(dir.clone()).with_scavenge_age(Duration::ZERO);
+        assert_eq!(store.scavenge(), (1, 0));
+        assert!(!dir.join(".tmp-00000000000000aa-1234-0").exists());
+        assert_eq!(store.counters().scavenged_tmp, 1);
+        assert_eq!(store.counters().scavenged_claims, 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn scavenge_removes_stale_claims_but_spares_fresh_ones() {
+        let dir = temp_dir("scavenge-claim");
+        fs::create_dir_all(&dir).unwrap();
+        let store = ResultStore::new(dir.clone())
+            .with_claim_wait(Duration::from_millis(30))
+            .with_scavenge_age(Duration::from_secs(3600));
+        // Stale claim: planted first, aged past the claim-wait deadline.
+        fs::write(store.claim_path(0x11), "99999").unwrap();
+        std::thread::sleep(Duration::from_millis(40));
+        // Fresh claim: created just before the sweep; must survive.
+        let ticket = store.claim(0x42);
+        assert!(matches!(ticket, Claim::Won(Some(_))));
+        assert_eq!(store.scavenge(), (0, 1));
+        assert!(!store.claim_path(0x11).exists(), "stale claim removed");
+        assert!(store.claim_path(0x42).exists(), "fresh claim spared");
+        assert_eq!(store.counters().scavenged_claims, 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn scavenge_never_touches_entries() {
+        let dir = temp_dir("scavenge-entries");
+        let store = ResultStore::new(dir.clone()).with_scavenge_age(Duration::ZERO);
+        store.put("mcf", 0xbeef, &report(12));
+        assert_eq!(store.scavenge(), (0, 0));
+        assert!(store.load("mcf", 0xbeef).is_some(), "entry survives scavenging");
+        // Counters round-trip through the status JSON encoding.
+        let c = store.counters();
+        assert_eq!(StoreCounters::from_json(&c.to_json()), Some(c));
+        let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -234,6 +234,9 @@ pub struct Sweep {
     /// `--server ADDR`: route grids to a `secsim-serve` instance
     /// instead of simulating in-process.
     server: Option<String>,
+    /// Retry/backoff/timeout policy for the server path
+    /// (`--client-timeout`, `--client-retries`).
+    retry: crate::client::RetryPolicy,
     /// Chrome-trace output requested via `--trace FILE`; consumed by the
     /// first grid that runs.
     trace_out: Mutex<Option<PathBuf>>,
@@ -272,6 +275,7 @@ impl Sweep {
             jobs,
             store: Some(ResultStore::new(results_dir().join("cache"))),
             server: None,
+            retry: crate::client::RetryPolicy::default(),
             trace_out: Mutex::new(None),
             memo: Mutex::new(HashMap::new()),
             inflight: Mutex::new(HashMap::new()),
@@ -283,10 +287,10 @@ impl Sweep {
     }
 
     /// A sweep configured from the process arguments: consumes
-    /// `--jobs N`, `--no-cache`, `--server ADDR`, `--store-bytes N`,
-    /// `--trace FILE` and `--program FILE`, returning the remaining
-    /// arguments (without the program name) for the binary's own
-    /// parsing.
+    /// `--jobs N`, `--no-cache`, `--server ADDR`, `--client-timeout S`,
+    /// `--client-retries N`, `--store-bytes N`, `--trace FILE` and
+    /// `--program FILE`, returning the remaining arguments (without the
+    /// program name) for the binary's own parsing.
     pub fn from_args() -> (Self, Vec<String>) {
         let mut sweep = Self::new();
         let mut rest = Vec::new();
@@ -308,6 +312,22 @@ impl Sweep {
                         std::process::exit(2);
                     };
                     sweep = sweep.with_server(addr);
+                }
+                "--client-timeout" => {
+                    let n = args.next().and_then(|s| s.parse::<u64>().ok()).filter(|&n| n >= 1);
+                    let Some(n) = n else {
+                        eprintln!("error: --client-timeout needs a positive number of seconds");
+                        std::process::exit(2);
+                    };
+                    sweep.retry.read_timeout = std::time::Duration::from_secs(n);
+                }
+                "--client-retries" => {
+                    let n = args.next().and_then(|s| s.parse::<u32>().ok()).filter(|&n| n >= 1);
+                    let Some(n) = n else {
+                        eprintln!("error: --client-retries needs a positive integer");
+                        std::process::exit(2);
+                    };
+                    sweep.retry.attempts = n;
                 }
                 "--store-bytes" => {
                     let n = args.next().and_then(|s| s.parse::<u64>().ok());
@@ -396,6 +416,12 @@ impl Sweep {
         self
     }
 
+    /// Overrides the retry/backoff/timeout policy of the server path.
+    pub fn with_retry(mut self, retry: crate::client::RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
     /// The configured worker count.
     pub fn jobs(&self) -> usize {
         self.jobs
@@ -432,8 +458,17 @@ impl Sweep {
     /// silently skew every downstream table).
     pub fn run(&self, points: &[SweepPoint]) -> Vec<Result<SimReport, SweepError>> {
         if let Some(addr) = &self.server {
-            match crate::client::run_sweep(addr, points) {
-                Ok(results) => return results,
+            match crate::client::run_sweep_with(addr, points, self.retry) {
+                Ok((results, stats)) => {
+                    if stats.reconnects > 0 {
+                        eprintln!(
+                            "note: --server {addr}: recovered from {} disconnect(s) \
+                             ({} resume(s), {} resubmission(s), {} timeout(s))",
+                            stats.reconnects, stats.resumes, stats.resubmits, stats.timeouts
+                        );
+                    }
+                    return results;
+                }
                 Err(e) => {
                     eprintln!("error: --server {addr}: {e}");
                     std::process::exit(1);

@@ -1,0 +1,195 @@
+//! `chaos` — deterministic network-fault harness for `secsim-serve`.
+//!
+//! ```text
+//! chaos [--seed N] [--rate PCT] [--clients N] [--smoke]
+//! ```
+//!
+//! Spins up an ephemeral job server, parks a seeded fault-injecting
+//! proxy ([`secsim_bench::chaos::ChaosProxy`]) in front of it, and runs
+//! N resilient clients through the proxy at the configured fault rate.
+//! The run must terminate with every client holding results
+//! byte-identical to a fault-free in-process run and the server having
+//! simulated each unique point exactly once — the service-layer
+//! analogue of the paper's "zero undetected tampering" bar. The same
+//! seed replays the same fault schedule.
+//!
+//! `--smoke` is the tier-1/CI entry: fixed seed, 2 clients, a fault
+//! rate high enough that at least one reconnect is guaranteed (and
+//! asserted).
+
+use secsim_bench::chaos::{ChaosPlan, ChaosProxy};
+use secsim_bench::client::{self, RetryPolicy};
+use secsim_bench::{ResultStore, RunOpts, Sweep, SweepPoint};
+use secsim_core::Policy;
+use secsim_server::{JobServer, ServerConfig};
+use secsim_stats::Json;
+use secsim_workloads::BenchId;
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!("usage: chaos [--seed N] [--rate PCT] [--clients N] [--smoke]");
+    std::process::exit(2);
+}
+
+struct Opts {
+    seed: u64,
+    rate: u8,
+    clients: u64,
+    smoke: bool,
+}
+
+fn parse_args() -> Opts {
+    let mut opts = Opts { seed: 0xC0FFEE, rate: 90, clients: 2, smoke: false };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next().and_then(|s| s.parse::<u64>().ok()).unwrap_or_else(|| {
+                eprintln!("error: {name} needs a number");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--seed" => opts.seed = value("--seed"),
+            "--rate" => opts.rate = value("--rate").min(100) as u8,
+            "--clients" => opts.clients = value("--clients").max(1),
+            "--smoke" => opts.smoke = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("error: unknown flag {other}");
+                usage()
+            }
+        }
+    }
+    opts
+}
+
+fn grid() -> Vec<SweepPoint> {
+    let opts = RunOpts { max_insts: 8_000, ..RunOpts::default() };
+    vec![
+        SweepPoint::of(BenchId::Gzip, Policy::baseline(), &opts),
+        SweepPoint::of(BenchId::Gzip, Policy::authen_then_commit(), &opts),
+        SweepPoint::of(BenchId::Mcf, Policy::baseline(), &opts),
+        SweepPoint::of(BenchId::Mcf, Policy::authen_then_commit(), &opts),
+    ]
+}
+
+fn renders(results: &[Result<secsim_cpu::SimReport, secsim_bench::SweepError>]) -> Vec<String> {
+    results
+        .iter()
+        .map(|r| r.as_ref().expect("every point reports").to_json().expect("untraced").render())
+        .collect()
+}
+
+fn main() {
+    let opts = parse_args();
+    let tag = format!("secsim-chaos-bin-{}", std::process::id());
+    let tmp = std::env::temp_dir().join(tag);
+    let _ = std::fs::remove_dir_all(&tmp);
+
+    let cfg = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        threads: 2,
+        queue_cap: 8,
+        job_timeout: Duration::from_secs(120),
+        store_dir: tmp.join("store"),
+        ..ServerConfig::default()
+    };
+    let server = JobServer::bind(&cfg).expect("chaos: bind ephemeral port");
+    let addr = server.local_addr().expect("chaos: local addr").to_string();
+    let server_thread = std::thread::spawn(move || server.serve());
+
+    let plan = ChaosPlan::new(opts.seed, opts.rate);
+    let mut proxy =
+        ChaosProxy::spawn(plan, addr.parse().expect("chaos: addr parses")).expect("chaos: proxy");
+    let proxy_addr = proxy.addr().to_string();
+
+    let points = grid();
+    let clients: Vec<_> = (0..opts.clients)
+        .map(|i| {
+            let proxy_addr = proxy_addr.clone();
+            let points = points.clone();
+            let seed = opts.seed ^ i;
+            std::thread::spawn(move || {
+                let policy = RetryPolicy {
+                    attempts: 40,
+                    base_ms: 10,
+                    cap_ms: 200,
+                    read_timeout: Duration::from_secs(2),
+                    seed,
+                };
+                client::run_sweep_with(&proxy_addr, &points, policy)
+            })
+        })
+        .collect();
+
+    let mut outs: Vec<Vec<String>> = Vec::new();
+    let (mut reconnects, mut resumes, mut resubmits, mut timeouts) = (0u64, 0u64, 0u64, 0u64);
+    for c in clients {
+        let (results, stats) = c
+            .join()
+            .expect("chaos: client thread")
+            .expect("chaos: sweep must survive the fault schedule");
+        reconnects += stats.reconnects;
+        resumes += stats.resumes;
+        resubmits += stats.resubmits;
+        timeouts += stats.timeouts;
+        outs.push(renders(&results));
+    }
+    for pair in outs.windows(2) {
+        assert_eq!(pair[0], pair[1], "chaos: all clients must see byte-identical reports");
+    }
+
+    // Byte-identical to a fault-free, in-process run of the same grid.
+    let local_store = tmp.join("local");
+    let local = Sweep::new().with_store(ResultStore::new(local_store)).run(&points);
+    assert_eq!(
+        outs[0],
+        renders(&local),
+        "chaos: faulted results must match the fault-free run"
+    );
+
+    // Exactly-once execution on the server, faults notwithstanding.
+    let status = client::status(&addr).expect("chaos: status");
+    let simulated = status
+        .get("sweep")
+        .and_then(|s| s.get("simulated"))
+        .and_then(Json::as_u64)
+        .expect("chaos: status carries sweep.simulated");
+    assert_eq!(
+        simulated,
+        points.len() as u64,
+        "chaos: simulated must equal unique points (no lost, no duplicated work)"
+    );
+
+    if opts.smoke {
+        assert!(
+            reconnects >= 1,
+            "chaos --smoke: rate {}% at seed {:#x} must force at least one reconnect \
+             (got {reconnects} across {} proxied connections)",
+            opts.rate,
+            opts.seed,
+            proxy.accepted()
+        );
+    }
+
+    let accepted = proxy.accepted();
+    proxy.stop();
+    client::shutdown(&addr).expect("chaos: shutdown");
+    let final_status = server_thread
+        .join()
+        .expect("chaos: server thread")
+        .expect("chaos: serve returns");
+    assert_eq!(
+        final_status.get("queue_depth").and_then(Json::as_u64),
+        Some(0),
+        "chaos: queue must drain before exit"
+    );
+    let _ = std::fs::remove_dir_all(&tmp);
+    println!(
+        "chaos OK: seed={:#x} rate={}% clients={} conns={accepted} \
+         reconnects={reconnects} resumes={resumes} resubmits={resubmits} timeouts={timeouts} \
+         simulated={simulated}",
+        opts.seed, opts.rate, opts.clients
+    );
+}

@@ -12,11 +12,34 @@
 //! content-addressed [`ResultStore`] that
 //! future jobs hit instead of simulating.
 //!
+//! # Resilience (protocol v2)
+//!
+//! The server is built to survive misbehaving networks and clients:
+//!
+//! * **Job registry.** Every job lives in a registry keyed by its
+//!   server-assigned id *and* by the content hash of its request
+//!   ([`protocol::sweep_job_hash`]). Events are retained in a bounded
+//!   per-job buffer with monotone sequence numbers, so a client that
+//!   lost its connection can `resume {job, since_seq}` and replay only
+//!   what it missed. A client that lost its *job id* resubmits; the
+//!   content hash dedups the submission onto the original job —
+//!   exactly-once execution either way.
+//! * **Panic isolation.** Each point runs under `catch_unwind`; a
+//!   panicking point degrades to a typed [`SweepError::Failed`] hole in
+//!   the job's results and the worker survives to run the next job.
+//! * **Load shedding.** A full queue answers `queue-full` with a
+//!   `retry_after_ms` hint derived from the queue depth
+//!   ([`retry_after_hint`]) so backoff across clients spreads out.
+//! * **Crash-safe store.** [`JobServer::bind`] scavenges torn `.tmp-`
+//!   and stale `.claim-` files left by crashed processes
+//!   ([`ResultStore::scavenge`]); the counts surface in `status`.
+//!
 //! Lifecycle: [`JobServer::bind`] → [`JobServer::serve`] (accept loop)
 //! → shutdown via a `shutdown` request or SIGINT
 //! ([`install_sigint_handler`]) → the server refuses new jobs, drains
-//! the queue, flushes its counters and job timeline under `results/`,
-//! and returns.
+//! the queue, waits for connected streams to deliver their final
+//! `complete` events (never a bare EOF), flushes its counters and job
+//! timeline under `results/`, and returns.
 //!
 //! Every sweep job is bounded by a wall-clock watchdog: points still
 //! missing when the job's deadline passes are reported through the
@@ -27,9 +50,10 @@ use secsim_bench::protocol::{self, codes, Request};
 use secsim_bench::{faultpoint, results_dir, ResultStore, Sweep, SweepError, SweepPoint};
 use secsim_cpu::SimReport;
 use secsim_stats::{Json, Timeline};
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
@@ -44,7 +68,8 @@ pub struct ServerConfig {
     pub workers: usize,
     /// Point-level parallelism within one sweep job.
     pub threads: usize,
-    /// Bounded queue capacity; a full queue answers `queue-full`.
+    /// Bounded queue capacity; a full queue answers `queue-full` with a
+    /// `retry_after_ms` hint.
     pub queue_cap: usize,
     /// Wall-clock budget per job; late points degrade to
     /// [`SweepError::Failed`].
@@ -53,6 +78,18 @@ pub struct ServerConfig {
     pub store_dir: PathBuf,
     /// LRU byte budget for the store (`None` = unlimited).
     pub store_bytes: Option<u64>,
+    /// Events retained per job for `resume`; older events answer
+    /// `resume-too-old`.
+    pub retain_events: usize,
+    /// Completed jobs kept in the registry (resumable / dedup-able)
+    /// before being forgotten.
+    pub retain_jobs: usize,
+    /// Override for the store's stale-claim deadline (`None` = store
+    /// default).
+    pub claim_wait: Option<Duration>,
+    /// Override for the store's torn-tmp scavenge age (`None` = store
+    /// default).
+    pub scavenge_age: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -66,16 +103,65 @@ impl Default for ServerConfig {
             job_timeout: Duration::from_secs(600),
             store_dir: results_dir().join("cache"),
             store_bytes: None,
+            retain_events: 4096,
+            retain_jobs: 32,
+            claim_wait: None,
+            scavenge_age: None,
         }
     }
 }
 
-/// One queued job.
-struct Job {
+/// The `retry_after_ms` hint for a `queue-full` answer: linear in queue
+/// fullness, 100ms when nearly empty to 2s when saturated. Spreading
+/// hints by depth desynchronizes a thundering herd of backed-off
+/// clients.
+pub fn retry_after_hint(depth: usize, cap: usize) -> u64 {
+    let cap = cap.max(1) as u64;
+    let depth = (depth as u64).min(cap);
+    100 + (1900 * depth) / cap
+}
+
+/// The bounded, sequence-numbered event history of one job.
+struct EventBuf {
+    /// Sequence number of `events[0]`. Starts at 1; advances past 1
+    /// only when the retention cap discards old events.
+    first_seq: u64,
+    /// Sequence number the next pushed event will get.
+    next_seq: u64,
+    events: VecDeque<String>,
+    /// Set once, after the final (`complete`) event.
+    done: bool,
+}
+
+impl EventBuf {
+    fn new() -> Self {
+        Self { first_seq: 1, next_seq: 1, events: VecDeque::new(), done: false }
+    }
+}
+
+/// One job in the registry: identity plus its event history. Workers
+/// push events; any number of follower connections replay them.
+struct JobState {
     id: u64,
+    /// Content hash of the originating request (submission dedup).
+    hash: u64,
+    buf: Mutex<EventBuf>,
+    ready: Condvar,
+}
+
+/// All jobs the server still remembers.
+#[derive(Default)]
+struct Registry {
+    jobs: HashMap<u64, Arc<JobState>>,
+    by_hash: HashMap<u64, u64>,
+    /// Completed jobs in completion order, for bounded retention.
+    done_order: VecDeque<u64>,
+}
+
+/// A job waiting for a worker.
+struct QueuedJob {
+    state: Arc<JobState>,
     kind: JobKind,
-    /// Event lines stream back to the submitting connection.
-    events: mpsc::Sender<Event>,
 }
 
 enum JobKind {
@@ -92,18 +178,18 @@ impl JobKind {
     }
 }
 
-/// One event line, flagged when it ends the job's stream.
-struct Event {
-    line: String,
-    last: bool,
-}
-
 /// State shared by the accept loop, connection threads and workers.
 struct Shared {
     sweep: Sweep,
-    queue: Mutex<VecDeque<Job>>,
+    queue: Mutex<VecDeque<QueuedJob>>,
     queue_ready: Condvar,
     queue_cap: usize,
+    registry: Mutex<Registry>,
+    retain_events: usize,
+    retain_jobs: usize,
+    /// Connections currently streaming job events; shutdown waits for
+    /// this to reach zero so no client ever sees a bare EOF.
+    streaming: AtomicUsize,
     /// Cleared when shutdown is requested: no new jobs.
     accepting: AtomicBool,
     active_jobs: AtomicU64,
@@ -136,16 +222,20 @@ impl Shared {
             }
             None => Json::Null,
         };
+        let jobs_retained = self.registry.lock().expect("registry poisoned").jobs.len();
         Json::obj(vec![
             ("event", Json::Str("status".into())),
-            ("protocol", Json::UInt(protocol::PROTOCOL_VERSION)),
+            ("protocol", Json::UInt(protocol::PROTOCOL_V2)),
+            ("protocol_min", Json::UInt(protocol::PROTOCOL_VERSION)),
             ("accepting", Json::Bool(self.accepting.load(Ordering::Relaxed))),
             (
                 "queue_depth",
                 Json::UInt(self.queue.lock().expect("queue poisoned").len() as u64),
             ),
+            ("queue_cap", Json::UInt(self.queue_cap as u64)),
             ("active_jobs", Json::UInt(self.active_jobs.load(Ordering::Relaxed))),
             ("jobs_done", Json::UInt(self.jobs_done.load(Ordering::Relaxed))),
+            ("jobs_retained", Json::UInt(jobs_retained as u64)),
             (
                 "sweep",
                 Json::obj(vec![
@@ -157,6 +247,42 @@ impl Shared {
             ("store", store),
             ("uptime_ms", Json::UInt(self.now_ms())),
         ])
+    }
+
+    /// Appends one event to a job's history, assigning its sequence
+    /// number and applying the retention cap. Wakes every follower.
+    fn push_event(&self, state: &JobState, mut pairs: Vec<(&str, Json)>) {
+        let mut buf = state.buf.lock().expect("event buf poisoned");
+        let seq = buf.next_seq;
+        buf.next_seq += 1;
+        pairs.push(("seq", Json::UInt(seq)));
+        buf.events.push_back(Json::obj(pairs).render());
+        while buf.events.len() > self.retain_events {
+            buf.events.pop_front();
+            buf.first_seq += 1;
+        }
+        drop(buf);
+        state.ready.notify_all();
+    }
+
+    /// Marks a job's stream finished and applies completed-job
+    /// retention to the registry.
+    fn finish_job(&self, state: &JobState) {
+        {
+            let mut buf = state.buf.lock().expect("event buf poisoned");
+            buf.done = true;
+        }
+        state.ready.notify_all();
+        let mut reg = self.registry.lock().expect("registry poisoned");
+        reg.done_order.push_back(state.id);
+        while reg.done_order.len() > self.retain_jobs {
+            let Some(old) = reg.done_order.pop_front() else { break };
+            if let Some(gone) = reg.jobs.remove(&old) {
+                if reg.by_hash.get(&gone.hash) == Some(&old) {
+                    reg.by_hash.remove(&gone.hash);
+                }
+            }
+        }
     }
 }
 
@@ -193,17 +319,33 @@ pub struct JobServer {
 }
 
 impl JobServer {
-    /// Binds the listen socket and builds the shared store/sweep. The
-    /// server accepts nothing until [`serve`](JobServer::serve).
+    /// Binds the listen socket, builds the shared store/sweep, and
+    /// scavenges crash debris (torn `.tmp-`, stale `.claim-` files)
+    /// from the store directory. The server accepts nothing until
+    /// [`serve`](JobServer::serve).
     pub fn bind(cfg: &ServerConfig) -> std::io::Result<Self> {
         let listener = TcpListener::bind(&cfg.addr)?;
         listener.set_nonblocking(true)?;
-        let store = ResultStore::new(cfg.store_dir.clone()).with_budget(cfg.store_bytes);
+        let mut store = ResultStore::new(cfg.store_dir.clone()).with_budget(cfg.store_bytes);
+        if let Some(wait) = cfg.claim_wait {
+            store = store.with_claim_wait(wait);
+        }
+        if let Some(age) = cfg.scavenge_age {
+            store = store.with_scavenge_age(age);
+        }
+        let (tmp, claims) = store.scavenge();
+        if tmp + claims > 0 {
+            eprintln!("secsim-serve: scavenged {tmp} torn tmp file(s), {claims} stale claim(s)");
+        }
         let shared = Arc::new(Shared {
             sweep: Sweep::new().with_store(store),
             queue: Mutex::new(VecDeque::new()),
             queue_ready: Condvar::new(),
             queue_cap: cfg.queue_cap.max(1),
+            registry: Mutex::new(Registry::default()),
+            retain_events: cfg.retain_events.max(1),
+            retain_jobs: cfg.retain_jobs.max(1),
+            streaming: AtomicUsize::new(0),
             accepting: AtomicBool::new(true),
             active_jobs: AtomicU64::new(0),
             jobs_done: AtomicU64::new(0),
@@ -222,8 +364,9 @@ impl JobServer {
     }
 
     /// Runs the accept loop until a `shutdown` request or SIGINT, then
-    /// drains the queue, joins the workers, and flushes status +
-    /// timeline under `results/`. Returns the final status object.
+    /// drains the queue, joins the workers, waits for in-flight client
+    /// streams to finish, and flushes status + timeline under
+    /// `results/`. Returns the final status object.
     pub fn serve(self) -> std::io::Result<Json> {
         let worker_handles: Vec<_> = (0..self.workers)
             .map(|_| {
@@ -253,10 +396,21 @@ impl JobServer {
         }
 
         // Drain: workers exit once the queue is empty (accepting is
-        // already false, so nothing refills it).
+        // already false, so nothing refills it). Every queued job still
+        // runs to completion.
         self.shared.queue_ready.notify_all();
         for h in worker_handles {
             let _ = h.join();
+        }
+        // Shutdown-race guarantee: connections still replaying events
+        // get to deliver their final `complete` before the process can
+        // exit — a mid-stream client never sees a bare EOF. Bounded so
+        // a wedged socket cannot hold shutdown hostage.
+        let stream_deadline = Instant::now() + Duration::from_secs(30);
+        while self.shared.streaming.load(Ordering::Relaxed) > 0
+            && Instant::now() < stream_deadline
+        {
+            std::thread::sleep(Duration::from_millis(5));
         }
         let status = self.shared.status_json();
         // Flush next to the store (results/ for the default config) so
@@ -281,6 +435,9 @@ impl JobServer {
 }
 
 /// Pops and runs jobs until shutdown is requested and the queue is dry.
+/// The whole job body runs under `catch_unwind`: a panic that somehow
+/// escapes the per-point isolation still finishes the job's event
+/// stream and leaves the worker alive for the next job.
 fn worker_loop(shared: &Arc<Shared>) {
     loop {
         let job = {
@@ -299,12 +456,26 @@ fn worker_loop(shared: &Arc<Shared>) {
                 q = guard;
             }
         };
-        let Some(job) = job else { return };
+        let Some(QueuedJob { state, kind }) = job else { return };
         shared.active_jobs.fetch_add(1, Ordering::Relaxed);
         let begin = shared.now_ms();
-        let label = job.kind.label();
-        let id = job.id;
-        run_job(shared, job);
+        let label = kind.label();
+        let id = state.id;
+        if catch_unwind(AssertUnwindSafe(|| run_job(shared, &state, &kind))).is_err() {
+            // Last-resort containment: the stream still terminates with
+            // a `complete` so no follower waits forever.
+            shared.push_event(
+                &state,
+                vec![
+                    ("event", Json::Str("complete".into())),
+                    ("job", Json::UInt(id)),
+                    ("ok", Json::UInt(0)),
+                    ("failed", Json::UInt(0)),
+                    ("degraded", Json::Str("job runner panicked".into())),
+                ],
+            );
+        }
+        shared.finish_job(&state);
         let end = shared.now_ms();
         shared
             .timeline
@@ -316,26 +487,38 @@ fn worker_loop(shared: &Arc<Shared>) {
     }
 }
 
-fn send_event(job: &Job, line: String, last: bool) {
-    // A vanished client is not an error: the job finishes and its
-    // results stay in the store.
-    let _ = job.events.send(Event { line, last });
+fn run_job(shared: &Arc<Shared>, state: &Arc<JobState>, kind: &JobKind) {
+    shared.push_event(
+        state,
+        vec![
+            ("event", Json::Str("running".into())),
+            ("job", Json::UInt(state.id)),
+        ],
+    );
+    match kind {
+        JobKind::Sweep(points) => run_sweep_job(shared, state, Arc::clone(points)),
+        JobKind::Faults { inject, timeout_secs } => {
+            run_faults_job(shared, state, *inject, *timeout_secs)
+        }
+    }
 }
 
-fn run_job(shared: &Arc<Shared>, job: Job) {
-    send_event(
-        &job,
-        Json::obj(vec![
-            ("event", Json::Str("running".into())),
-            ("job", Json::UInt(job.id)),
-        ])
-        .render(),
-        false,
-    );
-    match &job.kind {
-        JobKind::Sweep(points) => run_sweep_job(shared, &job, Arc::clone(points)),
-        JobKind::Faults { inject, timeout_secs } => {
-            run_faults_job(shared, &job, *inject, *timeout_secs)
+/// Runs one point with panic isolation: a panicking point becomes a
+/// typed [`SweepError::Failed`] hole instead of killing the runner
+/// thread (and with it the worker's job).
+fn run_point_isolated(shared: &Arc<Shared>, point: &SweepPoint) -> Result<SimReport, SweepError> {
+    match catch_unwind(AssertUnwindSafe(|| shared.sweep.run_point(point))) {
+        Ok(r) => r,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "unknown panic".to_string());
+            Err(SweepError::Failed {
+                bench: point.bench.name().to_string(),
+                detail: format!("panic in point runner: {msg}"),
+            })
         }
     }
 }
@@ -346,7 +529,7 @@ fn run_job(shared: &Arc<Shared>, job: Job) {
 /// deadline is abandoned (its runner thread still finishes and warms
 /// the store for whoever asks next) and reported as
 /// [`SweepError::Failed`].
-fn run_sweep_job(shared: &Arc<Shared>, job: &Job, points: Arc<Vec<SweepPoint>>) {
+fn run_sweep_job(shared: &Arc<Shared>, state: &Arc<JobState>, points: Arc<Vec<SweepPoint>>) {
     let n = points.len();
     let (ptx, prx) = mpsc::channel::<(usize, Result<SimReport, SweepError>)>();
     let next = Arc::new(AtomicUsize::new(0));
@@ -360,7 +543,7 @@ fn run_sweep_job(shared: &Arc<Shared>, job: &Job, points: Arc<Vec<SweepPoint>>) 
             if i >= points.len() {
                 break;
             }
-            let r = shared.sweep.run_point(&points[i]);
+            let r = run_point_isolated(&shared, &points[i]);
             if ptx.send((i, r)).is_err() {
                 break; // job watchdog gave up on us
             }
@@ -383,16 +566,14 @@ fn run_sweep_job(shared: &Arc<Shared>, job: &Job, points: Arc<Vec<SweepPoint>>) 
                     failed += 1;
                 }
                 let (key, payload) = protocol::result_to_json(&r);
-                send_event(
-                    job,
-                    Json::obj(vec![
+                shared.push_event(
+                    state,
+                    vec![
                         ("event", Json::Str("point-done".into())),
-                        ("job", Json::UInt(job.id)),
+                        ("job", Json::UInt(state.id)),
                         ("index", Json::UInt(i as u64)),
                         (key, payload),
-                    ])
-                    .render(),
-                    false,
+                    ],
                 );
             }
             Err(_) => break, // deadline passed (or all runners gone)
@@ -411,41 +592,37 @@ fn run_sweep_job(shared: &Arc<Shared>, job: &Job, points: Arc<Vec<SweepPoint>>) 
                 shared.job_timeout.as_secs()
             ),
         };
-        send_event(
-            job,
-            Json::obj(vec![
+        shared.push_event(
+            state,
+            vec![
                 ("event", Json::Str("point-done".into())),
-                ("job", Json::UInt(job.id)),
+                ("job", Json::UInt(state.id)),
                 ("index", Json::UInt(i as u64)),
                 ("error", protocol::sweep_error_to_json(&err)),
-            ])
-            .render(),
-            false,
+            ],
         );
     }
-    send_event(
-        job,
-        Json::obj(vec![
+    shared.push_event(
+        state,
+        vec![
             ("event", Json::Str("complete".into())),
-            ("job", Json::UInt(job.id)),
+            ("job", Json::UInt(state.id)),
             ("ok", Json::UInt(ok)),
             ("failed", Json::UInt(failed)),
-        ])
-        .render(),
-        true,
+        ],
     );
 }
 
 /// Executes the fault campaign (8 schemes × 5 integrity kinds) at one
 /// injection cycle; every point already carries its own watchdog.
-fn run_faults_job(shared: &Arc<Shared>, job: &Job, inject: u64, timeout_secs: u64) {
+fn run_faults_job(shared: &Arc<Shared>, state: &Arc<JobState>, inject: u64, timeout_secs: u64) {
     let timeout = Duration::from_secs(timeout_secs.clamp(1, shared.job_timeout.as_secs().max(1)));
     let (mut ok, mut failed) = (0u64, 0u64);
     for kind in faultpoint::integrity_kinds() {
         for (name, policy) in faultpoint::schemes() {
             let mut pairs = vec![
                 ("event", Json::Str("fault-done".into())),
-                ("job", Json::UInt(job.id)),
+                ("job", Json::UInt(state.id)),
                 ("policy", Json::Str(name.into())),
                 ("fault", protocol::fault_kind_to_json(&kind)),
             ];
@@ -465,20 +642,165 @@ fn run_faults_job(shared: &Arc<Shared>, job: &Job, inject: u64, timeout_secs: u6
                     pairs.push(("error", protocol::sweep_error_to_json(&e)));
                 }
             }
-            send_event(job, Json::obj(pairs).render(), false);
+            shared.push_event(state, pairs);
         }
     }
-    send_event(
-        job,
-        Json::obj(vec![
+    shared.push_event(
+        state,
+        vec![
             ("event", Json::Str("complete".into())),
-            ("job", Json::UInt(job.id)),
+            ("job", Json::UInt(state.id)),
             ("ok", Json::UInt(ok)),
             ("failed", Json::UInt(failed)),
-        ])
-        .render(),
-        true,
+        ],
     );
+}
+
+/// What a submission turned into.
+enum Submit {
+    /// A fresh job was queued.
+    Queued(Arc<JobState>),
+    /// An identical submission (by content hash) is already known; the
+    /// caller follows the existing job's stream instead.
+    Attached(Arc<JobState>),
+    /// Refused with a pre-rendered error line (`shutting-down` or
+    /// `queue-full` + `retry_after_ms`).
+    Refused(String),
+}
+
+/// Admits one submission: dedups by content hash onto a live or
+/// retained job, otherwise queues a fresh one (respecting the drain
+/// flag and the bounded queue). The registry lock spans the whole
+/// decision so two identical concurrent submissions cannot both queue.
+fn submit_or_attach(shared: &Arc<Shared>, hash: u64, kind: JobKind) -> Submit {
+    if !shared.accepting.load(Ordering::Relaxed) {
+        return Submit::Refused(protocol::error_line(
+            codes::SHUTTING_DOWN,
+            "server is draining; no new jobs",
+        ));
+    }
+    let mut reg = shared.registry.lock().expect("registry poisoned");
+    if let Some(state) = reg.by_hash.get(&hash).and_then(|id| reg.jobs.get(id)) {
+        // Attach only when the full event history is still replayable;
+        // a job whose buffer already overflowed would strand the new
+        // follower at `resume-too-old`. A fresh job is correct either
+        // way — the store dedups the actual simulation work.
+        if state.buf.lock().expect("event buf poisoned").first_seq == 1 {
+            return Submit::Attached(Arc::clone(state));
+        }
+    }
+    let mut q = shared.queue.lock().expect("queue poisoned");
+    if q.len() >= shared.queue_cap {
+        let hint = retry_after_hint(q.len(), shared.queue_cap);
+        return Submit::Refused(protocol::queue_full_line(hint));
+    }
+    let id = shared.next_job.fetch_add(1, Ordering::Relaxed);
+    let state = Arc::new(JobState {
+        id,
+        hash,
+        buf: Mutex::new(EventBuf::new()),
+        ready: Condvar::new(),
+    });
+    reg.jobs.insert(id, Arc::clone(&state));
+    reg.by_hash.insert(hash, id);
+    q.push_back(QueuedJob { state: Arc::clone(&state), kind });
+    let depth = q.len() as f64;
+    drop(q);
+    drop(reg);
+    let ts = shared.now_ms();
+    shared
+        .timeline
+        .lock()
+        .expect("timeline poisoned")
+        .push_counter("queue", ts, depth);
+    shared.queue_ready.notify_one();
+    Submit::Queued(state)
+}
+
+/// Counts a connection into the streaming gauge for its lifetime (the
+/// shutdown path waits for this gauge to drain).
+struct StreamGuard<'a>(&'a Shared);
+
+impl<'a> StreamGuard<'a> {
+    fn new(shared: &'a Shared) -> Self {
+        shared.streaming.fetch_add(1, Ordering::SeqCst);
+        Self(shared)
+    }
+}
+
+impl Drop for StreamGuard<'_> {
+    fn drop(&mut self) {
+        self.0.streaming.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Replays a job's events with sequence numbers `> since` to the
+/// client, waiting for new ones until the job completes. Answers
+/// `resume-too-old` when the retention cap already discarded requested
+/// events. Returns `Ok` even if the client vanished mid-stream — the
+/// job itself is unaffected.
+fn follow(
+    shared: &Shared,
+    writer: &mut TcpStream,
+    state: &JobState,
+    mut since: u64,
+) -> std::io::Result<()> {
+    let _guard = StreamGuard::new(shared);
+    loop {
+        enum Step {
+            TooOld(u64),
+            Batch(Vec<String>, bool),
+        }
+        let step = {
+            let mut buf = state.buf.lock().expect("event buf poisoned");
+            loop {
+                if since + 1 < buf.first_seq {
+                    break Step::TooOld(buf.first_seq);
+                }
+                let start = (since + 1 - buf.first_seq) as usize;
+                if start < buf.events.len() {
+                    let batch: Vec<String> = buf.events.iter().skip(start).cloned().collect();
+                    break Step::Batch(batch, buf.done);
+                }
+                if buf.done {
+                    break Step::Batch(Vec::new(), true);
+                }
+                let (guard, _) = state
+                    .ready
+                    .wait_timeout(buf, Duration::from_millis(100))
+                    .expect("event buf poisoned");
+                buf = guard;
+            }
+        };
+        match step {
+            Step::TooOld(first) => {
+                writeln!(
+                    writer,
+                    "{}",
+                    protocol::error_line(
+                        codes::RESUME_TOO_OLD,
+                        &format!(
+                            "events before seq {first} were discarded; resubmit the job"
+                        ),
+                    )
+                )?;
+                return Ok(());
+            }
+            Step::Batch(batch, done) => {
+                for line in &batch {
+                    if writeln!(writer, "{line}").is_err() {
+                        // Client gone; the job keeps running and its
+                        // events stay resumable.
+                        return Ok(());
+                    }
+                    since += 1;
+                }
+                if done {
+                    return Ok(());
+                }
+            }
+        }
+    }
 }
 
 /// Serves one client connection: reads request lines (bounded), answers
@@ -543,80 +865,97 @@ fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) -> std::io::Result
             }
             Ok(Request::Sweep { points }) => {
                 let n = points.len();
-                submit_and_stream(shared, &mut writer, JobKind::Sweep(Arc::new(points)), n)?;
+                let hash = protocol::sweep_job_hash(&points);
+                let kind = JobKind::Sweep(Arc::new(points));
+                submit_and_stream(shared, &mut writer, hash, kind, n)?;
             }
             Ok(Request::Faults { inject, timeout_secs }) => {
                 let n = faultpoint::integrity_kinds().len() * faultpoint::schemes().len();
-                submit_and_stream(
-                    shared,
-                    &mut writer,
-                    JobKind::Faults { inject, timeout_secs },
-                    n,
-                )?;
+                let hash = protocol::faults_job_hash(inject, timeout_secs);
+                let kind = JobKind::Faults { inject, timeout_secs };
+                submit_and_stream(shared, &mut writer, hash, kind, n)?;
+            }
+            Ok(Request::Resume { job, since_seq }) => {
+                let state = {
+                    let reg = shared.registry.lock().expect("registry poisoned");
+                    reg.jobs.get(&job).map(Arc::clone)
+                };
+                match state {
+                    None => {
+                        writeln!(
+                            writer,
+                            "{}",
+                            protocol::error_line(
+                                codes::UNKNOWN_JOB,
+                                &format!("job {job} is not retained; resubmit"),
+                            )
+                        )?;
+                    }
+                    Some(state) => {
+                        writeln!(
+                            writer,
+                            "{}",
+                            Json::obj(vec![
+                                ("event", Json::Str("resumed".into())),
+                                ("job", Json::UInt(job)),
+                                ("since_seq", Json::UInt(since_seq)),
+                            ])
+                            .render()
+                        )?;
+                        follow(shared, &mut writer, &state, since_seq)?;
+                    }
+                }
             }
         }
     }
 }
 
-/// Enqueues one job (respecting the drain flag and the bounded queue)
-/// and forwards its event stream to the client until `complete`.
+/// Admits one submission and streams the job's events to the client
+/// from the beginning.
 fn submit_and_stream(
     shared: &Arc<Shared>,
     writer: &mut TcpStream,
+    hash: u64,
     kind: JobKind,
     points: usize,
 ) -> std::io::Result<()> {
-    if !shared.accepting.load(Ordering::Relaxed) {
-        writeln!(
-            writer,
-            "{}",
-            protocol::error_line(codes::SHUTTING_DOWN, "server is draining; no new jobs")
-        )?;
-        return Ok(());
-    }
-    let (tx, rx) = mpsc::channel();
-    let id = shared.next_job.fetch_add(1, Ordering::Relaxed);
-    {
-        let mut q = shared.queue.lock().expect("queue poisoned");
-        if q.len() >= shared.queue_cap {
-            drop(q);
-            writeln!(
-                writer,
-                "{}",
-                protocol::error_line(codes::QUEUE_FULL, "job queue is full; retry later")
-            )?;
+    let (state, attached) = match submit_or_attach(shared, hash, kind) {
+        Submit::Refused(line) => {
+            writeln!(writer, "{line}")?;
             return Ok(());
         }
-        q.push_back(Job { id, kind, events: tx });
-        let depth = q.len() as f64;
-        let ts = shared.now_ms();
-        shared
-            .timeline
-            .lock()
-            .expect("timeline poisoned")
-            .push_counter("queue", ts, depth);
-    }
-    shared.queue_ready.notify_one();
+        Submit::Queued(state) => (state, false),
+        Submit::Attached(state) => (state, true),
+    };
     writeln!(
         writer,
         "{}",
         Json::obj(vec![
             ("event", Json::Str("queued".into())),
-            ("job", Json::UInt(id)),
+            ("job", Json::UInt(state.id)),
             ("points", Json::UInt(points as u64)),
+            ("attached", Json::Bool(attached)),
         ])
         .render()
     )?;
-    // Stream until the job's last event. If the client disconnects we
-    // keep draining so the worker never blocks on a dead socket.
-    let mut client_alive = true;
-    while let Ok(ev) = rx.recv() {
-        if client_alive && writeln!(writer, "{}", ev.line).is_err() {
-            client_alive = false;
-        }
-        if ev.last {
-            break;
-        }
+    follow(shared, writer, &state, 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::retry_after_hint;
+
+    #[test]
+    fn retry_hint_scales_with_queue_depth() {
+        // Nearly-empty queue: minimal hint.
+        assert_eq!(retry_after_hint(0, 64), 100);
+        // Saturated queue: full 2s hint (and depth is clamped to cap).
+        assert_eq!(retry_after_hint(64, 64), 2000);
+        assert_eq!(retry_after_hint(1000, 64), 2000);
+        // Monotone in between.
+        let hints: Vec<u64> = (0..=64).map(|d| retry_after_hint(d, 64)).collect();
+        assert!(hints.windows(2).all(|w| w[0] <= w[1]));
+        // Degenerate cap never divides by zero.
+        assert_eq!(retry_after_hint(5, 0), 2000);
     }
-    Ok(())
 }

@@ -3,7 +3,8 @@
 //! ```text
 //! secsim-serve [--addr HOST:PORT] [--workers N] [--threads N]
 //!              [--queue N] [--job-timeout-secs N]
-//!              [--store-dir PATH] [--store-bytes N] [--smoke]
+//!              [--store-dir PATH] [--store-bytes N]
+//!              [--retain-events N] [--retain-jobs N] [--smoke]
 //! ```
 //!
 //! Runs until SIGINT or a `shutdown` request, then drains the queue and
@@ -18,7 +19,8 @@ use std::time::Duration;
 fn usage() -> ! {
     eprintln!(
         "usage: secsim-serve [--addr HOST:PORT] [--workers N] [--threads N] \
-         [--queue N] [--job-timeout-secs N] [--store-dir PATH] [--store-bytes N] [--smoke]"
+         [--queue N] [--job-timeout-secs N] [--store-dir PATH] [--store-bytes N] \
+         [--retain-events N] [--retain-jobs N] [--smoke]"
     );
     std::process::exit(2);
 }
@@ -45,6 +47,12 @@ fn parse_args() -> (ServerConfig, bool) {
             "--store-bytes" => {
                 let n = parse_num(&value("--store-bytes"), "--store-bytes");
                 cfg.store_bytes = (n > 0).then_some(n);
+            }
+            "--retain-events" => {
+                cfg.retain_events = parse_num(&value("--retain-events"), "--retain-events") as usize
+            }
+            "--retain-jobs" => {
+                cfg.retain_jobs = parse_num(&value("--retain-jobs"), "--retain-jobs") as usize
             }
             "--smoke" => smoke = true,
             "--help" | "-h" => usage(),
@@ -116,7 +124,7 @@ fn smoke_test() {
         queue_cap: 8,
         job_timeout: Duration::from_secs(120),
         store_dir: tmp.join("store"),
-        store_bytes: None,
+        ..ServerConfig::default()
     };
     let server = JobServer::bind(&cfg).expect("smoke: bind ephemeral port");
     let addr = server.local_addr().expect("smoke: local addr").to_string();

@@ -1,0 +1,426 @@
+//! Chaos-hardening acceptance: the service layer under seeded,
+//! replayable transport faults.
+//!
+//! The invariant mirrors the paper's tamper-detection discipline one
+//! layer up: under arbitrary connection faults (disconnects, garbage,
+//! black holes), reconnecting clients must terminate with results
+//! byte-identical to a fault-free run and `simulated == unique points`
+//! — every fault is *contained* (retried, resumed, or typed), never
+//! silently corrupting a result.
+
+use secsim_bench::chaos::{ChaosPlan, ChaosProxy};
+use secsim_bench::client::{self, ClientError, RetryPolicy};
+use secsim_bench::{protocol, ResultStore, RunOpts, Sweep, SweepError, SweepPoint};
+use secsim_core::Policy;
+use secsim_server::{JobServer, ServerConfig};
+use secsim_stats::Json;
+use secsim_workloads::BenchId;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("secsim-chaos-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+fn spawn_server(cfg: ServerConfig) -> (String, std::thread::JoinHandle<std::io::Result<Json>>) {
+    let server = JobServer::bind(&cfg).expect("bind ephemeral port");
+    let addr = server.local_addr().expect("local addr").to_string();
+    (addr, std::thread::spawn(move || server.serve()))
+}
+
+fn server_cfg(store_dir: PathBuf) -> ServerConfig {
+    ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        threads: 2,
+        queue_cap: 8,
+        job_timeout: Duration::from_secs(120),
+        store_dir,
+        ..ServerConfig::default()
+    }
+}
+
+fn grid() -> Vec<SweepPoint> {
+    let opts = RunOpts { max_insts: 8_000, ..RunOpts::default() };
+    vec![
+        SweepPoint::of(BenchId::Gzip, Policy::baseline(), &opts),
+        SweepPoint::of(BenchId::Gzip, Policy::authen_then_commit(), &opts),
+        SweepPoint::of(BenchId::Mcf, Policy::baseline(), &opts),
+        SweepPoint::of(BenchId::Mcf, Policy::authen_then_commit(), &opts),
+    ]
+}
+
+fn renders(results: &[Result<secsim_cpu::SimReport, SweepError>]) -> Vec<String> {
+    results
+        .iter()
+        .map(|r| r.as_ref().expect("point reports").to_json().expect("untraced").render())
+        .collect()
+}
+
+/// The ISSUE acceptance test: two clients hammer the server through a
+/// seeded fault proxy at an aggressive fault rate. Both must terminate
+/// with results byte-identical to a fault-free in-process run, the
+/// server must have simulated each unique point exactly once, and the
+/// fault schedule must have actually forced reconnections.
+#[test]
+fn chaotic_network_cannot_corrupt_or_duplicate_results() {
+    const SEED: u64 = 0xC0FFEE;
+    const RATE: u8 = 90;
+
+    // Determinism of the schedule itself (the "replays exactly" half of
+    // the acceptance criterion).
+    let plan = ChaosPlan::new(SEED, RATE);
+    let schedule: Vec<_> = (0..32).map(|c| plan.fault_for(c)).collect();
+    let replay: Vec<_> = (0..32).map(|c| ChaosPlan::new(SEED, RATE).fault_for(c)).collect();
+    assert_eq!(schedule, replay, "same seed must replay the same fault schedule");
+
+    let dir = temp_dir("e2e");
+    let (addr, handle) = spawn_server(server_cfg(dir.join("store")));
+    let upstream = addr.parse().expect("server addr parses");
+    let mut proxy = ChaosProxy::spawn(plan, upstream).expect("proxy spawns");
+    let proxy_addr = proxy.addr().to_string();
+
+    let points = grid();
+    let clients: Vec<_> = (0..2u64)
+        .map(|i| {
+            let proxy_addr = proxy_addr.clone();
+            let points = points.clone();
+            std::thread::spawn(move || {
+                let policy = RetryPolicy {
+                    attempts: 40,
+                    base_ms: 10,
+                    cap_ms: 200,
+                    read_timeout: Duration::from_secs(2),
+                    seed: SEED ^ i,
+                };
+                client::run_sweep_with(&proxy_addr, &points, policy)
+            })
+        })
+        .collect();
+    let mut outs = Vec::new();
+    let mut reconnects = 0;
+    for c in clients {
+        let (results, stats) = c
+            .join()
+            .expect("client thread")
+            .expect("sweep must survive the chaos");
+        reconnects += stats.reconnects;
+        outs.push(renders(&results));
+    }
+    assert_eq!(outs[0], outs[1], "both chaos clients must see byte-identical reports");
+
+    // Byte-identical to a fault-free, in-process run of the same grid.
+    let local_store = temp_dir("e2e-local");
+    let local = Sweep::new().with_store(ResultStore::new(local_store.clone())).run(&points);
+    assert_eq!(outs[0], renders(&local), "chaos results must match the fault-free run");
+    let _ = std::fs::remove_dir_all(&local_store);
+
+    // The fault rate must have actually exercised the recovery path.
+    assert!(
+        reconnects >= 1,
+        "fault rate {RATE}% at seed {SEED:#x} must force at least one reconnect \
+         (got {reconnects}; accepted {} proxied connections)",
+        proxy.accepted()
+    );
+
+    // Exactly-once: disconnect/resume/resubmit storms must not lose or
+    // duplicate simulation work. Status goes directly to the server —
+    // the proxy played its part.
+    let status = client::status(&addr).expect("status");
+    let simulated = status
+        .get("sweep")
+        .and_then(|s| s.get("simulated"))
+        .and_then(Json::as_u64)
+        .expect("status carries sweep.simulated");
+    assert_eq!(
+        simulated,
+        points.len() as u64,
+        "chaos must not change how many unique points are simulated"
+    );
+
+    proxy.stop();
+    client::shutdown(&addr).expect("shutdown");
+    let final_status = handle.join().expect("server thread").expect("serve returns");
+    assert_eq!(
+        final_status.get("queue_depth").and_then(Json::as_u64),
+        Some(0),
+        "the queue must drain before exit"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Worker panic isolation: a point doctored to panic inside the
+/// simulator degrades to a typed `SweepError` hole; its siblings
+/// complete, the worker survives, and the next job runs normally.
+#[test]
+fn panicking_point_degrades_to_a_typed_hole_and_the_worker_survives() {
+    let dir = temp_dir("panic");
+    let (addr, handle) = spawn_server(server_cfg(dir.join("store")));
+
+    let opts = RunOpts { max_insts: 8_000, ..RunOpts::default() };
+    let mut poisoned = SweepPoint::of(BenchId::Gzip, Policy::authen_then_issue(), &opts);
+    // A zero commit width trips the pipeline's "width must be positive"
+    // assertion on construction: a deterministic, instant panic.
+    poisoned.cfg.cpu.commit_width = 0;
+    let points = vec![
+        SweepPoint::of(BenchId::Gzip, Policy::baseline(), &opts),
+        poisoned,
+        SweepPoint::of(BenchId::Mcf, Policy::baseline(), &opts),
+    ];
+
+    let results = client::run_sweep(&addr, &points).expect("job completes despite the panic");
+    assert!(results[0].is_ok(), "healthy point before the panic completes");
+    match &results[1] {
+        Err(SweepError::Failed { bench, detail }) => {
+            assert_eq!(bench, "gzip");
+            assert!(
+                detail.contains("width must be positive"),
+                "the typed hole must carry the panic message, got: {detail}"
+            );
+        }
+        other => panic!("poisoned point must be a typed hole, got {other:?}"),
+    }
+    assert!(results[2].is_ok(), "healthy point after the panic completes");
+
+    // The worker pool survived: a follow-up job runs normally.
+    let after = client::run_sweep(&addr, &grid()).expect("next job runs after the panic");
+    assert!(after.iter().all(Result::is_ok), "the follow-up job is unaffected");
+
+    client::shutdown(&addr).expect("shutdown");
+    handle.join().expect("server thread").expect("serve returns");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The silent-wedge fix: a server that accepts and then never answers
+/// must surface a typed timeout, not block forever.
+#[test]
+fn wedged_server_surfaces_a_typed_timeout() {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr").to_string();
+    // Accept and hold connections open without ever writing a byte.
+    let wedge = std::thread::spawn(move || {
+        let mut held = Vec::new();
+        while let Ok((sock, _)) = listener.accept() {
+            held.push(sock);
+            if held.len() >= 2 {
+                break;
+            }
+        }
+        std::thread::sleep(Duration::from_secs(2));
+        drop(held);
+    });
+
+    let policy = RetryPolicy {
+        attempts: 1,
+        base_ms: 1,
+        cap_ms: 10,
+        read_timeout: Duration::from_millis(300),
+        seed: 7,
+    };
+    let opts = RunOpts { max_insts: 8_000, ..RunOpts::default() };
+    let points = vec![SweepPoint::of(BenchId::Gzip, Policy::baseline(), &opts)];
+    let started = std::time::Instant::now();
+    let err = client::run_sweep_with(&addr, &points, policy)
+        .expect_err("a silent server must not look like success");
+    assert_eq!(err, ClientError::Timeout { ms: 300 }, "the wedge must be typed as a timeout");
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "the client must give up promptly, not hang"
+    );
+    // A second connection unblocks the wedge thread's accept loop.
+    let _ = TcpStream::connect(&addr);
+    wedge.join().expect("wedge thread");
+}
+
+/// Raw-protocol resume: drop the connection mid-stream, reconnect with
+/// `resume {job, since_seq}`, and receive exactly the missed events —
+/// every point reported once across both connections.
+#[test]
+fn resume_replays_exactly_the_missed_events() {
+    let dir = temp_dir("resume");
+    let (addr, handle) = spawn_server(server_cfg(dir.join("store")));
+    let points = grid();
+
+    // Connection 1: submit, then vanish after the first point-done.
+    let sock = TcpStream::connect(&addr).expect("connect");
+    sock.set_read_timeout(Some(Duration::from_secs(60))).ok();
+    let mut reader = BufReader::new(sock.try_clone().expect("clone"));
+    let mut writer = sock;
+    writeln!(writer, "{}", protocol::sweep_request_v2(&points)).expect("submit");
+    writer.flush().expect("flush");
+
+    let read_event = |reader: &mut BufReader<TcpStream>| -> Json {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("event line");
+        assert!(line.ends_with('\n'), "server must never send partial lines");
+        Json::parse(line.trim()).expect("event parses")
+    };
+
+    let queued = read_event(&mut reader);
+    assert_eq!(queued.get("event").and_then(Json::as_str), Some("queued"));
+    let job = queued.get("job").and_then(Json::as_u64).expect("server assigns a job id");
+
+    let mut last_seq = 0u64;
+    let mut indices_seen: Vec<u64> = Vec::new();
+    loop {
+        let ev = read_event(&mut reader);
+        let seq = ev.get("seq").and_then(Json::as_u64).expect("job events carry seq");
+        assert!(seq > last_seq, "live events must carry monotone sequence numbers");
+        last_seq = seq;
+        if ev.get("event").and_then(Json::as_str) == Some("point-done") {
+            indices_seen.push(ev.get("index").and_then(Json::as_u64).expect("index"));
+            break; // vanish mid-stream
+        }
+    }
+    drop(reader);
+    drop(writer);
+
+    // Connection 2: resume from the cursor; the replay must cover the
+    // remaining points exactly, each event strictly newer than the
+    // cursor.
+    let sock = TcpStream::connect(&addr).expect("reconnect");
+    sock.set_read_timeout(Some(Duration::from_secs(60))).ok();
+    let mut reader = BufReader::new(sock.try_clone().expect("clone"));
+    let mut writer = sock;
+    writeln!(writer, "{}", protocol::resume_request(job, last_seq)).expect("resume");
+    writer.flush().expect("flush");
+
+    let ack = read_event(&mut reader);
+    assert_eq!(ack.get("event").and_then(Json::as_str), Some("resumed"));
+    loop {
+        let ev = read_event(&mut reader);
+        let seq = ev.get("seq").and_then(Json::as_u64).expect("job events carry seq");
+        assert!(seq > last_seq, "replayed events must be strictly newer than the cursor");
+        last_seq = seq;
+        match ev.get("event").and_then(Json::as_str) {
+            Some("point-done") => {
+                indices_seen.push(ev.get("index").and_then(Json::as_u64).expect("index"))
+            }
+            Some("complete") => break,
+            _ => {}
+        }
+    }
+    indices_seen.sort_unstable();
+    assert_eq!(
+        indices_seen,
+        (0..points.len() as u64).collect::<Vec<_>>(),
+        "across both connections every point must be reported exactly once"
+    );
+
+    client::shutdown(&addr).expect("shutdown");
+    handle.join().expect("server thread").expect("serve returns");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Typed resume failures: a cursor older than the retention window
+/// answers `resume-too-old`; a forgotten job id answers `unknown-job` —
+/// and neither kills the connection.
+#[test]
+fn stale_or_unknown_resume_cursors_answer_typed_errors() {
+    let dir = temp_dir("too-old");
+    let mut cfg = server_cfg(dir.join("store"));
+    cfg.retain_events = 2; // tiny window: any full job overflows it
+    let (addr, handle) = spawn_server(cfg);
+    let points = grid();
+
+    // Run one job to completion (6 events: running + 4 point-done +
+    // complete — far past a 2-event window).
+    let results = client::run_sweep(&addr, &points).expect("sweep completes");
+    assert!(results.iter().all(Result::is_ok));
+    // The completed job got id 0 (first job of this server).
+    let job = 0u64;
+
+    let sock = TcpStream::connect(&addr).expect("connect");
+    sock.set_read_timeout(Some(Duration::from_secs(30))).ok();
+    let mut reader = BufReader::new(sock.try_clone().expect("clone"));
+    let mut writer = sock;
+    let ask = |writer: &mut TcpStream, reader: &mut BufReader<TcpStream>, line: &str| -> Json {
+        writeln!(writer, "{line}").expect("send");
+        writer.flush().expect("flush");
+        let mut reply = String::new();
+        reader.read_line(&mut reply).expect("reply");
+        Json::parse(reply.trim()).expect("reply parses")
+    };
+
+    // Resuming from the beginning is impossible now: typed answer.
+    let ack = ask(&mut writer, &mut reader, &protocol::resume_request(job, 0));
+    assert_eq!(ack.get("event").and_then(Json::as_str), Some("resumed"));
+    let err = {
+        let mut reply = String::new();
+        reader.read_line(&mut reply).expect("error line");
+        Json::parse(reply.trim()).expect("error parses")
+    };
+    assert_eq!(err.get("event").and_then(Json::as_str), Some("error"));
+    assert_eq!(err.get("code").and_then(Json::as_str), Some("resume-too-old"));
+
+    // A job id the server never saw (or already forgot): typed answer,
+    // same connection keeps working.
+    let err = ask(&mut writer, &mut reader, &protocol::resume_request(9_999, 0));
+    assert_eq!(err.get("event").and_then(Json::as_str), Some("error"));
+    assert_eq!(err.get("code").and_then(Json::as_str), Some("unknown-job"));
+    let status = ask(&mut writer, &mut reader, &protocol::status_request());
+    assert_eq!(
+        status.get("event").and_then(Json::as_str),
+        Some("status"),
+        "typed resume errors must not poison the connection"
+    );
+
+    client::shutdown(&addr).expect("shutdown");
+    handle.join().expect("server thread").expect("serve returns");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Shutdown race: a wire shutdown while a job is mid-stream must still
+/// deliver the job's `complete` to the connected client — never a bare
+/// EOF.
+#[test]
+fn shutdown_mid_stream_still_delivers_complete_never_bare_eof() {
+    let dir = temp_dir("shutdown-race");
+    let (addr, handle) = spawn_server(server_cfg(dir.join("store")));
+    let points = grid();
+
+    let sock = TcpStream::connect(&addr).expect("connect");
+    sock.set_read_timeout(Some(Duration::from_secs(60))).ok();
+    let mut reader = BufReader::new(sock.try_clone().expect("clone"));
+    let mut writer = sock;
+    writeln!(writer, "{}", protocol::sweep_request_v2(&points)).expect("submit");
+    writer.flush().expect("flush");
+
+    // Wait for the job to be admitted, then yank the rug: shutdown via
+    // a second connection while the stream is live.
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("queued line");
+    assert!(Json::parse(line.trim()).expect("queued parses").get("job").is_some());
+    client::shutdown(&addr).expect("wire shutdown mid-stream");
+
+    // Keep reading: the stream must terminate with a `complete` (the
+    // queued job drains) or a typed error — never a bare EOF.
+    let mut saw_terminal = false;
+    loop {
+        let mut line = String::new();
+        let n = reader.read_line(&mut line).expect("stream read");
+        if n == 0 {
+            break; // EOF — only legal after a terminal event
+        }
+        assert!(line.ends_with('\n'), "no partial lines");
+        let ev = Json::parse(line.trim()).expect("event parses");
+        match ev.get("event").and_then(Json::as_str) {
+            Some("complete") | Some("error") => {
+                saw_terminal = true;
+                break;
+            }
+            _ => {}
+        }
+    }
+    assert!(
+        saw_terminal,
+        "a mid-stream shutdown must deliver `complete` or a typed error, not a bare EOF"
+    );
+
+    handle.join().expect("server thread").expect("serve returns");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -28,6 +28,7 @@ fn spawn_server(
         job_timeout: Duration::from_secs(120),
         store_dir: store_dir.to_path_buf(),
         store_bytes,
+        ..ServerConfig::default()
     };
     let server = JobServer::bind(&cfg).expect("bind ephemeral port");
     let addr = server.local_addr().expect("local addr").to_string();
@@ -106,6 +107,42 @@ fn two_concurrent_clients_share_one_simulation_per_point() {
         Some(0),
         "the queue must drain before exit"
     );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Crash recovery at startup: a server binding onto a store directory
+/// littered with a torn `.tmp-` file and a stale `.claim-` file
+/// scavenges both and surfaces the counts in `status`.
+#[test]
+fn bind_scavenges_crash_debris_and_status_reports_it() {
+    let dir = temp_dir("scavenge");
+    let store_dir = dir.join("store");
+    std::fs::create_dir_all(&store_dir).expect("store dir");
+    // Debris a crashed writer / claim owner would leave behind.
+    std::fs::write(store_dir.join(".tmp-00000000000000aa-4242-0"), "torn half-entry")
+        .expect("plant tmp");
+    std::fs::write(store_dir.join(".claim-00000000000000bb"), "4242").expect("plant claim");
+    std::thread::sleep(Duration::from_millis(30));
+
+    let cfg = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        store_dir: store_dir.clone(),
+        claim_wait: Some(Duration::from_millis(10)),
+        scavenge_age: Some(Duration::ZERO),
+        ..ServerConfig::default()
+    };
+    let server = JobServer::bind(&cfg).expect("bind");
+    let addr = server.local_addr().expect("local addr").to_string();
+    let handle = std::thread::spawn(move || server.serve());
+
+    assert!(!store_dir.join(".tmp-00000000000000aa-4242-0").exists(), "torn tmp removed");
+    assert!(!store_dir.join(".claim-00000000000000bb").exists(), "stale claim removed");
+    let status = client::status(&addr).expect("status");
+    assert_eq!(store_counter(&status, "scavenged_tmp"), 1);
+    assert_eq!(store_counter(&status, "scavenged_claims"), 1);
+
+    client::shutdown(&addr).expect("shutdown");
+    handle.join().expect("server thread").expect("serve returns");
     let _ = std::fs::remove_dir_all(&dir);
 }
 

@@ -30,6 +30,7 @@ fn spawn_server(
         job_timeout: Duration::from_secs(120),
         store_dir: dir.join("store"),
         store_bytes: None,
+        ..ServerConfig::default()
     };
     let server = JobServer::bind(&cfg).expect("bind ephemeral port");
     let addr = server.local_addr().expect("local addr").to_string();
